@@ -1,0 +1,184 @@
+//! S4 [31] — approximate query matching via a type-level summary graph.
+//!
+//! S4 "summarizes the queried dataset by maintaining a graph of the
+//! relationships between RDF entity types" and rewrites queries whose
+//! *structure* mismatches the data while their predicates and terms are
+//! correct. Our reimplementation builds the summary offline through SPARQL
+//! (domain/range types per predicate, plus which predicates carry literals)
+//! and performs the rewrite that matters for this workload: a triple that
+//! attaches a literal directly to an entity-valued predicate
+//! (`?b dbo:author "Jack Kerouac"`) is expanded through an intermediate
+//! entity variable and a label predicate
+//! (`?b dbo:author ?x . ?x dbo:name "Jack Kerouac"`).
+
+use std::collections::{HashMap, HashSet};
+
+use sapphire_endpoint::{Endpoint, FederatedProcessor};
+use sapphire_rdf::Term;
+use sapphire_sparql::{Query, QueryResult, SelectQuery, Solutions, TermPattern, TriplePattern};
+
+/// Per-predicate summary: domain types, range types, literal-range flag.
+#[derive(Debug, Default, Clone)]
+struct PredicateSummary {
+    domains: HashSet<String>,
+    ranges: HashSet<String>,
+    has_literal_range: bool,
+}
+
+/// The S4 reimplementation.
+pub struct S4 {
+    fed: FederatedProcessor,
+    summary: HashMap<String, PredicateSummary>,
+    /// Literal-bearing predicates usable as entity labels, most frequent
+    /// first.
+    label_predicates: Vec<String>,
+}
+
+impl S4 {
+    /// Build the summary graph from an endpoint (S4's offline step).
+    pub fn build(endpoint: std::sync::Arc<dyn Endpoint>) -> Self {
+        let mut summary: HashMap<String, PredicateSummary> = HashMap::new();
+        let preds: Vec<String> = endpoint
+            .select("SELECT DISTINCT ?p (COUNT(*) AS ?frequency) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?frequency)")
+            .map(|s| s.values("p").map(|t| t.lexical().to_string()).collect())
+            .unwrap_or_default();
+        for p in &preds {
+            let mut entry = PredicateSummary::default();
+            if let Ok(s) = endpoint.select(&format!(
+                "SELECT DISTINCT ?st WHERE {{ ?s <{p}> ?o . ?s a ?st }}"
+            )) {
+                entry.domains = s.values("st").map(|t| t.lexical().to_string()).collect();
+            }
+            if let Ok(s) = endpoint.select(&format!(
+                "SELECT DISTINCT ?ot WHERE {{ ?s <{p}> ?o . ?o a ?ot }}"
+            )) {
+                entry.ranges = s.values("ot").map(|t| t.lexical().to_string()).collect();
+            }
+            if let Ok(s) = endpoint.select(&format!(
+                "SELECT ?o WHERE {{ ?s <{p}> ?o . FILTER(isliteral(?o)) }} LIMIT 1"
+            )) {
+                entry.has_literal_range = !s.is_empty();
+            }
+            summary.insert(p.clone(), entry);
+        }
+        // Label predicates, by harvest priority.
+        let mut label_predicates: Vec<String> = Vec::new();
+        for preferred in crate::entity_index::LABEL_PREDICATES {
+            if summary.get(*preferred).is_some_and(|s| s.has_literal_range) {
+                label_predicates.push((*preferred).to_string());
+            }
+        }
+        for (p, s) in &summary {
+            if s.has_literal_range && !label_predicates.contains(p) {
+                label_predicates.push(p.clone());
+            }
+        }
+        S4 { fed: FederatedProcessor::single(endpoint), summary, label_predicates }
+    }
+
+    /// Rewrite a query whose structure may not match the data. Returns `None`
+    /// if a predicate is unknown (S4 "assumes that the user can issue queries
+    /// using correct predicates").
+    pub fn rewrite(&self, query: &SelectQuery) -> Option<SelectQuery> {
+        let mut out = query.clone();
+        let mut fresh = 0usize;
+        let mut new_triples: Vec<TriplePattern> = Vec::new();
+        for tp in &mut out.pattern.triples {
+            let TermPattern::Term(Term::Iri(p_iri)) = &tp.predicate else { continue };
+            let info = self.summary.get(p_iri)?;
+            let literal_object = matches!(&tp.object, TermPattern::Term(Term::Literal(_)));
+            if literal_object && !info.has_literal_range {
+                // Entity-valued predicate with a literal object: route the
+                // literal through an intermediate entity + label predicate
+                // whose domain intersects this predicate's range.
+                let label = self
+                    .label_predicates
+                    .iter()
+                    .find(|lp| {
+                        let ls = &self.summary[*lp];
+                        info.ranges.is_empty()
+                            || ls.domains.is_empty()
+                            || ls.domains.intersection(&info.ranges).next().is_some()
+                    })?
+                    .clone();
+                let var = format!("s4_{fresh}");
+                fresh += 1;
+                let literal = tp.object.clone();
+                tp.object = TermPattern::var(&var);
+                new_triples.push(TriplePattern::new(
+                    TermPattern::var(&var),
+                    TermPattern::iri(label),
+                    literal,
+                ));
+            }
+        }
+        out.pattern.triples.extend(new_triples);
+        Some(out)
+    }
+
+    /// Rewrite and execute.
+    pub fn answer(&self, query: &SelectQuery) -> Solutions {
+        let Some(rewritten) = self.rewrite(query) else { return Solutions::default() };
+        match self.fed.execute_parsed(&Query::Select(rewritten)) {
+            Ok(QueryResult::Solutions(s)) => s,
+            _ => Solutions::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapphire_datagen::{generate, DatasetConfig};
+    use sapphire_endpoint::{EndpointLimits, LocalEndpoint};
+    use sapphire_sparql::parse_select;
+    use std::sync::Arc;
+
+    fn s4() -> S4 {
+        let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+            "dbpedia",
+            generate(DatasetConfig::tiny(42)),
+            EndpointLimits::warehouse(),
+        ));
+        S4::build(ep)
+    }
+
+    #[test]
+    fn rewrites_figure_6_query() {
+        let s = s4();
+        let q = parse_select(
+            r#"SELECT ?b WHERE { ?b dbo:author "Jack Kerouac"@en . ?b dbo:publisher "Viking Press"@en }"#,
+        )
+        .unwrap();
+        let rewritten = s.rewrite(&q).expect("rewrite succeeds");
+        assert_eq!(rewritten.pattern.triples.len(), 4, "two expansions added");
+        let answers = s.answer(&q);
+        let books: Vec<&str> = answers
+            .rows
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|t| t.lexical())
+            .filter(|l| l.contains("resource"))
+            .collect();
+        assert!(books.iter().any(|b| b.ends_with("On_The_Road")), "answers: {answers}");
+        assert!(books.iter().any(|b| b.ends_with("Door_Wide_Open")));
+    }
+
+    #[test]
+    fn leaves_well_formed_queries_alone() {
+        let s = s4();
+        let q = parse_select(r#"SELECT ?tz WHERE { ?c dbo:name "Salt Lake City"@en . ?c dbo:timeZone ?tz }"#)
+            .unwrap();
+        let rewritten = s.rewrite(&q).unwrap();
+        assert_eq!(rewritten.pattern.triples.len(), 2, "literal-ranged predicates untouched");
+        assert_eq!(s.answer(&q).len(), 1);
+    }
+
+    #[test]
+    fn unknown_predicate_fails() {
+        let s = s4();
+        let q = parse_select("SELECT ?x WHERE { ?x dbo:zorbleness ?y }").unwrap();
+        assert!(s.rewrite(&q).is_none());
+    }
+}

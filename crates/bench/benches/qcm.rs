@@ -1,0 +1,47 @@
+//! QCM end-to-end benchmarks (§7.3.1): completion latency with the suffix
+//! tree enabled vs disabled, and residual scan scaling with worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use sapphire_bench::{harvest_literals, harvest_predicates};
+use sapphire_core::{CachedData, QueryCompletion, SapphireConfig};
+use sapphire_datagen::{generate, DatasetConfig};
+
+fn bench_completion(c: &mut Criterion) {
+    let graph = generate(DatasetConfig::small(42));
+    let literals = harvest_literals(&graph, "en", 80);
+    let predicates = harvest_predicates(&graph);
+
+    let mut group = c.benchmark_group("qcm_complete");
+    group.sample_size(20);
+    for (label, capacity) in [("tree_40k", 40_000usize), ("tree_1k", 1_000), ("no_tree", 0)] {
+        let config = SapphireConfig { suffix_tree_capacity: capacity, processes: 4, ..SapphireConfig::default() };
+        let cache = Arc::new(CachedData::from_raw(predicates.clone(), literals.clone(), &config));
+        let qcm = QueryCompletion::new(cache, config);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(qcm.complete(black_box("Ken")));
+                black_box(qcm.complete(black_box("Spring")));
+                black_box(qcm.complete(black_box("alma")));
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("qcm_scan_workers");
+    group.sample_size(20);
+    for p in [1usize, 2, 4, 8] {
+        let config = SapphireConfig { suffix_tree_capacity: 0, processes: p, ..SapphireConfig::default() };
+        let cache = Arc::new(CachedData::from_raw(predicates.clone(), literals.clone(), &config));
+        let qcm = QueryCompletion::new(cache, config);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &qcm, |b, qcm| {
+            b.iter(|| black_box(qcm.complete(black_box("ing"))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion);
+criterion_main!(benches);

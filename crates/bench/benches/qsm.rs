@@ -1,0 +1,44 @@
+//! QSM end-to-end benchmarks (§7.3.2): suggestion latency for the Figure 2
+//! literal-typo query and the Figure 6 structure-mismatch query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use sapphire_bench::{harvest_literals, harvest_predicates};
+use sapphire_core::{CachedData, QuerySuggestion, SapphireConfig};
+use sapphire_datagen::{generate, DatasetConfig};
+use sapphire_endpoint::{Endpoint, EndpointLimits, FederatedProcessor, LocalEndpoint};
+use sapphire_sparql::parse_select;
+use sapphire_text::Lexicon;
+
+fn bench_qsm(c: &mut Criterion) {
+    let graph = generate(DatasetConfig::tiny(42));
+    let literals = harvest_literals(&graph, "en", 80);
+    let predicates = harvest_predicates(&graph);
+    let config = SapphireConfig { processes: 4, ..SapphireConfig::default() };
+    let cache = Arc::new(CachedData::from_raw(predicates, literals, &config));
+    let endpoint: Arc<dyn Endpoint> =
+        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let fed = FederatedProcessor::single(endpoint);
+    let qsm = QuerySuggestion::new(cache, Lexicon::dbpedia_default(), config);
+
+    let typo_query = parse_select(r#"SELECT ?p WHERE { ?p dbo:surname "Kennedys"@en }"#).unwrap();
+    let structure_query = parse_select(
+        r#"SELECT ?b WHERE { ?b dbo:writer "Jack Kerouac"@en . ?b dbo:publisher "Viking Press"@en }"#,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("qsm_suggest");
+    group.sample_size(10);
+    group.bench_function("literal_typo_fig2", |b| {
+        b.iter(|| black_box(qsm.suggest(black_box(&typo_query), &fed)))
+    });
+    group.bench_function("structure_mismatch_fig6", |b| {
+        b.iter(|| black_box(qsm.suggest(black_box(&structure_query), &fed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qsm);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! String-similarity micro-benchmarks: Jaro-Winkler (the QSM's measure) vs
+//! Jaro vs Levenshtein, across string lengths typical of cached literals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sapphire_text::{jaro, jaro_winkler, levenshtein};
+
+fn bench_measures(c: &mut Criterion) {
+    let pairs = [
+        ("Kennedys", "Kennedy"),
+        ("Viking Press", "The Viking Press"),
+        ("Jacqueline Kennedy Onassis", "Jacqueline Kennedy"),
+        ("almaMater", "alma mater of the person"),
+    ];
+    let mut group = c.benchmark_group("similarity");
+    group.sample_size(50);
+    for (a, b) in pairs {
+        let id = format!("{}x{}", a.len(), b.len());
+        group.bench_with_input(BenchmarkId::new("jaro_winkler", &id), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(jaro_winkler(black_box(a), black_box(b))))
+        });
+        group.bench_with_input(BenchmarkId::new("jaro", &id), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(jaro(black_box(a), black_box(b))))
+        });
+        group.bench_with_input(BenchmarkId::new("levenshtein", &id), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(levenshtein(black_box(a), black_box(b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

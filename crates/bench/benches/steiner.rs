@@ -1,0 +1,39 @@
+//! Steiner-tree relaxation benchmarks (Algorithm 3): expansion cost on the
+//! Figure 6 workload as the query budget and seed-group size vary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+use sapphire_core::qsm::StructureRelaxer;
+use sapphire_core::SteinerConfig;
+use sapphire_datagen::{generate, DatasetConfig};
+use sapphire_endpoint::{Endpoint, EndpointLimits, FederatedProcessor, LocalEndpoint};
+use sapphire_rdf::Term;
+
+fn bench_relax(c: &mut Criterion) {
+    let graph = generate(DatasetConfig::tiny(42));
+    let endpoint: Arc<dyn Endpoint> =
+        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let fed = FederatedProcessor::single(endpoint);
+    let preferred: HashSet<String> = ["author", "publisher", "writer"]
+        .iter()
+        .map(|p| format!("http://dbpedia.org/ontology/{p}"))
+        .collect();
+    let groups = vec![vec![Term::en("Jack Kerouac")], vec![Term::en("Viking Press")]];
+
+    let mut group = c.benchmark_group("steiner_relax");
+    group.sample_size(10);
+    for budget in [10usize, 50, 100] {
+        let config = SteinerConfig { query_budget: budget, ..SteinerConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &config, |b, config| {
+            let relaxer = StructureRelaxer::new(&fed, *config, preferred.clone());
+            b.iter(|| black_box(relaxer.relax(black_box(&groups))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relax);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Suffix-tree micro-benchmarks: construction cost, lookup latency vs corpus
+//! size (the paper's O(|t|+z) claim — §5.2 reports ≈0.25 ms per lookup
+//! "regardless of the number of literals that are indexed"), and the
+//! comparison against a naive linear scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sapphire_bench::harvest_literals;
+use sapphire_datagen::{generate, DatasetConfig};
+use sapphire_suffix::SuffixTree;
+
+fn corpus(n: usize) -> Vec<String> {
+    let graph = generate(DatasetConfig::small(42));
+    harvest_literals(&graph, "en", 80).into_iter().take(n).map(|(l, _)| l).collect()
+}
+
+fn bench_lookup_vs_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_tree_lookup_vs_size");
+    group.sample_size(20);
+    for size in [1_000usize, 4_000, 16_000] {
+        let strings = corpus(size);
+        if strings.len() < size {
+            continue;
+        }
+        let tree = SuffixTree::build(strings);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &tree, |b, tree| {
+            b.iter(|| {
+                // The paper's k = 10 lookups.
+                black_box(tree.find_containing(black_box("Ken"), 10));
+                black_box(tree.find_containing(black_box("ing"), 10));
+                black_box(tree.find_containing(black_box("zzz"), 10));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_vs_linear_scan(c: &mut Criterion) {
+    let strings = corpus(8_000);
+    let tree = SuffixTree::build(strings.clone());
+    let mut group = c.benchmark_group("substring_search");
+    group.sample_size(20);
+    group.bench_function("suffix_tree", |b| {
+        b.iter(|| black_box(tree.find_containing(black_box("Spring"), 10)))
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let hits: Vec<&String> =
+                strings.iter().filter(|s| s.contains(black_box("Spring"))).take(10).collect();
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let strings = corpus(4_000);
+    let mut group = c.benchmark_group("suffix_tree_build");
+    group.sample_size(10);
+    group.bench_function("build_4k_strings", |b| {
+        b.iter(|| black_box(SuffixTree::build(strings.iter().cloned())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup_vs_size, bench_tree_vs_linear_scan, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates the **§7.3.2 QSM response-time experiment**: per-query
+//! suggestion latency over the user-study workload, broken down by which
+//! suggestion machinery fires.
+//!
+//! Usage: `cargo run -p sapphire-bench --bin qsm_response --release [--scale tiny|small|medium]`
+
+use sapphire_baselines::ComparisonHarness;
+use sapphire_bench::{experiment_config, heading, scale_from_args};
+use sapphire_core::session::Session;
+use sapphire_datagen::userstudy::flatten;
+use sapphire_datagen::workload::appendix_b;
+
+fn main() {
+    let dataset = scale_from_args();
+    println!("(building harness…)");
+    let harness = ComparisonHarness::build(dataset, experiment_config());
+
+    println!("{}", heading("QSM: suggestion latency per executed query (§7.3.2)"));
+    println!(
+        "{:<6} {:>9} {:>10} {:>8} {:>8} {:>10}",
+        "qid", "latency", "relax-qrys", "#alts", "#relax", "flattened"
+    );
+
+    let mut latencies = Vec::new();
+    for q in appendix_b() {
+        // Run the QSM on the *flattened* (structurally naive) script when one
+        // exists — those are the queries that exercise structure relaxation,
+        // which dominates QSM latency in the paper.
+        let (script, flattened) = match flatten(&q.script) {
+            Some(f) => (f, true),
+            None => (q.script.clone(), false),
+        };
+        let mut session = Session::new(&harness.pum);
+        for (i, row) in script.rows.iter().enumerate() {
+            session.set_row(i, row.clone());
+        }
+        session.modifiers.distinct = true;
+        let Ok(query) = session.build_query() else { continue };
+        let out = harness.pum.qsm().suggest(&query, harness.pum.federation());
+        let relax_queries: usize = out.relaxations.iter().map(|r| r.relaxed.queries_used).sum();
+        latencies.push(out.elapsed.as_secs_f64());
+        println!(
+            "{:<6} {:>6.1} ms {:>10} {:>8} {:>8} {:>10}",
+            q.id,
+            out.elapsed.as_secs_f64() * 1_000.0,
+            relax_queries,
+            out.alternatives.len(),
+            out.relaxations.len(),
+            flattened,
+        );
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let avg = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let p95 = latencies.get(latencies.len().saturating_sub(1).min(latencies.len() * 95 / 100)).copied().unwrap_or(0.0);
+    println!("\naverage QSM latency: {:.1} ms; p95: {:.1} ms", avg * 1_000.0, p95 * 1_000.0);
+    println!("(paper: ≈10 s average against live DBpedia over the network; the");
+    println!(" bound here is the simulated endpoint — the *budgeted query count*");
+    println!(" per relaxation, capped at 100, is the comparable quantity)");
+}

@@ -1,0 +1,126 @@
+//! # sapphire-bench
+//!
+//! Experiment harness for the Sapphire reproduction: report binaries that
+//! regenerate every table and figure of the paper's evaluation (§7), plus
+//! Criterion micro-benchmarks. See DESIGN.md's per-experiment index and
+//! EXPERIMENTS.md for paper-vs-measured numbers.
+
+use sapphire_core::SapphireConfig;
+use sapphire_datagen::DatasetConfig;
+use sapphire_rdf::{Graph, Term};
+
+/// Parse the experiment scale from argv (`--scale tiny|small|medium`).
+pub fn scale_from_args() -> DatasetConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("small")
+        .to_string();
+    dataset_for(&scale)
+}
+
+/// Dataset config by scale name.
+pub fn dataset_for(scale: &str) -> DatasetConfig {
+    match scale {
+        "tiny" => DatasetConfig::tiny(42),
+        "medium" => DatasetConfig::medium(42),
+        _ => DatasetConfig::small(42),
+    }
+}
+
+/// The Sapphire configuration used by the experiments (paper constants, with
+/// a worker count matching the host).
+pub fn experiment_config() -> SapphireConfig {
+    SapphireConfig {
+        processes: std::thread::available_parallelism().map(usize::from).unwrap_or(8).min(8),
+        ..SapphireConfig::default()
+    }
+}
+
+/// Harvest all cacheable literals (language- and length-filtered) with their
+/// significance scores directly from a graph.
+///
+/// This bypasses the initialization query pipeline; it is used only by
+/// micro-benchmarks that need a large literal corpus without paying init
+/// time. The *experiment* binaries (`init_cost`) use the real pipeline.
+pub fn harvest_literals(graph: &Graph, language: &str, max_len: usize) -> Vec<(String, u64)> {
+    use std::collections::HashMap;
+    let mut scores: HashMap<String, u64> = HashMap::new();
+    for (s, _p, o) in graph.iter_terms() {
+        let Term::Literal(lit) = o else { continue };
+        if lit.lang.as_deref() != Some(language) || lit.value.chars().count() >= max_len {
+            continue;
+        }
+        let subject_id = graph.term_id(s).expect("subject interned");
+        let significance = graph.in_degree(subject_id) as u64;
+        let entry = scores.entry(lit.value.clone()).or_insert(0);
+        *entry = (*entry).max(significance);
+    }
+    let mut out: Vec<(String, u64)> = scores.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Harvest predicate IRIs with literal counts from a graph (same shortcut).
+pub fn harvest_predicates(graph: &Graph) -> Vec<(String, u64)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for (_s, p, o) in graph.iter_terms() {
+        let c = counts.entry(p.lexical().to_string()).or_insert(0);
+        if o.is_literal() {
+            *c += 1;
+        }
+    }
+    let mut out: Vec<(String, u64)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Render a labelled horizontal ASCII bar (the report binaries' "figures").
+pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    format!("{label:<28} {:<width$} {value:>7.1}", "#".repeat(filled.min(width)), width = width)
+}
+
+/// A section header for report output.
+pub fn heading(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapphire_datagen::generate;
+
+    #[test]
+    fn harvest_matches_init_filters() {
+        let g = generate(DatasetConfig::tiny(7));
+        let lits = harvest_literals(&g, "en", 80);
+        assert!(!lits.is_empty());
+        assert!(lits.iter().all(|(l, _)| l.chars().count() < 80));
+        // Sorted by significance descending.
+        for w in lits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // French noise literals must be excluded.
+        assert!(lits.iter().all(|(l, _)| !l.starts_with("Étranger")));
+    }
+
+    #[test]
+    fn harvest_predicates_counts_literals() {
+        let g = generate(DatasetConfig::tiny(7));
+        let preds = harvest_predicates(&g);
+        let name = preds.iter().find(|(p, _)| p.ends_with("/name")).unwrap();
+        assert!(name.1 > 0);
+    }
+
+    #[test]
+    fn bar_rendering() {
+        let b = bar("easy", 50.0, 100.0, 20);
+        assert!(b.contains("##########"));
+        assert!(bar("zero", 0.0, 0.0, 10).contains("0.0"));
+    }
+}

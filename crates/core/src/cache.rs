@@ -1,0 +1,367 @@
+//! The per-endpoint data cache assembled during initialization (§5).
+//!
+//! Holds the three structures the PUM reads: the predicate table (all
+//! predicates — there are few), the suffix tree (predicates + the most
+//! significant literals), and the residual bins (every other cached literal,
+//! keyed by length).
+
+use sapphire_suffix::SuffixTree;
+use sapphire_text::{jaro_winkler_ci, surface_form};
+
+use crate::bins::{LitId, ResidualBins};
+use crate::config::SapphireConfig;
+
+/// A cached RDFS/OWL class, discovered by initialization query Q2 (or the
+/// Q3 type fallback). Users express `rdf:type` constraints with keywords
+/// ("scientist"), which resolve against these surface forms — the paper's
+/// intro example requires exactly this mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedClass {
+    /// Full class IRI.
+    pub iri: String,
+    /// Keyword surface form (`ChessPlayer` → `chess player`).
+    pub surface: String,
+}
+
+/// A cached RDF predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPredicate {
+    /// Full predicate IRI.
+    pub iri: String,
+    /// Human-readable surface form (`almaMater` → `alma mater`), the text
+    /// users type keywords against.
+    pub surface: String,
+    /// Number of literals associated with this predicate (from init query
+    /// Q4); drives retrieval priority.
+    pub literal_count: u64,
+}
+
+/// What a suffix-tree string refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeEntry {
+    /// Index into [`CachedData::predicates`].
+    Predicate(usize),
+    /// A significant literal.
+    Literal,
+}
+
+/// Where a completion/alternative was found — reported so response-time
+/// experiments can attribute latency (§7.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchSource {
+    /// Hit in the suffix tree.
+    SuffixTree,
+    /// Found by scanning residual bins.
+    ResidualBins,
+}
+
+/// A string from the cache matching a lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheMatch {
+    /// The matched text (predicate surface form or literal value).
+    pub text: String,
+    /// Predicate IRI if the match is a predicate.
+    pub predicate_iri: Option<String>,
+    /// Where it came from.
+    pub source: MatchSource,
+}
+
+/// The assembled cache for one endpoint.
+pub struct CachedData {
+    /// All predicates of the dataset (Q1/Q4 results), most-frequent first.
+    pub predicates: Vec<CachedPredicate>,
+    /// Residual literals in length bins.
+    pub bins: ResidualBins,
+    /// Suffix tree over predicate surfaces + significant literals.
+    pub tree: SuffixTree,
+    /// Parallel to the tree's string ids.
+    tree_entries: Vec<TreeEntry>,
+    /// The significant literals (also indexed in the tree), with scores.
+    pub significant: Vec<(String, u64)>,
+    /// Known classes (for rdf:type keyword resolution).
+    pub classes: Vec<CachedClass>,
+}
+
+impl CachedData {
+    /// Assemble a cache from initialization results.
+    ///
+    /// `literals` pairs each cached literal with its significance score
+    /// (Definition 1); the top [`SapphireConfig::suffix_tree_capacity`] by
+    /// score go into the suffix tree and the rest become residual.
+    pub fn assemble(
+        predicates: Vec<CachedPredicate>,
+        mut literals: Vec<(String, u64)>,
+        config: &SapphireConfig,
+    ) -> Self {
+        // Deduplicate literal values, keeping the highest score.
+        literals.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        literals.dedup_by(|a, b| a.0 == b.0);
+        // Significance order: highest score first, ties by shorter text.
+        literals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())).then(a.0.cmp(&b.0)));
+
+        let split = literals.len().min(config.suffix_tree_capacity);
+        let significant: Vec<(String, u64)> = literals[..split].to_vec();
+        let residual = &literals[split..];
+
+        let mut tree = SuffixTree::new();
+        let mut tree_entries = Vec::new();
+        for (i, p) in predicates.iter().enumerate() {
+            tree.insert(p.surface.clone());
+            tree_entries.push(TreeEntry::Predicate(i));
+        }
+        for (text, _) in &significant {
+            tree.insert(text.clone());
+            tree_entries.push(TreeEntry::Literal);
+        }
+
+        let mut bins = ResidualBins::new();
+        for (text, _) in residual {
+            bins.add(text.clone());
+        }
+
+        CachedData { predicates, bins, tree, tree_entries, significant, classes: Vec::new() }
+    }
+
+    /// Attach the classes discovered during initialization.
+    pub fn with_classes(mut self, classes: Vec<CachedClass>) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Classes whose surface form is Jaro-Winkler-similar to `s`.
+    pub fn similar_classes(&self, s: &str, theta: f64) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let score = jaro_winkler_ci(s, &c.surface);
+                (score >= theta).then_some((i, score))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Build a cache directly from raw predicate IRIs and literal/score pairs
+    /// (used by tests and the warehouse path).
+    pub fn from_raw(
+        predicate_iris: Vec<(String, u64)>,
+        literals: Vec<(String, u64)>,
+        config: &SapphireConfig,
+    ) -> Self {
+        let predicates = predicate_iris
+            .into_iter()
+            .map(|(iri, literal_count)| CachedPredicate {
+                surface: surface_form(&iri),
+                iri,
+                literal_count,
+            })
+            .collect();
+        Self::assemble(predicates, literals, config)
+    }
+
+    /// Total number of cached literals (significant + residual).
+    pub fn literal_count(&self) -> usize {
+        self.significant.len() + self.bins.len()
+    }
+
+    /// Number of strings in the suffix tree (predicates + significant
+    /// literals; the paper reports 43K = 3K + 40K for DBpedia).
+    pub fn tree_string_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Substring lookup in the suffix tree, capped at `limit`.
+    pub fn tree_lookup(&self, t: &str, limit: usize) -> Vec<CacheMatch> {
+        self.tree
+            .find_containing(t, limit)
+            .into_iter()
+            .map(|sid| {
+                let text = self.tree.string(sid).to_string();
+                let predicate_iri = match self.tree_entries[sid as usize] {
+                    TreeEntry::Predicate(i) => Some(self.predicates[i].iri.clone()),
+                    TreeEntry::Literal => None,
+                };
+                CacheMatch { text, predicate_iri, source: MatchSource::SuffixTree }
+            })
+            .collect()
+    }
+
+    /// Case-insensitive substring scan of the residual bins restricted to
+    /// lengths `|t| ..= |t| + gamma`, parallelized over `processes` workers.
+    /// Returns matched literal ids (scores unused for containment).
+    pub fn residual_lookup(&self, t: &str, gamma: usize, processes: usize) -> Vec<LitId> {
+        let len = t.chars().count();
+        let needle = t.to_lowercase();
+        self.bins
+            .scan_parallel(len..len + gamma + 1, processes, |lit| {
+                lit.to_lowercase().contains(&needle).then_some(0.0)
+            })
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Predicates whose surface form (or their lexica, supplied by the
+    /// caller) is Jaro-Winkler-similar to `s` at threshold `theta`.
+    /// Predicates are few, so this is a plain scan (the paper stores them
+    /// entirely in memory for the same reason).
+    pub fn similar_predicates(&self, s: &str, theta: f64) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .predicates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let score = jaro_winkler_ci(s, &p.surface);
+                (score >= theta).then_some((i, score))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Literals (residual bins *and* significant set) Jaro-Winkler-similar to
+    /// `l` at threshold `theta`, searching lengths `|l|-alpha ..= |l|+beta`.
+    pub fn similar_literals(
+        &self,
+        l: &str,
+        alpha: usize,
+        beta: usize,
+        theta: f64,
+        processes: usize,
+    ) -> Vec<(String, f64)> {
+        let len = l.chars().count();
+        let lo = len.saturating_sub(alpha);
+        let hi = len + beta;
+        let mut out: Vec<(String, f64)> = self
+            .bins
+            .scan_parallel(lo..hi + 1, processes, |lit| {
+                let score = jaro_winkler_ci(l, lit);
+                (score >= theta).then_some(score)
+            })
+            .into_iter()
+            .map(|(id, score)| (self.bins.literal(id).to_string(), score))
+            .collect();
+        for (text, _) in &self.significant {
+            let tlen = text.chars().count();
+            if tlen < lo || tlen > hi {
+                continue;
+            }
+            let score = jaro_winkler_ci(l, text);
+            if score >= theta {
+                out.push((text.clone(), score));
+            }
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.dedup_by(|a, b| a.0 == b.0);
+        out
+    }
+
+    /// Look up a predicate by IRI.
+    pub fn predicate_by_iri(&self, iri: &str) -> Option<&CachedPredicate> {
+        self.predicates.iter().find(|p| p.iri == iri)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cache() -> CachedData {
+        let config = SapphireConfig { suffix_tree_capacity: 3, processes: 2, ..SapphireConfig::for_tests() };
+        CachedData::from_raw(
+            vec![
+                ("http://dbpedia.org/ontology/almaMater".into(), 50),
+                ("http://dbpedia.org/ontology/birthPlace".into(), 40),
+                ("http://dbpedia.org/ontology/spouse".into(), 30),
+            ],
+            vec![
+                ("New York".into(), 100),
+                ("Kennedy".into(), 90),
+                ("Boston".into(), 80),
+                ("Kennedys of Massachusetts".into(), 2),
+                ("Kenneth".into(), 1),
+                ("York Minster".into(), 1),
+            ],
+            &config,
+        )
+    }
+
+    #[test]
+    fn assemble_splits_by_significance() {
+        let c = sample_cache();
+        assert_eq!(c.significant.len(), 3);
+        assert_eq!(c.significant[0].0, "New York");
+        assert_eq!(c.bins.len(), 3);
+        // Tree holds 3 predicates + 3 significant literals.
+        assert_eq!(c.tree_string_count(), 6);
+        assert_eq!(c.literal_count(), 6);
+    }
+
+    #[test]
+    fn tree_lookup_distinguishes_predicates() {
+        let c = sample_cache();
+        let matches = c.tree_lookup("mater", 10);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].text, "alma mater");
+        assert_eq!(matches[0].predicate_iri.as_deref(), Some("http://dbpedia.org/ontology/almaMater"));
+        let matches = c.tree_lookup("York", 10);
+        assert!(matches.iter().all(|m| m.predicate_iri.is_none()));
+        assert_eq!(matches.len(), 1, "York Minster is residual, not in tree");
+    }
+
+    #[test]
+    fn residual_lookup_is_case_insensitive_and_length_bounded() {
+        let c = sample_cache();
+        // "kenne" (5 chars) with gamma 10 covers lengths 5..=15: "Kenneth" (7).
+        let ids = c.residual_lookup("kenne", 10, 2);
+        let texts: Vec<&str> = ids.iter().map(|&id| c.bins.literal(id)).collect();
+        assert_eq!(texts, vec!["Kenneth"]);
+        // Gamma large enough to reach "Kennedys of Massachusetts" (25).
+        let ids = c.residual_lookup("kenne", 20, 2);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn similar_predicates_ranked_by_jw() {
+        let c = sample_cache();
+        let sims = c.similar_predicates("birth place", 0.7);
+        assert!(!sims.is_empty());
+        assert_eq!(c.predicates[sims[0].0].iri, "http://dbpedia.org/ontology/birthPlace");
+    }
+
+    #[test]
+    fn similar_literals_finds_kennedy_for_kennedys() {
+        let c = sample_cache();
+        let sims = c.similar_literals("Kennedys", 2, 3, 0.7, 2);
+        assert!(
+            sims.iter().any(|(t, _)| t == "Kennedy"),
+            "significant literal reachable: {sims:?}"
+        );
+        assert!(sims.iter().any(|(t, _)| t == "Kenneth"), "residual literal reachable");
+        // Sorted by score: "Kennedy" ranks above "Kenneth".
+        let kennedy = sims.iter().position(|(t, _)| t == "Kennedy").unwrap();
+        let kenneth = sims.iter().position(|(t, _)| t == "Kenneth").unwrap();
+        assert!(kennedy < kenneth);
+    }
+
+    #[test]
+    fn duplicate_literals_keep_highest_score() {
+        let config = SapphireConfig { suffix_tree_capacity: 1, ..SapphireConfig::for_tests() };
+        let c = CachedData::from_raw(
+            vec![],
+            vec![("dup".into(), 1), ("dup".into(), 99), ("other".into(), 5)],
+            &config,
+        );
+        assert_eq!(c.literal_count(), 2);
+        assert_eq!(c.significant[0], ("dup".to_string(), 99));
+    }
+
+    #[test]
+    fn predicate_by_iri() {
+        let c = sample_cache();
+        assert!(c.predicate_by_iri("http://dbpedia.org/ontology/spouse").is_some());
+        assert!(c.predicate_by_iri("http://nope/").is_none());
+    }
+}

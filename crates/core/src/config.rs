@@ -1,0 +1,113 @@
+//! Configuration knobs, with defaults matching the paper's reported values.
+
+/// All tunable parameters of Sapphire. Field defaults are the constants the
+/// paper states it uses; the ablation bench sweeps several of them.
+#[derive(Debug, Clone)]
+pub struct SapphireConfig {
+    /// Number of suggestions returned by the QCM and QSM (`k = 10`, §6.1).
+    pub k: usize,
+    /// QCM searches residual bins of literal length `|t| ..= |t| + gamma`
+    /// (`γ = 10`, §6.1).
+    pub gamma: usize,
+    /// QSM literal-alternative search covers lengths `|l| - alpha ..= |l| + beta`
+    /// (`α = 2`, `β = 3`, §6.2.1).
+    pub alpha: usize,
+    /// See [`alpha`](Self::alpha).
+    pub beta: usize,
+    /// Jaro-Winkler similarity threshold (`θ = 0.7`, §6.2.1).
+    pub theta: f64,
+    /// Maximum cached literal length in characters (80, §5.1).
+    pub literal_max_len: usize,
+    /// Cached literal language (`"en"`, §5.1).
+    pub language: String,
+    /// How many significant literals go into the suffix tree (the paper uses
+    /// 40K for DBpedia; scale to your dataset).
+    pub suffix_tree_capacity: usize,
+    /// Number of parallel worker processes `P` for residual-bin scans
+    /// (the paper's machine has 8 cores).
+    pub processes: usize,
+    /// Optional cap on the number of initialization queries sent to an
+    /// endpoint ("Sapphire allows the user to set a limit on the number of
+    /// queries to issue", §5.1).
+    pub init_query_limit: Option<usize>,
+    /// Page size for OFFSET/LIMIT pagination during initialization.
+    pub init_page_size: usize,
+    /// Steiner-tree expansion parameters (§6.2.2).
+    pub steiner: SteinerConfig,
+}
+
+/// Parameters of the structure-relaxation (Steiner tree) search.
+#[derive(Debug, Clone, Copy)]
+pub struct SteinerConfig {
+    /// SPARQL-query budget for graph expansion (100, §6.2.2).
+    pub query_budget: usize,
+    /// Edge weight for predicates matching the query (or their alternatives).
+    pub weight_query_predicate: f64,
+    /// Edge weight for all other predicates; must exceed
+    /// [`weight_query_predicate`](Self::weight_query_predicate).
+    pub weight_default: f64,
+    /// Seed group size: the literal itself plus up to `k - 1` alternatives
+    /// (Algorithm 3 line 3).
+    pub seeds_per_group: usize,
+}
+
+impl Default for SteinerConfig {
+    fn default() -> Self {
+        SteinerConfig {
+            query_budget: 100,
+            weight_query_predicate: 1.0,
+            weight_default: 2.0,
+            seeds_per_group: 3,
+        }
+    }
+}
+
+impl Default for SapphireConfig {
+    fn default() -> Self {
+        SapphireConfig {
+            k: 10,
+            gamma: 10,
+            alpha: 2,
+            beta: 3,
+            theta: 0.7,
+            literal_max_len: 80,
+            language: "en".to_string(),
+            suffix_tree_capacity: 40_000,
+            processes: 8,
+            init_query_limit: None,
+            init_page_size: 1_000,
+            steiner: SteinerConfig::default(),
+        }
+    }
+}
+
+impl SapphireConfig {
+    /// A configuration sized for unit tests: tiny tree, two workers.
+    pub fn for_tests() -> Self {
+        SapphireConfig {
+            suffix_tree_capacity: 64,
+            processes: 2,
+            init_page_size: 64,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = SapphireConfig::default();
+        assert_eq!(c.k, 10);
+        assert_eq!(c.gamma, 10);
+        assert_eq!(c.alpha, 2);
+        assert_eq!(c.beta, 3);
+        assert!((c.theta - 0.7).abs() < f64::EPSILON);
+        assert_eq!(c.literal_max_len, 80);
+        assert_eq!(c.language, "en");
+        assert_eq!(c.steiner.query_budget, 100);
+        assert!(c.steiner.weight_query_predicate < c.steiner.weight_default);
+    }
+}

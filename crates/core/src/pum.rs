@@ -1,0 +1,216 @@
+//! The Predictive User Model (§3, §6): the facade tying initialization, the
+//! QCM, the QSM, and the federated query processor together.
+
+use std::sync::Arc;
+
+use sapphire_endpoint::{Endpoint, FederatedProcessor, FederationError};
+use sapphire_sparql::{parse_select, SelectQuery, Solutions};
+use sapphire_text::Lexicon;
+
+use crate::cache::CachedData;
+use crate::config::SapphireConfig;
+use crate::init::{InitError, InitMode, InitStats, Initializer};
+use crate::qcm::{CompletionResult, QueryCompletion};
+use crate::qsm::{QsmOutput, QuerySuggestion};
+
+/// Error from building or using the PUM.
+#[derive(Debug)]
+pub enum PumError {
+    /// Initialization failed.
+    Init(InitError),
+    /// Query parsing failed.
+    Parse(String),
+    /// Execution failed at every endpoint.
+    Execution(FederationError),
+}
+
+impl std::fmt::Display for PumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PumError::Init(e) => write!(f, "initialization failed: {e}"),
+            PumError::Parse(m) => write!(f, "query parse error: {m}"),
+            PumError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PumError {}
+
+/// The outcome of running a user query: its answers plus the QSM's
+/// suggestions (produced "simultaneously" per §3 — here sequentially but with
+/// both always present).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The query's own answers (empty table if execution failed).
+    pub answers: Solutions,
+    /// True if the query executed successfully.
+    pub executed: bool,
+    /// QSM suggestions.
+    pub suggestions: QsmOutput,
+}
+
+/// The Predictive User Model.
+pub struct PredictiveUserModel {
+    qcm: QueryCompletion,
+    qsm: QuerySuggestion,
+    fed: FederatedProcessor,
+    init_stats: Vec<(String, InitStats)>,
+    config: SapphireConfig,
+}
+
+impl PredictiveUserModel {
+    /// Register endpoints and run §5 initialization on each, merging the
+    /// caches (predicates and literals are pooled; the suffix tree is built
+    /// over the merged significance ranking).
+    pub fn initialize(
+        endpoints: Vec<Arc<dyn Endpoint>>,
+        lexicon: Lexicon,
+        config: SapphireConfig,
+        mode: InitMode,
+    ) -> Result<Self, PumError> {
+        let mut fed = FederatedProcessor::new();
+        let mut predicates = Vec::new();
+        let mut classes: Vec<crate::cache::CachedClass> = Vec::new();
+        let mut literals: Vec<(String, u64)> = Vec::new();
+        let mut init_stats = Vec::new();
+        for ep in endpoints {
+            let (cache, stats) =
+                Initializer::new(ep.as_ref(), &config, mode).run().map_err(PumError::Init)?;
+            init_stats.push((ep.name().to_string(), stats));
+            for p in cache.predicates {
+                if !predicates.iter().any(|q: &crate::cache::CachedPredicate| q.iri == p.iri) {
+                    predicates.push(p);
+                }
+            }
+            for c in cache.classes {
+                if !classes.iter().any(|k| k.iri == c.iri) {
+                    classes.push(c);
+                }
+            }
+            literals.extend(cache.significant.iter().cloned());
+            for i in 0..cache.bins.len() as u32 {
+                literals.push((cache.bins.literal(i).to_string(), 0));
+            }
+            fed.register(ep);
+        }
+        let cache = Arc::new(CachedData::assemble(predicates, literals, &config).with_classes(classes));
+        Ok(Self::from_cache(cache, lexicon, fed, config, init_stats))
+    }
+
+    /// Build a PUM from an already-assembled cache (used by benches that
+    /// construct caches directly).
+    pub fn from_cache(
+        cache: Arc<CachedData>,
+        lexicon: Lexicon,
+        fed: FederatedProcessor,
+        config: SapphireConfig,
+        init_stats: Vec<(String, InitStats)>,
+    ) -> Self {
+        PredictiveUserModel {
+            qcm: QueryCompletion::new(cache.clone(), config.clone()),
+            qsm: QuerySuggestion::new(cache, lexicon, config.clone()),
+            fed,
+            init_stats,
+            config,
+        }
+    }
+
+    /// The QCM.
+    pub fn qcm(&self) -> &QueryCompletion {
+        &self.qcm
+    }
+
+    /// The QSM.
+    pub fn qsm(&self) -> &QuerySuggestion {
+        &self.qsm
+    }
+
+    /// The federated query processor.
+    pub fn federation(&self) -> &FederatedProcessor {
+        &self.fed
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SapphireConfig {
+        &self.config
+    }
+
+    /// Per-endpoint initialization statistics.
+    pub fn init_stats(&self) -> &[(String, InitStats)] {
+        &self.init_stats
+    }
+
+    /// Auto-complete the term being typed (QCM, invoked per keystroke).
+    pub fn complete(&self, term: &str) -> CompletionResult {
+        self.qcm.complete(term)
+    }
+
+    /// Execute a query and produce suggestions (the "Run" button).
+    pub fn run(&self, query: &SelectQuery) -> RunOutcome {
+        let (answers, executed) = match self
+            .fed
+            .execute_parsed(&sapphire_sparql::Query::Select(query.clone()))
+        {
+            Ok(sapphire_sparql::QueryResult::Solutions(s)) => (s, true),
+            _ => (Solutions::default(), false),
+        };
+        let suggestions = self.qsm.suggest(query, &self.fed);
+        RunOutcome { answers, executed, suggestions }
+    }
+
+    /// Parse and run a query string.
+    pub fn run_str(&self, query: &str) -> Result<RunOutcome, PumError> {
+        let q = parse_select(query).map_err(|e| PumError::Parse(e.to_string()))?;
+        Ok(self.run(&q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapphire_endpoint::{EndpointLimits, LocalEndpoint};
+    use sapphire_rdf::turtle;
+
+    const DATA: &str = r#"
+dbo:Person a owl:Class ; rdfs:subClassOf owl:Thing .
+res:JFK a dbo:Person ; dbo:surname "Kennedy"@en ; dbo:name "John F. Kennedy"@en .
+res:RFK a dbo:Person ; dbo:surname "Kennedy"@en ; dbo:name "Robert F. Kennedy"@en .
+"#;
+
+    fn pum() -> PredictiveUserModel {
+        let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+            "dbpedia",
+            turtle::parse(DATA).unwrap(),
+            EndpointLimits::warehouse(),
+        ));
+        PredictiveUserModel::initialize(
+            vec![ep],
+            Lexicon::dbpedia_default(),
+            SapphireConfig::for_tests(),
+            InitMode::Federated,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_initialize_complete_run() {
+        let p = pum();
+        assert_eq!(p.init_stats().len(), 1);
+        // Typing "Kenn" completes to the cached literal.
+        let completions = p.complete("Kenn");
+        assert!(completions.suggestions.iter().any(|c| c.text == "Kennedy"));
+        // Running the misspelled Figure-2 query yields a "Kennedy" rewrite.
+        let out = p.run_str(r#"SELECT ?p WHERE { ?p dbo:surname "Kennedys"@en }"#).unwrap();
+        assert!(out.executed);
+        assert!(out.answers.is_empty());
+        assert!(out.suggestions.alternatives.iter().any(|a| a.replacement == "Kennedy"));
+        let alt = out.suggestions.alternatives.iter().find(|a| a.replacement == "Kennedy").unwrap();
+        assert_eq!(alt.answer_count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let p = pum();
+        assert!(matches!(p.run_str("garbage"), Err(PumError::Parse(_))));
+    }
+}

@@ -1,0 +1,319 @@
+//! Alternative query terms (Algorithm 2, §6.2.1).
+//!
+//! For every ground predicate in the user's query, find dataset predicates
+//! whose Jaro-Winkler similarity to the predicate *or any of its lexica*
+//! clears θ; for every ground literal, find similar cached literals in the
+//! bins `[|l| − α, |l| + β]`. Each alternative yields a new query differing
+//! in exactly one term ("did you mean X instead of Y?"), and the top `k/2`
+//! predicate and `k/2` literal queries *that return answers* are suggested,
+//! with their answers prefetched.
+
+use std::sync::Arc;
+
+use sapphire_endpoint::FederatedProcessor;
+use sapphire_rdf::{Literal, Term};
+use sapphire_sparql::{Query, QueryResult, SelectQuery, Solutions, TermPattern};
+use sapphire_text::{surface_form, Lexicon};
+
+use crate::cache::CachedData;
+use crate::config::SapphireConfig;
+
+/// Which position of a triple pattern an alternative replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlteredPosition {
+    /// The predicate was replaced.
+    Predicate,
+    /// The object literal was replaced.
+    Object,
+}
+
+/// One "did you mean …?" suggestion.
+#[derive(Debug, Clone)]
+pub struct TermAlternative {
+    /// Index of the altered triple pattern in the query.
+    pub triple_index: usize,
+    /// Which position changed.
+    pub position: AlteredPosition,
+    /// Display text of the original term.
+    pub original: String,
+    /// Display text of the replacement.
+    pub replacement: String,
+    /// Jaro-Winkler similarity between original (or its lexica) and the
+    /// replacement.
+    pub similarity: f64,
+    /// The full rewritten query.
+    pub query: SelectQuery,
+    /// Prefetched answers of the rewritten query (§4: answers "are prefetched
+    /// so that when the user decides to choose one of the alternatives … the
+    /// answers are displayed almost-instantaneously").
+    pub answers: Solutions,
+}
+
+impl TermAlternative {
+    /// Number of prefetched answers.
+    pub fn answer_count(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// The user-facing phrasing of Figure 2.
+    pub fn describe(&self) -> String {
+        format!(
+            "Did you mean \"{}\" instead of \"{}\"? There are {} answers available.",
+            self.replacement,
+            self.original,
+            self.answer_count()
+        )
+    }
+}
+
+/// Finds alternative query terms.
+pub struct AlternativeFinder {
+    cache: Arc<CachedData>,
+    lexicon: Lexicon,
+    config: SapphireConfig,
+}
+
+impl AlternativeFinder {
+    /// Build a finder.
+    pub fn new(cache: Arc<CachedData>, lexicon: Lexicon, config: SapphireConfig) -> Self {
+        AlternativeFinder { cache, lexicon, config }
+    }
+
+    /// Literal alternatives for a single literal value — also used to build
+    /// the Steiner seed groups (Algorithm 3 line 3).
+    pub fn literal_alternatives(&self, value: &str) -> Vec<(String, f64)> {
+        self.cache
+            .similar_literals(
+                value,
+                self.config.alpha,
+                self.config.beta,
+                self.config.theta,
+                self.config.processes,
+            )
+            .into_iter()
+            .filter(|(text, _)| text != value)
+            .collect()
+    }
+
+    /// Predicate alternatives for a predicate IRI, searching its surface form
+    /// and all its lexica (Algorithm 2 lines 3–7).
+    pub fn predicate_alternatives(&self, iri: &str) -> Vec<(String, f64)> {
+        let surface = surface_form(iri);
+        let mut best: Vec<(String, f64)> = Vec::new();
+        for verbalization in self.lexicon.get_lexica(&surface) {
+            for (idx, score) in self.cache.similar_predicates(&verbalization, self.config.theta) {
+                let alt = &self.cache.predicates[idx];
+                if alt.iri == iri {
+                    continue;
+                }
+                match best.iter_mut().find(|(i, _)| i == &alt.iri) {
+                    Some((_, s)) if *s < score => *s = score,
+                    Some(_) => {}
+                    None => best.push((alt.iri.clone(), score)),
+                }
+            }
+        }
+        best.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        best
+    }
+
+    /// Run Algorithm 2: collect, rank, execute, and keep the top `k/2`
+    /// predicate-alternative and `k/2` literal-alternative queries that
+    /// return answers.
+    pub fn suggest(&self, query: &SelectQuery, fed: &FederatedProcessor) -> Vec<TermAlternative> {
+        let mut predicate_candidates: Vec<TermAlternative> = Vec::new();
+        let mut literal_candidates: Vec<TermAlternative> = Vec::new();
+
+        for (ti, triple) in query.pattern.triples.iter().enumerate() {
+            // Predicates.
+            if let TermPattern::Term(Term::Iri(p_iri)) = &triple.predicate {
+                for (alt_iri, score) in self.predicate_alternatives(p_iri) {
+                    let mut q = query.clone();
+                    q.pattern.triples[ti].predicate = TermPattern::Term(Term::iri(alt_iri.clone()));
+                    predicate_candidates.push(TermAlternative {
+                        triple_index: ti,
+                        position: AlteredPosition::Predicate,
+                        original: surface_form(p_iri),
+                        replacement: surface_form(&alt_iri),
+                        similarity: score,
+                        query: q,
+                        answers: Solutions::default(),
+                    });
+                }
+            }
+            // Literals (objects only; literals cannot be subjects).
+            if let TermPattern::Term(Term::Literal(lit)) = &triple.object {
+                for (alt_text, score) in self.literal_alternatives(&lit.value) {
+                    let mut q = query.clone();
+                    q.pattern.triples[ti].object = TermPattern::Term(Term::Literal(
+                        self.replacement_literal(lit, &alt_text),
+                    ));
+                    literal_candidates.push(TermAlternative {
+                        triple_index: ti,
+                        position: AlteredPosition::Object,
+                        original: lit.value.clone(),
+                        replacement: alt_text,
+                        similarity: score,
+                        query: q,
+                        answers: Solutions::default(),
+                    });
+                }
+            }
+        }
+
+        // Lines 13–14: sort by similarity.
+        let by_score = |a: &TermAlternative, b: &TermAlternative| {
+            b.similarity.partial_cmp(&a.similarity).unwrap_or(std::cmp::Ordering::Equal)
+        };
+        predicate_candidates.sort_by(by_score);
+        literal_candidates.sort_by(by_score);
+
+        // Lines 23–24: top k/2 of each list *with answers*, prefetched.
+        let half = (self.config.k / 2).max(1);
+        let mut out = self.top_with_answers(predicate_candidates, half, fed);
+        out.extend(self.top_with_answers(literal_candidates, half, fed));
+        out
+    }
+
+    /// Cached literals were retrieved with the configured language filter, so
+    /// replacements keep the original's language tag (or gain the configured
+    /// one) — this is what makes the rewritten query ground-match the data.
+    fn replacement_literal(&self, original: &Literal, alt_text: &str) -> Literal {
+        match (&original.lang, &original.datatype) {
+            (Some(lang), _) => Literal::lang_tagged(alt_text, lang.clone()),
+            (None, Some(_)) | (None, None) => {
+                Literal::lang_tagged(alt_text, self.config.language.clone())
+            }
+        }
+    }
+
+    fn top_with_answers(
+        &self,
+        candidates: Vec<TermAlternative>,
+        take: usize,
+        fed: &FederatedProcessor,
+    ) -> Vec<TermAlternative> {
+        let mut kept = Vec::new();
+        for mut cand in candidates {
+            if kept.len() >= take {
+                break;
+            }
+            let result = fed.execute_parsed(&Query::Select(cand.query.clone()));
+            if let Ok(QueryResult::Solutions(answers)) = result {
+                if !answers.is_empty() {
+                    cand.answers = answers;
+                    kept.push(cand);
+                }
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapphire_endpoint::{Endpoint, EndpointLimits, LocalEndpoint};
+    use sapphire_rdf::turtle;
+    use sapphire_sparql::parse_select;
+
+    const DATA: &str = r#"
+res:JFK a dbo:Person ; dbo:surname "Kennedy"@en ; dbo:spouse res:Jackie .
+res:RFK a dbo:Person ; dbo:surname "Kennedy"@en .
+res:Jackie a dbo:Person ; dbo:surname "Kennedy Onassis"@en .
+res:Ada a dbo:Person ; dbo:surname "Lovelace"@en ; dbo:almaMater res:UoL .
+res:UoL a dbo:University ; dbo:name "University of London"@en .
+"#;
+
+    fn setup() -> (AlternativeFinder, FederatedProcessor) {
+        let config = SapphireConfig { processes: 2, ..SapphireConfig::for_tests() };
+        let graph = turtle::parse(DATA).unwrap();
+        let ep: Arc<dyn Endpoint> =
+            Arc::new(LocalEndpoint::new("test", graph, EndpointLimits::warehouse()));
+        let fed = FederatedProcessor::single(ep);
+        let cache = CachedData::from_raw(
+            vec![
+                ("http://dbpedia.org/ontology/surname".into(), 4),
+                ("http://dbpedia.org/ontology/spouse".into(), 0),
+                ("http://dbpedia.org/ontology/almaMater".into(), 0),
+                ("http://dbpedia.org/ontology/name".into(), 1),
+            ],
+            vec![
+                ("Kennedy".into(), 10),
+                ("Kennedy Onassis".into(), 3),
+                ("Lovelace".into(), 1),
+                ("University of London".into(), 5),
+            ],
+            &config,
+        );
+        (AlternativeFinder::new(Arc::new(cache), Lexicon::dbpedia_default(), config.clone()), fed)
+    }
+
+    #[test]
+    fn kennedys_suggestion_matches_figure_2() {
+        let (finder, fed) = setup();
+        // The paper's running example: surname "Kennedys" returns nothing;
+        // the QSM suggests "Kennedy".
+        let q = parse_select(r#"SELECT ?p WHERE { ?p dbo:surname "Kennedys"@en }"#).unwrap();
+        let suggestions = finder.suggest(&q, &fed);
+        let lit = suggestions
+            .iter()
+            .find(|s| s.position == AlteredPosition::Object)
+            .expect("literal alternative expected");
+        assert_eq!(lit.replacement, "Kennedy");
+        assert_eq!(lit.answer_count(), 2, "JFK and RFK");
+        assert!(lit.describe().contains("instead of \"Kennedys\""));
+    }
+
+    #[test]
+    fn lexicon_maps_wife_to_spouse() {
+        let (finder, _) = setup();
+        // A predicate verbalized as "wife" should reach dbo:spouse through
+        // the lexicon even though JW("wife", "spouse") < θ.
+        let alts = finder.predicate_alternatives("http://dbpedia.org/ontology/wife");
+        assert!(
+            alts.iter().any(|(iri, _)| iri == "http://dbpedia.org/ontology/spouse"),
+            "{alts:?}"
+        );
+    }
+
+    #[test]
+    fn jw_finds_misspelled_predicates() {
+        let (finder, _) = setup();
+        let alts = finder.predicate_alternatives("http://dbpedia.org/ontology/surnames");
+        assert_eq!(alts[0].0, "http://dbpedia.org/ontology/surname");
+    }
+
+    #[test]
+    fn suggestions_only_with_answers() {
+        let (finder, fed) = setup();
+        let q = parse_select(r#"SELECT ?p WHERE { ?p dbo:surname "Lovelacey"@en }"#).unwrap();
+        let suggestions = finder.suggest(&q, &fed);
+        for s in &suggestions {
+            assert!(s.answer_count() > 0, "suggested queries must return answers");
+        }
+        assert!(suggestions.iter().any(|s| s.replacement == "Lovelace"));
+    }
+
+    #[test]
+    fn at_most_k_over_2_per_kind() {
+        let (finder, fed) = setup();
+        let q = parse_select(r#"SELECT ?p WHERE { ?p dbo:surname "Kennedy Onasis"@en }"#).unwrap();
+        let suggestions = finder.suggest(&q, &fed);
+        let k = 10;
+        let lits = suggestions.iter().filter(|s| s.position == AlteredPosition::Object).count();
+        let preds = suggestions.iter().filter(|s| s.position == AlteredPosition::Predicate).count();
+        assert!(lits <= k / 2);
+        assert!(preds <= k / 2);
+    }
+
+    #[test]
+    fn literal_alternatives_respect_length_band() {
+        let (finder, _) = setup();
+        // |"Kennedy"| = 7; α=2, β=3 ⇒ lengths 5..=10. "Kennedy Onassis" (15)
+        // is out of range even though similar.
+        let alts = finder.literal_alternatives("Kennedyx");
+        assert!(alts.iter().any(|(t, _)| t == "Kennedy"));
+        assert!(alts.iter().all(|(t, _)| t != "Kennedy Onassis"));
+    }
+}

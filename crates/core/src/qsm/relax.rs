@@ -1,0 +1,561 @@
+//! Query structure relaxation (Algorithm 3, §6.2.2).
+//!
+//! When the query's *structure* doesn't match the data (Figure 6: the user
+//! connects "Jack Kerouac" and "Viking Press" directly to `?book`, but the
+//! data routes them through author/publisher entities), the QSM connects the
+//! query's literals through actual paths in the remote graph. Each literal
+//! plus its JW-alternatives forms a *seed group*; groups are connected with a
+//! budgeted, memoized, bidirectional-Dijkstra Steiner-tree approximation
+//! whose edge weights favour predicates from the query (w_q < w_default).
+//! The resulting tree — induced subgraph → MST → prune degree-1
+//! non-terminals — becomes a suggested SPARQL query. Approximation ratio:
+//! 2 − 2/s for s seeds [16].
+//!
+//! Everything the algorithm learns about the graph arrives through SPARQL
+//! queries against the federated processor, never direct graph access: the
+//! paper's endpoints are remote, and the 100-query budget exists precisely
+//! because each expansion costs a round trip.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use sapphire_endpoint::FederatedProcessor;
+use sapphire_rdf::Term;
+use sapphire_sparql::{
+    GraphPattern, Query, QueryResult, SelectQuery, TermPattern, TriplePattern,
+};
+
+use crate::config::SteinerConfig;
+
+/// A directed RDF edge discovered during expansion.
+pub type Edge = (Term, Term, Term);
+
+/// The outcome of a relaxation attempt.
+#[derive(Debug, Clone)]
+pub struct RelaxedQuery {
+    /// The suggested query: the Steiner tree with non-terminal vertices
+    /// generalized to variables.
+    pub query: SelectQuery,
+    /// The tree's edges as directed triples.
+    pub tree: Vec<Edge>,
+    /// Terminal literals that the tree connects (one per connected group).
+    pub terminals: Vec<Term>,
+    /// SPARQL queries spent on graph expansion.
+    pub queries_used: usize,
+    /// True if every seed group was connected; false if the budget ran out
+    /// after connecting only a subset.
+    pub complete: bool,
+}
+
+/// Runs Algorithm 3.
+pub struct StructureRelaxer<'a> {
+    fed: &'a FederatedProcessor,
+    config: SteinerConfig,
+    /// Predicates from the user's query (and their QSM alternatives), whose
+    /// edges get the favourable weight `w_q`.
+    preferred_predicates: HashSet<String>,
+}
+
+struct Explorer<'a> {
+    fed: &'a FederatedProcessor,
+    budget_left: usize,
+    queries_used: usize,
+    memo: HashMap<Term, Vec<(Term, Term, bool)>>,
+    union_edges: HashSet<Edge>,
+}
+
+impl<'a> Explorer<'a> {
+    /// True for schema-level predicates whose edges are excluded from the
+    /// expansion: class vertices are super-hubs (every Person connects to
+    /// every other Person through `rdf:type dbo:Person`), so paths through
+    /// them are semantically vacuous and — on real DBpedia — expanding them
+    /// would exhaust the query budget instantly.
+    fn is_schema_edge(p: &Term) -> bool {
+        matches!(
+            p.as_iri(),
+            Some(sapphire_rdf::vocab::rdf::TYPE) | Some(sapphire_rdf::vocab::rdfs::SUB_CLASS_OF)
+        )
+    }
+
+    fn expand(&mut self, v: &Term) -> Option<Vec<(Term, Term, bool)>> {
+        if let Some(n) = self.memo.get(v) {
+            return Some(n.clone());
+        }
+        let needed = if v.is_literal() { 1 } else { 2 };
+        if self.budget_left < needed {
+            return None;
+        }
+        let mut neighbors: Vec<(Term, Term, bool)> = Vec::new();
+        // Incoming edges: ?s ?p v — valid for both literals and IRIs.
+        self.budget_left -= 1;
+        self.queries_used += 1;
+        if let Some(sols) = self.run_pattern(
+            TermPattern::var("s"),
+            TermPattern::var("p"),
+            TermPattern::Term(v.clone()),
+        ) {
+            for r in 0..sols.len() {
+                if let (Some(s), Some(p)) = (sols.get(r, "s"), sols.get(r, "p")) {
+                    if Self::is_schema_edge(p) {
+                        continue;
+                    }
+                    neighbors.push((s.clone(), p.clone(), false));
+                    self.union_edges.insert((s.clone(), p.clone(), v.clone()));
+                }
+            }
+        }
+        // Outgoing edges: v ?p ?o — IRIs only (literals are never subjects).
+        if v.is_iri() {
+            self.budget_left -= 1;
+            self.queries_used += 1;
+            if let Some(sols) = self.run_pattern(
+                TermPattern::Term(v.clone()),
+                TermPattern::var("p"),
+                TermPattern::var("o"),
+            ) {
+                for r in 0..sols.len() {
+                    if let (Some(p), Some(o)) = (sols.get(r, "p"), sols.get(r, "o")) {
+                        if Self::is_schema_edge(p) {
+                            continue;
+                        }
+                        neighbors.push((o.clone(), p.clone(), true));
+                        self.union_edges.insert((v.clone(), p.clone(), o.clone()));
+                    }
+                }
+            }
+        }
+        self.memo.insert(v.clone(), neighbors.clone());
+        Some(neighbors)
+    }
+
+    fn run_pattern(
+        &self,
+        s: TermPattern,
+        p: TermPattern,
+        o: TermPattern,
+    ) -> Option<sapphire_sparql::Solutions> {
+        let query = Query::Select(SelectQuery::star(GraphPattern {
+            triples: vec![TriplePattern::new(s, p, o)],
+            filters: Vec::new(),
+        }));
+        match self.fed.execute_parsed(&query) {
+            Ok(QueryResult::Solutions(sols)) => Some(sols),
+            _ => None,
+        }
+    }
+}
+
+/// Per-group Dijkstra state.
+struct GroupSearch {
+    dist: HashMap<Term, u64>,
+    /// child → (parent, predicate, outgoing-from-parent?)
+    parent: HashMap<Term, (Term, Term, bool)>,
+    heap: BinaryHeap<Reverse<(u64, Term, usize)>>,
+    seed_of: HashMap<Term, Term>,
+}
+
+impl GroupSearch {
+    fn new(seeds: &[Term]) -> Self {
+        let mut g = GroupSearch {
+            dist: HashMap::new(),
+            parent: HashMap::new(),
+            heap: BinaryHeap::new(),
+            seed_of: HashMap::new(),
+        };
+        for s in seeds {
+            g.dist.insert(s.clone(), 0);
+            g.seed_of.insert(s.clone(), s.clone());
+            g.heap.push(Reverse((0, s.clone(), 0)));
+        }
+        g
+    }
+
+    /// The directed edges on the path from `v` back to its seed.
+    fn path_edges(&self, v: &Term) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        let mut cur = v.clone();
+        while let Some((parent, pred, outgoing)) = self.parent.get(&cur) {
+            let edge = if *outgoing {
+                (parent.clone(), pred.clone(), cur.clone())
+            } else {
+                (cur.clone(), pred.clone(), parent.clone())
+            };
+            edges.push(edge);
+            cur = parent.clone();
+        }
+        edges
+    }
+
+    /// The seed vertex this path originates from.
+    fn seed_for(&self, v: &Term) -> Option<Term> {
+        let mut cur = v.clone();
+        loop {
+            if let Some(seed) = self.seed_of.get(&cur) {
+                return Some(seed.clone());
+            }
+            match self.parent.get(&cur) {
+                Some((p, _, _)) => cur = p.clone(),
+                None => return None,
+            }
+        }
+    }
+}
+
+/// Simple union-find over group indices.
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n).collect())
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.0[x] != x {
+            let root = self.find(self.0[x]);
+            self.0[x] = root;
+        }
+        self.0[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.0[ra] = rb;
+        true
+    }
+
+    fn all_connected(&mut self, n: usize) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let r = self.find(0);
+        (1..n).all(|i| self.find(i) == r)
+    }
+}
+
+impl<'a> StructureRelaxer<'a> {
+    /// Build a relaxer. `preferred_predicates` are the IRIs of the query's
+    /// predicates plus their Algorithm-2 alternatives.
+    pub fn new(
+        fed: &'a FederatedProcessor,
+        config: SteinerConfig,
+        preferred_predicates: HashSet<String>,
+    ) -> Self {
+        StructureRelaxer { fed, config, preferred_predicates }
+    }
+
+    fn weight(&self, predicate: &Term) -> u64 {
+        let preferred = predicate
+            .as_iri()
+            .is_some_and(|iri| self.preferred_predicates.contains(iri));
+        let w = if preferred { self.config.weight_query_predicate } else { self.config.weight_default };
+        (w * 1000.0).round() as u64
+    }
+
+    /// Run Algorithm 3 over the given seed groups (each group: a query
+    /// literal plus its top alternatives, as ground terms).
+    pub fn relax(&self, groups: &[Vec<Term>]) -> Option<RelaxedQuery> {
+        let groups: Vec<&Vec<Term>> = groups.iter().filter(|g| !g.is_empty()).collect();
+        if groups.len() < 2 {
+            return None;
+        }
+        let mut explorer = Explorer {
+            fed: self.fed,
+            budget_left: self.config.query_budget,
+            queries_used: 0,
+            memo: HashMap::new(),
+            union_edges: HashSet::new(),
+        };
+        let mut searches: Vec<GroupSearch> = groups.iter().map(|g| GroupSearch::new(g)).collect();
+        // settled vertex → owning group.
+        let mut owner: HashMap<Term, usize> = HashMap::new();
+        let mut uf = UnionFind::new(groups.len());
+        // Connection records: (group a, group b, meeting vertex).
+        let mut connections: Vec<(usize, usize, Term)> = Vec::new();
+
+        // Groups "take turns in expansion" — round-robin over live heaps.
+        let mut active = true;
+        while active && !uf.all_connected(groups.len()) {
+            active = false;
+            for gi in 0..groups.len() {
+                let Some(Reverse((d, v, siblings))) = searches[gi].heap.pop() else { continue };
+                active = true;
+                match owner.get(&v) {
+                    Some(&other) if other == gi => continue, // already settled by us
+                    Some(&other) => {
+                        // Meeting point: a path between two groups' seeds.
+                        if uf.union(gi, other) {
+                            connections.push((gi, other, v.clone()));
+                        }
+                        continue;
+                    }
+                    None => {}
+                }
+                owner.insert(v.clone(), gi);
+                // Budget heuristic: skip expanding vertices whose sibling
+                // fan-out exceeds the remaining budget — hope another group
+                // reaches this region instead.
+                if siblings > explorer.budget_left {
+                    continue;
+                }
+                let Some(neighbors) = explorer.expand(&v) else { continue };
+                let fanout = neighbors.len();
+                for (other, pred, outgoing) in neighbors {
+                    let nd = d + self.weight(&pred);
+                    let better = searches[gi].dist.get(&other).is_none_or(|&old| nd < old);
+                    if better {
+                        searches[gi].dist.insert(other.clone(), nd);
+                        searches[gi].parent.insert(other.clone(), (v.clone(), pred, outgoing));
+                        searches[gi].heap.push(Reverse((nd, other, fanout)));
+                    }
+                }
+            }
+        }
+
+        if connections.is_empty() {
+            return None;
+        }
+        let complete = uf.all_connected(groups.len());
+
+        // Step 1 result: g = union of the connecting paths.
+        let mut g_edges: HashSet<Edge> = HashSet::new();
+        let mut terminals: Vec<Term> = Vec::new();
+        for (ga, gb, v) in &connections {
+            for &gi in &[*ga, *gb] {
+                for e in searches[gi].path_edges(v) {
+                    g_edges.insert(e);
+                }
+                if let Some(seed) = searches[gi].seed_for(v) {
+                    if !terminals.contains(&seed) {
+                        terminals.push(seed);
+                    }
+                }
+            }
+        }
+        let mut g_vertices: HashSet<Term> = HashSet::new();
+        for (s, _, o) in &g_edges {
+            g_vertices.insert(s.clone());
+            g_vertices.insert(o.clone());
+        }
+        for t in &terminals {
+            g_vertices.insert(t.clone());
+        }
+
+        // Step 2: induced subgraph g′ of g in the full explored union graph.
+        let induced: Vec<Edge> = explorer
+            .union_edges
+            .iter()
+            .filter(|(s, _, o)| g_vertices.contains(s) && g_vertices.contains(o))
+            .cloned()
+            .collect();
+
+        // Minimum spanning tree of g′ (Kruskal).
+        let tree = self.mst(&g_vertices, &induced);
+
+        // Prune non-terminal degree-1 vertices repeatedly.
+        let tree = prune(tree, &terminals);
+        if tree.is_empty() {
+            return None;
+        }
+
+        let query = tree_to_query(&tree, &terminals);
+        Some(RelaxedQuery { query, tree, terminals, queries_used: explorer.queries_used, complete })
+    }
+
+    fn mst(&self, vertices: &HashSet<Term>, edges: &[Edge]) -> Vec<Edge> {
+        let verts: Vec<&Term> = vertices.iter().collect();
+        let index: HashMap<&Term, usize> = verts.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+        let mut sorted: Vec<&Edge> = edges.iter().collect();
+        sorted.sort_by_key(|(s, p, o)| (self.weight(p), s.clone(), p.clone(), o.clone()));
+        let mut uf = UnionFind::new(verts.len());
+        let mut out = Vec::new();
+        for e in sorted {
+            let (s, _, o) = e;
+            let (a, b) = (index[s], index[o]);
+            if uf.union(a, b) {
+                out.push(e.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Repeatedly delete degree-1 vertices that are not terminals (Algorithm 3
+/// lines 17–19).
+fn prune(mut tree: Vec<Edge>, terminals: &[Term]) -> Vec<Edge> {
+    loop {
+        let mut degree: HashMap<&Term, usize> = HashMap::new();
+        for (s, _, o) in &tree {
+            *degree.entry(s).or_default() += 1;
+            *degree.entry(o).or_default() += 1;
+        }
+        let removable: HashSet<Term> = degree
+            .iter()
+            .filter(|(v, &d)| d == 1 && !terminals.contains(v))
+            .map(|(v, _)| (*v).clone())
+            .collect();
+        if removable.is_empty() {
+            return tree;
+        }
+        tree.retain(|(s, _, o)| !removable.contains(s) && !removable.contains(o));
+        if tree.is_empty() {
+            return tree;
+        }
+    }
+}
+
+/// Convert the tree into a SPARQL query: terminals stay ground, every other
+/// vertex is generalized to a fresh variable, predicates stay ground.
+fn tree_to_query(tree: &[Edge], terminals: &[Term]) -> SelectQuery {
+    let mut var_names: HashMap<Term, String> = HashMap::new();
+    let mut next = 0usize;
+    let mut pattern_of = |t: &Term| -> TermPattern {
+        if terminals.contains(t) {
+            return TermPattern::Term(t.clone());
+        }
+        let name = var_names.entry(t.clone()).or_insert_with(|| {
+            let n = format!("x{next}");
+            next += 1;
+            n
+        });
+        TermPattern::Var(name.clone())
+    };
+    let mut gp = GraphPattern::default();
+    // Deterministic order for reproducibility.
+    let mut edges: Vec<&Edge> = tree.iter().collect();
+    edges.sort();
+    for (s, p, o) in edges {
+        gp.triples.push(TriplePattern::new(
+            pattern_of(s),
+            TermPattern::Term(p.clone()),
+            pattern_of(o),
+        ));
+    }
+    let mut q = SelectQuery::star(gp);
+    q.distinct = true;
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapphire_endpoint::{Endpoint, EndpointLimits, LocalEndpoint};
+    use sapphire_rdf::turtle;
+    use sapphire_sparql::evaluate_select;
+    use std::sync::Arc;
+
+    /// The Figure 6 dataset: books connect to "Jack Kerouac" and
+    /// "Viking Press" through author/publisher entities, not directly.
+    const KEROUAC: &str = r#"
+res:Kerouac a dbo:Writer ; dbo:name "Jack Kerouac"@en .
+res:VikingPress a dbo:Publisher ; rdfs:label "Viking Press"@en .
+res:GrovePress a dbo:Publisher ; rdfs:label "Grove Press"@en .
+res:OnTheRoad a dbo:Book ; dbo:name "On The Road"@en ; dbo:author res:Kerouac ; dbo:publisher res:VikingPress .
+res:DoorWideOpen a dbo:Book ; dbo:name "Door Wide Open"@en ; dbo:author res:Kerouac ; dbo:publisher res:VikingPress .
+res:DoctorSax a dbo:Book ; dbo:name "Doctor Sax"@en ; dbo:author res:Kerouac ; dbo:publisher res:GrovePress .
+res:BigSur a dbo:Film ; dbo:name "Big Sur"@en ; dbo:writer res:Kerouac .
+"#;
+
+    fn setup() -> (FederatedProcessor, Arc<LocalEndpoint>) {
+        let graph = turtle::parse(KEROUAC).unwrap();
+        let ep = Arc::new(LocalEndpoint::new("books", graph, EndpointLimits::warehouse()));
+        (FederatedProcessor::single(ep.clone() as Arc<dyn Endpoint>), ep)
+    }
+
+    fn preferred() -> HashSet<String> {
+        ["http://dbpedia.org/ontology/writer", "http://dbpedia.org/ontology/publisher", "http://dbpedia.org/ontology/author"]
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn kerouac_viking_press_connects_through_entities() {
+        let (fed, ep) = setup();
+        let relaxer = StructureRelaxer::new(&fed, SteinerConfig::default(), preferred());
+        let groups = vec![
+            vec![Term::en("Jack Kerouac")],
+            vec![Term::en("Viking Press")],
+        ];
+        let relaxed = relaxer.relax(&groups).expect("groups must connect");
+        assert!(relaxed.complete);
+        assert_eq!(relaxed.terminals.len(), 2);
+        // The suggested query must find the two Viking Press books.
+        let sols = evaluate_select(
+            ep.graph(),
+            &relaxed.query,
+            &mut sapphire_sparql::WorkBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(!sols.is_empty(), "suggested query must have answers");
+        // Some variable binds to the two books.
+        let book_col = sols.vars.iter().position(|v| {
+            sols.values(v).any(|t| t.lexical().ends_with("OnTheRoad"))
+        });
+        assert!(book_col.is_some(), "tree should route through the book entity: {}", sols.to_table());
+        assert!(relaxed.queries_used <= 100);
+    }
+
+    #[test]
+    fn single_group_returns_none() {
+        let (fed, _) = setup();
+        let relaxer = StructureRelaxer::new(&fed, SteinerConfig::default(), HashSet::new());
+        assert!(relaxer.relax(&[vec![Term::en("Jack Kerouac")]]).is_none());
+        assert!(relaxer.relax(&[]).is_none());
+    }
+
+    #[test]
+    fn disconnected_literals_return_none() {
+        let graph = turtle::parse(
+            r#"res:A dbo:name "Alpha"@en . res:B dbo:name "Beta"@en ."#,
+        )
+        .unwrap();
+        let ep: Arc<dyn Endpoint> =
+            Arc::new(LocalEndpoint::new("iso", graph, EndpointLimits::warehouse()));
+        let fed = FederatedProcessor::single(ep);
+        let relaxer = StructureRelaxer::new(&fed, SteinerConfig::default(), HashSet::new());
+        let out = relaxer.relax(&[vec![Term::en("Alpha")], vec![Term::en("Beta")]]);
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (fed, _) = setup();
+        let config = SteinerConfig { query_budget: 3, ..SteinerConfig::default() };
+        let relaxer = StructureRelaxer::new(&fed, config, preferred());
+        let groups = vec![vec![Term::en("Jack Kerouac")], vec![Term::en("Viking Press")]];
+        if let Some(r) = relaxer.relax(&groups) {
+            assert!(r.queries_used <= 3);
+        }
+    }
+
+    #[test]
+    fn preferred_predicates_guide_the_tree() {
+        let (fed, _) = setup();
+        let relaxer = StructureRelaxer::new(&fed, SteinerConfig::default(), preferred());
+        let groups = vec![vec![Term::en("Jack Kerouac")], vec![Term::en("Viking Press")]];
+        let relaxed = relaxer.relax(&groups).unwrap();
+        // Every tree edge should use a preferred predicate or a name/label
+        // edge adjacent to a terminal.
+        let uses_author_or_publisher = relaxed.tree.iter().any(|(_, p, _)| {
+            matches!(p.as_iri(), Some(iri) if iri.ends_with("author") || iri.ends_with("publisher") || iri.ends_with("writer"))
+        });
+        assert!(uses_author_or_publisher, "tree: {:?}", relaxed.tree);
+    }
+
+    #[test]
+    fn seed_groups_with_alternatives_connect_via_any_member() {
+        let (fed, _) = setup();
+        let relaxer = StructureRelaxer::new(&fed, SteinerConfig::default(), preferred());
+        // Group contains a bogus seed plus the real one.
+        let groups = vec![
+            vec![Term::en("No Such Person"), Term::en("Jack Kerouac")],
+            vec![Term::en("The Viking"), Term::en("Viking Press")],
+        ];
+        let relaxed = relaxer.relax(&groups).expect("must connect via real members");
+        assert!(relaxed.terminals.contains(&Term::en("Jack Kerouac")));
+        assert!(relaxed.terminals.contains(&Term::en("Viking Press")));
+    }
+}

@@ -1,0 +1,112 @@
+//! Deterministic token pools for the synthetic DBpedia-like dataset.
+
+/// First names for generated people.
+pub const FIRST_NAMES: &[&str] = &[
+    "John", "Robert", "Mary", "Patricia", "James", "Jennifer", "Michael", "Linda", "William",
+    "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Ada", "Alan", "Grace", "Edsger", "Donald", "Barbara", "Niklaus",
+    "Margaret", "Dennis", "Ken", "Bjarne", "Guido", "Tim", "Vint", "Radia", "Frances", "Jean",
+    "Katherine", "Dorothy", "Annie", "Hedy", "Claude", "Kurt", "Emmy", "Paul", "Leonhard",
+    "Carl", "Sofia", "Srinivasa", "Terence", "Maryam", "Ingrid", "Andrew", "Judea", "Geoffrey",
+    "Yoshua", "Yann", "Fei-Fei", "Demis", "Cynthia", "Shafi", "Silvio", "Manuel", "Barbara",
+];
+
+/// Family names; "Kennedy" and neighbours deliberately present for the
+/// Figure 2/4 walkthrough.
+pub const LAST_NAMES: &[&str] = &[
+    "Kennedy", "Kenneth", "Kent", "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia",
+    "Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson",
+    "Anderson", "Lovelace", "Turing", "Hopper", "Dijkstra", "Knuth", "Wirth", "Hamilton",
+    "Ritchie", "Thompson", "Stroustrup", "Rossum", "Berners-Lee", "Cerf", "Perlman", "Allen",
+    "Bartik", "Johnson", "Vaughan", "Easley", "Lamarr", "Shannon", "Goedel", "Noether",
+    "Erdos", "Euler", "Gauss", "Kovalevskaya", "Ramanujan", "Tao", "Mirzakhani", "Daubechies",
+    "Ng", "Pearl", "Hinton", "Bengio", "LeCun", "Li", "Hassabis", "Dwork", "Goldwasser",
+    "Micali", "Blum", "Liskov", "Thatcher", "Goldman", "Kerouac", "Eastwood", "Spielberg",
+];
+
+/// City-like place names.
+pub const CITY_NAMES: &[&str] = &[
+    "Springfield", "Riverton", "Lakeside", "Hillcrest", "Fairview", "Georgetown", "Salem",
+    "Clinton", "Madison", "Arlington", "Ashland", "Auburn", "Bristol", "Burlington", "Camden",
+    "Chester", "Clayton", "Dayton", "Dover", "Dublin", "Florence", "Franklin", "Greenville",
+    "Hamilton", "Hudson", "Jackson", "Kingston", "Lancaster", "Lebanon", "Lexington",
+    "Manchester", "Marion", "Milford", "Milton", "Monroe", "Newport", "Oakland", "Oxford",
+    "Princeton", "Quincy", "Richmond", "Rochester", "Rome", "Sheffield", "Troy", "Vienna",
+    "Waverly", "Winchester", "Windsor", "York",
+];
+
+/// Country-like names.
+pub const COUNTRY_NAMES: &[&str] = &[
+    "Avaloria", "Borduria", "Carpania", "Drovania", "Elbonia", "Freedonia", "Grand Fenwick",
+    "Havenland", "Illyria", "Jovania", "Krakozhia", "Latveria", "Molvania", "Novistrana",
+    "Osterlich", "Pottsylvania", "Qumar", "Ruritania", "Sylvania", "Tomainia", "Urkesh",
+    "Vulgaria", "Wadiya", "Zubrowka",
+];
+
+/// Book/film title fragments.
+pub const TITLE_HEADS: &[&str] = &[
+    "The Long", "A Brief", "The Last", "The First", "Beyond the", "Under the", "Across the",
+    "The Silent", "The Hidden", "Return of the", "Shadow of the", "The Glass", "The Iron",
+    "The Paper", "Night of the", "Day of the", "The Burning", "The Frozen", "The Broken",
+    "The Endless",
+];
+
+/// Book/film title tails.
+pub const TITLE_TAILS: &[&str] = &[
+    "Road", "River", "Mountain", "City", "Garden", "Harbor", "Forest", "Desert", "Island",
+    "Bridge", "Tower", "Door", "Window", "Mirror", "Clock", "Letter", "Journey", "Summer",
+    "Winter", "Horizon",
+];
+
+/// University name stems.
+pub const UNIVERSITY_STEMS: &[&str] = &[
+    "Northfield", "Eastbrook", "Westvale", "Southgate", "Midland", "Harborview", "Clearwater",
+    "Stonebridge", "Silverlake", "Goldcrest", "Redwood", "Bluefield", "Greenhill", "Whitmore",
+    "Blackstone", "Grayson", "Ashford", "Brookhaven", "Caldwell", "Dunmore",
+];
+
+/// Company name stems.
+pub const COMPANY_STEMS: &[&str] = &[
+    "Acme", "Globex", "Initech", "Umbra", "Vortex", "Zenith", "Apex", "Nimbus", "Quasar",
+    "Stellar", "Orion", "Pinnacle", "Vertex", "Catalyst", "Momentum", "Synergy", "Paragon",
+    "Meridian", "Solstice", "Equinox",
+];
+
+/// Industries for company entities (aerospace + medicine feed difficult Q8).
+pub const INDUSTRIES: &[&str] = &[
+    "Aerospace", "Medicine", "Software", "Finance", "Agriculture", "Energy", "Retail",
+    "Telecommunications", "Transportation", "Entertainment",
+];
+
+/// Musical instruments (medium question 1).
+pub const INSTRUMENTS: &[&str] = &[
+    "Guitar", "Piano", "Violin", "Cello", "Drums", "Flute", "Trumpet", "Saxophone", "Harp",
+    "Banjo", "Mandolin", "Accordion",
+];
+
+/// Time zones.
+pub const TIME_ZONES: &[&str] = &[
+    "UTC-08:00", "UTC-07:00", "UTC-06:00", "UTC-05:00", "UTC", "UTC+01:00", "UTC+02:00",
+    "UTC+05:30", "UTC+08:00", "UTC+10:00",
+];
+
+/// Currencies.
+pub const CURRENCIES: &[&str] = &[
+    "Dollar", "Euro", "Pound", "Franc", "Krona", "Koruna", "Zloty", "Forint", "Leu", "Yen",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_contain_anchors() {
+        assert!(LAST_NAMES.contains(&"Kennedy"));
+        assert!(LAST_NAMES.contains(&"Kerouac"));
+        assert!(INDUSTRIES.contains(&"Aerospace"));
+        assert!(INDUSTRIES.contains(&"Medicine"));
+        for pool in [FIRST_NAMES, LAST_NAMES, CITY_NAMES, COUNTRY_NAMES, TITLE_HEADS, TITLE_TAILS] {
+            assert!(pool.len() >= 20);
+        }
+    }
+}

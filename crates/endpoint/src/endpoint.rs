@@ -1,0 +1,386 @@
+//! The endpoint abstraction and the simulated local endpoint.
+//!
+//! Public SPARQL endpoints "impose a timeout limit on queries to avoid
+//! overloading their computing resources, or reject queries from the start if
+//! their estimated execution time is above a threshold" (§5.1). Those two
+//! behaviours *drive* Sapphire's initialization algorithm, so the simulation
+//! must reproduce them deterministically: [`LocalEndpoint`] enforces a work
+//! budget per query (timeout) and an optional up-front cost-estimate gate
+//! (rejection), and counts everything for the init-cost experiment.
+
+use parking_lot::Mutex;
+use sapphire_rdf::{vocab, Graph, Literal, Term};
+use sapphire_sparql::ast::{Aggregate, Expr, Projection, SelectItem, TermPattern};
+use sapphire_sparql::eval::{evaluate, EvalError, WorkBudget};
+use sapphire_sparql::{parse_query, Query, QueryResult, SelectQuery, Solutions};
+
+/// Endpoint failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointError {
+    /// The query exceeded the endpoint's per-query resource budget — the
+    /// simulated timeout.
+    Timeout {
+        /// Work units consumed before the endpoint gave up.
+        work_used: u64,
+    },
+    /// The endpoint refused to run the query because its estimated cost
+    /// exceeded the admission threshold.
+    Rejected {
+        /// The endpoint's cost estimate.
+        estimated_cost: u64,
+    },
+    /// The query did not parse.
+    Parse(String),
+    /// The query parsed but could not be evaluated.
+    Eval(String),
+}
+
+impl std::fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EndpointError::Timeout { work_used } => write!(f, "query timed out after {work_used} work units"),
+            EndpointError::Rejected { estimated_cost } => {
+                write!(f, "query rejected (estimated cost {estimated_cost})")
+            }
+            EndpointError::Parse(m) => write!(f, "parse error: {m}"),
+            EndpointError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EndpointError {}
+
+/// Anything that can answer SPARQL queries.
+pub trait Endpoint: Send + Sync {
+    /// The endpoint's registered name (e.g. `"dbpedia"`).
+    fn name(&self) -> &str;
+
+    /// Execute an already-parsed query.
+    fn execute_parsed(&self, query: &Query) -> Result<QueryResult, EndpointError>;
+
+    /// Parse and execute a query string.
+    fn execute(&self, query: &str) -> Result<QueryResult, EndpointError> {
+        let parsed = parse_query(query).map_err(|e| EndpointError::Parse(e.to_string()))?;
+        self.execute_parsed(&parsed)
+    }
+
+    /// Execute a SELECT and return its solutions.
+    fn select(&self, query: &str) -> Result<Solutions, EndpointError> {
+        match self.execute(query)? {
+            QueryResult::Solutions(s) => Ok(s),
+            QueryResult::Boolean(_) => Err(EndpointError::Eval("expected SELECT, got ASK".into())),
+        }
+    }
+}
+
+/// Resource limits of a [`LocalEndpoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointLimits {
+    /// Per-query work budget; `None` means the warehousing architecture with
+    /// no timeouts (Appendix A, Q9/Q10).
+    pub timeout_work: Option<u64>,
+    /// Reject queries whose *estimated* cost exceeds this, without running
+    /// them at all.
+    pub reject_above: Option<u64>,
+    /// Hard cap on returned rows (endpoints cap result sizes too).
+    pub max_results: Option<usize>,
+}
+
+impl EndpointLimits {
+    /// Limits imitating a guarded public endpoint.
+    pub fn public_endpoint(timeout_work: u64) -> Self {
+        EndpointLimits {
+            timeout_work: Some(timeout_work),
+            reject_above: Some(timeout_work.saturating_mul(64)),
+            max_results: Some(10_000),
+        }
+    }
+
+    /// No limits — the warehousing architecture.
+    pub fn warehouse() -> Self {
+        EndpointLimits { timeout_work: None, reject_above: None, max_results: None }
+    }
+}
+
+/// Cumulative endpoint-side statistics, the raw material of the paper's
+/// initialization-cost report (§5.2: "~800 SPARQL queries … ~200 timed out").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Queries admitted and run (successfully or not).
+    pub queries: u64,
+    /// Queries that hit the work budget.
+    pub timeouts: u64,
+    /// Queries rejected up front by the cost estimate.
+    pub rejected: u64,
+    /// Total work units consumed.
+    pub total_work: u64,
+}
+
+/// An in-process SPARQL endpoint over a [`Graph`] with deterministic
+/// resource-limit simulation.
+pub struct LocalEndpoint {
+    name: String,
+    graph: Graph,
+    limits: EndpointLimits,
+    stats: Mutex<EndpointStats>,
+}
+
+impl LocalEndpoint {
+    /// Wrap a graph as an endpoint.
+    pub fn new(name: impl Into<String>, graph: Graph, limits: EndpointLimits) -> Self {
+        LocalEndpoint { name: name.into(), graph, limits, stats: Mutex::new(EndpointStats::default()) }
+    }
+
+    /// The underlying graph (the simulation owns it; remote endpoints would
+    /// not expose this, and Sapphire's code never uses it).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The endpoint's limits.
+    pub fn limits(&self) -> EndpointLimits {
+        self.limits
+    }
+
+    /// Snapshot of the statistics counters.
+    pub fn stats(&self) -> EndpointStats {
+        *self.stats.lock()
+    }
+
+    /// Reset the statistics counters.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = EndpointStats::default();
+    }
+
+    /// The endpoint's up-front cost estimate for a query: the sum of index
+    /// cardinalities of its triple patterns with only ground terms bound —
+    /// a crude planner estimate, which is exactly what public endpoints use
+    /// for admission control.
+    pub fn estimate_cost(&self, query: &Query) -> u64 {
+        let pattern = match query {
+            Query::Select(s) => &s.pattern,
+            Query::Ask(gp) => gp,
+        };
+        pattern
+            .triples
+            .iter()
+            .map(|tp| {
+                let id = |p: &sapphire_sparql::TermPattern| {
+                    p.as_term().and_then(|t| self.graph.term_id(t))
+                };
+                // A ground term absent from the graph ⇒ zero matches.
+                let any_absent = tp
+                    .positions()
+                    .iter()
+                    .any(|p| p.as_term().is_some() && id(p).is_none());
+                if any_absent {
+                    0
+                } else {
+                    self.graph.cardinality(id(&tp.subject), id(&tp.predicate), id(&tp.object)) as u64
+                }
+            })
+            .sum()
+    }
+}
+
+impl LocalEndpoint {
+    /// Recognize the Q1/Q3/Q4 statistics shapes:
+    /// `SELECT ?g (COUNT(…) AS ?f) WHERE { one pattern } GROUP BY ?g`
+    /// where the pattern is `?s ?p ?o` (grouped by `?p`, optionally filtered
+    /// to literal objects) or `?s a ?o` (grouped by `?o`).
+    fn try_statistics_answer(&self, query: &Query) -> Option<(Solutions, u64)> {
+        let Query::Select(select) = query else { return None };
+        let stats = self.match_statistics_shape(select)?;
+        let (group_var, count_alias, counts) = stats;
+        let mut rows: Vec<Vec<Option<Term>>> = counts
+            .into_iter()
+            .map(|(id, n)| {
+                vec![
+                    Some(self.graph.term(id).clone()),
+                    Some(Term::Literal(Literal::integer(n as i64))),
+                ]
+            })
+            .collect();
+        if let Some(limit) = select.limit {
+            rows.truncate(limit);
+        }
+        let work = rows.len() as u64 + 1;
+        Some((Solutions { vars: vec![group_var, count_alias], rows }, work))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn match_statistics_shape(
+        &self,
+        select: &SelectQuery,
+    ) -> Option<(String, String, Vec<(sapphire_rdf::TermId, usize)>)> {
+        if select.pattern.triples.len() != 1 || select.group_by.len() != 1 {
+            return None;
+        }
+        let tp = &select.pattern.triples[0];
+        let group = &select.group_by[0];
+        // Projection: the group var + one COUNT aggregate.
+        let Projection::Items(items) = &select.projection else { return None };
+        if items.len() != 2 {
+            return None;
+        }
+        let (g_item, c_item) = (&items[0], &items[1]);
+        let SelectItem::Var(gv) = g_item else { return None };
+        let SelectItem::Agg { agg: Aggregate::Count { .. }, alias } = c_item else { return None };
+        if gv != group {
+            return None;
+        }
+        let (TermPattern::Var(sv), TermPattern::Var(ov)) = (&tp.subject, &tp.object) else {
+            return None;
+        };
+        match &tp.predicate {
+            // ?s ?p ?o GROUP BY ?p — predicate frequencies (Q1/Q4).
+            TermPattern::Var(pv) if pv == group && sv != ov => {
+                let literal_only = match select.pattern.filters.as_slice() {
+                    [] => false,
+                    [Expr::IsLiteral(inner)] => matches!(&**inner, Expr::Var(v) if v == ov),
+                    _ => return None,
+                };
+                Some((group.clone(), alias.clone(), self.graph.predicate_counts(literal_only)))
+            }
+            // ?s a ?o GROUP BY ?o — type frequencies (Q3).
+            TermPattern::Term(Term::Iri(p)) if p == vocab::rdf::TYPE && ov == group => {
+                if !select.pattern.filters.is_empty() {
+                    return None;
+                }
+                Some((group.clone(), alias.clone(), self.graph.type_counts()))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Endpoint for LocalEndpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute_parsed(&self, query: &Query) -> Result<QueryResult, EndpointError> {
+        // Statistics fast path: real endpoints answer predicate/type
+        // frequency aggregates (the paper's Q1/Q3/Q4 — "short queries that
+        // are not expected to time out", §5.1) from internal statistics
+        // rather than scanning. Charge work proportional to the result size.
+        if let Some((solutions, work)) = self.try_statistics_answer(query) {
+            let mut stats = self.stats.lock();
+            stats.queries += 1;
+            stats.total_work += work;
+            return Ok(QueryResult::Solutions(solutions));
+        }
+        if let Some(threshold) = self.limits.reject_above {
+            let estimated = self.estimate_cost(query);
+            if estimated > threshold {
+                self.stats.lock().rejected += 1;
+                return Err(EndpointError::Rejected { estimated_cost: estimated });
+            }
+        }
+        let mut budget = match self.limits.timeout_work {
+            Some(w) => WorkBudget::limited(w),
+            None => WorkBudget::unlimited(),
+        };
+        let result = evaluate(&self.graph, query, &mut budget);
+        let mut stats = self.stats.lock();
+        stats.queries += 1;
+        stats.total_work += budget.used();
+        match result {
+            Ok(mut r) => {
+                if let (Some(cap), QueryResult::Solutions(s)) = (self.limits.max_results, &mut r) {
+                    s.rows.truncate(cap);
+                }
+                Ok(r)
+            }
+            Err(EvalError::WorkLimitExceeded { used }) => {
+                stats.timeouts += 1;
+                Err(EndpointError::Timeout { work_used: used })
+            }
+            Err(e) => Err(EndpointError::Eval(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapphire_rdf::Term;
+
+    fn graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.insert(
+                Term::iri(format!("http://x/s{i}")),
+                Term::iri("http://x/p"),
+                Term::en(format!("value {i}")),
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn basic_select() {
+        let ep = LocalEndpoint::new("test", graph(5), EndpointLimits::warehouse());
+        let s = ep.select("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(ep.stats().queries, 1);
+        assert_eq!(ep.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn timeout_is_counted() {
+        let limits = EndpointLimits { timeout_work: Some(3), reject_above: None, max_results: None };
+        let ep = LocalEndpoint::new("tight", graph(100), limits);
+        let err = ep.select("SELECT ?s WHERE { ?s ?p ?o }").unwrap_err();
+        assert!(matches!(err, EndpointError::Timeout { .. }));
+        assert_eq!(ep.stats().timeouts, 1);
+        assert_eq!(ep.stats().queries, 1);
+    }
+
+    #[test]
+    fn rejection_precedes_execution() {
+        let limits = EndpointLimits { timeout_work: Some(1_000), reject_above: Some(10), max_results: None };
+        let ep = LocalEndpoint::new("strict", graph(100), limits);
+        let err = ep.select("SELECT ?s WHERE { ?s ?p ?o }").unwrap_err();
+        assert!(matches!(err, EndpointError::Rejected { .. }));
+        let stats = ep.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.queries, 0, "rejected queries never run");
+    }
+
+    #[test]
+    fn selective_query_passes_admission() {
+        let limits = EndpointLimits { timeout_work: Some(1_000), reject_above: Some(10), max_results: None };
+        let ep = LocalEndpoint::new("strict", graph(100), limits);
+        let s = ep.select("SELECT ?o WHERE { <http://x/s3> <http://x/p> ?o }").unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn absent_ground_term_estimates_zero() {
+        let ep = LocalEndpoint::new("t", graph(10), EndpointLimits::warehouse());
+        let q = parse_query("SELECT ?o WHERE { <http://x/missing> ?p ?o }").unwrap();
+        assert_eq!(ep.estimate_cost(&q), 0);
+    }
+
+    #[test]
+    fn max_results_caps_rows() {
+        let limits = EndpointLimits { timeout_work: None, reject_above: None, max_results: Some(3) };
+        let ep = LocalEndpoint::new("capped", graph(10), limits);
+        let s = ep.select("SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        let ep = LocalEndpoint::new("t", graph(1), EndpointLimits::warehouse());
+        assert!(matches!(ep.execute("NOT SPARQL"), Err(EndpointError::Parse(_))));
+    }
+
+    #[test]
+    fn ask_through_endpoint() {
+        let ep = LocalEndpoint::new("t", graph(3), EndpointLimits::warehouse());
+        let r = ep.execute("ASK { <http://x/s0> <http://x/p> ?o }").unwrap();
+        assert_eq!(r.boolean(), Some(true));
+    }
+}

@@ -1,0 +1,351 @@
+//! An indexed, in-memory RDF graph.
+//!
+//! Triples are stored as interned id-triples in three rotated B-tree indexes
+//! (SPO, POS, OSP), so every bound/unbound combination of a triple pattern is
+//! answerable with a range scan — the same layout classic RDF stores use.
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::interner::{Interner, TermId};
+use crate::term::Term;
+
+/// A triple of interned term ids, in (subject, predicate, object) order.
+pub type IdTriple = [TermId; 3];
+
+/// An in-memory RDF graph with SPO/POS/OSP indexes and a shared term interner.
+#[derive(Default, Debug)]
+pub struct Graph {
+    interner: Interner,
+    spo: BTreeSet<(u32, u32, u32)>,
+    pos: BTreeSet<(u32, u32, u32)>,
+    osp: BTreeSet<(u32, u32, u32)>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Access to the term interner (read-only).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Intern a term without asserting any triple.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// Look up the id of a term, if it occurs anywhere in the graph's interner.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// Resolve an id back to a term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Insert a triple of terms. Returns `true` if the triple was new.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.interner.intern(s);
+        let p = self.interner.intern(p);
+        let o = self.interner.intern(o);
+        self.insert_ids([s, p, o])
+    }
+
+    /// Insert a triple of already-interned ids. Returns `true` if new.
+    pub fn insert_ids(&mut self, t: IdTriple) -> bool {
+        let (s, p, o) = (t[0].0, t[1].0, t[2].0);
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.term_id(s), self.term_id(p), self.term_id(o)) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s.0, p.0, o.0)),
+            _ => false,
+        }
+    }
+
+    /// Iterate over all triples matching a pattern of optionally-bound ids.
+    ///
+    /// Chooses the most selective index for the bound positions. Results are
+    /// produced in index order; every yielded triple is in (s, p, o) order.
+    pub fn matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<IdTriple> {
+        let mut out = Vec::new();
+        self.for_each_matching(s, p, o, |t| {
+            out.push(t);
+            true
+        });
+        out
+    }
+
+    /// Count the triples matching a pattern without materializing them.
+    pub fn count_matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        let mut n = 0;
+        self.for_each_matching(s, p, o, |_| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// Visit each triple matching the pattern; the callback returns `false`
+    /// to stop early (used by LIMIT-style early exits).
+    pub fn for_each_matching<F>(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        mut f: F,
+    ) where
+        F: FnMut(IdTriple) -> bool,
+    {
+        #[inline]
+        fn t(a: u32, b: u32, c: u32) -> IdTriple {
+            [TermId(a), TermId(b), TermId(c)]
+        }
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s.0, p.0, o.0)) {
+                    f(t(s.0, p.0, o.0));
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for &(a, b, c) in range2(&self.spo, s.0, p.0) {
+                    if !f(t(a, b, c)) {
+                        return;
+                    }
+                }
+            }
+            (Some(s), None, None) => {
+                for &(a, b, c) in range1(&self.spo, s.0) {
+                    if !f(t(a, b, c)) {
+                        return;
+                    }
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for &(b, c, a) in range2(&self.pos, p.0, o.0) {
+                    if !f(t(a, b, c)) {
+                        return;
+                    }
+                }
+            }
+            (None, Some(p), None) => {
+                for &(b, c, a) in range1(&self.pos, p.0) {
+                    if !f(t(a, b, c)) {
+                        return;
+                    }
+                }
+            }
+            (None, None, Some(o)) => {
+                for &(c, a, b) in range1(&self.osp, o.0) {
+                    if !f(t(a, b, c)) {
+                        return;
+                    }
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                for &(c, a, b) in range2(&self.osp, o.0, s.0) {
+                    if !f(t(a, b, c)) {
+                        return;
+                    }
+                }
+            }
+            (None, None, None) => {
+                for &(a, b, c) in self.spo.iter() {
+                    if !f(t(a, b, c)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimated cardinality of a pattern — used for join ordering. Exact for
+    /// fully-indexed prefixes, which all our patterns are.
+    pub fn cardinality(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        match (s, p, o) {
+            (None, None, None) => self.len(),
+            _ => self.count_matching(s, p, o),
+        }
+    }
+
+    /// In-degree of a term: the number of triples in which it is the object.
+    /// This powers the literal significance score (Definition 1).
+    pub fn in_degree(&self, id: TermId) -> usize {
+        range1(&self.osp, id.0).count()
+    }
+
+    /// Out-degree of a term: the number of triples in which it is the subject.
+    pub fn out_degree(&self, id: TermId) -> usize {
+        range1(&self.spo, id.0).count()
+    }
+
+    /// Per-predicate triple counts, optionally restricted to triples with
+    /// literal objects. This is the statistic real endpoints keep for query
+    /// planning and answer `GROUP BY ?p` aggregates from; the simulated
+    /// endpoint uses it for the same purpose.
+    pub fn predicate_counts(&self, literal_objects_only: bool) -> Vec<(TermId, usize)> {
+        let mut out: Vec<(TermId, usize)> = Vec::new();
+        for &(p, o, _s) in self.pos.iter() {
+            if literal_objects_only && !self.interner.resolve(TermId(o)).is_literal() {
+                continue;
+            }
+            match out.last_mut() {
+                Some((last, n)) if last.0 == p => *n += 1,
+                _ => out.push((TermId(p), 1)),
+            }
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Per-type instance counts (subjects per `rdf:type` object).
+    pub fn type_counts(&self) -> Vec<(TermId, usize)> {
+        let type_term = Term::iri(crate::vocab::rdf::TYPE);
+        let Some(type_id) = self.interner.get(&type_term) else { return Vec::new() };
+        let mut out: Vec<(TermId, usize)> = Vec::new();
+        self.for_each_matching(None, Some(type_id), None, |t| {
+            match out.iter_mut().find(|(c, _)| *c == t[2]) {
+                Some((_, n)) => *n += 1,
+                None => out.push((t[2], 1)),
+            }
+            true
+        });
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Iterate over every triple as term references.
+    pub fn iter_terms(&self) -> impl Iterator<Item = (&Term, &Term, &Term)> {
+        self.spo.iter().map(move |&(s, p, o)| {
+            (
+                self.interner.resolve(TermId(s)),
+                self.interner.resolve(TermId(p)),
+                self.interner.resolve(TermId(o)),
+            )
+        })
+    }
+}
+
+fn range1(set: &BTreeSet<(u32, u32, u32)>, a: u32) -> impl Iterator<Item = &(u32, u32, u32)> {
+    set.range((Bound::Included((a, 0, 0)), Bound::Included((a, u32::MAX, u32::MAX))))
+}
+
+fn range2(set: &BTreeSet<(u32, u32, u32)>, a: u32, b: u32) -> impl Iterator<Item = &(u32, u32, u32)> {
+    set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, u32::MAX))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Term::iri("s1"), Term::iri("p1"), Term::iri("o1"));
+        g.insert(Term::iri("s1"), Term::iri("p1"), Term::iri("o2"));
+        g.insert(Term::iri("s1"), Term::iri("p2"), Term::iri("o1"));
+        g.insert(Term::iri("s2"), Term::iri("p1"), Term::iri("o1"));
+        g.insert(Term::iri("s2"), Term::iri("p2"), Term::en("two"));
+        g
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut g = sample();
+        assert_eq!(g.len(), 5);
+        assert!(!g.insert(Term::iri("s1"), Term::iri("p1"), Term::iri("o1")));
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn contains_exact() {
+        let g = sample();
+        assert!(g.contains(&Term::iri("s1"), &Term::iri("p1"), &Term::iri("o1")));
+        assert!(!g.contains(&Term::iri("s1"), &Term::iri("p1"), &Term::en("two")));
+        assert!(!g.contains(&Term::iri("nope"), &Term::iri("p1"), &Term::iri("o1")));
+    }
+
+    #[test]
+    fn all_access_patterns_agree() {
+        let g = sample();
+        let s1 = g.term_id(&Term::iri("s1")).unwrap();
+        let p1 = g.term_id(&Term::iri("p1")).unwrap();
+        let o1 = g.term_id(&Term::iri("o1")).unwrap();
+
+        assert_eq!(g.matching(Some(s1), None, None).len(), 3);
+        assert_eq!(g.matching(None, Some(p1), None).len(), 3);
+        assert_eq!(g.matching(None, None, Some(o1)).len(), 3);
+        assert_eq!(g.matching(Some(s1), Some(p1), None).len(), 2);
+        assert_eq!(g.matching(None, Some(p1), Some(o1)).len(), 2);
+        assert_eq!(g.matching(Some(s1), None, Some(o1)).len(), 2);
+        assert_eq!(g.matching(Some(s1), Some(p1), Some(o1)).len(), 1);
+        assert_eq!(g.matching(None, None, None).len(), 5);
+    }
+
+    #[test]
+    fn matching_yields_spo_order_from_every_index() {
+        let g = sample();
+        let p1 = g.term_id(&Term::iri("p1")).unwrap();
+        for t in g.matching(None, Some(p1), None) {
+            assert_eq!(t[1], p1, "predicate position must hold the predicate");
+        }
+        let o1 = g.term_id(&Term::iri("o1")).unwrap();
+        for t in g.matching(None, None, Some(o1)) {
+            assert_eq!(t[2], o1, "object position must hold the object");
+        }
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample();
+        let o1 = g.term_id(&Term::iri("o1")).unwrap();
+        let s1 = g.term_id(&Term::iri("s1")).unwrap();
+        assert_eq!(g.in_degree(o1), 3);
+        assert_eq!(g.out_degree(s1), 3);
+        assert_eq!(g.in_degree(s1), 0);
+    }
+
+    #[test]
+    fn early_exit_stops_scan() {
+        let g = sample();
+        let mut seen = 0;
+        g.for_each_matching(None, None, None, |_| {
+            seen += 1;
+            seen < 2
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn count_matches_materialized_len() {
+        let g = sample();
+        let p1 = g.term_id(&Term::iri("p1")).unwrap();
+        assert_eq!(g.count_matching(None, Some(p1), None), g.matching(None, Some(p1), None).len());
+    }
+}

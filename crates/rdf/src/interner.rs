@@ -1,0 +1,153 @@
+//! Term interning: maps [`Term`]s to dense `u32` ids.
+//!
+//! Graphs at DBpedia-like scale repeat the same IRIs and literals millions of
+//! times; interning keeps each triple at 12 bytes and makes joins integer
+//! comparisons (a standard trick in RDF stores, and the perf-book's "compact
+//! representation for common values" guidance).
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use crate::term::Term;
+
+/// A dense identifier for an interned [`Term`]. Valid only with the
+/// [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A fast, low-quality hasher in the spirit of `FxHash` (we avoid an extra
+/// dependency). Term keys are strings, so we use the FNV-1a mixing loop which
+/// benchmarks well for short keys.
+#[derive(Default, Clone)]
+pub struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x100000001b3;
+        let mut hash = if self.0 == 0 { 0xcbf29ce484222325 } else { self.0 };
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        self.0 = hash;
+    }
+}
+
+/// Hash map keyed with the FNV hasher.
+pub type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// A bidirectional [`Term`] ↔ [`TermId`] table.
+#[derive(Default, Debug)]
+pub struct Interner {
+    terms: Vec<Term>,
+    ids: FnvMap<Term, TermId>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("interner overflow: > 2^32 terms"));
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Look up the id of an already-interned term without inserting.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolve an id back to its term.
+    ///
+    /// # Panics
+    /// Panics if the id did not come from this interner.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern(Term::iri("http://x/a"));
+        let b = i.intern(Term::iri("http://x/b"));
+        let a2 = i.intern(Term::iri("http://x/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let t = Term::en("New York");
+        let id = i.intern(t.clone());
+        assert_eq!(i.resolve(id), &t);
+        assert_eq!(i.get(&t), Some(id));
+        assert_eq!(i.get(&Term::en("Boston")), None);
+    }
+
+    #[test]
+    fn distinct_literal_shapes_get_distinct_ids() {
+        let mut i = Interner::new();
+        let plain = i.intern(Term::literal("x"));
+        let tagged = i.intern(Term::en("x"));
+        let iri = i.intern(Term::iri("x"));
+        assert_ne!(plain, tagged);
+        assert_ne!(plain, iri);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern(Term::iri("a"));
+        i.intern(Term::iri("b"));
+        let collected: Vec<_> = i.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(collected, vec![0, 1]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # sapphire-rdf
+//!
+//! RDF data-model substrate for the Sapphire reproduction
+//! (*Sapphire: Querying RDF Data Made Simple*, El-Roby et al., VLDB 2016).
+//!
+//! Sapphire helps users write SPARQL queries over RDF datasets they do not
+//! know. Everything in the paper ultimately stands on an RDF substrate: the
+//! queried endpoints hold RDF graphs, initialization walks the RDFS class
+//! hierarchy, and the QSM's structure relaxation explores the RDF graph
+//! through SPARQL queries. This crate provides that substrate:
+//!
+//! * [`term`] — IRIs, literals (plain / language-tagged / datatyped), blank
+//!   nodes, and N-Triples-style escaping.
+//! * [`interner`] — dense `u32` term ids so triples are 12 bytes and joins are
+//!   integer comparisons.
+//! * [`graph`] — an in-memory graph with SPO/POS/OSP B-tree indexes answering
+//!   every triple-pattern access path with a range scan.
+//! * [`ntriples`] / [`turtle`] — parsers and serializers for the fixture and
+//!   snapshot formats.
+//! * [`schema`] — `rdfs:subClassOf` hierarchy utilities that drive the
+//!   paper's timeout-aware literal retrieval (§5.1).
+//! * [`vocab`] — well-known IRIs (RDF/RDFS/OWL/XSD and the synthetic
+//!   DBpedia-like namespaces).
+//!
+//! ## Example
+//!
+//! ```
+//! use sapphire_rdf::{Graph, Term};
+//!
+//! let mut g = Graph::new();
+//! g.insert(
+//!     Term::iri("http://dbpedia.org/resource/New_York"),
+//!     Term::iri("http://dbpedia.org/ontology/population"),
+//!     Term::literal("8400000"),
+//! );
+//! let p = g.term_id(&Term::iri("http://dbpedia.org/ontology/population")).unwrap();
+//! assert_eq!(g.matching(None, Some(p), None).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod interner;
+pub mod ntriples;
+pub mod schema;
+pub mod term;
+pub mod turtle;
+pub mod vocab;
+
+pub use graph::{Graph, IdTriple};
+pub use interner::{FnvMap, Interner, TermId};
+pub use schema::ClassHierarchy;
+pub use term::{Literal, Term};

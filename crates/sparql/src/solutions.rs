@@ -1,0 +1,179 @@
+//! Materialized query results.
+
+use std::fmt;
+
+use sapphire_rdf::Term;
+
+/// A materialized solution sequence: named columns over rows of optional
+/// terms (a variable can be unbound in a row).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Solutions {
+    /// Column names, in projection order (without `?`).
+    pub vars: Vec<String>,
+    /// Rows; each row has exactly `vars.len()` entries.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    /// An empty result with the given columns.
+    pub fn empty(vars: Vec<String>) -> Self {
+        Solutions { vars, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by variable name.
+    pub fn column(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// The binding of `var` in row `row`.
+    pub fn get(&self, row: usize, var: &str) -> Option<&Term> {
+        let col = self.column(var)?;
+        self.rows.get(row)?.get(col)?.as_ref()
+    }
+
+    /// Iterate over the bound values of one column.
+    pub fn values<'a>(&'a self, var: &str) -> Box<dyn Iterator<Item = &'a Term> + 'a> {
+        match self.column(var) {
+            Some(col) => Box::new(self.rows.iter().filter_map(move |r| r[col].as_ref())),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// The single value of a one-row, one-column result (e.g. a COUNT).
+    pub fn sole_value(&self) -> Option<&Term> {
+        if self.rows.len() == 1 && self.vars.len() == 1 {
+            self.rows[0][0].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Render as a fixed-width text table (used by examples and reports).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.vars.iter().map(|v| v.len() + 1).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|t| t.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                    .collect()
+            })
+            .collect();
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", format!("?{v}"), width = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.vars.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Solutions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+/// The result of evaluating a [`crate::ast::Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// SELECT results.
+    Solutions(Solutions),
+    /// ASK result.
+    Boolean(bool),
+}
+
+impl QueryResult {
+    /// The solutions, if this is a SELECT result.
+    pub fn solutions(&self) -> Option<&Solutions> {
+        match self {
+            QueryResult::Solutions(s) => Some(s),
+            QueryResult::Boolean(_) => None,
+        }
+    }
+
+    /// Consume into solutions, if SELECT.
+    pub fn into_solutions(self) -> Option<Solutions> {
+        match self {
+            QueryResult::Solutions(s) => Some(s),
+            QueryResult::Boolean(_) => None,
+        }
+    }
+
+    /// The boolean, if this is an ASK result.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            QueryResult::Boolean(b) => Some(*b),
+            QueryResult::Solutions(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Solutions {
+        Solutions {
+            vars: vec!["s".into(), "o".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://x/a")), Some(Term::en("Alpha"))],
+                vec![Some(Term::iri("http://x/b")), None],
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column("o"), Some(1));
+        assert_eq!(s.get(0, "o"), Some(&Term::en("Alpha")));
+        assert_eq!(s.get(1, "o"), None);
+        assert_eq!(s.get(0, "missing"), None);
+        assert_eq!(s.values("s").count(), 2);
+        assert_eq!(s.values("o").count(), 1);
+    }
+
+    #[test]
+    fn sole_value_requires_1x1() {
+        let s = sample();
+        assert!(s.sole_value().is_none());
+        let one = Solutions { vars: vec!["c".into()], rows: vec![vec![Some(Term::literal("42"))]] };
+        assert_eq!(one.sole_value(), Some(&Term::literal("42")));
+    }
+
+    #[test]
+    fn table_rendering_contains_headers() {
+        let t = sample().to_table();
+        assert!(t.contains("?s"));
+        assert!(t.contains("Alpha"));
+    }
+}

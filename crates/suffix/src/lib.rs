@@ -1,0 +1,77 @@
+//! # sapphire-suffix
+//!
+//! Generalized suffix tree substrate for the Sapphire reproduction
+//! (*Sapphire: Querying RDF Data Made Simple*, El-Roby et al., VLDB 2016).
+//!
+//! Sapphire's Query Completion Module answers "which cached strings contain
+//! the substring the user has typed so far?" on every keystroke. The paper
+//! (§5.2) chooses a suffix tree for this because lookup cost is
+//! `O(|t| + z)` — independent of corpus size — at the price of a large
+//! memory footprint, which is why only predicates and the *most significant
+//! literals* are indexed. This crate implements that index with Ukkonen's
+//! online construction.
+//!
+//! ```
+//! use sapphire_suffix::SuffixTree;
+//!
+//! let tree = SuffixTree::build(["almaMater", "birthPlace", "spouse"]);
+//! assert_eq!(tree.find_strings("Place", 10), vec!["birthPlace"]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod tree;
+
+pub use tree::{StringId, SuffixTree};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The tree must agree exactly with a naive `str::contains` scan.
+        #[test]
+        fn matches_naive_scan(
+            strings in proptest::collection::vec("[a-c]{0,8}", 1..12),
+            pattern in "[a-c]{0,4}",
+        ) {
+            let tree = SuffixTree::build(strings.iter().cloned());
+            let mut got = tree.find_containing(&pattern, usize::MAX);
+            got.sort_unstable();
+            let want: Vec<u32> = strings
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.contains(pattern.as_str()))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Every indexed string contains all of its own substrings.
+        #[test]
+        fn contains_own_substrings(s in "[a-z]{1,16}") {
+            let tree = SuffixTree::build([s.clone()]);
+            for start in 0..s.len() {
+                for end in start + 1..=s.len() {
+                    prop_assert!(tree.contains(&s[start..end]));
+                }
+            }
+        }
+
+        /// A limit of k never yields more than k results, and results are a
+        /// subset of the unlimited result set.
+        #[test]
+        fn limit_is_respected(
+            strings in proptest::collection::vec("[a-b]{0,6}", 1..20),
+            pattern in "[a-b]{1,3}",
+            k in 1usize..5,
+        ) {
+            let tree = SuffixTree::build(strings.iter().cloned());
+            let capped = tree.find_containing(&pattern, k);
+            let all = tree.find_containing(&pattern, usize::MAX);
+            prop_assert!(capped.len() <= k);
+            prop_assert!(capped.iter().all(|id| all.contains(id)));
+        }
+    }
+}

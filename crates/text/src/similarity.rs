@@ -1,0 +1,191 @@
+//! String similarity measures.
+//!
+//! The QSM ranks alternative predicates and literals by Jaro-Winkler
+//! similarity with threshold θ = 0.7 (§6.2.1). The paper reports that JW
+//! "outperforms other similarity measures in our context" — normalized
+//! Levenshtein is provided so the ablation bench can check that claim.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Counts matching characters within the standard window
+/// `max(|a|,|b|)/2 - 1` and discounts transpositions.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    // First pass: find matches for characters of `a` in order.
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Second pass: matched characters of `b`, in order.
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by a shared prefix (up to 4 chars)
+/// with the standard scaling factor `p = 0.1`. This "gives a more favorable
+/// score to strings that match from the beginning" (§6.2.1) — exactly the
+/// behaviour wanted for typo-tolerant term matching ("Kennedys" → "Kennedy").
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const PREFIX_SCALE: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * PREFIX_SCALE * (1.0 - j)
+}
+
+/// Case-insensitive Jaro-Winkler — what the QSM actually uses, since users
+/// type lowercase keywords against mixed-case data.
+pub fn jaro_winkler_ci(a: &str, b: &str) -> f64 {
+    jaro_winkler(&a.to_lowercase(), &b.to_lowercase())
+}
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]` (1 − distance / max-length).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(x: f64, y: f64) {
+        assert!((x - y).abs() < 1e-9, "{x} != {y}");
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic textbook pairs.
+        approx(jaro("MARTHA", "MARHTA"), 0.944_444_444_444_444_4);
+        approx(jaro("DIXON", "DICKSONX"), 0.766_666_666_666_666_6);
+        approx(jaro("JELLYFISH", "SMELLYFISH"), 0.896_296_296_296_296_2);
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        approx(jaro_winkler("MARTHA", "MARHTA"), 0.961_111_111_111_111_1);
+        approx(jaro_winkler("DIXON", "DICKSONX"), 0.813_333_333_333_333_3);
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        approx(jaro("abc", "abc"), 1.0);
+        approx(jaro_winkler("abc", "abc"), 1.0);
+        approx(jaro("abc", "xyz"), 0.0);
+        approx(jaro("", ""), 1.0);
+        approx(jaro("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn kennedys_vs_kennedy_clears_theta() {
+        // The Figure 2 walkthrough: the misspelled "Kennedys" must find
+        // "Kennedy" at θ = 0.7.
+        assert!(jaro_winkler("Kennedys", "Kennedy") > 0.9);
+    }
+
+    #[test]
+    fn wife_vs_spouse_below_theta() {
+        // Lexically dissimilar synonyms are *not* JW matches — that is the
+        // lexicon's job (§6.2.1).
+        assert!(jaro_winkler("wife", "spouse") < 0.7);
+    }
+
+    #[test]
+    fn prefix_boost_prefers_shared_prefix() {
+        // Same Jaro ingredients, different prefixes.
+        let with_prefix = jaro_winkler("prefix_abc", "prefix_abd");
+        let without = jaro_winkler("xprefix_ab", "yprefix_ab");
+        assert!(with_prefix > without);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("Viking Press", "The Viking Press"), ("abc", "cba"), ("", "x")] {
+            approx(jaro(a, b), jaro(b, a));
+            approx(jaro_winkler(a, b), jaro_winkler(b, a));
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn levenshtein_reference() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        approx(levenshtein_similarity("abc", "abc"), 1.0);
+        approx(levenshtein_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn case_insensitive_variant() {
+        assert!(jaro_winkler_ci("kennedy", "Kennedy") > 0.999);
+        assert!(jaro_winkler("kennedy", "Kennedy") < 1.0);
+    }
+}

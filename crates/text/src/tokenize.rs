@@ -1,0 +1,96 @@
+//! Keyword extraction from IRIs and literals.
+//!
+//! Sapphire assumes "it is simpler and more intuitive for users to express
+//! their information needs using keywords rather than using URIs" (§5.1), so
+//! both the QCM and QSM match user keywords against the *surface forms* of
+//! predicates and entities. This module turns
+//! `http://dbpedia.org/ontology/almaMater` into `alma mater`.
+
+/// The local name of an IRI: the segment after the last `#` or `/`.
+pub fn local_name(iri: &str) -> &str {
+    let after_hash = iri.rsplit('#').next().unwrap_or(iri);
+    after_hash.rsplit('/').next().unwrap_or(after_hash)
+}
+
+/// Split an identifier into lowercase words on camelCase boundaries,
+/// underscores, hyphens, and digit transitions.
+pub fn split_identifier(ident: &str) -> Vec<String> {
+    let mut words: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for c in ident.chars() {
+        if c == '_' || c == '-' || c == ' ' || c == '.' {
+            if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+            prev_lower = false;
+            continue;
+        }
+        if c.is_uppercase() && prev_lower
+            && !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+        prev_lower = c.is_lowercase() || c.is_ascii_digit();
+        current.extend(c.to_lowercase());
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    words
+}
+
+/// The human-readable surface form of a predicate or entity IRI:
+/// `…/almaMater` → `alma mater`, `…/New_York` → `new york`.
+pub fn surface_form(iri: &str) -> String {
+    split_identifier(local_name(iri)).join(" ")
+}
+
+/// Lowercased keywords of any text (literal values, user input).
+pub fn keywords(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// A normalized form for keyword-level matching: lowercase, single-spaced.
+pub fn normalize(text: &str) -> String {
+    keywords(text).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_names() {
+        assert_eq!(local_name("http://dbpedia.org/ontology/almaMater"), "almaMater");
+        assert_eq!(local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), "type");
+        assert_eq!(local_name("plain"), "plain");
+    }
+
+    #[test]
+    fn camel_case_split() {
+        assert_eq!(split_identifier("almaMater"), vec!["alma", "mater"]);
+        assert_eq!(split_identifier("birthPlace"), vec!["birth", "place"]);
+        assert_eq!(split_identifier("New_York"), vec!["new", "york"]);
+        assert_eq!(split_identifier("HTTPServer"), vec!["httpserver"]);
+        assert_eq!(split_identifier("subClassOf"), vec!["sub", "class", "of"]);
+        assert!(split_identifier("").is_empty());
+    }
+
+    #[test]
+    fn surface_forms() {
+        assert_eq!(surface_form("http://dbpedia.org/ontology/almaMater"), "alma mater");
+        assert_eq!(surface_form("http://dbpedia.org/resource/John_F._Kennedy"), "john f kennedy");
+    }
+
+    #[test]
+    fn keyword_extraction() {
+        assert_eq!(keywords("How many people live in New York?"), vec![
+            "how", "many", "people", "live", "in", "new", "york"
+        ]);
+        assert_eq!(normalize("  New   York!  "), "new york");
+        assert!(keywords("???").is_empty());
+    }
+}

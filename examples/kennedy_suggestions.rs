@@ -1,0 +1,62 @@
+//! The Figure 2 / Figure 4 walkthrough: the user searches for people with the
+//! surname "Kennedys" (misspelled, plural), gets no answers, accepts the
+//! QSM's "did you mean Kennedy?" suggestion, then filters the answer table
+//! with the keyword "john" and sorts it — exactly the interaction sequence
+//! the paper's UI figures show.
+//!
+//! Run with: `cargo run -p sapphire-bench --example kennedy_suggestions`
+
+use std::sync::Arc;
+
+use sapphire_core::prelude::*;
+use sapphire_core::InitMode;
+use sapphire_datagen::{generate, DatasetConfig};
+
+fn main() {
+    let graph = generate(DatasetConfig::small(42));
+    let endpoint: Arc<dyn Endpoint> =
+        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let pum = PredictiveUserModel::initialize(
+        vec![endpoint],
+        Lexicon::dbpedia_default(),
+        SapphireConfig::default(),
+        InitMode::Federated,
+    )
+    .expect("initialization");
+
+    // The user wants people with surname "Kennedys" (their typo).
+    let mut session = Session::new(&pum);
+    session.set_row(0, TripleInput::new("?person", "surname", "Kennedys"));
+    let result = session.run().expect("run");
+    println!("query: ?person —surname→ \"Kennedys\"");
+    println!("answers: {} (as in Figure 2: none)", result.answers.total_rows());
+
+    // The QSM suggests changing one term at a time (§4).
+    let alt = result
+        .suggestions
+        .alternatives
+        .iter()
+        .find(|a| a.replacement == "Kennedy")
+        .expect("the Figure 2 suggestion");
+    println!("QSM: {}", alt.describe());
+
+    // Accepting is instantaneous — answers were prefetched.
+    let mut table = session.apply_alternative(alt);
+    println!(
+        "\naccepted; query box now {:?}; {} answers",
+        session.triples[0].object,
+        table.total_rows()
+    );
+
+    // Figure 4: filter by keyword "john", sort by the person column.
+    table.set_filter("john");
+    table.sort_by("person", false);
+    let view = table.view();
+    println!("\nfiltered by \"john\", sorted by ?person ({} rows):", view.len());
+    print!("{}", view.to_table());
+
+    // Drag a value back into the query for a follow-up (§4).
+    if let Some(value) = table.drag_value(0, "person") {
+        println!("dragging {value} into a new query box…");
+    }
+}

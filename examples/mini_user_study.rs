@@ -1,0 +1,44 @@
+//! A miniature of the §7.1 user study: four simulated participants answer
+//! Appendix-B questions with Sapphire and with QAKiS; success rates, attempts,
+//! and modeled time are printed per difficulty. The full 16-participant study
+//! is `cargo run -p sapphire-bench --bin user_study --release`.
+//!
+//! Run with: `cargo run -p sapphire-bench --example mini_user_study`
+
+use sapphire_baselines::ComparisonHarness;
+use sapphire_core::SapphireConfig;
+use sapphire_datagen::userstudy::{run_study, StudyConfig};
+use sapphire_datagen::workload::{appendix_b, gold_answers, Difficulty};
+use sapphire_datagen::DatasetConfig;
+
+fn main() {
+    println!("building harness (dataset + Sapphire init + QAKiS)…");
+    let harness = ComparisonHarness::build(DatasetConfig::tiny(42), SapphireConfig::default());
+    let questions = appendix_b();
+    let config = StudyConfig { participants: 4, ..StudyConfig::default() };
+    let endpoint = harness.endpoint.clone();
+    let gold = |q: &sapphire_datagen::workload::Question| gold_answers(q, endpoint.as_ref());
+
+    let (sapphire, qakis) = run_study(&harness.pum, &harness.qakis, &questions, &gold, &config);
+
+    println!("\n{:<12} {:>18} {:>18}", "difficulty", "QAKiS success", "Sapphire success");
+    for d in [Difficulty::Easy, Difficulty::Medium, Difficulty::Difficult] {
+        println!(
+            "{:<12} {:>17.0}% {:>17.0}%",
+            d.to_string(),
+            qakis.success_rate(d),
+            sapphire.success_rate(d)
+        );
+    }
+    println!("\n{:<12} {:>18} {:>18}", "difficulty", "QAKiS attempts", "Sapphire attempts");
+    for d in [Difficulty::Easy, Difficulty::Medium, Difficulty::Difficult] {
+        println!(
+            "{:<12} {:>18.1} {:>18.1}",
+            d.to_string(),
+            qakis.avg_attempts(d),
+            sapphire.avg_attempts(d)
+        );
+    }
+    let (pred, lit, relax, any) = sapphire.suggestion_usage();
+    println!("\nQSM usage: {pred:.0}% alt-predicates, {lit:.0}% alt-literals, {relax:.0}% relaxations, {any:.0}% any");
+}

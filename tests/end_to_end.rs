@@ -1,0 +1,132 @@
+//! End-to-end integration: generated dataset → endpoint → initialization →
+//! session → QCM → run → QSM → accepted suggestion, across crate boundaries.
+
+use std::sync::Arc;
+
+use sapphire_core::prelude::*;
+use sapphire_core::InitMode;
+use sapphire_datagen::{generate, DatasetConfig};
+
+fn pum() -> PredictiveUserModel {
+    let graph = generate(DatasetConfig::tiny(42));
+    let ep: Arc<dyn Endpoint> =
+        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    PredictiveUserModel::initialize(
+        vec![ep],
+        Lexicon::dbpedia_default(),
+        SapphireConfig { processes: 2, ..SapphireConfig::default() },
+        InitMode::Federated,
+    )
+    .expect("init")
+}
+
+#[test]
+fn full_pipeline_composes_and_answers() {
+    let pum = pum();
+    let mut session = Session::new(&pum);
+
+    // Compose "time zone of Salt Lake City" from keywords only.
+    session.set_row(0, TripleInput::new("?city", "name", "Salt Lake City"));
+    session.set_row(1, TripleInput::new("?city", "time zone", "?tz"));
+    let result = session.run().expect("runs");
+    assert!(result.executed);
+    assert_eq!(result.answers.solutions().values("tz").next().unwrap().lexical(), "UTC-07:00");
+}
+
+#[test]
+fn qcm_serves_predicates_and_literals_together() {
+    let pum = pum();
+    // "al" should surface the almaMater predicate and cached literals.
+    let completions = pum.complete("alma");
+    assert!(completions
+        .suggestions
+        .iter()
+        .any(|c| c.predicate_iri.as_deref() == Some("http://dbpedia.org/ontology/almaMater")));
+    let completions = pum.complete("Thatcher");
+    assert!(completions.suggestions.iter().any(|c| c.text.contains("Thatcher")));
+}
+
+#[test]
+fn misspelling_recovers_through_alternative_literal() {
+    let pum = pum();
+    let mut session = Session::new(&pum);
+    session.set_row(0, TripleInput::new("?show", "name", "Charmedd"));
+    session.set_row(1, TripleInput::new("?show", "starring", "?actor"));
+    let result = session.run().expect("runs");
+    assert_eq!(result.answers.total_rows(), 0);
+    let alt = result
+        .suggestions
+        .alternatives
+        .iter()
+        .find(|a| a.replacement == "Charmed")
+        .expect("QSM corrects the name");
+    let table = session.apply_alternative(alt);
+    assert_eq!(table.total_rows(), 3, "three Charmed actors");
+}
+
+#[test]
+fn wrong_predicate_recovers_through_lexicon() {
+    let pum = pum();
+    // "wife" resolves via JW/lexicon machinery: either the session resolves
+    // it outright or the QSM suggests spouse.
+    let mut session = Session::new(&pum);
+    session.set_row(0, TripleInput::new("?p", "name", "Tom Hanks"));
+    session.set_row(1, TripleInput::new("?p", "spouse", "?wife"));
+    let result = session.run().expect("runs");
+    assert_eq!(result.answers.total_rows(), 1);
+    assert!(result
+        .answers
+        .solutions()
+        .values("wife")
+        .next()
+        .unwrap()
+        .lexical()
+        .ends_with("Rita_Wilson"));
+}
+
+#[test]
+fn endpoint_counters_track_session_traffic() {
+    let graph = generate(DatasetConfig::tiny(42));
+    let ep = Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let pum = PredictiveUserModel::initialize(
+        vec![ep.clone() as Arc<dyn Endpoint>],
+        Lexicon::dbpedia_default(),
+        SapphireConfig { processes: 2, ..SapphireConfig::default() },
+        InitMode::Federated,
+    )
+    .expect("init");
+    let after_init = ep.stats().queries;
+    assert!(after_init > 10, "initialization issues many queries");
+    let mut session = Session::new(&pum);
+    session.set_row(0, TripleInput::new("?p", "surname", "Kennedys"));
+    session.run().expect("runs");
+    assert!(ep.stats().queries > after_init, "QSM traffic visible at the endpoint");
+}
+
+#[test]
+fn answer_table_operations_work_on_live_results() {
+    let pum = pum();
+    let mut session = Session::new(&pum);
+    session.set_row(0, TripleInput::new("?c", "type", "city"));
+    session.set_row(1, TripleInput::new("?c", "population", "?pop"));
+    let result = session.run().expect("runs");
+    let mut table = result.answers;
+    assert!(table.total_rows() > 10);
+    table.sort_by("pop", true);
+    let top = table.view();
+    let first: f64 = top.rows[0][top.vars.iter().position(|v| v == "pop").unwrap()]
+        .as_ref()
+        .unwrap()
+        .lexical()
+        .parse()
+        .unwrap();
+    let second: f64 = top.rows[1][top.vars.iter().position(|v| v == "pop").unwrap()]
+        .as_ref()
+        .unwrap()
+        .lexical()
+        .parse()
+        .unwrap();
+    assert!(first >= second, "descending sort");
+    table.set_filter("sydney");
+    assert!(!table.view().is_empty());
+}
