@@ -29,9 +29,13 @@ impl EntityIndex {
         let mut index = EntityIndex::default();
         for pred in LABEL_PREDICATES {
             let q = format!("SELECT ?s ?o WHERE {{ ?s <{pred}> ?o }}");
-            let Ok(sols) = endpoint.select(&q) else { continue };
+            let Ok(sols) = endpoint.select(&q) else {
+                continue;
+            };
             for r in 0..sols.len() {
-                let (Some(s), Some(o)) = (sols.get(r, "s"), sols.get(r, "o")) else { continue };
+                let (Some(s), Some(o)) = (sols.get(r, "s"), sols.get(r, "o")) else {
+                    continue;
+                };
                 if !o.is_literal() {
                     continue;
                 }
@@ -51,7 +55,10 @@ impl EntityIndex {
 
     /// Entities whose label exactly matches the normalized phrase.
     pub fn lookup(&self, phrase: &str) -> &[String] {
-        self.labels.get(&normalize(phrase)).map(Vec::as_slice).unwrap_or(&[])
+        self.labels
+            .get(&normalize(phrase))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Find the longest label occurring as a word subsequence of the
@@ -107,7 +114,10 @@ res:SLC a dbo:City ; dbo:name "Salt Lake City"@en .
     fn build_and_lookup() {
         let idx = EntityIndex::build(&endpoint());
         assert!(!idx.is_empty());
-        assert_eq!(idx.lookup("john f. kennedy"), &["http://dbpedia.org/resource/JFK".to_string()]);
+        assert_eq!(
+            idx.lookup("john f. kennedy"),
+            &["http://dbpedia.org/resource/JFK".to_string()]
+        );
         assert_eq!(idx.lookup("Salt  Lake CITY").len(), 1);
         assert!(idx.lookup("atlantis").is_empty());
     }
@@ -121,7 +131,9 @@ res:SLC a dbo:City ; dbo:name "Salt Lake City"@en .
         assert_eq!(phrase, "salt lake city");
         assert_eq!(ents.len(), 1);
         // "Kennedy" (surname) vs "John F. Kennedy" (name): longer wins.
-        let (phrase, _) = idx.longest_mention("Who was John F. Kennedy's vice president?").unwrap();
+        let (phrase, _) = idx
+            .longest_mention("Who was John F. Kennedy's vice president?")
+            .unwrap();
         assert_eq!(phrase, "john f kennedy");
     }
 }

@@ -53,7 +53,11 @@ impl ComparisonHarness {
     /// Generate the dataset, initialize Sapphire, and build all baselines.
     pub fn build(dataset: DatasetConfig, sapphire_config: SapphireConfig) -> Self {
         let graph = generate(dataset);
-        let endpoint = Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+        let endpoint = Arc::new(LocalEndpoint::new(
+            "dbpedia",
+            graph,
+            EndpointLimits::warehouse(),
+        ));
         let ep_dyn: Arc<dyn Endpoint> = endpoint.clone();
         let lexicon = Lexicon::dbpedia_default();
         let pum = PredictiveUserModel::initialize(
@@ -67,7 +71,15 @@ impl ComparisonHarness {
         let kbqa = Kbqa::build(ep_dyn.clone());
         let s4 = S4::build(ep_dyn.clone());
         let sparqlbye = SparqlByE::build(ep_dyn);
-        ComparisonHarness { endpoint, pum, qakis, kbqa, s4, sparqlbye, questions: qald_style_50() }
+        ComparisonHarness {
+            endpoint,
+            pum,
+            qakis,
+            kbqa,
+            s4,
+            sparqlbye,
+            questions: qald_style_50(),
+        }
     }
 
     /// Gold answers for a question.
@@ -136,7 +148,9 @@ impl ComparisonHarness {
             session.set_row(i, row.clone());
         }
         session.modifiers.distinct = true;
-        let Ok(query) = session.build_query() else { return (false, Grade::Wrong) };
+        let Ok(query) = session.build_query() else {
+            return (false, Grade::Wrong);
+        };
         let answers = self.s4.answer(&query);
         (!answers.is_empty(), grade(&answers, gold))
     }
@@ -166,7 +180,9 @@ impl ComparisonHarness {
         session.modifiers.limit = q.script.limit;
         session.modifiers.count = q.script.count;
         session.modifiers.filters = q.script.filters.clone();
-        let Ok(run) = session.run() else { return (false, Grade::Wrong) };
+        let Ok(run) = session.run() else {
+            return (false, Grade::Wrong);
+        };
         let mut best = grade(run.answers.solutions(), gold);
         let mut answered = !run.answers.solutions().is_empty();
         if best != Grade::Correct {
@@ -209,7 +225,11 @@ mod tests {
     fn harness() -> ComparisonHarness {
         ComparisonHarness::build(
             DatasetConfig::tiny(42),
-            SapphireConfig { processes: 2, suffix_tree_capacity: 2_000, ..SapphireConfig::for_tests() },
+            SapphireConfig {
+                processes: 2,
+                suffix_tree_capacity: 2_000,
+                ..SapphireConfig::for_tests()
+            },
         )
     }
 
@@ -237,7 +257,11 @@ mod tests {
             assert!(sapphire.f1() > other.f1());
         }
         // 2. KBQA: perfect precision, low recall (factoid-only).
-        assert!(kbqa.precision() >= 0.99, "KBQA precision {}", kbqa.precision());
+        assert!(
+            kbqa.precision() >= 0.99,
+            "KBQA precision {}",
+            kbqa.precision()
+        );
         assert!(kbqa.recall() < sapphire.recall());
         // 3. S4 beats the NL systems on precision (correct terms given).
         assert!(s4.precision() > qakis.precision());
@@ -245,7 +269,11 @@ mod tests {
         assert!(bye.processed <= qakis.processed);
         assert!(bye.recall() < s4.recall());
         // 5. Sapphire's precision is 1.0 (it only shows what the data holds).
-        assert!(sapphire.precision() > 0.95, "Sapphire precision {}", sapphire.precision());
+        assert!(
+            sapphire.precision() > 0.95,
+            "Sapphire precision {}",
+            sapphire.precision()
+        );
     }
 
     #[test]

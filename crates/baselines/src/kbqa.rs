@@ -28,24 +28,96 @@ struct Template {
 }
 
 const TEMPLATES: &[Template] = &[
-    Template { pattern: "when was $e born", predicate: "birthDate", forward: true },
-    Template { pattern: "what is the birth date of $e", predicate: "birthDate", forward: true },
-    Template { pattern: "where was $e born", predicate: "birthPlace", forward: true },
-    Template { pattern: "who is the spouse of $e", predicate: "spouse", forward: true },
-    Template { pattern: "who is the wife of $e", predicate: "spouse", forward: true },
-    Template { pattern: "who is $e married to", predicate: "spouse", forward: true },
-    Template { pattern: "what is the population of $e", predicate: "population", forward: true },
-    Template { pattern: "how many people live in $e", predicate: "population", forward: true },
-    Template { pattern: "what is the capital of $e", predicate: "capital", forward: true },
-    Template { pattern: "what is the currency of $e", predicate: "currency", forward: true },
-    Template { pattern: "what is the time zone of $e", predicate: "timeZone", forward: true },
-    Template { pattern: "who created $e", predicate: "creator", forward: true },
-    Template { pattern: "who is the creator of $e", predicate: "creator", forward: true },
-    Template { pattern: "who designed $e", predicate: "designer", forward: true },
-    Template { pattern: "who are the children of $e", predicate: "child", forward: true },
-    Template { pattern: "who are the parents of $e", predicate: "parent", forward: true },
-    Template { pattern: "what is the depth of $e", predicate: "depth", forward: true },
-    Template { pattern: "how deep is $e", predicate: "depth", forward: true },
+    Template {
+        pattern: "when was $e born",
+        predicate: "birthDate",
+        forward: true,
+    },
+    Template {
+        pattern: "what is the birth date of $e",
+        predicate: "birthDate",
+        forward: true,
+    },
+    Template {
+        pattern: "where was $e born",
+        predicate: "birthPlace",
+        forward: true,
+    },
+    Template {
+        pattern: "who is the spouse of $e",
+        predicate: "spouse",
+        forward: true,
+    },
+    Template {
+        pattern: "who is the wife of $e",
+        predicate: "spouse",
+        forward: true,
+    },
+    Template {
+        pattern: "who is $e married to",
+        predicate: "spouse",
+        forward: true,
+    },
+    Template {
+        pattern: "what is the population of $e",
+        predicate: "population",
+        forward: true,
+    },
+    Template {
+        pattern: "how many people live in $e",
+        predicate: "population",
+        forward: true,
+    },
+    Template {
+        pattern: "what is the capital of $e",
+        predicate: "capital",
+        forward: true,
+    },
+    Template {
+        pattern: "what is the currency of $e",
+        predicate: "currency",
+        forward: true,
+    },
+    Template {
+        pattern: "what is the time zone of $e",
+        predicate: "timeZone",
+        forward: true,
+    },
+    Template {
+        pattern: "who created $e",
+        predicate: "creator",
+        forward: true,
+    },
+    Template {
+        pattern: "who is the creator of $e",
+        predicate: "creator",
+        forward: true,
+    },
+    Template {
+        pattern: "who designed $e",
+        predicate: "designer",
+        forward: true,
+    },
+    Template {
+        pattern: "who are the children of $e",
+        predicate: "child",
+        forward: true,
+    },
+    Template {
+        pattern: "who are the parents of $e",
+        predicate: "parent",
+        forward: true,
+    },
+    Template {
+        pattern: "what is the depth of $e",
+        predicate: "depth",
+        forward: true,
+    },
+    Template {
+        pattern: "how deep is $e",
+        predicate: "depth",
+        forward: true,
+    },
 ];
 
 /// The KBQA reimplementation.
@@ -58,7 +130,10 @@ impl Kbqa {
     /// Build over an endpoint.
     pub fn build(endpoint: std::sync::Arc<dyn Endpoint>) -> Self {
         let entities = EntityIndex::build(endpoint.as_ref());
-        Kbqa { fed: FederatedProcessor::single(endpoint), entities }
+        Kbqa {
+            fed: FederatedProcessor::single(endpoint),
+            entities,
+        }
     }
 
     /// Try to match a template exactly, returning `(predicate, forward,
@@ -66,7 +141,9 @@ impl Kbqa {
     fn match_template(&self, question: &str) -> Option<(&'static str, bool, String)> {
         let nq = normalize(question);
         for t in TEMPLATES {
-            let Some(slot_pos) = t.pattern.find("$e") else { continue };
+            let Some(slot_pos) = t.pattern.find("$e") else {
+                continue;
+            };
             let prefix = &t.pattern[..slot_pos];
             let suffix = t.pattern[slot_pos + 2..].trim();
             if !nq.starts_with(prefix.trim_end()) {
@@ -131,7 +208,11 @@ mod tests {
         let k = kbqa();
         let s = k.answer("What is the capital of Australia?");
         assert_eq!(s.len(), 1);
-        assert!(s.rows[0][0].as_ref().unwrap().lexical().ends_with("Canberra"));
+        assert!(s.rows[0][0]
+            .as_ref()
+            .unwrap()
+            .lexical()
+            .ends_with("Canberra"));
     }
 
     #[test]
@@ -146,9 +227,15 @@ mod tests {
     fn refuses_off_template_questions() {
         let k = kbqa();
         // QAKiS would fuzzy-match this; KBQA must stay silent (precision 1.0).
-        assert!(k.answer("Tell me the timezone used by Salt Lake City please").is_empty());
-        assert!(k.answer("Which chess players died where they were born?").is_empty());
-        assert!(k.answer("Which films starring Clint Eastwood did he direct?").is_empty());
+        assert!(k
+            .answer("Tell me the timezone used by Salt Lake City please")
+            .is_empty());
+        assert!(k
+            .answer("Which chess players died where they were born?")
+            .is_empty());
+        assert!(k
+            .answer("Which films starring Clint Eastwood did he direct?")
+            .is_empty());
     }
 
     #[test]

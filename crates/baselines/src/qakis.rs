@@ -51,7 +51,11 @@ impl QaKis {
                 patterns.entry(verbalization).or_default().push(iri.clone());
             }
         }
-        QaKis { fed: FederatedProcessor::single(endpoint), entities, patterns }
+        QaKis {
+            fed: FederatedProcessor::single(endpoint),
+            entities,
+            patterns,
+        }
     }
 
     /// Match the non-entity words of a question against the pattern store.
@@ -79,7 +83,10 @@ impl QaKis {
         let mut best: Option<(f64, &str)> = None;
         for (pat, preds) in &self.patterns {
             let pat_words: Vec<&str> = pat.split(' ').collect();
-            let overlap = residue.iter().filter(|w| pat_words.contains(&w.as_str())).count();
+            let overlap = residue
+                .iter()
+                .filter(|w| pat_words.contains(&w.as_str()))
+                .count();
             if overlap == 0 {
                 continue;
             }
@@ -102,7 +109,9 @@ impl NlQaSystem for QaKis {
         let Some((mention, entities)) = self.entities.longest_mention(question) else {
             return Solutions::default();
         };
-        let Some(entity) = entities.first() else { return Solutions::default() };
+        let Some(entity) = entities.first() else {
+            return Solutions::default();
+        };
 
         // 2. The residue (minus stopwords and the mention) names the relation.
         let mention_words: Vec<String> = keywords(&mention);
@@ -170,7 +179,11 @@ mod tests {
         // "wife" is not a predicate; the lexicon maps it to spouse.
         let s = q.answer("Who is the wife of Tom Hanks?");
         assert_eq!(s.len(), 1);
-        assert!(s.rows[0][0].as_ref().unwrap().lexical().ends_with("Rita_Wilson"));
+        assert!(s.rows[0][0]
+            .as_ref()
+            .unwrap()
+            .lexical()
+            .ends_with("Rita_Wilson"));
     }
 
     #[test]

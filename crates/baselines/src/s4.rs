@@ -73,7 +73,11 @@ impl S4 {
                 label_predicates.push(p.clone());
             }
         }
-        S4 { fed: FederatedProcessor::single(endpoint), summary, label_predicates }
+        S4 {
+            fed: FederatedProcessor::single(endpoint),
+            summary,
+            label_predicates,
+        }
     }
 
     /// Rewrite a query whose structure may not match the data. Returns `None`
@@ -84,7 +88,9 @@ impl S4 {
         let mut fresh = 0usize;
         let mut new_triples: Vec<TriplePattern> = Vec::new();
         for tp in &mut out.pattern.triples {
-            let TermPattern::Term(Term::Iri(p_iri)) = &tp.predicate else { continue };
+            let TermPattern::Term(Term::Iri(p_iri)) = &tp.predicate else {
+                continue;
+            };
             let info = self.summary.get(p_iri)?;
             let literal_object = matches!(&tp.object, TermPattern::Term(Term::Literal(_)));
             if literal_object && !info.has_literal_range {
@@ -118,7 +124,9 @@ impl S4 {
 
     /// Rewrite and execute.
     pub fn answer(&self, query: &SelectQuery) -> Solutions {
-        let Some(rewritten) = self.rewrite(query) else { return Solutions::default() };
+        let Some(rewritten) = self.rewrite(query) else {
+            return Solutions::default();
+        };
         match self.fed.execute_parsed(&Query::Select(rewritten)) {
             Ok(QueryResult::Solutions(s)) => s,
             _ => Solutions::default(),
@@ -161,17 +169,26 @@ mod tests {
             .map(|t| t.lexical())
             .filter(|l| l.contains("resource"))
             .collect();
-        assert!(books.iter().any(|b| b.ends_with("On_The_Road")), "answers: {answers}");
+        assert!(
+            books.iter().any(|b| b.ends_with("On_The_Road")),
+            "answers: {answers}"
+        );
         assert!(books.iter().any(|b| b.ends_with("Door_Wide_Open")));
     }
 
     #[test]
     fn leaves_well_formed_queries_alone() {
         let s = s4();
-        let q = parse_select(r#"SELECT ?tz WHERE { ?c dbo:name "Salt Lake City"@en . ?c dbo:timeZone ?tz }"#)
-            .unwrap();
+        let q = parse_select(
+            r#"SELECT ?tz WHERE { ?c dbo:name "Salt Lake City"@en . ?c dbo:timeZone ?tz }"#,
+        )
+        .unwrap();
         let rewritten = s.rewrite(&q).unwrap();
-        assert_eq!(rewritten.pattern.triples.len(), 2, "literal-ranged predicates untouched");
+        assert_eq!(
+            rewritten.pattern.triples.len(),
+            2,
+            "literal-ranged predicates untouched"
+        );
         assert_eq!(s.answer(&q).len(), 1);
     }
 

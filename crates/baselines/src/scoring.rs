@@ -28,7 +28,14 @@ pub struct SystemScore {
 impl SystemScore {
     /// An empty measured score.
     pub fn new(name: impl Into<String>, total: usize) -> Self {
-        SystemScore { name: name.into(), processed: 0, right: 0, partial: 0, total, quoted: false }
+        SystemScore {
+            name: name.into(),
+            processed: 0,
+            right: 0,
+            partial: 0,
+            total,
+            quoted: false,
+        }
     }
 
     /// Record one graded, processed question.
@@ -99,7 +106,11 @@ impl SystemScore {
             self.partial_precision(),
             self.f1(),
             self.f1_star(),
-            if self.quoted { "  (quoted from paper)" } else { "" },
+            if self.quoted {
+                "  (quoted from paper)"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -207,7 +218,10 @@ mod tests {
     #[test]
     fn quoted_rows_cover_the_five_uncloned_systems() {
         let names: Vec<String> = quoted_rows().into_iter().map(|r| r.name).collect();
-        assert_eq!(names, vec!["Xser", "APEQ", "QAnswer", "SemGraphQA", "YodaQA"]);
+        assert_eq!(
+            names,
+            vec!["Xser", "APEQ", "QAnswer", "SemGraphQA", "YodaQA"]
+        );
     }
 
     #[test]

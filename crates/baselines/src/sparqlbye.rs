@@ -24,13 +24,19 @@ pub struct SparqlByE {
 impl SparqlByE {
     /// Build over an endpoint.
     pub fn build(endpoint: std::sync::Arc<dyn Endpoint>) -> Self {
-        SparqlByE { fed: FederatedProcessor::single(endpoint), max_rounds: 3 }
+        SparqlByE {
+            fed: FederatedProcessor::single(endpoint),
+            max_rounds: 3,
+        }
     }
 
     /// Constraints of one entity: type IRIs and (predicate, object) pairs.
     fn constraints_of(&self, entity: &str) -> BTreeMap<(String, String), ()> {
         let mut out = BTreeMap::new();
-        if let Ok(s) = self.fed.select(&format!("SELECT ?p ?o WHERE {{ <{entity}> ?p ?o }}")) {
+        if let Ok(s) = self
+            .fed
+            .select(&format!("SELECT ?p ?o WHERE {{ <{entity}> ?p ?o }}"))
+        {
             for r in 0..s.len() {
                 if let (Some(p), Some(o)) = (s.get(r, "p"), s.get(r, "o")) {
                     // Constraints shared by everything carry no signal; the
@@ -75,7 +81,9 @@ impl SparqlByE {
                 query.push_str(&format!("?x <{p}> {o} . "));
             }
             query.push('}');
-            let Ok(candidates) = self.fed.select(&query) else { return None };
+            let Ok(candidates) = self.fed.select(&query) else {
+                return None;
+            };
             if candidates.is_empty() {
                 return None;
             }
@@ -144,7 +152,10 @@ mod tests {
         let gold = examples.clone();
         let oracle = |c: &str| gold.iter().any(|g| g == c);
         let answers = b.learn(&examples, &oracle).expect("learns a query");
-        let found: Vec<String> = answers.values("x").map(|t| t.lexical().to_string()).collect();
+        let found: Vec<String> = answers
+            .values("x")
+            .map(|t| t.lexical().to_string())
+            .collect();
         assert!(found.contains(&resource("On_The_Road")));
         assert!(found.contains(&resource("Door_Wide_Open")));
         // Doctor Sax shares the author but not the publisher; the common
@@ -163,7 +174,10 @@ mod tests {
         let b = bye();
         // Birthdays are literals: no properties to probe.
         assert!(b
-            .learn(&["1972-12-19".to_string(), "1973-12-03".to_string()], &|_| true)
+            .learn(
+                &["1972-12-19".to_string(), "1973-12-03".to_string()],
+                &|_| true
+            )
             .is_none());
     }
 

@@ -16,9 +16,21 @@ fn bench_completion(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("qcm_complete");
     group.sample_size(20);
-    for (label, capacity) in [("tree_40k", 40_000usize), ("tree_1k", 1_000), ("no_tree", 0)] {
-        let config = SapphireConfig { suffix_tree_capacity: capacity, processes: 4, ..SapphireConfig::default() };
-        let cache = Arc::new(CachedData::from_raw(predicates.clone(), literals.clone(), &config));
+    for (label, capacity) in [
+        ("tree_40k", 40_000usize),
+        ("tree_1k", 1_000),
+        ("no_tree", 0),
+    ] {
+        let config = SapphireConfig {
+            suffix_tree_capacity: capacity,
+            processes: 4,
+            ..SapphireConfig::default()
+        };
+        let cache = Arc::new(CachedData::from_raw(
+            predicates.clone(),
+            literals.clone(),
+            &config,
+        ));
         let qcm = QueryCompletion::new(cache, config);
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -33,8 +45,16 @@ fn bench_completion(c: &mut Criterion) {
     let mut group = c.benchmark_group("qcm_scan_workers");
     group.sample_size(20);
     for p in [1usize, 2, 4, 8] {
-        let config = SapphireConfig { suffix_tree_capacity: 0, processes: p, ..SapphireConfig::default() };
-        let cache = Arc::new(CachedData::from_raw(predicates.clone(), literals.clone(), &config));
+        let config = SapphireConfig {
+            suffix_tree_capacity: 0,
+            processes: p,
+            ..SapphireConfig::default()
+        };
+        let cache = Arc::new(CachedData::from_raw(
+            predicates.clone(),
+            literals.clone(),
+            &config,
+        ));
         let qcm = QueryCompletion::new(cache, config);
         group.bench_with_input(BenchmarkId::from_parameter(p), &qcm, |b, qcm| {
             b.iter(|| black_box(qcm.complete(black_box("ing"))))

@@ -16,10 +16,16 @@ fn bench_qsm(c: &mut Criterion) {
     let graph = generate(DatasetConfig::tiny(42));
     let literals = harvest_literals(&graph, "en", 80);
     let predicates = harvest_predicates(&graph);
-    let config = SapphireConfig { processes: 4, ..SapphireConfig::default() };
+    let config = SapphireConfig {
+        processes: 4,
+        ..SapphireConfig::default()
+    };
     let cache = Arc::new(CachedData::from_raw(predicates, literals, &config));
-    let endpoint: Arc<dyn Endpoint> =
-        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let endpoint: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::warehouse(),
+    ));
     let fed = FederatedProcessor::single(endpoint);
     let qsm = QuerySuggestion::new(cache, Lexicon::dbpedia_default(), config);
 

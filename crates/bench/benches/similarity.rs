@@ -2,8 +2,8 @@
 //! Jaro vs Levenshtein, across string lengths typical of cached literals.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sapphire_text::{jaro, jaro_winkler, levenshtein};
+use std::hint::black_box;
 
 fn bench_measures(c: &mut Criterion) {
     let pairs = [
@@ -16,15 +16,19 @@ fn bench_measures(c: &mut Criterion) {
     group.sample_size(50);
     for (a, b) in pairs {
         let id = format!("{}x{}", a.len(), b.len());
-        group.bench_with_input(BenchmarkId::new("jaro_winkler", &id), &(a, b), |bench, (a, b)| {
-            bench.iter(|| black_box(jaro_winkler(black_box(a), black_box(b))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("jaro_winkler", &id),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| black_box(jaro_winkler(black_box(a), black_box(b)))),
+        );
         group.bench_with_input(BenchmarkId::new("jaro", &id), &(a, b), |bench, (a, b)| {
             bench.iter(|| black_box(jaro(black_box(a), black_box(b))))
         });
-        group.bench_with_input(BenchmarkId::new("levenshtein", &id), &(a, b), |bench, (a, b)| {
-            bench.iter(|| black_box(levenshtein(black_box(a), black_box(b))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("levenshtein", &id),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| black_box(levenshtein(black_box(a), black_box(b)))),
+        );
     }
     group.finish();
 }

@@ -2,9 +2,9 @@
 //! shapes the workload and the initialization queries use.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use sapphire_datagen::{generate, DatasetConfig};
 use sapphire_sparql::{evaluate_select, parse_select, WorkBudget};
+use std::hint::black_box;
 
 fn bench_queries(c: &mut Criterion) {
     let graph = generate(DatasetConfig::small(42));

@@ -14,19 +14,28 @@ use sapphire_rdf::Term;
 
 fn bench_relax(c: &mut Criterion) {
     let graph = generate(DatasetConfig::tiny(42));
-    let endpoint: Arc<dyn Endpoint> =
-        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let endpoint: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::warehouse(),
+    ));
     let fed = FederatedProcessor::single(endpoint);
     let preferred: HashSet<String> = ["author", "publisher", "writer"]
         .iter()
         .map(|p| format!("http://dbpedia.org/ontology/{p}"))
         .collect();
-    let groups = vec![vec![Term::en("Jack Kerouac")], vec![Term::en("Viking Press")]];
+    let groups = vec![
+        vec![Term::en("Jack Kerouac")],
+        vec![Term::en("Viking Press")],
+    ];
 
     let mut group = c.benchmark_group("steiner_relax");
     group.sample_size(10);
     for budget in [10usize, 50, 100] {
-        let config = SteinerConfig { query_budget: budget, ..SteinerConfig::default() };
+        let config = SteinerConfig {
+            query_budget: budget,
+            ..SteinerConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(budget), &config, |b, config| {
             let relaxer = StructureRelaxer::new(&fed, *config, preferred.clone());
             b.iter(|| black_box(relaxer.relax(black_box(&groups))))

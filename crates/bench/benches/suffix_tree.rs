@@ -4,14 +4,18 @@
 //! comparison against a naive linear scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sapphire_bench::harvest_literals;
 use sapphire_datagen::{generate, DatasetConfig};
 use sapphire_suffix::SuffixTree;
+use std::hint::black_box;
 
 fn corpus(n: usize) -> Vec<String> {
     let graph = generate(DatasetConfig::small(42));
-    harvest_literals(&graph, "en", 80).into_iter().take(n).map(|(l, _)| l).collect()
+    harvest_literals(&graph, "en", 80)
+        .into_iter()
+        .take(n)
+        .map(|(l, _)| l)
+        .collect()
 }
 
 fn bench_lookup_vs_size(c: &mut Criterion) {
@@ -45,8 +49,11 @@ fn bench_tree_vs_linear_scan(c: &mut Criterion) {
     });
     group.bench_function("linear_scan", |b| {
         b.iter(|| {
-            let hits: Vec<&String> =
-                strings.iter().filter(|s| s.contains(black_box("Spring"))).take(10).collect();
+            let hits: Vec<&String> = strings
+                .iter()
+                .filter(|s| s.contains(black_box("Spring")))
+                .take(10)
+                .collect();
             black_box(hits)
         })
     });
@@ -63,5 +70,10 @@ fn bench_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lookup_vs_size, bench_tree_vs_linear_scan, bench_construction);
+criterion_group!(
+    benches,
+    bench_lookup_vs_size,
+    bench_tree_vs_linear_scan,
+    bench_construction
+);
 criterion_main!(benches);

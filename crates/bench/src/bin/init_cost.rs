@@ -23,11 +23,18 @@ fn main() {
     // mid-size classes, small enough that root-level scans time out and force
     // hierarchy descent — the §5.1 mechanism under test.
     let budget = (triples as u64 / 3).max(4_000);
-    let limits = EndpointLimits { timeout_work: Some(budget), reject_above: None, max_results: None };
+    let limits = EndpointLimits {
+        timeout_work: Some(budget),
+        reject_above: None,
+        max_results: None,
+    };
     let endpoint = LocalEndpoint::new("dbpedia", graph, limits);
     println!("dataset: {triples} triples; per-query work budget: {budget}");
 
-    for (label, mode) in [("federated (Q1–Q8)", InitMode::Federated), ("warehouse (Q9/Q10)", InitMode::Warehouse)] {
+    for (label, mode) in [
+        ("federated (Q1–Q8)", InitMode::Federated),
+        ("warehouse (Q9/Q10)", InitMode::Warehouse),
+    ] {
         endpoint.reset_stats();
         // The tree capacity is scaled to the corpus the way the paper's 40K
         // tree relates to DBpedia's 21M cacheable literals: a small indexed
@@ -35,16 +42,27 @@ fn main() {
         let mut config = experiment_config();
         config.suffix_tree_capacity = 1_000;
         let start = Instant::now();
-        let (cache, stats) = Initializer::new(&endpoint, &config, mode).run().expect("init succeeds");
+        let (cache, stats) = Initializer::new(&endpoint, &config, mode)
+            .run()
+            .expect("init succeeds");
         let elapsed = start.elapsed();
 
         println!("{}", heading(&format!("Initialization — {label}")));
         println!("wall time:                {elapsed:?}  (paper: 17 h against live DBpedia)");
         println!("metadata queries (Q1–Q4): {}", stats.metadata_queries);
         println!("filter queries (Q5):      {}", stats.filter_queries);
-        println!("literal queries (Q6/Q7):  {}  (paper: ≈800)", stats.literal_queries);
-        println!("significance (Q8):        {}  (paper: ≈3000)", stats.significance_queries);
-        println!("timeouts:                 {}  (paper: ≈200)", stats.timeouts);
+        println!(
+            "literal queries (Q6/Q7):  {}  (paper: ≈800)",
+            stats.literal_queries
+        );
+        println!(
+            "significance (Q8):        {}  (paper: ≈3000)",
+            stats.significance_queries
+        );
+        println!(
+            "timeouts:                 {}  (paper: ≈200)",
+            stats.timeouts
+        );
         println!("total queries:            {}", stats.total_queries());
         println!("literals cached:          {}", stats.literals_cached);
         println!(
@@ -68,6 +86,8 @@ fn main() {
     }
 
     println!("{}", heading("shape checks"));
-    println!("  (re-run the federated path with an unconstrained endpoint for the no-timeout baseline)");
+    println!(
+        "  (re-run the federated path with an unconstrained endpoint for the no-timeout baseline)"
+    );
     endpoint.reset_stats();
 }

@@ -8,7 +8,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use sapphire_bench::{experiment_config, harvest_literals, harvest_predicates, heading, scale_from_args};
+use sapphire_bench::{
+    experiment_config, harvest_literals, harvest_predicates, heading, scale_from_args,
+};
 use sapphire_core::{CachedData, QueryCompletion, SapphireConfig};
 use sapphire_datagen::generate;
 
@@ -16,8 +18,26 @@ use sapphire_datagen::generate;
 /// and predicate keywords at various lengths).
 fn probe_terms() -> Vec<&'static str> {
     vec![
-        "Ken", "Kenn", "Kennedy", "New", "Sal", "Salt Lake", "alma", "birth", "spo", "pop",
-        "Viking", "Kerouac", "Char", "Thatcher", "Aus", "pres", "Spiel", "East", "Gold", "Lake",
+        "Ken",
+        "Kenn",
+        "Kennedy",
+        "New",
+        "Sal",
+        "Salt Lake",
+        "alma",
+        "birth",
+        "spo",
+        "pop",
+        "Viking",
+        "Kerouac",
+        "Char",
+        "Thatcher",
+        "Aus",
+        "pres",
+        "Spiel",
+        "East",
+        "Gold",
+        "Lake",
     ]
 }
 
@@ -27,19 +47,33 @@ fn main() {
     let graph = generate(dataset);
     let literals = harvest_literals(&graph, "en", 80);
     let predicates = harvest_predicates(&graph);
-    println!("corpus: {} predicates, {} distinct literals", predicates.len(), literals.len());
+    println!(
+        "corpus: {} predicates, {} distinct literals",
+        predicates.len(),
+        literals.len()
+    );
 
     let base = experiment_config();
 
     // ---- Hit ratio & latency vs suffix-tree size (paper: 40K literals → 50% hit ratio) ----
-    println!("{}", heading("QCM: suffix-tree size vs hit ratio and latency"));
+    println!(
+        "{}",
+        heading("QCM: suffix-tree size vs hit ratio and latency")
+    );
     println!(
         "{:<12} {:>12} {:>10} {:>14} {:>14} {:>12}",
         "tree size", "tree strings", "hit ratio", "tree time/op", "bins time/op", "tree bytes"
     );
     for capacity in [0usize, 1_000, 5_000, 20_000, 40_000] {
-        let config = SapphireConfig { suffix_tree_capacity: capacity, ..base.clone() };
-        let cache = Arc::new(CachedData::from_raw(predicates.clone(), literals.clone(), &config));
+        let config = SapphireConfig {
+            suffix_tree_capacity: capacity,
+            ..base.clone()
+        };
+        let cache = Arc::new(CachedData::from_raw(
+            predicates.clone(),
+            literals.clone(),
+            &config,
+        ));
         let qcm = QueryCompletion::new(cache.clone(), config);
         let mut hits = 0usize;
         let mut tree_ns = 0u128;
@@ -66,7 +100,10 @@ fn main() {
     // over 21M residual literals). The generated corpus is small, so the
     // worker sweep uses an enlarged synthetic residual corpus where scan time
     // dominates thread-coordination overhead, as it does at DBpedia scale.
-    println!("{}", heading("QCM: residual-bin scan time vs worker count (tree disabled)"));
+    println!(
+        "{}",
+        heading("QCM: residual-bin scan time vs worker count (tree disabled)")
+    );
     let scan_corpus: Vec<(String, u64)> = {
         // Variants stay close to the original lengths so they land in the
         // length bands the probe terms search.
@@ -77,15 +114,25 @@ fn main() {
         big
     };
     println!("synthetic residual corpus: {} literals", scan_corpus.len());
-    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
     println!("host cores: {cores} (the paper's 0.6 s → 0.16 s scaling needs ≥8; on a");
     println!("single-core host this sweep verifies Algorithm 1's work division and");
     println!("measures coordination overhead instead of speedup)");
     println!("{:<8} {:>14} {:>10}", "P", "avg scan time", "speedup");
     let mut t1 = 0.0f64;
     for p in [1usize, 2, 4, 8] {
-        let config = SapphireConfig { suffix_tree_capacity: 0, processes: p, ..base.clone() };
-        let cache = Arc::new(CachedData::from_raw(predicates.clone(), scan_corpus.clone(), &config));
+        let config = SapphireConfig {
+            suffix_tree_capacity: 0,
+            processes: p,
+            ..base.clone()
+        };
+        let cache = Arc::new(CachedData::from_raw(
+            predicates.clone(),
+            scan_corpus.clone(),
+            &config,
+        ));
         // Measure the Algorithm-1 scan itself (what §7.3.1 times): the rest
         // of complete() — top-k selection — is measured in the tree sweep.
         for t in probe_terms() {
@@ -102,12 +149,23 @@ fn main() {
         if p == 1 {
             t1 = per_op;
         }
-        println!("{:<8} {:>11.3} ms {:>9.2}x", p, per_op * 1_000.0, t1 / per_op);
+        println!(
+            "{:<8} {:>11.3} ms {:>9.2}x",
+            p,
+            per_op * 1_000.0,
+            t1 / per_op
+        );
     }
 
     // ---- Length-filter elimination (paper: ≈46% on average) ----
-    println!("{}", heading("QCM: % of residual literals eliminated by the length filter"));
-    let config = SapphireConfig { suffix_tree_capacity: 0, ..base };
+    println!(
+        "{}",
+        heading("QCM: % of residual literals eliminated by the length filter")
+    );
+    let config = SapphireConfig {
+        suffix_tree_capacity: 0,
+        ..base
+    };
     let cache = Arc::new(CachedData::from_raw(predicates, literals, &config));
     let qcm = QueryCompletion::new(cache, config);
     let mut total = 0.0;
@@ -117,5 +175,9 @@ fn main() {
         total += ratio;
         n += 1;
     }
-    println!("average over {} probe terms: {:.0}% eliminated (paper: ≈46%)", n, 100.0 * total / n as f64);
+    println!(
+        "average over {} probe terms: {:.0}% eliminated (paper: ≈46%)",
+        n,
+        100.0 * total / n as f64
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     println!("(building harness…)");
     let harness = ComparisonHarness::build(dataset, experiment_config());
 
-    println!("{}", heading("QSM: suggestion latency per executed query (§7.3.2)"));
+    println!(
+        "{}",
+        heading("QSM: suggestion latency per executed query (§7.3.2)")
+    );
     println!(
         "{:<6} {:>9} {:>10} {:>8} {:>8} {:>10}",
         "qid", "latency", "relax-qrys", "#alts", "#relax", "flattened"
@@ -35,7 +38,9 @@ fn main() {
             session.set_row(i, row.clone());
         }
         session.modifiers.distinct = true;
-        let Ok(query) = session.build_query() else { continue };
+        let Ok(query) = session.build_query() else {
+            continue;
+        };
         let out = harness.pum.qsm().suggest(&query, harness.pum.federation());
         let relax_queries: usize = out.relaxations.iter().map(|r| r.relaxed.queries_used).sum();
         latencies.push(out.elapsed.as_secs_f64());
@@ -51,8 +56,20 @@ fn main() {
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let avg = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
-    let p95 = latencies.get(latencies.len().saturating_sub(1).min(latencies.len() * 95 / 100)).copied().unwrap_or(0.0);
-    println!("\naverage QSM latency: {:.1} ms; p95: {:.1} ms", avg * 1_000.0, p95 * 1_000.0);
+    let p95 = latencies
+        .get(
+            latencies
+                .len()
+                .saturating_sub(1)
+                .min(latencies.len() * 95 / 100),
+        )
+        .copied()
+        .unwrap_or(0.0);
+    println!(
+        "\naverage QSM latency: {:.1} ms; p95: {:.1} ms",
+        avg * 1_000.0,
+        p95 * 1_000.0
+    );
     println!("(paper: ≈10 s average against live DBpedia over the network; the");
     println!(" bound here is the simulated endpoint — the *budgeted query count*");
     println!(" per relaxation, capped at 100, is the comparable quantity)");

@@ -10,7 +10,10 @@ use sapphire_bench::{experiment_config, heading, scale_from_args};
 
 fn main() {
     let dataset = scale_from_args();
-    println!("{}", heading("Table 1 — Comparing systems using questions from QALD-5"));
+    println!(
+        "{}",
+        heading("Table 1 — Comparing systems using questions from QALD-5")
+    );
     println!("(synthetic DBpedia substitute; see DESIGN.md. Building harness…)");
     let harness = ComparisonHarness::build(dataset, experiment_config());
     let measured = harness.run();
@@ -38,19 +41,31 @@ fn main() {
     println!("\nshape checks:");
     println!(
         "  Sapphire best recall among measured systems: {}",
-        measured.iter().all(|r| r.name == "Sapphire" || sapphire.recall() > r.recall())
+        measured
+            .iter()
+            .all(|r| r.name == "Sapphire" || sapphire.recall() > r.recall())
     );
     println!(
         "  Sapphire best F1 among measured systems:     {}",
-        measured.iter().all(|r| r.name == "Sapphire" || sapphire.f1() > r.f1())
+        measured
+            .iter()
+            .all(|r| r.name == "Sapphire" || sapphire.f1() > r.f1())
     );
-    println!("  KBQA precision = 1.0 (factoid-only):         {}", get("KBQA").precision() >= 0.99);
+    println!(
+        "  KBQA precision = 1.0 (factoid-only):         {}",
+        get("KBQA").precision() >= 0.99
+    );
     println!(
         "  S4 second-best measured recall:              {}",
-        measured.iter().all(|r| ["S4", "Sapphire"].contains(&r.name.as_str()) || get("S4").recall() >= r.recall())
+        measured
+            .iter()
+            .all(|r| ["S4", "Sapphire"].contains(&r.name.as_str())
+                || get("S4").recall() >= r.recall())
     );
     println!(
         "  SPARQLByE answers fewest questions:          {}",
-        measured.iter().all(|r| r.name == "SPARQLByE" || get("SPARQLByE").processed <= r.processed)
+        measured
+            .iter()
+            .all(|r| r.name == "SPARQLByE" || get("SPARQLByE").processed <= r.processed)
     );
 }

@@ -35,7 +35,10 @@ pub fn dataset_for(scale: &str) -> DatasetConfig {
 /// a worker count matching the host).
 pub fn experiment_config() -> SapphireConfig {
     SapphireConfig {
-        processes: std::thread::available_parallelism().map(usize::from).unwrap_or(8).min(8),
+        processes: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(8)
+            .min(8),
         ..SapphireConfig::default()
     }
 }
@@ -81,8 +84,16 @@ pub fn harvest_predicates(graph: &Graph) -> Vec<(String, u64)> {
 
 /// Render a labelled horizontal ASCII bar (the report binaries' "figures").
 pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
-    let filled = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
-    format!("{label:<28} {:<width$} {value:>7.1}", "#".repeat(filled.min(width)), width = width)
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    format!(
+        "{label:<28} {:<width$} {value:>7.1}",
+        "#".repeat(filled.min(width)),
+        width = width
+    )
 }
 
 /// A section header for report output.

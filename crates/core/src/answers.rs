@@ -19,7 +19,12 @@ pub struct AnswerTable {
 impl AnswerTable {
     /// Wrap a solution set.
     pub fn new(solutions: Solutions) -> Self {
-        AnswerTable { solutions, hidden: Vec::new(), filter: None, sort: None }
+        AnswerTable {
+            solutions,
+            hidden: Vec::new(),
+            filter: None,
+            sort: None,
+        }
     }
 
     /// The raw underlying solutions (unfiltered).
@@ -36,7 +41,11 @@ impl AnswerTable {
     /// keyword (case-insensitive) remain visible.
     pub fn set_filter(&mut self, keyword: impl Into<String>) {
         let k = keyword.into();
-        self.filter = if k.trim().is_empty() { None } else { Some(k.to_lowercase()) };
+        self.filter = if k.trim().is_empty() {
+            None
+        } else {
+            Some(k.to_lowercase())
+        };
     }
 
     /// Clear the keyword filter.
@@ -100,7 +109,10 @@ impl AnswerTable {
             })
             .map(|row| cols.iter().map(|&c| row[c].clone()).collect())
             .collect();
-        let vars: Vec<String> = cols.iter().map(|&c| self.solutions.vars[c].clone()).collect();
+        let vars: Vec<String> = cols
+            .iter()
+            .map(|&c| self.solutions.vars[c].clone())
+            .collect();
         if let Some((col, desc)) = &self.sort {
             if let Some(idx) = vars.iter().position(|v| v == col) {
                 rows.sort_by(|a, b| {
@@ -149,9 +161,18 @@ mod tests {
         AnswerTable::new(Solutions {
             vars: vec!["person".into(), "name".into()],
             rows: vec![
-                vec![Some(Term::iri("http://x/John_Kennedy")), Some(Term::en("John F. Kennedy"))],
-                vec![Some(Term::iri("http://x/Robert_Kennedy")), Some(Term::en("Robert Kennedy"))],
-                vec![Some(Term::iri("http://x/John_Kerry")), Some(Term::en("John Kerry"))],
+                vec![
+                    Some(Term::iri("http://x/John_Kennedy")),
+                    Some(Term::en("John F. Kennedy")),
+                ],
+                vec![
+                    Some(Term::iri("http://x/Robert_Kennedy")),
+                    Some(Term::en("Robert Kennedy")),
+                ],
+                vec![
+                    Some(Term::iri("http://x/John_Kerry")),
+                    Some(Term::en("John Kerry")),
+                ],
             ],
         })
     }
@@ -219,7 +240,11 @@ mod tests {
         });
         t.sort_by("n", false);
         let v = t.view();
-        let vals: Vec<&str> = v.rows.iter().map(|r| r[0].as_ref().unwrap().lexical()).collect();
+        let vals: Vec<&str> = v
+            .rows
+            .iter()
+            .map(|r| r[0].as_ref().unwrap().lexical())
+            .collect();
         assert_eq!(vals, vec!["9", "10", "100"]);
     }
 }

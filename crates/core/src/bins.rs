@@ -86,7 +86,12 @@ impl ResidualBins {
     /// Scan the bins in `range` with `P = processes` workers, collecting
     /// every literal for which `accept` returns a score. Work is divided
     /// with Algorithm 1. Returns `(LitId, score)` pairs in worker order.
-    pub fn scan_parallel<F>(&self, range: Range<usize>, processes: usize, accept: F) -> Vec<(LitId, f64)>
+    pub fn scan_parallel<F>(
+        &self,
+        range: Range<usize>,
+        processes: usize,
+        accept: F,
+    ) -> Vec<(LitId, f64)>
     where
         F: Fn(&str) -> Option<f64> + Sync,
     {
@@ -96,13 +101,13 @@ impl ResidualBins {
         }
         let tasks = assign_tasks(&bins, processes.max(1));
         let mut results: Vec<Vec<(LitId, f64)>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .iter()
                 .map(|task| {
                     let accept = &accept;
                     let bins = &bins;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut found = Vec::new();
                         for seg in task {
                             for &id in &bins[seg.bin][seg.range.clone()] {
@@ -118,8 +123,7 @@ impl ResidualBins {
             for h in handles {
                 results.push(h.join().expect("scan worker panicked"));
             }
-        })
-        .expect("scan scope panicked");
+        });
         results.into_iter().flatten().collect()
     }
 }
@@ -158,12 +162,18 @@ pub fn assign_tasks(bins: &[&[LitId]], processes: usize) -> Vec<Vec<Segment>> {
             }
             if j < remaining_capacity {
                 // Process takes all remaining literals in this bin.
-                tasks[pid].push(Segment { bin: bin_idx, range: offset..bin.len() });
+                tasks[pid].push(Segment {
+                    bin: bin_idx,
+                    range: offset..bin.len(),
+                });
                 remaining_capacity -= j;
                 j = 0;
             } else {
                 // Process takes exactly its remaining capacity and retires.
-                tasks[pid].push(Segment { bin: bin_idx, range: offset..offset + remaining_capacity });
+                tasks[pid].push(Segment {
+                    bin: bin_idx,
+                    range: offset..offset + remaining_capacity,
+                });
                 offset += remaining_capacity;
                 j -= remaining_capacity;
                 remaining_capacity = capacity;
@@ -221,7 +231,12 @@ mod tests {
 
     #[test]
     fn assign_tasks_covers_everything_exactly_once() {
-        for sizes in [vec![10, 3, 7], vec![1, 1, 1, 1], vec![100], vec![0, 5, 0, 5]] {
+        for sizes in [
+            vec![10, 3, 7],
+            vec![1, 1, 1, 1],
+            vec![100],
+            vec![0, 5, 0, 5],
+        ] {
             for p in 1..=8 {
                 let owned = bins_with(&sizes);
                 let bins: Vec<&[LitId]> = owned.iter().map(Vec::as_slice).collect();
@@ -234,7 +249,11 @@ mod tests {
                     .collect();
                 seen.sort_unstable();
                 let total: usize = sizes.iter().sum();
-                assert_eq!(seen, (0..total as u32).collect::<Vec<_>>(), "sizes {sizes:?} p {p}");
+                assert_eq!(
+                    seen,
+                    (0..total as u32).collect::<Vec<_>>(),
+                    "sizes {sizes:?} p {p}"
+                );
             }
         }
     }

@@ -5,11 +5,152 @@
 //! significant literals), and the residual bins (every other cached literal,
 //! keyed by length).
 
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
 use sapphire_suffix::SuffixTree;
 use sapphire_text::{jaro_winkler_ci, surface_form};
 
 use crate::bins::{LitId, ResidualBins};
 use crate::config::SapphireConfig;
+
+/// Hit/miss/eviction counters of a [`BoundedCache`].
+///
+/// The init-time structures in this module ([`CachedData`]) are bounded by
+/// construction — the suffix tree is capped at
+/// [`SapphireConfig::suffix_tree_capacity`] strings and the residual bins
+/// hold the remainder of a corpus fixed at initialization, so neither grows
+/// at serving time. Anything cached *per request* (QCM completions, QSM run
+/// results) would grow without bound, which is why the serving layer's
+/// response cache is built on [`BoundedCache`] below.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an evicted entry).
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A capacity-bounded LRU map with hit/miss/eviction counters.
+///
+/// Recency is tracked with monotonically increasing stamps plus a lazily
+/// pruned queue, giving amortized O(1) `get`/`insert` without a linked list.
+/// The structure is single-threaded by design; concurrent users (the server's
+/// sharded response cache) wrap shards in their own locks.
+#[derive(Debug)]
+pub struct BoundedCache<K, V> {
+    capacity: usize,
+    entries: HashMap<K, (V, u64)>,
+    /// `(stamp, key)` in stamp order; stale pairs (stamp no longer current
+    /// for the key) are skipped during eviction.
+    order: VecDeque<(u64, K)>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl<K: Clone + Eq + Hash, V> BoundedCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of live entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn touch(&mut self, key: K) -> u64 {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.order.push_back((stamp, key));
+        stamp
+    }
+
+    /// Look up `key`, refreshing its recency on a hit. Accepts borrowed key
+    /// forms (`&str` for `String` keys) so hot paths don't allocate just to
+    /// probe the cache.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
+        if self.entries.contains_key(key) {
+            self.stats.hits += 1;
+            let stamp = self.touch(key.to_owned());
+            let entry = self.entries.get_mut(key).expect("entry present");
+            entry.1 = stamp;
+            Some(&entry.0)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Insert (or replace) an entry, evicting the least recently used entry
+    /// if the cache is over capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        let stamp = self.touch(key.clone());
+        self.entries.insert(key, (value, stamp));
+        while self.entries.len() > self.capacity {
+            match self.order.pop_front() {
+                Some((stamp, key)) => {
+                    // Only evict if this is the key's *current* stamp;
+                    // otherwise the pair is a stale residue of a later touch.
+                    if self.entries.get(&key).is_some_and(|(_, s)| *s == stamp) {
+                        self.entries.remove(&key);
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        // Keep the queue from accumulating unbounded stale pairs.
+        if self.order.len() > self.capacity.saturating_mul(4).max(64) {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        let entries = &self.entries;
+        self.order
+            .retain(|(stamp, key)| entries.get(key).is_some_and(|(_, s)| s == stamp));
+    }
+}
 
 /// A cached RDFS/OWL class, discovered by initialization query Q2 (or the
 /// Q3 type fallback). Users express `rdf:type` constraints with keywords
@@ -97,7 +238,11 @@ impl CachedData {
         literals.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
         literals.dedup_by(|a, b| a.0 == b.0);
         // Significance order: highest score first, ties by shorter text.
-        literals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())).then(a.0.cmp(&b.0)));
+        literals.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.0.len().cmp(&b.0.len()))
+                .then(a.0.cmp(&b.0))
+        });
 
         let split = literals.len().min(config.suffix_tree_capacity);
         let significant: Vec<(String, u64)> = literals[..split].to_vec();
@@ -119,7 +264,14 @@ impl CachedData {
             bins.add(text.clone());
         }
 
-        CachedData { predicates, bins, tree, tree_entries, significant, classes: Vec::new() }
+        CachedData {
+            predicates,
+            bins,
+            tree,
+            tree_entries,
+            significant,
+            classes: Vec::new(),
+        }
     }
 
     /// Attach the classes discovered during initialization.
@@ -183,7 +335,11 @@ impl CachedData {
                     TreeEntry::Predicate(i) => Some(self.predicates[i].iri.clone()),
                     TreeEntry::Literal => None,
                 };
-                CacheMatch { text, predicate_iri, source: MatchSource::SuffixTree }
+                CacheMatch {
+                    text,
+                    predicate_iri,
+                    source: MatchSource::SuffixTree,
+                }
             })
             .collect()
     }
@@ -253,7 +409,11 @@ impl CachedData {
                 out.push((text.clone(), score));
             }
         }
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         out.dedup_by(|a, b| a.0 == b.0);
         out
     }
@@ -269,7 +429,11 @@ mod tests {
     use super::*;
 
     fn sample_cache() -> CachedData {
-        let config = SapphireConfig { suffix_tree_capacity: 3, processes: 2, ..SapphireConfig::for_tests() };
+        let config = SapphireConfig {
+            suffix_tree_capacity: 3,
+            processes: 2,
+            ..SapphireConfig::for_tests()
+        };
         CachedData::from_raw(
             vec![
                 ("http://dbpedia.org/ontology/almaMater".into(), 50),
@@ -305,7 +469,10 @@ mod tests {
         let matches = c.tree_lookup("mater", 10);
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].text, "alma mater");
-        assert_eq!(matches[0].predicate_iri.as_deref(), Some("http://dbpedia.org/ontology/almaMater"));
+        assert_eq!(
+            matches[0].predicate_iri.as_deref(),
+            Some("http://dbpedia.org/ontology/almaMater")
+        );
         let matches = c.tree_lookup("York", 10);
         assert!(matches.iter().all(|m| m.predicate_iri.is_none()));
         assert_eq!(matches.len(), 1, "York Minster is residual, not in tree");
@@ -328,7 +495,10 @@ mod tests {
         let c = sample_cache();
         let sims = c.similar_predicates("birth place", 0.7);
         assert!(!sims.is_empty());
-        assert_eq!(c.predicates[sims[0].0].iri, "http://dbpedia.org/ontology/birthPlace");
+        assert_eq!(
+            c.predicates[sims[0].0].iri,
+            "http://dbpedia.org/ontology/birthPlace"
+        );
     }
 
     #[test]
@@ -339,7 +509,10 @@ mod tests {
             sims.iter().any(|(t, _)| t == "Kennedy"),
             "significant literal reachable: {sims:?}"
         );
-        assert!(sims.iter().any(|(t, _)| t == "Kenneth"), "residual literal reachable");
+        assert!(
+            sims.iter().any(|(t, _)| t == "Kenneth"),
+            "residual literal reachable"
+        );
         // Sorted by score: "Kennedy" ranks above "Kenneth".
         let kennedy = sims.iter().position(|(t, _)| t == "Kennedy").unwrap();
         let kenneth = sims.iter().position(|(t, _)| t == "Kenneth").unwrap();
@@ -348,7 +521,10 @@ mod tests {
 
     #[test]
     fn duplicate_literals_keep_highest_score() {
-        let config = SapphireConfig { suffix_tree_capacity: 1, ..SapphireConfig::for_tests() };
+        let config = SapphireConfig {
+            suffix_tree_capacity: 1,
+            ..SapphireConfig::for_tests()
+        };
         let c = CachedData::from_raw(
             vec![],
             vec![("dup".into(), 1), ("dup".into(), 99), ("other".into(), 5)],
@@ -361,7 +537,59 @@ mod tests {
     #[test]
     fn predicate_by_iri() {
         let c = sample_cache();
-        assert!(c.predicate_by_iri("http://dbpedia.org/ontology/spouse").is_some());
+        assert!(c
+            .predicate_by_iri("http://dbpedia.org/ontology/spouse")
+            .is_some());
         assert!(c.predicate_by_iri("http://nope/").is_none());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru() {
+        let mut c: BoundedCache<&str, u32> = BoundedCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh "a" — "b" is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"b"), None, "least recently used entry evicted");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        let stats = c.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn bounded_cache_replace_does_not_grow() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
+        for i in 0..100 {
+            c.insert(1, i);
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(&99));
+        assert_eq!(c.stats().evictions, 0, "replacing a key never evicts");
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(8);
+        for i in 0..1000 {
+            c.insert(i % 50, i);
+            assert!(c.len() <= 8);
+            // Interleave lookups so recency stamps churn the order queue.
+            c.get(&(i % 7));
+        }
+        assert!(c.order.len() <= 8 * 4 + 50, "stale stamps are compacted");
+        assert!(c.stats().hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn bounded_cache_hit_ratio_bounds() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(2);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.insert(1, 1);
+        c.get(&1);
+        assert!((c.stats().hit_ratio() - 1.0).abs() < f64::EPSILON);
     }
 }

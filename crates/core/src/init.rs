@@ -62,7 +62,10 @@ pub struct InitStats {
 impl InitStats {
     /// Total queries issued to the endpoint.
     pub fn total_queries(&self) -> u64 {
-        self.metadata_queries + self.filter_queries + self.literal_queries + self.significance_queries
+        self.metadata_queries
+            + self.filter_queries
+            + self.literal_queries
+            + self.significance_queries
     }
 }
 
@@ -93,7 +96,14 @@ pub struct Initializer<'a> {
 impl<'a> Initializer<'a> {
     /// Create an initializer.
     pub fn new(endpoint: &'a dyn Endpoint, config: &'a SapphireConfig, mode: InitMode) -> Self {
-        Initializer { endpoint, config, mode, stats: InitStats::default(), literals: HashMap::new(), classes: Vec::new() }
+        Initializer {
+            endpoint,
+            config,
+            mode,
+            stats: InitStats::default(),
+            literals: HashMap::new(),
+            classes: Vec::new(),
+        }
     }
 
     /// Run the full §5 pipeline and assemble the cache.
@@ -175,7 +185,12 @@ impl<'a> Initializer<'a> {
                     if self.over_limit() {
                         break;
                     }
-                    self.walk_hierarchy(iri, &start_classes, &hierarchy, RetrievalKind::Significance);
+                    self.walk_hierarchy(
+                        iri,
+                        &start_classes,
+                        &hierarchy,
+                        RetrievalKind::Significance,
+                    );
                 }
             }
         }
@@ -184,7 +199,10 @@ impl<'a> Initializer<'a> {
         let mut classes: Vec<CachedClass> = self
             .classes
             .iter()
-            .map(|iri| CachedClass { surface: surface_form(iri), iri: iri.clone() })
+            .map(|iri| CachedClass {
+                surface: surface_form(iri),
+                iri: iri.clone(),
+            })
             .collect();
         classes.sort_by(|a, b| a.iri.cmp(&b.iri));
         classes.dedup_by(|a, b| a.iri == b.iri);
@@ -196,7 +214,9 @@ impl<'a> Initializer<'a> {
 
     fn metadata(&mut self, query: &str) -> Result<Solutions, InitError> {
         self.stats.metadata_queries += 1;
-        self.endpoint.select(query).map_err(|e| InitError::Metadata(e.to_string()))
+        self.endpoint
+            .select(query)
+            .map_err(|e| InitError::Metadata(e.to_string()))
     }
 
     fn over_limit(&mut self) -> bool {
@@ -384,10 +404,16 @@ impl<'a> Initializer<'a> {
                 }
             }
             RetrievalKind::Significance => {
-                let Some(freq_col) = s.vars.iter().position(|v| v == "frequency") else { return };
-                let Some(o_col) = s.vars.iter().position(|v| v == "o") else { return };
+                let Some(freq_col) = s.vars.iter().position(|v| v == "frequency") else {
+                    return;
+                };
+                let Some(o_col) = s.vars.iter().position(|v| v == "o") else {
+                    return;
+                };
                 for row in &s.rows {
-                    let (Some(o), Some(f)) = (&row[o_col], &row[freq_col]) else { continue };
+                    let (Some(o), Some(f)) = (&row[o_col], &row[freq_col]) else {
+                        continue;
+                    };
                     let score: u64 = f.lexical().parse().unwrap_or(0);
                     let entry = self.literals.entry(o.lexical().to_string()).or_insert(0);
                     *entry = (*entry).max(score);
@@ -415,8 +441,12 @@ enum PageOutcome {
 
 /// Extract `(iri, frequency)` pairs from a two-column metadata result.
 fn pairs(s: &Solutions) -> Vec<(String, u64)> {
-    let Some(p_col) = s.vars.iter().position(|v| v == "p") else { return Vec::new() };
-    let Some(f_col) = s.vars.iter().position(|v| v == "frequency") else { return Vec::new() };
+    let Some(p_col) = s.vars.iter().position(|v| v == "p") else {
+        return Vec::new();
+    };
+    let Some(f_col) = s.vars.iter().position(|v| v == "frequency") else {
+        return Vec::new();
+    };
     s.rows
         .iter()
         .filter_map(|row| {
@@ -450,7 +480,11 @@ res:French a dbo:City ; dbo:name "Londres"@fr .
 "#;
 
     fn endpoint(work: Option<u64>) -> LocalEndpoint {
-        let limits = EndpointLimits { timeout_work: work, reject_above: None, max_results: None };
+        let limits = EndpointLimits {
+            timeout_work: work,
+            reject_above: None,
+            max_results: None,
+        };
         LocalEndpoint::new("fixture", turtle::parse(FIXTURE).unwrap(), limits)
     }
 
@@ -458,7 +492,9 @@ res:French a dbo:City ; dbo:name "Londres"@fr .
     fn federated_init_caches_filtered_literals() {
         let ep = endpoint(None);
         let config = SapphireConfig::for_tests();
-        let (cache, stats) = Initializer::new(&ep, &config, InitMode::Federated).run().unwrap();
+        let (cache, stats) = Initializer::new(&ep, &config, InitMode::Federated)
+            .run()
+            .unwrap();
         // English, < 80 chars: the five names.
         let mut all: Vec<String> = cache
             .significant
@@ -469,26 +505,46 @@ res:French a dbo:City ; dbo:name "Londres"@fr .
         all.sort();
         assert_eq!(
             all,
-            vec!["Ada Lovelace", "Alan Turing", "Grantham", "London", "Margaret Thatcher"]
+            vec![
+                "Ada Lovelace",
+                "Alan Turing",
+                "Grantham",
+                "London",
+                "Margaret Thatcher"
+            ]
         );
         assert!(stats.literal_queries > 0);
         assert!(stats.significance_queries > 0);
         assert_eq!(stats.timeouts, 0);
         // All predicates cached, not only literal-bearing ones.
-        assert!(cache.predicate_by_iri("http://dbpedia.org/ontology/birthPlace").is_some());
-        assert!(cache.predicate_by_iri("http://dbpedia.org/ontology/name").is_some());
+        assert!(cache
+            .predicate_by_iri("http://dbpedia.org/ontology/birthPlace")
+            .is_some());
+        assert!(cache
+            .predicate_by_iri("http://dbpedia.org/ontology/name")
+            .is_some());
     }
 
     #[test]
     fn significance_scores_flow_into_cache() {
         let ep = endpoint(None);
         let config = SapphireConfig::for_tests();
-        let (cache, _) = Initializer::new(&ep, &config, InitMode::Federated).run().unwrap();
+        let (cache, _) = Initializer::new(&ep, &config, InitMode::Federated)
+            .run()
+            .unwrap();
         // "London" is the name of an entity with two incoming edges.
-        let london = cache.significant.iter().find(|(t, _)| t == "London").expect("london significant");
+        let london = cache
+            .significant
+            .iter()
+            .find(|(t, _)| t == "London")
+            .expect("london significant");
         assert_eq!(london.1, 2);
         // Person names have no incoming edges on their entities.
-        let ada = cache.significant.iter().find(|(t, _)| t == "Ada Lovelace").unwrap();
+        let ada = cache
+            .significant
+            .iter()
+            .find(|(t, _)| t == "Ada Lovelace")
+            .unwrap();
         assert_eq!(ada.1, 0);
     }
 
@@ -499,8 +555,14 @@ res:French a dbo:City ; dbo:name "Londres"@fr .
         // would die. The important property: descent still finds literals.
         let ep = endpoint(Some(4_000));
         let config = SapphireConfig::for_tests();
-        let (cache, stats) = Initializer::new(&ep, &config, InitMode::Federated).run().unwrap();
-        assert!(cache.literal_count() >= 5, "cached {} literals", cache.literal_count());
+        let (cache, stats) = Initializer::new(&ep, &config, InitMode::Federated)
+            .run()
+            .unwrap();
+        assert!(
+            cache.literal_count() >= 5,
+            "cached {} literals",
+            cache.literal_count()
+        );
         // Some queries may time out; none of this should abort init.
         let _ = stats.timeouts;
     }
@@ -509,7 +571,9 @@ res:French a dbo:City ; dbo:name "Londres"@fr .
     fn warehouse_mode_uses_q9_q10() {
         let ep = endpoint(None);
         let config = SapphireConfig::for_tests();
-        let (cache, stats) = Initializer::new(&ep, &config, InitMode::Warehouse).run().unwrap();
+        let (cache, stats) = Initializer::new(&ep, &config, InitMode::Warehouse)
+            .run()
+            .unwrap();
         assert_eq!(cache.literal_count(), 5);
         assert!(stats.literal_queries >= 1);
         assert!(stats.significance_queries >= 1);
@@ -518,17 +582,28 @@ res:French a dbo:City ; dbo:name "Londres"@fr .
     #[test]
     fn query_limit_stops_early() {
         let ep = endpoint(None);
-        let config = SapphireConfig { init_query_limit: Some(3), ..SapphireConfig::for_tests() };
-        let (_, stats) = Initializer::new(&ep, &config, InitMode::Federated).run().unwrap();
+        let config = SapphireConfig {
+            init_query_limit: Some(3),
+            ..SapphireConfig::for_tests()
+        };
+        let (_, stats) = Initializer::new(&ep, &config, InitMode::Federated)
+            .run()
+            .unwrap();
         assert!(stats.stopped_by_limit);
-        assert!(stats.total_queries() <= 4, "issued {}", stats.total_queries());
+        assert!(
+            stats.total_queries() <= 4,
+            "issued {}",
+            stats.total_queries()
+        );
     }
 
     #[test]
     fn endpoint_stats_reflect_init_traffic() {
         let ep = endpoint(None);
         let config = SapphireConfig::for_tests();
-        let (_, stats) = Initializer::new(&ep, &config, InitMode::Federated).run().unwrap();
+        let (_, stats) = Initializer::new(&ep, &config, InitMode::Federated)
+            .run()
+            .unwrap();
         assert_eq!(ep.stats().queries, stats.total_queries());
     }
 }

@@ -62,13 +62,28 @@ pub mod qsm;
 pub mod session;
 
 pub use answers::AnswerTable;
-pub use cache::{CacheMatch, CachedClass, CachedData, CachedPredicate, MatchSource};
+pub use cache::{
+    BoundedCache, CacheMatch, CacheStats, CachedClass, CachedData, CachedPredicate, MatchSource,
+};
 pub use config::{SapphireConfig, SteinerConfig};
 pub use init::{InitError, InitMode, InitStats, Initializer};
 pub use pum::{PredictiveUserModel, PumError, RunOutcome};
 pub use qcm::{Completion, CompletionResult, QueryCompletion};
 pub use qsm::{QsmOutput, QuerySuggestion, RelaxedQuery, StructureSuggestion, TermAlternative};
 pub use session::{Modifiers, RunResult, Session, SessionError, TripleInput};
+
+// The serving layer shares one `PredictiveUserModel` (and its `CachedData`)
+// across every worker thread behind an `Arc`, so these types must stay
+// `Send + Sync`. Interior mutability in any hot read path would silently
+// break that; fail compilation instead.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PredictiveUserModel>();
+    assert_send_sync::<CachedData>();
+    assert_send_sync::<QueryCompletion>();
+    assert_send_sync::<QuerySuggestion>();
+    assert_send_sync::<BoundedCache<String, String>>();
+};
 
 /// Common imports for downstream users.
 pub mod prelude {

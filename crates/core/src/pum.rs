@@ -74,11 +74,15 @@ impl PredictiveUserModel {
         let mut literals: Vec<(String, u64)> = Vec::new();
         let mut init_stats = Vec::new();
         for ep in endpoints {
-            let (cache, stats) =
-                Initializer::new(ep.as_ref(), &config, mode).run().map_err(PumError::Init)?;
+            let (cache, stats) = Initializer::new(ep.as_ref(), &config, mode)
+                .run()
+                .map_err(PumError::Init)?;
             init_stats.push((ep.name().to_string(), stats));
             for p in cache.predicates {
-                if !predicates.iter().any(|q: &crate::cache::CachedPredicate| q.iri == p.iri) {
+                if !predicates
+                    .iter()
+                    .any(|q: &crate::cache::CachedPredicate| q.iri == p.iri)
+                {
                     predicates.push(p);
                 }
             }
@@ -93,7 +97,8 @@ impl PredictiveUserModel {
             }
             fed.register(ep);
         }
-        let cache = Arc::new(CachedData::assemble(predicates, literals, &config).with_classes(classes));
+        let cache =
+            Arc::new(CachedData::assemble(predicates, literals, &config).with_classes(classes));
         Ok(Self::from_cache(cache, lexicon, fed, config, init_stats))
     }
 
@@ -155,7 +160,11 @@ impl PredictiveUserModel {
             _ => (Solutions::default(), false),
         };
         let suggestions = self.qsm.suggest(query, &self.fed);
-        RunOutcome { answers, executed, suggestions }
+        RunOutcome {
+            answers,
+            executed,
+            suggestions,
+        }
     }
 
     /// Parse and run a query string.
@@ -200,11 +209,22 @@ res:RFK a dbo:Person ; dbo:surname "Kennedy"@en ; dbo:name "Robert F. Kennedy"@e
         let completions = p.complete("Kenn");
         assert!(completions.suggestions.iter().any(|c| c.text == "Kennedy"));
         // Running the misspelled Figure-2 query yields a "Kennedy" rewrite.
-        let out = p.run_str(r#"SELECT ?p WHERE { ?p dbo:surname "Kennedys"@en }"#).unwrap();
+        let out = p
+            .run_str(r#"SELECT ?p WHERE { ?p dbo:surname "Kennedys"@en }"#)
+            .unwrap();
         assert!(out.executed);
         assert!(out.answers.is_empty());
-        assert!(out.suggestions.alternatives.iter().any(|a| a.replacement == "Kennedy"));
-        let alt = out.suggestions.alternatives.iter().find(|a| a.replacement == "Kennedy").unwrap();
+        assert!(out
+            .suggestions
+            .alternatives
+            .iter()
+            .any(|a| a.replacement == "Kennedy"));
+        let alt = out
+            .suggestions
+            .alternatives
+            .iter()
+            .find(|a| a.replacement == "Kennedy")
+            .unwrap();
         assert_eq!(alt.answer_count(), 2);
     }
 

@@ -88,11 +88,13 @@ impl QueryCompletion {
         let tree_matches: Vec<CacheMatch> = self.cache.tree_lookup(t, k);
         result.tree_time = tree_start.elapsed();
         result.tree_hit = !tree_matches.is_empty();
-        result.suggestions.extend(tree_matches.into_iter().map(|m| Completion {
-            text: m.text,
-            predicate_iri: m.predicate_iri,
-            source: MatchSource::SuffixTree,
-        }));
+        result
+            .suggestions
+            .extend(tree_matches.into_iter().map(|m| Completion {
+                text: m.text,
+                predicate_iri: m.predicate_iri,
+                source: MatchSource::SuffixTree,
+            }));
         if result.suggestions.len() >= k {
             result.suggestions.truncate(k);
             return result;
@@ -101,8 +103,10 @@ impl QueryCompletion {
         // Stage 2: parallel residual-bin scan over lengths |t| ..= |t| + γ.
         let bins_start = Instant::now();
         let len = t.chars().count();
-        result.residual_candidates =
-            self.cache.bins.count_in_range(len..len + self.config.gamma + 1);
+        result.residual_candidates = self
+            .cache
+            .bins
+            .count_in_range(len..len + self.config.gamma + 1);
         let mut ids = self
             .cache
             .residual_lookup(t, self.config.gamma, self.config.processes);
@@ -111,7 +115,10 @@ impl QueryCompletion {
         // literal for the sort dominated QCM latency on large match sets.
         ids.sort_unstable_by(|&a, &b| {
             let (la, lb) = (self.cache.bins.literal(a), self.cache.bins.literal(b));
-            la.chars().count().cmp(&lb.chars().count()).then_with(|| la.cmp(lb))
+            la.chars()
+                .count()
+                .cmp(&lb.chars().count())
+                .then_with(|| la.cmp(lb))
         });
         for id in ids.into_iter().take(k - result.suggestions.len()) {
             result.suggestions.push(Completion {
@@ -131,7 +138,10 @@ impl QueryCompletion {
         if total == 0 {
             return 0.0;
         }
-        let surviving = self.cache.bins.count_in_range(term_len..term_len + self.config.gamma + 1);
+        let surviving = self
+            .cache
+            .bins
+            .count_in_range(term_len..term_len + self.config.gamma + 1);
         1.0 - surviving as f64 / total as f64
     }
 }
@@ -160,7 +170,10 @@ mod tests {
             ("Newcastle".to_string(), 0),
             ("Jacqueline Kennedy Onassis".to_string(), 0),
         ];
-        QueryCompletion::new(Arc::new(CachedData::from_raw(predicates, literals, &config)), config)
+        QueryCompletion::new(
+            Arc::new(CachedData::from_raw(predicates, literals, &config)),
+            config,
+        )
     }
 
     #[test]
@@ -186,16 +199,27 @@ mod tests {
             .filter(|s| s.source == MatchSource::ResidualBins)
             .map(|s| s.text.as_str())
             .collect();
-        assert_eq!(residuals, vec!["Kennedys Creek"], "length-15 Kenneth Branagh is outside γ");
+        assert_eq!(
+            residuals,
+            vec!["Kennedys Creek"],
+            "length-15 Kenneth Branagh is outside γ"
+        );
     }
 
     #[test]
     fn predicate_completions_carry_iri() {
         let q = qcm(2);
         let r = q.complete("mater");
-        let pred = r.suggestions.iter().find(|s| s.predicate_iri.is_some()).unwrap();
+        let pred = r
+            .suggestions
+            .iter()
+            .find(|s| s.predicate_iri.is_some())
+            .unwrap();
         assert_eq!(pred.text, "alma mater");
-        assert_eq!(pred.predicate_iri.as_deref(), Some("http://dbpedia.org/ontology/almaMater"));
+        assert_eq!(
+            pred.predicate_iri.as_deref(),
+            Some("http://dbpedia.org/ontology/almaMater")
+        );
     }
 
     #[test]
@@ -209,7 +233,12 @@ mod tests {
 
     #[test]
     fn k_caps_suggestions() {
-        let config = SapphireConfig { k: 2, processes: 2, suffix_tree_capacity: 0, ..SapphireConfig::for_tests() };
+        let config = SapphireConfig {
+            k: 2,
+            processes: 2,
+            suffix_tree_capacity: 0,
+            ..SapphireConfig::for_tests()
+        };
         let literals: Vec<(String, u64)> = (0..20).map(|i| (format!("keyword {i}"), 0)).collect();
         let q = QueryCompletion::new(
             Arc::new(CachedData::from_raw(vec![], literals, &config)),

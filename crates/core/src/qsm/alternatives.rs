@@ -76,7 +76,11 @@ pub struct AlternativeFinder {
 impl AlternativeFinder {
     /// Build a finder.
     pub fn new(cache: Arc<CachedData>, lexicon: Lexicon, config: SapphireConfig) -> Self {
-        AlternativeFinder { cache, lexicon, config }
+        AlternativeFinder {
+            cache,
+            lexicon,
+            config,
+        }
     }
 
     /// Literal alternatives for a single literal value — also used to build
@@ -101,7 +105,10 @@ impl AlternativeFinder {
         let surface = surface_form(iri);
         let mut best: Vec<(String, f64)> = Vec::new();
         for verbalization in self.lexicon.get_lexica(&surface) {
-            for (idx, score) in self.cache.similar_predicates(&verbalization, self.config.theta) {
+            for (idx, score) in self
+                .cache
+                .similar_predicates(&verbalization, self.config.theta)
+            {
                 let alt = &self.cache.predicates[idx];
                 if alt.iri == iri {
                     continue;
@@ -145,9 +152,8 @@ impl AlternativeFinder {
             if let TermPattern::Term(Term::Literal(lit)) = &triple.object {
                 for (alt_text, score) in self.literal_alternatives(&lit.value) {
                     let mut q = query.clone();
-                    q.pattern.triples[ti].object = TermPattern::Term(Term::Literal(
-                        self.replacement_literal(lit, &alt_text),
-                    ));
+                    q.pattern.triples[ti].object =
+                        TermPattern::Term(Term::Literal(self.replacement_literal(lit, &alt_text)));
                     literal_candidates.push(TermAlternative {
                         triple_index: ti,
                         position: AlteredPosition::Object,
@@ -163,7 +169,9 @@ impl AlternativeFinder {
 
         // Lines 13–14: sort by similarity.
         let by_score = |a: &TermAlternative, b: &TermAlternative| {
-            b.similarity.partial_cmp(&a.similarity).unwrap_or(std::cmp::Ordering::Equal)
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
         };
         predicate_candidates.sort_by(by_score);
         literal_candidates.sort_by(by_score);
@@ -226,10 +234,16 @@ res:UoL a dbo:University ; dbo:name "University of London"@en .
 "#;
 
     fn setup() -> (AlternativeFinder, FederatedProcessor) {
-        let config = SapphireConfig { processes: 2, ..SapphireConfig::for_tests() };
+        let config = SapphireConfig {
+            processes: 2,
+            ..SapphireConfig::for_tests()
+        };
         let graph = turtle::parse(DATA).unwrap();
-        let ep: Arc<dyn Endpoint> =
-            Arc::new(LocalEndpoint::new("test", graph, EndpointLimits::warehouse()));
+        let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+            "test",
+            graph,
+            EndpointLimits::warehouse(),
+        ));
         let fed = FederatedProcessor::single(ep);
         let cache = CachedData::from_raw(
             vec![
@@ -246,7 +260,10 @@ res:UoL a dbo:University ; dbo:name "University of London"@en .
             ],
             &config,
         );
-        (AlternativeFinder::new(Arc::new(cache), Lexicon::dbpedia_default(), config.clone()), fed)
+        (
+            AlternativeFinder::new(Arc::new(cache), Lexicon::dbpedia_default(), config.clone()),
+            fed,
+        )
     }
 
     #[test]
@@ -272,7 +289,8 @@ res:UoL a dbo:University ; dbo:name "University of London"@en .
         // the lexicon even though JW("wife", "spouse") < θ.
         let alts = finder.predicate_alternatives("http://dbpedia.org/ontology/wife");
         assert!(
-            alts.iter().any(|(iri, _)| iri == "http://dbpedia.org/ontology/spouse"),
+            alts.iter()
+                .any(|(iri, _)| iri == "http://dbpedia.org/ontology/spouse"),
             "{alts:?}"
         );
     }
@@ -290,7 +308,10 @@ res:UoL a dbo:University ; dbo:name "University of London"@en .
         let q = parse_select(r#"SELECT ?p WHERE { ?p dbo:surname "Lovelacey"@en }"#).unwrap();
         let suggestions = finder.suggest(&q, &fed);
         for s in &suggestions {
-            assert!(s.answer_count() > 0, "suggested queries must return answers");
+            assert!(
+                s.answer_count() > 0,
+                "suggested queries must return answers"
+            );
         }
         assert!(suggestions.iter().any(|s| s.replacement == "Lovelace"));
     }
@@ -301,8 +322,14 @@ res:UoL a dbo:University ; dbo:name "University of London"@en .
         let q = parse_select(r#"SELECT ?p WHERE { ?p dbo:surname "Kennedy Onasis"@en }"#).unwrap();
         let suggestions = finder.suggest(&q, &fed);
         let k = 10;
-        let lits = suggestions.iter().filter(|s| s.position == AlteredPosition::Object).count();
-        let preds = suggestions.iter().filter(|s| s.position == AlteredPosition::Predicate).count();
+        let lits = suggestions
+            .iter()
+            .filter(|s| s.position == AlteredPosition::Object)
+            .count();
+        let preds = suggestions
+            .iter()
+            .filter(|s| s.position == AlteredPosition::Predicate)
+            .count();
         assert!(lits <= k / 2);
         assert!(preds <= k / 2);
     }

@@ -67,7 +67,10 @@ pub struct QuerySuggestion {
 impl QuerySuggestion {
     /// Build a QSM over a cache and lexicon.
     pub fn new(cache: Arc<CachedData>, lexicon: Lexicon, config: SapphireConfig) -> Self {
-        QuerySuggestion { finder: AlternativeFinder::new(cache, lexicon, config.clone()), config }
+        QuerySuggestion {
+            finder: AlternativeFinder::new(cache, lexicon, config.clone()),
+            config,
+        }
     }
 
     /// Access the underlying alternative finder.
@@ -95,7 +98,10 @@ impl QuerySuggestion {
                         .into_iter()
                         .take(self.config.steiner.seeds_per_group.saturating_sub(1))
                     {
-                        group.push(Term::Literal(Literal::lang_tagged(alt, self.config.language.clone())));
+                        group.push(Term::Literal(Literal::lang_tagged(
+                            alt,
+                            self.config.language.clone(),
+                        )));
                     }
                     group
                 })
@@ -113,7 +119,11 @@ impl QuerySuggestion {
             }
         }
 
-        QsmOutput { alternatives, relaxations, elapsed: start.elapsed() }
+        QsmOutput {
+            alternatives,
+            relaxations,
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -175,10 +185,16 @@ res:DoorWideOpen a dbo:Book ; dbo:name "Door Wide Open"@en ; dbo:author res:Kero
 "#;
 
     fn setup() -> (QuerySuggestion, FederatedProcessor) {
-        let config = SapphireConfig { processes: 2, ..SapphireConfig::for_tests() };
+        let config = SapphireConfig {
+            processes: 2,
+            ..SapphireConfig::for_tests()
+        };
         let graph = turtle::parse(DATA).unwrap();
-        let ep: Arc<dyn Endpoint> =
-            Arc::new(LocalEndpoint::new("books", graph, EndpointLimits::warehouse()));
+        let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+            "books",
+            graph,
+            EndpointLimits::warehouse(),
+        ));
         let fed = FederatedProcessor::single(ep);
         let cache = CachedData::from_raw(
             vec![
@@ -195,7 +211,10 @@ res:DoorWideOpen a dbo:Book ; dbo:name "Door Wide Open"@en ; dbo:author res:Kero
             ],
             &config,
         );
-        (QuerySuggestion::new(Arc::new(cache), Lexicon::dbpedia_default(), config), fed)
+        (
+            QuerySuggestion::new(Arc::new(cache), Lexicon::dbpedia_default(), config),
+            fed,
+        )
     }
 
     #[test]
@@ -208,11 +227,18 @@ res:DoorWideOpen a dbo:Book ; dbo:name "Door Wide Open"@en ; dbo:author res:Kero
         )
         .unwrap();
         // Direct execution returns nothing.
-        assert!(fed.select(&format_query(&q)).map(|s| s.is_empty()).unwrap_or(true));
+        assert!(fed
+            .select(&format_query(&q))
+            .map(|s| s.is_empty())
+            .unwrap_or(true));
         let out = qsm.suggest(&q, &fed);
         assert!(!out.relaxations.is_empty(), "structure relaxation expected");
         let answers = &out.relaxations[0].answers;
-        assert!(answers.len() >= 2, "both Viking Press books:\n{}", answers.to_table());
+        assert!(
+            answers.len() >= 2,
+            "both Viking Press books:\n{}",
+            answers.to_table()
+        );
         assert!(out.relaxations[0].relaxed.complete);
     }
 
@@ -244,6 +270,9 @@ res:DoorWideOpen a dbo:Book ; dbo:name "Door Wide Open"@en ; dbo:author res:Kero
         assert!(!out.is_empty());
         assert_eq!(out.len(), out.alternatives.len() + out.relaxations.len());
         // The literal typo should be corrected.
-        assert!(out.alternatives.iter().any(|a| a.replacement == "On The Road"));
+        assert!(out
+            .alternatives
+            .iter()
+            .any(|a| a.replacement == "On The Road"));
     }
 }

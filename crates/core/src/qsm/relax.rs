@@ -21,9 +21,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use sapphire_endpoint::FederatedProcessor;
 use sapphire_rdf::Term;
-use sapphire_sparql::{
-    GraphPattern, Query, QueryResult, SelectQuery, TermPattern, TriplePattern,
-};
+use sapphire_sparql::{GraphPattern, Query, QueryResult, SelectQuery, TermPattern, TriplePattern};
 
 use crate::config::SteinerConfig;
 
@@ -243,14 +241,22 @@ impl<'a> StructureRelaxer<'a> {
         config: SteinerConfig,
         preferred_predicates: HashSet<String>,
     ) -> Self {
-        StructureRelaxer { fed, config, preferred_predicates }
+        StructureRelaxer {
+            fed,
+            config,
+            preferred_predicates,
+        }
     }
 
     fn weight(&self, predicate: &Term) -> u64 {
         let preferred = predicate
             .as_iri()
             .is_some_and(|iri| self.preferred_predicates.contains(iri));
-        let w = if preferred { self.config.weight_query_predicate } else { self.config.weight_default };
+        let w = if preferred {
+            self.config.weight_query_predicate
+        } else {
+            self.config.weight_default
+        };
         (w * 1000.0).round() as u64
     }
 
@@ -279,8 +285,10 @@ impl<'a> StructureRelaxer<'a> {
         let mut active = true;
         while active && !uf.all_connected(groups.len()) {
             active = false;
-            for gi in 0..groups.len() {
-                let Some(Reverse((d, v, siblings))) = searches[gi].heap.pop() else { continue };
+            for (gi, search) in searches.iter_mut().enumerate() {
+                let Some(Reverse((d, v, siblings))) = search.heap.pop() else {
+                    continue;
+                };
                 active = true;
                 match owner.get(&v) {
                     Some(&other) if other == gi => continue, // already settled by us
@@ -300,15 +308,19 @@ impl<'a> StructureRelaxer<'a> {
                 if siblings > explorer.budget_left {
                     continue;
                 }
-                let Some(neighbors) = explorer.expand(&v) else { continue };
+                let Some(neighbors) = explorer.expand(&v) else {
+                    continue;
+                };
                 let fanout = neighbors.len();
                 for (other, pred, outgoing) in neighbors {
                     let nd = d + self.weight(&pred);
-                    let better = searches[gi].dist.get(&other).is_none_or(|&old| nd < old);
+                    let better = search.dist.get(&other).is_none_or(|&old| nd < old);
                     if better {
-                        searches[gi].dist.insert(other.clone(), nd);
-                        searches[gi].parent.insert(other.clone(), (v.clone(), pred, outgoing));
-                        searches[gi].heap.push(Reverse((nd, other, fanout)));
+                        search.dist.insert(other.clone(), nd);
+                        search
+                            .parent
+                            .insert(other.clone(), (v.clone(), pred, outgoing));
+                        search.heap.push(Reverse((nd, other, fanout)));
                     }
                 }
             }
@@ -361,7 +373,13 @@ impl<'a> StructureRelaxer<'a> {
         }
 
         let query = tree_to_query(&tree, &terminals);
-        Some(RelaxedQuery { query, tree, terminals, queries_used: explorer.queries_used, complete })
+        Some(RelaxedQuery {
+            query,
+            tree,
+            terminals,
+            queries_used: explorer.queries_used,
+            complete,
+        })
     }
 
     fn mst(&self, vertices: &HashSet<Term>, edges: &[Edge]) -> Vec<Edge> {
@@ -460,15 +478,26 @@ res:BigSur a dbo:Film ; dbo:name "Big Sur"@en ; dbo:writer res:Kerouac .
 
     fn setup() -> (FederatedProcessor, Arc<LocalEndpoint>) {
         let graph = turtle::parse(KEROUAC).unwrap();
-        let ep = Arc::new(LocalEndpoint::new("books", graph, EndpointLimits::warehouse()));
-        (FederatedProcessor::single(ep.clone() as Arc<dyn Endpoint>), ep)
+        let ep = Arc::new(LocalEndpoint::new(
+            "books",
+            graph,
+            EndpointLimits::warehouse(),
+        ));
+        (
+            FederatedProcessor::single(ep.clone() as Arc<dyn Endpoint>),
+            ep,
+        )
     }
 
     fn preferred() -> HashSet<String> {
-        ["http://dbpedia.org/ontology/writer", "http://dbpedia.org/ontology/publisher", "http://dbpedia.org/ontology/author"]
-            .into_iter()
-            .map(String::from)
-            .collect()
+        [
+            "http://dbpedia.org/ontology/writer",
+            "http://dbpedia.org/ontology/publisher",
+            "http://dbpedia.org/ontology/author",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
     }
 
     #[test]
@@ -491,10 +520,15 @@ res:BigSur a dbo:Film ; dbo:name "Big Sur"@en ; dbo:writer res:Kerouac .
         .unwrap();
         assert!(!sols.is_empty(), "suggested query must have answers");
         // Some variable binds to the two books.
-        let book_col = sols.vars.iter().position(|v| {
-            sols.values(v).any(|t| t.lexical().ends_with("OnTheRoad"))
-        });
-        assert!(book_col.is_some(), "tree should route through the book entity: {}", sols.to_table());
+        let book_col = sols
+            .vars
+            .iter()
+            .position(|v| sols.values(v).any(|t| t.lexical().ends_with("OnTheRoad")));
+        assert!(
+            book_col.is_some(),
+            "tree should route through the book entity: {}",
+            sols.to_table()
+        );
         assert!(relaxed.queries_used <= 100);
     }
 
@@ -508,12 +542,13 @@ res:BigSur a dbo:Film ; dbo:name "Big Sur"@en ; dbo:writer res:Kerouac .
 
     #[test]
     fn disconnected_literals_return_none() {
-        let graph = turtle::parse(
-            r#"res:A dbo:name "Alpha"@en . res:B dbo:name "Beta"@en ."#,
-        )
-        .unwrap();
-        let ep: Arc<dyn Endpoint> =
-            Arc::new(LocalEndpoint::new("iso", graph, EndpointLimits::warehouse()));
+        let graph =
+            turtle::parse(r#"res:A dbo:name "Alpha"@en . res:B dbo:name "Beta"@en ."#).unwrap();
+        let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+            "iso",
+            graph,
+            EndpointLimits::warehouse(),
+        ));
         let fed = FederatedProcessor::single(ep);
         let relaxer = StructureRelaxer::new(&fed, SteinerConfig::default(), HashSet::new());
         let out = relaxer.relax(&[vec![Term::en("Alpha")], vec![Term::en("Beta")]]);
@@ -523,9 +558,15 @@ res:BigSur a dbo:Film ; dbo:name "Big Sur"@en ; dbo:writer res:Kerouac .
     #[test]
     fn budget_is_respected() {
         let (fed, _) = setup();
-        let config = SteinerConfig { query_budget: 3, ..SteinerConfig::default() };
+        let config = SteinerConfig {
+            query_budget: 3,
+            ..SteinerConfig::default()
+        };
         let relaxer = StructureRelaxer::new(&fed, config, preferred());
-        let groups = vec![vec![Term::en("Jack Kerouac")], vec![Term::en("Viking Press")]];
+        let groups = vec![
+            vec![Term::en("Jack Kerouac")],
+            vec![Term::en("Viking Press")],
+        ];
         if let Some(r) = relaxer.relax(&groups) {
             assert!(r.queries_used <= 3);
         }
@@ -535,7 +576,10 @@ res:BigSur a dbo:Film ; dbo:name "Big Sur"@en ; dbo:writer res:Kerouac .
     fn preferred_predicates_guide_the_tree() {
         let (fed, _) = setup();
         let relaxer = StructureRelaxer::new(&fed, SteinerConfig::default(), preferred());
-        let groups = vec![vec![Term::en("Jack Kerouac")], vec![Term::en("Viking Press")]];
+        let groups = vec![
+            vec![Term::en("Jack Kerouac")],
+            vec![Term::en("Viking Press")],
+        ];
         let relaxed = relaxer.relax(&groups).unwrap();
         // Every tree edge should use a preferred predicate or a name/label
         // edge adjacent to a terminal.
@@ -554,7 +598,9 @@ res:BigSur a dbo:Film ; dbo:name "Big Sur"@en ; dbo:writer res:Kerouac .
             vec![Term::en("No Such Person"), Term::en("Jack Kerouac")],
             vec![Term::en("The Viking"), Term::en("Viking Press")],
         ];
-        let relaxed = relaxer.relax(&groups).expect("must connect via real members");
+        let relaxed = relaxer
+            .relax(&groups)
+            .expect("must connect via real members");
         assert!(relaxed.terminals.contains(&Term::en("Jack Kerouac")));
         assert!(relaxed.terminals.contains(&Term::en("Viking Press")));
     }

@@ -31,7 +31,11 @@ pub struct TripleInput {
 impl TripleInput {
     /// Convenience constructor.
     pub fn new(s: impl Into<String>, p: impl Into<String>, o: impl Into<String>) -> Self {
-        TripleInput { subject: s.into(), predicate: p.into(), object: o.into() }
+        TripleInput {
+            subject: s.into(),
+            predicate: p.into(),
+            object: o.into(),
+        }
     }
 }
 
@@ -70,7 +74,10 @@ impl std::fmt::Display for SessionError {
                 write!(f, "subject must be a ?variable or URI, got {s:?}")
             }
             SessionError::UnknownPredicate(p) => {
-                write!(f, "predicate {p:?} matches no variable, URI, or cached predicate")
+                write!(
+                    f,
+                    "predicate {p:?} matches no variable, URI, or cached predicate"
+                )
             }
             SessionError::EmptyQuery => write!(f, "query has no triple patterns"),
         }
@@ -103,7 +110,35 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Start a session against a PUM.
     pub fn new(pum: &'a PredictiveUserModel) -> Self {
-        Session { pum, triples: vec![TripleInput::default()], modifiers: Modifiers::default(), attempts: 0 }
+        Session {
+            pum,
+            triples: vec![TripleInput::default()],
+            modifiers: Modifiers::default(),
+            attempts: 0,
+        }
+    }
+
+    /// Rehydrate a session from externally held state (triple rows, modifiers
+    /// and the attempt counter). The serving layer stores session state in a
+    /// registry and reconstructs a `Session` against the shared model for the
+    /// duration of each request, so no per-session model copy ever exists.
+    pub fn resume(
+        pum: &'a PredictiveUserModel,
+        triples: Vec<TripleInput>,
+        modifiers: Modifiers,
+        attempts: u32,
+    ) -> Self {
+        let triples = if triples.is_empty() {
+            vec![TripleInput::default()]
+        } else {
+            triples
+        };
+        Session {
+            pum,
+            triples,
+            modifiers,
+            attempts,
+        }
     }
 
     /// Number of times "Run" was clicked — an *attempt* in the user study's
@@ -139,7 +174,11 @@ impl<'a> Session<'a> {
         let rows: Vec<&TripleInput> = self
             .triples
             .iter()
-            .filter(|t| !(t.subject.trim().is_empty() && t.predicate.trim().is_empty() && t.object.trim().is_empty()))
+            .filter(|t| {
+                !(t.subject.trim().is_empty()
+                    && t.predicate.trim().is_empty()
+                    && t.object.trim().is_empty())
+            })
             .collect();
         if rows.is_empty() {
             return Err(SessionError::EmptyQuery);
@@ -149,7 +188,8 @@ impl<'a> Session<'a> {
             let subject = parse_subject(&row.subject)?;
             let predicate = self.parse_predicate(&row.predicate)?;
             let object = self.parse_object(&row.object, &predicate);
-            gp.triples.push(TriplePattern::new(subject, predicate, object));
+            gp.triples
+                .push(TriplePattern::new(subject, predicate, object));
         }
         gp.filters.extend(self.modifiers.filters.iter().cloned());
         // "All variables are automatically included in the selection by
@@ -158,7 +198,10 @@ impl<'a> Session<'a> {
         let projection = if self.modifiers.count {
             let target = vars.first().cloned();
             Projection::Items(vec![sapphire_sparql::SelectItem::Agg {
-                agg: sapphire_sparql::Aggregate::Count { distinct: true, var: target },
+                agg: sapphire_sparql::Aggregate::Count {
+                    distinct: true,
+                    var: target,
+                },
                 alias: "count".to_string(),
             }])
         } else {
@@ -166,7 +209,10 @@ impl<'a> Session<'a> {
         };
         let order_by = match &self.modifiers.order_by {
             Some((var, desc)) => {
-                vec![OrderKey { expr: Expr::Var(var.clone()), descending: *desc }]
+                vec![OrderKey {
+                    expr: Expr::Var(var.clone()),
+                    descending: *desc,
+                }]
             }
             None => Vec::new(),
         };
@@ -379,7 +425,9 @@ res:Jack a dbo:Person ; dbo:surname "Kerry"@en ; dbo:name "John Kerry"@en .
         let mut s2 = Session::new(&p);
         s2.set_row(0, TripleInput::new("?x", "surname", "?y"));
         let q = s2.build_query().unwrap();
-        let TermPattern::Term(Term::Iri(iri)) = &q.pattern.triples[0].predicate else { panic!() };
+        let TermPattern::Term(Term::Iri(iri)) = &q.pattern.triples[0].predicate else {
+            panic!()
+        };
         assert_eq!(iri, "http://dbpedia.org/ontology/surname");
         drop(session);
     }
@@ -389,9 +437,15 @@ res:Jack a dbo:Person ; dbo:surname "Kerry"@en ; dbo:name "John Kerry"@en .
         let p = pum();
         let mut s = Session::new(&p);
         s.set_row(0, TripleInput::new("not a uri", "surname", "x"));
-        assert!(matches!(s.build_query(), Err(SessionError::InvalidSubject(_))));
+        assert!(matches!(
+            s.build_query(),
+            Err(SessionError::InvalidSubject(_))
+        ));
         s.set_row(0, TripleInput::new("?x", "zzzqqq", "x"));
-        assert!(matches!(s.build_query(), Err(SessionError::UnknownPredicate(_))));
+        assert!(matches!(
+            s.build_query(),
+            Err(SessionError::UnknownPredicate(_))
+        ));
         let mut empty = Session::new(&p);
         empty.triples.clear();
         assert!(matches!(empty.build_query(), Err(SessionError::EmptyQuery)));
@@ -425,6 +479,10 @@ res:Jack a dbo:Person ; dbo:surname "Kerry"@en ; dbo:name "John Kerry"@en .
     fn completion_passthrough() {
         let p = pum();
         let s = Session::new(&p);
-        assert!(s.complete("Kenn").suggestions.iter().any(|c| c.text.contains("Kennedy")));
+        assert!(s
+            .complete("Kenn")
+            .suggestions
+            .iter()
+            .any(|c| c.text.contains("Kennedy")));
     }
 }

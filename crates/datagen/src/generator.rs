@@ -36,12 +36,26 @@ pub struct DatasetConfig {
 impl DatasetConfig {
     /// A few hundred entities — fast unit tests.
     pub fn tiny(seed: u64) -> Self {
-        DatasetConfig { seed, persons: 60, cities: 20, works: 40, organisations: 15, noise_literals: 40 }
+        DatasetConfig {
+            seed,
+            persons: 60,
+            cities: 20,
+            works: 40,
+            organisations: 15,
+            noise_literals: 40,
+        }
     }
 
     /// A few thousand entities — integration tests and examples.
     pub fn small(seed: u64) -> Self {
-        DatasetConfig { seed, persons: 600, cities: 120, works: 400, organisations: 120, noise_literals: 400 }
+        DatasetConfig {
+            seed,
+            persons: 600,
+            cities: 120,
+            works: 400,
+            organisations: 120,
+            noise_literals: 400,
+        }
     }
 
     /// Tens of thousands of entities — benchmarks.
@@ -87,9 +101,21 @@ fn en(s: impl Into<String>) -> Term {
 fn emit_ontology(g: &mut Graph) {
     for (class, parent) in CLASS_HIERARCHY {
         let class_iri = dbo(class);
-        let parent_iri = if *parent == "Thing" { vocab::owl::THING.to_string() } else { dbo(parent) };
-        g.insert(iri(class_iri.clone()), Term::iri(vocab::rdf::TYPE), Term::iri(vocab::owl::CLASS));
-        g.insert(iri(class_iri), Term::iri(vocab::rdfs::SUB_CLASS_OF), iri(parent_iri));
+        let parent_iri = if *parent == "Thing" {
+            vocab::owl::THING.to_string()
+        } else {
+            dbo(parent)
+        };
+        g.insert(
+            iri(class_iri.clone()),
+            Term::iri(vocab::rdf::TYPE),
+            Term::iri(vocab::owl::CLASS),
+        );
+        g.insert(
+            iri(class_iri),
+            Term::iri(vocab::rdfs::SUB_CLASS_OF),
+            iri(parent_iri),
+        );
     }
     // The root is a class too.
     g.insert(
@@ -104,7 +130,11 @@ fn emit_countries(g: &mut Graph, rng: &mut StdRng, n: usize) -> Vec<String> {
     for i in 0..n {
         let name = names::COUNTRY_NAMES[i % names::COUNTRY_NAMES.len()];
         let id = res(&format!("{}_{}", name.replace(' ', "_"), i));
-        g.insert(iri(id.clone()), Term::iri(vocab::rdf::TYPE), iri(dbo("Country")));
+        g.insert(
+            iri(id.clone()),
+            Term::iri(vocab::rdf::TYPE),
+            iri(dbo("Country")),
+        );
         g.insert(iri(id.clone()), iri(dbo("name")), en(format!("{name} {i}")));
         let currency = names::CURRENCIES[rng.gen_range(0..names::CURRENCIES.len())];
         g.insert(iri(id.clone()), iri(dbo("currency")), en(currency));
@@ -119,7 +149,11 @@ fn emit_cities(g: &mut Graph, rng: &mut StdRng, n: usize, countries: &[String]) 
         let base = names::CITY_NAMES[i % names::CITY_NAMES.len()];
         let id = res(&format!("{base}_{i}"));
         let name = format!("{base} {i}");
-        g.insert(iri(id.clone()), Term::iri(vocab::rdf::TYPE), iri(dbo("City")));
+        g.insert(
+            iri(id.clone()),
+            Term::iri(vocab::rdf::TYPE),
+            iri(dbo("City")),
+        );
         g.insert(iri(id.clone()), iri(dbo("name")), en(&name));
         g.insert(
             iri(id.clone()),
@@ -147,19 +181,35 @@ fn emit_organisations(
         let (class, name, list): (&str, String, &mut Vec<String>) = match i % 3 {
             0 => {
                 let stem = names::UNIVERSITY_STEMS[i % names::UNIVERSITY_STEMS.len()];
-                (("University"), format!("University of {stem} {i}"), &mut orgs.universities)
+                (
+                    ("University"),
+                    format!("University of {stem} {i}"),
+                    &mut orgs.universities,
+                )
             }
             1 => {
                 let stem = names::COMPANY_STEMS[i % names::COMPANY_STEMS.len()];
-                (("Company"), format!("{stem} Corporation {i}"), &mut orgs.companies)
+                (
+                    ("Company"),
+                    format!("{stem} Corporation {i}"),
+                    &mut orgs.companies,
+                )
             }
             _ => {
                 let stem = names::COMPANY_STEMS[(i / 3) % names::COMPANY_STEMS.len()];
-                (("Publisher"), format!("{stem} Press {i}"), &mut orgs.publishers)
+                (
+                    ("Publisher"),
+                    format!("{stem} Press {i}"),
+                    &mut orgs.publishers,
+                )
             }
         };
         let id = res(&name.replace(' ', "_"));
-        g.insert(iri(id.clone()), Term::iri(vocab::rdf::TYPE), iri(dbo(class)));
+        g.insert(
+            iri(id.clone()),
+            Term::iri(vocab::rdf::TYPE),
+            iri(dbo(class)),
+        );
         g.insert(iri(id.clone()), iri(dbo("name")), en(&name));
         g.insert(iri(id.clone()), Term::iri(vocab::rdfs::LABEL), en(&name));
         if class == "Company" {
@@ -199,16 +249,30 @@ fn emit_persons(
     cities: &[String],
     orgs: &Organisations,
 ) -> Persons {
-    const CLASSES: &[&str] =
-        &["Scientist", "Politician", "Actor", "Writer", "ChessPlayer", "MusicalArtist"];
-    let mut persons = Persons { all: Vec::new(), writers: Vec::new(), actors: Vec::new() };
+    const CLASSES: &[&str] = &[
+        "Scientist",
+        "Politician",
+        "Actor",
+        "Writer",
+        "ChessPlayer",
+        "MusicalArtist",
+    ];
+    let mut persons = Persons {
+        all: Vec::new(),
+        writers: Vec::new(),
+        actors: Vec::new(),
+    };
     for i in 0..n {
         let first = names::FIRST_NAMES[rng.gen_range(0..names::FIRST_NAMES.len())];
         let last = names::LAST_NAMES[rng.gen_range(0..names::LAST_NAMES.len())];
         let class = CLASSES[i % CLASSES.len()];
         let id = res(&format!("{first}_{last}_{i}"));
         let name = format!("{first} {last}");
-        g.insert(iri(id.clone()), Term::iri(vocab::rdf::TYPE), iri(dbo(class)));
+        g.insert(
+            iri(id.clone()),
+            Term::iri(vocab::rdf::TYPE),
+            iri(dbo(class)),
+        );
         g.insert(iri(id.clone()), iri(dbo("name")), en(&name));
         g.insert(iri(id.clone()), iri(dbo("surname")), en(last));
         let year = rng.gen_range(1850..2000);
@@ -224,7 +288,11 @@ fn emit_persons(
             g.insert(iri(id.clone()), iri(dbo("birthPlace")), iri(bp.clone()));
             if rng.gen_bool(0.3) {
                 // Some die where they were born, some elsewhere.
-                let dp = if rng.gen_bool(0.3) { bp } else { &cities[rng.gen_range(0..cities.len())] };
+                let dp = if rng.gen_bool(0.3) {
+                    bp
+                } else {
+                    &cities[rng.gen_range(0..cities.len())]
+                };
                 g.insert(iri(id.clone()), iri(dbo("deathPlace")), iri(dp.clone()));
                 let dyear = year + rng.gen_range(30..90);
                 g.insert(
@@ -262,13 +330,7 @@ fn emit_persons(
     persons
 }
 
-fn emit_works(
-    g: &mut Graph,
-    rng: &mut StdRng,
-    n: usize,
-    persons: &Persons,
-    orgs: &Organisations,
-) {
+fn emit_works(g: &mut Graph, rng: &mut StdRng, n: usize, persons: &Persons, orgs: &Organisations) {
     for i in 0..n {
         let head = names::TITLE_HEADS[rng.gen_range(0..names::TITLE_HEADS.len())];
         let tail = names::TITLE_TAILS[rng.gen_range(0..names::TITLE_TAILS.len())];
@@ -279,7 +341,11 @@ fn emit_works(
             1 => "Film",
             _ => "TelevisionShow",
         };
-        g.insert(iri(id.clone()), Term::iri(vocab::rdf::TYPE), iri(dbo(class)));
+        g.insert(
+            iri(id.clone()),
+            Term::iri(vocab::rdf::TYPE),
+            iri(dbo(class)),
+        );
         g.insert(iri(id.clone()), iri(dbo("name")), en(&title));
         match class {
             "Book" => {
@@ -331,7 +397,11 @@ fn emit_works(
 fn emit_noise(g: &mut Graph, rng: &mut StdRng, n: usize) {
     for i in 0..n {
         let id = res(&format!("Noise_{i}"));
-        g.insert(iri(id.clone()), Term::iri(vocab::rdf::TYPE), iri(dbo("Place")));
+        g.insert(
+            iri(id.clone()),
+            Term::iri(vocab::rdf::TYPE),
+            iri(dbo("Place")),
+        );
         match i % 4 {
             0 => {
                 // Misspelled person/city name: duplicate, drop, or swap a char.
@@ -405,12 +475,18 @@ fn materialize_types(g: &mut Graph) {
     let parents: HashMap<String, String> = CLASS_HIERARCHY
         .iter()
         .map(|(c, p)| {
-            let parent = if *p == "Thing" { vocab::owl::THING.to_string() } else { dbo(p) };
+            let parent = if *p == "Thing" {
+                vocab::owl::THING.to_string()
+            } else {
+                dbo(p)
+            };
             (dbo(c), parent)
         })
         .collect();
     let type_term = Term::iri(vocab::rdf::TYPE);
-    let Some(type_id) = g.term_id(&type_term) else { return };
+    let Some(type_id) = g.term_id(&type_term) else {
+        return;
+    };
     let mut to_add: Vec<(Term, Term)> = Vec::new();
     for t in g.matching(None, Some(type_id), None) {
         let subject = g.term(t[0]).clone();
@@ -446,9 +522,15 @@ mod tests {
     #[test]
     fn anchors_survive_generation() {
         let g = generate(DatasetConfig::tiny(1));
-        let s = run(&g, r#"SELECT ?vp WHERE { res:John_F._Kennedy dbo:vicePresident ?vp }"#);
+        let s = run(
+            &g,
+            r#"SELECT ?vp WHERE { res:John_F._Kennedy dbo:vicePresident ?vp }"#,
+        );
         assert_eq!(s.len(), 1);
-        assert_eq!(s.rows[0][0].as_ref().unwrap().lexical(), res("Lyndon_B._Johnson"));
+        assert_eq!(
+            s.rows[0][0].as_ref().unwrap().lexical(),
+            res("Lyndon_B._Johnson")
+        );
     }
 
     #[test]
@@ -481,7 +563,10 @@ mod tests {
             "SELECT ?o WHERE { ?s dbo:name ?o . FILTER(strlen(str(?o)) >= 80) }",
         );
         assert!(!long.is_empty(), "need over-long literals");
-        let french = run(&g, "SELECT ?o WHERE { ?s dbo:name ?o . FILTER(lang(?o) = 'fr') }");
+        let french = run(
+            &g,
+            "SELECT ?o WHERE { ?s dbo:name ?o . FILTER(lang(?o) = 'fr') }",
+        );
         assert!(!french.is_empty(), "need non-English literals");
     }
 

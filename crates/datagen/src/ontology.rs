@@ -39,11 +39,39 @@ pub const CLASS_HIERARCHY: &[(&str, &str)] = &[
 
 /// Predicate local names in the `dbo:` namespace used by the generator.
 pub const PREDICATES: &[&str] = &[
-    "name", "surname", "nickname", "birthDate", "deathDate", "birthPlace", "deathPlace",
-    "spouse", "child", "parent", "almaMater", "affiliation", "vicePresident", "instrument",
-    "office", "author", "publisher", "director", "starring", "writer", "numberOfPages",
-    "budget", "population", "country", "capital", "timeZone", "currency", "designer",
-    "creator", "depth", "industry", "state", "sourceCountry",
+    "name",
+    "surname",
+    "nickname",
+    "birthDate",
+    "deathDate",
+    "birthPlace",
+    "deathPlace",
+    "spouse",
+    "child",
+    "parent",
+    "almaMater",
+    "affiliation",
+    "vicePresident",
+    "instrument",
+    "office",
+    "author",
+    "publisher",
+    "director",
+    "starring",
+    "writer",
+    "numberOfPages",
+    "budget",
+    "population",
+    "country",
+    "capital",
+    "timeZone",
+    "currency",
+    "designer",
+    "creator",
+    "depth",
+    "industry",
+    "state",
+    "sourceCountry",
 ];
 
 /// Hand-authored anchor triples: one cluster per Appendix-B question.
@@ -236,25 +264,28 @@ mod tests {
         let g = sapphire_rdf::turtle::parse(ANCHORS).unwrap();
         let type_iri = sapphire_rdf::Term::iri(sapphire_rdf::vocab::rdf::TYPE);
         let tid = g.term_id(&type_iri).unwrap();
-        let classes: std::collections::HashSet<String> = CLASS_HIERARCHY
-            .iter()
-            .map(|(c, _)| dbo(c))
-            .collect();
+        let classes: std::collections::HashSet<String> =
+            CLASS_HIERARCHY.iter().map(|(c, _)| dbo(c)).collect();
         for t in g.matching(None, Some(tid), None) {
             let class = g.term(t[2]).lexical().to_string();
-            assert!(classes.contains(&class), "anchor type {class} missing from hierarchy");
+            assert!(
+                classes.contains(&class),
+                "anchor type {class} missing from hierarchy"
+            );
         }
     }
 
     #[test]
     fn predicate_list_covers_anchor_predicates() {
         let g = sapphire_rdf::turtle::parse(ANCHORS).unwrap();
-        let preds: std::collections::HashSet<String> =
-            PREDICATES.iter().map(|p| dbo(p)).collect();
+        let preds: std::collections::HashSet<String> = PREDICATES.iter().map(|p| dbo(p)).collect();
         for (_, p, _) in g.iter_terms() {
             let iri = p.lexical();
             if iri.starts_with("http://dbpedia.org/ontology/") {
-                assert!(preds.contains(iri), "anchor predicate {iri} not in PREDICATES");
+                assert!(
+                    preds.contains(iri),
+                    "anchor predicate {iri} not in PREDICATES"
+                );
             }
         }
     }

@@ -164,7 +164,9 @@ impl SystemResults {
                 .filter(|o| o.participant == p && o.difficulty == d)
                 .collect();
             if !of.is_empty() {
-                rates.push(100.0 * of.iter().filter(|o| o.success()).count() as f64 / of.len() as f64);
+                rates.push(
+                    100.0 * of.iter().filter(|o| o.success()).count() as f64 / of.len() as f64,
+                );
             }
         }
         if rates.len() < 2 {
@@ -200,8 +202,11 @@ impl SystemResults {
     /// Average attempts before finding an answer, over successful outcomes
     /// (Figure 10).
     pub fn avg_attempts(&self, d: Difficulty) -> f64 {
-        let ok: Vec<&Outcome> =
-            self.outcomes.iter().filter(|o| o.difficulty == d && o.success()).collect();
+        let ok: Vec<&Outcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.difficulty == d && o.success())
+            .collect();
         if ok.is_empty() {
             return 0.0;
         }
@@ -210,8 +215,11 @@ impl SystemResults {
 
     /// Average time (minutes) on successfully answered questions (Figure 11).
     pub fn avg_time_minutes(&self, d: Difficulty) -> f64 {
-        let ok: Vec<&Outcome> =
-            self.outcomes.iter().filter(|o| o.difficulty == d && o.success()).collect();
+        let ok: Vec<&Outcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.difficulty == d && o.success())
+            .collect();
         if ok.is_empty() {
             return 0.0;
         }
@@ -222,11 +230,24 @@ impl SystemResults {
     /// (§7.3.2 usage breakdown).
     pub fn suggestion_usage(&self) -> (f64, f64, f64, f64) {
         let n = self.outcomes.len().max(1) as f64;
-        let pred = self.outcomes.iter().filter(|o| o.used_alt_predicate).count() as f64;
+        let pred = self
+            .outcomes
+            .iter()
+            .filter(|o| o.used_alt_predicate)
+            .count() as f64;
         let lit = self.outcomes.iter().filter(|o| o.used_alt_literal).count() as f64;
         let relax = self.outcomes.iter().filter(|o| o.used_relaxation).count() as f64;
-        let any = self.outcomes.iter().filter(|o| o.used_any_suggestion()).count() as f64;
-        (100.0 * pred / n, 100.0 * lit / n, 100.0 * relax / n, 100.0 * any / n)
+        let any = self
+            .outcomes
+            .iter()
+            .filter(|o| o.used_any_suggestion())
+            .count() as f64;
+        (
+            100.0 * pred / n,
+            100.0 * lit / n,
+            100.0 * relax / n,
+            100.0 * any / n,
+        )
     }
 }
 
@@ -241,13 +262,27 @@ pub fn run_study(
     config: &StudyConfig,
 ) -> (SystemResults, SystemResults) {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut sapphire = SystemResults { system: "Sapphire".into(), outcomes: Vec::new() };
-    let mut qakis = SystemResults { system: qa.name().into(), outcomes: Vec::new() };
+    let mut sapphire = SystemResults {
+        system: "Sapphire".into(),
+        outcomes: Vec::new(),
+    };
+    let mut qakis = SystemResults {
+        system: qa.name().into(),
+        outcomes: Vec::new(),
+    };
 
-    let easy: Vec<&Question> = questions.iter().filter(|q| q.difficulty == Difficulty::Easy).collect();
-    let medium: Vec<&Question> = questions.iter().filter(|q| q.difficulty == Difficulty::Medium).collect();
-    let difficult: Vec<&Question> =
-        questions.iter().filter(|q| q.difficulty == Difficulty::Difficult).collect();
+    let easy: Vec<&Question> = questions
+        .iter()
+        .filter(|q| q.difficulty == Difficulty::Easy)
+        .collect();
+    let medium: Vec<&Question> = questions
+        .iter()
+        .filter(|q| q.difficulty == Difficulty::Medium)
+        .collect();
+    let difficult: Vec<&Question> = questions
+        .iter()
+        .filter(|q| q.difficulty == Difficulty::Difficult)
+        .collect();
 
     for p in 0..config.participants {
         // Participant skill in [0.55, 1.0): scales error probabilities and
@@ -256,7 +291,11 @@ pub fn run_study(
         let max_attempts = 3 + (skill * 2.9) as u32; // 3..=5, like the paper
 
         let mut assigned: Vec<&Question> = Vec::new();
-        for (pool, n) in [(&easy, config.easy_per), (&medium, config.medium_per), (&difficult, config.difficult_per)] {
+        for (pool, n) in [
+            (&easy, config.easy_per),
+            (&medium, config.medium_per),
+            (&difficult, config.difficult_per),
+        ] {
             for i in 0..n {
                 assigned.push(pool[(p * 7 + i * 3) % pool.len()]);
             }
@@ -264,7 +303,8 @@ pub fn run_study(
         // The first (easy) question is a warm-up whose data is dropped.
         for (qi, question) in assigned.iter().enumerate() {
             let g = gold(question);
-            let s_out = simulate_sapphire(pum, question, &g, p, skill, max_attempts, config, &mut rng);
+            let s_out =
+                simulate_sapphire(pum, question, &g, p, skill, max_attempts, config, &mut rng);
             let q_out = simulate_qa(qa, question, &g, p, max_attempts, config, &mut rng);
             if qi == 0 {
                 continue; // warm-up
@@ -305,8 +345,16 @@ fn simulate_sapphire(
     // Error probabilities grow with difficulty, shrink with skill.
     let (p_typo, p_flatten, p_confuse) = match question.difficulty {
         Difficulty::Easy => (0.35 * (1.3 - skill), 0.0, 0.3 * (1.3 - skill)),
-        Difficulty::Medium => (0.5 * (1.3 - skill), 0.25 * (1.3 - skill), 0.4 * (1.3 - skill)),
-        Difficulty::Difficult => (0.55 * (1.3 - skill), 0.65 * (1.3 - skill), 0.4 * (1.3 - skill)),
+        Difficulty::Medium => (
+            0.5 * (1.3 - skill),
+            0.25 * (1.3 - skill),
+            0.4 * (1.3 - skill),
+        ),
+        Difficulty::Difficult => (
+            0.55 * (1.3 - skill),
+            0.65 * (1.3 - skill),
+            0.4 * (1.3 - skill),
+        ),
     };
 
     // Build the participant's (possibly flawed) view of the script.
@@ -347,7 +395,10 @@ fn simulate_sapphire(
             .filter(|(_, r)| !r.object.starts_with('?') && r.object.len() > 3)
             .map(|(i, _)| i)
             .collect();
-        if let Some(&row) = candidates.get(rng.gen_range(0..candidates.len().max(1)).min(candidates.len().saturating_sub(1))) {
+        if let Some(&row) = candidates.get(
+            rng.gen_range(0..candidates.len().max(1))
+                .min(candidates.len().saturating_sub(1)),
+        ) {
             script.rows[row].object = misspell(&script.rows[row].object, rng);
             typo_row = Some(row);
         }
@@ -407,7 +458,9 @@ fn simulate_sapphire(
             if is_alt {
                 let alt = run.suggestions.alternatives[idx].clone();
                 match alt.position {
-                    sapphire_core::qsm::AlteredPosition::Predicate => outcome.used_alt_predicate = true,
+                    sapphire_core::qsm::AlteredPosition::Predicate => {
+                        outcome.used_alt_predicate = true
+                    }
                     sapphire_core::qsm::AlteredPosition::Object => outcome.used_alt_literal = true,
                 }
                 let table = session.apply_alternative(&alt);
@@ -556,7 +609,9 @@ pub fn flatten(script: &SessionScript) -> Option<SessionScript> {
                 .position(|other| other.object == var && !std::ptr::eq(other, r))?;
             Some((i, parent))
         });
-        let Some((leaf_idx, parent_idx)) = leaf else { break };
+        let Some((leaf_idx, parent_idx)) = leaf else {
+            break;
+        };
         let keyword = rows[leaf_idx].object.clone();
         rows[parent_idx].object = keyword;
         rows.remove(leaf_idx);
@@ -596,7 +651,12 @@ pub fn misspell(word: &str, rng: &mut StdRng) -> String {
         1 if chars.len() > 4 => {
             // Drop an interior character.
             let pos = rng.gen_range(1..chars.len() - 1);
-            chars.iter().enumerate().filter(|(i, _)| *i != pos).map(|(_, c)| c).collect()
+            chars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, c)| c)
+                .collect()
         }
         _ => {
             // Double an interior character.
@@ -615,7 +675,10 @@ mod tests {
 
     #[test]
     fn flatten_reproduces_figure_6_shape() {
-        let d3 = workload::appendix_b().into_iter().find(|q| q.id == "D3").unwrap();
+        let d3 = workload::appendix_b()
+            .into_iter()
+            .find(|q| q.id == "D3")
+            .unwrap();
         let flat = flatten(&d3.script).expect("D3 flattens");
         assert_eq!(flat.rows.len(), 2, "{:?}", flat.rows);
         assert!(flat.rows.iter().any(|r| r.object == "Jack Kerouac"));
@@ -624,7 +687,10 @@ mod tests {
 
     #[test]
     fn flatten_returns_none_for_flat_scripts() {
-        let m4 = workload::appendix_b().into_iter().find(|q| q.id == "M4").unwrap();
+        let m4 = workload::appendix_b()
+            .into_iter()
+            .find(|q| q.id == "M4")
+            .unwrap();
         assert!(flatten(&m4.script).is_none());
     }
 
@@ -641,7 +707,16 @@ mod tests {
     #[test]
     fn time_model_defaults_are_positive() {
         let t = TimeModel::default();
-        for v in [t.type_term, t.run, t.review_suggestions, t.accept_suggestion, t.manual_fix, t.modifier, t.nl_type, t.nl_read] {
+        for v in [
+            t.type_term,
+            t.run,
+            t.review_suggestions,
+            t.accept_suggestion,
+            t.manual_fix,
+            t.modifier,
+            t.nl_type,
+            t.nl_read,
+        ] {
             assert!(v > 0.0);
         }
         // Sapphire interactions cost more than a single NL exchange — the

@@ -9,8 +9,8 @@
 
 use sapphire_core::session::TripleInput;
 use sapphire_endpoint::Endpoint;
-use sapphire_sparql::{CmpOp, Expr, Solutions};
 use sapphire_rdf::Term;
+use sapphire_sparql::{CmpOp, Expr, Solutions};
 
 /// Question difficulty, per the paper's three categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,7 +52,10 @@ pub struct SessionScript {
 impl SessionScript {
     fn rows(rows: &[(&str, &str, &str)]) -> Self {
         SessionScript {
-            rows: rows.iter().map(|(s, p, o)| TripleInput::new(*s, *p, *o)).collect(),
+            rows: rows
+                .iter()
+                .map(|(s, p, o)| TripleInput::new(*s, *p, *o))
+                .collect(),
             ..Default::default()
         }
     }
@@ -119,7 +122,9 @@ fn year_eq(var: &str, year: i32) -> Expr {
     Expr::Cmp(
         CmpOp::Eq,
         Box::new(Expr::Year(Box::new(Expr::Var(var.into())))),
-        Box::new(Expr::Const(Term::Literal(sapphire_rdf::Literal::integer(year as i64)))),
+        Box::new(Expr::Const(Term::Literal(sapphire_rdf::Literal::integer(
+            year as i64,
+        )))),
     )
 }
 
@@ -323,27 +328,87 @@ pub fn appendix_b() -> Vec<Question> {
 pub fn factoid_extras() -> Vec<Question> {
     let specs: &[(&str, &str, &str)] = &[
         // (entity name, predicate keyword / gold predicate local, question stem)
-        ("Salt Lake City", "population", "What is the population of Salt Lake City?"),
+        (
+            "Salt Lake City",
+            "population",
+            "What is the population of Salt Lake City?",
+        ),
         ("Sydney", "population", "What is the population of Sydney?"),
-        ("Melbourne", "population", "What is the population of Melbourne?"),
-        ("Toronto", "population", "What is the population of Toronto?"),
-        ("Montreal", "population", "What is the population of Montreal?"),
+        (
+            "Melbourne",
+            "population",
+            "What is the population of Melbourne?",
+        ),
+        (
+            "Toronto",
+            "population",
+            "What is the population of Toronto?",
+        ),
+        (
+            "Montreal",
+            "population",
+            "What is the population of Montreal?",
+        ),
         ("Ottawa", "population", "What is the population of Ottawa?"),
-        ("Canberra", "population", "What is the population of Canberra?"),
+        (
+            "Canberra",
+            "population",
+            "What is the population of Canberra?",
+        ),
         ("Alyssa Milano", "birthDate", "When was Alyssa Milano born?"),
-        ("Holly Marie Combs", "birthDate", "When was Holly Marie Combs born?"),
-        ("Shannen Doherty", "birthDate", "When was Shannen Doherty born?"),
-        ("John F. Kennedy", "spouse", "Who is the spouse of John F. Kennedy?"),
-        ("John F. Kennedy", "birthDate", "When was John F. Kennedy born?"),
-        ("Margaret Thatcher", "child", "Who are the children of Margaret Thatcher?"),
-        ("Queen Sofia", "parent", "Who are the parents of Queen Sofia?"),
-        ("Robert F. Kennedy", "child", "Who is the child of Robert F. Kennedy?"),
-        ("Kathleen Kennedy", "spouse", "Who is the spouse of Kathleen Kennedy?"),
+        (
+            "Holly Marie Combs",
+            "birthDate",
+            "When was Holly Marie Combs born?",
+        ),
+        (
+            "Shannen Doherty",
+            "birthDate",
+            "When was Shannen Doherty born?",
+        ),
+        (
+            "John F. Kennedy",
+            "spouse",
+            "Who is the spouse of John F. Kennedy?",
+        ),
+        (
+            "John F. Kennedy",
+            "birthDate",
+            "When was John F. Kennedy born?",
+        ),
+        (
+            "Margaret Thatcher",
+            "child",
+            "Who are the children of Margaret Thatcher?",
+        ),
+        (
+            "Queen Sofia",
+            "parent",
+            "Who are the parents of Queen Sofia?",
+        ),
+        (
+            "Robert F. Kennedy",
+            "child",
+            "Who is the child of Robert F. Kennedy?",
+        ),
+        (
+            "Kathleen Kennedy",
+            "spouse",
+            "Who is the spouse of Kathleen Kennedy?",
+        ),
         ("Australia", "capital", "What is the capital of Australia?"),
         ("Canada", "capital", "What is the capital of Canada?"),
-        ("Limerick Lake", "country", "In which country is Limerick Lake located?"),
+        (
+            "Limerick Lake",
+            "country",
+            "In which country is Limerick Lake located?",
+        ),
         ("Fort Knox", "state", "In which state is Fort Knox?"),
-        ("Brooklyn Bridge", "designer", "Who designed the Brooklyn Bridge?"),
+        (
+            "Brooklyn Bridge",
+            "designer",
+            "Who designed the Brooklyn Bridge?",
+        ),
         ("Wikipedia", "creator", "Who is the creator of Wikipedia?"),
         ("Lake Placid", "depth", "What is the depth of Lake Placid?"),
     ];
@@ -356,9 +421,7 @@ pub fn factoid_extras() -> Vec<Question> {
                 &format!("F{}", i + 1),
                 text,
                 Difficulty::Easy,
-                &format!(
-                    r#"SELECT ?o WHERE {{ ?e dbo:name "{entity}"@en . ?e dbo:{pred} ?o }}"#
-                ),
+                &format!(r#"SELECT ?o WHERE {{ ?e dbo:name "{entity}"@en . ?e dbo:{pred} ?o }}"#),
                 SessionScript::rows(&[("?e", "name", entity), ("?e", keyword.as_str(), "?o")]),
                 &[],
                 true,
@@ -382,7 +445,11 @@ pub fn gold_answers(question: &Question, endpoint: &dyn Endpoint) -> Vec<String>
     let mut out: Vec<String> = sols
         .rows
         .iter()
-        .filter_map(|r| r.first().and_then(|c| c.as_ref()).map(|t| t.lexical().to_string()))
+        .filter_map(|r| {
+            r.first()
+                .and_then(|c| c.as_ref())
+                .map(|t| t.lexical().to_string())
+        })
         .collect();
     out.sort();
     out.dedup();
@@ -441,16 +508,35 @@ mod tests {
     use sapphire_endpoint::{EndpointLimits, LocalEndpoint};
 
     fn endpoint() -> LocalEndpoint {
-        LocalEndpoint::new("dbpedia", generate(DatasetConfig::tiny(42)), EndpointLimits::warehouse())
+        LocalEndpoint::new(
+            "dbpedia",
+            generate(DatasetConfig::tiny(42)),
+            EndpointLimits::warehouse(),
+        )
     }
 
     #[test]
     fn counts_match_the_paper() {
         let ab = appendix_b();
         assert_eq!(ab.len(), 27);
-        assert_eq!(ab.iter().filter(|q| q.difficulty == Difficulty::Easy).count(), 10);
-        assert_eq!(ab.iter().filter(|q| q.difficulty == Difficulty::Medium).count(), 8);
-        assert_eq!(ab.iter().filter(|q| q.difficulty == Difficulty::Difficult).count(), 9);
+        assert_eq!(
+            ab.iter()
+                .filter(|q| q.difficulty == Difficulty::Easy)
+                .count(),
+            10
+        );
+        assert_eq!(
+            ab.iter()
+                .filter(|q| q.difficulty == Difficulty::Medium)
+                .count(),
+            8
+        );
+        assert_eq!(
+            ab.iter()
+                .filter(|q| q.difficulty == Difficulty::Difficult)
+                .count(),
+            9
+        );
         assert_eq!(qald_style_50().len(), 50);
     }
 
@@ -459,7 +545,12 @@ mod tests {
         let ep = endpoint();
         for q in qald_style_50() {
             let gold = gold_answers(&q, &ep);
-            assert!(!gold.is_empty(), "question {} ({}) has no gold answers", q.id, q.text);
+            assert!(
+                !gold.is_empty(),
+                "question {} ({}) has no gold answers",
+                q.id,
+                q.text
+            );
         }
     }
 
@@ -468,7 +559,12 @@ mod tests {
         let ep = endpoint();
         for q in appendix_b() {
             let gold = gold_answers(&q, &ep);
-            assert!(gold.len() <= 20, "question {} gold set suspiciously large: {}", q.id, gold.len());
+            assert!(
+                gold.len() <= 20,
+                "question {} gold set suspiciously large: {}",
+                q.id,
+                gold.len()
+            );
         }
     }
 
@@ -477,10 +573,16 @@ mod tests {
         let gold = vec!["a".to_string(), "b".to_string()];
         let full = Solutions {
             vars: vec!["x".into()],
-            rows: vec![vec![Some(Term::literal("a"))], vec![Some(Term::literal("b"))]],
+            rows: vec![
+                vec![Some(Term::literal("a"))],
+                vec![Some(Term::literal("b"))],
+            ],
         };
         assert_eq!(grade(&full, &gold), Grade::Correct);
-        let part = Solutions { vars: vec!["x".into()], rows: vec![vec![Some(Term::literal("a"))]] };
+        let part = Solutions {
+            vars: vec!["x".into()],
+            rows: vec![vec![Some(Term::literal("a"))]],
+        };
         assert_eq!(grade(&part, &gold), Grade::Partial);
         // A superset is only partial: the user sees the answers buried in noise.
         let superset = Solutions {
@@ -492,7 +594,10 @@ mod tests {
             ],
         };
         assert_eq!(grade(&superset, &gold), Grade::Partial);
-        let wrong = Solutions { vars: vec!["x".into()], rows: vec![vec![Some(Term::literal("z"))]] };
+        let wrong = Solutions {
+            vars: vec!["x".into()],
+            rows: vec![vec![Some(Term::literal("z"))]],
+        };
         assert_eq!(grade(&wrong, &gold), Grade::Wrong);
         assert_eq!(grade(&Solutions::default(), &gold), Grade::Wrong);
     }

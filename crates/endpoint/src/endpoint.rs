@@ -8,7 +8,8 @@
 //! budget per query (timeout) and an optional up-front cost-estimate gate
 //! (rejection), and counts everything for the init-cost experiment.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use sapphire_rdf::{vocab, Graph, Literal, Term};
 use sapphire_sparql::ast::{Aggregate, Expr, Projection, SelectItem, TermPattern};
 use sapphire_sparql::eval::{evaluate, EvalError, WorkBudget};
@@ -29,6 +30,14 @@ pub enum EndpointError {
         /// The endpoint's cost estimate.
         estimated_cost: u64,
     },
+    /// A shared query service turned the request away at admission control —
+    /// the service-level analogue of [`EndpointError::Rejected`], raised on
+    /// queue overflow rather than per-query cost.
+    Overloaded {
+        /// Requests already in flight when this one arrived (`0` when the
+        /// rejecting service no longer knows, e.g. a queue-deadline miss).
+        in_flight: usize,
+    },
     /// The query did not parse.
     Parse(String),
     /// The query parsed but could not be evaluated.
@@ -38,9 +47,14 @@ pub enum EndpointError {
 impl std::fmt::Display for EndpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EndpointError::Timeout { work_used } => write!(f, "query timed out after {work_used} work units"),
+            EndpointError::Timeout { work_used } => {
+                write!(f, "query timed out after {work_used} work units")
+            }
             EndpointError::Rejected { estimated_cost } => {
                 write!(f, "query rejected (estimated cost {estimated_cost})")
+            }
+            EndpointError::Overloaded { in_flight } => {
+                write!(f, "service overloaded ({in_flight} requests in flight)")
             }
             EndpointError::Parse(m) => write!(f, "parse error: {m}"),
             EndpointError::Eval(m) => write!(f, "evaluation error: {m}"),
@@ -98,7 +112,11 @@ impl EndpointLimits {
 
     /// No limits — the warehousing architecture.
     pub fn warehouse() -> Self {
-        EndpointLimits { timeout_work: None, reject_above: None, max_results: None }
+        EndpointLimits {
+            timeout_work: None,
+            reject_above: None,
+            max_results: None,
+        }
     }
 }
 
@@ -128,7 +146,12 @@ pub struct LocalEndpoint {
 impl LocalEndpoint {
     /// Wrap a graph as an endpoint.
     pub fn new(name: impl Into<String>, graph: Graph, limits: EndpointLimits) -> Self {
-        LocalEndpoint { name: name.into(), graph, limits, stats: Mutex::new(EndpointStats::default()) }
+        LocalEndpoint {
+            name: name.into(),
+            graph,
+            limits,
+            stats: Mutex::new(EndpointStats::default()),
+        }
     }
 
     /// The underlying graph (the simulation owns it; remote endpoints would
@@ -144,12 +167,12 @@ impl LocalEndpoint {
 
     /// Snapshot of the statistics counters.
     pub fn stats(&self) -> EndpointStats {
-        *self.stats.lock()
+        *self.stats.lock().unwrap()
     }
 
     /// Reset the statistics counters.
     pub fn reset_stats(&self) {
-        *self.stats.lock() = EndpointStats::default();
+        *self.stats.lock().unwrap() = EndpointStats::default();
     }
 
     /// The endpoint's up-front cost estimate for a query: the sum of index
@@ -176,7 +199,9 @@ impl LocalEndpoint {
                 if any_absent {
                     0
                 } else {
-                    self.graph.cardinality(id(&tp.subject), id(&tp.predicate), id(&tp.object)) as u64
+                    self.graph
+                        .cardinality(id(&tp.subject), id(&tp.predicate), id(&tp.object))
+                        as u64
                 }
             })
             .sum()
@@ -189,7 +214,9 @@ impl LocalEndpoint {
     /// where the pattern is `?s ?p ?o` (grouped by `?p`, optionally filtered
     /// to literal objects) or `?s a ?o` (grouped by `?o`).
     fn try_statistics_answer(&self, query: &Query) -> Option<(Solutions, u64)> {
-        let Query::Select(select) = query else { return None };
+        let Query::Select(select) = query else {
+            return None;
+        };
         let stats = self.match_statistics_shape(select)?;
         let (group_var, count_alias, counts) = stats;
         let mut rows: Vec<Vec<Option<Term>>> = counts
@@ -205,7 +232,13 @@ impl LocalEndpoint {
             rows.truncate(limit);
         }
         let work = rows.len() as u64 + 1;
-        Some((Solutions { vars: vec![group_var, count_alias], rows }, work))
+        Some((
+            Solutions {
+                vars: vec![group_var, count_alias],
+                rows,
+            },
+            work,
+        ))
     }
 
     #[allow(clippy::type_complexity)]
@@ -219,13 +252,23 @@ impl LocalEndpoint {
         let tp = &select.pattern.triples[0];
         let group = &select.group_by[0];
         // Projection: the group var + one COUNT aggregate.
-        let Projection::Items(items) = &select.projection else { return None };
+        let Projection::Items(items) = &select.projection else {
+            return None;
+        };
         if items.len() != 2 {
             return None;
         }
         let (g_item, c_item) = (&items[0], &items[1]);
-        let SelectItem::Var(gv) = g_item else { return None };
-        let SelectItem::Agg { agg: Aggregate::Count { .. }, alias } = c_item else { return None };
+        let SelectItem::Var(gv) = g_item else {
+            return None;
+        };
+        let SelectItem::Agg {
+            agg: Aggregate::Count { .. },
+            alias,
+        } = c_item
+        else {
+            return None;
+        };
         if gv != group {
             return None;
         }
@@ -240,7 +283,11 @@ impl LocalEndpoint {
                     [Expr::IsLiteral(inner)] => matches!(&**inner, Expr::Var(v) if v == ov),
                     _ => return None,
                 };
-                Some((group.clone(), alias.clone(), self.graph.predicate_counts(literal_only)))
+                Some((
+                    group.clone(),
+                    alias.clone(),
+                    self.graph.predicate_counts(literal_only),
+                ))
             }
             // ?s a ?o GROUP BY ?o — type frequencies (Q3).
             TermPattern::Term(Term::Iri(p)) if p == vocab::rdf::TYPE && ov == group => {
@@ -265,7 +312,7 @@ impl Endpoint for LocalEndpoint {
         // are not expected to time out", §5.1) from internal statistics
         // rather than scanning. Charge work proportional to the result size.
         if let Some((solutions, work)) = self.try_statistics_answer(query) {
-            let mut stats = self.stats.lock();
+            let mut stats = self.stats.lock().unwrap();
             stats.queries += 1;
             stats.total_work += work;
             return Ok(QueryResult::Solutions(solutions));
@@ -273,8 +320,10 @@ impl Endpoint for LocalEndpoint {
         if let Some(threshold) = self.limits.reject_above {
             let estimated = self.estimate_cost(query);
             if estimated > threshold {
-                self.stats.lock().rejected += 1;
-                return Err(EndpointError::Rejected { estimated_cost: estimated });
+                self.stats.lock().unwrap().rejected += 1;
+                return Err(EndpointError::Rejected {
+                    estimated_cost: estimated,
+                });
             }
         }
         let mut budget = match self.limits.timeout_work {
@@ -282,7 +331,7 @@ impl Endpoint for LocalEndpoint {
             None => WorkBudget::unlimited(),
         };
         let result = evaluate(&self.graph, query, &mut budget);
-        let mut stats = self.stats.lock();
+        let mut stats = self.stats.lock().unwrap();
         stats.queries += 1;
         stats.total_work += budget.used();
         match result {
@@ -329,7 +378,11 @@ mod tests {
 
     #[test]
     fn timeout_is_counted() {
-        let limits = EndpointLimits { timeout_work: Some(3), reject_above: None, max_results: None };
+        let limits = EndpointLimits {
+            timeout_work: Some(3),
+            reject_above: None,
+            max_results: None,
+        };
         let ep = LocalEndpoint::new("tight", graph(100), limits);
         let err = ep.select("SELECT ?s WHERE { ?s ?p ?o }").unwrap_err();
         assert!(matches!(err, EndpointError::Timeout { .. }));
@@ -339,7 +392,11 @@ mod tests {
 
     #[test]
     fn rejection_precedes_execution() {
-        let limits = EndpointLimits { timeout_work: Some(1_000), reject_above: Some(10), max_results: None };
+        let limits = EndpointLimits {
+            timeout_work: Some(1_000),
+            reject_above: Some(10),
+            max_results: None,
+        };
         let ep = LocalEndpoint::new("strict", graph(100), limits);
         let err = ep.select("SELECT ?s WHERE { ?s ?p ?o }").unwrap_err();
         assert!(matches!(err, EndpointError::Rejected { .. }));
@@ -350,9 +407,15 @@ mod tests {
 
     #[test]
     fn selective_query_passes_admission() {
-        let limits = EndpointLimits { timeout_work: Some(1_000), reject_above: Some(10), max_results: None };
+        let limits = EndpointLimits {
+            timeout_work: Some(1_000),
+            reject_above: Some(10),
+            max_results: None,
+        };
         let ep = LocalEndpoint::new("strict", graph(100), limits);
-        let s = ep.select("SELECT ?o WHERE { <http://x/s3> <http://x/p> ?o }").unwrap();
+        let s = ep
+            .select("SELECT ?o WHERE { <http://x/s3> <http://x/p> ?o }")
+            .unwrap();
         assert_eq!(s.len(), 1);
     }
 
@@ -365,7 +428,11 @@ mod tests {
 
     #[test]
     fn max_results_caps_rows() {
-        let limits = EndpointLimits { timeout_work: None, reject_above: None, max_results: Some(3) };
+        let limits = EndpointLimits {
+            timeout_work: None,
+            reject_above: None,
+            max_results: Some(3),
+        };
         let ep = LocalEndpoint::new("capped", graph(10), limits);
         let s = ep.select("SELECT ?s WHERE { ?s ?p ?o }").unwrap();
         assert_eq!(s.len(), 3);
@@ -374,7 +441,10 @@ mod tests {
     #[test]
     fn parse_errors_reported() {
         let ep = LocalEndpoint::new("t", graph(1), EndpointLimits::warehouse());
-        assert!(matches!(ep.execute("NOT SPARQL"), Err(EndpointError::Parse(_))));
+        assert!(matches!(
+            ep.execute("NOT SPARQL"),
+            Err(EndpointError::Parse(_))
+        ));
     }
 
     #[test]

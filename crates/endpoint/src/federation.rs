@@ -45,6 +45,9 @@ impl std::fmt::Display for FederationError {
 
 impl std::error::Error for FederationError {}
 
+/// One joined row of variable bindings.
+type Binding = HashMap<String, Term>;
+
 /// The federated query processor.
 #[derive(Clone, Default)]
 pub struct FederatedProcessor {
@@ -77,7 +80,8 @@ impl FederatedProcessor {
 
     /// Parse and execute.
     pub fn execute(&self, query: &str) -> Result<QueryResult, FederationError> {
-        let q = sapphire_sparql::parse_query(query).map_err(|e| FederationError::Parse(e.to_string()))?;
+        let q = sapphire_sparql::parse_query(query)
+            .map_err(|e| FederationError::Parse(e.to_string()))?;
         self.execute_parsed(&q)
     }
 
@@ -113,7 +117,10 @@ impl FederatedProcessor {
         gp.triples
             .iter()
             .map(|tp| {
-                let probe = Query::Ask(GraphPattern { triples: vec![tp.clone()], filters: Vec::new() });
+                let probe = Query::Ask(GraphPattern {
+                    triples: vec![tp.clone()],
+                    filters: Vec::new(),
+                });
                 self.endpoints
                     .iter()
                     .enumerate()
@@ -162,7 +169,9 @@ impl FederatedProcessor {
 
         // Genuinely federated: bound-join plain SELECTs only.
         let Query::Select(select) = query else {
-            return Ok(QueryResult::Boolean(!self.bound_join(gp, &sources, Some(1))?.1.is_empty()));
+            return Ok(QueryResult::Boolean(
+                !self.bound_join(gp, &sources, Some(1))?.1.is_empty(),
+            ));
         };
         if select.has_aggregates() || !select.group_by.is_empty() {
             return Err(FederationError::Unsupported(
@@ -180,7 +189,11 @@ impl FederatedProcessor {
     }
 
     /// Run the whole query on each covering endpoint and union the rows.
-    fn union_over(&self, query: &Query, covering: &[usize]) -> Result<QueryResult, FederationError> {
+    fn union_over(
+        &self,
+        query: &Query,
+        covering: &[usize],
+    ) -> Result<QueryResult, FederationError> {
         let mut first_err: Option<EndpointError> = None;
         let mut merged: Option<Solutions> = None;
         let mut boolean = false;
@@ -232,13 +245,13 @@ impl FederatedProcessor {
         gp: &GraphPattern,
         sources: &[Vec<usize>],
         row_limit: Option<usize>,
-    ) -> Result<(Vec<String>, Vec<HashMap<String, Term>>), FederationError> {
-        let mut bindings: Vec<HashMap<String, Term>> = vec![HashMap::new()];
+    ) -> Result<(Vec<String>, Vec<Binding>), FederationError> {
+        let mut bindings: Vec<Binding> = vec![HashMap::new()];
         for (tp, srcs) in gp.triples.iter().zip(sources) {
             if srcs.is_empty() {
                 return Ok((gp.variables(), Vec::new()));
             }
-            let mut next: Vec<HashMap<String, Term>> = Vec::new();
+            let mut next: Vec<Binding> = Vec::new();
             for binding in &bindings {
                 let bound = substitute(tp, binding);
                 let vars: Vec<&str> = bound.variables().collect();
@@ -247,7 +260,8 @@ impl FederatedProcessor {
                     filters: Vec::new(),
                 }));
                 for &src in srcs {
-                    let Ok(QueryResult::Solutions(sols)) = self.endpoints[src].execute_parsed(&sub_query)
+                    let Ok(QueryResult::Solutions(sols)) =
+                        self.endpoints[src].execute_parsed(&sub_query)
                     else {
                         continue;
                     };
@@ -317,7 +331,10 @@ fn project_rows(
         .into_iter()
         .map(|b| names.iter().map(|n| b.get(n).cloned()).collect())
         .collect();
-    Solutions { vars: names, rows: out_rows }
+    Solutions {
+        vars: names,
+        rows: out_rows,
+    }
 }
 
 fn dedup(rows: &mut Vec<Vec<Option<Term>>>) {
@@ -395,7 +412,11 @@ mod tests {
     use sapphire_rdf::turtle;
 
     fn make(name: &str, ttl: &str) -> Arc<dyn Endpoint> {
-        Arc::new(LocalEndpoint::new(name, turtle::parse(ttl).unwrap(), EndpointLimits::warehouse()))
+        Arc::new(LocalEndpoint::new(
+            name,
+            turtle::parse(ttl).unwrap(),
+            EndpointLimits::warehouse(),
+        ))
     }
 
     fn people_endpoint() -> Arc<dyn Endpoint> {
@@ -421,7 +442,9 @@ res:Paris a dbo:City ; dbo:name "Paris"@en ; dbo:country res:France .
     #[test]
     fn single_endpoint_passthrough() {
         let fed = FederatedProcessor::single(people_endpoint());
-        let s = fed.select("SELECT ?s WHERE { ?s a dbo:Scientist }").unwrap();
+        let s = fed
+            .select("SELECT ?s WHERE { ?s a dbo:Scientist }")
+            .unwrap();
         assert_eq!(s.len(), 2);
     }
 
@@ -441,7 +464,9 @@ res:Paris a dbo:City ; dbo:name "Paris"@en ; dbo:country res:France .
         fed.register(places_endpoint());
         let s = fed.select("SELECT ?c WHERE { ?c a dbo:City }").unwrap();
         assert_eq!(s.len(), 2);
-        let s = fed.select("SELECT ?s WHERE { ?s a dbo:Scientist }").unwrap();
+        let s = fed
+            .select("SELECT ?s WHERE { ?s a dbo:Scientist }")
+            .unwrap();
         assert_eq!(s.len(), 2);
     }
 

@@ -35,6 +35,8 @@
 
 pub mod endpoint;
 pub mod federation;
+pub mod service;
 
 pub use endpoint::{Endpoint, EndpointError, EndpointLimits, EndpointStats, LocalEndpoint};
 pub use federation::{FederatedProcessor, FederationError};
+pub use service::{QueryService, ServiceEndpoint, ServiceError};

@@ -228,7 +228,9 @@ impl Graph {
     /// Per-type instance counts (subjects per `rdf:type` object).
     pub fn type_counts(&self) -> Vec<(TermId, usize)> {
         let type_term = Term::iri(crate::vocab::rdf::TYPE);
-        let Some(type_id) = self.interner.get(&type_term) else { return Vec::new() };
+        let Some(type_id) = self.interner.get(&type_term) else {
+            return Vec::new();
+        };
         let mut out: Vec<(TermId, usize)> = Vec::new();
         self.for_each_matching(None, Some(type_id), None, |t| {
             match out.iter_mut().find(|(c, _)| *c == t[2]) {
@@ -254,11 +256,21 @@ impl Graph {
 }
 
 fn range1(set: &BTreeSet<(u32, u32, u32)>, a: u32) -> impl Iterator<Item = &(u32, u32, u32)> {
-    set.range((Bound::Included((a, 0, 0)), Bound::Included((a, u32::MAX, u32::MAX))))
+    set.range((
+        Bound::Included((a, 0, 0)),
+        Bound::Included((a, u32::MAX, u32::MAX)),
+    ))
 }
 
-fn range2(set: &BTreeSet<(u32, u32, u32)>, a: u32, b: u32) -> impl Iterator<Item = &(u32, u32, u32)> {
-    set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, u32::MAX))))
+fn range2(
+    set: &BTreeSet<(u32, u32, u32)>,
+    a: u32,
+    b: u32,
+) -> impl Iterator<Item = &(u32, u32, u32)> {
+    set.range((
+        Bound::Included((a, b, 0)),
+        Bound::Included((a, b, u32::MAX)),
+    ))
 }
 
 #[cfg(test)]
@@ -346,6 +358,9 @@ mod tests {
     fn count_matches_materialized_len() {
         let g = sample();
         let p1 = g.term_id(&Term::iri("p1")).unwrap();
-        assert_eq!(g.count_matching(None, Some(p1), None), g.matching(None, Some(p1), None).len());
+        assert_eq!(
+            g.count_matching(None, Some(p1), None),
+            g.matching(None, Some(p1), None).len()
+        );
     }
 }

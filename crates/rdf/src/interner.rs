@@ -38,7 +38,11 @@ impl std::hash::Hasher for FnvHasher {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
         const PRIME: u64 = 0x100000001b3;
-        let mut hash = if self.0 == 0 { 0xcbf29ce484222325 } else { self.0 };
+        let mut hash = if self.0 == 0 {
+            0xcbf29ce484222325
+        } else {
+            self.0
+        };
         for &b in bytes {
             hash ^= u64::from(b);
             hash = hash.wrapping_mul(PRIME);

@@ -40,14 +40,20 @@ pub fn parse_into(input: &str, graph: &mut Graph) -> Result<(), ParseError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let (s, p, o) = parse_line(trimmed).map_err(|message| ParseError { line: line_no, message })?;
+        let (s, p, o) = parse_line(trimmed).map_err(|message| ParseError {
+            line: line_no,
+            message,
+        })?;
         graph.insert(s, p, o);
     }
     Ok(())
 }
 
 fn parse_line(line: &str) -> Result<(Term, Term, Term), String> {
-    let mut cur = Cursor { input: line, pos: 0 };
+    let mut cur = Cursor {
+        input: line,
+        pos: 0,
+    };
     let s = cur.term()?;
     cur.skip_ws();
     let p = cur.term()?;
@@ -210,7 +216,11 @@ _:b0 <http://x/p> "plain" .
 "#;
         let g = parse(doc).unwrap();
         assert_eq!(g.len(), 4);
-        assert!(g.contains(&Term::iri("http://x/s"), &Term::iri("http://x/name"), &Term::en("Alice")));
+        assert!(g.contains(
+            &Term::iri("http://x/s"),
+            &Term::iri("http://x/name"),
+            &Term::en("Alice")
+        ));
         assert!(g.contains(
             &Term::blank("b0"),
             &Term::iri("http://x/p"),
@@ -254,6 +264,10 @@ _:b0 <http://x/p> "plain" .
     #[test]
     fn escaped_quote_inside_literal() {
         let g = parse(r#"<s> <p> "say \"hi\"" ."#).unwrap();
-        assert!(g.contains(&Term::iri("s"), &Term::iri("p"), &Term::literal("say \"hi\"")));
+        assert!(g.contains(
+            &Term::iri("s"),
+            &Term::iri("p"),
+            &Term::literal("say \"hi\"")
+        ));
     }
 }

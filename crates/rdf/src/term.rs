@@ -20,17 +20,29 @@ pub struct Literal {
 impl Literal {
     /// A plain (untyped, untagged) string literal.
     pub fn simple(value: impl Into<String>) -> Self {
-        Literal { value: value.into(), lang: None, datatype: None }
+        Literal {
+            value: value.into(),
+            lang: None,
+            datatype: None,
+        }
     }
 
     /// A language-tagged string literal. The tag is lowercased.
     pub fn lang_tagged(value: impl Into<String>, lang: impl Into<String>) -> Self {
-        Literal { value: value.into(), lang: Some(lang.into().to_ascii_lowercase()), datatype: None }
+        Literal {
+            value: value.into(),
+            lang: Some(lang.into().to_ascii_lowercase()),
+            datatype: None,
+        }
     }
 
     /// A datatyped literal.
     pub fn typed(value: impl Into<String>, datatype: impl Into<String>) -> Self {
-        Literal { value: value.into(), lang: None, datatype: Some(datatype.into()) }
+        Literal {
+            value: value.into(),
+            lang: None,
+            datatype: Some(datatype.into()),
+        }
     }
 
     /// An `xsd:integer` literal.
@@ -208,7 +220,8 @@ pub fn unescape_literal(s: &str) -> Result<String, String> {
             Some('t') => out.push('\t'),
             Some('u') => {
                 let hex: String = chars.by_ref().take(4).collect();
-                let cp = u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape: {hex}"))?;
+                let cp =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape: {hex}"))?;
                 out.push(char::from_u32(cp).ok_or_else(|| format!("bad codepoint: {cp}"))?);
             }
             Some(other) => return Err(format!("unknown escape: \\{other}")),
@@ -259,7 +272,13 @@ mod tests {
 
     #[test]
     fn escape_roundtrip() {
-        let cases = ["plain", "with \"quotes\"", "back\\slash", "new\nline", "tab\there"];
+        let cases = [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "new\nline",
+            "tab\there",
+        ];
         for c in cases {
             assert_eq!(unescape_literal(&escape_literal(c)).unwrap(), c);
         }

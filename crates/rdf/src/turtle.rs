@@ -57,7 +57,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> TurtleError {
-        TurtleError { offset: self.pos, message: message.into() }
+        TurtleError {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -347,7 +350,8 @@ impl<'a> Parser<'a> {
         }
         self.bump();
         let local_start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.') {
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
             // A '.' at the end of a local name terminates the statement.
             if c_is_terminal_dot(self.rest()) {
                 break;
@@ -448,7 +452,8 @@ ex:alice a ex:Person ;
 
     #[test]
     fn comments_are_skipped() {
-        let doc = "# leading comment\n@prefix ex: <http://x/> . # trailing\nex:a ex:b ex:c . # done\n";
+        let doc =
+            "# leading comment\n@prefix ex: <http://x/> . # trailing\nex:a ex:b ex:c . # done\n";
         let g = parse(doc).unwrap();
         assert_eq!(g.len(), 1);
     }

@@ -74,7 +74,9 @@ mod tests {
     #[test]
     fn prefixes_cover_core_namespaces() {
         let p = standard_prefixes();
-        assert!(p.iter().any(|(k, v)| *k == "rdf" && v.contains("rdf-syntax")));
+        assert!(p
+            .iter()
+            .any(|(k, v)| *k == "rdf" && v.contains("rdf-syntax")));
         assert!(p.iter().any(|(k, _)| *k == "dbo"));
         // `res` and `dbr` must alias the same namespace.
         let res = p.iter().find(|(k, _)| *k == "res").unwrap().1;

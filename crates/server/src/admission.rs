@@ -1,0 +1,293 @@
+//! Per-request admission control and per-tenant work budgets.
+//!
+//! The paper's endpoints protect themselves with per-query work budgets
+//! ([`WorkBudget`](sapphire_sparql::WorkBudget)) and cost-estimate gates.
+//! The serving tier lifts the same idea one level up: a bounded number of
+//! requests run concurrently, a bounded number may wait, everything beyond
+//! that is rejected with a typed error, and each tenant spends from a work
+//! budget denominated in the same units the evaluator charges.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::ServerError;
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    in_flight: usize,
+    queued: usize,
+}
+
+/// Bounded-concurrency gate with a bounded, deadline-limited wait queue.
+#[derive(Debug)]
+pub struct AdmissionController {
+    state: Mutex<AdmissionState>,
+    slot_freed: Condvar,
+    max_in_flight: usize,
+    max_queue_depth: usize,
+    queue_wait: Duration,
+}
+
+impl AdmissionController {
+    /// A gate admitting `max_in_flight` concurrent requests, queueing at most
+    /// `max_queue_depth` more for up to `queue_wait` each.
+    pub fn new(max_in_flight: usize, max_queue_depth: usize, queue_wait: Duration) -> Self {
+        AdmissionController {
+            state: Mutex::new(AdmissionState::default()),
+            slot_freed: Condvar::new(),
+            max_in_flight: max_in_flight.max(1),
+            max_queue_depth,
+            queue_wait,
+        }
+    }
+
+    /// Acquire an execution slot, blocking in the queue if allowed.
+    ///
+    /// Returns [`ServerError::Overloaded`] when the queue is full and
+    /// [`ServerError::QueueTimeout`] when a queued request's deadline passes
+    /// — both without running any query work.
+    pub fn admit(&self) -> Result<AdmissionPermit<'_>, ServerError> {
+        let mut state = self.state.lock().unwrap();
+        if state.in_flight < self.max_in_flight {
+            state.in_flight += 1;
+            return Ok(AdmissionPermit { controller: self });
+        }
+        if state.queued >= self.max_queue_depth {
+            return Err(ServerError::Overloaded {
+                in_flight: state.in_flight,
+                queue_depth: state.queued,
+            });
+        }
+        state.queued += 1;
+        let start = Instant::now();
+        let deadline = start + self.queue_wait;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                state.queued -= 1;
+                return Err(ServerError::QueueTimeout {
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            let (guard, wait) = self.slot_freed.wait_timeout(state, deadline - now).unwrap();
+            state = guard;
+            if state.in_flight < self.max_in_flight {
+                state.queued -= 1;
+                state.in_flight += 1;
+                return Ok(AdmissionPermit { controller: self });
+            }
+            if wait.timed_out() {
+                state.queued -= 1;
+                return Err(ServerError::QueueTimeout {
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+        }
+    }
+
+    /// Current `(in_flight, queued)` snapshot.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.state.lock().unwrap();
+        (state.in_flight, state.queued)
+    }
+}
+
+/// An admitted request's slot; releasing it wakes one queued request.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    controller: &'a AdmissionController,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.controller.state.lock().unwrap();
+        state.in_flight -= 1;
+        drop(state);
+        self.controller.slot_freed.notify_one();
+    }
+}
+
+/// Per-tenant work accounting for one budget window.
+///
+/// Budgets use the evaluator's work units: a request is charged an estimate
+/// derived from its shape before it runs (see
+/// [`ServerConfig`](crate::ServerConfig)), and a tenant over budget receives
+/// typed [`ServerError::QuotaExhausted`] rejections until
+/// [`reset_window`](TenantBudgets::reset_window) is called.
+///
+/// Accounting is sharded by tenant hash so it never becomes a global
+/// serialization point, and each shard is a *bounded* LRU
+/// ([`sapphire_core::BoundedCache`]): only the most recently active tenants
+/// are tracked, so the meter cannot grow without bound under tenant-name
+/// churn. A tenant idle long enough to be evicted starts a fresh meter on
+/// return — tenant identity is client-supplied, so per-window budgets bound
+/// *well-behaved* usage; they are not a defense against name cycling.
+#[derive(Debug)]
+pub struct TenantBudgets {
+    budget: Option<u64>,
+    shards: Vec<Mutex<sapphire_core::BoundedCache<String, u64>>>,
+}
+
+/// Shards of the tenant meter.
+const TENANT_SHARDS: usize = 16;
+/// Most-recently-active tenants tracked per shard.
+const TRACKED_TENANTS_PER_SHARD: usize = 4096;
+
+impl TenantBudgets {
+    /// `None` disables quota enforcement (the warehouse posture).
+    pub fn new(budget: Option<u64>) -> Self {
+        TenantBudgets {
+            budget,
+            shards: (0..TENANT_SHARDS)
+                .map(|_| Mutex::new(sapphire_core::BoundedCache::new(TRACKED_TENANTS_PER_SHARD)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, tenant: &str) -> &Mutex<sapphire_core::BoundedCache<String, u64>> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        tenant.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Charge `work` units to `tenant`, rejecting if it would exceed the
+    /// window budget. Rejected requests are not charged; usage is metered
+    /// even when no budget is enforced (observability without enforcement).
+    pub fn charge(&self, tenant: &str, work: u64) -> Result<(), ServerError> {
+        let mut meter = self.shard(tenant).lock().unwrap();
+        let would_use = meter.get(tenant).copied().unwrap_or(0).saturating_add(work);
+        if let Some(budget) = self.budget {
+            if would_use > budget {
+                return Err(ServerError::QuotaExhausted {
+                    tenant: tenant.to_string(),
+                    used: would_use,
+                    budget,
+                });
+            }
+        }
+        meter.insert(tenant.to_string(), would_use);
+        Ok(())
+    }
+
+    /// Work charged to `tenant` so far in this window.
+    pub fn used(&self, tenant: &str) -> u64 {
+        self.shard(tenant)
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Start a fresh accounting window for every tenant.
+    pub fn reset_window(&self) {
+        for shard in &self.shards {
+            *shard.lock().unwrap() = sapphire_core::BoundedCache::new(TRACKED_TENANTS_PER_SHARD);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_limit_then_queues_then_rejects() {
+        let gate = AdmissionController::new(1, 0, Duration::from_millis(10));
+        let p1 = gate.admit().expect("first request admitted");
+        let err = gate.admit().unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::Overloaded {
+                in_flight: 1,
+                queue_depth: 0
+            }
+        ));
+        drop(p1);
+        let _p2 = gate.admit().expect("slot freed");
+    }
+
+    #[test]
+    fn queued_request_times_out_typed() {
+        let gate = AdmissionController::new(1, 4, Duration::from_millis(20));
+        let _p = gate.admit().unwrap();
+        let err = gate.admit().unwrap_err();
+        assert!(
+            matches!(err, ServerError::QueueTimeout { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn queued_request_proceeds_when_slot_frees() {
+        let gate = Arc::new(AdmissionController::new(1, 4, Duration::from_secs(5)));
+        let served = Arc::new(AtomicUsize::new(0));
+        let permit = gate.admit().unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let gate = gate.clone();
+            let served = served.clone();
+            handles.push(std::thread::spawn(move || {
+                let _p = gate.admit().expect("queued then admitted");
+                served.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // Give the threads time to enter the queue, then release the slot.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            served.load(Ordering::SeqCst),
+            0,
+            "all three should be waiting"
+        );
+        drop(permit);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(served.load(Ordering::SeqCst), 3);
+        assert_eq!(gate.load(), (0, 0));
+    }
+
+    #[test]
+    fn tenant_budget_rejects_after_exhaustion() {
+        let budgets = TenantBudgets::new(Some(10));
+        assert!(budgets.charge("alice", 6).is_ok());
+        assert!(budgets.charge("alice", 4).is_ok());
+        let err = budgets.charge("alice", 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::QuotaExhausted {
+                used: 11,
+                budget: 10,
+                ..
+            }
+        ));
+        assert_eq!(budgets.used("alice"), 10, "rejected request not charged");
+        // Other tenants are unaffected; windows reset cleanly.
+        assert!(budgets.charge("bob", 10).is_ok());
+        budgets.reset_window();
+        assert!(budgets.charge("alice", 10).is_ok());
+    }
+
+    #[test]
+    fn tenant_meter_is_bounded_under_name_churn() {
+        let budgets = TenantBudgets::new(None);
+        for i in 0..200_000 {
+            budgets.charge(&format!("drive-by-{i}"), 1).unwrap();
+        }
+        // Capacity is TENANT_SHARDS * TRACKED_TENANTS_PER_SHARD (65,536);
+        // early drive-by tenants must have been evicted, recent ones kept.
+        assert_eq!(budgets.used("drive-by-0"), 0, "idle tenants evicted");
+        assert_eq!(budgets.used("drive-by-199999"), 1, "active tenants tracked");
+    }
+
+    #[test]
+    fn unlimited_budget_never_rejects() {
+        let budgets = TenantBudgets::new(None);
+        for _ in 0..1000 {
+            budgets.charge("anyone", u64::MAX / 2).unwrap();
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The sharded response cache.
+//!
+//! QCM and QSM answers over an immutable model are pure functions of the
+//! request, so identical requests — the common case when many users type the
+//! same prefixes — are served from a bounded LRU instead of re-searching the
+//! suffix tree, re-scanning residual bins, or re-running SPARQL. Keys are
+//! *normalized* request descriptions (lowercased trimmed completion terms,
+//! canonical query renderings) so trivially different spellings of the same
+//! request share an entry. Shard selection hashes the key; each shard is an
+//! independently locked [`BoundedCache`], keeping contention proportional to
+//! actual key collisions rather than global traffic.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use sapphire_core::{BoundedCache, CacheStats};
+
+/// A sharded, bounded, counted LRU keyed by normalized request strings.
+#[derive(Debug)]
+pub struct ShardedResponseCache<V> {
+    shards: Vec<Mutex<BoundedCache<String, V>>>,
+}
+
+impl<V: Clone> ShardedResponseCache<V> {
+    /// `shards` independent LRUs of `capacity_per_shard` entries each.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        let shards = shards.clamp(1, 1024);
+        ShardedResponseCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(BoundedCache::new(capacity_per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<BoundedCache<String, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Cached value for `key`, if present (counts a hit or miss).
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.shard(key).lock().unwrap().get(key).cloned()
+    }
+
+    /// Insert a response.
+    pub fn insert(&self, key: String, value: V) {
+        self.shard(&key).lock().unwrap().insert(key, value);
+    }
+
+    /// Aggregated counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// Total live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Normalize a QCM completion term into a cache key.
+pub fn completion_key(term: &str) -> String {
+    format!("qcm\u{1}{}", term.trim().to_lowercase())
+}
+
+/// Normalize a built query into a cache key. Uses the query's structural
+/// debug rendering, which is stable and canonical for our AST (keyword
+/// predicates are already resolved to IRIs by the time a query is built).
+pub fn run_key(query: &impl std::fmt::Debug) -> String {
+    format!("run\u{1}{query:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_roundtrip_with_stats() {
+        let cache: ShardedResponseCache<u32> = ShardedResponseCache::new(4, 8);
+        assert_eq!(cache.get("a"), None);
+        cache.insert("a".into(), 1);
+        assert_eq!(cache.get("a"), Some(1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn bounded_across_shards() {
+        let cache: ShardedResponseCache<u32> = ShardedResponseCache::new(2, 4);
+        for i in 0..1000 {
+            cache.insert(format!("key-{i}"), i);
+        }
+        assert!(cache.len() <= 8, "2 shards x 4 entries");
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn completion_keys_normalize() {
+        assert_eq!(completion_key("  Kennedy "), completion_key("kennedy"));
+        assert_ne!(completion_key("kennedy"), completion_key("kennedys"));
+    }
+}

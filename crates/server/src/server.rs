@@ -1,0 +1,439 @@
+//! The multi-session Sapphire server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sapphire_core::qcm::CompletionResult;
+use sapphire_core::qsm::QsmOutput;
+use sapphire_core::session::{Modifiers, Session, TripleInput};
+use sapphire_core::{AnswerTable, CacheStats, PredictiveUserModel};
+use sapphire_endpoint::{QueryService, ServiceError};
+use sapphire_sparql::{Query, QueryResult, SelectQuery, Solutions, WorkBudget};
+
+use crate::admission::{AdmissionController, TenantBudgets};
+use crate::error::{from_federation, ServerError};
+use crate::registry::{SessionId, SessionRegistry};
+use crate::response_cache::{completion_key, run_key, ShardedResponseCache};
+
+/// Tuning knobs of a [`SapphireServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Service name (reported through the [`QueryService`] surface).
+    pub name: String,
+    /// Requests allowed to execute concurrently.
+    pub max_in_flight: usize,
+    /// Requests allowed to wait for a slot beyond `max_in_flight`; everything
+    /// past this is rejected with [`ServerError::Overloaded`].
+    pub max_queue_depth: usize,
+    /// How long a queued request may wait before a typed
+    /// [`ServerError::QueueTimeout`].
+    pub queue_wait: Duration,
+    /// Per-tenant work budget per accounting window (`None` = unlimited).
+    /// Denominated in evaluator work units — see
+    /// [`ServerConfig::with_tenant_budget`].
+    pub tenant_window_budget: Option<u64>,
+    /// Work units charged per QCM completion request.
+    pub completion_cost: u64,
+    /// Work units charged per run request, plus
+    /// [`run_per_pattern_cost`](Self::run_per_pattern_cost) per triple pattern.
+    pub run_base_cost: u64,
+    /// Extra work units charged per triple pattern in a run request.
+    pub run_per_pattern_cost: u64,
+    /// Response-cache shards.
+    pub cache_shards: usize,
+    /// LRU capacity per response-cache shard.
+    pub cache_capacity_per_shard: usize,
+    /// Session-registry shards.
+    pub registry_shards: usize,
+    /// Maximum concurrently open sessions.
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(8);
+        ServerConfig {
+            name: "sapphire".to_string(),
+            max_in_flight: cores,
+            max_queue_depth: cores * 4,
+            queue_wait: Duration::from_millis(250),
+            tenant_window_budget: None,
+            completion_cost: 1,
+            run_base_cost: 4,
+            run_per_pattern_cost: 4,
+            cache_shards: 16,
+            cache_capacity_per_shard: 4096,
+            registry_shards: 16,
+            max_sessions: 65_536,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A small configuration for unit tests.
+    pub fn for_tests() -> Self {
+        ServerConfig {
+            max_in_flight: 4,
+            max_queue_depth: 8,
+            queue_wait: Duration::from_millis(100),
+            cache_shards: 4,
+            cache_capacity_per_shard: 64,
+            registry_shards: 4,
+            max_sessions: 256,
+            ..Self::default()
+        }
+    }
+
+    /// Derive the per-tenant window quota from an evaluator [`WorkBudget`] —
+    /// the same knob the endpoints use per query, promoted to a service-level
+    /// QoS setting. An unlimited budget disables quotas.
+    pub fn with_tenant_budget(mut self, budget: &WorkBudget) -> Self {
+        self.tenant_window_budget = budget.limit();
+        self
+    }
+}
+
+/// Point-in-time observability snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// QCM completion requests received.
+    pub completion_requests: u64,
+    /// Run (QSM) requests received.
+    pub run_requests: u64,
+    /// Raw queries served through the [`QueryService`] surface.
+    pub service_requests: u64,
+    /// Requests rejected with [`ServerError::Overloaded`].
+    pub rejected_overloaded: u64,
+    /// Requests rejected with [`ServerError::QueueTimeout`].
+    pub rejected_queue_timeout: u64,
+    /// Requests rejected with [`ServerError::QuotaExhausted`].
+    pub rejected_quota: u64,
+    /// Completion-cache counters.
+    pub completion_cache: CacheStats,
+    /// Run-cache counters.
+    pub run_cache: CacheStats,
+    /// Sessions currently open.
+    pub open_sessions: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    completion_requests: AtomicU64,
+    run_requests: AtomicU64,
+    service_requests: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_queue_timeout: AtomicU64,
+    rejected_quota: AtomicU64,
+}
+
+/// Result of a server-side "Run" click.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The query's answers, wrapped for table interaction.
+    pub answers: AnswerTable,
+    /// QSM suggestions (also retained server-side for
+    /// [`SapphireServer::apply_alternative`]).
+    pub suggestions: QsmOutput,
+    /// True if the query executed (even with zero answers).
+    pub executed: bool,
+    /// The session's attempt count after this run.
+    pub attempts: u32,
+    /// True if answers and suggestions came from the response cache.
+    pub cached: bool,
+}
+
+/// What the run cache stores — the model-derived payload, not the
+/// session-specific bookkeeping.
+#[derive(Debug, Clone)]
+struct CachedRun {
+    answers: Solutions,
+    executed: bool,
+    suggestions: QsmOutput,
+}
+
+/// A concurrent, multi-session Sapphire query service.
+///
+/// One `SapphireServer` owns exactly one shared, immutable
+/// [`PredictiveUserModel`] behind an [`Arc`] — the knowledge-graph endpoints,
+/// the assembled cache (suffix tree + residual bins), the lexica. Sessions
+/// are entries in a sharded registry holding only the user's typed state;
+/// requests rehydrate a [`Session`] against the shared model for their
+/// duration. Every model-touching request passes admission control and
+/// per-tenant budgets first, and QCM/QSM responses are memoized in a sharded
+/// bounded LRU.
+pub struct SapphireServer {
+    pum: Arc<PredictiveUserModel>,
+    config: ServerConfig,
+    registry: SessionRegistry,
+    admission: AdmissionController,
+    tenants: TenantBudgets,
+    completion_cache: ShardedResponseCache<CompletionResult>,
+    run_cache: ShardedResponseCache<CachedRun>,
+    counters: Counters,
+}
+
+impl SapphireServer {
+    /// Stand up a server over a shared model.
+    pub fn new(pum: Arc<PredictiveUserModel>, config: ServerConfig) -> Self {
+        SapphireServer {
+            registry: SessionRegistry::new(config.registry_shards, config.max_sessions),
+            admission: AdmissionController::new(
+                config.max_in_flight,
+                config.max_queue_depth,
+                config.queue_wait,
+            ),
+            tenants: TenantBudgets::new(config.tenant_window_budget),
+            completion_cache: ShardedResponseCache::new(
+                config.cache_shards,
+                config.cache_capacity_per_shard,
+            ),
+            run_cache: ShardedResponseCache::new(
+                config.cache_shards,
+                config.cache_capacity_per_shard,
+            ),
+            counters: Counters::default(),
+            pum,
+            config,
+        }
+    }
+
+    /// The shared model (e.g. for registering its endpoints elsewhere).
+    pub fn model(&self) -> &Arc<PredictiveUserModel> {
+        &self.pum
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Open an interactive session for `tenant`.
+    pub fn open_session(&self, tenant: &str) -> Result<SessionId, ServerError> {
+        self.registry.open(tenant)
+    }
+
+    /// Close a session; returns true if it existed.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.registry.close(id)
+    }
+
+    /// Replace one triple-pattern row of a session.
+    pub fn set_row(
+        &self,
+        id: SessionId,
+        idx: usize,
+        input: TripleInput,
+    ) -> Result<(), ServerError> {
+        let entry = self.registry.get(id)?;
+        let mut entry = entry.lock().unwrap();
+        if idx >= entry.triples.len() {
+            entry.triples.resize_with(idx + 1, TripleInput::default);
+        }
+        entry.triples[idx] = input;
+        Ok(())
+    }
+
+    /// Replace a session's query modifiers.
+    pub fn set_modifiers(&self, id: SessionId, modifiers: Modifiers) -> Result<(), ServerError> {
+        let entry = self.registry.get(id)?;
+        entry.lock().unwrap().modifiers = modifiers;
+        Ok(())
+    }
+
+    /// QCM: complete the term being typed in one of `id`'s text boxes.
+    ///
+    /// Admission-controlled and budget-charged; identical (normalized) terms
+    /// across all sessions share one cached response.
+    pub fn complete(&self, id: SessionId, typed: &str) -> Result<CompletionResult, ServerError> {
+        self.counters
+            .completion_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let tenant = self.registry.get(id)?.lock().unwrap().tenant.clone();
+        let permit = self.count_rejection(self.admission.admit())?;
+        self.count_rejection(self.tenants.charge(&tenant, self.config.completion_cost))?;
+        let key = completion_key(typed);
+        if let Some(hit) = self.completion_cache.get(&key) {
+            return Ok(hit);
+        }
+        let result = self.pum.complete(typed);
+        self.completion_cache.insert(key, result.clone());
+        drop(permit);
+        Ok(result)
+    }
+
+    /// QSM + execution: press "Run" on session `id`.
+    ///
+    /// Builds the query from the session's rows, executes it against the
+    /// shared federation, and gathers suggestions — all while holding the
+    /// session's own lock, so concurrent runs of the *same* session
+    /// serialize and stay deterministic. The model-derived payload is
+    /// memoized across sessions by normalized query.
+    pub fn run(&self, id: SessionId) -> Result<RunOutput, ServerError> {
+        self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
+        let entry = self.registry.get(id)?;
+        let mut entry = entry.lock().unwrap();
+        // Admission comes first: a shed request must cost nothing, and even
+        // query building resolves keyword predicates against the shared
+        // cache. The quota charge needs the built query's shape, so it
+        // follows — an over-budget tenant gives its slot straight back.
+        let permit = self.count_rejection(self.admission.admit())?;
+        let query = Session::resume(
+            &self.pum,
+            entry.triples.clone(),
+            entry.modifiers.clone(),
+            entry.attempts,
+        )
+        .build_query()?;
+        let cost = self.run_cost(&query);
+        self.count_rejection(self.tenants.charge(&entry.tenant, cost))?;
+        let key = run_key(&query);
+        let (cached, run) = match self.run_cache.get(&key) {
+            Some(hit) => (true, hit),
+            None => {
+                let outcome = self.pum.run(&query);
+                let run = CachedRun {
+                    answers: outcome.answers,
+                    executed: outcome.executed,
+                    suggestions: outcome.suggestions,
+                };
+                self.run_cache.insert(key, run.clone());
+                (false, run)
+            }
+        };
+        drop(permit);
+        entry.attempts += 1;
+        entry.last_suggestions = Some(run.suggestions.clone());
+        Ok(RunOutput {
+            answers: AnswerTable::new(run.answers),
+            suggestions: run.suggestions,
+            executed: run.executed,
+            attempts: entry.attempts,
+            cached,
+        })
+    }
+
+    /// Accept the `alt_index`-th term alternative from `id`'s last run:
+    /// updates the session's boxes and returns the prefetched answers
+    /// (§4's "almost-instantaneous" accept — no re-execution, so no
+    /// admission charge either).
+    pub fn apply_alternative(
+        &self,
+        id: SessionId,
+        alt_index: usize,
+    ) -> Result<AnswerTable, ServerError> {
+        let entry = self.registry.get(id)?;
+        let mut entry = entry.lock().unwrap();
+        let suggestions = entry
+            .last_suggestions
+            .clone()
+            .ok_or(ServerError::UnknownSuggestion {
+                index: alt_index,
+                available: 0,
+            })?;
+        let alt =
+            suggestions
+                .alternatives
+                .get(alt_index)
+                .ok_or(ServerError::UnknownSuggestion {
+                    index: alt_index,
+                    available: suggestions.alternatives.len(),
+                })?;
+        let mut session = Session::resume(
+            &self.pum,
+            entry.triples.clone(),
+            entry.modifiers.clone(),
+            entry.attempts,
+        );
+        let answers = session.apply_alternative(alt);
+        entry.triples = session.triples;
+        Ok(answers)
+    }
+
+    /// The per-tenant work charged so far in this window.
+    pub fn tenant_usage(&self, tenant: &str) -> u64 {
+        self.tenants.used(tenant)
+    }
+
+    /// Start a fresh tenant-budget accounting window.
+    pub fn reset_budget_window(&self) {
+        self.tenants.reset_window();
+    }
+
+    /// Observability snapshot.
+    pub fn metrics(&self) -> ServerMetrics {
+        ServerMetrics {
+            completion_requests: self.counters.completion_requests.load(Ordering::Relaxed),
+            run_requests: self.counters.run_requests.load(Ordering::Relaxed),
+            service_requests: self.counters.service_requests.load(Ordering::Relaxed),
+            rejected_overloaded: self.counters.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_queue_timeout: self.counters.rejected_queue_timeout.load(Ordering::Relaxed),
+            rejected_quota: self.counters.rejected_quota.load(Ordering::Relaxed),
+            completion_cache: self.completion_cache.stats(),
+            run_cache: self.run_cache.stats(),
+            open_sessions: self.registry.len(),
+        }
+    }
+
+    fn run_cost(&self, query: &SelectQuery) -> u64 {
+        self.config.run_base_cost
+            + self.config.run_per_pattern_cost * query.pattern.triples.len() as u64
+    }
+
+    fn count_rejection<T>(&self, result: Result<T, ServerError>) -> Result<T, ServerError> {
+        if let Err(e) = &result {
+            match e {
+                ServerError::Overloaded { .. } => {
+                    self.counters
+                        .rejected_overloaded
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                ServerError::QueueTimeout { .. } => {
+                    self.counters
+                        .rejected_queue_timeout
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                ServerError::QuotaExhausted { .. } => {
+                    self.counters.rejected_quota.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+        result
+    }
+}
+
+/// Raw SPARQL surface: lets a `SapphireServer` stand behind a
+/// [`ServiceEndpoint`](sapphire_endpoint::ServiceEndpoint) so other
+/// deployments can federate over it, with this server's admission control
+/// and budgets still enforced.
+impl QueryService for SapphireServer {
+    fn service_name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn execute_query(&self, tenant: &str, query: &Query) -> Result<QueryResult, ServiceError> {
+        self.counters
+            .service_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let cost = match query {
+            Query::Select(s) => self.run_cost(s),
+            Query::Ask(gp) => {
+                self.config.run_base_cost
+                    + self.config.run_per_pattern_cost * gp.triples.len() as u64
+            }
+        };
+        let admit = || -> Result<_, ServerError> {
+            let permit = self.count_rejection(self.admission.admit())?;
+            self.count_rejection(self.tenants.charge(tenant, cost))?;
+            Ok(permit)
+        };
+        let _permit = admit().map_err(ServerError::into_service_error)?;
+        self.pum
+            .federation()
+            .execute_parsed(query)
+            .map_err(|e| from_federation(e).into_service_error())
+    }
+}

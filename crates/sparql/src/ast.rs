@@ -69,7 +69,11 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Construct a pattern.
     pub fn new(subject: TermPattern, predicate: TermPattern, object: TermPattern) -> Self {
-        TriplePattern { subject, predicate, object }
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// Iterate over the three positions.
@@ -174,7 +178,11 @@ impl Expr {
         match self {
             Expr::Var(v) | Expr::Bound(v) => out.push(v),
             Expr::Const(_) => {}
-            Expr::And(a, b) | Expr::Or(a, b) | Expr::Cmp(_, a, b) | Expr::Contains(a, b) | Expr::StrStarts(a, b) => {
+            Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Cmp(_, a, b)
+            | Expr::Contains(a, b)
+            | Expr::StrStarts(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }
@@ -394,7 +402,10 @@ mod tests {
     fn select_item_names() {
         assert_eq!(SelectItem::Var("x".into()).name(), "x");
         let agg = SelectItem::Agg {
-            agg: Aggregate::Count { distinct: true, var: Some("uri".into()) },
+            agg: Aggregate::Count {
+                distinct: true,
+                var: Some("uri".into()),
+            },
             alias: "c".into(),
         };
         assert_eq!(agg.name(), "c");

@@ -31,7 +31,10 @@ impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::WorkLimitExceeded { used } => {
-                write!(f, "work limit exceeded after {used} units (simulated timeout)")
+                write!(
+                    f,
+                    "work limit exceeded after {used} units (simulated timeout)"
+                )
             }
             EvalError::Unsupported(what) => write!(f, "unsupported query feature: {what}"),
         }
@@ -50,18 +53,31 @@ pub struct WorkBudget {
 impl WorkBudget {
     /// A budget capped at `limit` units.
     pub fn limited(limit: u64) -> Self {
-        WorkBudget { limit: Some(limit), used: 0 }
+        WorkBudget {
+            limit: Some(limit),
+            used: 0,
+        }
     }
 
     /// An unbounded budget (the paper's "warehousing architecture", where no
     /// resource constraints or timeouts apply).
     pub fn unlimited() -> Self {
-        WorkBudget { limit: None, used: 0 }
+        WorkBudget {
+            limit: None,
+            used: 0,
+        }
     }
 
     /// Work consumed so far.
     pub fn used(&self) -> u64 {
         self.used
+    }
+
+    /// The configured cap, if any (`None` for unlimited budgets). Lets
+    /// higher layers — e.g. a serving tier's per-tenant quotas — reuse a
+    /// budget's units without re-deriving them.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
     }
 
     #[inline]
@@ -75,7 +91,11 @@ impl WorkBudget {
 }
 
 /// Evaluate a query against a graph within a budget.
-pub fn evaluate(graph: &Graph, query: &Query, budget: &mut WorkBudget) -> Result<QueryResult, EvalError> {
+pub fn evaluate(
+    graph: &Graph,
+    query: &Query,
+    budget: &mut WorkBudget,
+) -> Result<QueryResult, EvalError> {
     match query {
         Query::Select(s) => evaluate_select(graph, s, budget).map(QueryResult::Solutions),
         Query::Ask(gp) => {
@@ -151,7 +171,11 @@ struct VarTable {
 impl VarTable {
     fn from_pattern(gp: &GraphPattern) -> Self {
         let names = gp.variables();
-        let index = names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
         VarTable { names, index }
     }
 
@@ -220,7 +244,11 @@ impl CompiledPattern {
             Slot::Ground(id) => Some(*id),
             _ => None,
         };
-        graph.cardinality(pick(&self.slots[0]), pick(&self.slots[1]), pick(&self.slots[2]))
+        graph.cardinality(
+            pick(&self.slots[0]),
+            pick(&self.slots[1]),
+            pick(&self.slots[2]),
+        )
     }
 }
 
@@ -232,8 +260,11 @@ fn match_bgp(
     budget: &mut WorkBudget,
     row_limit: Option<usize>,
 ) -> Result<Vec<Vec<Option<TermId>>>, EvalError> {
-    let compiled: Vec<CompiledPattern> =
-        gp.triples.iter().map(|tp| CompiledPattern::compile(tp, graph, vars)).collect();
+    let compiled: Vec<CompiledPattern> = gp
+        .triples
+        .iter()
+        .map(|tp| CompiledPattern::compile(tp, graph, vars))
+        .collect();
     if compiled.iter().any(|c| !c.is_satisfiable()) {
         return Ok(Vec::new());
     }
@@ -391,7 +422,9 @@ fn recurse(
                 }
                 let fires_now = fv.iter().any(|v| newly_bound.contains(v));
                 let all_bound = fv.iter().all(|v| bindings[*v].is_some());
-                if fires_now && all_bound && !eval_filter(ctx.graph, &ctx.gp.filters[fi], bindings, ctx.vars)
+                if fires_now
+                    && all_bound
+                    && !eval_filter(ctx.graph, &ctx.gp.filters[fi], bindings, ctx.vars)
                 {
                     pass = false;
                     break;
@@ -480,7 +513,9 @@ fn format_num(n: f64) -> String {
 
 fn eval_filter(graph: &Graph, expr: &Expr, bindings: &[Option<TermId>], vars: &VarTable) -> bool {
     let resolve = |name: &str| -> Option<Term> {
-        vars.get(name).and_then(|i| bindings[i]).map(|id| graph.term(id).clone())
+        vars.get(name)
+            .and_then(|i| bindings[i])
+            .map(|id| graph.term(id).clone())
     };
     filter_passes(expr, &resolve)
 }
@@ -501,12 +536,10 @@ fn eval_expr(expr: &Expr, resolve: &dyn Fn(&str) -> Option<Term>) -> Value {
         },
         Expr::Const(t) => Value::Term(t.clone()),
         Expr::And(a, b) => Value::Bool(
-            eval_expr(a, resolve).effective_bool()
-                && eval_expr(b, resolve).effective_bool(),
+            eval_expr(a, resolve).effective_bool() && eval_expr(b, resolve).effective_bool(),
         ),
         Expr::Or(a, b) => Value::Bool(
-            eval_expr(a, resolve).effective_bool()
-                || eval_expr(b, resolve).effective_bool(),
+            eval_expr(a, resolve).effective_bool() || eval_expr(b, resolve).effective_bool(),
         ),
         Expr::Not(e) => Value::Bool(!eval_expr(e, resolve).effective_bool()),
         Expr::Cmp(op, a, b) => {
@@ -608,7 +641,10 @@ fn compare(op: CmpOp, a: &Value, b: &Value) -> Value {
     if matches!(op, CmpOp::Eq | CmpOp::Ne) {
         if let (Value::Term(ta), Value::Term(tb)) = (a, b) {
             // Numeric literals compare by value ("8.0E7" = "80000000").
-            let eq = match (ta.as_literal().and_then(|l| l.as_f64()), tb.as_literal().and_then(|l| l.as_f64())) {
+            let eq = match (
+                ta.as_literal().and_then(|l| l.as_f64()),
+                tb.as_literal().and_then(|l| l.as_f64()),
+            ) {
                 (Some(x), Some(y)) => x == y,
                 _ => term_eq_relaxed(ta, tb),
             };
@@ -679,7 +715,10 @@ fn project(
                 .collect()
         })
         .collect();
-    Solutions { vars: names, rows: out_rows }
+    Solutions {
+        vars: names,
+        rows: out_rows,
+    }
 }
 
 fn aggregate(
@@ -703,7 +742,8 @@ fn aggregate(
 
     // Group rows; with no GROUP BY all rows form one group (even when empty,
     // aggregates over the empty input still yield one row, e.g. COUNT() = 0).
-    let mut groups: Vec<(Vec<Option<TermId>>, Vec<Vec<Option<TermId>>>)> = Vec::new();
+    type GroupKey = Vec<Option<TermId>>;
+    let mut groups: Vec<(GroupKey, Vec<GroupKey>)> = Vec::new();
     let mut index: HashMap<Vec<Option<TermId>>, usize> = HashMap::new();
     if group_cols.is_empty() {
         groups.push((Vec::new(), rows));
@@ -731,7 +771,12 @@ fn aggregate(
                             "projected variable ?{v} is neither aggregated nor grouped"
                         ))
                     })?;
-                    row.push(key.get(gpos).copied().flatten().map(|id| graph.term(id).clone()));
+                    row.push(
+                        key.get(gpos)
+                            .copied()
+                            .flatten()
+                            .map(|id| graph.term(id).clone()),
+                    );
                 }
                 SelectItem::Agg { agg, .. } => {
                     row.push(Some(eval_aggregate(graph, agg, vars, members)?));
@@ -740,7 +785,10 @@ fn aggregate(
         }
         out_rows.push(row);
     }
-    Ok(Solutions { vars: names, rows: out_rows })
+    Ok(Solutions {
+        vars: names,
+        rows: out_rows,
+    })
 }
 
 fn eval_aggregate(
@@ -797,7 +845,11 @@ fn eval_aggregate(
                 .filter_map(|r| r[c])
                 .filter_map(|id| graph.term(id).as_literal().and_then(|l| l.as_f64()))
                 .collect();
-            let avg = if nums.is_empty() { 0.0 } else { nums.iter().sum::<f64>() / nums.len() as f64 };
+            let avg = if nums.is_empty() {
+                0.0
+            } else {
+                nums.iter().sum::<f64>() / nums.len() as f64
+            };
             Term::Literal(Literal::typed(format!("{avg}"), vocab::xsd::DECIMAL))
         }
         Aggregate::Min(v) | Aggregate::Max(v) => {
@@ -810,7 +862,8 @@ fn eval_aggregate(
                     None => t,
                     Some(b) => {
                         let ord = value_order(&b, &t);
-                        if (want_max && ord == Ordering::Less) || (!want_max && ord == Ordering::Greater)
+                        if (want_max && ord == Ordering::Less)
+                            || (!want_max && ord == Ordering::Greater)
                         {
                             t
                         } else {
@@ -963,7 +1016,10 @@ res:Australia a dbo:Country ; dbo:name "Australia"@en ; dbo:capital res:Canberra
     #[test]
     fn filter_numeric() {
         let g = city_graph();
-        let s = run(&g, "SELECT ?c WHERE { ?c dbo:population ?p . FILTER(?p > 1000000) }");
+        let s = run(
+            &g,
+            "SELECT ?c WHERE { ?c dbo:population ?p . FILTER(?p > 1000000) }",
+        );
         assert_eq!(s.len(), 2);
     }
 
@@ -1001,7 +1057,10 @@ res:Australia a dbo:Country ; dbo:name "Australia"@en ; dbo:capital res:Canberra
             "SELECT ?country (COUNT(?c) AS ?n) WHERE { ?c a dbo:City ; dbo:country ?country } GROUP BY ?country ORDER BY DESC(?n)",
         );
         assert_eq!(s.len(), 2);
-        assert_eq!(s.rows[0][0].as_ref().unwrap().lexical(), "http://dbpedia.org/resource/Australia");
+        assert_eq!(
+            s.rows[0][0].as_ref().unwrap().lexical(),
+            "http://dbpedia.org/resource/Australia"
+        );
         assert_eq!(s.rows[0][1].as_ref().unwrap().lexical(), "2");
     }
 
@@ -1013,19 +1072,28 @@ res:Australia a dbo:Country ; dbo:name "Australia"@en ; dbo:capital res:Canberra
             "SELECT ?c ?p WHERE { ?c dbo:population ?p } ORDER BY DESC(?p) LIMIT 1",
         );
         assert_eq!(s.len(), 1);
-        assert_eq!(s.get(0, "c").unwrap().lexical(), "http://dbpedia.org/resource/New_York");
+        assert_eq!(
+            s.get(0, "c").unwrap().lexical(),
+            "http://dbpedia.org/resource/New_York"
+        );
 
         let s = run(
             &g,
             "SELECT ?c ?p WHERE { ?c dbo:population ?p } ORDER BY DESC(?p) LIMIT 1 OFFSET 1",
         );
-        assert_eq!(s.get(0, "c").unwrap().lexical(), "http://dbpedia.org/resource/Sydney");
+        assert_eq!(
+            s.get(0, "c").unwrap().lexical(),
+            "http://dbpedia.org/resource/Sydney"
+        );
     }
 
     #[test]
     fn distinct() {
         let g = city_graph();
-        let s = run(&g, "SELECT DISTINCT ?country WHERE { ?c a dbo:City ; dbo:country ?country }");
+        let s = run(
+            &g,
+            "SELECT DISTINCT ?country WHERE { ?c a dbo:City ; dbo:country ?country }",
+        );
         assert_eq!(s.len(), 2);
     }
 
@@ -1034,12 +1102,16 @@ res:Australia a dbo:Country ; dbo:name "Australia"@en ; dbo:capital res:Canberra
         let g = city_graph();
         let q = parse_query("ASK { res:Sydney a dbo:City }").unwrap();
         assert_eq!(
-            evaluate(&g, &q, &mut WorkBudget::unlimited()).unwrap().boolean(),
+            evaluate(&g, &q, &mut WorkBudget::unlimited())
+                .unwrap()
+                .boolean(),
             Some(true)
         );
         let q = parse_query("ASK { res:Sydney a dbo:Country }").unwrap();
         assert_eq!(
-            evaluate(&g, &q, &mut WorkBudget::unlimited()).unwrap().boolean(),
+            evaluate(&g, &q, &mut WorkBudget::unlimited())
+                .unwrap()
+                .boolean(),
             Some(false)
         );
     }
@@ -1091,16 +1163,25 @@ res:Australia a dbo:Country ; dbo:name "Australia"@en ; dbo:capital res:Canberra
     #[test]
     fn relaxed_literal_equality_matches_lang_tagged() {
         let g = city_graph();
-        let s = run(&g, r#"SELECT ?c WHERE { ?c dbo:name ?n . FILTER(?n = "Sydney") }"#);
+        let s = run(
+            &g,
+            r#"SELECT ?c WHERE { ?c dbo:name ?n . FILTER(?n = "Sydney") }"#,
+        );
         assert_eq!(s.len(), 1);
     }
 
     #[test]
     fn regex_lite() {
         let g = city_graph();
-        let s = run(&g, r#"SELECT ?c WHERE { ?c dbo:name ?n . FILTER(regex(str(?n), "york", "i")) }"#);
+        let s = run(
+            &g,
+            r#"SELECT ?c WHERE { ?c dbo:name ?n . FILTER(regex(str(?n), "york", "i")) }"#,
+        );
         assert_eq!(s.len(), 1);
-        let s = run(&g, r#"SELECT ?c WHERE { ?c dbo:name ?n . FILTER(regex(str(?n), "^Syd")) }"#);
+        let s = run(
+            &g,
+            r#"SELECT ?c WHERE { ?c dbo:name ?n . FILTER(regex(str(?n), "^Syd")) }"#,
+        );
         assert_eq!(s.len(), 1);
     }
 
@@ -1139,15 +1220,24 @@ res:Australia a dbo:Country ; dbo:name "Australia"@en ; dbo:capital res:Canberra
             "SELECT ?c WHERE { ?c a dbo:City ; dbo:population ?p } ORDER BY DESC(?p) LIMIT 1",
         );
         assert_eq!(s.vars, vec!["c"]);
-        assert_eq!(s.get(0, "c").unwrap().lexical(), "http://dbpedia.org/resource/New_York");
+        assert_eq!(
+            s.get(0, "c").unwrap().lexical(),
+            "http://dbpedia.org/resource/New_York"
+        );
     }
 
     #[test]
     fn sum_and_avg() {
         let g = city_graph();
-        let s = run(&g, "SELECT (SUM(?p) AS ?total) WHERE { ?c dbo:population ?p }");
+        let s = run(
+            &g,
+            "SELECT (SUM(?p) AS ?total) WHERE { ?c dbo:population ?p }",
+        );
         assert_eq!(s.sole_value().unwrap().lexical(), "14130000");
-        let s = run(&g, "SELECT (AVG(?p) AS ?mean) WHERE { ?c dbo:population ?p }");
+        let s = run(
+            &g,
+            "SELECT (AVG(?p) AS ?mean) WHERE { ?c dbo:population ?p }",
+        );
         assert_eq!(s.sole_value().unwrap().lexical(), "4710000");
     }
 }

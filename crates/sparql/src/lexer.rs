@@ -113,10 +113,40 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "WHERE", "FILTER", "PREFIX", "LIMIT", "OFFSET", "ORDER", "GROUP", "BY",
-    "ASC", "DESC", "ASK", "COUNT", "SUM", "MIN", "MAX", "AVG", "AS", "ISLITERAL", "ISIRI",
-    "ISURI", "LANG", "STR", "STRLEN", "CONTAINS", "STRSTARTS", "REGEX", "LCASE", "UCASE", "YEAR",
-    "BOUND", "TRUE", "FALSE",
+    "SELECT",
+    "DISTINCT",
+    "WHERE",
+    "FILTER",
+    "PREFIX",
+    "LIMIT",
+    "OFFSET",
+    "ORDER",
+    "GROUP",
+    "BY",
+    "ASC",
+    "DESC",
+    "ASK",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "AS",
+    "ISLITERAL",
+    "ISIRI",
+    "ISURI",
+    "LANG",
+    "STR",
+    "STRLEN",
+    "CONTAINS",
+    "STRSTARTS",
+    "REGEX",
+    "LCASE",
+    "UCASE",
+    "YEAR",
+    "BOUND",
+    "TRUE",
+    "FALSE",
 ];
 
 /// Tokenize a query string.
@@ -181,7 +211,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token::AndAnd);
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "lone '&'".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "lone '&'".into(),
+                    });
                 }
             }
             '|' => {
@@ -189,7 +222,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token::OrOr);
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "lone '|'".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "lone '|'".into(),
+                    });
                 }
             }
             '>' => {
@@ -220,17 +256,25 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token::DtMarker);
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "lone '^'".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "lone '^'".into(),
+                    });
                 }
             }
             '@' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'-') {
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'-')
+                {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { offset: i, message: "empty language tag".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "empty language tag".into(),
+                    });
                 }
                 tokens.push(Token::LangTag(input[start..j].to_ascii_lowercase()));
                 i = j;
@@ -238,11 +282,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             '?' | '$' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_') {
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { offset: i, message: "empty variable name".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "empty variable name".into(),
+                    });
                 }
                 tokens.push(Token::Var(input[start..j].to_string()));
                 i = j;
@@ -254,7 +303,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 let mut escaped = false;
                 loop {
                     if j >= bytes.len() {
-                        return Err(LexError { offset: i, message: "unterminated string".into() });
+                        return Err(LexError {
+                            offset: i,
+                            message: "unterminated string".into(),
+                        });
                     }
                     if escaped {
                         escaped = false;
@@ -287,9 +339,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == digits_start {
-                    return Err(LexError { offset: i, message: format!("stray '{c}'") });
+                    return Err(LexError {
+                        offset: i,
+                        message: format!("stray '{c}'"),
+                    });
                 }
-                if j < bytes.len() && bytes[j] == b'.' && j + 1 < bytes.len() && (bytes[j + 1] as char).is_ascii_digit() {
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
                     j += 1;
                     while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
                         j += 1;
@@ -316,7 +375,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 let start = i;
                 let mut j = i;
                 while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'-')
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'-')
                 {
                     j += 1;
                 }
@@ -336,7 +397,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     {
                         k += 1;
                     }
-                    tokens.push(Token::PName(word.to_string(), input[local_start..k].to_string()));
+                    tokens.push(Token::PName(
+                        word.to_string(),
+                        input[local_start..k].to_string(),
+                    ));
                     i = k;
                     continue;
                 }
@@ -348,7 +412,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 } else {
                     return Err(LexError {
                         offset: start,
-                        message: format!("unexpected bare word: {word:?} (did you mean a prefixed name?)"),
+                        message: format!(
+                            "unexpected bare word: {word:?} (did you mean a prefixed name?)"
+                        ),
                     });
                 }
                 i = j;
@@ -358,15 +424,23 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 let local_start = i + 1;
                 let mut k = local_start;
                 while k < bytes.len()
-                    && ((bytes[k] as char).is_ascii_alphanumeric() || bytes[k] == b'_' || bytes[k] == b'-')
+                    && ((bytes[k] as char).is_ascii_alphanumeric()
+                        || bytes[k] == b'_'
+                        || bytes[k] == b'-')
                 {
                     k += 1;
                 }
-                tokens.push(Token::PName(String::new(), input[local_start..k].to_string()));
+                tokens.push(Token::PName(
+                    String::new(),
+                    input[local_start..k].to_string(),
+                ));
                 i = k;
             }
             other => {
-                return Err(LexError { offset: i, message: format!("unexpected character {other:?}") });
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                });
             }
         }
     }
@@ -487,7 +561,10 @@ mod tests {
     #[test]
     fn pname_with_dots() {
         let toks = tokenize("res:New_York.City").unwrap();
-        assert_eq!(toks, vec![Token::PName("res".into(), "New_York.City".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::PName("res".into(), "New_York.City".into())]
+        );
     }
 
     #[test]

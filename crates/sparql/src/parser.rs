@@ -25,7 +25,9 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.to_string() }
+        ParseError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -52,7 +54,9 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
 pub fn parse_select(input: &str) -> Result<SelectQuery, ParseError> {
     match parse_query(input)? {
         Query::Select(s) => Ok(s),
-        Query::Ask(_) => Err(ParseError { message: "expected SELECT, found ASK".into() }),
+        Query::Ask(_) => Err(ParseError {
+            message: "expected SELECT, found ASK".into(),
+        }),
     }
 }
 
@@ -65,7 +69,9 @@ struct Parser {
 
 impl Parser {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into() }
+        ParseError {
+            message: message.into(),
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -137,22 +143,23 @@ impl Parser {
             self.expect(&Token::RBrace)?;
             Ok(Query::Ask(pattern))
         } else {
-            Err(self.err(format!("expected SELECT or ASK, found {}", self.peek_desc())))
+            Err(self.err(format!(
+                "expected SELECT or ASK, found {}",
+                self.peek_desc()
+            )))
         }
     }
 
     fn prefix_decl(&mut self) -> Result<(), ParseError> {
         // The lexer produces a PName with empty local for `dbo:`.
         match self.bump() {
-            Some(Token::PName(prefix, local)) if local.is_empty() => {
-                match self.bump() {
-                    Some(Token::Iri(iri)) => {
-                        self.prefixes.insert(prefix, iri);
-                        Ok(())
-                    }
-                    other => Err(self.err(format!("expected IRI after PREFIX, found {other:?}"))),
+            Some(Token::PName(prefix, local)) if local.is_empty() => match self.bump() {
+                Some(Token::Iri(iri)) => {
+                    self.prefixes.insert(prefix, iri);
+                    Ok(())
                 }
-            }
+                other => Err(self.err(format!("expected IRI after PREFIX, found {other:?}"))),
+            },
             other => Err(self.err(format!("expected prefix name, found {other:?}"))),
         }
     }
@@ -173,14 +180,9 @@ impl Parser {
         loop {
             if self.eat_kw("GROUP") {
                 self.expect_kw("BY")?;
-                loop {
-                    match self.peek() {
-                        Some(Token::Var(_)) => {
-                            if let Some(Token::Var(v)) = self.bump() {
-                                group_by.push(v);
-                            }
-                        }
-                        _ => break,
+                while let Some(Token::Var(_)) = self.peek() {
+                    if let Some(Token::Var(v)) = self.bump() {
+                        group_by.push(v);
                     }
                 }
                 if group_by.is_empty() {
@@ -193,15 +195,26 @@ impl Parser {
                         self.expect(&Token::LParen)?;
                         let expr = self.expr()?;
                         self.expect(&Token::RParen)?;
-                        order_by.push(OrderKey { expr, descending: true });
+                        order_by.push(OrderKey {
+                            expr,
+                            descending: true,
+                        });
                     } else if self.eat_kw("ASC") {
                         self.expect(&Token::LParen)?;
                         let expr = self.expr()?;
                         self.expect(&Token::RParen)?;
-                        order_by.push(OrderKey { expr, descending: false });
+                        order_by.push(OrderKey {
+                            expr,
+                            descending: false,
+                        });
                     } else if matches!(self.peek(), Some(Token::Var(_))) {
-                        let Some(Token::Var(v)) = self.bump() else { unreachable!() };
-                        order_by.push(OrderKey { expr: Expr::Var(v), descending: false });
+                        let Some(Token::Var(v)) = self.bump() else {
+                            unreachable!()
+                        };
+                        order_by.push(OrderKey {
+                            expr: Expr::Var(v),
+                            descending: false,
+                        });
                     } else {
                         break;
                     }
@@ -218,7 +231,15 @@ impl Parser {
             }
         }
 
-        Ok(SelectQuery { distinct, projection, pattern, group_by, order_by, limit, offset })
+        Ok(SelectQuery {
+            distinct,
+            projection,
+            pattern,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn number_usize(&mut self) -> Result<usize, ParseError> {
@@ -249,7 +270,11 @@ impl Parser {
                     self.expect_kw("AS")?;
                     let alias = match self.bump() {
                         Some(Token::Var(v)) => v,
-                        other => return Err(self.err(format!("expected variable after AS, found {other:?}"))),
+                        other => {
+                            return Err(
+                                self.err(format!("expected variable after AS, found {other:?}"))
+                            )
+                        }
                     };
                     self.expect(&Token::RParen)?;
                     items.push(SelectItem::Agg { agg, alias });
@@ -283,10 +308,16 @@ impl Parser {
             "COUNT" => {
                 let distinct = self.eat_kw("DISTINCT");
                 if self.eat(&Token::Star) {
-                    Aggregate::Count { distinct, var: None }
+                    Aggregate::Count {
+                        distinct,
+                        var: None,
+                    }
                 } else {
                     let v = self.var()?;
-                    Aggregate::Count { distinct, var: Some(v) }
+                    Aggregate::Count {
+                        distinct,
+                        var: Some(v),
+                    }
                 }
             }
             "SUM" => Aggregate::Sum(self.var()?),
@@ -334,7 +365,11 @@ impl Parser {
             let predicate = self.predicate_pattern()?;
             loop {
                 let object = self.term_pattern()?;
-                gp.triples.push(TriplePattern::new(subject.clone(), predicate.clone(), object));
+                gp.triples.push(TriplePattern::new(
+                    subject.clone(),
+                    predicate.clone(),
+                    object,
+                ));
                 if !self.eat(&Token::Comma) {
                     break;
                 }
@@ -374,7 +409,9 @@ impl Parser {
         match self.bump() {
             Some(Token::Var(v)) => Ok(TermPattern::Var(v)),
             Some(Token::Iri(iri)) => Ok(TermPattern::Term(Term::Iri(iri))),
-            Some(Token::PName(p, l)) => Ok(TermPattern::Term(Term::Iri(self.expand_pname(&p, &l)?))),
+            Some(Token::PName(p, l)) => {
+                Ok(TermPattern::Term(Term::Iri(self.expand_pname(&p, &l)?)))
+            }
             Some(Token::Str(s)) => Ok(TermPattern::Term(Term::Literal(self.literal_suffix(s)?))),
             Some(Token::Number(n)) => Ok(TermPattern::Term(Term::Literal(number_literal(&n)))),
             Some(Token::Keyword(k)) if k == "TRUE" || k == "FALSE" => Ok(TermPattern::Term(
@@ -386,7 +423,9 @@ impl Parser {
 
     fn literal_suffix(&mut self, value: String) -> Result<Literal, ParseError> {
         if let Some(Token::LangTag(_)) = self.peek() {
-            let Some(Token::LangTag(lang)) = self.bump() else { unreachable!() };
+            let Some(Token::LangTag(lang)) = self.bump() else {
+                unreachable!()
+            };
             return Ok(Literal::lang_tagged(value, lang));
         }
         if self.eat(&Token::DtMarker) {
@@ -456,23 +495,33 @@ impl Parser {
                 Ok(e)
             }
             Some(Token::Var(_)) => {
-                let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                let Some(Token::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Expr::Var(v))
             }
             Some(Token::Iri(_)) => {
-                let Some(Token::Iri(iri)) = self.bump() else { unreachable!() };
+                let Some(Token::Iri(iri)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Expr::Const(Term::Iri(iri)))
             }
             Some(Token::PName(_, _)) => {
-                let Some(Token::PName(p, l)) = self.bump() else { unreachable!() };
+                let Some(Token::PName(p, l)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Expr::Const(Term::Iri(self.expand_pname(&p, &l)?)))
             }
             Some(Token::Str(_)) => {
-                let Some(Token::Str(s)) = self.bump() else { unreachable!() };
+                let Some(Token::Str(s)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Expr::Const(Term::Literal(self.literal_suffix(s)?)))
             }
             Some(Token::Number(_)) => {
-                let Some(Token::Number(n)) = self.bump() else { unreachable!() };
+                let Some(Token::Number(n)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Expr::Const(Term::Literal(number_literal(&n))))
             }
             Some(Token::Keyword(k)) => self.function_expr(&k),
@@ -513,13 +562,21 @@ impl Parser {
                 self.expect(&Token::Comma)?;
                 let pattern = match self.bump() {
                     Some(Token::Str(s)) => s,
-                    other => return Err(self.err(format!("REGEX pattern must be a string, found {other:?}"))),
+                    other => {
+                        return Err(
+                            self.err(format!("REGEX pattern must be a string, found {other:?}"))
+                        )
+                    }
                 };
                 let mut case_insensitive = false;
                 if self.eat(&Token::Comma) {
                     match self.bump() {
                         Some(Token::Str(flags)) => case_insensitive = flags.contains('i'),
-                        other => return Err(self.err(format!("REGEX flags must be a string, found {other:?}"))),
+                        other => {
+                            return Err(
+                                self.err(format!("REGEX flags must be a string, found {other:?}"))
+                            )
+                        }
                     }
                 }
                 self.expect(&Token::RParen)?;
@@ -581,7 +638,9 @@ SELECT DISTINCT count (?uri) WHERE {
         assert!(q.distinct);
         assert_eq!(q.pattern.triples.len(), 3);
         assert!(q.has_aggregates());
-        let Projection::Items(items) = &q.projection else { panic!() };
+        let Projection::Items(items) = &q.projection else {
+            panic!()
+        };
         assert!(matches!(
             &items[0],
             SelectItem::Agg { agg: Aggregate::Count { distinct: false, var: Some(v) }, .. } if v == "uri"
@@ -597,7 +656,9 @@ SELECT DISTINCT count (?uri) WHERE {
         assert_eq!(q.group_by, vec!["p"]);
         assert_eq!(q.order_by.len(), 1);
         assert!(q.order_by[0].descending);
-        let Projection::Items(items) = &q.projection else { panic!() };
+        let Projection::Items(items) = &q.projection else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
         assert_eq!(items[1].name(), "frequency");
     }
@@ -614,7 +675,9 @@ SELECT DISTINCT count (?uri) WHERE {
         assert_eq!(q.limit, Some(1));
         assert_eq!(q.pattern.filters.len(), 1);
         // ((isliteral && lang=en) && strlen<80) — left-associative.
-        let Expr::And(left, _right) = &q.pattern.filters[0] else { panic!() };
+        let Expr::And(left, _right) = &q.pattern.filters[0] else {
+            panic!()
+        };
         assert!(matches!(**left, Expr::And(_, _)));
     }
 
@@ -625,7 +688,10 @@ SELECT DISTINCT count (?uri) WHERE {
         )
         .unwrap();
         assert_eq!(q.pattern.triples.len(), 3);
-        assert_eq!(q.pattern.triples[0].predicate, TermPattern::iri(vocab::rdf::TYPE));
+        assert_eq!(
+            q.pattern.triples[0].predicate,
+            TermPattern::iri(vocab::rdf::TYPE)
+        );
         assert_eq!(q.pattern.triples[1].subject, q.pattern.triples[2].subject);
     }
 
@@ -637,7 +703,8 @@ SELECT DISTINCT count (?uri) WHERE {
 
     #[test]
     fn parse_order_by_plain_var() {
-        let q = parse_select("SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 10 OFFSET 20").unwrap();
+        let q =
+            parse_select("SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 10 OFFSET 20").unwrap();
         assert_eq!(q.order_by.len(), 1);
         assert!(!q.order_by[0].descending);
         assert_eq!(q.limit, Some(10));
@@ -646,22 +713,31 @@ SELECT DISTINCT count (?uri) WHERE {
 
     #[test]
     fn parse_numeric_filters() {
-        let q = parse_select(
-            "SELECT ?f WHERE { ?f dbo:budget ?b . FILTER(?b >= 8.0E7) }",
-        )
-        .unwrap();
-        let Expr::Cmp(CmpOp::Ge, _, right) = &q.pattern.filters[0] else { panic!() };
-        let Expr::Const(Term::Literal(lit)) = &**right else { panic!() };
+        let q = parse_select("SELECT ?f WHERE { ?f dbo:budget ?b . FILTER(?b >= 8.0E7) }").unwrap();
+        let Expr::Cmp(CmpOp::Ge, _, right) = &q.pattern.filters[0] else {
+            panic!()
+        };
+        let Expr::Const(Term::Literal(lit)) = &**right else {
+            panic!()
+        };
         assert_eq!(lit.as_f64(), Some(8.0e7));
     }
 
     #[test]
     fn parse_count_distinct_star() {
         let q = parse_select("SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE { ?x ?p ?o }").unwrap();
-        let Projection::Items(items) = &q.projection else { panic!() };
+        let Projection::Items(items) = &q.projection else {
+            panic!()
+        };
         assert!(matches!(
             &items[0],
-            SelectItem::Agg { agg: Aggregate::Count { distinct: true, var: Some(_) }, .. }
+            SelectItem::Agg {
+                agg: Aggregate::Count {
+                    distinct: true,
+                    var: Some(_)
+                },
+                ..
+            }
         ));
     }
 
@@ -681,14 +757,17 @@ SELECT DISTINCT count (?uri) WHERE {
             "PREFIX dbo: <http://other.example/onto/> SELECT ?s WHERE { ?s a dbo:City }",
         )
         .unwrap();
-        let TermPattern::Term(Term::Iri(iri)) = &q.pattern.triples[0].object else { panic!() };
+        let TermPattern::Term(Term::Iri(iri)) = &q.pattern.triples[0].object else {
+            panic!()
+        };
         assert_eq!(iri, "http://other.example/onto/City");
     }
 
     #[test]
     fn regex_with_flags() {
-        let q = parse_select(r#"SELECT ?s WHERE { ?s ?p ?o . FILTER(regex(str(?o), "ken", "i")) }"#)
-            .unwrap();
+        let q =
+            parse_select(r#"SELECT ?s WHERE { ?s ?p ?o . FILTER(regex(str(?o), "ken", "i")) }"#)
+                .unwrap();
         assert!(matches!(&q.pattern.filters[0], Expr::Regex(_, p, true) if p == "ken"));
     }
 

@@ -17,7 +17,10 @@ pub struct Solutions {
 impl Solutions {
     /// An empty result with the given columns.
     pub fn empty(vars: Vec<String>) -> Self {
-        Solutions { vars, rows: Vec::new() }
+        Solutions {
+            vars,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -166,7 +169,10 @@ mod tests {
     fn sole_value_requires_1x1() {
         let s = sample();
         assert!(s.sole_value().is_none());
-        let one = Solutions { vars: vec!["c".into()], rows: vec![vec![Some(Term::literal("42"))]] };
+        let one = Solutions {
+            vars: vec!["c".into()],
+            rows: vec![vec![Some(Term::literal("42"))]],
+        };
         assert_eq!(one.sole_value(), Some(&Term::literal("42")));
     }
 

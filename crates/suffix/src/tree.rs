@@ -152,7 +152,11 @@ impl SuffixTree {
         self.active_length = 0;
         self.remainder = 0;
 
-        let symbols: Vec<u32> = s.chars().map(|c| c as u32).chain([TERMINATOR_BASE + id]).collect();
+        let symbols: Vec<u32> = s
+            .chars()
+            .map(|c| c as u32)
+            .chain([TERMINATOR_BASE + id])
+            .collect();
         // `string_ends` must be pushed before extension so Open ends resolve;
         // we update it as the string grows.
         self.string_ends.push(start);
@@ -210,12 +214,17 @@ impl SuffixTree {
                 self.active_edge = pos;
             }
             let edge_sym = self.text[self.active_edge as usize];
-            let child = self.nodes[self.active_node as usize].children.get(&edge_sym).copied();
+            let child = self.nodes[self.active_node as usize]
+                .children
+                .get(&edge_sym)
+                .copied();
             match child {
                 None => {
                     // No edge: create a leaf.
                     let leaf = self.new_leaf(pos, sid);
-                    self.nodes[self.active_node as usize].children.insert(edge_sym, leaf);
+                    self.nodes[self.active_node as usize]
+                        .children
+                        .insert(edge_sym, leaf);
                     if last_new_node != NO_LINK {
                         self.nodes[last_new_node as usize].suffix_link = self.active_node;
                         last_new_node = NO_LINK;
@@ -230,7 +239,8 @@ impl SuffixTree {
                         self.active_node = next;
                         continue;
                     }
-                    let probe = self.text[(self.nodes[next as usize].start + self.active_length) as usize];
+                    let probe =
+                        self.text[(self.nodes[next as usize].start + self.active_length) as usize];
                     if probe == c {
                         // Symbol already present: rule 3 (showstopper).
                         if last_new_node != NO_LINK {
@@ -242,7 +252,9 @@ impl SuffixTree {
                     // Split the edge.
                     let split_start = self.nodes[next as usize].start;
                     let split = self.new_internal(split_start, split_start + self.active_length);
-                    self.nodes[self.active_node as usize].children.insert(edge_sym, split);
+                    self.nodes[self.active_node as usize]
+                        .children
+                        .insert(edge_sym, split);
                     self.nodes[next as usize].start = split_start + self.active_length;
                     let next_sym = self.text[self.nodes[next as usize].start as usize];
                     self.nodes[split as usize].children.insert(next_sym, next);
@@ -420,14 +432,26 @@ mod tests {
     #[test]
     fn agrees_with_naive_on_corpus() {
         let strings = [
-            "almaMater", "birthPlace", "deathPlace", "spouse", "placeOfBirth", "birthDate",
-            "alma mater of", "water place", "mata hari",
+            "almaMater",
+            "birthPlace",
+            "deathPlace",
+            "spouse",
+            "placeOfBirth",
+            "birthDate",
+            "alma mater of",
+            "water place",
+            "mata hari",
         ];
         let t = SuffixTree::build(strings);
-        for pattern in ["al", "ma", "Place", "place", "a m", "irth", "spouse", "zz", "e"] {
+        for pattern in [
+            "al", "ma", "Place", "place", "a m", "irth", "spouse", "zz", "e",
+        ] {
             let mut got = t.find_containing(pattern, usize::MAX);
             got.sort_unstable();
-            let want: Vec<u32> = naive_containing(&strings, pattern).into_iter().map(|i| i as u32).collect();
+            let want: Vec<u32> = naive_containing(&strings, pattern)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
             assert_eq!(got, want, "pattern {pattern:?}");
         }
     }

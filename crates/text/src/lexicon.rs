@@ -33,16 +33,34 @@ impl Lexicon {
         let mut lex = Lexicon::new();
         let groups: &[&[&str]] = &[
             &["spouse", "wife", "husband", "married to", "partner"],
-            &["alma mater", "graduated from", "studied at", "educated at", "school attended"],
+            &[
+                "alma mater",
+                "graduated from",
+                "studied at",
+                "educated at",
+                "school attended",
+            ],
             &["birth place", "born in", "place of birth", "birthplace"],
             &["death place", "died in", "place of death"],
-            &["birth date", "born on", "date of birth", "birthday", "birthdays"],
+            &[
+                "birth date",
+                "born on",
+                "date of birth",
+                "birthday",
+                "birthdays",
+            ],
             &["death date", "died on", "date of death"],
             &["author", "writer", "written by", "wrote"],
             &["director", "directed by", "film director"],
             &["starring", "stars", "actor in", "acted in", "cast member"],
             &["publisher", "published by", "publishing house"],
-            &["population", "inhabitants", "people living", "number of people", "populous"],
+            &[
+                "population",
+                "inhabitants",
+                "people living",
+                "number of people",
+                "populous",
+            ],
             &["country", "nation", "located in country"],
             &["capital", "capital city"],
             &["time zone", "timezone"],
@@ -52,14 +70,26 @@ impl Lexicon {
             &["child", "children", "son", "daughter"],
             &["parent", "parents", "father", "mother"],
             &["vice president", "vp", "deputy"],
-            &["instrument", "instruments", "plays instrument", "played instruments"],
+            &[
+                "instrument",
+                "instruments",
+                "plays instrument",
+                "played instruments",
+            ],
             &["budget", "cost", "production budget"],
             &["number of pages", "pages", "page count"],
             &["depth", "deep"],
             &["industry", "sector", "business", "works in"],
             &["affiliation", "affiliated with", "member of"],
             &["located in", "location", "situated in", "state", "lies in"],
-            &["name", "label", "called", "surname", "family name", "nickname"],
+            &[
+                "name",
+                "label",
+                "called",
+                "surname",
+                "family name",
+                "nickname",
+            ],
             &["type", "kind", "category", "is a"],
             &["chess player", "chess grandmaster"],
         ];
@@ -74,7 +104,9 @@ impl Lexicon {
     pub fn add_group<'a, I: IntoIterator<Item = &'a str>>(&mut self, phrases: I) {
         let normalized: Vec<String> = phrases.into_iter().map(normalize).collect();
         // Merge with any existing group sharing a phrase.
-        let existing = normalized.iter().find_map(|p| self.membership.get(p).copied());
+        let existing = normalized
+            .iter()
+            .find_map(|p| self.membership.get(p).copied());
         let idx = match existing {
             Some(i) => i,
             None => {

@@ -167,7 +167,11 @@ mod tests {
 
     #[test]
     fn symmetry() {
-        for (a, b) in [("Viking Press", "The Viking Press"), ("abc", "cba"), ("", "x")] {
+        for (a, b) in [
+            ("Viking Press", "The Viking Press"),
+            ("abc", "cba"),
+            ("", "x"),
+        ] {
             approx(jaro(a, b), jaro(b, a));
             approx(jaro_winkler(a, b), jaro_winkler(b, a));
             assert_eq!(levenshtein(a, b), levenshtein(b, a));

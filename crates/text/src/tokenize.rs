@@ -26,10 +26,9 @@ pub fn split_identifier(ident: &str) -> Vec<String> {
             prev_lower = false;
             continue;
         }
-        if c.is_uppercase() && prev_lower
-            && !current.is_empty() {
-                words.push(std::mem::take(&mut current));
-            }
+        if c.is_uppercase() && prev_lower && !current.is_empty() {
+            words.push(std::mem::take(&mut current));
+        }
         prev_lower = c.is_lowercase() || c.is_ascii_digit();
         current.extend(c.to_lowercase());
     }
@@ -64,8 +63,14 @@ mod tests {
 
     #[test]
     fn local_names() {
-        assert_eq!(local_name("http://dbpedia.org/ontology/almaMater"), "almaMater");
-        assert_eq!(local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), "type");
+        assert_eq!(
+            local_name("http://dbpedia.org/ontology/almaMater"),
+            "almaMater"
+        );
+        assert_eq!(
+            local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            "type"
+        );
         assert_eq!(local_name("plain"), "plain");
     }
 
@@ -81,15 +86,22 @@ mod tests {
 
     #[test]
     fn surface_forms() {
-        assert_eq!(surface_form("http://dbpedia.org/ontology/almaMater"), "alma mater");
-        assert_eq!(surface_form("http://dbpedia.org/resource/John_F._Kennedy"), "john f kennedy");
+        assert_eq!(
+            surface_form("http://dbpedia.org/ontology/almaMater"),
+            "alma mater"
+        );
+        assert_eq!(
+            surface_form("http://dbpedia.org/resource/John_F._Kennedy"),
+            "john f kennedy"
+        );
     }
 
     #[test]
     fn keyword_extraction() {
-        assert_eq!(keywords("How many people live in New York?"), vec![
-            "how", "many", "people", "live", "in", "new", "york"
-        ]);
+        assert_eq!(
+            keywords("How many people live in New York?"),
+            vec!["how", "many", "people", "live", "in", "new", "york"]
+        );
         assert_eq!(normalize("  New   York!  "), "new york");
         assert!(keywords("???").is_empty());
     }

@@ -48,13 +48,22 @@ fn main() {
     )
     .expect("initialization");
     for (name, stats) in pum.init_stats() {
-        println!("initialized {name:?}: {} queries, {} literals", stats.total_queries(), stats.literals_cached);
+        println!(
+            "initialized {name:?}: {} queries, {} literals",
+            stats.total_queries(),
+            stats.literals_cached
+        );
     }
 
     // Keywords from either dataset complete.
     for typed in ["Lovel", "United"] {
-        let texts: Vec<String> =
-            pum.complete(typed).suggestions.iter().take(3).map(|s| s.text.clone()).collect();
+        let texts: Vec<String> = pum
+            .complete(typed)
+            .suggestions
+            .iter()
+            .take(3)
+            .map(|s| s.text.clone())
+            .collect();
         println!("complete {typed:?} → {texts:?}");
     }
 

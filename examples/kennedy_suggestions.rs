@@ -14,8 +14,11 @@ use sapphire_datagen::{generate, DatasetConfig};
 
 fn main() {
     let graph = generate(DatasetConfig::small(42));
-    let endpoint: Arc<dyn Endpoint> =
-        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let endpoint: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::warehouse(),
+    ));
     let pum = PredictiveUserModel::initialize(
         vec![endpoint],
         Lexicon::dbpedia_default(),
@@ -29,7 +32,10 @@ fn main() {
     session.set_row(0, TripleInput::new("?person", "surname", "Kennedys"));
     let result = session.run().expect("run");
     println!("query: ?person —surname→ \"Kennedys\"");
-    println!("answers: {} (as in Figure 2: none)", result.answers.total_rows());
+    println!(
+        "answers: {} (as in Figure 2: none)",
+        result.answers.total_rows()
+    );
 
     // The QSM suggests changing one term at a time (§4).
     let alt = result
@@ -52,7 +58,10 @@ fn main() {
     table.set_filter("john");
     table.sort_by("person", false);
     let view = table.view();
-    println!("\nfiltered by \"john\", sorted by ?person ({} rows):", view.len());
+    println!(
+        "\nfiltered by \"john\", sorted by ?person ({} rows):",
+        view.len()
+    );
     print!("{}", view.to_table());
 
     // Drag a value back into the query for a follow-up (§4).

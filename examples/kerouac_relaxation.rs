@@ -15,8 +15,11 @@ use sapphire_datagen::{generate, DatasetConfig};
 
 fn main() {
     let graph = generate(DatasetConfig::tiny(42));
-    let endpoint: Arc<dyn Endpoint> =
-        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let endpoint: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::warehouse(),
+    ));
     let pum = PredictiveUserModel::initialize(
         vec![endpoint],
         Lexicon::dbpedia_default(),
@@ -33,7 +36,10 @@ fn main() {
     println!("naive query:");
     println!("  ?book —writer→ \"Jack Kerouac\"");
     println!("  ?book —publisher→ \"Viking Press\"");
-    println!("answers: {} (the structure doesn't match the data)", result.answers.total_rows());
+    println!(
+        "answers: {} (the structure doesn't match the data)",
+        result.answers.total_rows()
+    );
 
     let relaxation = result
         .suggestions

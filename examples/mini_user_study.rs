@@ -15,13 +15,19 @@ fn main() {
     println!("building harness (dataset + Sapphire init + QAKiS)…");
     let harness = ComparisonHarness::build(DatasetConfig::tiny(42), SapphireConfig::default());
     let questions = appendix_b();
-    let config = StudyConfig { participants: 4, ..StudyConfig::default() };
+    let config = StudyConfig {
+        participants: 4,
+        ..StudyConfig::default()
+    };
     let endpoint = harness.endpoint.clone();
     let gold = |q: &sapphire_datagen::workload::Question| gold_answers(q, endpoint.as_ref());
 
     let (sapphire, qakis) = run_study(&harness.pum, &harness.qakis, &questions, &gold, &config);
 
-    println!("\n{:<12} {:>18} {:>18}", "difficulty", "QAKiS success", "Sapphire success");
+    println!(
+        "\n{:<12} {:>18} {:>18}",
+        "difficulty", "QAKiS success", "Sapphire success"
+    );
     for d in [Difficulty::Easy, Difficulty::Medium, Difficulty::Difficult] {
         println!(
             "{:<12} {:>17.0}% {:>17.0}%",
@@ -30,7 +36,10 @@ fn main() {
             sapphire.success_rate(d)
         );
     }
-    println!("\n{:<12} {:>18} {:>18}", "difficulty", "QAKiS attempts", "Sapphire attempts");
+    println!(
+        "\n{:<12} {:>18} {:>18}",
+        "difficulty", "QAKiS attempts", "Sapphire attempts"
+    );
     for d in [Difficulty::Easy, Difficulty::Medium, Difficulty::Difficult] {
         println!(
             "{:<12} {:>18.1} {:>18.1}",

@@ -15,8 +15,11 @@ fn main() {
     println!("generating a DBpedia-like dataset…");
     let graph = generate(DatasetConfig::tiny(42));
     println!("  {} triples", graph.len());
-    let endpoint: Arc<dyn Endpoint> =
-        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::public_endpoint(500_000)));
+    let endpoint: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::public_endpoint(500_000),
+    ));
 
     // 2. Register it with Sapphire. This runs the §5 initialization: cache
     //    predicates, walk the class hierarchy for literals, build the index.
@@ -40,8 +43,12 @@ fn main() {
     let mut session = Session::new(&pum);
     for typed in ["Ke", "Kenn"] {
         let completions = session.complete(typed);
-        let texts: Vec<&str> =
-            completions.suggestions.iter().take(5).map(|s| s.text.as_str()).collect();
+        let texts: Vec<&str> = completions
+            .suggestions
+            .iter()
+            .take(5)
+            .map(|s| s.text.as_str())
+            .collect();
         println!("typing {typed:?} → completions {texts:?}");
     }
 

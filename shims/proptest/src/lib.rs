@@ -1,0 +1,288 @@
+//! Offline API-subset shim for the `proptest` crate.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro with
+//! `arg in strategy` bindings, `prop_assert!` / `prop_assert_eq!`, string
+//! strategies written as character-class regexes (`"[a-z]{1,8}"`, `".{0,12}"`),
+//! integer-range strategies, tuples of strategies, and
+//! [`collection::vec`]. Each property runs a fixed number of deterministic
+//! cases (no shrinking): failures print the generated inputs via the
+//! panic message instead.
+
+/// Number of cases generated per property.
+pub const CASES: u64 = 64;
+
+/// Deterministic case-level random source (SplitMix64).
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Seed from a test identifier (stable across runs).
+    pub fn new(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Gen { state: h }
+    }
+
+    /// Re-seed for one numbered case so cases are independent.
+    pub fn start_case(&mut self, case: u64) {
+        self.state = self
+            .state
+            .wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15))
+            | 1;
+    }
+
+    /// Next 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.bits() % n
+        }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+/// `&str` strategies are interpreted as simplified regexes: a single `.` or
+/// `[class]` atom followed by a `{lo,hi}` quantifier (e.g. `"[a-c]{0,8}"`,
+/// `".{0,12}"`, `"[ -~]{0,20}"`). Classes support literal chars and `a-z`
+/// ranges; `.` means printable ASCII.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, gen: &mut Gen) -> String {
+        let (chars, lo, hi) = parse_pattern(self);
+        let len = lo + gen.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[gen.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut it = pattern.chars().peekable();
+    let mut class: Vec<char> = Vec::new();
+    match it.next() {
+        Some('.') => class.extend((0x20u8..0x7f).map(char::from)),
+        Some('[') => {
+            let mut inner: Vec<char> = Vec::new();
+            for c in it.by_ref() {
+                if c == ']' {
+                    break;
+                }
+                inner.push(c);
+            }
+            let mut i = 0;
+            while i < inner.len() {
+                if i + 2 < inner.len() && inner[i + 1] == '-' {
+                    let (a, b) = (inner[i] as u32, inner[i + 2] as u32);
+                    class.extend((a..=b).filter_map(char::from_u32));
+                    i += 3;
+                } else {
+                    class.push(inner[i]);
+                    i += 1;
+                }
+            }
+        }
+        other => panic!("unsupported shim pattern {pattern:?} (starts with {other:?})"),
+    }
+    assert!(!class.is_empty(), "empty character class in {pattern:?}");
+    // Quantifier {lo,hi}; a bare atom means exactly one char.
+    let rest: String = it.collect();
+    if rest.is_empty() {
+        return (class, 1, 1);
+    }
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported shim quantifier in {pattern:?}"));
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = body.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    (class, lo, hi)
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + gen.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_strategy!(i32, i64, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident $idx:tt),+))+) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(gen),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, lo..hi)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, gen: &mut Gen) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + gen.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` body needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Define property tests. Each function body runs [`CASES`] times with
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut gen = $crate::Gen::new(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..$crate::CASES {
+                    gen.start_case(case);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut gen);)+
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(message) = result {
+                        panic!(
+                            "property {} failed on case {case}: {message}\ninputs: {:?}",
+                            stringify!($name),
+                            ($(&$arg,)+)
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_parsing() {
+        let (chars, lo, hi) = super::parse_pattern("[a-c]{0,8}");
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (0, 8));
+        let (chars, _, _) = super::parse_pattern("[ -~]{0,20}");
+        assert_eq!(chars.len(), 95);
+        let (chars, lo, hi) = super::parse_pattern(".{0,12}");
+        assert_eq!(chars.len(), 95);
+        assert_eq!((lo, hi), (0, 12));
+    }
+
+    proptest! {
+        #[test]
+        fn generated_strings_respect_pattern(s in "[a-d]{2,10}", n in 1usize..5) {
+            prop_assert!(s.len() >= 2 && s.len() <= 10, "bad length {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(v in collection::vec("[a-b]{1,2}", 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert_eq!(v.iter().filter(|s| s.is_empty()).count(), 0);
+        }
+    }
+}

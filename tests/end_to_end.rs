@@ -9,12 +9,18 @@ use sapphire_datagen::{generate, DatasetConfig};
 
 fn pum() -> PredictiveUserModel {
     let graph = generate(DatasetConfig::tiny(42));
-    let ep: Arc<dyn Endpoint> =
-        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::warehouse(),
+    ));
     PredictiveUserModel::initialize(
         vec![ep],
         Lexicon::dbpedia_default(),
-        SapphireConfig { processes: 2, ..SapphireConfig::default() },
+        SapphireConfig {
+            processes: 2,
+            ..SapphireConfig::default()
+        },
         InitMode::Federated,
     )
     .expect("init")
@@ -30,7 +36,16 @@ fn full_pipeline_composes_and_answers() {
     session.set_row(1, TripleInput::new("?city", "time zone", "?tz"));
     let result = session.run().expect("runs");
     assert!(result.executed);
-    assert_eq!(result.answers.solutions().values("tz").next().unwrap().lexical(), "UTC-07:00");
+    assert_eq!(
+        result
+            .answers
+            .solutions()
+            .values("tz")
+            .next()
+            .unwrap()
+            .lexical(),
+        "UTC-07:00"
+    );
 }
 
 #[test]
@@ -43,7 +58,10 @@ fn qcm_serves_predicates_and_literals_together() {
         .iter()
         .any(|c| c.predicate_iri.as_deref() == Some("http://dbpedia.org/ontology/almaMater")));
     let completions = pum.complete("Thatcher");
-    assert!(completions.suggestions.iter().any(|c| c.text.contains("Thatcher")));
+    assert!(completions
+        .suggestions
+        .iter()
+        .any(|c| c.text.contains("Thatcher")));
 }
 
 #[test]
@@ -87,11 +105,18 @@ fn wrong_predicate_recovers_through_lexicon() {
 #[test]
 fn endpoint_counters_track_session_traffic() {
     let graph = generate(DatasetConfig::tiny(42));
-    let ep = Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let ep = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::warehouse(),
+    ));
     let pum = PredictiveUserModel::initialize(
         vec![ep.clone() as Arc<dyn Endpoint>],
         Lexicon::dbpedia_default(),
-        SapphireConfig { processes: 2, ..SapphireConfig::default() },
+        SapphireConfig {
+            processes: 2,
+            ..SapphireConfig::default()
+        },
         InitMode::Federated,
     )
     .expect("init");
@@ -100,7 +125,10 @@ fn endpoint_counters_track_session_traffic() {
     let mut session = Session::new(&pum);
     session.set_row(0, TripleInput::new("?p", "surname", "Kennedys"));
     session.run().expect("runs");
-    assert!(ep.stats().queries > after_init, "QSM traffic visible at the endpoint");
+    assert!(
+        ep.stats().queries > after_init,
+        "QSM traffic visible at the endpoint"
+    );
 }
 
 #[test]

@@ -8,20 +8,32 @@ use sapphire_endpoint::{EndpointLimits, LocalEndpoint};
 
 fn endpoint(timeout_work: Option<u64>) -> LocalEndpoint {
     let graph = generate(DatasetConfig::tiny(42));
-    let limits = EndpointLimits { timeout_work, reject_above: None, max_results: None };
+    let limits = EndpointLimits {
+        timeout_work,
+        reject_above: None,
+        max_results: None,
+    };
     LocalEndpoint::new("dbpedia", graph, limits)
 }
 
 fn config() -> SapphireConfig {
-    SapphireConfig { processes: 2, init_page_size: 200, ..SapphireConfig::default() }
+    SapphireConfig {
+        processes: 2,
+        init_page_size: 200,
+        ..SapphireConfig::default()
+    }
 }
 
 #[test]
 fn federated_cache_is_a_near_complete_subset_of_warehouse() {
     let ep = endpoint(None);
     let cfg = config();
-    let (fed_cache, _) = Initializer::new(&ep, &cfg, InitMode::Federated).run().unwrap();
-    let (wh_cache, _) = Initializer::new(&ep, &cfg, InitMode::Warehouse).run().unwrap();
+    let (fed_cache, _) = Initializer::new(&ep, &cfg, InitMode::Federated)
+        .run()
+        .unwrap();
+    let (wh_cache, _) = Initializer::new(&ep, &cfg, InitMode::Warehouse)
+        .run()
+        .unwrap();
     let collect = |c: &sapphire_core::CachedData| {
         let mut v: Vec<String> = c
             .significant
@@ -38,7 +50,10 @@ fn federated_cache_is_a_near_complete_subset_of_warehouse() {
     // entities; the warehouse scan (Q9) sees everything. So federated ⊆
     // warehouse, with near-complete coverage on a DBpedia-like dataset.
     for l in &fed {
-        assert!(wh.contains(l), "federated cached {l:?} that warehouse missed");
+        assert!(
+            wh.contains(l),
+            "federated cached {l:?} that warehouse missed"
+        );
     }
     assert!(
         fed.len() * 100 >= wh.len() * 95,
@@ -52,7 +67,9 @@ fn federated_cache_is_a_near_complete_subset_of_warehouse() {
 fn init_filters_language_and_length() {
     let ep = endpoint(None);
     let cfg = config();
-    let (cache, _) = Initializer::new(&ep, &cfg, InitMode::Federated).run().unwrap();
+    let (cache, _) = Initializer::new(&ep, &cfg, InitMode::Federated)
+        .run()
+        .unwrap();
     let all: Vec<String> = cache
         .significant
         .iter()
@@ -61,7 +78,10 @@ fn init_filters_language_and_length() {
         .collect();
     assert!(!all.is_empty());
     assert!(all.iter().all(|l| l.chars().count() < 80), "length filter");
-    assert!(all.iter().all(|l| !l.starts_with("Étranger")), "language filter");
+    assert!(
+        all.iter().all(|l| !l.starts_with("Étranger")),
+        "language filter"
+    );
 }
 
 #[test]
@@ -71,21 +91,30 @@ fn tighter_timeouts_mean_more_queries_not_fewer_literals() {
     // exceed the budget: use the `small` dataset for this test.
     let big_endpoint = |timeout_work: Option<u64>| {
         let graph = generate(DatasetConfig::small(42));
-        let limits = EndpointLimits { timeout_work, reject_above: None, max_results: None };
+        let limits = EndpointLimits {
+            timeout_work,
+            reject_above: None,
+            max_results: None,
+        };
         LocalEndpoint::new("dbpedia", graph, limits)
     };
     let loose = big_endpoint(None);
-    let (loose_cache, loose_stats) =
-        Initializer::new(&loose, &cfg, InitMode::Federated).run().unwrap();
+    let (loose_cache, loose_stats) = Initializer::new(&loose, &cfg, InitMode::Federated)
+        .run()
+        .unwrap();
 
     // Tight enough that root-level class queries time out, loose enough
     // that the short metadata queries (Q1–Q4) survive (§5.1 assumes they do;
     // the simulated endpoint answers them from statistics, as real ones do).
     let tight = big_endpoint(Some(4_000));
-    let (tight_cache, tight_stats) =
-        Initializer::new(&tight, &cfg, InitMode::Federated).run().unwrap();
+    let (tight_cache, tight_stats) = Initializer::new(&tight, &cfg, InitMode::Federated)
+        .run()
+        .unwrap();
 
-    assert!(tight_stats.timeouts > 0, "the tight endpoint must time out somewhere");
+    assert!(
+        tight_stats.timeouts > 0,
+        "the tight endpoint must time out somewhere"
+    );
     assert!(
         tight_stats.total_queries() > loose_stats.total_queries(),
         "descent into subclasses costs extra queries ({} vs {})",
@@ -104,8 +133,13 @@ fn tighter_timeouts_mean_more_queries_not_fewer_literals() {
 #[test]
 fn significant_literals_have_high_indegree_entities() {
     let ep = endpoint(None);
-    let cfg = SapphireConfig { suffix_tree_capacity: 10, ..config() };
-    let (cache, _) = Initializer::new(&ep, &cfg, InitMode::Federated).run().unwrap();
+    let cfg = SapphireConfig {
+        suffix_tree_capacity: 10,
+        ..config()
+    };
+    let (cache, _) = Initializer::new(&ep, &cfg, InitMode::Federated)
+        .run()
+        .unwrap();
     // The top significant literals should include heavily referenced anchor
     // entities (cities with many incoming birthPlace/country edges).
     assert_eq!(cache.significant.len(), 10);
@@ -114,13 +148,18 @@ fn significant_literals_have_high_indegree_entities() {
         cache.significant.first().unwrap().1 >= min_sig,
         "significance ordering"
     );
-    assert!(cache.significant.first().unwrap().1 > 0, "top literal is actually referenced");
+    assert!(
+        cache.significant.first().unwrap().1 > 0,
+        "top literal is actually referenced"
+    );
 }
 
 #[test]
 fn classes_are_available_for_type_keywords() {
     let ep = endpoint(None);
-    let (cache, _) = Initializer::new(&ep, &config(), InitMode::Federated).run().unwrap();
+    let (cache, _) = Initializer::new(&ep, &config(), InitMode::Federated)
+        .run()
+        .unwrap();
     assert!(!cache.classes.is_empty());
     let chess = cache.similar_classes("chess player", 0.8);
     assert!(!chess.is_empty());
@@ -130,14 +169,18 @@ fn classes_are_available_for_type_keywords() {
 #[test]
 fn query_budget_prioritizes_frequent_predicates() {
     let ep = endpoint(None);
-    let cfg = SapphireConfig { init_query_limit: Some(30), ..config() };
-    let (cache, stats) = Initializer::new(&ep, &cfg, InitMode::Federated).run().unwrap();
+    let cfg = SapphireConfig {
+        init_query_limit: Some(30),
+        ..config()
+    };
+    let (cache, stats) = Initializer::new(&ep, &cfg, InitMode::Federated)
+        .run()
+        .unwrap();
     assert!(stats.stopped_by_limit);
     // With the budget exhausted early, the cache is partial but usable, and
     // the most frequent literal predicate (name) was served first.
     if cache.literal_count() > 0 {
-        let all: Vec<String> =
-            cache.significant.iter().map(|(t, _)| t.clone()).collect();
+        let all: Vec<String> = cache.significant.iter().map(|(t, _)| t.clone()).collect();
         assert!(!all.is_empty());
     }
 }

@@ -8,12 +8,18 @@ use sapphire_datagen::{generate, DatasetConfig};
 
 fn pum() -> PredictiveUserModel {
     let graph = generate(DatasetConfig::tiny(42));
-    let ep: Arc<dyn Endpoint> =
-        Arc::new(LocalEndpoint::new("dbpedia", graph, EndpointLimits::warehouse()));
+    let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::warehouse(),
+    ));
     PredictiveUserModel::initialize(
         vec![ep],
         Lexicon::dbpedia_default(),
-        SapphireConfig { processes: 2, ..SapphireConfig::default() },
+        SapphireConfig {
+            processes: 2,
+            ..SapphireConfig::default()
+        },
         InitMode::Federated,
     )
     .expect("init")
@@ -37,7 +43,10 @@ fn figure_2_and_4_kennedys_walkthrough() {
         .find(|a| a.replacement == "Kennedy")
         .expect("Figure 2 suggestion");
     assert!(alt.describe().contains("Did you mean"));
-    assert!(alt.answer_count() >= 4, "anchor Kennedys: JFK, Jackie, RFK, Kathleen");
+    assert!(
+        alt.answer_count() >= 4,
+        "anchor Kennedys: JFK, Jackie, RFK, Kathleen"
+    );
 
     let mut table = session.apply_alternative(alt);
     assert_eq!(session.triples[0].object, "Kennedy", "query box updated");
@@ -47,10 +56,12 @@ fn figure_2_and_4_kennedys_walkthrough() {
     table.sort_by("person", false);
     let filtered = table.view();
     assert!(!filtered.is_empty());
-    assert!(filtered
-        .rows
-        .iter()
-        .all(|r| r[0].as_ref().unwrap().lexical().to_lowercase().contains("john")));
+    assert!(filtered.rows.iter().all(|r| r[0]
+        .as_ref()
+        .unwrap()
+        .lexical()
+        .to_lowercase()
+        .contains("john")));
 }
 
 /// Figures 6 and 7: the structurally naive Kerouac/Viking Press query is
@@ -63,11 +74,22 @@ fn figure_6_and_7_kerouac_relaxation() {
     session.set_row(0, TripleInput::new("?book", "writer", "Jack Kerouac"));
     session.set_row(1, TripleInput::new("?book", "publisher", "Viking Press"));
     let result = session.run().expect("run");
-    assert_eq!(result.answers.total_rows(), 0, "naive structure finds nothing");
+    assert_eq!(
+        result.answers.total_rows(),
+        0,
+        "naive structure finds nothing"
+    );
 
-    let relaxation = result.suggestions.relaxations.first().expect("Algorithm 3 fires");
+    let relaxation = result
+        .suggestions
+        .relaxations
+        .first()
+        .expect("Algorithm 3 fires");
     assert!(relaxation.relaxed.complete, "all seed groups connected");
-    assert!(relaxation.relaxed.queries_used <= 100, "within the query budget");
+    assert!(
+        relaxation.relaxed.queries_used <= 100,
+        "within the query budget"
+    );
 
     // The suggested query uses the data's real connecting predicates.
     let predicates: Vec<String> = relaxation
@@ -76,7 +98,10 @@ fn figure_6_and_7_kerouac_relaxation() {
         .iter()
         .map(|(_, p, _)| p.lexical().to_string())
         .collect();
-    assert!(predicates.iter().any(|p| p.ends_with("author")), "{predicates:?}");
+    assert!(
+        predicates.iter().any(|p| p.ends_with("author")),
+        "{predicates:?}"
+    );
     assert!(predicates.iter().any(|p| p.ends_with("publisher")));
     assert!(
         !predicates.iter().any(|p| p.ends_with("#type")),
@@ -95,7 +120,10 @@ fn figure_6_and_7_kerouac_relaxation() {
         .collect();
     assert!(all.iter().any(|v| v.ends_with("On_The_Road")));
     assert!(all.iter().any(|v| v.ends_with("Door_Wide_Open")));
-    assert!(!all.iter().any(|v| v.ends_with("Doctor_Sax")), "Grove Press book excluded");
+    assert!(
+        !all.iter().any(|v| v.ends_with("Doctor_Sax")),
+        "Grove Press book excluded"
+    );
 }
 
 /// The paper's introduction example, as a direct SPARQL query: counting

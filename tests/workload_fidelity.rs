@@ -11,7 +11,11 @@ use sapphire_datagen::DatasetConfig;
 fn harness() -> ComparisonHarness {
     ComparisonHarness::build(
         DatasetConfig::tiny(42),
-        SapphireConfig { processes: 2, suffix_tree_capacity: 2_000, ..SapphireConfig::for_tests() },
+        SapphireConfig {
+            processes: 2,
+            suffix_tree_capacity: 2_000,
+            ..SapphireConfig::for_tests()
+        },
     )
 }
 
@@ -53,7 +57,10 @@ fn difficulty_classes_separate_qakis_performance() {
         let gold = gold_answers(q, h.endpoint.as_ref());
         let mut best = Grade::Wrong;
         for p in q.paraphrases.iter().take(3) {
-            let g = grade(&sapphire_datagen::userstudy::NlQaSystem::answer(&h.qakis, p), &gold);
+            let g = grade(
+                &sapphire_datagen::userstudy::NlQaSystem::answer(&h.qakis, p),
+                &gold,
+            );
             if matches!(
                 (g, best),
                 (Grade::Correct, _) | (Grade::Partial, Grade::Wrong)
@@ -72,7 +79,11 @@ fn difficulty_classes_separate_qakis_performance() {
     };
     // Figure 8's driver: QAKiS handles easy questions decently and collapses
     // on the difficult category.
-    assert!(rate(Difficulty::Easy) >= 0.5, "easy {}", rate(Difficulty::Easy));
+    assert!(
+        rate(Difficulty::Easy) >= 0.5,
+        "easy {}",
+        rate(Difficulty::Easy)
+    );
     assert!(
         rate(Difficulty::Difficult) <= 0.35,
         "difficult {}",
