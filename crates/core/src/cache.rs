@@ -95,6 +95,15 @@ impl<K: Clone + Eq + Hash, V> BoundedCache<K, V> {
     }
 
     fn touch(&mut self, key: K) -> u64 {
+        // Keep the queue from accumulating unbounded stale pairs. This runs
+        // here rather than in insert() because get() also touches: a
+        // hit-dominated steady state (the response cache's target workload)
+        // may go arbitrarily long between inserts, and the queue must stay
+        // bounded regardless. Compact *before* pushing so the fresh pair —
+        // not yet reflected in `entries` — survives the retain.
+        if self.order.len() > self.capacity.saturating_mul(4).max(64) {
+            self.compact();
+        }
         let stamp = self.next_stamp;
         self.next_stamp += 1;
         self.order.push_back((stamp, key));
@@ -138,10 +147,6 @@ impl<K: Clone + Eq + Hash, V> BoundedCache<K, V> {
                 }
                 None => break,
             }
-        }
-        // Keep the queue from accumulating unbounded stale pairs.
-        if self.order.len() > self.capacity.saturating_mul(4).max(64) {
-            self.compact();
         }
     }
 
@@ -582,6 +587,27 @@ mod tests {
         }
         assert!(c.order.len() <= 8 * 4 + 50, "stale stamps are compacted");
         assert!(c.stats().hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn bounded_cache_hit_only_workload_keeps_order_bounded() {
+        // A long-running server serving mostly cache hits never inserts, so
+        // the recency queue must be pruned on get() too, not only on insert().
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i);
+        }
+        for i in 0..100_000u32 {
+            assert!(c.get(&(i % 4)).is_some());
+        }
+        // Compaction triggers past max(capacity * 4, 64) pairs; one more pair
+        // may land after the trigger check.
+        assert!(
+            c.order.len() <= 65,
+            "recency queue leaked under hits: {} pairs",
+            c.order.len()
+        );
+        assert_eq!(c.stats().hits, 100_000);
     }
 
     #[test]

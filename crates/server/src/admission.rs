@@ -7,6 +7,7 @@
 //! that is rejected with a typed error, and each tenant spends from a work
 //! budget denominated in the same units the evaluator charges.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -48,7 +49,12 @@ impl AdmissionController {
     /// — both without running any query work.
     pub fn admit(&self) -> Result<AdmissionPermit<'_>, ServerError> {
         let mut state = self.state.lock().unwrap();
-        if state.in_flight < self.max_in_flight {
+        // A free slot goes to a new arrival only when nobody is queued ahead
+        // of it; otherwise a sustained arrival stream would race Drop's
+        // notify_one and starve queued requests into QueueTimeout even though
+        // slots keep freeing. Freed slots are handed to waiters (FIFO-ish —
+        // condvar wake order is the scheduler's) and arrivals join the back.
+        if state.queued == 0 && state.in_flight < self.max_in_flight {
             state.in_flight += 1;
             return Ok(AdmissionPermit { controller: self });
         }
@@ -65,6 +71,13 @@ impl AdmissionController {
             let now = Instant::now();
             if now >= deadline {
                 state.queued -= 1;
+                // If a slot freed while this waiter was giving up, its
+                // notification must not die with it — wake another waiter.
+                let pass_baton = state.in_flight < self.max_in_flight && state.queued > 0;
+                drop(state);
+                if pass_baton {
+                    self.slot_freed.notify_one();
+                }
                 return Err(ServerError::QueueTimeout {
                     waited_ms: start.elapsed().as_millis() as u64,
                 });
@@ -103,6 +116,11 @@ impl Drop for AdmissionPermit<'_> {
         let mut state = self.controller.state.lock().unwrap();
         state.in_flight -= 1;
         drop(state);
+        // notify_one cannot strand the slot: wait_timeout releases the state
+        // mutex and blocks atomically, and this decrement happens under that
+        // mutex — so the notify either reaches a blocked waiter, or an awake
+        // waiter (which always takes any free slot before re-waiting or
+        // giving up, and passes the baton if it gives up) already claimed it.
         self.controller.slot_freed.notify_one();
     }
 }
@@ -119,13 +137,26 @@ impl Drop for AdmissionPermit<'_> {
 /// serialization point, and each shard is a *bounded* LRU
 /// ([`sapphire_core::BoundedCache`]): only the most recently active tenants
 /// are tracked, so the meter cannot grow without bound under tenant-name
-/// churn. A tenant idle long enough to be evicted starts a fresh meter on
-/// return — tenant identity is client-supplied, so per-window budgets bound
-/// *well-behaved* usage; they are not a defense against name cycling.
+/// churn. The bound cuts both ways: when a shard sees more distinct tenants
+/// than its capacity within one window, even a *legitimate, active* tenant's
+/// meter can be evicted and silently restart from zero, under-enforcing its
+/// quota — it is not only adversarial name cycling that slips through.
+/// Every evicted meter is therefore counted
+/// ([`TenantBudgets::evicted_meters`], surfaced as
+/// `ServerMetrics::tenant_meter_evictions`), so a deployment can see when
+/// its tenant cardinality outgrows the meter and quota enforcement degrades.
 #[derive(Debug)]
 pub struct TenantBudgets {
     budget: Option<u64>,
     shards: Vec<Mutex<sapphire_core::BoundedCache<String, u64>>>,
+    /// Evictions from windows already reset; live-window evictions are read
+    /// off the shard caches themselves.
+    past_evictions: AtomicU64,
+    /// Serializes whole-meter walks ([`reset_window`](Self::reset_window) vs
+    /// [`evicted_meters`](Self::evicted_meters)): a reset folding live shard
+    /// evictions into `past_evictions` mid-walk would otherwise let one
+    /// metrics read count the same evictions twice. `charge` never takes it.
+    walk: Mutex<()>,
 }
 
 /// Shards of the tenant meter.
@@ -141,14 +172,13 @@ impl TenantBudgets {
             shards: (0..TENANT_SHARDS)
                 .map(|_| Mutex::new(sapphire_core::BoundedCache::new(TRACKED_TENANTS_PER_SHARD)))
                 .collect(),
+            past_evictions: AtomicU64::new(0),
+            walk: Mutex::new(()),
         }
     }
 
     fn shard(&self, tenant: &str) -> &Mutex<sapphire_core::BoundedCache<String, u64>> {
-        use std::hash::{Hash, Hasher};
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        tenant.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        &self.shards[crate::response_cache::shard_index(tenant, self.shards.len())]
     }
 
     /// Charge `work` units to `tenant`, rejecting if it would exceed the
@@ -180,10 +210,28 @@ impl TenantBudgets {
             .unwrap_or(0)
     }
 
+    /// Meters evicted to keep the shards bounded, across all windows. Each
+    /// eviction forgot some tenant's in-window usage — a nonzero value means
+    /// quotas may have been under-enforced, and a growing one means tenant
+    /// cardinality exceeds [`TRACKED_TENANTS_PER_SHARD`] per shard.
+    pub fn evicted_meters(&self) -> u64 {
+        let _walk = self.walk.lock().unwrap();
+        let live: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().stats().evictions)
+            .sum();
+        self.past_evictions.load(Ordering::Relaxed) + live
+    }
+
     /// Start a fresh accounting window for every tenant.
     pub fn reset_window(&self) {
+        let _walk = self.walk.lock().unwrap();
         for shard in &self.shards {
-            *shard.lock().unwrap() = sapphire_core::BoundedCache::new(TRACKED_TENANTS_PER_SHARD);
+            let mut shard = shard.lock().unwrap();
+            self.past_evictions
+                .fetch_add(shard.stats().evictions, Ordering::Relaxed);
+            *shard = sapphire_core::BoundedCache::new(TRACKED_TENANTS_PER_SHARD);
         }
     }
 }
@@ -251,6 +299,36 @@ mod tests {
     }
 
     #[test]
+    fn new_arrivals_do_not_barge_past_queued_waiters() {
+        let gate = Arc::new(AdmissionController::new(1, 4, Duration::from_secs(5)));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let p1 = gate.admit().unwrap();
+        let waiter = {
+            let gate = gate.clone();
+            let order = order.clone();
+            std::thread::spawn(move || {
+                let _p = gate.admit().expect("waiter admitted");
+                order.lock().unwrap().push("waiter");
+                // Hold the slot long enough that the main thread's admit()
+                // call observably runs while the waiter owns it.
+                std::thread::sleep(Duration::from_millis(50));
+            })
+        };
+        while gate.load().1 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Free the slot with the waiter queued, then immediately contend for
+        // it: the arrival must queue behind the waiter, never steal the slot.
+        drop(p1);
+        let _p2 = gate
+            .admit()
+            .expect("queued behind the waiter, then admitted");
+        order.lock().unwrap().push("arrival");
+        waiter.join().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["waiter", "arrival"]);
+    }
+
+    #[test]
     fn tenant_budget_rejects_after_exhaustion() {
         let budgets = TenantBudgets::new(Some(10));
         assert!(budgets.charge("alice", 6).is_ok());
@@ -281,6 +359,12 @@ mod tests {
         // early drive-by tenants must have been evicted, recent ones kept.
         assert_eq!(budgets.used("drive-by-0"), 0, "idle tenants evicted");
         assert_eq!(budgets.used("drive-by-199999"), 1, "active tenants tracked");
+        // Under-enforcement is observable: every forgotten meter is counted,
+        // and the count survives window resets.
+        let evicted = budgets.evicted_meters();
+        assert!(evicted > 0, "evictions surface in the metric");
+        budgets.reset_window();
+        assert_eq!(budgets.evicted_meters(), evicted, "count is cumulative");
     }
 
     #[test]

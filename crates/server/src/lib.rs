@@ -167,6 +167,41 @@ res:Jack a dbo:Person ; dbo:surname "Kerry"@en ; dbo:name "John Kerry"@en .
     }
 
     #[test]
+    fn editing_rows_invalidates_pending_suggestions() {
+        let srv = server();
+        let s = srv.open_session("alice").unwrap();
+        srv.set_row(s, 0, TripleInput::new("?person", "surname", "Kennedys"))
+            .unwrap();
+        let out = srv.run(s).unwrap();
+        assert!(!out.suggestions.alternatives.is_empty());
+        // The user edits the row: the run's alternatives described rows that
+        // no longer exist, so accepting one must fail typed, not splice a
+        // stale replacement into the new row.
+        srv.set_row(s, 0, TripleInput::new("?person", "surname", "Kerry"))
+            .unwrap();
+        assert!(matches!(
+            srv.apply_alternative(s, 0),
+            Err(ServerError::UnknownSuggestion { available: 0, .. })
+        ));
+        // Same contract after accepting an alternative: the remaining ones
+        // described the pre-accept rows, so a second accept needs a new run.
+        srv.set_row(s, 0, TripleInput::new("?person", "surname", "Kennedys"))
+            .unwrap();
+        let out = srv.run(s).unwrap();
+        let idx = out
+            .suggestions
+            .alternatives
+            .iter()
+            .position(|a| a.replacement == "Kennedy")
+            .unwrap();
+        srv.apply_alternative(s, idx).unwrap();
+        assert!(matches!(
+            srv.apply_alternative(s, idx),
+            Err(ServerError::UnknownSuggestion { available: 0, .. })
+        ));
+    }
+
+    #[test]
     fn unknown_sessions_and_suggestions_are_typed() {
         let srv = server();
         let ghost = SessionId(999);

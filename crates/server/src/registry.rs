@@ -6,8 +6,12 @@
 //! not a million model copies. The registry is sharded: lookups take one
 //! shard's read lock briefly to clone an `Arc`, then operate on the
 //! session's own mutex, so traffic on different sessions never contends on
-//! a global lock and traffic on the *same* session serializes (which is what
-//! makes per-session results deterministic under concurrency).
+//! a global lock. Same-session requests take the entry mutex only to read or
+//! commit state — never across the admission wait or model work — so a
+//! queued run cannot stall other requests on its session; runs snapshot the
+//! entry (with its [`generation`](SessionEntry::generation)) and commit
+//! afterwards, skipping the suggestions commit if the snapshot was
+//! superseded while they executed.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -39,9 +43,17 @@ pub struct SessionEntry {
     pub modifiers: Modifiers,
     /// Times "Run" was pressed.
     pub attempts: u32,
-    /// Suggestions from the most recent run, kept so a follow-up request can
-    /// accept one ("did you mean") without re-deriving it.
-    pub last_suggestions: Option<QsmOutput>,
+    /// Bumped on every edit of `triples`/`modifiers`. A run snapshots this
+    /// with the rows it builds from and only commits its suggestions if the
+    /// session is unchanged when it finishes — runs release the entry lock
+    /// while executing, so a slow run must not overwrite the suggestions of
+    /// a newer session state with ones derived from rows the user has since
+    /// replaced.
+    pub generation: u64,
+    /// Suggestions from the most recent run, kept (shared, not copied) so a
+    /// follow-up request can accept one ("did you mean") without re-deriving
+    /// it.
+    pub last_suggestions: Option<Arc<QsmOutput>>,
 }
 
 /// Sharded map of [`SessionId`] → [`SessionEntry`].

@@ -12,17 +12,30 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use sapphire_core::{BoundedCache, CacheStats};
 
-/// A sharded, bounded, counted LRU keyed by normalized request strings.
-#[derive(Debug)]
-pub struct ShardedResponseCache<V> {
-    shards: Vec<Mutex<BoundedCache<String, V>>>,
+/// Hash `key` onto one of `n` shards. Shared by every sharded map in this
+/// crate (response caches, tenant budget meters) so shard selection can only
+/// ever change in one place.
+pub(crate) fn shard_index(key: &str, n: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % n
 }
 
-impl<V: Clone> ShardedResponseCache<V> {
+/// A sharded, bounded, counted LRU keyed by normalized request strings.
+///
+/// Values are stored behind [`Arc`], so a hit hands back a reference-counted
+/// pointer instead of deep-cloning a potentially large payload (QSM run
+/// results carry full answer sets) while the shard lock is held.
+#[derive(Debug)]
+pub struct ShardedResponseCache<V> {
+    shards: Vec<Mutex<BoundedCache<String, Arc<V>>>>,
+}
+
+impl<V> ShardedResponseCache<V> {
     /// `shards` independent LRUs of `capacity_per_shard` entries each.
     pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
         let shards = shards.clamp(1, 1024);
@@ -33,20 +46,20 @@ impl<V: Clone> ShardedResponseCache<V> {
         }
     }
 
-    fn shard(&self, key: &str) -> &Mutex<BoundedCache<String, V>> {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    fn shard(&self, key: &str) -> &Mutex<BoundedCache<String, Arc<V>>> {
+        &self.shards[shard_index(key, self.shards.len())]
     }
 
     /// Cached value for `key`, if present (counts a hit or miss).
-    pub fn get(&self, key: &str) -> Option<V> {
+    pub fn get(&self, key: &str) -> Option<Arc<V>> {
         self.shard(key).lock().unwrap().get(key).cloned()
     }
 
-    /// Insert a response.
-    pub fn insert(&self, key: String, value: V) {
-        self.shard(&key).lock().unwrap().insert(key, value);
+    /// Insert a response, handing back the shared pointer now holding it.
+    pub fn insert(&self, key: String, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        self.shard(&key).lock().unwrap().insert(key, value.clone());
+        value
     }
 
     /// Aggregated counters across all shards.
@@ -93,7 +106,7 @@ mod tests {
         let cache: ShardedResponseCache<u32> = ShardedResponseCache::new(4, 8);
         assert_eq!(cache.get("a"), None);
         cache.insert("a".into(), 1);
-        assert_eq!(cache.get("a"), Some(1));
+        assert_eq!(cache.get("a").as_deref(), Some(&1));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(cache.len(), 1);

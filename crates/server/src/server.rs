@@ -111,6 +111,11 @@ pub struct ServerMetrics {
     pub rejected_queue_timeout: u64,
     /// Requests rejected with [`ServerError::QuotaExhausted`].
     pub rejected_quota: u64,
+    /// Tenant meters evicted from the bounded budget-accounting LRU. Each
+    /// eviction silently reset some tenant's in-window usage, so a nonzero
+    /// value means quotas may have been under-enforced; a growing one means
+    /// tenant cardinality exceeds what the meter tracks.
+    pub tenant_meter_evictions: u64,
     /// Completion-cache counters.
     pub completion_cache: CacheStats,
     /// Run-cache counters.
@@ -146,12 +151,15 @@ pub struct RunOutput {
 }
 
 /// What the run cache stores — the model-derived payload, not the
-/// session-specific bookkeeping.
-#[derive(Debug, Clone)]
+/// session-specific bookkeeping. Suggestions are shared (`Arc`) because they
+/// also land in `SessionEntry::last_suggestions`: committing them must be a
+/// pointer bump, not a deep copy of per-alternative answer sets under the
+/// session lock.
+#[derive(Debug)]
 struct CachedRun {
     answers: Solutions,
     executed: bool,
-    suggestions: QsmOutput,
+    suggestions: Arc<QsmOutput>,
 }
 
 /// A concurrent, multi-session Sapphire query service.
@@ -233,13 +241,20 @@ impl SapphireServer {
             entry.triples.resize_with(idx + 1, TripleInput::default);
         }
         entry.triples[idx] = input;
+        entry.generation += 1;
+        // Suggestions were derived from the rows just replaced; accepting
+        // one now would splice its replacement into rows it never described.
+        entry.last_suggestions = None;
         Ok(())
     }
 
     /// Replace a session's query modifiers.
     pub fn set_modifiers(&self, id: SessionId, modifiers: Modifiers) -> Result<(), ServerError> {
         let entry = self.registry.get(id)?;
-        entry.lock().unwrap().modifiers = modifiers;
+        let mut entry = entry.lock().unwrap();
+        entry.modifiers = modifiers;
+        entry.generation += 1;
+        entry.last_suggestions = None;
         Ok(())
     }
 
@@ -256,7 +271,8 @@ impl SapphireServer {
         self.count_rejection(self.tenants.charge(&tenant, self.config.completion_cost))?;
         let key = completion_key(typed);
         if let Some(hit) = self.completion_cache.get(&key) {
-            return Ok(hit);
+            drop(permit);
+            return Ok((*hit).clone());
         }
         let result = self.pum.complete(typed);
         self.completion_cache.insert(key, result.clone());
@@ -266,51 +282,74 @@ impl SapphireServer {
 
     /// QSM + execution: press "Run" on session `id`.
     ///
-    /// Builds the query from the session's rows, executes it against the
-    /// shared federation, and gathers suggestions — all while holding the
-    /// session's own lock, so concurrent runs of the *same* session
-    /// serialize and stay deterministic. The model-derived payload is
-    /// memoized across sessions by normalized query.
+    /// The session is snapshotted under its lock and the lock is *released*
+    /// before admission, which may block for the full configured queue wait —
+    /// concurrent `complete`/`set_row`/`apply_alternative` calls on the same
+    /// session must never stall behind a queued run. The attempt counter and
+    /// last suggestions are committed under a fresh lock afterwards, so
+    /// concurrent runs of the same session each count; each builds its query
+    /// from its own snapshot, and a run whose snapshot has been superseded
+    /// (the generation moved while it executed) keeps its attempt but does
+    /// not overwrite the newer state's suggestions. The model-derived payload
+    /// is memoized across sessions by normalized query; a cache hit still
+    /// passes admission (the key requires building the query against the
+    /// shared cache) and still consumes quota — budgets are deliberately
+    /// request-denominated, so a tenant cannot exceed its window by replaying
+    /// one hot query.
     pub fn run(&self, id: SessionId) -> Result<RunOutput, ServerError> {
         self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
         let entry = self.registry.get(id)?;
-        let mut entry = entry.lock().unwrap();
+        let (tenant, triples, modifiers, attempts, generation) = {
+            let entry = entry.lock().unwrap();
+            (
+                entry.tenant.clone(),
+                entry.triples.clone(),
+                entry.modifiers.clone(),
+                entry.attempts,
+                entry.generation,
+            )
+        };
         // Admission comes first: a shed request must cost nothing, and even
         // query building resolves keyword predicates against the shared
         // cache. The quota charge needs the built query's shape, so it
         // follows — an over-budget tenant gives its slot straight back.
         let permit = self.count_rejection(self.admission.admit())?;
-        let query = Session::resume(
-            &self.pum,
-            entry.triples.clone(),
-            entry.modifiers.clone(),
-            entry.attempts,
-        )
-        .build_query()?;
+        let query = Session::resume(&self.pum, triples, modifiers, attempts).build_query()?;
         let cost = self.run_cost(&query);
-        self.count_rejection(self.tenants.charge(&entry.tenant, cost))?;
+        self.count_rejection(self.tenants.charge(&tenant, cost))?;
         let key = run_key(&query);
         let (cached, run) = match self.run_cache.get(&key) {
             Some(hit) => (true, hit),
             None => {
                 let outcome = self.pum.run(&query);
-                let run = CachedRun {
-                    answers: outcome.answers,
-                    executed: outcome.executed,
-                    suggestions: outcome.suggestions,
-                };
-                self.run_cache.insert(key, run.clone());
+                let run = self.run_cache.insert(
+                    key,
+                    CachedRun {
+                        answers: outcome.answers,
+                        executed: outcome.executed,
+                        suggestions: Arc::new(outcome.suggestions),
+                    },
+                );
                 (false, run)
             }
         };
         drop(permit);
-        entry.attempts += 1;
-        entry.last_suggestions = Some(run.suggestions.clone());
+        let attempts = {
+            let mut entry = entry.lock().unwrap();
+            entry.attempts += 1;
+            // Commit suggestions only if they still describe the session's
+            // current rows; a superseded run must not clobber a newer run's
+            // suggestions with ones the user can no longer see.
+            if entry.generation == generation {
+                entry.last_suggestions = Some(run.suggestions.clone());
+            }
+            entry.attempts
+        };
         Ok(RunOutput {
-            answers: AnswerTable::new(run.answers),
-            suggestions: run.suggestions,
+            answers: AnswerTable::new(run.answers.clone()),
+            suggestions: (*run.suggestions).clone(),
             executed: run.executed,
-            attempts: entry.attempts,
+            attempts,
             cached,
         })
     }
@@ -349,6 +388,10 @@ impl SapphireServer {
         );
         let answers = session.apply_alternative(alt);
         entry.triples = session.triples;
+        entry.generation += 1;
+        // The remaining alternatives described the pre-accept rows; a second
+        // accept must come from a fresh run.
+        entry.last_suggestions = None;
         Ok(answers)
     }
 
@@ -371,6 +414,7 @@ impl SapphireServer {
             rejected_overloaded: self.counters.rejected_overloaded.load(Ordering::Relaxed),
             rejected_queue_timeout: self.counters.rejected_queue_timeout.load(Ordering::Relaxed),
             rejected_quota: self.counters.rejected_quota.load(Ordering::Relaxed),
+            tenant_meter_evictions: self.tenants.evicted_meters(),
             completion_cache: self.completion_cache.stats(),
             run_cache: self.run_cache.stats(),
             open_sessions: self.registry.len(),
@@ -435,5 +479,126 @@ impl QueryService for SapphireServer {
             .federation()
             .execute_parsed(query)
             .map_err(|e| from_federation(e).into_service_error())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapphire_core::prelude::*;
+    use sapphire_core::InitMode;
+
+    fn pum() -> Arc<PredictiveUserModel> {
+        let graph = sapphire_rdf::turtle::parse(
+            r#"res:JFK a dbo:Person ; dbo:surname "Kennedy"@en ; dbo:name "John F. Kennedy"@en ."#,
+        )
+        .unwrap();
+        let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+            "dbpedia",
+            graph,
+            EndpointLimits::warehouse(),
+        ));
+        Arc::new(
+            PredictiveUserModel::initialize(
+                vec![ep],
+                Lexicon::dbpedia_default(),
+                SapphireConfig::for_tests(),
+                InitMode::Federated,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn queued_run_does_not_hold_the_session_lock() {
+        let config = ServerConfig {
+            max_in_flight: 1,
+            max_queue_depth: 1,
+            queue_wait: Duration::from_millis(500),
+            ..ServerConfig::for_tests()
+        };
+        let server = Arc::new(SapphireServer::new(pum(), config));
+        let session = server.open_session("alice").unwrap();
+        server
+            .set_row(session, 0, TripleInput::new("?p", "surname", "Kennedy"))
+            .unwrap();
+        // Occupy the only execution slot so the run below queues in admission.
+        let permit = server.admission.admit().unwrap();
+        let queued_run = {
+            let server = server.clone();
+            std::thread::spawn(move || server.run(session))
+        };
+        while server.admission.load().1 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The queued run must wait *without* the session entry lock: other
+        // requests touching the same session proceed immediately.
+        let t = std::time::Instant::now();
+        server
+            .set_row(session, 1, TripleInput::new("?p", "name", "?n"))
+            .unwrap();
+        assert!(
+            t.elapsed() < Duration::from_millis(100),
+            "set_row stalled behind a queued run for {:?}",
+            t.elapsed()
+        );
+        drop(permit);
+        let out = queued_run
+            .join()
+            .unwrap()
+            .expect("run admitted after release");
+        assert!(out.executed);
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn superseded_run_does_not_commit_stale_suggestions() {
+        let config = ServerConfig {
+            max_in_flight: 1,
+            max_queue_depth: 4,
+            queue_wait: Duration::from_secs(2),
+            ..ServerConfig::for_tests()
+        };
+        let server = Arc::new(SapphireServer::new(pum(), config));
+        let session = server.open_session("alice").unwrap();
+        // "Kennedys" matches nothing, so its run yields a "Kennedy"
+        // alternative — exactly the payload that must NOT survive the commit.
+        server
+            .set_row(session, 0, TripleInput::new("?p", "surname", "Kennedys"))
+            .unwrap();
+        let permit = server.admission.admit().unwrap();
+        let stale_run = {
+            let server = server.clone();
+            std::thread::spawn(move || server.run(session))
+        };
+        while server.admission.load().1 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Supersede the queued run's snapshot while it waits for a slot.
+        server
+            .set_row(session, 0, TripleInput::new("?p", "surname", "Kennedy"))
+            .unwrap();
+        drop(permit);
+        let out = stale_run.join().unwrap().expect("stale run still served");
+        // The run's own output reflects its own snapshot…
+        assert_eq!(out.attempts, 1);
+        assert!(
+            out.suggestions
+                .alternatives
+                .iter()
+                .any(|a| a.replacement == "Kennedy"),
+            "stale run produced its snapshot's suggestions"
+        );
+        // …but its suggestions were not committed against the newer rows:
+        // accepting alternative 0 would splice "Kennedy"-for-"Kennedys" into
+        // a session that no longer says "Kennedys".
+        assert!(matches!(
+            server.apply_alternative(session, 0),
+            Err(ServerError::UnknownSuggestion { available: 0, .. })
+        ));
+        // A run of the current state commits normally.
+        let fresh = server.run(session).unwrap();
+        assert!(fresh.executed);
+        assert_eq!(fresh.attempts, 2);
     }
 }
