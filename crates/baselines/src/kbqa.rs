@@ -1,4 +1,4 @@
-//! KBQA [10] — template-based factoid question answering.
+//! KBQA \[10\] — template-based factoid question answering.
 //!
 //! KBQA learns *question templates* from a large Q&A corpus ("When was
 //! $person born?") and maps each template to an RDF predicate. It answers

@@ -6,11 +6,11 @@
 //! §7.2 compares Sapphire against four runnable systems; each is
 //! reimplemented here faithful to its *capability class* (see DESIGN.md):
 //!
-//! * [`qakis`] — QAKiS [7]: relational-pattern NL QA. Entity mention +
+//! * [`qakis`] — QAKiS \[7\]: relational-pattern NL QA. Entity mention +
 //!   relation pattern → single-relation SPARQL. No joins, no aggregates.
-//! * [`kbqa`] — KBQA [10]: template-based factoid QA. Exact template match
+//! * [`kbqa`] — KBQA \[10\]: template-based factoid QA. Exact template match
 //!   only → perfect precision, low recall.
-//! * [`s4`] — S4 [31]: type-level summary graph; rewrites structurally naive
+//! * [`s4`] — S4 \[31\]: type-level summary graph; rewrites structurally naive
 //!   queries whose predicates/terms are correct.
 //! * [`sparqlbye`] — SPARQLByE [4, 11]: reverse-engineers queries from
 //!   example answers with oracle feedback.

@@ -1,4 +1,4 @@
-//! QAKiS [7] — relational-pattern question answering.
+//! QAKiS \[7\] — relational-pattern question answering.
 //!
 //! The original extracts from Wikipedia "different ways of expressing
 //! relations in natural language" and matches question fragments against

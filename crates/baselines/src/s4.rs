@@ -1,4 +1,4 @@
-//! S4 [31] — approximate query matching via a type-level summary graph.
+//! S4 \[31\] — approximate query matching via a type-level summary graph.
 //!
 //! S4 "summarizes the queried dataset by maintaining a graph of the
 //! relationships between RDF entity types" and rewrites queries whose

@@ -123,7 +123,7 @@ fn f1(p: f64, r: f64) -> f64 {
     }
 }
 
-/// The QALD-5 participants the paper itself quotes from [10] rather than
+/// The QALD-5 participants the paper itself quotes from \[10\] rather than
 /// running; we quote the same counts (out of 50 questions).
 pub fn quoted_rows() -> Vec<SystemScore> {
     let rows = [

@@ -1,0 +1,141 @@
+//! CI benchmark-regression gate for the serving tier.
+//!
+//! Runs the `serve_load` workload (via [`sapphire_bench::serve`], the same
+//! code the `serve_load` binary runs) and **fails the build** — exit code 1
+//! — instead of asking a human to eyeball the JSON, enforcing:
+//!
+//! * `rejected_total == 0` — the fixed-seed workload fits the default gate;
+//!   any shedding is a regression in admission or a stall in the hot path.
+//! * `sessions_leaked == 0` — every load-generator session closed.
+//! * both cache hit ratios ≥ 0.90 — the paper's >90% hit-ratio claim, kept
+//!   true under the serving tier. (The check runs two rounds: the
+//!   Appendix-B list has ~12% unique queries per round, so a single round
+//!   *by construction* cannot exceed ~0.88 on the run cache even with a
+//!   perfect cache — one round fills, the second must hit.)
+//! * `leader_runs + bypass_runs ≤ 2 × burst_rounds` in the duplicate-burst
+//!   phase — a burst of identical cold requests must cost ~one model scan
+//!   per request class per round, not one per user (bypass scans count, so
+//!   a broken waiter cap cannot pass on leader count alone).
+//! * throughput ≥ 50% of the committed `BENCH_serve.json` baseline — loose
+//!   enough for noisy shared CI runners, tight enough to catch a serializing
+//!   lock or an accidental O(n) on the hot path.
+//!
+//! Usage: `cargo run --release -p sapphire-bench --bin serve_check
+//!         [--rounds 2] [--baseline BENCH_serve.json]`
+//!
+//! The committed baseline is read *before* the run and never rewritten here;
+//! regenerating it after an intentional perf change is `serve_load`'s job.
+
+use sapphire_bench::serve::{self, arg_string, arg_usize, json_f64, ServeLoadOptions};
+
+struct Gate {
+    failures: u32,
+}
+
+impl Gate {
+    fn check(&mut self, name: &str, pass: bool, detail: String) {
+        if pass {
+            eprintln!("PASS {name}: {detail}");
+        } else {
+            self.failures += 1;
+            eprintln!("FAIL {name}: {detail}");
+        }
+    }
+}
+
+fn main() {
+    let baseline_path = arg_string("--baseline").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "FAIL baseline: cannot read {baseline_path}: {e}\n\
+                 (regenerate with `cargo run --release -p sapphire-bench --bin serve_load` \
+                 and commit the result)"
+            );
+            std::process::exit(1);
+        }
+    };
+    let baseline_rps = match json_f64(&baseline, None, "total_throughput_rps") {
+        Some(v) if v > 0.0 => v,
+        _ => {
+            eprintln!("FAIL baseline: {baseline_path} has no total_throughput_rps");
+            std::process::exit(1);
+        }
+    };
+
+    let opts = ServeLoadOptions {
+        rounds: arg_usize("--rounds", 2),
+        // A relaxed queue deadline: the zero-rejection gate must catch real
+        // admission regressions, not a noisy CI runner descheduling one
+        // thread past the serving posture's 100ms for a moment.
+        queue_wait_ms: 1_000,
+        ..ServeLoadOptions::default()
+    };
+    let report = serve::run(&opts);
+    println!("{report}");
+
+    let num = |section: Option<&str>, key: &str| -> f64 {
+        match json_f64(&report, section, key) {
+            Some(v) => v,
+            None => {
+                eprintln!("FAIL report: missing field {key:?} (section {section:?})");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let mut gate = Gate { failures: 0 };
+    let rejected = num(None, "rejected_total");
+    gate.check(
+        "rejected_total",
+        rejected == 0.0,
+        format!("{rejected} (must be 0)"),
+    );
+    let leaked = num(None, "sessions_leaked");
+    gate.check(
+        "sessions_leaked",
+        leaked == 0.0,
+        format!("{leaked} (must be 0)"),
+    );
+    let completion_ratio = num(Some("completion_cache"), "hit_ratio");
+    gate.check(
+        "completion_cache.hit_ratio",
+        completion_ratio >= 0.90,
+        format!("{completion_ratio:.3} (floor 0.90)"),
+    );
+    let run_ratio = num(Some("run_cache"), "hit_ratio");
+    gate.check(
+        "run_cache.hit_ratio",
+        run_ratio >= 0.90,
+        format!("{run_ratio:.3} (floor 0.90)"),
+    );
+    // Single-flight contract: a burst of identical cold requests costs one
+    // scan per request class per round (QCM + QSM), give or take nothing.
+    // Bypass scans count too — a regression that made every duplicate
+    // bypass (e.g. a broken waiter cap) must not pass on leader count alone.
+    let burst_rounds = num(Some("config"), "burst_rounds");
+    let burst_scans =
+        num(Some("duplicate_burst"), "leader_runs") + num(Some("duplicate_burst"), "bypass_runs");
+    gate.check(
+        "duplicate_burst scans",
+        burst_scans <= 2.0 * burst_rounds,
+        format!(
+            "{burst_scans} scans for {burst_rounds} burst rounds (cap {})",
+            2.0 * burst_rounds
+        ),
+    );
+    let rps = num(None, "total_throughput_rps");
+    let floor = baseline_rps * 0.5;
+    gate.check(
+        "total_throughput_rps",
+        rps >= floor,
+        format!("{rps:.1} vs baseline {baseline_rps:.1} (floor {floor:.1})"),
+    );
+
+    if gate.failures > 0 {
+        eprintln!("serve_check: {} gate(s) FAILED", gate.failures);
+        std::process::exit(1);
+    }
+    eprintln!("serve_check: all gates passed");
+}

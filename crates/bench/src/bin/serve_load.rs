@@ -1,253 +1,43 @@
 //! Closed-loop load generator for the `sapphire-server` serving tier.
 //!
 //! Drives N concurrent simulated users against ONE shared `SapphireServer`
-//! (one `Arc`'d graph + Predictive User Model — no per-session copies). Each
-//! user replays Appendix-B session scripts: per-keystroke QCM completions
-//! for the keywords they type, then a QSM "Run" per question. Reports
-//! throughput and p50/p95/p99 latency per request class as JSON, and writes
-//! the same report to `BENCH_serve.json` as the baseline for later scaling
-//! work.
+//! (one `Arc`'d graph + Predictive User Model — no per-session copies), then
+//! a duplicate-burst phase where K users fire the *same* cold request at the
+//! same instant (the single-flight coalescing showcase). Reports throughput,
+//! p50/p95/p99 latency per request class, and coalescing counters as JSON,
+//! and writes the same report to `BENCH_serve.json` as the baseline the
+//! `serve_check` CI gate enforces.
 //!
 //! Usage: `cargo run --release -p sapphire-bench --bin serve_load
 //!         [--users 32] [--rounds 3] [--scale tiny|small|medium]
-//!         [--inflight N] [--queue N]`
+//!         [--inflight N] [--queue N] [--burst-users 16] [--burst-rounds 8]
+//!         [--coalesce N]` (waiter cap per key; `--coalesce 0` disables
+//! single-flight to measure the pre-coalescing baseline)
 //!
 //! The dataset seed and workload are fixed, so request *streams* are
 //! reproducible; only latencies vary run to run. All load-shed requests
 //! surface as typed errors and are counted, never panicked on.
+//!
+//! The workload itself lives in [`sapphire_bench::serve`] so the CI gate
+//! (`serve_check`) runs exactly the same code without overwriting the
+//! committed baseline.
 
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-use sapphire_bench::{dataset_for, experiment_config};
-use sapphire_core::prelude::*;
-use sapphire_core::session::Modifiers;
-use sapphire_core::InitMode;
-use sapphire_datagen::generate;
-use sapphire_datagen::workload::appendix_b;
-use sapphire_server::{SapphireServer, ServerConfig, ServerError};
-
-fn arg(name: &str, default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Latency samples and rejection counters for one request class.
-#[derive(Debug, Default, Clone)]
-struct ClassStats {
-    latencies_us: Vec<u64>,
-    overloaded: u64,
-    queue_timeout: u64,
-    quota: u64,
-    invalid: u64,
-}
-
-impl ClassStats {
-    fn record(&mut self, started: Instant, result: &Result<(), ServerError>) {
-        match result {
-            Ok(()) => self.latencies_us.push(started.elapsed().as_micros() as u64),
-            Err(ServerError::Overloaded { .. }) => self.overloaded += 1,
-            Err(ServerError::QueueTimeout { .. }) => self.queue_timeout += 1,
-            Err(ServerError::QuotaExhausted { .. }) => self.quota += 1,
-            Err(_) => self.invalid += 1,
-        }
-    }
-
-    fn merge(&mut self, other: ClassStats) {
-        self.latencies_us.extend(other.latencies_us);
-        self.overloaded += other.overloaded;
-        self.queue_timeout += other.queue_timeout;
-        self.quota += other.quota;
-        self.invalid += other.invalid;
-    }
-
-    fn rejected(&self) -> u64 {
-        self.overloaded + self.queue_timeout + self.quota
-    }
-
-    fn json(&self, wall: Duration) -> String {
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-            sorted[idx]
-        };
-        let count = sorted.len();
-        let throughput = count as f64 / wall.as_secs_f64().max(1e-9);
-        format!(
-            "{{\"completed\": {count}, \"throughput_rps\": {throughput:.1}, \
-             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
-             \"rejected_overloaded\": {}, \"rejected_queue_timeout\": {}, \
-             \"rejected_quota\": {}, \"invalid\": {}}}",
-            pct(50.0),
-            pct(95.0),
-            pct(99.0),
-            self.overloaded,
-            self.queue_timeout,
-            self.quota,
-            self.invalid
-        )
-    }
-}
+use sapphire_bench::serve::{self, arg_string, arg_usize, ServeLoadOptions};
 
 fn main() {
-    let users = arg("--users", 32);
-    let rounds = arg("--rounds", 3);
-    // Baseline scale is tiny so the reference numbers are quick to
-    // regenerate; pass `--scale small|medium` for a heavier run.
-    let scale_label = {
-        let args: Vec<String> = std::env::args().collect();
-        let requested = args
-            .iter()
-            .position(|a| a == "--scale")
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-            .unwrap_or_else(|| "tiny".to_string());
-        if !["tiny", "small", "medium"].contains(&requested.as_str()) {
-            // `dataset_for` falls back to small; keep the report label honest.
-            eprintln!("warning: unknown scale {requested:?}, using \"small\"");
-            "small".to_string()
-        } else {
-            requested
-        }
+    let defaults = ServeLoadOptions::default();
+    let opts = ServeLoadOptions {
+        users: arg_usize("--users", defaults.users),
+        rounds: arg_usize("--rounds", defaults.rounds),
+        scale: arg_string("--scale").unwrap_or(defaults.scale.clone()),
+        max_in_flight: arg_usize("--inflight", 0),
+        max_queue_depth: arg_usize("--queue", 0),
+        burst_users: arg_usize("--burst-users", defaults.burst_users),
+        burst_rounds: arg_usize("--burst-rounds", defaults.burst_rounds),
+        coalesce_waiters: arg_usize("--coalesce", defaults.coalesce_waiters),
+        queue_wait_ms: 0,
     };
-    let dataset = dataset_for(&scale_label);
-
-    eprintln!("(generating dataset + initializing shared model…)");
-    let graph = generate(dataset);
-    let triple_count = graph.len();
-    let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
-        "dbpedia",
-        graph,
-        EndpointLimits::warehouse(),
-    ));
-    let pum = Arc::new(
-        PredictiveUserModel::initialize(
-            vec![ep],
-            Lexicon::dbpedia_default(),
-            experiment_config(),
-            InitMode::Federated,
-        )
-        .expect("initialization"),
-    );
-
-    // Service posture: hardware-sized concurrency (floored at 8 so cramped
-    // CI boxes still exercise real parallelism), a finite queue, and no
-    // tenant quotas — overload shedding comes from the gate alone.
-    let default_in_flight = ServerConfig::default().max_in_flight.max(8);
-    let max_in_flight = arg("--inflight", default_in_flight);
-    let max_queue_depth = arg("--queue", max_in_flight * 4);
-    let config = ServerConfig {
-        max_in_flight,
-        max_queue_depth,
-        queue_wait: Duration::from_millis(100),
-        ..ServerConfig::default()
-    };
-    let server = Arc::new(SapphireServer::new(pum, config));
-
-    let questions = appendix_b();
-    eprintln!(
-        "(driving {users} users x {rounds} rounds over {} scripted questions…)",
-        questions.len()
-    );
-
-    let started = Instant::now();
-    let (mut qcm, mut qsm) = (ClassStats::default(), ClassStats::default());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for user in 0..users {
-            let server = server.clone();
-            let questions = &questions;
-            handles.push(scope.spawn(move || {
-                let mut qcm = ClassStats::default();
-                let mut qsm = ClassStats::default();
-                let session = server
-                    .open_session(&format!("user-{user}"))
-                    .expect("session registry sized for the fleet");
-                for round in 0..rounds {
-                    // Each user walks the question list from its own offset,
-                    // so the mix of in-flight queries varies while the total
-                    // workload stays fixed.
-                    for qi in 0..questions.len() {
-                        let q = &questions[(qi + user + round) % questions.len()];
-                        for (row, input) in q.script.rows.iter().enumerate() {
-                            // Per-keystroke QCM on the object keyword.
-                            let keyword = input.object.trim_start_matches('?');
-                            for end in 1..=keyword.chars().count().min(6) {
-                                let prefix: String = keyword.chars().take(end).collect();
-                                let t = Instant::now();
-                                let r = server.complete(session, &prefix).map(|_| ());
-                                qcm.record(t, &r);
-                            }
-                            server
-                                .set_row(session, row, input.clone())
-                                .expect("session owned by this thread");
-                        }
-                        server
-                            .set_modifiers(
-                                session,
-                                Modifiers {
-                                    distinct: false,
-                                    order_by: q.script.order_by.clone(),
-                                    limit: q.script.limit,
-                                    count: q.script.count,
-                                    filters: q.script.filters.clone(),
-                                },
-                            )
-                            .expect("session owned by this thread");
-                        let t = Instant::now();
-                        let r = server.run(session).map(|_| ());
-                        qsm.record(t, &r);
-                    }
-                }
-                server.close_session(session);
-                (qcm, qsm)
-            }));
-        }
-        for h in handles {
-            let (c, s) = h.join().expect("no worker panics");
-            qcm.merge(c);
-            qsm.merge(s);
-        }
-    });
-    let wall = started.elapsed();
-
-    let metrics = server.metrics();
-    let cache_stats = |s: sapphire_core::CacheStats| {
-        format!(
-            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_ratio\": {:.3}}}",
-            s.hits,
-            s.misses,
-            s.evictions,
-            s.hit_ratio()
-        )
-    };
-    let report = format!(
-        "{{\n  \"benchmark\": \"serve_load\",\n  \"config\": {{\"users\": {users}, \
-         \"rounds\": {rounds}, \"scale\": \"{scale_label}\", \"triples\": {triple_count}, \
-         \"max_in_flight\": {max_in_flight}, \"max_queue_depth\": {max_queue_depth}}},\n  \
-         \"wall_seconds\": {:.3},\n  \"total_throughput_rps\": {:.1},\n  \
-         \"qcm\": {},\n  \"qsm\": {},\n  \
-         \"rejected_total\": {},\n  \
-         \"completion_cache\": {},\n  \"run_cache\": {},\n  \
-         \"sessions_leaked\": {}\n}}",
-        wall.as_secs_f64(),
-        (qcm.latencies_us.len() + qsm.latencies_us.len()) as f64 / wall.as_secs_f64().max(1e-9),
-        qcm.json(wall),
-        qsm.json(wall),
-        qcm.rejected() + qsm.rejected(),
-        cache_stats(metrics.completion_cache),
-        cache_stats(metrics.run_cache),
-        metrics.open_sessions,
-    );
-
+    let report = serve::run(&opts);
     println!("{report}");
     if let Err(e) = std::fs::write("BENCH_serve.json", format!("{report}\n")) {
         eprintln!("warning: could not write BENCH_serve.json: {e}");

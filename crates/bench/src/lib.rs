@@ -5,6 +5,8 @@
 //! Criterion micro-benchmarks. See DESIGN.md's per-experiment index and
 //! EXPERIMENTS.md for paper-vs-measured numbers.
 
+pub mod serve;
+
 use sapphire_core::SapphireConfig;
 use sapphire_datagen::DatasetConfig;
 use sapphire_rdf::{Graph, Term};

@@ -1,0 +1,526 @@
+//! The `serve_load` harness as a library.
+//!
+//! The closed-loop load generator used to live entirely inside the
+//! `serve_load` binary; it is a library module so the CI regression gate
+//! (`serve_check`) can drive the *same* workload in-process and validate the
+//! same JSON report it would have eyeballed — one workload definition, two
+//! consumers.
+//!
+//! Two phases:
+//!
+//! 1. **Closed loop** — N users replay Appendix-B session scripts
+//!    (per-keystroke QCM completions, then a QSM "Run" per question) against
+//!    one shared [`SapphireServer`].
+//! 2. **Duplicate burst** (optional) — K users issue the *same* cold QCM and
+//!    QSM request at the same instant, several rounds, modelling many users
+//!    typing the same prefix at once. With single-flight coalescing each
+//!    round costs one model scan per request class; the report carries the
+//!    `coalesce_leader_runs` / `coalesced_hits` deltas so the effect is a
+//!    number, not a claim. Run it with `coalesce_waiters == 0` to measure
+//!    the pre-coalescing behaviour (every duplicate scans).
+//!
+//! The JSON report is assembled by hand (the build has no serde); the
+//! [`json_f64`] helper on the parsing side is matched to exactly this shape.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use sapphire_core::prelude::*;
+use sapphire_core::session::Modifiers;
+use sapphire_core::InitMode;
+use sapphire_datagen::generate;
+use sapphire_datagen::workload::appendix_b;
+use sapphire_server::{SapphireServer, ServerConfig, ServerError};
+
+use crate::dataset_for;
+use crate::experiment_config;
+
+/// Everything `serve_load` can be asked to do.
+#[derive(Debug, Clone)]
+pub struct ServeLoadOptions {
+    /// Closed-loop simulated users.
+    pub users: usize,
+    /// Times each user replays the whole Appendix-B question list.
+    pub rounds: usize,
+    /// Dataset scale (`tiny`/`small`/`medium`).
+    pub scale: String,
+    /// Admission in-flight limit (`0` = hardware-sized default, floored at 8
+    /// so cramped CI boxes still exercise real parallelism).
+    pub max_in_flight: usize,
+    /// Admission queue depth (`0` = 4x the in-flight limit).
+    pub max_queue_depth: usize,
+    /// Users in the duplicate-burst phase (`0` skips the phase).
+    pub burst_users: usize,
+    /// Rounds of the duplicate-burst phase; each round is one cold QCM term
+    /// and one cold QSM query issued by every burst user simultaneously.
+    pub burst_rounds: usize,
+    /// Per-key coalescing waiter cap (`0` disables single-flight — the
+    /// pre-coalescing baseline behaviour).
+    pub coalesce_waiters: usize,
+    /// Queued-request deadline in milliseconds (`0` = 100ms, the serving
+    /// posture). The CI gate raises this so a noisy-neighbor scheduler stall
+    /// on a shared runner cannot manufacture a spurious `QueueTimeout`
+    /// rejection and fail the zero-rejection gate.
+    pub queue_wait_ms: u64,
+}
+
+impl Default for ServeLoadOptions {
+    fn default() -> Self {
+        ServeLoadOptions {
+            users: 32,
+            rounds: 3,
+            scale: "tiny".to_string(),
+            max_in_flight: 0,
+            max_queue_depth: 0,
+            burst_users: 16,
+            burst_rounds: 8,
+            coalesce_waiters: ServerConfig::default().coalesce_waiters_per_key,
+            queue_wait_ms: 0,
+        }
+    }
+}
+
+/// `--name N` from argv, or `default` — shared by the `serve_load` and
+/// `serve_check` binaries so flag parsing can only ever change in one place.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `--name VALUE` from argv, if present.
+pub fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Latency samples and rejection counters for one request class.
+#[derive(Debug, Default, Clone)]
+struct ClassStats {
+    latencies_us: Vec<u64>,
+    overloaded: u64,
+    queue_timeout: u64,
+    quota: u64,
+    invalid: u64,
+}
+
+impl ClassStats {
+    fn record(&mut self, started: Instant, result: &Result<(), ServerError>) {
+        match result {
+            Ok(()) => self.latencies_us.push(started.elapsed().as_micros() as u64),
+            Err(ServerError::Overloaded { .. }) => self.overloaded += 1,
+            Err(ServerError::QueueTimeout { .. }) => self.queue_timeout += 1,
+            Err(ServerError::QuotaExhausted { .. }) => self.quota += 1,
+            Err(_) => self.invalid += 1,
+        }
+    }
+
+    fn merge(&mut self, other: ClassStats) {
+        self.latencies_us.extend(other.latencies_us);
+        self.overloaded += other.overloaded;
+        self.queue_timeout += other.queue_timeout;
+        self.quota += other.quota;
+        self.invalid += other.invalid;
+    }
+
+    fn rejected(&self) -> u64 {
+        self.overloaded + self.queue_timeout + self.quota
+    }
+
+    fn percentile(&self, sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    }
+
+    fn json(&self, wall: Duration) -> String {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let throughput = count as f64 / wall.as_secs_f64().max(1e-9);
+        format!(
+            "{{\"completed\": {count}, \"throughput_rps\": {throughput:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"rejected_overloaded\": {}, \"rejected_queue_timeout\": {}, \
+             \"rejected_quota\": {}, \"invalid\": {}}}",
+            self.percentile(&sorted, 50.0),
+            self.percentile(&sorted, 95.0),
+            self.percentile(&sorted, 99.0),
+            self.overloaded,
+            self.queue_timeout,
+            self.quota,
+            self.invalid
+        )
+    }
+}
+
+/// Run the full workload and return the JSON report.
+///
+/// Does **not** write `BENCH_serve.json` — persisting the baseline is the
+/// `serve_load` binary's job; the CI gate runs the same workload without
+/// clobbering the committed reference.
+pub fn run(opts: &ServeLoadOptions) -> String {
+    let scale_label = if ["tiny", "small", "medium"].contains(&opts.scale.as_str()) {
+        opts.scale.clone()
+    } else {
+        // `dataset_for` falls back to small; keep the report label honest.
+        eprintln!("warning: unknown scale {:?}, using \"small\"", opts.scale);
+        "small".to_string()
+    };
+    let dataset = dataset_for(&scale_label);
+
+    eprintln!("(generating dataset + initializing shared model…)");
+    let graph = generate(dataset);
+    let triple_count = graph.len();
+    let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
+        "dbpedia",
+        graph,
+        EndpointLimits::warehouse(),
+    ));
+    let pum = Arc::new(
+        PredictiveUserModel::initialize(
+            vec![ep],
+            Lexicon::dbpedia_default(),
+            experiment_config(),
+            InitMode::Federated,
+        )
+        .expect("initialization"),
+    );
+
+    // Service posture: hardware-sized concurrency (floored at 8 so cramped
+    // CI boxes still exercise real parallelism), a finite queue, and no
+    // tenant quotas — overload shedding comes from the gate alone.
+    let default_in_flight = ServerConfig::default().max_in_flight.max(8);
+    let max_in_flight = if opts.max_in_flight > 0 {
+        opts.max_in_flight
+    } else {
+        default_in_flight
+    };
+    let max_queue_depth = if opts.max_queue_depth > 0 {
+        opts.max_queue_depth
+    } else {
+        max_in_flight * 4
+    };
+    // The burst phase blocks followers while they hold admission slots; the
+    // gate must be able to hold one whole burst or the phase deadlocks into
+    // queue timeouts.
+    let max_queue_depth = max_queue_depth.max(opts.burst_users);
+    let queue_wait_ms = if opts.queue_wait_ms > 0 {
+        opts.queue_wait_ms
+    } else {
+        100
+    };
+    let config = ServerConfig {
+        max_in_flight,
+        max_queue_depth,
+        queue_wait: Duration::from_millis(queue_wait_ms),
+        coalesce_waiters_per_key: opts.coalesce_waiters,
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(SapphireServer::new(pum, config));
+
+    let questions = appendix_b();
+    eprintln!(
+        "(driving {} users x {} rounds over {} scripted questions…)",
+        opts.users,
+        opts.rounds,
+        questions.len()
+    );
+
+    let users = opts.users;
+    let rounds = opts.rounds;
+    let started = Instant::now();
+    let (mut qcm, mut qsm) = (ClassStats::default(), ClassStats::default());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for user in 0..users {
+            let server = server.clone();
+            let questions = &questions;
+            handles.push(scope.spawn(move || {
+                let mut qcm = ClassStats::default();
+                let mut qsm = ClassStats::default();
+                let session = server
+                    .open_session(&format!("user-{user}"))
+                    .expect("session registry sized for the fleet");
+                for round in 0..rounds {
+                    // Each user walks the question list from its own offset,
+                    // so the mix of in-flight queries varies while the total
+                    // workload stays fixed.
+                    for qi in 0..questions.len() {
+                        let q = &questions[(qi + user + round) % questions.len()];
+                        for (row, input) in q.script.rows.iter().enumerate() {
+                            // Per-keystroke QCM on the object keyword.
+                            let keyword = input.object.trim_start_matches('?');
+                            for end in 1..=keyword.chars().count().min(6) {
+                                let prefix: String = keyword.chars().take(end).collect();
+                                let t = Instant::now();
+                                let r = server.complete(session, &prefix).map(|_| ());
+                                qcm.record(t, &r);
+                            }
+                            server
+                                .set_row(session, row, input.clone())
+                                .expect("session owned by this thread");
+                        }
+                        server
+                            .set_modifiers(
+                                session,
+                                Modifiers {
+                                    distinct: false,
+                                    order_by: q.script.order_by.clone(),
+                                    limit: q.script.limit,
+                                    count: q.script.count,
+                                    filters: q.script.filters.clone(),
+                                },
+                            )
+                            .expect("session owned by this thread");
+                        let t = Instant::now();
+                        let r = server.run(session).map(|_| ());
+                        qsm.record(t, &r);
+                    }
+                }
+                server.close_session(session);
+                (qcm, qsm)
+            }));
+        }
+        for h in handles {
+            let (c, s) = h.join().expect("no worker panics");
+            qcm.merge(c);
+            qsm.merge(s);
+        }
+    });
+    let wall = started.elapsed();
+
+    // --- Phase 2: duplicate burst -------------------------------------
+    //
+    // Every burst user fires the *same* never-seen request at the same
+    // instant — the worst case for a response cache (all of them miss) and
+    // the best case for single-flight. Each round uses a fresh QCM term and
+    // a fresh QSM query so the cache can never help across rounds.
+    let before_burst = server.metrics();
+    let mut burst = ClassStats::default();
+    let burst_started = Instant::now();
+    let burst_ran = opts.burst_users > 1 && opts.burst_rounds > 0;
+    if burst_ran {
+        eprintln!(
+            "(duplicate burst: {} users x {} rounds…)",
+            opts.burst_users, opts.burst_rounds
+        );
+        let barrier = Arc::new(Barrier::new(opts.burst_users));
+        let burst_rounds = opts.burst_rounds;
+        let questions = &questions;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for user in 0..opts.burst_users {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                handles.push(scope.spawn(move || {
+                    let mut stats = ClassStats::default();
+                    let session = server
+                        .open_session(&format!("burst-{user}"))
+                        .expect("session registry sized for the burst");
+                    for round in 0..burst_rounds {
+                        let q = &questions[round % questions.len()];
+                        // Same cold term for everyone: a keyword no script
+                        // types (the `~` suffix keeps it out of phase 1).
+                        let keyword = q.script.rows[0].object.trim_start_matches('?');
+                        let term = format!("{keyword}~{round}");
+                        barrier.wait();
+                        let t = Instant::now();
+                        let r = server.complete(session, &term).map(|_| ());
+                        stats.record(t, &r);
+                        // Same cold query for everyone: scripted rows with a
+                        // round-unique LIMIT, so the normalized key is shared
+                        // within the round and fresh across rounds.
+                        for (row, input) in q.script.rows.iter().enumerate() {
+                            server
+                                .set_row(session, row, input.clone())
+                                .expect("session owned by this thread");
+                        }
+                        server
+                            .set_modifiers(
+                                session,
+                                Modifiers {
+                                    distinct: false,
+                                    order_by: None,
+                                    limit: Some(90_000 + round),
+                                    count: false,
+                                    filters: Vec::new(),
+                                },
+                            )
+                            .expect("session owned by this thread");
+                        barrier.wait();
+                        let t = Instant::now();
+                        let r = server.run(session).map(|_| ());
+                        stats.record(t, &r);
+                    }
+                    server.close_session(session);
+                    stats
+                }));
+            }
+            for h in handles {
+                burst.merge(h.join().expect("no burst panics"));
+            }
+        });
+    }
+    let burst_wall = burst_started.elapsed();
+
+    let metrics = server.metrics();
+    let cache_stats = |s: sapphire_core::CacheStats| {
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_ratio\": {:.3}}}",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.hit_ratio()
+        )
+    };
+    // Requests actually issued: zero when the phase was skipped, so the
+    // report never claims traffic that did not happen.
+    let burst_requests = if burst_ran {
+        (opts.burst_users * opts.burst_rounds * 2) as u64
+    } else {
+        0
+    };
+    format!(
+        "{{\n  \"benchmark\": \"serve_load\",\n  \"config\": {{\"users\": {users}, \
+         \"rounds\": {rounds}, \"scale\": \"{scale_label}\", \"triples\": {triple_count}, \
+         \"max_in_flight\": {max_in_flight}, \"max_queue_depth\": {max_queue_depth}, \
+         \"burst_users\": {}, \"burst_rounds\": {}, \"coalesce_waiters\": {}}},\n  \
+         \"wall_seconds\": {:.3},\n  \"total_throughput_rps\": {:.1},\n  \
+         \"qcm\": {},\n  \"qsm\": {},\n  \
+         \"duplicate_burst\": {{\"requests\": {burst_requests}, \"wall_seconds\": {:.3}, \
+         \"leader_runs\": {}, \"bypass_runs\": {}, \"coalesced_hits\": {}, \"stats\": {}}},\n  \
+         \"coalescing\": {{\"coalesced_hits\": {}, \"leader_runs\": {}, \"bypass_runs\": {}, \
+         \"fifo_handoffs\": {}}},\n  \
+         \"rejected_total\": {},\n  \
+         \"completion_cache\": {},\n  \"run_cache\": {},\n  \
+         \"sessions_leaked\": {}\n}}",
+        opts.burst_users,
+        opts.burst_rounds,
+        opts.coalesce_waiters,
+        wall.as_secs_f64(),
+        (qcm.latencies_us.len() + qsm.latencies_us.len()) as f64 / wall.as_secs_f64().max(1e-9),
+        qcm.json(wall),
+        qsm.json(wall),
+        burst_wall.as_secs_f64(),
+        metrics.coalesce_leader_runs - before_burst.coalesce_leader_runs,
+        metrics.coalesce_bypass_runs - before_burst.coalesce_bypass_runs,
+        metrics.coalesced_hits - before_burst.coalesced_hits,
+        burst.json(burst_wall),
+        metrics.coalesced_hits,
+        metrics.coalesce_leader_runs,
+        metrics.coalesce_bypass_runs,
+        metrics.fifo_handoffs,
+        qcm.rejected() + qsm.rejected() + burst.rejected(),
+        cache_stats(metrics.completion_cache),
+        cache_stats(metrics.run_cache),
+        metrics.open_sessions,
+    )
+}
+
+/// Pull a numeric field out of a `serve_load` JSON report.
+///
+/// `section` of `None` searches the whole report; `Some(name)` restricts the
+/// search to the whole `{...}` object that follows `"name"`, nested objects
+/// included (braces are depth-matched, so a section like `duplicate_burst`
+/// that carries an inner `"stats": {...}` is covered wherever the inner
+/// object sits). This is not a JSON parser — the build is offline and has no
+/// serde — but it is exact for the report shape [`run`] emits, and the tests
+/// below pin that shape, nested objects included.
+pub fn json_f64(report: &str, section: Option<&str>, key: &str) -> Option<f64> {
+    let haystack = match section {
+        None => report,
+        Some(name) => {
+            let at = report.find(&format!("\"{name}\""))?;
+            let open = at + report[at..].find('{')?;
+            let mut depth = 0usize;
+            let close = report[open..].char_indices().find_map(|(i, c)| match c {
+                '{' => {
+                    depth += 1;
+                    None
+                }
+                '}' => {
+                    depth -= 1;
+                    (depth == 0).then_some(open + i)
+                }
+                _ => None,
+            })?;
+            &report[open..close]
+        }
+    };
+    let at = haystack.find(&format!("\"{key}\""))?;
+    let colon = at + haystack[at..].find(':')?;
+    let value: String = haystack[colon + 1..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    value.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Mirrors the real report's structural hazards: duplicate_burst carries
+    // a *nested* object, here deliberately placed BEFORE the scalar fields
+    // so the extraction is proven to depth-match rather than stop at the
+    // first closing brace.
+    const REPORT: &str = r#"{
+  "benchmark": "serve_load",
+  "config": {"users": 32, "rounds": 1},
+  "total_throughput_rps": 36948.1,
+  "qcm": {"completed": 26304, "p50_us": 370},
+  "qsm": {"completed": 2592, "p50_us": 521},
+  "duplicate_burst": {"requests": 256, "stats": {"completed": 256, "p50_us": 24}, "leader_runs": 16, "bypass_runs": 0, "coalesced_hits": 240},
+  "rejected_total": 0,
+  "completion_cache": {"hits": 26113, "misses": 191, "hit_ratio": 0.993},
+  "run_cache": {"hits": 2490, "misses": 102, "hit_ratio": 0.961},
+  "sessions_leaked": 0
+}"#;
+
+    #[test]
+    fn json_f64_reads_top_level_and_sectioned_fields() {
+        assert_eq!(
+            json_f64(REPORT, None, "total_throughput_rps"),
+            Some(36948.1)
+        );
+        assert_eq!(json_f64(REPORT, None, "rejected_total"), Some(0.0));
+        assert_eq!(json_f64(REPORT, None, "sessions_leaked"), Some(0.0));
+        assert_eq!(
+            json_f64(REPORT, Some("completion_cache"), "hit_ratio"),
+            Some(0.993)
+        );
+        assert_eq!(
+            json_f64(REPORT, Some("run_cache"), "hit_ratio"),
+            Some(0.961)
+        );
+        // These two sit *after* the nested "stats" object — the reads that
+        // serve_check's burst gate depends on.
+        assert_eq!(
+            json_f64(REPORT, Some("duplicate_burst"), "leader_runs"),
+            Some(16.0)
+        );
+        assert_eq!(
+            json_f64(REPORT, Some("duplicate_burst"), "bypass_runs"),
+            Some(0.0)
+        );
+        assert_eq!(json_f64(REPORT, Some("qcm"), "completed"), Some(26304.0));
+    }
+
+    #[test]
+    fn json_f64_is_none_for_missing_fields() {
+        assert_eq!(json_f64(REPORT, None, "no_such_key"), None);
+        assert_eq!(json_f64(REPORT, Some("no_such_section"), "hits"), None);
+        // A key outside the requested section must not leak in.
+        assert_eq!(json_f64(REPORT, Some("qcm"), "hit_ratio"), None);
+    }
+}

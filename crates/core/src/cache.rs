@@ -130,6 +130,20 @@ impl<K: Clone + Eq + Hash, V> BoundedCache<K, V> {
         }
     }
 
+    /// Look up `key` *without* counting a hit/miss or refreshing recency.
+    ///
+    /// For re-checks that must not distort observability — e.g. a
+    /// single-flight leader confirming nobody filled the cache between its
+    /// counted miss and its election; counting that probe would charge every
+    /// cold key two misses.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.entries.get(key).map(|(value, _)| value)
+    }
+
     /// Insert (or replace) an entry, evicting the least recently used entry
     /// if the cache is over capacity.
     pub fn insert(&mut self, key: K, value: V) {
@@ -429,6 +443,30 @@ impl CachedData {
     }
 }
 
+// --- Normalized request keys -----------------------------------------------
+//
+// QCM and QSM answers over an immutable model are pure functions of the
+// request, so every layer that memoizes or deduplicates them (the serving
+// tier's response cache, its single-flight coalescer) must agree on what
+// "the same request" means. These helpers are that single definition:
+// trivially different spellings of one request map to one key, and the
+// class prefix (separated by an unprintable byte) keeps QCM and QSM keys
+// from ever colliding.
+
+/// Normalize a QCM completion term into a request key: trimmed and
+/// lowercased, so `" Kennedy "` and `"kennedy"` share one cache entry and
+/// one in-flight scan.
+pub fn completion_request_key(term: &str) -> String {
+    format!("qcm\u{1}{}", term.trim().to_lowercase())
+}
+
+/// Normalize a built query into a request key. Uses the query's structural
+/// debug rendering, which is stable and canonical for our AST (keyword
+/// predicates are already resolved to IRIs by the time a query is built).
+pub fn run_request_key(query: &impl std::fmt::Debug) -> String {
+    format!("run\u{1}{query:?}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,5 +655,23 @@ mod tests {
         c.insert(1, 1);
         c.get(&1);
         assert!((c.stats().hit_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn request_keys_normalize_and_never_collide_across_classes() {
+        assert_eq!(
+            completion_request_key("  Kennedy "),
+            completion_request_key("kennedy")
+        );
+        assert_ne!(
+            completion_request_key("kennedy"),
+            completion_request_key("kennedys")
+        );
+        // A completion for the literal text of a query rendering must not
+        // collide with that query's run key.
+        let q = "anything";
+        assert_ne!(completion_request_key(&format!("run\u{1}{q:?}")), {
+            run_request_key(&q)
+        });
     }
 }

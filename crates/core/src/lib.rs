@@ -63,7 +63,8 @@ pub mod session;
 
 pub use answers::AnswerTable;
 pub use cache::{
-    BoundedCache, CacheMatch, CacheStats, CachedClass, CachedData, CachedPredicate, MatchSource,
+    completion_request_key, run_request_key, BoundedCache, CacheMatch, CacheStats, CachedClass,
+    CachedData, CachedPredicate, MatchSource,
 };
 pub use config::{SapphireConfig, SteinerConfig};
 pub use init::{InitError, InitMode, InitStats, Initializer};

@@ -9,7 +9,7 @@
 //! whose edge weights favour predicates from the query (w_q < w_default).
 //! The resulting tree — induced subgraph → MST → prune degree-1
 //! non-terminals — becomes a suggested SPARQL query. Approximation ratio:
-//! 2 − 2/s for s seeds [16].
+//! 2 − 2/s for s seeds \[16\].
 //!
 //! Everything the algorithm learns about the graph arrives through SPARQL
 //! queries against the federated processor, never direct graph access: the

@@ -5,7 +5,7 @@
 //! QCM completions while typing, clicks Run, and receives QSM suggestions
 //! alongside the answers. This module models that workflow headlessly — it is
 //! what the simulated user study drives, replacing the web front-end the
-//! paper demonstrates in [13].
+//! paper demonstrates in \[13\].
 
 use sapphire_rdf::{Literal, Term};
 use sapphire_sparql::{

@@ -1,4 +1,4 @@
-//! A federated query processor — the reproduction's stand-in for FedX [22].
+//! A federated query processor — the reproduction's stand-in for FedX \[22\].
 //!
 //! Sapphire "accesses the endpoints through a federated query processor"
 //! (§3); the processor needs to (a) route queries to the endpoints that can

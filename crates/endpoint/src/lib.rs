@@ -39,4 +39,4 @@ pub mod service;
 
 pub use endpoint::{Endpoint, EndpointError, EndpointLimits, EndpointStats, LocalEndpoint};
 pub use federation::{FederatedProcessor, FederationError};
-pub use service::{QueryService, ServiceEndpoint, ServiceError};
+pub use service::{query_fingerprint, QueryService, ServiceEndpoint, ServiceError};

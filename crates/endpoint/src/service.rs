@@ -100,6 +100,20 @@ impl From<ServiceError> for EndpointError {
     }
 }
 
+/// Canonical fingerprint of a parsed query, shared across serving hops.
+///
+/// Two queries with the same fingerprint are the *same request* to a shared
+/// query service: a coalescing service (the Sapphire server single-flights
+/// identical in-flight queries on exactly this key) deduplicates them, and
+/// every federation hop that forwards a query unchanged forwards its
+/// fingerprint unchanged too — so a burst of identical queries fanning out
+/// through a multi-tier topology collapses to one backend execution per tier.
+/// The rendering is the AST's structural debug form, which is stable and
+/// canonical for parsed queries (prefixes are expanded at parse time).
+pub fn query_fingerprint(query: &Query) -> String {
+    format!("svc\u{1}{query:?}")
+}
+
 /// A shared, admission-controlled query processor.
 ///
 /// Implementations must be usable from many threads at once; the bound is
@@ -120,9 +134,26 @@ pub trait QueryService: Send + Sync {
 /// `FederatedProcessor`. Service-level rejections surface as the typed
 /// [`EndpointError::Overloaded`] / [`EndpointError::Timeout`] variants, so
 /// federation code can distinguish overload from data errors.
+///
+/// The adapter is deliberately stateless beyond its `Arc` and tenant name —
+/// and therefore [`Clone`] — so one downstream service can stand behind any
+/// number of federation workers. Identical queries forwarded concurrently
+/// through *different* clones still deduplicate at the service: the
+/// downstream server single-flights them by [`query_fingerprint`], so a
+/// burst of users asking the same question at an edge tier costs the
+/// warehouse tier one execution, not one per clone.
 pub struct ServiceEndpoint<S: QueryService> {
     service: Arc<S>,
     tenant: String,
+}
+
+impl<S: QueryService> Clone for ServiceEndpoint<S> {
+    fn clone(&self) -> Self {
+        ServiceEndpoint {
+            service: Arc::clone(&self.service),
+            tenant: self.tenant.clone(),
+        }
+    }
 }
 
 impl<S: QueryService> ServiceEndpoint<S> {
@@ -200,6 +231,32 @@ mod tests {
             EndpointError::Overloaded { in_flight: 7 }
         );
         assert_eq!(ep.name(), "flaky");
+    }
+
+    #[test]
+    fn query_fingerprints_identify_identical_queries() {
+        let a = parse_query("SELECT ?s WHERE { ?s a dbo:Thing }").unwrap();
+        let b = parse_query("SELECT ?s WHERE { ?s a dbo:Thing }").unwrap();
+        let c = parse_query("SELECT ?s WHERE { ?s a dbo:Person }").unwrap();
+        assert_eq!(query_fingerprint(&a), query_fingerprint(&b));
+        assert_ne!(query_fingerprint(&a), query_fingerprint(&c));
+    }
+
+    #[test]
+    fn service_endpoint_clones_share_the_service() {
+        let g = sapphire_rdf::turtle::parse("res:A a dbo:Thing .").unwrap();
+        let service = Arc::new(FlakyService {
+            inner: LocalEndpoint::new("inner", g, EndpointLimits::warehouse()),
+            admitted: std::sync::Mutex::new(false),
+        });
+        let ep = ServiceEndpoint::new(service.clone(), "tenant-1");
+        let ep2 = ep.clone();
+        assert_eq!(Arc::strong_count(&service), 3, "one service, two adapters");
+        let q = parse_query("SELECT ?s WHERE { ?s a dbo:Thing }").unwrap();
+        // The flaky flip-flop state lives in the shared service, not the
+        // clone: alternating outcomes interleave across both adapters.
+        assert!(ep.execute_parsed(&q).is_ok());
+        assert!(ep2.execute_parsed(&q).is_err());
     }
 
     #[test]

@@ -7,26 +7,70 @@
 //! that is rejected with a typed error, and each tenant spends from a work
 //! budget denominated in the same units the evaluator charges.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::ServerError;
 
+/// One queued request's private wake-up slot.
+///
+/// Each waiter gets its *own* mutex + condvar: the releaser hands a freed
+/// execution slot to exactly the queue head and notifies only that waiter,
+/// so a release never wakes the whole queue (no thundering herd) and can
+/// never wake the wrong waiter (strict FIFO).
+#[derive(Debug)]
+struct Waiter {
+    state: Mutex<WaitState>,
+    granted: Condvar,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitState {
+    /// Still queued; owns no slot.
+    Waiting,
+    /// A releaser handed this waiter its slot (the in-flight count was
+    /// *not* decremented — the slot moved directly from releaser to waiter).
+    Granted,
+}
+
+impl Waiter {
+    fn new() -> Self {
+        Waiter {
+            state: Mutex::new(WaitState::Waiting),
+            granted: Condvar::new(),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct AdmissionState {
     in_flight: usize,
-    queued: usize,
+    /// Queued waiters in arrival order. Invariant: the queue is non-empty
+    /// only while every execution slot is taken — a freed slot is handed to
+    /// the head before the releaser's in-flight count ever drops, and a new
+    /// arrival takes a free slot only when the queue is empty.
+    queue: VecDeque<Arc<Waiter>>,
 }
 
-/// Bounded-concurrency gate with a bounded, deadline-limited wait queue.
+/// Bounded-concurrency gate with a bounded, deadline-limited, **fair FIFO**
+/// wait queue.
+///
+/// Queued requests are admitted strictly in arrival order: each waiter
+/// blocks on its own condvar, and a released slot is handed directly to the
+/// queue head under the controller lock (counted in
+/// [`handoffs`](Self::handoffs)). New arrivals never barge past the queue,
+/// and a waiter that gives up at its deadline removes itself under the same
+/// lock — so a grant can never be stranded on a dead waiter, and no baton
+/// re-notification dance is needed.
 #[derive(Debug)]
 pub struct AdmissionController {
     state: Mutex<AdmissionState>,
-    slot_freed: Condvar,
     max_in_flight: usize,
     max_queue_depth: usize,
     queue_wait: Duration,
+    handoffs: AtomicU64,
 }
 
 impl AdmissionController {
@@ -35,10 +79,10 @@ impl AdmissionController {
     pub fn new(max_in_flight: usize, max_queue_depth: usize, queue_wait: Duration) -> Self {
         AdmissionController {
             state: Mutex::new(AdmissionState::default()),
-            slot_freed: Condvar::new(),
             max_in_flight: max_in_flight.max(1),
             max_queue_depth,
             queue_wait,
+            handoffs: AtomicU64::new(0),
         }
     }
 
@@ -48,64 +92,74 @@ impl AdmissionController {
     /// [`ServerError::QueueTimeout`] when a queued request's deadline passes
     /// — both without running any query work.
     pub fn admit(&self) -> Result<AdmissionPermit<'_>, ServerError> {
-        let mut state = self.state.lock().unwrap();
-        // A free slot goes to a new arrival only when nobody is queued ahead
-        // of it; otherwise a sustained arrival stream would race Drop's
-        // notify_one and starve queued requests into QueueTimeout even though
-        // slots keep freeing. Freed slots are handed to waiters (FIFO-ish —
-        // condvar wake order is the scheduler's) and arrivals join the back.
-        if state.queued == 0 && state.in_flight < self.max_in_flight {
-            state.in_flight += 1;
-            return Ok(AdmissionPermit { controller: self });
-        }
-        if state.queued >= self.max_queue_depth {
-            return Err(ServerError::Overloaded {
-                in_flight: state.in_flight,
-                queue_depth: state.queued,
-            });
-        }
-        state.queued += 1;
-        let start = Instant::now();
-        let deadline = start + self.queue_wait;
-        loop {
-            let now = Instant::now();
-            if now >= deadline {
-                state.queued -= 1;
-                // If a slot freed while this waiter was giving up, its
-                // notification must not die with it — wake another waiter.
-                let pass_baton = state.in_flight < self.max_in_flight && state.queued > 0;
-                drop(state);
-                if pass_baton {
-                    self.slot_freed.notify_one();
-                }
-                return Err(ServerError::QueueTimeout {
-                    waited_ms: start.elapsed().as_millis() as u64,
-                });
-            }
-            let (guard, wait) = self.slot_freed.wait_timeout(state, deadline - now).unwrap();
-            state = guard;
-            if state.in_flight < self.max_in_flight {
-                state.queued -= 1;
+        let waiter = {
+            let mut state = self.state.lock().unwrap();
+            // A free slot goes to a new arrival only when nobody is queued
+            // ahead of it; released slots are handed to the queue head, so
+            // with waiters present every slot is accounted for and arrivals
+            // always join the back.
+            if state.queue.is_empty() && state.in_flight < self.max_in_flight {
                 state.in_flight += 1;
                 return Ok(AdmissionPermit { controller: self });
             }
-            if wait.timed_out() {
-                state.queued -= 1;
-                return Err(ServerError::QueueTimeout {
-                    waited_ms: start.elapsed().as_millis() as u64,
+            if state.queue.len() >= self.max_queue_depth {
+                return Err(ServerError::Overloaded {
+                    in_flight: state.in_flight,
+                    queue_depth: state.queue.len(),
                 });
             }
+            let waiter = Arc::new(Waiter::new());
+            state.queue.push_back(waiter.clone());
+            waiter
+        };
+
+        let start = Instant::now();
+        let deadline = start + self.queue_wait;
+        let mut ws = waiter.state.lock().unwrap();
+        while *ws == WaitState::Waiting {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            ws = waiter.granted.wait_timeout(ws, deadline - now).unwrap().0;
         }
+        if *ws == WaitState::Granted {
+            return Ok(AdmissionPermit { controller: self });
+        }
+        drop(ws);
+
+        // Deadline passed. Remove ourselves from the queue under the
+        // controller lock — but a releaser may have granted us between the
+        // condvar timeout and taking that lock, so re-check first. Grants
+        // only happen under the controller lock, so after this check the
+        // outcome is settled.
+        let mut state = self.state.lock().unwrap();
+        if *waiter.state.lock().unwrap() == WaitState::Granted {
+            return Ok(AdmissionPermit { controller: self });
+        }
+        if let Some(pos) = state.queue.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+            state.queue.remove(pos);
+        }
+        drop(state);
+        Err(ServerError::QueueTimeout {
+            waited_ms: start.elapsed().as_millis() as u64,
+        })
     }
 
     /// Current `(in_flight, queued)` snapshot.
     pub fn load(&self) -> (usize, usize) {
         let state = self.state.lock().unwrap();
-        (state.in_flight, state.queued)
+        (state.in_flight, state.queue.len())
+    }
+
+    /// Slots handed directly from a finishing request to the queue head.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs.load(Ordering::Relaxed)
     }
 }
 
-/// An admitted request's slot; releasing it wakes one queued request.
+/// An admitted request's slot; releasing it hands the slot to the queue head
+/// (in arrival order), or frees it if nobody is waiting.
 #[derive(Debug)]
 pub struct AdmissionPermit<'a> {
     controller: &'a AdmissionController,
@@ -114,14 +168,19 @@ pub struct AdmissionPermit<'a> {
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
         let mut state = self.controller.state.lock().unwrap();
-        state.in_flight -= 1;
-        drop(state);
-        // notify_one cannot strand the slot: wait_timeout releases the state
-        // mutex and blocks atomically, and this decrement happens under that
-        // mutex — so the notify either reaches a blocked waiter, or an awake
-        // waiter (which always takes any free slot before re-waiting or
-        // giving up, and passes the baton if it gives up) already claimed it.
-        self.controller.slot_freed.notify_one();
+        if let Some(head) = state.queue.pop_front() {
+            // Hand the slot straight to the oldest waiter: in-flight stays
+            // unchanged (the slot changes owners, it never frees), and only
+            // that waiter is notified. Waiters abandon the queue only under
+            // the controller lock held here, so the head is live — either
+            // blocked on its condvar, or about to re-check its state under
+            // this same lock — and the grant cannot be stranded.
+            *head.state.lock().unwrap() = WaitState::Granted;
+            self.controller.handoffs.fetch_add(1, Ordering::Relaxed);
+            head.granted.notify_one();
+        } else {
+            state.in_flight -= 1;
+        }
     }
 }
 
@@ -213,7 +272,7 @@ impl TenantBudgets {
     /// Meters evicted to keep the shards bounded, across all windows. Each
     /// eviction forgot some tenant's in-window usage — a nonzero value means
     /// quotas may have been under-enforced, and a growing one means tenant
-    /// cardinality exceeds [`TRACKED_TENANTS_PER_SHARD`] per shard.
+    /// cardinality exceeds `TRACKED_TENANTS_PER_SHARD` per shard.
     pub fn evicted_meters(&self) -> u64 {
         let _walk = self.walk.lock().unwrap();
         let live: u64 = self
@@ -326,6 +385,48 @@ mod tests {
         order.lock().unwrap().push("arrival");
         waiter.join().unwrap();
         assert_eq!(*order.lock().unwrap(), vec!["waiter", "arrival"]);
+    }
+
+    #[test]
+    fn waiters_admitted_in_strict_arrival_order_under_sustained_load() {
+        // One execution slot, a deep queue, and a stream of arrivals that
+        // keeps joining while earlier waiters drain: every admission must
+        // happen in exact arrival order — targeted head-of-queue handoff,
+        // not condvar scramble.
+        const WAITERS: usize = 12;
+        let gate = Arc::new(AdmissionController::new(
+            1,
+            WAITERS,
+            Duration::from_secs(10),
+        ));
+        let holder = gate.admit().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..WAITERS {
+            let gate2 = gate.clone();
+            let order2 = order.clone();
+            handles.push(std::thread::spawn(move || {
+                let permit = gate2.admit().expect("queued then admitted");
+                order2.lock().unwrap().push(i);
+                drop(permit);
+            }));
+            // Arrival order is only defined once the waiter is actually
+            // queued; gate each spawn on the queue length so the intended
+            // order is the real order.
+            while gate.load().1 != i + 1 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Sustained drain: each admitted waiter releases immediately, so the
+        // slot hops head-to-head through the whole queue in one burst.
+        drop(holder);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap();
+        assert_eq!(*order, (0..WAITERS).collect::<Vec<_>>());
+        assert_eq!(gate.handoffs(), WAITERS as u64, "every admission a handoff");
+        assert_eq!(gate.load(), (0, 0));
     }
 
     #[test]

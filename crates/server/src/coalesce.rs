@@ -1,0 +1,441 @@
+//! Single-flight request coalescing.
+//!
+//! The response cache absorbs *repeats* of a request, but a **burst** of
+//! identical not-yet-cached requests — many users typing the same prefix at
+//! the same instant — still costs one full model scan per request, because
+//! every one of them misses the cache before the first scan finishes. The
+//! [`Coalescer`] closes that gap: the first miss for a key becomes the
+//! *leader* and executes the scan; every concurrent duplicate becomes a
+//! *follower* that blocks until the leader publishes its `Arc`'d result (or
+//! its typed error — failure is propagated, never a hang).
+//!
+//! Three properties keep coalescing from becoming a new failure mode:
+//!
+//! * **Typed leader-failure propagation** — the leader completes its flight
+//!   with a `Result`; an `Err` is cloned to every follower, so a failing
+//!   backend fails the whole burst loudly instead of hanging it.
+//! * **Per-key waiter cap** — a flight accepts at most
+//!   `max_waiters_per_key` followers; once full, further duplicates *bypass*
+//!   coalescing and run their own scan. A hot key can therefore never grow
+//!   an unbounded queue of blocked requests behind one slow leader. A cap of
+//!   `0` disables coalescing entirely (every duplicate bypasses), which the
+//!   load generator uses to measure the before/after difference.
+//! * **Abandoned-leader recovery** — if a leader unwinds without completing
+//!   (a panic in the scan), its flight is marked abandoned and every
+//!   follower retries from the top, one of them becoming the new leader.
+//!   Followers can block only while some leader is actually running.
+//!
+//! The coalescer is keyed by the same normalized request keys as the
+//! response cache ([`sapphire_core::completion_request_key`] /
+//! [`sapphire_core::run_request_key`] /
+//! [`sapphire_endpoint::query_fingerprint`]), so the two layers agree
+//! exactly on which requests are "identical".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::response_cache::shard_index;
+
+/// One in-flight execution of a keyed request.
+#[derive(Debug)]
+struct Flight<V, E> {
+    state: Mutex<FlightState<V, E>>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+enum FlightState<V, E> {
+    /// The leader is executing; `waiters` followers are blocked on `done`.
+    Running { waiters: usize },
+    /// The leader finished; followers receive a clone of this outcome.
+    Done(Result<Arc<V>, E>),
+    /// The leader unwound without completing; followers must retry.
+    Abandoned,
+}
+
+impl<V, E> Flight<V, E> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Running { waiters: 0 }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+/// Cumulative [`Coalescer`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Flights led (the caller was first in and executed the work).
+    pub leaders: u64,
+    /// Requests that received a concurrent leader's result (or error).
+    pub followers: u64,
+    /// Requests that found the flight's waiter cap full and ran their own
+    /// work instead of blocking.
+    pub bypasses: u64,
+    /// Follower wake-ups caused by an abandoned leader; each retried and
+    /// re-joined (or led) a fresh flight.
+    pub abandoned_retries: u64,
+}
+
+/// What [`Coalescer::join`] decided about this request.
+#[derive(Debug)]
+pub enum Join<'a, V, E> {
+    /// First in: the caller must execute the work and then
+    /// [`complete`](LeaderToken::complete) the flight — on both success and
+    /// failure — so followers are released.
+    Leader(LeaderToken<'a, V, E>),
+    /// A concurrent leader already executed the work; this is its outcome.
+    Follower(Result<Arc<V>, E>),
+    /// The flight's waiter cap is full; the caller should execute the work
+    /// itself without coalescing.
+    Bypass,
+}
+
+/// One shard of the in-flight map: key → its live flight.
+type FlightShard<V, E> = Mutex<HashMap<String, Arc<Flight<V, E>>>>;
+
+/// Single-flight deduplication of identical concurrent requests.
+///
+/// Sharded like the response cache so hot coalescing traffic never funnels
+/// through one lock. `V` is the shared result payload, `E` the typed error a
+/// leader propagates to its followers.
+#[derive(Debug)]
+pub struct Coalescer<V, E> {
+    shards: Vec<FlightShard<V, E>>,
+    max_waiters_per_key: usize,
+    leaders: AtomicU64,
+    followers: AtomicU64,
+    bypasses: AtomicU64,
+    abandoned_retries: AtomicU64,
+}
+
+impl<V, E> Coalescer<V, E> {
+    /// A coalescer allowing at most `max_waiters_per_key` followers to block
+    /// behind one leader (`0` disables coalescing: every duplicate bypasses).
+    pub fn new(shards: usize, max_waiters_per_key: usize) -> Self {
+        let shards = shards.clamp(1, 1024);
+        Coalescer {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            max_waiters_per_key,
+            leaders: AtomicU64::new(0),
+            followers: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            abandoned_retries: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &FlightShard<V, E> {
+        &self.shards[shard_index(key, self.shards.len())]
+    }
+
+    /// Followers currently blocked on `key`'s flight (observability/tests).
+    pub fn waiting(&self, key: &str) -> usize {
+        let map = self.shard(key).lock().unwrap();
+        match map.get(key) {
+            Some(flight) => match *flight.state.lock().unwrap() {
+                FlightState::Running { waiters } => waiters,
+                _ => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CoalesceStats {
+        CoalesceStats {
+            leaders: self.leaders.load(Ordering::Relaxed),
+            followers: self.followers.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            abandoned_retries: self.abandoned_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<V, E: Clone> Coalescer<V, E> {
+    /// Join the flight for `key`: become its leader, block as a follower
+    /// until the leader completes, or bypass if the waiter cap is full.
+    ///
+    /// Followers block with no timeout of their own — the leader is an
+    /// already-admitted request doing bounded work, and an abandoned leader
+    /// wakes every follower for a retry, so a follower can never outlive the
+    /// work it waits for.
+    pub fn join(&self, key: &str) -> Join<'_, V, E> {
+        loop {
+            let shard = self.shard(key);
+            let flight = {
+                let mut map = shard.lock().unwrap();
+                match map.get(key) {
+                    Some(flight) => flight.clone(),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        map.insert(key.to_string(), flight.clone());
+                        drop(map);
+                        self.leaders.fetch_add(1, Ordering::Relaxed);
+                        return Join::Leader(LeaderToken {
+                            coalescer: self,
+                            key: key.to_string(),
+                            flight,
+                            completed: false,
+                        });
+                    }
+                }
+            };
+            let mut state = flight.state.lock().unwrap();
+            match &mut *state {
+                FlightState::Running { waiters } if *waiters >= self.max_waiters_per_key => {
+                    self.bypasses.fetch_add(1, Ordering::Relaxed);
+                    return Join::Bypass;
+                }
+                FlightState::Running { waiters } => {
+                    *waiters += 1;
+                    loop {
+                        state = flight.done.wait(state).unwrap();
+                        match &*state {
+                            FlightState::Running { .. } => continue,
+                            FlightState::Done(outcome) => {
+                                self.followers.fetch_add(1, Ordering::Relaxed);
+                                return Join::Follower(outcome.clone());
+                            }
+                            FlightState::Abandoned => {
+                                self.abandoned_retries.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Publication removes the flight from the map *before*
+                // flipping its state, so a flight found in the map is
+                // normally Running; these arms only cover the window where a
+                // just-published flight was cloned out of the map a moment
+                // before its removal.
+                FlightState::Done(outcome) => {
+                    self.followers.fetch_add(1, Ordering::Relaxed);
+                    return Join::Follower(outcome.clone());
+                }
+                FlightState::Abandoned => {}
+            }
+            // Abandoned (either arm): retry — the next iteration starts or
+            // joins a fresh flight.
+        }
+    }
+}
+
+/// Proof of flight leadership for one key.
+///
+/// The holder must call [`complete`](Self::complete) with the work's
+/// outcome. Dropping the token without completing (a panic unwinding through
+/// the scan) marks the flight abandoned, which wakes every follower to retry
+/// — leadership can never be silently lost with followers still blocked.
+#[derive(Debug)]
+pub struct LeaderToken<'a, V, E> {
+    coalescer: &'a Coalescer<V, E>,
+    key: String,
+    flight: Arc<Flight<V, E>>,
+    completed: bool,
+}
+
+impl<V, E> LeaderToken<'_, V, E> {
+    /// Publish the leader's outcome: followers receive a clone of `outcome`,
+    /// and later requests for the key start a fresh flight.
+    pub fn complete(mut self, outcome: Result<Arc<V>, E>) {
+        self.publish(FlightState::Done(outcome));
+        self.completed = true;
+    }
+
+    fn publish(&self, terminal: FlightState<V, E>) {
+        // Remove from the map first so a new request that misses the cache
+        // after this flight starts its own — only then flip the state, so
+        // anything that found the flight in the map observes a terminal
+        // state at worst one step later.
+        {
+            let mut map = self.coalescer.shard(&self.key).lock().unwrap();
+            if let Some(current) = map.get(&self.key) {
+                if Arc::ptr_eq(current, &self.flight) {
+                    map.remove(&self.key);
+                }
+            }
+        }
+        let mut state = self.flight.state.lock().unwrap();
+        *state = terminal;
+        drop(state);
+        self.flight.done.notify_all();
+    }
+}
+
+impl<V, E> Drop for LeaderToken<'_, V, E> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.publish(FlightState::Abandoned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    type TestCoalescer = Coalescer<u64, String>;
+
+    /// A burst of identical requests executes the work exactly once: the
+    /// leader blocks until every follower is registered, then publishes, and
+    /// all of them receive the same `Arc`'d value.
+    #[test]
+    fn burst_executes_work_exactly_once() {
+        const FOLLOWERS: usize = 6;
+        let coalescer = Arc::new(TestCoalescer::new(4, 64));
+        let work_runs = Arc::new(AtomicUsize::new(0));
+        let (leader_go_tx, leader_go_rx) = mpsc::channel::<()>();
+
+        let leader = {
+            let coalescer = coalescer.clone();
+            let work_runs = work_runs.clone();
+            std::thread::spawn(move || {
+                let Join::Leader(token) = coalescer.join("k") else {
+                    panic!("first join must lead");
+                };
+                // Hold the "scan" open until the test has piled followers on.
+                leader_go_rx.recv().unwrap();
+                work_runs.fetch_add(1, Ordering::SeqCst);
+                token.complete(Ok(Arc::new(42)));
+                42u64
+            })
+        };
+        // Wait for leadership, then pile on followers and wait until every
+        // one of them is blocked on the flight.
+        while coalescer.stats().leaders == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let followers: Vec<_> = (0..FOLLOWERS)
+            .map(|_| {
+                let coalescer = coalescer.clone();
+                std::thread::spawn(move || match coalescer.join("k") {
+                    Join::Follower(Ok(v)) => *v,
+                    other => panic!("expected follower result, got {other:?}"),
+                })
+            })
+            .collect();
+        while coalescer.waiting("k") < FOLLOWERS {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        leader_go_tx.send(()).unwrap();
+        assert_eq!(leader.join().unwrap(), 42);
+        for f in followers {
+            assert_eq!(f.join().unwrap(), 42);
+        }
+        assert_eq!(work_runs.load(Ordering::SeqCst), 1, "exactly one scan");
+        let stats = coalescer.stats();
+        assert_eq!(stats.leaders, 1);
+        assert_eq!(stats.followers, FOLLOWERS as u64);
+        assert_eq!(stats.bypasses, 0);
+    }
+
+    /// A failing leader fails its followers with the same typed error — no
+    /// follower ever hangs on a flight whose work already died.
+    #[test]
+    fn leader_failure_propagates_typed_to_followers() {
+        let coalescer = Arc::new(TestCoalescer::new(1, 64));
+        let Join::Leader(token) = coalescer.join("k") else {
+            panic!("first join must lead");
+        };
+        let follower = {
+            let coalescer = coalescer.clone();
+            std::thread::spawn(move || match coalescer.join("k") {
+                Join::Follower(outcome) => outcome,
+                other => panic!("expected a follower, got {other:?}"),
+            })
+        };
+        while coalescer.waiting("k") == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        token.complete(Err("backend exploded".to_string()));
+        assert_eq!(
+            follower.join().unwrap().unwrap_err(),
+            "backend exploded",
+            "the leader's typed error reaches the follower"
+        );
+    }
+
+    /// The waiter cap bounds how many requests can block behind one leader;
+    /// the overflow bypasses (runs its own work) instead of queueing.
+    #[test]
+    fn waiter_cap_overflows_to_bypass() {
+        let coalescer = Arc::new(TestCoalescer::new(1, 1));
+        let Join::Leader(token) = coalescer.join("k") else {
+            panic!("first join must lead");
+        };
+        let follower = {
+            let coalescer = coalescer.clone();
+            std::thread::spawn(move || match coalescer.join("k") {
+                Join::Follower(outcome) => outcome,
+                other => panic!("expected a follower, got {other:?}"),
+            })
+        };
+        while coalescer.waiting("k") < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Cap reached: the next duplicate must not block.
+        assert!(matches!(coalescer.join("k"), Join::Bypass));
+        token.complete(Ok(Arc::new(7)));
+        assert_eq!(*follower.join().unwrap().unwrap(), 7);
+        assert_eq!(coalescer.stats().bypasses, 1);
+    }
+
+    /// A cap of zero disables coalescing: every duplicate runs its own work.
+    #[test]
+    fn zero_cap_disables_coalescing() {
+        let coalescer = TestCoalescer::new(1, 0);
+        let Join::Leader(token) = coalescer.join("k") else {
+            panic!("first join must lead");
+        };
+        assert!(matches!(coalescer.join("k"), Join::Bypass));
+        token.complete(Ok(Arc::new(1)));
+    }
+
+    /// An abandoned leader (panic in the scan) wakes its followers, and one
+    /// of them re-leads the flight instead of hanging forever.
+    #[test]
+    fn abandoned_leader_hands_off_to_a_follower() {
+        let coalescer = Arc::new(TestCoalescer::new(1, 64));
+        let Join::Leader(token) = coalescer.join("k") else {
+            panic!("first join must lead");
+        };
+        let follower = {
+            let coalescer = coalescer.clone();
+            std::thread::spawn(move || match coalescer.join("k") {
+                // The retry makes the follower the new leader; it completes.
+                Join::Leader(token) => {
+                    token.complete(Ok(Arc::new(99)));
+                    99u64
+                }
+                other => panic!("expected re-lead after abandonment, got {other:?}"),
+            })
+        };
+        while coalescer.waiting("k") == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(token); // leader unwinds without completing
+        assert_eq!(follower.join().unwrap(), 99);
+        let stats = coalescer.stats();
+        assert_eq!(stats.abandoned_retries, 1);
+        assert_eq!(stats.leaders, 2, "original leader + re-leading follower");
+    }
+
+    /// After a completed flight, the key starts fresh — no state leaks from
+    /// one burst to the next.
+    #[test]
+    fn completed_flights_reset_the_key() {
+        let coalescer = TestCoalescer::new(1, 8);
+        for round in 0..3u64 {
+            let Join::Leader(token) = coalescer.join("k") else {
+                panic!("round {round} must lead");
+            };
+            token.complete(Ok(Arc::new(round)));
+        }
+        assert_eq!(coalescer.stats().leaders, 3);
+        assert_eq!(coalescer.waiting("k"), 0);
+    }
+}

@@ -29,7 +29,7 @@ pub enum ServerError {
     },
     /// The request was admitted but its execution blew a work budget at the
     /// backend — the service-level surfacing of
-    /// [`EndpointError::Timeout`](sapphire_endpoint::EndpointError::Timeout).
+    /// [`sapphire_endpoint::EndpointError::Timeout`].
     Timeout {
         /// Work units consumed before the backend gave up.
         work_used: u64,

@@ -14,7 +14,9 @@
 //!   carry only the user's typed state (see
 //!   [`registry::SessionRegistry`]), never model copies.
 //! * **Admission control** — a bounded in-flight limit with a bounded,
-//!   deadline-limited wait queue ([`admission::AdmissionController`]) and
+//!   deadline-limited, **fair FIFO** wait queue
+//!   ([`admission::AdmissionController`]: each waiter has its own condvar
+//!   slot and freed slots are handed to the queue head in arrival order) and
 //!   per-tenant work budgets ([`admission::TenantBudgets`]) denominated in
 //!   the evaluator's [`WorkBudget`](sapphire_sparql::WorkBudget) units.
 //!   Rejections are typed ([`ServerError::Overloaded`],
@@ -24,6 +26,10 @@
 //!   ([`response_cache::ShardedResponseCache`], built on
 //!   [`sapphire_core::BoundedCache`]) memoizing QCM completions and QSM run
 //!   payloads by normalized request.
+//! * **Single-flight coalescing** — a burst of identical not-yet-cached
+//!   requests costs *one* model scan: the first miss leads, concurrent
+//!   duplicates follow and receive the leader's shared result (or its typed
+//!   error), bounded by a per-key waiter cap ([`coalesce::Coalescer`]).
 //! * **Service endpoints** — [`SapphireServer`] implements
 //!   [`sapphire_endpoint::QueryService`], so one deployment can federate
 //!   over another through
@@ -56,11 +62,13 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod coalesce;
 pub mod error;
 pub mod registry;
 pub mod response_cache;
 mod server;
 
+pub use coalesce::{CoalesceStats, Coalescer};
 pub use error::ServerError;
 pub use registry::{SessionEntry, SessionId, SessionRegistry};
 pub use server::{RunOutput, SapphireServer, ServerConfig, ServerMetrics};

@@ -55,6 +55,12 @@ impl<V> ShardedResponseCache<V> {
         self.shard(key).lock().unwrap().get(key).cloned()
     }
 
+    /// Cached value for `key` without touching counters or recency (see
+    /// [`sapphire_core::BoundedCache::peek`]).
+    pub fn peek(&self, key: &str) -> Option<Arc<V>> {
+        self.shard(key).lock().unwrap().peek(key).cloned()
+    }
+
     /// Insert a response, handing back the shared pointer now holding it.
     pub fn insert(&self, key: String, value: V) -> Arc<V> {
         let value = Arc::new(value);
@@ -86,15 +92,18 @@ impl<V> ShardedResponseCache<V> {
 }
 
 /// Normalize a QCM completion term into a cache key.
+///
+/// The normalization itself lives in [`sapphire_core::completion_request_key`]
+/// so the response cache and the single-flight [`Coalescer`](crate::coalesce)
+/// can never disagree on what "the same request" means.
 pub fn completion_key(term: &str) -> String {
-    format!("qcm\u{1}{}", term.trim().to_lowercase())
+    sapphire_core::completion_request_key(term)
 }
 
-/// Normalize a built query into a cache key. Uses the query's structural
-/// debug rendering, which is stable and canonical for our AST (keyword
-/// predicates are already resolved to IRIs by the time a query is built).
+/// Normalize a built query into a cache key
+/// (see [`sapphire_core::run_request_key`]).
 pub fn run_key(query: &impl std::fmt::Debug) -> String {
-    format!("run\u{1}{query:?}")
+    sapphire_core::run_request_key(query)
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use sapphire_endpoint::{QueryService, ServiceError};
 use sapphire_sparql::{Query, QueryResult, SelectQuery, Solutions, WorkBudget};
 
 use crate::admission::{AdmissionController, TenantBudgets};
+use crate::coalesce::{Coalescer, Join};
 use crate::error::{from_federation, ServerError};
 use crate::registry::{SessionId, SessionRegistry};
 use crate::response_cache::{completion_key, run_key, ShardedResponseCache};
@@ -48,6 +49,11 @@ pub struct ServerConfig {
     pub registry_shards: usize,
     /// Maximum concurrently open sessions.
     pub max_sessions: usize,
+    /// Followers allowed to block behind one in-flight model scan per
+    /// request key (single-flight coalescing); further duplicates bypass
+    /// coalescing and run their own scan, so one hot key can never grow an
+    /// unbounded queue. `0` disables coalescing entirely.
+    pub coalesce_waiters_per_key: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +74,7 @@ impl Default for ServerConfig {
             cache_capacity_per_shard: 4096,
             registry_shards: 16,
             max_sessions: 65_536,
+            coalesce_waiters_per_key: 1024,
         }
     }
 }
@@ -116,6 +123,21 @@ pub struct ServerMetrics {
     /// value means quotas may have been under-enforced; a growing one means
     /// tenant cardinality exceeds what the meter tracks.
     pub tenant_meter_evictions: u64,
+    /// Requests served with a concurrent identical request's result instead
+    /// of their own model scan (single-flight followers), across the QCM,
+    /// QSM, and raw-query surfaces.
+    pub coalesced_hits: u64,
+    /// Model scans executed as single-flight leaders — for a burst of N
+    /// identical cold requests this increments once, not N times.
+    pub coalesce_leader_runs: u64,
+    /// Model scans executed because a flight's waiter cap was full (or
+    /// coalescing was disabled): the request ran its own scan instead of
+    /// blocking. `coalesce_leader_runs + coalesce_bypass_runs` is the total
+    /// cold-path scan count.
+    pub coalesce_bypass_runs: u64,
+    /// Admission slots handed directly from a finishing request to the
+    /// oldest queued waiter (fair FIFO wakeup, no thundering herd).
+    pub fifo_handoffs: u64,
     /// Completion-cache counters.
     pub completion_cache: CacheStats,
     /// Run-cache counters.
@@ -132,6 +154,9 @@ struct Counters {
     rejected_overloaded: AtomicU64,
     rejected_queue_timeout: AtomicU64,
     rejected_quota: AtomicU64,
+    coalesced_hits: AtomicU64,
+    coalesce_leader_runs: AtomicU64,
+    coalesce_bypass_runs: AtomicU64,
 }
 
 /// Result of a server-side "Run" click.
@@ -180,6 +205,9 @@ pub struct SapphireServer {
     tenants: TenantBudgets,
     completion_cache: ShardedResponseCache<CompletionResult>,
     run_cache: ShardedResponseCache<CachedRun>,
+    completion_coalescer: Coalescer<CompletionResult, ServerError>,
+    run_coalescer: Coalescer<CachedRun, ServerError>,
+    service_coalescer: Coalescer<QueryResult, ServerError>,
     counters: Counters,
 }
 
@@ -202,6 +230,12 @@ impl SapphireServer {
                 config.cache_shards,
                 config.cache_capacity_per_shard,
             ),
+            completion_coalescer: Coalescer::new(
+                config.cache_shards,
+                config.coalesce_waiters_per_key,
+            ),
+            run_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
+            service_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
             counters: Counters::default(),
             pum,
             config,
@@ -261,7 +295,11 @@ impl SapphireServer {
     /// QCM: complete the term being typed in one of `id`'s text boxes.
     ///
     /// Admission-controlled and budget-charged; identical (normalized) terms
-    /// across all sessions share one cached response.
+    /// across all sessions share one cached response, and a *burst* of
+    /// identical not-yet-cached terms is single-flighted: one request scans
+    /// the model as the leader, the rest receive its result ([`ServerMetrics`]
+    /// counts them as `coalesced_hits`). Followers hold their admission slot
+    /// while they wait, exactly as if they were running the scan themselves.
     pub fn complete(&self, id: SessionId, typed: &str) -> Result<CompletionResult, ServerError> {
         self.counters
             .completion_requests
@@ -274,8 +312,43 @@ impl SapphireServer {
             drop(permit);
             return Ok((*hit).clone());
         }
-        let result = self.pum.complete(typed);
-        self.completion_cache.insert(key, result.clone());
+        let result = match self.completion_coalescer.join(&key) {
+            Join::Leader(token) => {
+                // Re-check the cache under leadership (uncounted peek): the
+                // flight that completed between our miss and this join
+                // filled it, and a second scan of the same key must never
+                // run.
+                if let Some(hit) = self.completion_cache.peek(&key) {
+                    // Served by the scan of a flight that beat this one —
+                    // morally a coalesced hit, and counted as one so every
+                    // request lands in exactly one metrics bucket.
+                    self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                    token.complete(Ok(hit.clone()));
+                    (*hit).clone()
+                } else {
+                    self.counters
+                        .coalesce_leader_runs
+                        .fetch_add(1, Ordering::Relaxed);
+                    let result = self.pum.complete(typed);
+                    let shared = self.completion_cache.insert(key, result.clone());
+                    token.complete(Ok(shared));
+                    result
+                }
+            }
+            Join::Follower(outcome) => {
+                let shared = outcome?;
+                self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                (*shared).clone()
+            }
+            Join::Bypass => {
+                self.counters
+                    .coalesce_bypass_runs
+                    .fetch_add(1, Ordering::Relaxed);
+                let result = self.pum.complete(typed);
+                self.completion_cache.insert(key, result.clone());
+                result
+            }
+        };
         drop(permit);
         Ok(result)
     }
@@ -295,7 +368,9 @@ impl SapphireServer {
     /// passes admission (the key requires building the query against the
     /// shared cache) and still consumes quota — budgets are deliberately
     /// request-denominated, so a tenant cannot exceed its window by replaying
-    /// one hot query.
+    /// one hot query. Concurrent identical *cold* queries are additionally
+    /// single-flighted: one leader scans, everyone else receives its result
+    /// (see [`crate::coalesce`]).
     pub fn run(&self, id: SessionId) -> Result<RunOutput, ServerError> {
         self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
         let entry = self.registry.get(id)?;
@@ -320,18 +395,37 @@ impl SapphireServer {
         let key = run_key(&query);
         let (cached, run) = match self.run_cache.get(&key) {
             Some(hit) => (true, hit),
-            None => {
-                let outcome = self.pum.run(&query);
-                let run = self.run_cache.insert(
-                    key,
-                    CachedRun {
-                        answers: outcome.answers,
-                        executed: outcome.executed,
-                        suggestions: Arc::new(outcome.suggestions),
-                    },
-                );
-                (false, run)
-            }
+            // Single-flight: a burst of identical cold queries (many users
+            // pressing Run on the same question at once) costs one model
+            // scan. `cached` stays an honest "this request ran no scan"
+            // flag: true for followers, false for the scanning leader.
+            None => match self.run_coalescer.join(&key) {
+                Join::Leader(token) => {
+                    if let Some(hit) = self.run_cache.peek(&key) {
+                        self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                        token.complete(Ok(hit.clone()));
+                        (true, hit)
+                    } else {
+                        self.counters
+                            .coalesce_leader_runs
+                            .fetch_add(1, Ordering::Relaxed);
+                        let run = self.run_cache.insert(key, self.scan(&query));
+                        token.complete(Ok(run.clone()));
+                        (false, run)
+                    }
+                }
+                Join::Follower(outcome) => {
+                    let shared = outcome?;
+                    self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                    (true, shared)
+                }
+                Join::Bypass => {
+                    self.counters
+                        .coalesce_bypass_runs
+                        .fetch_add(1, Ordering::Relaxed);
+                    (false, self.run_cache.insert(key, self.scan(&query)))
+                }
+            },
         };
         drop(permit);
         let attempts = {
@@ -415,9 +509,29 @@ impl SapphireServer {
             rejected_queue_timeout: self.counters.rejected_queue_timeout.load(Ordering::Relaxed),
             rejected_quota: self.counters.rejected_quota.load(Ordering::Relaxed),
             tenant_meter_evictions: self.tenants.evicted_meters(),
+            coalesced_hits: self.counters.coalesced_hits.load(Ordering::Relaxed),
+            coalesce_leader_runs: self.counters.coalesce_leader_runs.load(Ordering::Relaxed),
+            coalesce_bypass_runs: self.counters.coalesce_bypass_runs.load(Ordering::Relaxed),
+            fifo_handoffs: self.admission.handoffs(),
             completion_cache: self.completion_cache.stats(),
             run_cache: self.run_cache.stats(),
             open_sessions: self.registry.len(),
+        }
+    }
+
+    /// Current `(in_flight, queued)` admission snapshot.
+    pub fn admission_load(&self) -> (usize, usize) {
+        self.admission.load()
+    }
+
+    /// Execute the model scan for a built query (the expensive part a
+    /// single-flight leader runs on behalf of its followers).
+    fn scan(&self, query: &SelectQuery) -> CachedRun {
+        let outcome = self.pum.run(query);
+        CachedRun {
+            answers: outcome.answers,
+            executed: outcome.executed,
+            suggestions: Arc::new(outcome.suggestions),
         }
     }
 
@@ -453,6 +567,15 @@ impl SapphireServer {
 /// [`ServiceEndpoint`](sapphire_endpoint::ServiceEndpoint) so other
 /// deployments can federate over it, with this server's admission control
 /// and budgets still enforced.
+///
+/// Identical in-flight queries are single-flighted by
+/// [`query_fingerprint`](sapphire_endpoint::query_fingerprint), so a burst
+/// of users asking the same question at an upstream tier costs this tier one
+/// federation execution — and because the fingerprint travels unchanged with
+/// the query, every further hop downstream coalesces the same way. Service
+/// results are not response-cached (federated backends are not assumed
+/// immutable the way the shared model is), so the leader's typed failure is
+/// propagated to every coalesced follower rather than retried.
 impl QueryService for SapphireServer {
     fn service_name(&self) -> &str {
         &self.config.name
@@ -475,10 +598,36 @@ impl QueryService for SapphireServer {
             Ok(permit)
         };
         let _permit = admit().map_err(ServerError::into_service_error)?;
-        self.pum
-            .federation()
-            .execute_parsed(query)
-            .map_err(|e| from_federation(e).into_service_error())
+        let execute = || {
+            self.pum
+                .federation()
+                .execute_parsed(query)
+                .map_err(from_federation)
+        };
+        let key = sapphire_endpoint::query_fingerprint(query);
+        let result = match self.service_coalescer.join(&key) {
+            Join::Leader(token) => {
+                self.counters
+                    .coalesce_leader_runs
+                    .fetch_add(1, Ordering::Relaxed);
+                let outcome = execute().map(Arc::new);
+                token.complete(outcome.clone());
+                outcome
+            }
+            Join::Follower(outcome) => {
+                self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                outcome
+            }
+            Join::Bypass => {
+                self.counters
+                    .coalesce_bypass_runs
+                    .fetch_add(1, Ordering::Relaxed);
+                execute().map(Arc::new)
+            }
+        };
+        result
+            .map(|shared| (*shared).clone())
+            .map_err(ServerError::into_service_error)
     }
 }
 
@@ -549,6 +698,107 @@ mod tests {
             .expect("run admitted after release");
         assert!(out.executed);
         assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn cold_identical_completion_burst_scans_once() {
+        const THREADS: usize = 16;
+        // Enough concurrency that the whole burst can be in flight at once —
+        // coalescing must be exercised by genuine concurrency, not masked by
+        // admission serialization.
+        let config = ServerConfig {
+            max_in_flight: THREADS,
+            max_queue_depth: THREADS,
+            ..ServerConfig::for_tests()
+        };
+        let server = Arc::new(SapphireServer::new(pum(), config));
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let session = server.open_session(&format!("t{i}")).unwrap();
+                    barrier.wait();
+                    server.complete(session, "Kenn").unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(
+                r.suggestions, results[0].suggestions,
+                "every request sees the one scan's result"
+            );
+        }
+        let m = server.metrics();
+        // The heart of single-flight: however the 16 threads interleave —
+        // coalesced followers, response-cache hits for stragglers, or a
+        // leader that found the cache filled — the model is scanned once.
+        assert_eq!(m.coalesce_leader_runs, 1, "exactly one model scan");
+        assert_eq!(
+            m.coalesced_hits + m.completion_cache.hits + m.coalesce_leader_runs,
+            THREADS as u64,
+            "every request is a leader, follower, or cache hit"
+        );
+    }
+
+    #[test]
+    fn cold_identical_run_burst_scans_once() {
+        const THREADS: usize = 8;
+        let config = ServerConfig {
+            max_in_flight: THREADS,
+            max_queue_depth: THREADS,
+            ..ServerConfig::for_tests()
+        };
+        let server = Arc::new(SapphireServer::new(pum(), config));
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    // Distinct sessions, identical rows: the normalized query
+                    // key is shared, so the burst coalesces across sessions.
+                    let session = server.open_session(&format!("t{i}")).unwrap();
+                    server
+                        .set_row(session, 0, TripleInput::new("?p", "surname", "Kennedy"))
+                        .unwrap();
+                    barrier.wait();
+                    server.run(session).unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results {
+            assert!(r.executed);
+            assert_eq!(r.answers.total_rows(), results[0].answers.total_rows());
+            assert_eq!(r.attempts, 1, "attempt counting stays per-session");
+        }
+        let m = server.metrics();
+        assert_eq!(m.coalesce_leader_runs, 1, "exactly one model scan");
+        assert!(
+            results.iter().filter(|r| !r.cached).count() <= 1,
+            "at most the scanning leader reports an uncached run"
+        );
+    }
+
+    #[test]
+    fn coalescing_disabled_by_zero_waiter_cap() {
+        let config = ServerConfig {
+            coalesce_waiters_per_key: 0,
+            ..ServerConfig::for_tests()
+        };
+        let server = SapphireServer::new(pum(), config);
+        let session = server.open_session("alice").unwrap();
+        // Sequential requests: the first leads (scan), the second hits the
+        // response cache — a zero cap only disables *blocking behind* a
+        // concurrent scan, never correctness.
+        server.complete(session, "Kenn").unwrap();
+        server.complete(session, "Kenn").unwrap();
+        let m = server.metrics();
+        assert_eq!(m.coalesce_leader_runs, 1);
+        assert_eq!(m.completion_cache.hits, 1);
     }
 
     #[test]
