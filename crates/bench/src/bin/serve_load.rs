@@ -14,6 +14,11 @@
 //!         [--coalesce N]` (waiter cap per key; `--coalesce 0` disables
 //! single-flight to measure the pre-coalescing baseline)
 //!
+//! Cluster mode: `serve_load -- --cluster [--shards 2] [--replicas 2]` runs
+//! the same workload against a sharded topology behind a `ClusterRouter`
+//! (see [`sapphire_bench::cluster`]); it reports routing metrics plus a
+//! determinism self-check and never touches `BENCH_serve.json`.
+//!
 //! The dataset seed and workload are fixed, so request *streams* are
 //! reproducible; only latencies vary run to run. All load-shed requests
 //! surface as typed errors and are counted, never panicked on.
@@ -22,9 +27,28 @@
 //! (`serve_check`) runs exactly the same code without overwriting the
 //! committed baseline.
 
+use sapphire_bench::cluster::{self, ClusterLoadOptions};
 use sapphire_bench::serve::{self, arg_string, arg_usize, ServeLoadOptions};
 
 fn main() {
+    // Cluster mode: the same closed-loop workload against a sharded,
+    // replicated topology behind a `ClusterRouter` (`--cluster [--shards N]
+    // [--replicas N]`). Reports routing metrics and the determinism
+    // self-check; never touches the single-server baseline file.
+    if std::env::args().any(|a| a == "--cluster") {
+        let defaults = ClusterLoadOptions::default();
+        let opts = ClusterLoadOptions {
+            users: arg_usize("--users", defaults.users),
+            rounds: arg_usize("--rounds", defaults.rounds),
+            scale: arg_string("--scale").unwrap_or(defaults.scale.clone()),
+            shards: arg_usize("--shards", defaults.shards),
+            replicas: arg_usize("--replicas", defaults.replicas),
+            determinism_sample: arg_usize("--determinism-sample", defaults.determinism_sample),
+        };
+        println!("{}", cluster::run(&opts));
+        return;
+    }
+
     let defaults = ServeLoadOptions::default();
     let opts = ServeLoadOptions {
         users: arg_usize("--users", defaults.users),

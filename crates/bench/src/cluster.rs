@@ -1,0 +1,269 @@
+//! Cluster-mode load harness: `serve_load --cluster` and the CI smoke gate.
+//!
+//! Drives the same Appendix-B closed-loop workload as [`crate::serve`], but
+//! against a [`ClusterRouter`] over a sharded, replicated [`Cluster`]
+//! instead of one `SapphireServer` — the scatter-gather edge, load-aware
+//! routing, typed retry, and the deterministic merges all on the hot path.
+//! On top of throughput/latency it reports the router's own observability
+//! ([`sapphire_cluster::ClusterMetrics`]) and runs a
+//! **determinism self-check**: a second router with fresh edge caches over
+//! the *same* shard replicas replays a sample of the workload, and any
+//! byte-level divergence is counted in `merge_mismatches` (the CI gate
+//! requires zero).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sapphire_cluster::{Cluster, ClusterConfig, ClusterError, ClusterRouter};
+use sapphire_core::session::{Modifiers, Session};
+use sapphire_core::CacheStats;
+use sapphire_datagen::generate;
+use sapphire_datagen::workload::appendix_b;
+use sapphire_server::{ServerConfig, ServerError};
+use sapphire_sparql::SelectQuery;
+use sapphire_text::Lexicon;
+
+use crate::serve::ClassStats;
+use crate::{dataset_for, experiment_config};
+
+/// Everything the cluster harness can be asked to do.
+#[derive(Debug, Clone)]
+pub struct ClusterLoadOptions {
+    /// Closed-loop simulated users.
+    pub users: usize,
+    /// Times each user replays the whole Appendix-B question list.
+    pub rounds: usize,
+    /// Dataset scale (`tiny`/`small`/`medium`).
+    pub scale: String,
+    /// Data shards.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Questions (and QCM terms) replayed by the determinism self-check
+    /// (`0` skips it).
+    pub determinism_sample: usize,
+}
+
+impl Default for ClusterLoadOptions {
+    fn default() -> Self {
+        ClusterLoadOptions {
+            users: 8,
+            rounds: 2,
+            scale: "tiny".to_string(),
+            shards: 2,
+            replicas: 2,
+            determinism_sample: 8,
+        }
+    }
+}
+
+/// Fold a router outcome into the per-class stats buckets (the cluster's
+/// typed errors carry the shard's typed rejection).
+fn flatten(result: Result<(), ClusterError>) -> Result<(), ServerError> {
+    match result {
+        Ok(()) => Ok(()),
+        Err(ClusterError::ShardUnavailable { last, .. }) => Err(last),
+        Err(ClusterError::Shard { error, .. })
+        | Err(ClusterError::CrossShard { error })
+        | Err(ClusterError::EdgeRejected(error)) => Err(error),
+        Err(ClusterError::Unsupported(m)) => Err(ServerError::Backend(m)),
+    }
+}
+
+/// Run the cluster workload and return the JSON report.
+pub fn run(opts: &ClusterLoadOptions) -> String {
+    let dataset = dataset_for(&opts.scale);
+    eprintln!(
+        "(generating dataset + initializing {} shard models x {} replicas…)",
+        opts.shards, opts.replicas
+    );
+    let graph = generate(dataset);
+    let triple_count = graph.len();
+    // The same serving posture as the single-box harness: hardware-sized
+    // gates (floored at 8), a finite queue, a CI-safe queue deadline.
+    let default_in_flight = ServerConfig::default().max_in_flight.max(8);
+    let server_config = ServerConfig {
+        max_in_flight: default_in_flight,
+        max_queue_depth: default_in_flight * 4,
+        queue_wait: std::time::Duration::from_millis(1_000),
+        ..ServerConfig::default()
+    };
+    let cluster = Cluster::build(
+        "edge",
+        &graph,
+        opts.shards,
+        opts.replicas,
+        &Lexicon::dbpedia_default(),
+        &experiment_config(),
+        &server_config,
+    )
+    .expect("shard initialization");
+    let schema_triples = cluster.schema_triples();
+    let stored_triples: usize =
+        cluster.data_triples().iter().sum::<usize>() + schema_triples * cluster.shard_count();
+    // A second router over the *same* replicas, with its own cold edge
+    // caches, for the determinism self-check.
+    let replay_cluster = Cluster::from_replicas(cluster.shards().to_vec());
+    let router = Arc::new(ClusterRouter::new(cluster, ClusterConfig::default()));
+    let replay = ClusterRouter::new(replay_cluster, ClusterConfig::default());
+
+    // Build each question's query once. Keyword predicates resolve against
+    // a shard-local cache; a rare predicate can be missing from one shard's
+    // slice (all its subjects hashed elsewhere), so resolution walks the
+    // shards in order and takes the first that can build the script —
+    // deterministic for the fixed seed.
+    let models: Vec<_> = (0..router.cluster().shard_count())
+        .map(|s| router.cluster().replicas(s)[0].model().clone())
+        .collect();
+    let questions = appendix_b();
+    let queries: Vec<SelectQuery> = questions
+        .iter()
+        .map(|q| {
+            let modifiers = Modifiers {
+                distinct: false,
+                order_by: q.script.order_by.clone(),
+                limit: q.script.limit,
+                count: q.script.count,
+                filters: q.script.filters.clone(),
+            };
+            models
+                .iter()
+                .find_map(|m| {
+                    Session::resume(m, q.script.rows.clone(), modifiers.clone(), 0)
+                        .build_query()
+                        .ok()
+                })
+                .expect("some shard resolves every workload script")
+        })
+        .collect();
+
+    eprintln!(
+        "(driving {} users x {} rounds over {} questions against {} shards…)",
+        opts.users,
+        opts.rounds,
+        questions.len(),
+        opts.shards
+    );
+    let started = Instant::now();
+    let (mut qcm, mut qsm) = (ClassStats::default(), ClassStats::default());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for user in 0..opts.users {
+            let router = router.clone();
+            let questions = &questions;
+            let queries = &queries;
+            let rounds = opts.rounds;
+            handles.push(scope.spawn(move || {
+                let tenant = format!("user-{user}");
+                let mut qcm = ClassStats::default();
+                let mut qsm = ClassStats::default();
+                for round in 0..rounds {
+                    for qi in 0..questions.len() {
+                        let idx = (qi + user + round) % questions.len();
+                        for input in &questions[idx].script.rows {
+                            let keyword = input.object.trim_start_matches('?');
+                            for end in 1..=keyword.chars().count().min(6) {
+                                let prefix: String = keyword.chars().take(end).collect();
+                                let t = Instant::now();
+                                let r = router.complete(&tenant, &prefix).map(|_| ());
+                                qcm.record(t, &flatten(r));
+                            }
+                        }
+                        let t = Instant::now();
+                        let r = router.run(&tenant, &queries[idx]).map(|_| ());
+                        qsm.record(t, &flatten(r));
+                    }
+                }
+                (qcm, qsm)
+            }));
+        }
+        for h in handles {
+            let (c, s) = h.join().expect("no worker panics");
+            qcm.merge(c);
+            qsm.merge(s);
+        }
+    });
+    let wall = started.elapsed();
+
+    // Determinism self-check: a cold second edge over the same shards must
+    // reproduce every byte (answers, suggestion list, completions).
+    let sample = opts.determinism_sample.min(queries.len());
+    let mut merge_mismatches = 0u64;
+    for query in queries.iter().take(sample) {
+        match (router.run("replay", query), replay.run("replay", query)) {
+            (Ok(a), Ok(b)) => {
+                let alts_match = a.alternatives.len() == b.alternatives.len()
+                    && a.alternatives.iter().zip(&b.alternatives).all(|(x, y)| {
+                        x.replacement == y.replacement
+                            && x.position == y.position
+                            && x.answers == y.answers
+                    });
+                if a.answers != b.answers || !alts_match {
+                    merge_mismatches += 1;
+                }
+            }
+            _ => merge_mismatches += 1,
+        }
+    }
+    for question in questions.iter().take(sample) {
+        let keyword = question.script.rows[0].object.trim_start_matches('?');
+        match (
+            router.complete("replay", keyword),
+            replay.complete("replay", keyword),
+        ) {
+            (Ok(a), Ok(b)) => {
+                if a.suggestions != b.suggestions {
+                    merge_mismatches += 1;
+                }
+            }
+            _ => merge_mismatches += 1,
+        }
+    }
+
+    let metrics = router.metrics();
+    let cache_stats = |s: CacheStats| {
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_ratio\": {:.3}}}",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.hit_ratio()
+        )
+    };
+    let fanout_total: u64 = metrics.fanout_per_shard.iter().sum();
+    format!(
+        "{{\n  \"benchmark\": \"serve_cluster\",\n  \"config\": {{\"users\": {}, \
+         \"rounds\": {}, \"scale\": \"{}\", \"shards\": {}, \"replicas\": {}, \
+         \"triples\": {triple_count}, \"schema_triples\": {schema_triples}, \
+         \"stored_triples\": {stored_triples}}},\n  \
+         \"wall_seconds\": {:.3},\n  \"total_throughput_rps\": {:.1},\n  \
+         \"qcm\": {},\n  \"qsm\": {},\n  \
+         \"routing\": {{\"fanout_total\": {fanout_total}, \"hedges_fired\": {}, \
+         \"hedges_won\": {}, \"replica_retries\": {}, \"rejected_after_retry\": {}, \
+         \"merges\": {}, \"merge_depth_max\": {}, \"edge_coalesced_hits\": {}, \
+         \"edge_coalesce_leaders\": {}}},\n  \
+         \"edge_completion_cache\": {},\n  \"edge_run_cache\": {},\n  \
+         \"merge_mismatches\": {merge_mismatches},\n  \
+         \"rejected_total\": {}\n}}",
+        opts.users,
+        opts.rounds,
+        opts.scale,
+        opts.shards,
+        opts.replicas,
+        wall.as_secs_f64(),
+        (qcm.latencies_us.len() + qsm.latencies_us.len()) as f64 / wall.as_secs_f64().max(1e-9),
+        qcm.json(wall),
+        qsm.json(wall),
+        metrics.hedges_fired,
+        metrics.hedges_won,
+        metrics.replica_retries,
+        metrics.rejected_after_retry,
+        metrics.merges,
+        metrics.merge_depth_max,
+        metrics.edge_coalesced_hits,
+        metrics.edge_coalesce_leaders,
+        cache_stats(metrics.completion_cache),
+        cache_stats(metrics.run_cache),
+        qcm.rejected() + qsm.rejected(),
+    )
+}

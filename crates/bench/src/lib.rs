@@ -5,6 +5,7 @@
 //! Criterion micro-benchmarks. See DESIGN.md's per-experiment index and
 //! EXPERIMENTS.md for paper-vs-measured numbers.
 
+pub mod cluster;
 pub mod serve;
 
 use sapphire_core::SapphireConfig;

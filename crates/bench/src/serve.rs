@@ -100,10 +100,11 @@ pub fn arg_string(name: &str) -> Option<String> {
         .cloned()
 }
 
-/// Latency samples and rejection counters for one request class.
+/// Latency samples and rejection counters for one request class (shared
+/// with the cluster-mode harness in [`crate::cluster`]).
 #[derive(Debug, Default, Clone)]
-struct ClassStats {
-    latencies_us: Vec<u64>,
+pub(crate) struct ClassStats {
+    pub(crate) latencies_us: Vec<u64>,
     overloaded: u64,
     queue_timeout: u64,
     quota: u64,
@@ -111,7 +112,7 @@ struct ClassStats {
 }
 
 impl ClassStats {
-    fn record(&mut self, started: Instant, result: &Result<(), ServerError>) {
+    pub(crate) fn record(&mut self, started: Instant, result: &Result<(), ServerError>) {
         match result {
             Ok(()) => self.latencies_us.push(started.elapsed().as_micros() as u64),
             Err(ServerError::Overloaded { .. }) => self.overloaded += 1,
@@ -121,7 +122,7 @@ impl ClassStats {
         }
     }
 
-    fn merge(&mut self, other: ClassStats) {
+    pub(crate) fn merge(&mut self, other: ClassStats) {
         self.latencies_us.extend(other.latencies_us);
         self.overloaded += other.overloaded;
         self.queue_timeout += other.queue_timeout;
@@ -129,7 +130,7 @@ impl ClassStats {
         self.invalid += other.invalid;
     }
 
-    fn rejected(&self) -> u64 {
+    pub(crate) fn rejected(&self) -> u64 {
         self.overloaded + self.queue_timeout + self.quota
     }
 
@@ -141,7 +142,7 @@ impl ClassStats {
         sorted[idx]
     }
 
-    fn json(&self, wall: Duration) -> String {
+    pub(crate) fn json(&self, wall: Duration) -> String {
         let mut sorted = self.latencies_us.clone();
         sorted.sort_unstable();
         let count = sorted.len();
@@ -234,6 +235,35 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         opts.rounds,
         questions.len()
     );
+
+    // Load sampler: polls the cheap probes a cluster router would use to
+    // route (admission load, coalescer shard occupancy) so the report makes
+    // routing-relevant pressure observable, not just end-of-run counters.
+    let sampler_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let peaks = Arc::new((
+        std::sync::atomic::AtomicU64::new(0), // in_flight
+        std::sync::atomic::AtomicU64::new(0), // queued
+        std::sync::atomic::AtomicU64::new(0), // coalesce occupancy
+    ));
+    let sampler = {
+        let server = server.clone();
+        let stop = sampler_stop.clone();
+        let peaks = peaks.clone();
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            while !stop.load(Ordering::Relaxed) {
+                let (in_flight, queued) = server.admission_load();
+                peaks.0.fetch_max(in_flight as u64, Ordering::Relaxed);
+                peaks.1.fetch_max(queued as u64, Ordering::Relaxed);
+                peaks
+                    .2
+                    .fetch_max(server.coalesce_occupancy() as u64, Ordering::Relaxed);
+                // 1ms resolution is enough to catch sustained pressure and
+                // keeps the probe's lock traffic off the admission hot path.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
 
     let users = opts.users;
     let rounds = opts.rounds;
@@ -372,14 +402,28 @@ pub fn run(opts: &ServeLoadOptions) -> String {
     }
     let burst_wall = burst_started.elapsed();
 
+    sampler_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    sampler.join().expect("sampler never panics");
+    let (in_flight_now, queued_now) = server.admission_load();
+
     let metrics = server.metrics();
-    let cache_stats = |s: sapphire_core::CacheStats| {
+    // `effective_hit_ratio` additionally credits single-flight followers:
+    // such a request logged a genuine cache miss but was still served from
+    // a concurrent identical request's scan. `(hits + coalesced) / lookups`
+    // is therefore the fraction of requests served *without a model scan* —
+    // the paper's >90% claim as the serving tier actually delivers it — and
+    // unlike the raw ratio it does not wobble with how requests happened to
+    // overlap on a given run.
+    let cache_stats = |s: sapphire_core::CacheStats, coalesced: u64| {
+        let lookups = (s.hits + s.misses).max(1);
         format!(
-            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_ratio\": {:.3}}}",
+            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_ratio\": {:.3}, \
+             \"effective_hit_ratio\": {:.3}}}",
             s.hits,
             s.misses,
             s.evictions,
-            s.hit_ratio()
+            s.hit_ratio(),
+            (s.hits + coalesced) as f64 / lookups as f64,
         )
     };
     // Requests actually issued: zero when the phase was skipped, so the
@@ -389,11 +433,26 @@ pub fn run(opts: &ServeLoadOptions) -> String {
     } else {
         0
     };
+    // The load/occupancy snapshot: peaks observed by the sampler plus the
+    // end-of-run values (the latter pin "everything drained"). This section
+    // must stay *ahead of* `duplicate_burst` in the report: that section
+    // nests its own `"stats"` object, and `json_f64`'s section search finds
+    // the first occurrence.
+    let stats = format!(
+        "{{\"peak_in_flight\": {}, \"peak_queued\": {}, \"peak_coalesce_occupancy\": {}, \
+         \"final_in_flight\": {in_flight_now}, \"final_queued\": {queued_now}, \
+         \"final_coalesce_occupancy\": {}}}",
+        peaks.0.load(std::sync::atomic::Ordering::Relaxed),
+        peaks.1.load(std::sync::atomic::Ordering::Relaxed),
+        peaks.2.load(std::sync::atomic::Ordering::Relaxed),
+        server.coalesce_occupancy(),
+    );
     format!(
         "{{\n  \"benchmark\": \"serve_load\",\n  \"config\": {{\"users\": {users}, \
          \"rounds\": {rounds}, \"scale\": \"{scale_label}\", \"triples\": {triple_count}, \
          \"max_in_flight\": {max_in_flight}, \"max_queue_depth\": {max_queue_depth}, \
          \"burst_users\": {}, \"burst_rounds\": {}, \"coalesce_waiters\": {}}},\n  \
+         \"stats\": {stats},\n  \
          \"wall_seconds\": {:.3},\n  \"total_throughput_rps\": {:.1},\n  \
          \"qcm\": {},\n  \"qsm\": {},\n  \
          \"duplicate_burst\": {{\"requests\": {burst_requests}, \"wall_seconds\": {:.3}, \
@@ -420,8 +479,8 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         metrics.coalesce_bypass_runs,
         metrics.fifo_handoffs,
         qcm.rejected() + qsm.rejected() + burst.rejected(),
-        cache_stats(metrics.completion_cache),
-        cache_stats(metrics.run_cache),
+        cache_stats(metrics.completion_cache, metrics.completion_coalesced_hits),
+        cache_stats(metrics.run_cache, metrics.run_coalesced_hits),
         metrics.open_sessions,
     )
 }
@@ -477,13 +536,14 @@ mod tests {
     const REPORT: &str = r#"{
   "benchmark": "serve_load",
   "config": {"users": 32, "rounds": 1},
+  "stats": {"peak_in_flight": 8, "peak_queued": 3, "peak_coalesce_occupancy": 2, "final_in_flight": 0, "final_queued": 0, "final_coalesce_occupancy": 0},
   "total_throughput_rps": 36948.1,
   "qcm": {"completed": 26304, "p50_us": 370},
   "qsm": {"completed": 2592, "p50_us": 521},
   "duplicate_burst": {"requests": 256, "stats": {"completed": 256, "p50_us": 24}, "leader_runs": 16, "bypass_runs": 0, "coalesced_hits": 240},
   "rejected_total": 0,
-  "completion_cache": {"hits": 26113, "misses": 191, "hit_ratio": 0.993},
-  "run_cache": {"hits": 2490, "misses": 102, "hit_ratio": 0.961},
+  "completion_cache": {"hits": 26113, "misses": 191, "hit_ratio": 0.993, "effective_hit_ratio": 0.996},
+  "run_cache": {"hits": 2490, "misses": 102, "hit_ratio": 0.961, "effective_hit_ratio": 0.978},
   "sessions_leaked": 0
 }"#;
 
@@ -503,6 +563,10 @@ mod tests {
             json_f64(REPORT, Some("run_cache"), "hit_ratio"),
             Some(0.961)
         );
+        assert_eq!(
+            json_f64(REPORT, Some("run_cache"), "effective_hit_ratio"),
+            Some(0.978)
+        );
         // These two sit *after* the nested "stats" object — the reads that
         // serve_check's burst gate depends on.
         assert_eq!(
@@ -514,6 +578,25 @@ mod tests {
             Some(0.0)
         );
         assert_eq!(json_f64(REPORT, Some("qcm"), "completed"), Some(26304.0));
+    }
+
+    #[test]
+    fn json_f64_reads_the_top_level_stats_section_not_the_burst_one() {
+        // `duplicate_burst` nests its own `"stats"` object; the load/occupancy
+        // section must sit earlier in the report so the first-occurrence
+        // section search resolves to it.
+        assert_eq!(json_f64(REPORT, Some("stats"), "peak_in_flight"), Some(8.0));
+        assert_eq!(json_f64(REPORT, Some("stats"), "peak_queued"), Some(3.0));
+        assert_eq!(
+            json_f64(REPORT, Some("stats"), "peak_coalesce_occupancy"),
+            Some(2.0)
+        );
+        assert_eq!(json_f64(REPORT, Some("stats"), "final_queued"), Some(0.0));
+        // The burst's nested stats are still reachable through their parent.
+        assert_eq!(
+            json_f64(REPORT, Some("duplicate_burst"), "completed"),
+            Some(256.0)
+        );
     }
 
     #[test]

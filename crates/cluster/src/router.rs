@@ -1,0 +1,1158 @@
+//! The edge router: scatter-gather over shard replicas with load-aware,
+//! hedged, typed-retry routing.
+//!
+//! A [`ClusterRouter`] is the tier users talk to. For every request it
+//! *scatters* a stateless shard request to each shard (picking the replica
+//! with the lowest [`admission_load`](sapphire_server::SapphireServer::admission_load)),
+//! *gathers* the per-shard answers, and *merges* them with the deterministic
+//! score-then-key merges of [`crate::merge`] — so the cluster's answers are a
+//! pure function of the data, never of replica timing. The routing policy
+//! around each shard call:
+//!
+//! * **Load-aware replica choice** — replicas are tried in ascending
+//!   admission-load order, so a saturated replica is naturally deprioritized
+//!   whenever a healthier sibling exists.
+//! * **Hedging** — if the chosen replica has not answered within the hedge
+//!   budget, the same request is fired at the next replica and the first
+//!   reply wins ([`ClusterMetrics::hedges_fired`]/[`hedges_won`](ClusterMetrics::hedges_won)).
+//! * **Typed bounded retry** — typed back-pressure rejections
+//!   ([`ServerError::Overloaded`]/[`ServerError::QueueTimeout`]) fail over to
+//!   the next replica under the shared [`Backoff`] policy (honoring the
+//!   rejection's retry-after hint); anything else is a real error and
+//!   surfaces immediately. Only when every attempt is shed does the router
+//!   give up, with [`ClusterError::ShardUnavailable`].
+//!
+//! The edge is itself a serving tier: QCM/QSM responses are memoized in
+//! sharded response caches and identical in-flight requests are
+//! single-flighted with the same [`Coalescer`] the servers use, keyed by the
+//! same normalized request keys — so coalescing composes across tiers
+//! exactly as the PR-2 design intended.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use sapphire_core::qcm::{Completion, CompletionResult};
+use sapphire_core::qsm::{AlteredPosition, StructureSuggestion, TermAlternative};
+use sapphire_core::{completion_request_key, run_request_key, CacheStats};
+use sapphire_endpoint::{
+    query_fingerprint, Backoff, EndpointError, QueryService, ServiceEndpoint, ServiceError,
+};
+use sapphire_server::coalesce::Join;
+use sapphire_server::response_cache::ShardedResponseCache;
+use sapphire_server::{Coalescer, SapphireServer, ServerError};
+use sapphire_sparql::{Projection, Query, QueryResult, SelectQuery, Solutions, TermPattern};
+
+use crate::merge::{
+    count_rows, count_shape, dedup_alternatives, merge_bindings, merge_completions,
+    sort_alternatives,
+};
+use crate::topology::Cluster;
+
+/// Tuning knobs of a [`ClusterRouter`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Router name (reported through the [`QueryService`] surface).
+    pub name: String,
+    /// Fire the same request at a second replica when the first has not
+    /// answered within this budget; `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Retry policy for typed back-pressure rejections; each retry fails
+    /// over to the next replica in load order.
+    pub backoff: Backoff,
+    /// Edge response-cache shards.
+    pub cache_shards: usize,
+    /// LRU capacity per edge response-cache shard.
+    pub cache_capacity_per_shard: usize,
+    /// Per-key waiter cap of the edge coalescers (`0` disables edge
+    /// single-flight).
+    pub coalesce_waiters_per_key: usize,
+    /// How many completions to fetch *per shard* before the edge merge cuts
+    /// the global top-k. Shard-local significance ranks cannot drive the
+    /// global cut (they are computed from shard-local in-degrees), so the
+    /// edge must over-fetch: `0` means unbounded — every shard-local match
+    /// travels and the merged top-k is exact. Set a finite depth to trade
+    /// exactness at the tail for bandwidth on huge corpora.
+    pub completion_fetch: usize,
+    /// Per-tenant work budget per accounting window at the *edge* tier
+    /// (`None` = unlimited). Shard-side budgets alone cannot meter cluster
+    /// traffic: an edge cache hit or coalesced follower never reaches a
+    /// shard, so without an edge meter a quota-exhausted tenant could
+    /// replay any cached request for free. Charged per request, before the
+    /// edge caches — the same request-denominated posture the shards take.
+    pub tenant_window_budget: Option<u64>,
+    /// Edge work units charged per QCM completion request.
+    pub completion_cost: u64,
+    /// Edge work units charged per run/raw request, plus
+    /// [`run_per_pattern_cost`](Self::run_per_pattern_cost) per pattern.
+    pub run_base_cost: u64,
+    /// Extra edge work units per triple pattern in a run/raw request.
+    pub run_per_pattern_cost: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            name: "sapphire-cluster".to_string(),
+            hedge_after: Some(Duration::from_millis(50)),
+            backoff: Backoff::default(),
+            cache_shards: 16,
+            cache_capacity_per_shard: 4096,
+            coalesce_waiters_per_key: 1024,
+            completion_fetch: 0,
+            tenant_window_budget: None,
+            completion_cost: 1,
+            run_base_cost: 4,
+            run_per_pattern_cost: 4,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A small configuration for unit tests.
+    pub fn for_tests() -> Self {
+        ClusterConfig {
+            cache_shards: 4,
+            cache_capacity_per_shard: 64,
+            ..Self::default()
+        }
+    }
+}
+
+/// Typed failures of the cluster tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Every replica of `shard` shed the request, through every retry of the
+    /// backoff budget — the shard is saturated, not broken.
+    ShardUnavailable {
+        /// The saturated shard.
+        shard: usize,
+        /// The last typed rejection observed.
+        last: ServerError,
+    },
+    /// A shard failed with a non-retryable error.
+    Shard {
+        /// The failing shard.
+        shard: usize,
+        /// Its typed error.
+        error: ServerError,
+    },
+    /// A cross-shard federated plan (bound join over every shard) failed;
+    /// no single shard can be blamed, but the typed error is preserved.
+    CrossShard {
+        /// The typed failure of the federated plan.
+        error: ServerError,
+    },
+    /// The edge itself rejected the request before consulting any shard
+    /// (per-tenant budget exhausted at the edge tier).
+    EdgeRejected(ServerError),
+    /// The query shape cannot be merged exactly from shard answers (e.g.
+    /// GROUP BY over a pattern spanning shards).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::ShardUnavailable { shard, last } => {
+                write!(f, "shard {shard} unavailable after retries: {last}")
+            }
+            ClusterError::Shard { shard, error } => write!(f, "shard {shard} failed: {error}"),
+            ClusterError::CrossShard { error } => {
+                write!(f, "cross-shard federated plan failed: {error}")
+            }
+            ClusterError::EdgeRejected(error) => write!(f, "edge rejected: {error}"),
+            ClusterError::Unsupported(m) => write!(f, "unsupported cluster query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl ClusterError {
+    /// True for back-pressure outcomes a client may retry later.
+    pub fn is_rejection(&self) -> bool {
+        match self {
+            ClusterError::ShardUnavailable { .. } => true,
+            ClusterError::Shard { error, .. } | ClusterError::CrossShard { error } => {
+                error.is_rejection()
+            }
+            ClusterError::EdgeRejected(error) => error.is_rejection(),
+            ClusterError::Unsupported(_) => false,
+        }
+    }
+
+    fn into_service_error(self) -> ServiceError {
+        match self {
+            ClusterError::ShardUnavailable { last, .. } => last.into_service_error(),
+            ClusterError::Shard { error, .. }
+            | ClusterError::CrossShard { error }
+            | ClusterError::EdgeRejected(error) => error.into_service_error(),
+            ClusterError::Unsupported(m) => {
+                ServiceError::Backend(EndpointError::Eval(format!("unsupported: {m}")))
+            }
+        }
+    }
+}
+
+/// A cluster QCM answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterCompletion {
+    /// The merged top-k suggestions, in canonical order.
+    pub suggestions: Vec<Completion>,
+    /// Shard answer lists merged for this payload (1 for targeted routing).
+    pub merge_depth: usize,
+    /// True if this request was served without its own scatter (edge cache
+    /// hit or edge single-flight follower).
+    pub cached: bool,
+}
+
+/// A cluster QSM run answer: a shared pointer to the merged payload plus
+/// this request's own `cached` flag. [`Deref`](std::ops::Deref)s to the
+/// payload, so `run.answers` etc. read naturally; an edge cache hit is a
+/// pointer bump, never a deep copy of answer sets — the same discipline the
+/// shard tier's `QueryRun` follows.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// True if this request was served without its own scatter (edge cache
+    /// hit or edge single-flight follower).
+    pub cached: bool,
+    /// The merged payload, shared with the edge cache.
+    pub payload: Arc<ClusterRunPayload>,
+}
+
+impl std::ops::Deref for ClusterRun {
+    type Target = ClusterRunPayload;
+
+    fn deref(&self) -> &ClusterRunPayload {
+        &self.payload
+    }
+}
+
+/// The merged, cacheable part of a cluster run (everything but the
+/// per-request `cached` flag).
+#[derive(Debug)]
+pub struct ClusterRunPayload {
+    /// The merged answers, in canonical order, with the query's slice
+    /// applied at the edge.
+    pub answers: Solutions,
+    /// True if every shard executed the query.
+    pub executed: bool,
+    /// Merged "did you mean" rewrites, each with its *cluster-wide*
+    /// prefetched answers.
+    pub alternatives: Vec<TermAlternative>,
+    /// Merged structure relaxations (shard-local Steiner searches; see the
+    /// crate docs for the cross-shard caveat), prefetched cluster-wide.
+    pub relaxations: Vec<StructureSuggestion>,
+}
+
+fn run_from(payload: Arc<ClusterRunPayload>, cached: bool) -> ClusterRun {
+    ClusterRun { cached, payload }
+}
+
+/// What the edge completion cache stores.
+#[derive(Debug)]
+struct MergedCompletion {
+    suggestions: Vec<Completion>,
+    merge_depth: usize,
+}
+
+impl MergedCompletion {
+    fn to_completion(&self, cached: bool) -> ClusterCompletion {
+        ClusterCompletion {
+            suggestions: self.suggestions.clone(),
+            merge_depth: self.merge_depth,
+            cached,
+        }
+    }
+}
+
+/// Point-in-time router observability snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterMetrics {
+    /// Shard calls issued, per shard (scatter fan-out plus targeted calls,
+    /// retries and hedges included).
+    pub fanout_per_shard: Vec<u64>,
+    /// Hedge requests fired (primary exceeded the hedge budget).
+    pub hedges_fired: u64,
+    /// Hedge requests whose reply won the race.
+    pub hedges_won: u64,
+    /// Replica attempts that were shed typed and retried on another replica.
+    pub replica_retries: u64,
+    /// Requests that stayed rejected after the whole retry budget.
+    pub rejected_after_retry: u64,
+    /// Merges performed.
+    pub merges: u64,
+    /// Maximum shard answer lists merged in one request.
+    pub merge_depth_max: u64,
+    /// Edge QCM response-cache counters.
+    pub completion_cache: CacheStats,
+    /// Edge QSM response-cache counters.
+    pub run_cache: CacheStats,
+    /// Requests served by another edge request's in-flight scatter.
+    pub edge_coalesced_hits: u64,
+    /// Scatters executed as edge single-flight leaders.
+    pub edge_coalesce_leaders: u64,
+}
+
+#[derive(Debug)]
+struct Counters {
+    fanout: Vec<AtomicU64>,
+    hedges_fired: AtomicU64,
+    hedges_won: AtomicU64,
+    replica_retries: AtomicU64,
+    rejected_after_retry: AtomicU64,
+    merges: AtomicU64,
+    merge_depth_max: AtomicU64,
+    edge_coalesced_hits: AtomicU64,
+    edge_coalesce_leaders: AtomicU64,
+}
+
+impl Counters {
+    fn new(shards: usize) -> Self {
+        Counters {
+            fanout: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            replica_retries: AtomicU64::new(0),
+            rejected_after_retry: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            merge_depth_max: AtomicU64::new(0),
+            edge_coalesced_hits: AtomicU64::new(0),
+            edge_coalesce_leaders: AtomicU64::new(0),
+        }
+    }
+
+    fn record_merge(&self, depth: usize) {
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        self.merge_depth_max
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// The stateless request one shard replica serves. Cloneable so hedged
+/// calls can hand an owned copy to a second replica's thread.
+#[derive(Debug, Clone)]
+enum ShardRequest {
+    Complete {
+        tenant: String,
+        term: String,
+        fetch: usize,
+    },
+    Run {
+        tenant: String,
+        query: SelectQuery,
+    },
+    Raw {
+        tenant: String,
+        query: Query,
+    },
+}
+
+enum ShardReply {
+    Completion(CompletionResult),
+    Run(Arc<sapphire_server::RunPayload>),
+    Raw(QueryResult),
+}
+
+fn service_to_server(e: ServiceError) -> ServerError {
+    match e {
+        ServiceError::Overloaded {
+            in_flight,
+            queue_depth,
+        } => ServerError::Overloaded {
+            in_flight,
+            queue_depth,
+        },
+        ServiceError::Timeout { work_used } => ServerError::Timeout { work_used },
+        ServiceError::QueueTimeout { waited_ms } => ServerError::QueueTimeout { waited_ms },
+        ServiceError::QuotaExhausted {
+            tenant,
+            used,
+            budget,
+        } => ServerError::QuotaExhausted {
+            tenant,
+            used,
+            budget,
+        },
+        ServiceError::Backend(e) => ServerError::Backend(e.to_string()),
+    }
+}
+
+fn call_replica(server: &SapphireServer, req: &ShardRequest) -> Result<ShardReply, ServerError> {
+    match req {
+        ShardRequest::Complete {
+            tenant,
+            term,
+            fetch,
+        } => server
+            .complete_top(tenant, term, *fetch)
+            .map(ShardReply::Completion),
+        ShardRequest::Run { tenant, query } => server
+            .run_select(tenant, query)
+            .map(|run| ShardReply::Run(run.payload)),
+        ShardRequest::Raw { tenant, query } => server
+            .execute_query(tenant, query)
+            .map(ShardReply::Raw)
+            .map_err(service_to_server),
+    }
+}
+
+/// True when a failure is scoped to the *requesting tenant* (a quota
+/// rejection): an edge single-flight leader failing this way must not take
+/// its followers down with it — their tenants may have plenty of budget
+/// left, so they fall back to their own scatter instead.
+fn tenant_scoped(e: &ClusterError) -> bool {
+    matches!(
+        e,
+        ClusterError::Shard {
+            error: ServerError::QuotaExhausted { .. },
+            ..
+        } | ClusterError::ShardUnavailable {
+            last: ServerError::QuotaExhausted { .. },
+            ..
+        } | ClusterError::CrossShard {
+            error: ServerError::QuotaExhausted { .. },
+        } | ClusterError::EdgeRejected(ServerError::QuotaExhausted { .. })
+    )
+}
+
+/// Typed back-pressure worth failing over: the replica is busy *now*; a
+/// sibling (or a later retry) may not be. Work-budget timeouts and quota
+/// rejections are deterministic for the same request and tenant, so
+/// retrying them elsewhere just doubles the damage.
+fn is_retryable(e: &ServerError) -> bool {
+    matches!(
+        e,
+        ServerError::Overloaded { .. } | ServerError::QueueTimeout { .. }
+    )
+}
+
+/// The retry-after view of a server rejection (via the endpoint-level hint).
+fn as_endpoint_error(e: &ServerError) -> EndpointError {
+    EndpointError::from(e.clone().into_service_error())
+}
+
+/// True when every triple pattern shares one subject: the whole query is a
+/// subject star, co-located by the subject-hash partitioner, so a per-shard
+/// evaluation plus a union merge is exact.
+fn single_subject(query: &SelectQuery) -> bool {
+    let mut subjects = query.pattern.triples.iter().map(|t| &t.subject);
+    match subjects.next() {
+        None => false,
+        Some(first) => subjects.all(|s| s == first),
+    }
+}
+
+/// The query's pattern as a star-projected, slice-free SELECT: what the
+/// router actually scatters, so shards return *full bindings* and the edge
+/// merge can deduplicate schema-slice replicas before projecting.
+fn star_pattern_query(query: &SelectQuery) -> SelectQuery {
+    SelectQuery {
+        distinct: false,
+        projection: Projection::Star,
+        pattern: query.pattern.clone(),
+        group_by: Vec::new(),
+        order_by: Vec::new(),
+        limit: None,
+        offset: None,
+    }
+}
+
+/// The home shard of a query whose patterns share one *ground* subject —
+/// the one case where scattering is pure waste and the router can route to
+/// a single shard.
+fn ground_subject_shard(query: &SelectQuery, shards: usize) -> Option<usize> {
+    if !single_subject(query) {
+        return None;
+    }
+    match &query.pattern.triples.first()?.subject {
+        TermPattern::Term(t) => Some(sapphire_rdf::shard_of(t, shards)),
+        TermPattern::Var(_) => None,
+    }
+}
+
+/// The sharded multi-tier edge router. See the module docs.
+pub struct ClusterRouter {
+    cluster: Cluster,
+    config: ClusterConfig,
+    k: usize,
+    completion_cache: ShardedResponseCache<MergedCompletion>,
+    run_cache: ShardedResponseCache<ClusterRunPayload>,
+    tenants: sapphire_server::admission::TenantBudgets,
+    completion_coalescer: Coalescer<MergedCompletion, ClusterError>,
+    run_coalescer: Coalescer<ClusterRunPayload, ClusterError>,
+    service_coalescer: Coalescer<QueryResult, ClusterError>,
+    counters: Counters,
+}
+
+impl ClusterRouter {
+    /// Stand an edge router in front of a cluster.
+    pub fn new(cluster: Cluster, config: ClusterConfig) -> Self {
+        let shards = cluster.shard_count();
+        // Every replica of every shard shares one model config; the edge
+        // presents the same top-k the shards compute.
+        let k = cluster.replicas(0)[0].model().config().k;
+        ClusterRouter {
+            tenants: sapphire_server::admission::TenantBudgets::new(config.tenant_window_budget),
+            completion_cache: ShardedResponseCache::new(
+                config.cache_shards,
+                config.cache_capacity_per_shard,
+            ),
+            run_cache: ShardedResponseCache::new(
+                config.cache_shards,
+                config.cache_capacity_per_shard,
+            ),
+            completion_coalescer: Coalescer::new(
+                config.cache_shards,
+                config.coalesce_waiters_per_key,
+            ),
+            run_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
+            service_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
+            counters: Counters::new(shards),
+            k,
+            cluster,
+            config,
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Charge `cost` edge work units to `tenant` (typed
+    /// [`ClusterError::EdgeRejected`] when the window budget is exhausted).
+    /// Runs before the edge caches so a cached request still consumes quota
+    /// — budgets are request-denominated, exactly as on the shards.
+    fn charge(&self, tenant: &str, cost: u64) -> Result<(), ClusterError> {
+        self.tenants
+            .charge(tenant, cost)
+            .map_err(ClusterError::EdgeRejected)
+    }
+
+    fn run_cost(&self, query: &SelectQuery) -> u64 {
+        self.config.run_base_cost
+            + self.config.run_per_pattern_cost * query.pattern.triples.len() as u64
+    }
+
+    /// The edge work charged to `tenant` in the current window.
+    pub fn tenant_usage(&self, tenant: &str) -> u64 {
+        self.tenants.used(tenant)
+    }
+
+    /// Start a fresh edge budget accounting window.
+    pub fn reset_budget_window(&self) {
+        self.tenants.reset_window();
+    }
+
+    /// Observability snapshot.
+    pub fn metrics(&self) -> ClusterMetrics {
+        ClusterMetrics {
+            fanout_per_shard: self
+                .counters
+                .fanout
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            hedges_fired: self.counters.hedges_fired.load(Ordering::Relaxed),
+            hedges_won: self.counters.hedges_won.load(Ordering::Relaxed),
+            replica_retries: self.counters.replica_retries.load(Ordering::Relaxed),
+            rejected_after_retry: self.counters.rejected_after_retry.load(Ordering::Relaxed),
+            merges: self.counters.merges.load(Ordering::Relaxed),
+            merge_depth_max: self.counters.merge_depth_max.load(Ordering::Relaxed),
+            completion_cache: self.completion_cache.stats(),
+            run_cache: self.run_cache.stats(),
+            edge_coalesced_hits: self.counters.edge_coalesced_hits.load(Ordering::Relaxed),
+            edge_coalesce_leaders: self.counters.edge_coalesce_leaders.load(Ordering::Relaxed),
+        }
+    }
+
+    // --- QCM ---------------------------------------------------------------
+
+    /// Cluster QCM: scatter the completion to every shard, merge the ranked
+    /// lists into the canonical top-k. Edge-cached and edge-coalesced by the
+    /// same normalized key the shards use.
+    pub fn complete(&self, tenant: &str, term: &str) -> Result<ClusterCompletion, ClusterError> {
+        self.charge(tenant, self.config.completion_cost)?;
+        let key = completion_request_key(term);
+        if let Some(hit) = self.completion_cache.get(&key) {
+            return Ok(hit.to_completion(true));
+        }
+        match self.completion_coalescer.join(&key) {
+            Join::Leader(token) => {
+                if let Some(hit) = self.completion_cache.peek(&key) {
+                    self.counters
+                        .edge_coalesced_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    token.complete(Ok(hit.clone()));
+                    return Ok(hit.to_completion(true));
+                }
+                self.counters
+                    .edge_coalesce_leaders
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.scatter_complete(tenant, term) {
+                    Ok(payload) => {
+                        let shared = self.completion_cache.insert(key, payload);
+                        token.complete(Ok(shared.clone()));
+                        Ok(shared.to_completion(false))
+                    }
+                    Err(e) => {
+                        token.complete(Err(e.clone()));
+                        Err(e)
+                    }
+                }
+            }
+            Join::Follower(outcome) => match outcome {
+                Ok(shared) => {
+                    self.counters
+                        .edge_coalesced_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(shared.to_completion(true))
+                }
+                // The leader died on its own tenant's quota; ours may be
+                // fine — scatter for ourselves instead of inheriting it.
+                Err(e) if tenant_scoped(&e) => self.scatter_complete(tenant, term).map(|payload| {
+                    self.completion_cache
+                        .insert(key, payload)
+                        .to_completion(false)
+                }),
+                Err(e) => Err(e),
+            },
+            Join::Bypass => self.scatter_complete(tenant, term).map(|payload| {
+                self.completion_cache
+                    .insert(key, payload)
+                    .to_completion(false)
+            }),
+        }
+    }
+
+    fn scatter_complete(&self, tenant: &str, term: &str) -> Result<MergedCompletion, ClusterError> {
+        let fetch = match self.config.completion_fetch {
+            0 => usize::MAX,
+            depth => depth,
+        };
+        let replies = self.scatter(
+            &ShardRequest::Complete {
+                tenant: tenant.to_string(),
+                term: term.to_string(),
+                fetch,
+            },
+            None,
+        )?;
+        let lists: Vec<Vec<Completion>> = replies
+            .into_iter()
+            .map(|reply| match reply {
+                ShardReply::Completion(c) => c.suggestions,
+                _ => unreachable!("complete scatter yields completion replies"),
+            })
+            .collect();
+        let merge_depth = lists.len();
+        self.counters.record_merge(merge_depth);
+        Ok(MergedCompletion {
+            suggestions: merge_completions(lists, self.k),
+            merge_depth,
+        })
+    }
+
+    // --- QSM / run ---------------------------------------------------------
+
+    /// Cluster QSM + execution: scatter the (slice-stripped) query to every
+    /// shard, merge answers exactly (union for subject stars, recount for
+    /// the session COUNT shape, federated bound join for patterns spanning
+    /// shards), merge suggestions deterministically, and re-prefetch every
+    /// surviving suggestion's answers cluster-wide.
+    pub fn run(&self, tenant: &str, query: &SelectQuery) -> Result<ClusterRun, ClusterError> {
+        self.charge(tenant, self.run_cost(query))?;
+        let key = run_request_key(query);
+        if let Some(hit) = self.run_cache.get(&key) {
+            return Ok(run_from(hit, true));
+        }
+        match self.run_coalescer.join(&key) {
+            Join::Leader(token) => {
+                if let Some(hit) = self.run_cache.peek(&key) {
+                    self.counters
+                        .edge_coalesced_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    token.complete(Ok(hit.clone()));
+                    return Ok(run_from(hit, true));
+                }
+                self.counters
+                    .edge_coalesce_leaders
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.scatter_run(tenant, query) {
+                    Ok(payload) => {
+                        let shared = self.run_cache.insert(key, payload);
+                        token.complete(Ok(shared.clone()));
+                        Ok(run_from(shared, false))
+                    }
+                    Err(e) => {
+                        token.complete(Err(e.clone()));
+                        Err(e)
+                    }
+                }
+            }
+            Join::Follower(outcome) => match outcome {
+                Ok(shared) => {
+                    self.counters
+                        .edge_coalesced_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(run_from(shared, true))
+                }
+                // Leader failed on its own tenant's quota — scatter for
+                // ourselves rather than inheriting a rejection that does
+                // not apply to our tenant.
+                Err(e) if tenant_scoped(&e) => self
+                    .scatter_run(tenant, query)
+                    .map(|payload| run_from(self.run_cache.insert(key, payload), false)),
+                Err(e) => Err(e),
+            },
+            Join::Bypass => self
+                .scatter_run(tenant, query)
+                .map(|payload| run_from(self.run_cache.insert(key, payload), false)),
+        }
+    }
+
+    fn scatter_run(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+    ) -> Result<ClusterRunPayload, ClusterError> {
+        if count_shape(query).is_none() && (query.has_aggregates() || !query.group_by.is_empty()) {
+            return Err(ClusterError::Unsupported(
+                "aggregates beyond a single COUNT over a sharded pattern".into(),
+            ));
+        }
+        // Scatter the *star-projected* query: shards return full bindings,
+        // which is exactly what the exact merge needs (see `merge_bindings`)
+        // — so the per-shard execution is paid once, not once for the run
+        // and again for the answers. QSM candidate generation only reads
+        // the pattern, so the projection change costs the suggestions
+        // nothing (rewrites are grafted back onto the original query below).
+        let star = star_pattern_query(query);
+        let replies = self.scatter(
+            &ShardRequest::Run {
+                tenant: tenant.to_string(),
+                query: star.clone(),
+            },
+            None,
+        )?;
+        let payloads: Vec<Arc<sapphire_server::RunPayload>> = replies
+            .into_iter()
+            .map(|reply| match reply {
+                ShardReply::Run(p) => p,
+                _ => unreachable!("run scatter yields run replies"),
+            })
+            .collect();
+        let executed = payloads.iter().all(|p| p.executed);
+
+        // Answers: the scattered star bindings merge exactly for subject
+        // stars; patterns spanning shards still need the federated bound
+        // join (the per-shard bindings lack the cross-shard join rows).
+        let answers = if single_subject(query) {
+            let lists: Vec<Solutions> = payloads.iter().map(|p| p.answers.clone()).collect();
+            self.counters.record_merge(lists.len());
+            if let Some((var, distinct, alias)) = count_shape(query) {
+                let rows = merge_bindings(&star, lists);
+                count_rows(&rows, &var, distinct, &alias)
+            } else {
+                merge_bindings(query, lists)
+            }
+        } else {
+            self.cluster_answers(tenant, query)?
+        };
+
+        // Alternatives: merge the *unfiltered* candidate lists (a shard
+        // cannot apply the "returns answers" cut — a rewrite whose answers
+        // live on other shards would be dropped by everyone), graft each
+        // rewrite back onto the original (unsliced) query, re-prefetch
+        // cluster-wide, and apply the cut at the edge.
+        let candidate_lists: Vec<Vec<TermAlternative>> = payloads
+            .iter()
+            .map(|p| (*p.suggestions.candidates).clone())
+            .collect();
+        self.counters.record_merge(candidate_lists.len());
+        let mut candidates = dedup_alternatives(candidate_lists);
+        sort_alternatives(&mut candidates);
+        let half = (self.k / 2).max(1);
+        let (mut predicates, mut literals) = (0usize, 0usize);
+        let mut alternatives = Vec::new();
+        for mut cand in candidates {
+            // Canonical order lets the edge stop prefetching a kind once its
+            // k/2 presentation slots are full — the same early exit the
+            // single-box Algorithm 2 takes.
+            let slots = match cand.position {
+                AlteredPosition::Predicate => &mut predicates,
+                AlteredPosition::Object => &mut literals,
+            };
+            if *slots >= half {
+                continue;
+            }
+            let mut rebuilt = query.clone();
+            let altered = &cand.query.pattern.triples[cand.triple_index];
+            match cand.position {
+                AlteredPosition::Predicate => {
+                    rebuilt.pattern.triples[cand.triple_index].predicate =
+                        altered.predicate.clone();
+                }
+                AlteredPosition::Object => {
+                    rebuilt.pattern.triples[cand.triple_index].object = altered.object.clone();
+                }
+            }
+            // A shed prefetch fails the whole run, typed and retryable,
+            // rather than silently dropping the candidate: a degraded
+            // suggestion list would make identical requests produce
+            // different bytes depending on transient load, which is
+            // exactly what the merge contract forbids.
+            let answers = self.cluster_answers(tenant, &rebuilt)?;
+            if answers.is_empty() {
+                continue;
+            }
+            match cand.position {
+                AlteredPosition::Predicate => predicates += 1,
+                AlteredPosition::Object => literals += 1,
+            }
+            cand.query = rebuilt;
+            cand.answers = answers;
+            alternatives.push(cand);
+        }
+
+        // Relaxations: dedup by relaxed-query identity, prefer complete
+        // trees, keep the canonical best, re-prefetch cluster-wide.
+        let mut relaxed: Vec<StructureSuggestion> = payloads
+            .iter()
+            .flat_map(|p| p.suggestions.relaxations.clone())
+            .collect();
+        relaxed.sort_by(|a, b| {
+            b.relaxed.complete.cmp(&a.relaxed.complete).then_with(|| {
+                run_request_key(&a.relaxed.query).cmp(&run_request_key(&b.relaxed.query))
+            })
+        });
+        relaxed.dedup_by(|later, first| {
+            run_request_key(&later.relaxed.query) == run_request_key(&first.relaxed.query)
+        });
+        relaxed.truncate(1);
+        let mut relaxations = Vec::new();
+        for mut suggestion in relaxed {
+            let answers = self.cluster_answers(tenant, &suggestion.relaxed.query)?;
+            if answers.is_empty() {
+                continue;
+            }
+            suggestion.answers = answers;
+            relaxations.push(suggestion);
+        }
+
+        Ok(ClusterRunPayload {
+            answers,
+            executed,
+            alternatives,
+            relaxations,
+        })
+    }
+
+    /// The exact cluster-wide answer set of one SELECT: targeted single-shard
+    /// routing for ground-subject stars, scatter + full-binding merge for
+    /// variable-subject stars, edge recount for the session COUNT shape, and
+    /// a federated bound join over one replica per shard for patterns
+    /// spanning shards.
+    fn cluster_answers(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+    ) -> Result<Solutions, ClusterError> {
+        if let Some((var, distinct, alias)) = count_shape(query) {
+            // Count over the *merged* full bindings: per-shard counts cannot
+            // be summed for DISTINCT counts, so the edge counts once.
+            let star = star_pattern_query(query);
+            let lists = self.binding_lists(tenant, &star)?;
+            self.counters.record_merge(lists.len());
+            let rows = merge_bindings(&star, lists);
+            return Ok(count_rows(&rows, &var, distinct, &alias));
+        }
+        if query.has_aggregates() || !query.group_by.is_empty() {
+            return Err(ClusterError::Unsupported(
+                "aggregates beyond a single COUNT over a sharded pattern".into(),
+            ));
+        }
+        let lists = self.binding_lists(tenant, &star_pattern_query(query))?;
+        self.counters.record_merge(lists.len());
+        Ok(merge_bindings(query, lists))
+    }
+
+    /// Full-binding (`SELECT *`, no slice) row lists for a query's pattern,
+    /// one per consulted shard. Scattering star projections is what lets
+    /// [`merge_bindings`] deduplicate schema-slice replicas exactly (see its
+    /// docs); the cross-shard bound join contributes one pre-joined list.
+    fn binding_lists(
+        &self,
+        tenant: &str,
+        star: &SelectQuery,
+    ) -> Result<Vec<Solutions>, ClusterError> {
+        if single_subject(star) {
+            let target = ground_subject_shard(star, self.cluster.shard_count());
+            let replies = self.scatter(
+                &ShardRequest::Raw {
+                    tenant: tenant.to_string(),
+                    query: Query::Select(star.clone()),
+                },
+                target,
+            )?;
+            Ok(replies
+                .into_iter()
+                .map(|reply| match reply {
+                    ShardReply::Raw(QueryResult::Solutions(s)) => s,
+                    _ => Solutions::default(),
+                })
+                .collect())
+        } else {
+            Ok(vec![self.federated_rows(tenant, star)?])
+        }
+    }
+
+    /// Cross-shard fallback: a federated bound join over one (least-loaded)
+    /// replica endpoint per shard, via the partition-safe
+    /// [`execute_partitioned`](sapphire_endpoint::FederatedProcessor::execute_partitioned)
+    /// path (the covering-endpoint shortcut is unsound over shards of one
+    /// dataset). Admission control and budgets still hold at every shard —
+    /// the endpoints are the servers themselves.
+    fn federated_rows(&self, tenant: &str, query: &SelectQuery) -> Result<Solutions, ClusterError> {
+        let mut fed = sapphire_endpoint::FederatedProcessor::new();
+        for shard in 0..self.cluster.shard_count() {
+            let order = self.replica_order(shard);
+            self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
+            fed.register(Arc::new(ServiceEndpoint::new(
+                self.cluster.replicas(shard)[order[0]].clone(),
+                tenant,
+            )));
+        }
+        // The federated plan spans every shard, so a failure here cannot be
+        // pinned on one shard index — it surfaces as the dedicated
+        // cross-shard variant (still typed: back-pressure stays a
+        // rejection).
+        fed.execute_partitioned(query)
+            .map_err(|e| ClusterError::CrossShard {
+                error: sapphire_server::error::from_federation(e),
+            })
+    }
+
+    // --- Routing core ------------------------------------------------------
+
+    /// Scatter one request: to every shard (`target == None`) or to a single
+    /// home shard. Shards are called concurrently; the gather preserves
+    /// shard order, so merges never depend on completion order.
+    fn scatter(
+        &self,
+        req: &ShardRequest,
+        target: Option<usize>,
+    ) -> Result<Vec<ShardReply>, ClusterError> {
+        if let Some(shard) = target {
+            return Ok(vec![self.call_shard(shard, req)?]);
+        }
+        let shards = self.cluster.shard_count();
+        if shards == 1 {
+            return Ok(vec![self.call_shard(0, req)?]);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| scope.spawn(move || self.call_shard(shard, req)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard call never panics"))
+                .collect()
+        })
+    }
+
+    /// Replica indices of one shard in ascending admission-load order
+    /// (ties by index) — the load-aware routing decision.
+    fn replica_order(&self, shard: usize) -> Vec<usize> {
+        let replicas = self.cluster.replicas(shard);
+        let mut order: Vec<usize> = (0..replicas.len()).collect();
+        order.sort_by_key(|&i| {
+            let (in_flight, queued) = replicas[i].admission_load();
+            (in_flight + queued, i)
+        });
+        order
+    }
+
+    /// One shard call under the full routing policy: load-ordered replica
+    /// choice, hedging, and typed bounded retry with failover.
+    fn call_shard(&self, shard: usize, req: &ShardRequest) -> Result<ShardReply, ClusterError> {
+        let order = self.replica_order(shard);
+        let replicas = self.cluster.replicas(shard);
+        let mut attempt: u32 = 0;
+        loop {
+            self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
+            let primary = order[attempt as usize % order.len()];
+            let result = match (self.config.hedge_after, order.len() > 1) {
+                (Some(budget), true) => {
+                    let secondary = order[(attempt as usize + 1) % order.len()];
+                    self.call_hedged(shard, replicas, primary, secondary, budget, req)
+                }
+                _ => call_replica(&replicas[primary], req),
+            };
+            match result {
+                Ok(reply) => return Ok(reply),
+                Err(e) if is_retryable(&e) => {
+                    if attempt >= self.config.backoff.max_retries {
+                        self.counters
+                            .rejected_after_retry
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(ClusterError::ShardUnavailable { shard, last: e });
+                    }
+                    self.counters
+                        .replica_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(
+                        self.config
+                            .backoff
+                            .wait_for(attempt, &as_endpoint_error(&e)),
+                    );
+                    attempt += 1;
+                }
+                Err(e) => return Err(ClusterError::Shard { shard, error: e }),
+            }
+        }
+    }
+
+    /// Fire at `primary`; if it does not answer within `budget`, fire the
+    /// same request at `secondary` and take the first reply (preferring a
+    /// success when both eventually answer). The slower call keeps running
+    /// detached — it holds its own admission slot, exactly the cost hedging
+    /// is priced at.
+    fn call_hedged(
+        &self,
+        shard: usize,
+        replicas: &[Arc<SapphireServer>],
+        primary: usize,
+        secondary: usize,
+        budget: Duration,
+        req: &ShardRequest,
+    ) -> Result<ShardReply, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        let spawn_call = |replica: usize, hedged: bool| {
+            let server = replicas[replica].clone();
+            let req = req.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send((hedged, call_replica(&server, &req)));
+            });
+        };
+        spawn_call(primary, false);
+        match rx.recv_timeout(budget) {
+            Ok((_, reply)) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.counters.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                // The hedge is a real extra shard call; the fan-out counter
+                // must see it (its doc promises hedges are included).
+                self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
+                spawn_call(secondary, true);
+                let (first_hedged, first) = rx.recv().expect("a replica call always replies");
+                match first {
+                    Ok(reply) => {
+                        if first_hedged {
+                            self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(reply)
+                    }
+                    // The first reply failed; the other call is still due.
+                    Err(first_err) => match rx.recv() {
+                        Ok((second_hedged, Ok(reply))) => {
+                            if second_hedged {
+                                self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(reply)
+                        }
+                        _ => Err(first_err),
+                    },
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("sender lives in the spawned call")
+            }
+        }
+    }
+}
+
+/// The raw SPARQL surface of the cluster: the router is itself a
+/// [`QueryService`], so a further edge tier can federate over the whole
+/// cluster through a [`ServiceEndpoint`] — multi-tier topologies compose.
+/// Identical in-flight queries coalesce at this tier by
+/// [`query_fingerprint`], the same key every other tier uses.
+impl QueryService for ClusterRouter {
+    fn service_name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn execute_query(&self, tenant: &str, query: &Query) -> Result<QueryResult, ServiceError> {
+        let cost = match query {
+            Query::Select(select) => self.run_cost(select),
+            Query::Ask(pattern) => {
+                self.config.run_base_cost
+                    + self.config.run_per_pattern_cost * pattern.triples.len() as u64
+            }
+        };
+        self.charge(tenant, cost)
+            .map_err(ClusterError::into_service_error)?;
+        let key = query_fingerprint(query);
+        let execute = |tenant: &str, query: &Query| -> Result<QueryResult, ClusterError> {
+            match query {
+                Query::Select(select) => self
+                    .cluster_answers(tenant, select)
+                    .map(QueryResult::Solutions),
+                Query::Ask(pattern) => {
+                    let probe = SelectQuery::star(pattern.clone());
+                    if single_subject(&probe) {
+                        let target = ground_subject_shard(&probe, self.cluster.shard_count());
+                        let replies = self.scatter(
+                            &ShardRequest::Raw {
+                                tenant: tenant.to_string(),
+                                query: query.clone(),
+                            },
+                            target,
+                        )?;
+                        let any = replies
+                            .iter()
+                            .any(|r| matches!(r, ShardReply::Raw(QueryResult::Boolean(true))));
+                        Ok(QueryResult::Boolean(any))
+                    } else {
+                        let rows = self.federated_rows(
+                            tenant,
+                            &SelectQuery {
+                                limit: Some(1),
+                                ..SelectQuery::star(pattern.clone())
+                            },
+                        )?;
+                        Ok(QueryResult::Boolean(!rows.is_empty()))
+                    }
+                }
+            }
+        };
+        match self.service_coalescer.join(&key) {
+            Join::Leader(token) => {
+                self.counters
+                    .edge_coalesce_leaders
+                    .fetch_add(1, Ordering::Relaxed);
+                let outcome = execute(tenant, query).map(Arc::new);
+                token.complete(outcome.clone());
+                outcome
+                    .map(|shared| (*shared).clone())
+                    .map_err(ClusterError::into_service_error)
+            }
+            Join::Follower(outcome) => {
+                self.counters
+                    .edge_coalesced_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                outcome
+                    .map(|shared| (*shared).clone())
+                    .map_err(ClusterError::into_service_error)
+            }
+            Join::Bypass => execute(tenant, query).map_err(ClusterError::into_service_error),
+        }
+    }
+}

@@ -102,6 +102,30 @@ impl PredictiveUserModel {
         Ok(Self::from_cache(cache, lexicon, fed, config, init_stats))
     }
 
+    /// Build a PUM over one in-process graph — the shard-local construction
+    /// path of a partitioned deployment.
+    ///
+    /// A cluster tier splits a dataset with
+    /// [`sapphire_rdf::Partitioner`](sapphire_rdf::partition::Partitioner)
+    /// and stands up one model per shard; each shard's PUM sees only its
+    /// shard-local graph (data slice + replicated schema slice), wrapped in a
+    /// [`LocalEndpoint`](sapphire_endpoint::LocalEndpoint) and taken through
+    /// the same §5 initialization a single-box deployment runs. The caches
+    /// it assembles are therefore shard-local too: literals live in exactly
+    /// the shard that holds their subject's star.
+    pub fn initialize_local(
+        name: impl Into<String>,
+        graph: sapphire_rdf::Graph,
+        limits: sapphire_endpoint::EndpointLimits,
+        lexicon: Lexicon,
+        config: SapphireConfig,
+        mode: InitMode,
+    ) -> Result<Self, PumError> {
+        let ep: Arc<dyn Endpoint> =
+            Arc::new(sapphire_endpoint::LocalEndpoint::new(name, graph, limits));
+        Self::initialize(vec![ep], lexicon, config, mode)
+    }
+
     /// Build a PUM from an already-assembled cache (used by benches that
     /// construct caches directly).
     pub fn from_cache(
@@ -148,6 +172,12 @@ impl PredictiveUserModel {
     /// Auto-complete the term being typed (QCM, invoked per keystroke).
     pub fn complete(&self, term: &str) -> CompletionResult {
         self.qcm.complete(term)
+    }
+
+    /// Auto-complete with an explicit result budget — see
+    /// [`QueryCompletion::complete_top`].
+    pub fn complete_top(&self, term: &str, k: usize) -> CompletionResult {
+        self.qcm.complete_top(term, k)
     }
 
     /// Execute a query and produce suggestions (the "Run" button).

@@ -69,6 +69,17 @@ impl QueryCompletion {
     ///
     /// Variables (strings starting with `?`) get no suggestions, per §6.1.
     pub fn complete(&self, t: &str) -> CompletionResult {
+        self.complete_top(t, self.config.k)
+    }
+
+    /// Complete with an explicit result budget `k` instead of the configured
+    /// one — the scatter-gather over-fetch hook. A cluster edge asks each
+    /// shard for a deeper (or unbounded, `usize::MAX`) list than users ever
+    /// see, because the global top-k selection is only exact when the edge
+    /// merge sees every shard-local match; the shard's own significance
+    /// ranking is computed from shard-local in-degrees and cannot drive the
+    /// global cut.
+    pub fn complete_top(&self, t: &str, k: usize) -> CompletionResult {
         let mut result = CompletionResult {
             suggestions: Vec::new(),
             tree_hit: false,
@@ -77,10 +88,9 @@ impl QueryCompletion {
             residual_candidates: 0,
         };
         let t = t.trim();
-        if t.is_empty() || t.starts_with('?') {
+        if t.is_empty() || t.starts_with('?') || k == 0 {
             return result;
         }
-        let k = self.config.k;
 
         // Stage 1: suffix tree. Matches "are returned to the user as soon as
         // they are found".

@@ -128,6 +128,33 @@ impl AlternativeFinder {
     /// predicate-alternative and `k/2` literal-alternative queries that
     /// return answers.
     pub fn suggest(&self, query: &SelectQuery, fed: &FederatedProcessor) -> Vec<TermAlternative> {
+        let (predicate_candidates, literal_candidates) = self.candidate_lists(query);
+        // Lines 23–24: top k/2 of each list *with answers*, prefetched.
+        let half = (self.config.k / 2).max(1);
+        let mut out = self.top_with_answers(&predicate_candidates, half, fed);
+        out.extend(self.top_with_answers(&literal_candidates, half, fed));
+        out
+    }
+
+    /// The ranked rewrite candidates of Algorithm 2 lines 1–14, *before*
+    /// execution: every similar predicate and literal, sorted by similarity,
+    /// with empty (not yet prefetched) answers. A cluster edge gathers these
+    /// from every shard and applies the "returns answers" cut itself,
+    /// against the *global* answer set — a shard cannot apply it locally,
+    /// because a rewrite whose answers live on other shards would be dropped
+    /// by everyone.
+    pub fn candidates(&self, query: &SelectQuery) -> Vec<TermAlternative> {
+        let (mut predicates, literals) = self.candidate_lists(query);
+        predicates.extend(literals);
+        predicates
+    }
+
+    /// Candidate generation shared by [`suggest`](Self::suggest) and
+    /// [`candidates`](Self::candidates): per-kind lists sorted by similarity.
+    pub(crate) fn candidate_lists(
+        &self,
+        query: &SelectQuery,
+    ) -> (Vec<TermAlternative>, Vec<TermAlternative>) {
         let mut predicate_candidates: Vec<TermAlternative> = Vec::new();
         let mut literal_candidates: Vec<TermAlternative> = Vec::new();
 
@@ -175,12 +202,7 @@ impl AlternativeFinder {
         };
         predicate_candidates.sort_by(by_score);
         literal_candidates.sort_by(by_score);
-
-        // Lines 23–24: top k/2 of each list *with answers*, prefetched.
-        let half = (self.config.k / 2).max(1);
-        let mut out = self.top_with_answers(predicate_candidates, half, fed);
-        out.extend(self.top_with_answers(literal_candidates, half, fed));
-        out
+        (predicate_candidates, literal_candidates)
     }
 
     /// Cached literals were retrieved with the configured language filter, so
@@ -195,22 +217,26 @@ impl AlternativeFinder {
         }
     }
 
-    fn top_with_answers(
+    /// Borrows the candidate slice and clones only the entries it keeps, so
+    /// callers can hand the full (shared) candidate list around without a
+    /// wholesale copy per scan.
+    pub(crate) fn top_with_answers(
         &self,
-        candidates: Vec<TermAlternative>,
+        candidates: &[TermAlternative],
         take: usize,
         fed: &FederatedProcessor,
     ) -> Vec<TermAlternative> {
-        let mut kept = Vec::new();
-        for mut cand in candidates {
+        let mut kept: Vec<TermAlternative> = Vec::new();
+        for cand in candidates {
             if kept.len() >= take {
                 break;
             }
             let result = fed.execute_parsed(&Query::Select(cand.query.clone()));
             if let Ok(QueryResult::Solutions(answers)) = result {
                 if !answers.is_empty() {
-                    cand.answers = answers;
-                    kept.push(cand);
+                    let mut kept_cand = cand.clone();
+                    kept_cand.answers = answers;
+                    kept.push(kept_cand);
                 }
             }
         }

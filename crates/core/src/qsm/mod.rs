@@ -41,6 +41,14 @@ pub struct QsmOutput {
     pub alternatives: Vec<TermAlternative>,
     /// Structure relaxations.
     pub relaxations: Vec<StructureSuggestion>,
+    /// Every ranked rewrite candidate *before* the "returns answers" cut
+    /// (answers not prefetched). A cluster edge merges these across shards
+    /// and applies the cut against the global answer set; single-box users
+    /// read [`alternatives`](Self::alternatives). Shared (`Arc`) because
+    /// `QsmOutput` is cloned per run request on the serving hot path and the
+    /// candidate list (one rewritten query per candidate) must stay a
+    /// pointer bump there.
+    pub candidates: Arc<Vec<TermAlternative>>,
     /// Wall-clock time spent producing the suggestions (§7.3.2 reports ~10 s
     /// on live DBpedia; ours is dominated by the simulated endpoint).
     pub elapsed: Duration,
@@ -81,7 +89,26 @@ impl QuerySuggestion {
     /// Produce suggestions for an executed query.
     pub fn suggest(&self, query: &SelectQuery, fed: &FederatedProcessor) -> QsmOutput {
         let start = Instant::now();
-        let alternatives = self.finder.suggest(query, fed);
+        // Build the shared candidate list first (predicates lead, matching
+        // the presentation order), then prefetch by borrowing slices of it —
+        // the prefetch pass clones only the entries it keeps.
+        let (predicate_candidates, literal_candidates) = self.finder.candidate_lists(query);
+        let predicate_count = predicate_candidates.len();
+        let candidates: Arc<Vec<TermAlternative>> = Arc::new(
+            predicate_candidates
+                .into_iter()
+                .chain(literal_candidates)
+                .collect(),
+        );
+        let half = (self.config.k / 2).max(1);
+        let mut alternatives =
+            self.finder
+                .top_with_answers(&candidates[..predicate_count], half, fed);
+        alternatives.extend(self.finder.top_with_answers(
+            &candidates[predicate_count..],
+            half,
+            fed,
+        ));
 
         // Structure relaxation: seed groups are each query literal plus its
         // top k−1 alternatives (Algorithm 3 line 3).
@@ -122,6 +149,7 @@ impl QuerySuggestion {
         QsmOutput {
             alternatives,
             relaxations,
+            candidates,
             elapsed: start.elapsed(),
         }
     }

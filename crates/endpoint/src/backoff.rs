@@ -1,0 +1,292 @@
+//! Typed retry/backoff for overloaded services.
+//!
+//! [`EndpointError::Overloaded`] is back-pressure, not failure: the service
+//! is telling the caller to come back later. Before this module every caller
+//! hand-rolled that loop; [`Backoff`] is the one shared policy — bounded
+//! attempts, exponential delay, and the error's own
+//! [retry-after hint](EndpointError::retry_after) folded in — used by
+//! [`ServiceEndpoint`](crate::ServiceEndpoint) callers and the cluster
+//! router alike.
+
+use std::time::Duration;
+
+use crate::endpoint::{Endpoint, EndpointError};
+
+impl EndpointError {
+    /// The error's retry-after hint: how long the *rejecting side* suggests
+    /// waiting before a retry. `Some` only for back-pressure rejections.
+    ///
+    /// An overloaded service with more requests in flight suggests a longer
+    /// wait (1ms per in-flight request, floored at 1ms, capped at 50ms) —
+    /// a crude but monotone congestion signal. Everything else (`Timeout`,
+    /// `Rejected`, parse/eval errors) is not retryable as-is: retrying the
+    /// same query against the same limits fails the same way.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            EndpointError::Overloaded { in_flight } => {
+                Some(Duration::from_millis((*in_flight as u64).clamp(1, 50)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A bounded exponential backoff policy for typed overload rejections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Retries after the initial attempt (`0` = try once, never retry).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles per subsequent retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            max_retries: 3,
+            base: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Backoff {
+    /// A policy that never retries (useful to disable retry in one place
+    /// without restructuring the call site).
+    pub fn none() -> Self {
+        Backoff {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based): `base * 2^attempt`
+    /// capped at [`max_delay`](Self::max_delay).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        exp.min(self.max_delay)
+    }
+
+    /// The actual wait before retry `attempt` given the rejection `error`:
+    /// the larger of the policy's exponential delay and the error's own
+    /// retry-after hint.
+    pub fn wait_for(&self, attempt: u32, error: &EndpointError) -> Duration {
+        let hint = error.retry_after().unwrap_or(Duration::ZERO);
+        self.delay(attempt).max(hint).min(self.max_delay)
+    }
+
+    /// Run `op` with this policy: retry (sleeping [`wait_for`](Self::wait_for))
+    /// while it fails with a back-pressure rejection that carries a
+    /// retry-after hint, up to `max_retries` retries. Non-retryable errors
+    /// and exhausted budgets return the last error unchanged, so callers
+    /// still see the typed rejection.
+    ///
+    /// `op` receives the 0-based attempt number, letting callers vary the
+    /// target per attempt (the cluster router fails over to another replica).
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, EndpointError>,
+    ) -> Result<T, EndpointError> {
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= self.max_retries || e.retry_after().is_none() {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.wait_for(attempt, &e));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Execute a parsed query against `endpoint` under this policy — the
+    /// common "call a possibly-overloaded [`ServiceEndpoint`]" shape.
+    ///
+    /// [`ServiceEndpoint`]: crate::ServiceEndpoint
+    pub fn execute_parsed(
+        &self,
+        endpoint: &dyn Endpoint,
+        query: &sapphire_sparql::Query,
+    ) -> Result<sapphire_sparql::QueryResult, EndpointError> {
+        self.run(|_| endpoint.execute_parsed(query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn overloaded(in_flight: usize) -> EndpointError {
+        EndpointError::Overloaded { in_flight }
+    }
+
+    #[test]
+    fn retry_after_hint_only_for_overload() {
+        assert_eq!(
+            overloaded(3).retry_after(),
+            Some(Duration::from_millis(3)),
+            "hint scales with in-flight count"
+        );
+        assert_eq!(
+            overloaded(0).retry_after(),
+            Some(Duration::from_millis(1)),
+            "floored so a hint is never zero"
+        );
+        assert_eq!(
+            overloaded(10_000).retry_after(),
+            Some(Duration::from_millis(50)),
+            "capped"
+        );
+        assert_eq!(EndpointError::Timeout { work_used: 9 }.retry_after(), None);
+        assert_eq!(
+            EndpointError::Rejected { estimated_cost: 9 }.retry_after(),
+            None
+        );
+        assert_eq!(EndpointError::Parse("x".into()).retry_after(), None);
+    }
+
+    #[test]
+    fn delays_are_exponential_and_capped() {
+        let b = Backoff {
+            max_retries: 8,
+            base: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+        };
+        assert_eq!(b.delay(0), Duration::from_millis(2));
+        assert_eq!(b.delay(1), Duration::from_millis(4));
+        assert_eq!(b.delay(2), Duration::from_millis(8));
+        assert_eq!(b.delay(3), Duration::from_millis(10), "capped");
+        assert_eq!(b.delay(60), Duration::from_millis(10), "no shift overflow");
+    }
+
+    #[test]
+    fn wait_takes_the_larger_of_delay_and_hint() {
+        let b = Backoff {
+            max_retries: 3,
+            base: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+        };
+        // Hint (7ms) dominates the first delay (1ms)…
+        assert_eq!(b.wait_for(0, &overloaded(7)), Duration::from_millis(7));
+        // …the exponential delay dominates once it catches up.
+        assert_eq!(b.wait_for(4, &overloaded(7)), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn run_retries_overload_until_success() {
+        let calls = AtomicU32::new(0);
+        let b = Backoff {
+            max_retries: 5,
+            base: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+        };
+        let result = b.run(|attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if attempt < 2 {
+                Err(overloaded(1))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result, Ok(2));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn run_gives_up_after_budget_with_the_typed_error() {
+        let calls = AtomicU32::new(0);
+        let b = Backoff {
+            max_retries: 2,
+            base: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+        };
+        let result: Result<(), _> = b.run(|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(overloaded(4))
+        });
+        assert_eq!(result, Err(overloaded(4)), "last typed error surfaces");
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "1 attempt + 2 retries");
+    }
+
+    #[test]
+    fn run_never_retries_non_retryable_errors() {
+        let calls = AtomicU32::new(0);
+        let result: Result<(), _> = Backoff::default().run(|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(EndpointError::Timeout { work_used: 1 })
+        });
+        assert_eq!(result, Err(EndpointError::Timeout { work_used: 1 }));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn none_policy_tries_exactly_once() {
+        let calls = AtomicU32::new(0);
+        let result: Result<(), _> = Backoff::none().run(|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(overloaded(1))
+        });
+        assert!(result.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn execute_parsed_retries_an_overloaded_service_endpoint() {
+        use crate::endpoint::{EndpointLimits, LocalEndpoint};
+        use crate::service::{QueryService, ServiceEndpoint, ServiceError};
+        use sapphire_sparql::{parse_query, Query, QueryResult};
+        use std::sync::Arc;
+
+        // Sheds the first N requests, then answers — the shape a briefly
+        // saturated admission gate presents.
+        struct Shedding {
+            inner: LocalEndpoint,
+            remaining: AtomicU32,
+        }
+        impl QueryService for Shedding {
+            fn service_name(&self) -> &str {
+                "shedding"
+            }
+            fn execute_query(
+                &self,
+                _tenant: &str,
+                query: &Query,
+            ) -> Result<QueryResult, ServiceError> {
+                if self
+                    .remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err(ServiceError::Overloaded {
+                        in_flight: 2,
+                        queue_depth: 0,
+                    });
+                }
+                self.inner
+                    .execute_parsed(query)
+                    .map_err(ServiceError::Backend)
+            }
+        }
+
+        let g = sapphire_rdf::turtle::parse("res:A a dbo:Thing .").unwrap();
+        let service = Arc::new(Shedding {
+            inner: LocalEndpoint::new("inner", g, EndpointLimits::warehouse()),
+            remaining: AtomicU32::new(2),
+        });
+        let ep = ServiceEndpoint::new(service, "tenant");
+        let q = parse_query("SELECT ?s WHERE { ?s a dbo:Thing }").unwrap();
+        let policy = Backoff {
+            max_retries: 3,
+            base: Duration::from_micros(10),
+            max_delay: Duration::from_micros(100),
+        };
+        let result = policy.execute_parsed(&ep, &q).unwrap();
+        assert!(matches!(result, QueryResult::Solutions(s) if s.len() == 1));
+    }
+}

@@ -188,6 +188,41 @@ impl FederatedProcessor {
         Ok(QueryResult::Solutions(solutions))
     }
 
+    /// Execute a SELECT strictly by per-pattern source selection plus a
+    /// bound join, *skipping* the covering-endpoint shortcut.
+    ///
+    /// For independent datasets the shortcut is a pure optimization, but for
+    /// **partitioned** backends — every endpoint holding a slice of one
+    /// dataset — it is unsound: a shard can match every pattern individually
+    /// (schema triples are replicated; popular predicates appear everywhere)
+    /// while the join still spans shards, and its non-empty shard-local
+    /// answer would mask the rows that need the cross-shard join. The
+    /// cluster router routes every pattern-spanning query through this
+    /// method instead.
+    pub fn execute_partitioned(&self, select: &SelectQuery) -> Result<Solutions, FederationError> {
+        if self.endpoints.is_empty() {
+            return Err(FederationError::NoEndpoints);
+        }
+        if select.has_aggregates() || !select.group_by.is_empty() {
+            return Err(FederationError::Unsupported(
+                "aggregates over partitioned patterns".into(),
+            ));
+        }
+        let gp = &select.pattern;
+        if gp.triples.is_empty() {
+            return Err(FederationError::Unsupported("empty graph pattern".into()));
+        }
+        let sources = self.select_sources(gp);
+        let (var_order, rows) = self.bound_join(gp, &sources, None)?;
+        let mut solutions = project_rows(select, &var_order, rows);
+        if select.distinct {
+            dedup(&mut solutions.rows);
+        }
+        sort_rows(&mut solutions, select);
+        apply_slice(&mut solutions, select);
+        Ok(solutions)
+    }
+
     /// Run the whole query on each covering endpoint and union the rows.
     fn union_over(
         &self,

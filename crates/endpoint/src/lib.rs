@@ -33,10 +33,12 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod endpoint;
 pub mod federation;
 pub mod service;
 
+pub use backoff::Backoff;
 pub use endpoint::{Endpoint, EndpointError, EndpointLimits, EndpointStats, LocalEndpoint};
 pub use federation::{FederatedProcessor, FederationError};
 pub use service::{query_fingerprint, QueryService, ServiceEndpoint, ServiceError};

@@ -42,6 +42,7 @@
 pub mod graph;
 pub mod interner;
 pub mod ntriples;
+pub mod partition;
 pub mod schema;
 pub mod term;
 pub mod turtle;
@@ -49,5 +50,6 @@ pub mod vocab;
 
 pub use graph::{Graph, IdTriple};
 pub use interner::{FnvMap, Interner, TermId};
+pub use partition::{shard_of, Partition, Partitioner};
 pub use schema::ClassHierarchy;
 pub use term::{Literal, Term};

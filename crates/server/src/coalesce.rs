@@ -141,6 +141,13 @@ impl<V, E> Coalescer<V, E> {
         }
     }
 
+    /// Keys with a live in-flight execution right now, across all shards —
+    /// the coalescer's shard occupancy. Cheap (one uncontended lock per
+    /// shard), so load probes and bench reports can poll it.
+    pub fn occupancy(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> CoalesceStats {
         CoalesceStats {

@@ -71,7 +71,7 @@ mod server;
 pub use coalesce::{CoalesceStats, Coalescer};
 pub use error::ServerError;
 pub use registry::{SessionEntry, SessionId, SessionRegistry};
-pub use server::{RunOutput, SapphireServer, ServerConfig, ServerMetrics};
+pub use server::{QueryRun, RunOutput, RunPayload, SapphireServer, ServerConfig, ServerMetrics};
 
 use sapphire_core::PredictiveUserModel;
 

@@ -127,6 +127,18 @@ pub struct ServerMetrics {
     /// of their own model scan (single-flight followers), across the QCM,
     /// QSM, and raw-query surfaces.
     pub coalesced_hits: u64,
+    /// The QCM-surface subset of [`coalesced_hits`](Self::coalesced_hits).
+    /// Such a request first logged a completion-cache *miss* (the cache
+    /// genuinely had no entry yet) and was then served from the in-flight
+    /// scan — so `completion_cache.hits + completion_coalesced_hits` over
+    /// total lookups is the fraction of completion requests served without
+    /// a model scan, independent of how requests happened to overlap.
+    pub completion_coalesced_hits: u64,
+    /// The QSM-run-surface subset of [`coalesced_hits`](Self::coalesced_hits)
+    /// (same reading as
+    /// [`completion_coalesced_hits`](Self::completion_coalesced_hits), for
+    /// the run cache).
+    pub run_coalesced_hits: u64,
     /// Model scans executed as single-flight leaders — for a burst of N
     /// identical cold requests this increments once, not N times.
     pub coalesce_leader_runs: u64,
@@ -155,6 +167,8 @@ struct Counters {
     rejected_queue_timeout: AtomicU64,
     rejected_quota: AtomicU64,
     coalesced_hits: AtomicU64,
+    coalesced_completion_hits: AtomicU64,
+    coalesced_run_hits: AtomicU64,
     coalesce_leader_runs: AtomicU64,
     coalesce_bypass_runs: AtomicU64,
 }
@@ -175,16 +189,31 @@ pub struct RunOutput {
     pub cached: bool,
 }
 
-/// What the run cache stores — the model-derived payload, not the
+/// What one run produces as a pure function of the query — the payload the
+/// run cache stores and single-flight leaders share, without any
 /// session-specific bookkeeping. Suggestions are shared (`Arc`) because they
 /// also land in `SessionEntry::last_suggestions`: committing them must be a
 /// pointer bump, not a deep copy of per-alternative answer sets under the
 /// session lock.
 #[derive(Debug)]
-struct CachedRun {
-    answers: Solutions,
-    executed: bool,
-    suggestions: Arc<QsmOutput>,
+pub struct RunPayload {
+    /// The query's answers (empty if execution failed).
+    pub answers: Solutions,
+    /// True if the query executed (even with zero answers).
+    pub executed: bool,
+    /// QSM suggestions for the query.
+    pub suggestions: Arc<QsmOutput>,
+}
+
+/// A run served through the sessionless [`SapphireServer::run_select`]
+/// surface — what a cluster edge router scatters over shard replicas.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// True if this request ran no model scan of its own (response-cache hit
+    /// or single-flight follower).
+    pub cached: bool,
+    /// The shared model-derived payload.
+    pub payload: Arc<RunPayload>,
 }
 
 /// A concurrent, multi-session Sapphire query service.
@@ -204,9 +233,9 @@ pub struct SapphireServer {
     admission: AdmissionController,
     tenants: TenantBudgets,
     completion_cache: ShardedResponseCache<CompletionResult>,
-    run_cache: ShardedResponseCache<CachedRun>,
+    run_cache: ShardedResponseCache<RunPayload>,
     completion_coalescer: Coalescer<CompletionResult, ServerError>,
-    run_coalescer: Coalescer<CachedRun, ServerError>,
+    run_coalescer: Coalescer<RunPayload, ServerError>,
     service_coalescer: Coalescer<QueryResult, ServerError>,
     counters: Counters,
 }
@@ -301,13 +330,57 @@ impl SapphireServer {
     /// counts them as `coalesced_hits`). Followers hold their admission slot
     /// while they wait, exactly as if they were running the scan themselves.
     pub fn complete(&self, id: SessionId, typed: &str) -> Result<CompletionResult, ServerError> {
+        // Count before the session lookup, exactly as `run` does: a burst of
+        // stale-session completions must stay visible in the request
+        // denominator. The inner path counts too, so delegate uncounted.
         self.counters
             .completion_requests
             .fetch_add(1, Ordering::Relaxed);
         let tenant = self.registry.get(id)?.lock().unwrap().tenant.clone();
+        self.complete_top_inner(&tenant, typed, self.pum.config().k)
+    }
+
+    /// QCM for a tenant *without* a session — the surface a cluster edge
+    /// router scatters over shard replicas, where the session state lives at
+    /// the edge and shards see only stateless (tenant, term) requests.
+    /// Identical admission control, budgets, caching, and coalescing as
+    /// [`complete`](Self::complete).
+    pub fn complete_for(&self, tenant: &str, typed: &str) -> Result<CompletionResult, ServerError> {
+        self.complete_top(tenant, typed, self.pum.config().k)
+    }
+
+    /// QCM with an explicit result budget — the cluster over-fetch surface
+    /// (see [`sapphire_core::qcm::QueryCompletion::complete_top`]). A
+    /// non-default budget gets its own response-cache/coalescing key, so a
+    /// deep edge fetch can never be served a user-depth cached list or vice
+    /// versa.
+    pub fn complete_top(
+        &self,
+        tenant: &str,
+        typed: &str,
+        k: usize,
+    ) -> Result<CompletionResult, ServerError> {
+        self.counters
+            .completion_requests
+            .fetch_add(1, Ordering::Relaxed);
+        self.complete_top_inner(tenant, typed, k)
+    }
+
+    /// [`complete_top`](Self::complete_top) without the request counter —
+    /// for callers that already counted (the session surface).
+    fn complete_top_inner(
+        &self,
+        tenant: &str,
+        typed: &str,
+        k: usize,
+    ) -> Result<CompletionResult, ServerError> {
         let permit = self.count_rejection(self.admission.admit())?;
-        self.count_rejection(self.tenants.charge(&tenant, self.config.completion_cost))?;
-        let key = completion_key(typed);
+        self.count_rejection(self.tenants.charge(tenant, self.config.completion_cost))?;
+        let key = if k == self.pum.config().k {
+            completion_key(typed)
+        } else {
+            format!("{}\u{1}top{k}", completion_key(typed))
+        };
         if let Some(hit) = self.completion_cache.get(&key) {
             drop(permit);
             return Ok((*hit).clone());
@@ -323,13 +396,16 @@ impl SapphireServer {
                     // morally a coalesced hit, and counted as one so every
                     // request lands in exactly one metrics bucket.
                     self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .coalesced_completion_hits
+                        .fetch_add(1, Ordering::Relaxed);
                     token.complete(Ok(hit.clone()));
                     (*hit).clone()
                 } else {
                     self.counters
                         .coalesce_leader_runs
                         .fetch_add(1, Ordering::Relaxed);
-                    let result = self.pum.complete(typed);
+                    let result = self.pum.complete_top(typed, k);
                     let shared = self.completion_cache.insert(key, result.clone());
                     token.complete(Ok(shared));
                     result
@@ -338,13 +414,16 @@ impl SapphireServer {
             Join::Follower(outcome) => {
                 let shared = outcome?;
                 self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .coalesced_completion_hits
+                    .fetch_add(1, Ordering::Relaxed);
                 (*shared).clone()
             }
             Join::Bypass => {
                 self.counters
                     .coalesce_bypass_runs
                     .fetch_add(1, Ordering::Relaxed);
-                let result = self.pum.complete(typed);
+                let result = self.pum.complete_top(typed, k);
                 self.completion_cache.insert(key, result.clone());
                 result
             }
@@ -392,41 +471,7 @@ impl SapphireServer {
         let query = Session::resume(&self.pum, triples, modifiers, attempts).build_query()?;
         let cost = self.run_cost(&query);
         self.count_rejection(self.tenants.charge(&tenant, cost))?;
-        let key = run_key(&query);
-        let (cached, run) = match self.run_cache.get(&key) {
-            Some(hit) => (true, hit),
-            // Single-flight: a burst of identical cold queries (many users
-            // pressing Run on the same question at once) costs one model
-            // scan. `cached` stays an honest "this request ran no scan"
-            // flag: true for followers, false for the scanning leader.
-            None => match self.run_coalescer.join(&key) {
-                Join::Leader(token) => {
-                    if let Some(hit) = self.run_cache.peek(&key) {
-                        self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
-                        token.complete(Ok(hit.clone()));
-                        (true, hit)
-                    } else {
-                        self.counters
-                            .coalesce_leader_runs
-                            .fetch_add(1, Ordering::Relaxed);
-                        let run = self.run_cache.insert(key, self.scan(&query));
-                        token.complete(Ok(run.clone()));
-                        (false, run)
-                    }
-                }
-                Join::Follower(outcome) => {
-                    let shared = outcome?;
-                    self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
-                    (true, shared)
-                }
-                Join::Bypass => {
-                    self.counters
-                        .coalesce_bypass_runs
-                        .fetch_add(1, Ordering::Relaxed);
-                    (false, self.run_cache.insert(key, self.scan(&query)))
-                }
-            },
-        };
+        let (cached, run) = self.execute_run(&query)?;
         drop(permit);
         let attempts = {
             let mut entry = entry.lock().unwrap();
@@ -446,6 +491,67 @@ impl SapphireServer {
             attempts,
             cached,
         })
+    }
+
+    /// QSM + execution for a tenant *without* a session: run an
+    /// already-built query through admission, budgets, the response cache,
+    /// and single-flight coalescing — the surface a cluster edge router
+    /// scatters over shard replicas. The caller owns the session state (if
+    /// any); the shard sees only the stateless (tenant, query) request, so
+    /// there is no attempt counter or suggestion commit here.
+    pub fn run_select(&self, tenant: &str, query: &SelectQuery) -> Result<QueryRun, ServerError> {
+        self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
+        let permit = self.count_rejection(self.admission.admit())?;
+        self.count_rejection(self.tenants.charge(tenant, self.run_cost(query)))?;
+        let (cached, payload) = self.execute_run(query)?;
+        drop(permit);
+        Ok(QueryRun { cached, payload })
+    }
+
+    /// The cached + coalesced run path shared by [`run`](Self::run) and
+    /// [`run_select`](Self::run_select). Must be called with an admission
+    /// permit held. A burst of identical cold queries (many users pressing
+    /// Run on the same question at once) costs one model scan; the returned
+    /// flag stays an honest "this request ran no scan of its own": true for
+    /// cache hits and followers, false for the scanning leader and bypasses.
+    fn execute_run(&self, query: &SelectQuery) -> Result<(bool, Arc<RunPayload>), ServerError> {
+        let key = run_key(query);
+        if let Some(hit) = self.run_cache.get(&key) {
+            return Ok((true, hit));
+        }
+        match self.run_coalescer.join(&key) {
+            Join::Leader(token) => {
+                if let Some(hit) = self.run_cache.peek(&key) {
+                    self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .coalesced_run_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    token.complete(Ok(hit.clone()));
+                    Ok((true, hit))
+                } else {
+                    self.counters
+                        .coalesce_leader_runs
+                        .fetch_add(1, Ordering::Relaxed);
+                    let run = self.run_cache.insert(key, self.scan(query));
+                    token.complete(Ok(run.clone()));
+                    Ok((false, run))
+                }
+            }
+            Join::Follower(outcome) => {
+                let shared = outcome?;
+                self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .coalesced_run_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok((true, shared))
+            }
+            Join::Bypass => {
+                self.counters
+                    .coalesce_bypass_runs
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok((false, self.run_cache.insert(key, self.scan(query))))
+            }
+        }
     }
 
     /// Accept the `alt_index`-th term alternative from `id`'s last run:
@@ -510,6 +616,11 @@ impl SapphireServer {
             rejected_quota: self.counters.rejected_quota.load(Ordering::Relaxed),
             tenant_meter_evictions: self.tenants.evicted_meters(),
             coalesced_hits: self.counters.coalesced_hits.load(Ordering::Relaxed),
+            completion_coalesced_hits: self
+                .counters
+                .coalesced_completion_hits
+                .load(Ordering::Relaxed),
+            run_coalesced_hits: self.counters.coalesced_run_hits.load(Ordering::Relaxed),
             coalesce_leader_runs: self.counters.coalesce_leader_runs.load(Ordering::Relaxed),
             coalesce_bypass_runs: self.counters.coalesce_bypass_runs.load(Ordering::Relaxed),
             fifo_handoffs: self.admission.handoffs(),
@@ -519,16 +630,37 @@ impl SapphireServer {
         }
     }
 
-    /// Current `(in_flight, queued)` admission snapshot.
+    /// Current `(in_flight, queued)` admission snapshot — the cheap load
+    /// probe a cluster router consults to pick the least-loaded replica.
     pub fn admission_load(&self) -> (usize, usize) {
         self.admission.load()
     }
 
+    /// Occupy one execution slot without running any request — the
+    /// operational drain hook. While the returned permit is held it counts
+    /// in [`admission_load`](Self::admission_load) like any in-flight
+    /// request; hold enough permits and the server sheds everything typed,
+    /// which is how maintenance drains a replica and how tests saturate one
+    /// artificially.
+    pub fn hold_slot(&self) -> Result<crate::admission::AdmissionPermit<'_>, ServerError> {
+        self.admission.admit()
+    }
+
+    /// Request keys with a live single-flight execution right now, summed
+    /// across the QCM, QSM, and raw-query coalescers — how many distinct
+    /// scans this server is running at this instant. Cheap enough for load
+    /// probes and bench reports to poll.
+    pub fn coalesce_occupancy(&self) -> usize {
+        self.completion_coalescer.occupancy()
+            + self.run_coalescer.occupancy()
+            + self.service_coalescer.occupancy()
+    }
+
     /// Execute the model scan for a built query (the expensive part a
     /// single-flight leader runs on behalf of its followers).
-    fn scan(&self, query: &SelectQuery) -> CachedRun {
+    fn scan(&self, query: &SelectQuery) -> RunPayload {
         let outcome = self.pum.run(query);
-        CachedRun {
+        RunPayload {
             answers: outcome.answers,
             executed: outcome.executed,
             suggestions: Arc::new(outcome.suggestions),

@@ -1,0 +1,552 @@
+//! Cluster-vs-oracle contracts: a sharded, replicated deployment must be
+//! *indistinguishable in content* from one big server over the same data.
+//!
+//! The comparison contract: the cluster defines a canonical answer order
+//! (the deterministic score-then-key merges of `sapphire_cluster::merge`),
+//! and the single-box oracle's answers are passed through the *same public
+//! merge functions* (a merge of one list canonicalizes order without
+//! touching content) before the byte-for-byte equality check. Slices
+//! (LIMIT/OFFSET) are owned by the edge on both sides — the oracle runs the
+//! slice-stripped query and the canonical merge applies the cut — because a
+//! pre-merge cut is exactly the bug a sharded top-k must not have.
+
+use std::sync::Arc;
+
+use sapphire_cluster::merge::{
+    dedup_alternatives, merge_completions, merge_solutions, rank_alternatives, strip_slice,
+};
+use sapphire_cluster::{Cluster, ClusterConfig, ClusterRouter};
+use sapphire_core::qsm::TermAlternative;
+use sapphire_core::session::{Modifiers, Session};
+use sapphire_core::{InitMode, PredictiveUserModel, SapphireConfig};
+use sapphire_datagen::workload::appendix_b;
+use sapphire_datagen::{generate, DatasetConfig};
+use sapphire_endpoint::{Backoff, EndpointLimits};
+use sapphire_server::{SapphireServer, ServerConfig};
+use sapphire_sparql::{SelectQuery, Solutions};
+use sapphire_text::Lexicon;
+
+fn sapphire_config() -> SapphireConfig {
+    // Paper constants, two workers. The default 40k-string suffix tree
+    // swallows the whole tiny corpus, so "significant literal" membership
+    // cannot differ between the global cache and any shard-local cache.
+    SapphireConfig {
+        processes: 2,
+        ..SapphireConfig::default()
+    }
+}
+
+fn oracle() -> (Arc<PredictiveUserModel>, Arc<SapphireServer>) {
+    let pum = Arc::new(
+        PredictiveUserModel::initialize_local(
+            "oracle",
+            generate(DatasetConfig::tiny(42)),
+            EndpointLimits::warehouse(),
+            Lexicon::dbpedia_default(),
+            sapphire_config(),
+            InitMode::Federated,
+        )
+        .unwrap(),
+    );
+    let server = Arc::new(SapphireServer::new(pum.clone(), ServerConfig::for_tests()));
+    (pum, server)
+}
+
+fn router(shards: usize, replicas: usize) -> ClusterRouter {
+    let graph = generate(DatasetConfig::tiny(42));
+    let cluster = Cluster::build(
+        "edge",
+        &graph,
+        shards,
+        replicas,
+        &Lexicon::dbpedia_default(),
+        &sapphire_config(),
+        &ServerConfig::for_tests(),
+    )
+    .unwrap();
+    ClusterRouter::new(
+        cluster,
+        ClusterConfig {
+            // Hedging off for the oracle comparison: the answers must be
+            // identical either way (the saturation test proves that); this
+            // keeps the comparison runs cheap.
+            hedge_after: None,
+            ..ClusterConfig::for_tests()
+        },
+    )
+}
+
+/// The workload queries, built once against the oracle's cache (keyword
+/// predicates resolve identically on every shard: the predicate vocabulary
+/// is dataset-wide).
+fn workload_queries(pum: &PredictiveUserModel) -> Vec<SelectQuery> {
+    appendix_b()
+        .iter()
+        .map(|q| {
+            let modifiers = Modifiers {
+                distinct: false,
+                order_by: q.script.order_by.clone(),
+                limit: q.script.limit,
+                count: q.script.count,
+                filters: q.script.filters.clone(),
+            };
+            Session::resume(pum, q.script.rows.clone(), modifiers, 0)
+                .build_query()
+                .expect("workload scripts build")
+        })
+        .collect()
+}
+
+/// Canonicalize the oracle's answers for one query: run it slice-stripped,
+/// then let the cluster's own merge apply ordering and the cut.
+fn oracle_answers(server: &SapphireServer, query: &SelectQuery) -> Solutions {
+    let run = server
+        .run_select("oracle", &strip_slice(query))
+        .expect("oracle run");
+    merge_solutions(query, vec![run.payload.answers.clone()])
+}
+
+/// Canonicalize the oracle's "did you mean" list the same way the router
+/// builds the cluster's: dedup, re-prefetch canonically, rank.
+fn oracle_alternatives(server: &SapphireServer, query: &SelectQuery) -> Vec<TermAlternative> {
+    let run = server
+        .run_select("oracle", &strip_slice(query))
+        .expect("oracle run");
+    let kept: Vec<TermAlternative> =
+        dedup_alternatives(vec![(*run.payload.suggestions.candidates).clone()])
+            .into_iter()
+            .filter_map(|mut cand| {
+                let mut rebuilt = query.clone();
+                let altered = &cand.query.pattern.triples[cand.triple_index];
+                match cand.position {
+                    sapphire_core::qsm::AlteredPosition::Predicate => {
+                        rebuilt.pattern.triples[cand.triple_index].predicate =
+                            altered.predicate.clone();
+                    }
+                    sapphire_core::qsm::AlteredPosition::Object => {
+                        rebuilt.pattern.triples[cand.triple_index].object = altered.object.clone();
+                    }
+                }
+                let answers = oracle_answers(server, &rebuilt);
+                if answers.is_empty() {
+                    return None;
+                }
+                cand.query = rebuilt;
+                cand.answers = answers;
+                Some(cand)
+            })
+            .collect();
+    rank_alternatives(kept, server.model().config().k)
+}
+
+fn assert_alternatives_equal(cluster: &[TermAlternative], oracle: &[TermAlternative], ctx: &str) {
+    assert_eq!(cluster.len(), oracle.len(), "{ctx}: alternative count");
+    for (c, o) in cluster.iter().zip(oracle) {
+        assert_eq!(c.position, o.position, "{ctx}");
+        assert_eq!(c.replacement, o.replacement, "{ctx}");
+        assert_eq!(c.original, o.original, "{ctx}");
+        assert_eq!(c.triple_index, o.triple_index, "{ctx}");
+        assert!((c.similarity - o.similarity).abs() < f64::EPSILON, "{ctx}");
+        assert_eq!(c.query, o.query, "{ctx}");
+        assert_eq!(c.answers, o.answers, "{ctx}: prefetched answers");
+    }
+}
+
+/// The acceptance contract: a 4-shard / 2-replica cluster answers the whole
+/// Appendix-B workload — QCM completions and QSM runs — byte-identically to
+/// a single `SapphireServer` over the unpartitioned dataset.
+#[test]
+fn four_shard_cluster_matches_single_server_oracle() {
+    let (pum, oracle_server) = oracle();
+    let router = router(4, 2);
+    let k = pum.config().k;
+
+    // QCM: per-keystroke prefixes of every scripted object keyword.
+    let mut terms = 0;
+    for q in appendix_b() {
+        for input in &q.script.rows {
+            let keyword = input.object.trim_start_matches('?');
+            for end in 1..=keyword.chars().count().min(5) {
+                let prefix: String = keyword.chars().take(end).collect();
+                let cluster = router.complete("alice", &prefix).unwrap();
+                // The oracle's *full* match list through the same canonical
+                // top-k: the user-facing k-cut is selected by global
+                // significance, which is the one thing shard-local caches
+                // cannot see — the cluster's contract is the canonical cut.
+                let oracle = merge_completions(
+                    vec![
+                        oracle_server
+                            .complete_top("oracle", &prefix, usize::MAX)
+                            .unwrap()
+                            .suggestions,
+                    ],
+                    k,
+                );
+                assert_eq!(cluster.suggestions, oracle, "prefix {prefix:?}");
+                terms += 1;
+            }
+        }
+    }
+    assert!(terms > 50, "the QCM comparison covered the workload");
+
+    // QSM: every scripted run — answers and "did you mean" rewrites.
+    for (i, query) in workload_queries(&pum).iter().enumerate() {
+        let cluster = router.run("alice", query).unwrap();
+        assert_eq!(
+            cluster.answers,
+            oracle_answers(&oracle_server, query),
+            "question {i}: answers"
+        );
+        assert!(cluster.executed, "question {i}: executed on every shard");
+        assert_alternatives_equal(
+            &cluster.alternatives,
+            &oracle_alternatives(&oracle_server, query),
+            &format!("question {i}"),
+        );
+    }
+
+    let metrics = router.metrics();
+    assert_eq!(metrics.fanout_per_shard.len(), 4);
+    assert!(metrics.merges > 0);
+    assert_eq!(metrics.merge_depth_max, 4, "full scatter merges 4 lists");
+    assert_eq!(metrics.rejected_after_retry, 0);
+}
+
+/// Shard-count invariance end to end: 1-, 2-, and 4-shard clusters produce
+/// byte-identical payloads for the same requests (the 1-shard cluster *is*
+/// a single server behind the same merge).
+#[test]
+fn cluster_answers_are_shard_count_invariant() {
+    let (pum, _) = oracle();
+    let queries = workload_queries(&pum);
+    let routers: Vec<ClusterRouter> = [1, 2, 4].into_iter().map(|n| router(n, 1)).collect();
+    for term in ["Kenn", "New", "a", "pari", "Turing"] {
+        let baseline = routers[0].complete("alice", term).unwrap().suggestions;
+        for r in &routers[1..] {
+            assert_eq!(
+                r.complete("alice", term).unwrap().suggestions,
+                baseline,
+                "term {term:?}"
+            );
+        }
+    }
+    for (i, query) in queries.iter().enumerate().take(8) {
+        let baseline = routers[0].run("alice", query).unwrap();
+        for r in &routers[1..] {
+            let run = r.run("alice", query).unwrap();
+            assert_eq!(run.answers, baseline.answers, "question {i}");
+            assert_eq!(
+                run.alternatives.len(),
+                baseline.alternatives.len(),
+                "question {i}"
+            );
+            for (a, b) in run.alternatives.iter().zip(&baseline.alternatives) {
+                assert_eq!(a.replacement, b.replacement, "question {i}");
+                assert_eq!(a.answers, b.answers, "question {i}");
+            }
+        }
+    }
+}
+
+/// The resilience contract: with one replica of every shard artificially
+/// saturated (its only slot held, empty queue — every request sheds typed),
+/// concurrent load over the full workload completes with *zero* unhandled
+/// rejections, the answers stay byte-identical to the oracle, and the
+/// hedging + typed-retry paths are actually exercised.
+#[test]
+fn saturated_replica_is_routed_around_under_concurrent_load() {
+    let graph = generate(DatasetConfig::tiny(42));
+    let (pum, oracle_server) = oracle();
+    let queries = Arc::new(workload_queries(&pum));
+
+    // Build 4 shards by hand: replica 0 is a one-slot, no-queue server whose
+    // slot we hold for the whole test; replica 1 is healthy.
+    let partition = sapphire_rdf::Partitioner::new(4).split(&graph);
+    let mut shards = Vec::new();
+    let mut saturated = Vec::new();
+    let mut healthies = Vec::new();
+    for (i, shard_graph) in partition.shards.into_iter().enumerate() {
+        let shard_pum = Arc::new(
+            PredictiveUserModel::initialize_local(
+                format!("s{i}"),
+                shard_graph,
+                EndpointLimits::warehouse(),
+                Lexicon::dbpedia_default(),
+                sapphire_config(),
+                InitMode::Federated,
+            )
+            .unwrap(),
+        );
+        let choked = Arc::new(SapphireServer::new(
+            shard_pum.clone(),
+            ServerConfig {
+                max_in_flight: 1,
+                max_queue_depth: 0,
+                queue_wait: std::time::Duration::from_millis(1),
+                ..ServerConfig::for_tests()
+            },
+        ));
+        let healthy = Arc::new(SapphireServer::new(
+            shard_pum,
+            ServerConfig {
+                max_in_flight: 16,
+                max_queue_depth: 64,
+                queue_wait: std::time::Duration::from_secs(2),
+                ..ServerConfig::for_tests()
+            },
+        ));
+        saturated.push(choked.clone());
+        healthies.push(healthy.clone());
+        shards.push(vec![choked, healthy]);
+    }
+    let mut permits: Vec<_> = saturated
+        .iter()
+        .map(|s| s.hold_slot().expect("empty server grants its one slot"))
+        .collect();
+    for s in &saturated {
+        assert_eq!(s.admission_load(), (1, 0), "replica is saturated");
+    }
+
+    // Phase 1 — hedged routing: a zero hedge budget races every shard call
+    // against the sibling replica, so the saturated replica's instant typed
+    // rejections constantly lose the race instead of failing requests.
+    let hedged = Arc::new(ClusterRouter::new(
+        Cluster::from_replicas(shards.clone()),
+        ClusterConfig {
+            hedge_after: Some(std::time::Duration::ZERO),
+            backoff: Backoff {
+                max_retries: 6,
+                base: std::time::Duration::from_millis(1),
+                max_delay: std::time::Duration::from_millis(20),
+            },
+            ..ClusterConfig::for_tests()
+        },
+    ));
+    // Phase 2 — no hedging, permits released: the one-slot/no-queue replica
+    // is now *empty*, so the load probe ties at 0 and the index tie-break
+    // sends every shard call to it first. Under 8 concurrent clients its
+    // single slot is permanently contended, so it sheds typed constantly
+    // and requests must recover through the bounded retry path alone.
+    let unhedged = Arc::new(ClusterRouter::new(
+        Cluster::from_replicas(shards),
+        ClusterConfig {
+            hedge_after: None,
+            backoff: Backoff {
+                max_retries: 6,
+                base: std::time::Duration::from_millis(1),
+                max_delay: std::time::Duration::from_millis(20),
+            },
+            ..ClusterConfig::for_tests()
+        },
+    ));
+
+    const THREADS: usize = 8;
+    for (phase, router) in [(1, &hedged), (2, &unhedged)] {
+        if phase == 2 {
+            drop(std::mem::take(&mut permits));
+        }
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let router = router.clone();
+                let queries = queries.clone();
+                scope.spawn(move || {
+                    for i in 0..queries.len() {
+                        let query = &queries[(i + t) % queries.len()];
+                        // Zero unhandled rejections: every request must
+                        // succeed through load-aware routing, hedging, or
+                        // typed retry.
+                        let run = router
+                            .run(&format!("tenant-{t}"), query)
+                            .unwrap_or_else(|e| panic!("request shed: {e}"));
+                        assert!(run.executed);
+                    }
+                    for term in ["Kenn", "Turing", "New"] {
+                        router
+                            .complete(&format!("tenant-{t}"), term)
+                            .unwrap_or_else(|e| panic!("completion shed: {e}"));
+                    }
+                });
+            }
+        });
+    }
+
+    // Same bytes as the oracle, even with half the fleet saturated.
+    for (i, query) in queries.iter().enumerate().take(6) {
+        let run = hedged.run("check", query).unwrap();
+        assert_eq!(
+            run.answers,
+            oracle_answers(&oracle_server, query),
+            "question {i}"
+        );
+    }
+
+    let hedged_metrics = hedged.metrics();
+    assert_eq!(hedged_metrics.rejected_after_retry, 0, "no request lost");
+    assert!(hedged_metrics.hedges_fired > 0, "hedging path exercised");
+
+    // Deterministic typed-retry exercise: pin shard 0's replicas to *equal*
+    // admission load — one held slot each — so the index tie-break routes
+    // the next request to the one-slot replica first. It is full, sheds
+    // typed instantly, and the unhedged router must recover by failing over
+    // to the healthy sibling under the backoff policy.
+    let pin_choked = saturated[0].hold_slot().expect("one-slot replica grants");
+    let pin_healthy = healthies[0].hold_slot().expect("healthy replica grants");
+    assert_eq!(saturated[0].admission_load(), (1, 0));
+    assert_eq!(healthies[0].admission_load(), (1, 0));
+    let completion = unhedged
+        .complete("alice", "Gau")
+        .expect("typed retry failed over to the healthy replica");
+    assert!(!completion.cached);
+    drop((pin_choked, pin_healthy));
+
+    let unhedged_metrics = unhedged.metrics();
+    assert_eq!(unhedged_metrics.rejected_after_retry, 0, "no request lost");
+    assert!(
+        unhedged_metrics.replica_retries > 0,
+        "typed retry path exercised (the tied one-slot replica shed typed and was retried)"
+    );
+}
+
+/// A transiently saturated single-replica shard: typed `Overloaded` is
+/// retried under the backoff policy until the slot frees, so the request
+/// succeeds instead of surfacing a rejection.
+#[test]
+fn typed_retry_rides_out_transient_saturation() {
+    let pum = Arc::new(
+        PredictiveUserModel::initialize_local(
+            "solo",
+            generate(DatasetConfig::tiny(7)),
+            EndpointLimits::warehouse(),
+            Lexicon::dbpedia_default(),
+            sapphire_config(),
+            InitMode::Federated,
+        )
+        .unwrap(),
+    );
+    let server = Arc::new(SapphireServer::new(
+        pum,
+        ServerConfig {
+            max_in_flight: 1,
+            max_queue_depth: 0,
+            queue_wait: std::time::Duration::from_millis(1),
+            ..ServerConfig::for_tests()
+        },
+    ));
+    let router = Arc::new(ClusterRouter::new(
+        Cluster::from_replicas(vec![vec![server.clone()]]),
+        ClusterConfig {
+            hedge_after: None,
+            backoff: Backoff {
+                max_retries: 8,
+                base: std::time::Duration::from_millis(5),
+                max_delay: std::time::Duration::from_millis(40),
+            },
+            ..ClusterConfig::for_tests()
+        },
+    ));
+
+    let permit = server.hold_slot().unwrap();
+    let request = {
+        let router = router.clone();
+        std::thread::spawn(move || router.complete("alice", "Kenn"))
+    };
+    // Let the request burn a few typed rejections, then free the slot.
+    std::thread::sleep(std::time::Duration::from_millis(15));
+    drop(permit);
+    let completion = request.join().unwrap().expect("retry rode out the choke");
+    assert!(!completion.cached);
+    let metrics = router.metrics();
+    assert!(metrics.replica_retries > 0, "typed retries happened");
+    assert_eq!(metrics.rejected_after_retry, 0);
+
+    // And when the saturation never clears, the rejection surfaces typed.
+    let permit = server.hold_slot().unwrap();
+    let err = router
+        .complete("alice", "Never")
+        .expect_err("saturated shard rejects typed");
+    assert!(err.is_rejection(), "{err:?}");
+    drop(permit);
+}
+
+/// Schema-slice replicas must not duplicate in merged answers: every shard
+/// holds a copy of each `rdfs:subClassOf` edge, but the cluster returns it
+/// once — and COUNTs over such patterns are not inflated by the shard
+/// count. (The merge deduplicates *full bindings* before projecting; over a
+/// BGP, duplicate full bindings can only be replica artifacts.)
+#[test]
+fn schema_replicated_triples_do_not_duplicate_in_merges() {
+    use sapphire_sparql::{parse_select, Aggregate, Projection, SelectItem};
+    let (_, oracle_server) = oracle();
+    let router = router(4, 1);
+    let query = parse_select("SELECT ?s ?o WHERE { ?s rdfs:subClassOf ?o }").unwrap();
+    let run = router.run("alice", &query).unwrap();
+    assert!(!run.answers.is_empty(), "the hierarchy has edges");
+    assert_eq!(
+        run.answers,
+        oracle_answers(&oracle_server, &query),
+        "each replicated edge appears exactly once"
+    );
+    // The same pattern under the session COUNT shape: the edge recount must
+    // not multiply by the shard count either.
+    let mut counted = query.clone();
+    counted.projection = Projection::Items(vec![SelectItem::Agg {
+        agg: Aggregate::Count {
+            distinct: false,
+            var: Some("s".into()),
+        },
+        alias: "count".into(),
+    }]);
+    let cluster_count = router.run("alice", &counted).unwrap();
+    assert_eq!(
+        cluster_count.answers,
+        oracle_answers(&oracle_server, &counted),
+        "COUNT over a schema-matching pattern"
+    );
+}
+
+/// Edge-tier budgets: an edge cache hit never reaches a shard, so the edge
+/// meters tenants itself — a cached request still consumes quota, typed
+/// `EdgeRejected` when the window is exhausted, per tenant, cleared by a
+/// fresh window.
+#[test]
+fn edge_budget_meters_cached_requests() {
+    let graph = generate(DatasetConfig::tiny(7));
+    let cluster = Cluster::build(
+        "edge",
+        &graph,
+        2,
+        1,
+        &Lexicon::dbpedia_default(),
+        &sapphire_config(),
+        &ServerConfig::for_tests(),
+    )
+    .unwrap();
+    let router = ClusterRouter::new(
+        cluster,
+        ClusterConfig {
+            hedge_after: None,
+            tenant_window_budget: Some(2),
+            ..ClusterConfig::for_tests()
+        },
+    );
+    router.complete("alice", "Kenn").unwrap();
+    // Second identical request is an edge cache hit — still charged.
+    let hit = router.complete("alice", "Kenn").unwrap();
+    assert!(hit.cached);
+    assert_eq!(router.tenant_usage("alice"), 2);
+    let err = router.complete("alice", "Kenn").unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            sapphire_cluster::ClusterError::EdgeRejected(
+                sapphire_server::ServerError::QuotaExhausted { budget: 2, .. }
+            )
+        ),
+        "typed edge rejection: {err:?}"
+    );
+    assert!(err.is_rejection());
+    // Other tenants are unaffected; a fresh window clears the meter.
+    router.complete("bob", "Kenn").unwrap();
+    router.reset_budget_window();
+    router.complete("alice", "Kenn").unwrap();
+}
