@@ -151,6 +151,58 @@ fn main() {
         format!("{final_queued} (must be 0)"),
     );
 
+    // --- Front-end gate: thousands of idle sessions on a small pool.
+    //
+    // The report's "frontend" section ran 2,000+ open think-time sessions
+    // on ≤ 8 worker threads over the same model. Enforced contracts: zero
+    // rejections at think-time load, every session closed and every queue
+    // drained, the process held a *fixed* thread/RSS budget (the
+    // thread-per-session failure mode is exactly a thread count scaling
+    // with sessions), and the closed-loop hot phase keeps at least half the
+    // committed thread-per-request throughput.
+    let f = |key: &str| num(Some("frontend"), key);
+    gate.check(
+        "frontend.sessions/workers",
+        f("sessions") >= 2000.0 && f("workers") <= 8.0,
+        format!("{} sessions on {} workers", f("sessions"), f("workers")),
+    );
+    gate.check(
+        "frontend.rejected_total",
+        f("rejected_total") == 0.0,
+        format!("{} (must be 0)", f("rejected_total")),
+    );
+    gate.check(
+        "frontend.sessions_leaked",
+        f("sessions_leaked") == 0.0,
+        format!("{} (must be 0)", f("sessions_leaked")),
+    );
+    gate.check(
+        "frontend.final_backlog",
+        f("final_backlog") == 0.0,
+        format!("{} (must be 0)", f("final_backlog")),
+    );
+    let threads_peak = f("threads_peak");
+    gate.check(
+        "frontend.threads_peak",
+        threads_peak <= 64.0,
+        format!("{threads_peak} (budget 64; 0 = /proc unavailable)"),
+    );
+    let rss_peak = f("rss_peak_kb");
+    gate.check(
+        "frontend.rss_peak_kb",
+        rss_peak <= 2_097_152.0,
+        format!("{rss_peak} (budget 2 GiB; 0 = /proc unavailable)"),
+    );
+    let hot_rps = f("hot_throughput_rps");
+    let hot_floor = baseline_rps * 0.5;
+    gate.check(
+        "frontend.hot_throughput_rps",
+        hot_rps >= hot_floor,
+        format!(
+            "{hot_rps:.1} vs thread-per-request baseline {baseline_rps:.1} (floor {hot_floor:.1})"
+        ),
+    );
+
     // --- Cluster smoke gate: 2 shards x 2 replicas over the same workload.
     //
     // Enforces the sharded tier's three contracts: every request survives

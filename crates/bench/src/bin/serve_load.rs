@@ -28,9 +28,29 @@
 //! committed baseline.
 
 use sapphire_bench::cluster::{self, ClusterLoadOptions};
+use sapphire_bench::frontend::{self, FrontendPhaseOptions};
 use sapphire_bench::serve::{self, arg_string, arg_usize, ServeLoadOptions};
 
 fn main() {
+    // Front-end mode: ONLY the evented-front-end phase, at full scale
+    // (`--frontend [--sessions 2000] [--workers 8] [--think 100]
+    // [--hold 1500]`). Reports think-time latencies, hot-loop throughput,
+    // and the process thread/RSS peaks; never touches the baseline file.
+    if std::env::args().any(|a| a == "--frontend") {
+        let defaults = FrontendPhaseOptions::default();
+        let opts = FrontendPhaseOptions {
+            sessions: arg_usize("--sessions", defaults.sessions),
+            workers: arg_usize("--workers", defaults.workers),
+            think_ms: arg_usize("--think", defaults.think_ms as usize) as u64,
+            hold_ms: arg_usize("--hold", defaults.hold_ms as usize) as u64,
+            hot_sessions: arg_usize("--hot-sessions", defaults.hot_sessions),
+            hot_rounds: arg_usize("--hot-rounds", defaults.hot_rounds),
+            queue_wait_ms: 0,
+        };
+        let scale = arg_string("--scale").unwrap_or_else(|| "tiny".to_string());
+        println!("{}", frontend::run(&opts, &scale));
+        return;
+    }
     // Cluster mode: the same closed-loop workload against a sharded,
     // replicated topology behind a `ClusterRouter` (`--cluster [--shards N]
     // [--replicas N]`). Reports routing metrics and the determinism
@@ -60,6 +80,8 @@ fn main() {
         burst_rounds: arg_usize("--burst-rounds", defaults.burst_rounds),
         coalesce_waiters: arg_usize("--coalesce", defaults.coalesce_waiters),
         queue_wait_ms: 0,
+        frontend_sessions: arg_usize("--frontend-sessions", defaults.frontend_sessions),
+        frontend_workers: arg_usize("--frontend-workers", defaults.frontend_workers),
     };
     let report = serve::run(&opts);
     println!("{report}");

@@ -6,6 +6,7 @@
 //! EXPERIMENTS.md for paper-vs-measured numbers.
 
 pub mod cluster;
+pub mod frontend;
 pub mod serve;
 
 use sapphire_core::SapphireConfig;

@@ -62,6 +62,12 @@ pub struct ServeLoadOptions {
     /// on a shared runner cannot manufacture a spurious `QueueTimeout`
     /// rejection and fail the zero-rejection gate.
     pub queue_wait_ms: u64,
+    /// Open sessions for the evented front-end phase
+    /// ([`crate::frontend::phase`], run over the same shared model and
+    /// reported as the `"frontend"` section; `0` skips the phase).
+    pub frontend_sessions: usize,
+    /// Worker threads of the front-end phase.
+    pub frontend_workers: usize,
 }
 
 impl Default for ServeLoadOptions {
@@ -76,6 +82,8 @@ impl Default for ServeLoadOptions {
             burst_rounds: 8,
             coalesce_waiters: ServerConfig::default().coalesce_waiters_per_key,
             queue_wait_ms: 0,
+            frontend_sessions: crate::frontend::FrontendPhaseOptions::default().sessions,
+            frontend_workers: crate::frontend::FrontendPhaseOptions::default().workers,
         }
     }
 }
@@ -113,8 +121,14 @@ pub(crate) struct ClassStats {
 
 impl ClassStats {
     pub(crate) fn record(&mut self, started: Instant, result: &Result<(), ServerError>) {
+        self.record_outcome(started.elapsed().as_micros() as u64, result);
+    }
+
+    /// Record with a latency measured by the caller (the front-end harness
+    /// measures submit→callback, which no single `Instant` here can see).
+    pub(crate) fn record_outcome(&mut self, latency_us: u64, result: &Result<(), ServerError>) {
         match result {
-            Ok(()) => self.latencies_us.push(started.elapsed().as_micros() as u64),
+            Ok(()) => self.latencies_us.push(latency_us),
             Err(ServerError::Overloaded { .. }) => self.overloaded += 1,
             Err(ServerError::QueueTimeout { .. }) => self.queue_timeout += 1,
             Err(ServerError::QuotaExhausted { .. }) => self.quota += 1,
@@ -226,7 +240,7 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         coalesce_waiters_per_key: opts.coalesce_waiters,
         ..ServerConfig::default()
     };
-    let server = Arc::new(SapphireServer::new(pum, config));
+    let server = Arc::new(SapphireServer::new(pum.clone(), config));
 
     let questions = appendix_b();
     eprintln!(
@@ -447,7 +461,7 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         peaks.2.load(std::sync::atomic::Ordering::Relaxed),
         server.coalesce_occupancy(),
     );
-    format!(
+    let mut report = format!(
         "{{\n  \"benchmark\": \"serve_load\",\n  \"config\": {{\"users\": {users}, \
          \"rounds\": {rounds}, \"scale\": \"{scale_label}\", \"triples\": {triple_count}, \
          \"max_in_flight\": {max_in_flight}, \"max_queue_depth\": {max_queue_depth}, \
@@ -482,7 +496,32 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         cache_stats(metrics.completion_cache, metrics.completion_coalesced_hits),
         cache_stats(metrics.run_cache, metrics.run_coalesced_hits),
         metrics.open_sessions,
-    )
+    );
+
+    // --- Phase 3: evented front-end (own server over the same model) ---
+    //
+    // Appended as the LAST report section: its object nests keys that also
+    // exist at the top level (`rejected_total`, `sessions_leaked`, `qcm`…),
+    // and `json_f64`'s section/key searches resolve to the *first*
+    // occurrence — everything above must win unsectioned reads.
+    if opts.frontend_sessions > 0 {
+        let section = crate::frontend::phase(
+            pum,
+            &crate::frontend::FrontendPhaseOptions {
+                sessions: opts.frontend_sessions,
+                workers: opts.frontend_workers,
+                queue_wait_ms: opts.queue_wait_ms,
+                ..Default::default()
+            },
+        );
+        let cut = report.rfind('}').expect("report ends with a brace");
+        report.truncate(cut);
+        while report.ends_with(char::is_whitespace) {
+            report.pop();
+        }
+        report.push_str(&format!(",\n  \"frontend\": {section}\n}}"));
+    }
+    report
 }
 
 /// Pull a numeric field out of a `serve_load` JSON report.

@@ -29,14 +29,14 @@
 //! exactly as the PR-2 design intended.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use sapphire_core::qcm::{Completion, CompletionResult};
 use sapphire_core::qsm::{AlteredPosition, StructureSuggestion, TermAlternative};
 use sapphire_core::{completion_request_key, run_request_key, CacheStats};
 use sapphire_endpoint::{
-    query_fingerprint, Backoff, EndpointError, QueryService, ServiceEndpoint, ServiceError,
+    query_fingerprint, Backoff, EndpointError, Jitter, QueryService, ServiceEndpoint, ServiceError,
 };
 use sapphire_server::coalesce::Join;
 use sapphire_server::response_cache::ShardedResponseCache;
@@ -57,6 +57,15 @@ pub struct ClusterConfig {
     /// Fire the same request at a second replica when the first has not
     /// answered within this budget; `None` disables hedging.
     pub hedge_after: Option<Duration>,
+    /// Hedged secondary calls allowed to be in flight at once, router-wide.
+    /// Every losing hedge keeps running until its scan completes — pinning
+    /// one admission slot on its replica the whole time — so without a cap
+    /// a sustained storm of slow primaries accumulates losers without
+    /// bound. At the cap, further hedges are *suppressed* (counted in
+    /// [`ClusterMetrics::hedges_suppressed`]) and the call simply waits for
+    /// its primary. `0` suppresses every hedge (hedging stays configured
+    /// but never fires — useful to quantify it).
+    pub max_inflight_hedges: usize,
     /// Retry policy for typed back-pressure rejections; each retry fails
     /// over to the next replica in load order.
     pub backoff: Backoff,
@@ -95,6 +104,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             name: "sapphire-cluster".to_string(),
             hedge_after: Some(Duration::from_millis(50)),
+            max_inflight_hedges: 32,
             backoff: Backoff::default(),
             cache_shards: 16,
             cache_capacity_per_shard: 4096,
@@ -277,6 +287,10 @@ pub struct ClusterMetrics {
     pub hedges_fired: u64,
     /// Hedge requests whose reply won the race.
     pub hedges_won: u64,
+    /// Hedges *not* fired because the in-flight hedge cap
+    /// ([`ClusterConfig::max_inflight_hedges`]) was reached — the slow
+    /// primary was simply waited for instead.
+    pub hedges_suppressed: u64,
     /// Replica attempts that were shed typed and retried on another replica.
     pub replica_retries: u64,
     /// Requests that stayed rejected after the whole retry budget.
@@ -300,6 +314,14 @@ struct Counters {
     fanout: Vec<AtomicU64>,
     hedges_fired: AtomicU64,
     hedges_won: AtomicU64,
+    hedges_suppressed: AtomicU64,
+    /// Gauge of hedged secondary calls currently running (each pins one
+    /// admission slot on its replica until its scan completes). Shared
+    /// (`Arc`) because the hedge thread itself decrements it when the scan
+    /// finishes, win or lose.
+    hedges_in_flight: Arc<AtomicU64>,
+    /// Seed sequence for per-call retry jitter.
+    jitter_seq: AtomicU64,
     replica_retries: AtomicU64,
     rejected_after_retry: AtomicU64,
     merges: AtomicU64,
@@ -314,6 +336,9 @@ impl Counters {
             fanout: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             hedges_fired: AtomicU64::new(0),
             hedges_won: AtomicU64::new(0),
+            hedges_suppressed: AtomicU64::new(0),
+            hedges_in_flight: Arc::new(AtomicU64::new(0)),
+            jitter_seq: AtomicU64::new(0),
             replica_retries: AtomicU64::new(0),
             rejected_after_retry: AtomicU64::new(0),
             merges: AtomicU64::new(0),
@@ -484,6 +509,12 @@ pub struct ClusterRouter {
     run_coalescer: Coalescer<ClusterRunPayload, ClusterError>,
     service_coalescer: Coalescer<QueryResult, ClusterError>,
     counters: Counters,
+    /// Join handles of hedge-race losers, reaped deterministically: finished
+    /// handles are joined at the next hedged call, anything left is joined
+    /// on drop. Bounded because `max_inflight_hedges` bounds the number of
+    /// *running* losers and every finished one is drained before a new
+    /// hedge may fire.
+    hedge_reaper: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl ClusterRouter {
@@ -510,6 +541,7 @@ impl ClusterRouter {
             run_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
             service_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
             counters: Counters::new(shards),
+            hedge_reaper: Mutex::new(Vec::new()),
             k,
             cluster,
             config,
@@ -562,6 +594,7 @@ impl ClusterRouter {
                 .collect(),
             hedges_fired: self.counters.hedges_fired.load(Ordering::Relaxed),
             hedges_won: self.counters.hedges_won.load(Ordering::Relaxed),
+            hedges_suppressed: self.counters.hedges_suppressed.load(Ordering::Relaxed),
             replica_retries: self.counters.replica_retries.load(Ordering::Relaxed),
             rejected_after_retry: self.counters.rejected_after_retry.load(Ordering::Relaxed),
             merges: self.counters.merges.load(Ordering::Relaxed),
@@ -986,6 +1019,10 @@ impl ClusterRouter {
         let order = self.replica_order(shard);
         let replicas = self.cluster.replicas(shard);
         let mut attempt: u32 = 0;
+        // Per-call jitter stream: concurrent callers shed by the same
+        // saturated replica must not retry in lock-step (the seed sequence
+        // gives every call its own decorrelated schedule).
+        let mut jitter = Jitter::new(self.counters.jitter_seq.fetch_add(1, Ordering::Relaxed));
         loop {
             self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
             let primary = order[attempt as usize % order.len()];
@@ -1011,7 +1048,7 @@ impl ClusterRouter {
                     std::thread::sleep(
                         self.config
                             .backoff
-                            .wait_for(attempt, &as_endpoint_error(&e)),
+                            .jittered_wait(&as_endpoint_error(&e), &mut jitter),
                     );
                     attempt += 1;
                 }
@@ -1022,9 +1059,18 @@ impl ClusterRouter {
 
     /// Fire at `primary`; if it does not answer within `budget`, fire the
     /// same request at `secondary` and take the first reply (preferring a
-    /// success when both eventually answer). The slower call keeps running
-    /// detached — it holds its own admission slot, exactly the cost hedging
-    /// is priced at.
+    /// success when both eventually answer).
+    ///
+    /// The slower call keeps running — it holds its own admission slot,
+    /// exactly the cost hedging is priced at — but never *detached*: the
+    /// number of in-flight losers is capped by
+    /// [`ClusterConfig::max_inflight_hedges`] (a hedge that would exceed it
+    /// is suppressed and the call just waits for its primary), and every
+    /// loser's join handle goes to the reaper, which joins finished losers
+    /// before the next hedge fires and joins everything on router drop.
+    /// Detached spawns here were the PR-4 leak: under a sustained storm of
+    /// slow primaries, losers accumulated without bound, each pinning an
+    /// admission slot until its scan completed.
     fn call_hedged(
         &self,
         shard: usize,
@@ -1034,47 +1080,123 @@ impl ClusterRouter {
         budget: Duration,
         req: &ShardRequest,
     ) -> Result<ShardReply, ServerError> {
+        self.reap_finished_hedges();
         let (tx, rx) = mpsc::channel();
         let spawn_call = |replica: usize, hedged: bool| {
             let server = replicas[replica].clone();
             let req = req.clone();
             let tx = tx.clone();
+            // The hedge thread itself releases its in-flight token when the
+            // scan completes — the gauge tracks scans (each pinning an
+            // admission slot), not join-handle lifetimes.
+            let gauge = hedged.then(|| Arc::clone(&self.counters.hedges_in_flight));
             std::thread::spawn(move || {
-                let _ = tx.send((hedged, call_replica(&server, &req)));
-            });
+                let result = call_replica(&server, &req);
+                if let Some(gauge) = gauge {
+                    gauge.fetch_sub(1, Ordering::Relaxed);
+                }
+                let _ = tx.send((hedged, result));
+            })
         };
-        spawn_call(primary, false);
+        let primary_handle = spawn_call(primary, false);
         match rx.recv_timeout(budget) {
-            Ok((_, reply)) => reply,
+            Ok((_, reply)) => {
+                // The primary answered within budget: its thread is done
+                // (the send happens last) — join it right here.
+                let _ = primary_handle.join();
+                reply
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
+                let cap = self.config.max_inflight_hedges as u64;
+                let token = self.counters.hedges_in_flight.fetch_update(
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                    |n| (n < cap).then_some(n + 1),
+                );
+                if token.is_err() {
+                    // At the cap: no hedge — wait out the primary instead of
+                    // growing the loser population.
+                    self.counters
+                        .hedges_suppressed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let (_, reply) = rx.recv().expect("a replica call always replies");
+                    let _ = primary_handle.join();
+                    return reply;
+                }
                 self.counters.hedges_fired.fetch_add(1, Ordering::Relaxed);
                 // The hedge is a real extra shard call; the fan-out counter
                 // must see it (its doc promises hedges are included).
                 self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
-                spawn_call(secondary, true);
+                let secondary_handle = spawn_call(secondary, true);
                 let (first_hedged, first) = rx.recv().expect("a replica call always replies");
+                let (winner, loser) = if first_hedged {
+                    (secondary_handle, primary_handle)
+                } else {
+                    (primary_handle, secondary_handle)
+                };
+                let _ = winner.join();
                 match first {
                     Ok(reply) => {
                         if first_hedged {
                             self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
                         }
+                        // The loser is still scanning; park its handle for a
+                        // deterministic reap instead of detaching it.
+                        self.hedge_reaper.lock().unwrap().push(loser);
                         Ok(reply)
                     }
-                    // The first reply failed; the other call is still due.
-                    Err(first_err) => match rx.recv() {
-                        Ok((second_hedged, Ok(reply))) => {
-                            if second_hedged {
-                                self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                    // The first reply failed; the other call is still due —
+                    // and once it answers, both threads are done.
+                    Err(first_err) => {
+                        let outcome = match rx.recv() {
+                            Ok((second_hedged, Ok(reply))) => {
+                                if second_hedged {
+                                    self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(reply)
                             }
-                            Ok(reply)
-                        }
-                        _ => Err(first_err),
-                    },
+                            _ => Err(first_err),
+                        };
+                        let _ = loser.join();
+                        outcome
+                    }
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 unreachable!("sender lives in the spawned call")
             }
+        }
+    }
+
+    /// Join hedge-race losers whose scans have since completed. Called
+    /// before each hedged call (and from `Drop`, unconditionally), so
+    /// finished handles never accumulate.
+    fn reap_finished_hedges(&self) {
+        let mut reaper = self.hedge_reaper.lock().unwrap();
+        let mut i = 0;
+        while i < reaper.len() {
+            if reaper[i].is_finished() {
+                let _ = reaper.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Hedged secondary calls running right now (each pinning an admission
+    /// slot on its replica). Bounded by
+    /// [`ClusterConfig::max_inflight_hedges`].
+    pub fn hedges_in_flight(&self) -> u64 {
+        self.counters.hedges_in_flight.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ClusterRouter {
+    fn drop(&mut self) {
+        // Deterministic final reap: no hedge thread outlives the router.
+        let handles = std::mem::take(&mut *self.hedge_reaper.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
         }
     }
 }

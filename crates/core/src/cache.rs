@@ -453,11 +453,19 @@ impl CachedData {
 // class prefix (separated by an unprintable byte) keeps QCM and QSM keys
 // from ever colliding.
 
-/// Normalize a QCM completion term into a request key: trimmed and
-/// lowercased, so `" Kennedy "` and `"kennedy"` share one cache entry and
-/// one in-flight scan.
+/// Normalize a QCM completion term into a request key: trimmed — and
+/// nothing more — so `" Kennedy "` and `"Kennedy"` share one cache entry
+/// and one in-flight scan.
+///
+/// Deliberately **case-preserving**: the suffix-tree stage of
+/// [`complete_top`](crate::qcm::QueryCompletion::complete_top) matches
+/// case-sensitively (only the residual-bin stage folds case), so `"T"` and
+/// `"t"` are *different requests* with different answers. An earlier
+/// lowercasing key conflated them, and under concurrency whichever spelling
+/// scanned first poisoned the shared cache entry for the other — the
+/// evented-front-end oracle test caught the divergence as nondeterminism.
 pub fn completion_request_key(term: &str) -> String {
-    format!("qcm\u{1}{}", term.trim().to_lowercase())
+    format!("qcm\u{1}{}", term.trim())
 }
 
 /// Normalize a built query into a request key. Uses the query's structural
@@ -661,11 +669,18 @@ mod tests {
     fn request_keys_normalize_and_never_collide_across_classes() {
         assert_eq!(
             completion_request_key("  Kennedy "),
-            completion_request_key("kennedy")
+            completion_request_key("Kennedy")
         );
         assert_ne!(
             completion_request_key("kennedy"),
             completion_request_key("kennedys")
+        );
+        // Case-preserving on purpose: the suffix-tree stage matches
+        // case-sensitively, so differently-cased terms are different
+        // requests and must never share a memoized answer.
+        assert_ne!(
+            completion_request_key("Kennedy"),
+            completion_request_key("kennedy")
         );
         // A completion for the literal text of a query rendering must not
         // collide with that query's run key.

@@ -7,10 +7,55 @@
 //! [retry-after hint](EndpointError::retry_after) folded in — used by
 //! [`ServiceEndpoint`](crate::ServiceEndpoint) callers and the cluster
 //! router alike.
+//!
+//! **Jitter.** A bare exponential schedule is a synchronization machine:
+//! every caller shed by the same overloaded replica computes the same
+//! delays, so the whole cohort returns in lock-step and re-saturates the
+//! gate together (coalesced followers that fall back to their own scatter
+//! are exactly such a cohort). [`Jitter`] decorrelates them with the
+//! AWS-style "decorrelated jitter" schedule — each wait is drawn uniformly
+//! from `[base, 3 × previous]`, clamped to `[base, max_delay]` — using a
+//! tiny deterministic SplitMix64 stream seeded per caller, so retry timing
+//! is reproducible in tests without any `rand` dependency.
 
 use std::time::Duration;
 
 use crate::endpoint::{Endpoint, EndpointError};
+
+/// A deterministic per-caller jitter stream (SplitMix64).
+///
+/// Cheap to construct, `Copy`-free on purpose (each caller owns and
+/// advances its own stream): two callers with different seeds produce
+/// different retry schedules, which is the whole point.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    state: u64,
+    prev: Duration,
+}
+
+impl Jitter {
+    /// A jitter stream for one caller. Distinct seeds give distinct
+    /// schedules; the same seed replays the same schedule (deterministic
+    /// tests).
+    pub fn new(seed: u64) -> Self {
+        Jitter {
+            // Pre-mix so seeds 0,1,2,… start from well-spread states.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            prev: Duration::ZERO,
+        }
+    }
+
+    /// Next uniform sample in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // SplitMix64 step.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 impl EndpointError {
     /// The error's retry-after hint: how long the *rejecting side* suggests
@@ -77,6 +122,33 @@ impl Backoff {
         self.delay(attempt).max(hint).min(self.max_delay)
     }
 
+    /// The decorrelated-jittered wait before the next retry, honoring the
+    /// rejection's retry-after hint as a floor and
+    /// [`max_delay`](Self::max_delay) as the cap.
+    ///
+    /// The schedule (per caller, via its own [`Jitter`] stream):
+    /// `next = uniform(base, 3 × prev)` clamped to `[base, max_delay]`,
+    /// with `prev` starting at `base`. Growth is exponential *in
+    /// expectation* but no two callers walk the same sequence — a shed
+    /// cohort spreads out instead of returning in lock-step.
+    pub fn jittered_wait(&self, error: &EndpointError, jitter: &mut Jitter) -> Duration {
+        let base = self.base.max(Duration::from_nanos(1));
+        let prev = if jitter.prev.is_zero() {
+            base
+        } else {
+            jitter.prev
+        };
+        let span = prev
+            .saturating_mul(3)
+            .min(self.max_delay)
+            .saturating_sub(base);
+        let drawn = base + span.mul_f64(jitter.next_f64());
+        let hint = error.retry_after().unwrap_or(Duration::ZERO);
+        let wait = drawn.max(hint).min(self.max_delay);
+        jitter.prev = wait.max(base);
+        wait
+    }
+
     /// Run `op` with this policy: retry (sleeping [`wait_for`](Self::wait_for))
     /// while it fails with a back-pressure rejection that carries a
     /// retry-after hint, up to `max_retries` retries. Non-retryable errors
@@ -98,6 +170,32 @@ impl Backoff {
                         return Err(e);
                     }
                     std::thread::sleep(self.wait_for(attempt, &e));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// [`run`](Self::run) with decorrelated jitter: identical retry policy
+    /// and typed-error semantics, but the sleeps come from the caller's own
+    /// [`Jitter`] stream (`seed`) instead of the shared exponential
+    /// schedule — so concurrent callers shed by the same replica do not
+    /// retry in lock-step.
+    pub fn run_jittered<T>(
+        &self,
+        seed: u64,
+        mut op: impl FnMut(u32) -> Result<T, EndpointError>,
+    ) -> Result<T, EndpointError> {
+        let mut jitter = Jitter::new(seed);
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= self.max_retries || e.retry_after().is_none() {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.jittered_wait(&e, &mut jitter));
                     attempt += 1;
                 }
             }
@@ -176,6 +274,100 @@ mod tests {
         assert_eq!(b.wait_for(0, &overloaded(7)), Duration::from_millis(7));
         // …the exponential delay dominates once it catches up.
         assert_eq!(b.wait_for(4, &overloaded(7)), Duration::from_millis(16));
+    }
+
+    /// Regression (issue 4 satellite): retry waits must not be a pure
+    /// function of the attempt number, or every caller shed together
+    /// retries together. With jitter, two callers (distinct seeds) walk
+    /// different schedules; the same seed replays the same schedule.
+    #[test]
+    fn jittered_waits_are_decorrelated_across_callers_and_deterministic() {
+        let b = Backoff {
+            max_retries: 8,
+            base: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut j = Jitter::new(seed);
+            (0..8)
+                .map(|_| b.jittered_wait(&overloaded(0), &mut j))
+                .collect()
+        };
+        let a = schedule(1);
+        let c = schedule(2);
+        assert_eq!(a, schedule(1), "same seed, same schedule");
+        assert_ne!(a, c, "different callers, different schedules");
+        // Lock-step is the bug: pre-fix, every caller's wait for attempt i
+        // was exactly `delay(i).max(hint)` — identical across callers.
+        let fixed: Vec<Duration> = (0..8).map(|i| b.wait_for(i, &overloaded(0))).collect();
+        assert_ne!(a, fixed, "jitter diverges from the fixed schedule");
+    }
+
+    #[test]
+    fn jittered_waits_stay_within_the_policy_bounds() {
+        let b = Backoff {
+            max_retries: 64,
+            base: Duration::from_millis(2),
+            max_delay: Duration::from_millis(20),
+        };
+        for seed in 0..32 {
+            let mut j = Jitter::new(seed);
+            for i in 0..64 {
+                let w = b.jittered_wait(&overloaded(0), &mut j);
+                assert!(
+                    w >= b.base && w <= b.max_delay,
+                    "seed {seed} attempt {i}: {w:?} outside [{:?}, {:?}]",
+                    b.base,
+                    b.max_delay
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_wait_honors_the_retry_after_hint_as_a_floor() {
+        let b = Backoff {
+            max_retries: 4,
+            base: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+        };
+        for seed in 0..16 {
+            let mut j = Jitter::new(seed);
+            let w = b.jittered_wait(&overloaded(40), &mut j);
+            assert!(
+                w >= Duration::from_millis(40),
+                "hint floors the wait: {w:?}"
+            );
+            assert!(w <= b.max_delay);
+        }
+    }
+
+    #[test]
+    fn run_jittered_keeps_the_typed_retry_semantics() {
+        let calls = AtomicU32::new(0);
+        let b = Backoff {
+            max_retries: 5,
+            base: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+        };
+        let result = b.run_jittered(7, |attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if attempt < 2 {
+                Err(overloaded(1))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result, Ok(2));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        // Non-retryable errors still short-circuit.
+        let calls = AtomicU32::new(0);
+        let result: Result<(), _> = b.run_jittered(7, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(EndpointError::Timeout { work_used: 1 })
+        });
+        assert_eq!(result, Err(EndpointError::Timeout { work_used: 1 }));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -6,6 +6,23 @@
 //! requests run concurrently, a bounded number may wait, everything beyond
 //! that is rejected with a typed error, and each tenant spends from a work
 //! budget denominated in the same units the evaluator charges.
+//!
+//! Two ways to wait for a slot share one fair FIFO queue:
+//!
+//! * **Parked** ([`AdmissionController::admit`]) — the classic
+//!   thread-per-request shape: the calling thread blocks on its ticket's
+//!   private condvar until a releaser hands it the slot or its deadline
+//!   passes.
+//! * **Evented** ([`AdmissionController::admit_evented`]) — nothing blocks:
+//!   the caller receives an [`AdmissionTicket`] and a grant *callback* fires
+//!   when a releaser hands the ticket its slot. The evented front-end
+//!   ([`crate::frontend`]) parks *sessions* in its reactor instead of
+//!   parking worker threads here, which is what lets a fixed worker pool
+//!   hold thousands of open sessions.
+//!
+//! Both kinds of waiter are strictly ordered by arrival: a freed slot is
+//! handed to the queue head whichever kind it is, so evented waiters can
+//! never barge past parked ones or vice versa.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,56 +31,100 @@ use std::time::{Duration, Instant};
 
 use crate::error::ServerError;
 
+/// Callback fired (at most once) when an evented ticket's grant arrives.
+///
+/// It runs on whichever thread released the slot, *after* the controller
+/// lock has been dropped — so it may safely call back into the controller
+/// (claim, cancel, even a fresh admit). It is a wake-up hint, not an
+/// ownership transfer: the grant may still be lost to a concurrent
+/// [`AdmissionTicket::cancel`], so receivers must settle the outcome through
+/// [`AdmissionTicket::try_claim`].
+pub type GrantCallback = Box<dyn FnOnce() + Send>;
+
+/// How a queued ticket's owner wants to learn about its grant.
+enum Wakeup {
+    /// A thread is parked on the ticket's condvar.
+    Park,
+    /// Nobody is parked: fire the callback (taken out exactly once).
+    Callback(Mutex<Option<GrantCallback>>),
+}
+
+impl std::fmt::Debug for Wakeup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Wakeup::Park => write!(f, "Park"),
+            Wakeup::Callback(_) => write!(f, "Callback"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TicketState {
+    /// Still queued; owns no slot.
+    Waiting,
+    /// A releaser handed this ticket its slot (the in-flight count was
+    /// *not* decremented — the slot moved directly from releaser to ticket).
+    Granted,
+    /// The owner gave up before any grant; the ticket owns nothing.
+    Cancelled,
+    /// The grant was converted into an [`AdmissionPermit`].
+    Claimed,
+}
+
 /// One queued request's private wake-up slot.
 ///
-/// Each waiter gets its *own* mutex + condvar: the releaser hands a freed
+/// Each ticket gets its *own* mutex + condvar: the releaser hands a freed
 /// execution slot to exactly the queue head and notifies only that waiter,
 /// so a release never wakes the whole queue (no thundering herd) and can
 /// never wake the wrong waiter (strict FIFO).
 #[derive(Debug)]
-struct Waiter {
-    state: Mutex<WaitState>,
+struct Ticket {
+    state: Mutex<TicketState>,
     granted: Condvar,
+    wakeup: Wakeup,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WaitState {
-    /// Still queued; owns no slot.
-    Waiting,
-    /// A releaser handed this waiter its slot (the in-flight count was
-    /// *not* decremented — the slot moved directly from releaser to waiter).
-    Granted,
-}
-
-impl Waiter {
-    fn new() -> Self {
-        Waiter {
-            state: Mutex::new(WaitState::Waiting),
+impl Ticket {
+    fn parked() -> Arc<Self> {
+        Arc::new(Ticket {
+            state: Mutex::new(TicketState::Waiting),
             granted: Condvar::new(),
-        }
+            wakeup: Wakeup::Park,
+        })
+    }
+
+    fn evented(on_grant: GrantCallback) -> Arc<Self> {
+        Arc::new(Ticket {
+            state: Mutex::new(TicketState::Waiting),
+            granted: Condvar::new(),
+            wakeup: Wakeup::Callback(Mutex::new(Some(on_grant))),
+        })
     }
 }
 
 #[derive(Debug, Default)]
 struct AdmissionState {
     in_flight: usize,
-    /// Queued waiters in arrival order. Invariant: the queue is non-empty
+    /// Queued tickets in arrival order. Invariant: the queue is non-empty
     /// only while every execution slot is taken — a freed slot is handed to
     /// the head before the releaser's in-flight count ever drops, and a new
     /// arrival takes a free slot only when the queue is empty.
-    queue: VecDeque<Arc<Waiter>>,
+    queue: VecDeque<Arc<Ticket>>,
 }
 
 /// Bounded-concurrency gate with a bounded, deadline-limited, **fair FIFO**
 /// wait queue.
 ///
 /// Queued requests are admitted strictly in arrival order: each waiter
-/// blocks on its own condvar, and a released slot is handed directly to the
-/// queue head under the controller lock (counted in
+/// blocks on (or subscribes to) its own ticket, and a released slot is
+/// handed directly to the queue head under the controller lock (counted in
 /// [`handoffs`](Self::handoffs)). New arrivals never barge past the queue,
 /// and a waiter that gives up at its deadline removes itself under the same
 /// lock — so a grant can never be stranded on a dead waiter, and no baton
 /// re-notification dance is needed.
+///
+/// The controller is used through an [`Arc`] (permits own a clone), so the
+/// admitting methods take `self: &Arc<Self>`.
 #[derive(Debug)]
 pub struct AdmissionController {
     state: Mutex<AdmissionState>,
@@ -71,6 +132,18 @@ pub struct AdmissionController {
     max_queue_depth: usize,
     queue_wait: Duration,
     handoffs: AtomicU64,
+}
+
+/// Outcome of a non-blocking [`admit_evented`](AdmissionController::admit_evented).
+#[derive(Debug)]
+pub enum AsyncAdmission {
+    /// A free slot was granted immediately; no queueing happened.
+    Ready(AdmissionPermit),
+    /// All slots taken: the request joined the FIFO queue. The grant
+    /// callback fires when a releaser hands this ticket the slot; settle
+    /// the outcome with [`AdmissionTicket::try_claim`] /
+    /// [`AdmissionTicket::cancel`].
+    Queued(AdmissionTicket),
 }
 
 impl AdmissionController {
@@ -86,47 +159,78 @@ impl AdmissionController {
         }
     }
 
+    fn permit(self: &Arc<Self>) -> AdmissionPermit {
+        AdmissionPermit {
+            controller: Arc::clone(self),
+        }
+    }
+
+    /// Take a free slot *now* or queue a ticket; shared head of both the
+    /// parked and the evented admission paths. `Ok(Ok(permit))` = admitted
+    /// immediately, `Ok(Err(ticket))` = queued.
+    #[allow(clippy::type_complexity)]
+    fn admit_or_enqueue(
+        self: &Arc<Self>,
+        make_ticket: impl FnOnce() -> Arc<Ticket>,
+    ) -> Result<Result<AdmissionPermit, Arc<Ticket>>, ServerError> {
+        let mut state = self.state.lock().unwrap();
+        // A free slot goes to a new arrival only when nobody is queued
+        // ahead of it; released slots are handed to the queue head, so
+        // with waiters present every slot is accounted for and arrivals
+        // always join the back.
+        if state.queue.is_empty() && state.in_flight < self.max_in_flight {
+            state.in_flight += 1;
+            return Ok(Ok(self.permit()));
+        }
+        if state.queue.len() >= self.max_queue_depth {
+            return Err(ServerError::Overloaded {
+                in_flight: state.in_flight,
+                queue_depth: state.queue.len(),
+            });
+        }
+        let ticket = make_ticket();
+        state.queue.push_back(ticket.clone());
+        Ok(Err(ticket))
+    }
+
     /// Acquire an execution slot, blocking in the queue if allowed.
     ///
     /// Returns [`ServerError::Overloaded`] when the queue is full and
     /// [`ServerError::QueueTimeout`] when a queued request's deadline passes
     /// — both without running any query work.
-    pub fn admit(&self) -> Result<AdmissionPermit<'_>, ServerError> {
-        let waiter = {
-            let mut state = self.state.lock().unwrap();
-            // A free slot goes to a new arrival only when nobody is queued
-            // ahead of it; released slots are handed to the queue head, so
-            // with waiters present every slot is accounted for and arrivals
-            // always join the back.
-            if state.queue.is_empty() && state.in_flight < self.max_in_flight {
-                state.in_flight += 1;
-                return Ok(AdmissionPermit { controller: self });
-            }
-            if state.queue.len() >= self.max_queue_depth {
-                return Err(ServerError::Overloaded {
-                    in_flight: state.in_flight,
-                    queue_depth: state.queue.len(),
-                });
-            }
-            let waiter = Arc::new(Waiter::new());
-            state.queue.push_back(waiter.clone());
-            waiter
+    pub fn admit(self: &Arc<Self>) -> Result<AdmissionPermit, ServerError> {
+        let ticket = match self.admit_or_enqueue(Ticket::parked)? {
+            Ok(permit) => return Ok(permit),
+            Err(ticket) => ticket,
         };
 
         let start = Instant::now();
-        let deadline = start + self.queue_wait;
-        let mut ws = waiter.state.lock().unwrap();
-        while *ws == WaitState::Waiting {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
+        // `checked_add`, not `+`: a huge `queue_wait` ("wait as long as it
+        // takes") must mean *no deadline*, never an Instant-overflow panic.
+        let deadline = start.checked_add(self.queue_wait);
+        let mut ts = ticket.state.lock().unwrap();
+        while *ts == TicketState::Waiting {
+            match deadline {
+                None => ts = ticket.granted.wait(ts).unwrap(),
+                Some(d) => {
+                    // `saturating_duration_since`, not `d - now`: the clock
+                    // may pass the deadline between the loop's check and the
+                    // subtraction, and a bare `Duration` subtraction would
+                    // panic exactly then (under load, with an expired or
+                    // zero deadline — the worst possible moment).
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    ts = ticket.granted.wait_timeout(ts, remaining).unwrap().0;
+                }
             }
-            ws = waiter.granted.wait_timeout(ws, deadline - now).unwrap().0;
         }
-        if *ws == WaitState::Granted {
-            return Ok(AdmissionPermit { controller: self });
+        if *ts == TicketState::Granted {
+            *ts = TicketState::Claimed;
+            return Ok(self.permit());
         }
-        drop(ws);
+        drop(ts);
 
         // Deadline passed. Remove ourselves from the queue under the
         // controller lock — but a releaser may have granted us between the
@@ -134,16 +238,63 @@ impl AdmissionController {
         // only happen under the controller lock, so after this check the
         // outcome is settled.
         let mut state = self.state.lock().unwrap();
-        if *waiter.state.lock().unwrap() == WaitState::Granted {
-            return Ok(AdmissionPermit { controller: self });
+        {
+            let mut ts = ticket.state.lock().unwrap();
+            if *ts == TicketState::Granted {
+                *ts = TicketState::Claimed;
+                drop(ts);
+                drop(state);
+                return Ok(self.permit());
+            }
+            *ts = TicketState::Cancelled;
         }
-        if let Some(pos) = state.queue.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+        if let Some(pos) = state.queue.iter().position(|t| Arc::ptr_eq(t, &ticket)) {
             state.queue.remove(pos);
         }
         drop(state);
         Err(ServerError::QueueTimeout {
             waited_ms: start.elapsed().as_millis() as u64,
         })
+    }
+
+    /// Take a free slot if one exists *right now*; never queues, never
+    /// blocks, never consumes queue capacity.
+    pub fn try_admit(self: &Arc<Self>) -> Option<AdmissionPermit> {
+        let mut state = self.state.lock().unwrap();
+        if state.queue.is_empty() && state.in_flight < self.max_in_flight {
+            state.in_flight += 1;
+            Some(self.permit())
+        } else {
+            None
+        }
+    }
+
+    /// Non-blocking admission: grant a free slot immediately, or join the
+    /// FIFO queue and fire `on_grant` when a releaser hands the ticket its
+    /// slot. The caller is **never parked** — the waiting itself moves into
+    /// whatever structure the caller uses to hold ready work (the evented
+    /// front-end's reactor queue).
+    ///
+    /// The queued ticket carries the same deadline a parked waiter would
+    /// have (`now + queue_wait`); nothing here enforces it — an evented
+    /// waiter has no thread to time out on — so the *owner* is responsible
+    /// for calling [`AdmissionTicket::cancel`] once
+    /// [`AdmissionTicket::expired`] turns true, and for answering the
+    /// request with [`ServerError::QueueTimeout`].
+    pub fn admit_evented(
+        self: &Arc<Self>,
+        on_grant: GrantCallback,
+    ) -> Result<AsyncAdmission, ServerError> {
+        let enqueued = Instant::now();
+        match self.admit_or_enqueue(|| Ticket::evented(on_grant))? {
+            Ok(permit) => Ok(AsyncAdmission::Ready(permit)),
+            Err(ticket) => Ok(AsyncAdmission::Queued(AdmissionTicket {
+                ticket,
+                controller: Arc::clone(self),
+                enqueued,
+                deadline: enqueued.checked_add(self.queue_wait),
+            })),
+        }
     }
 
     /// Current `(in_flight, queued)` snapshot.
@@ -158,26 +309,137 @@ impl AdmissionController {
     }
 }
 
-/// An admitted request's slot; releasing it hands the slot to the queue head
-/// (in arrival order), or frees it if nobody is waiting.
-#[derive(Debug)]
-pub struct AdmissionPermit<'a> {
-    controller: &'a AdmissionController,
+/// A queued evented admission request: the FIFO queue position of one
+/// not-yet-admitted request, owned by the caller instead of a parked thread.
+///
+/// Exactly one of three things ends its life:
+///
+/// * [`try_claim`](Self::try_claim) after the grant callback fired — the
+///   normal path; yields the [`AdmissionPermit`].
+/// * [`cancel`](Self::cancel) — deadline enforcement by the owner; removes
+///   the ticket from the queue, or (if a grant raced the cancel) yields the
+///   permit after all so the slot is never stranded.
+/// * Drop — safety net; behaves like `cancel` and releases any raced grant.
+pub struct AdmissionTicket {
+    ticket: Arc<Ticket>,
+    controller: Arc<AdmissionController>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
 }
 
-impl Drop for AdmissionPermit<'_> {
+impl std::fmt::Debug for AdmissionTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionTicket")
+            .field("state", &*self.ticket.state.lock().unwrap())
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl AdmissionTicket {
+    /// The instant this ticket's queue wait becomes a timeout (`None` when
+    /// the controller's `queue_wait` is effectively unbounded).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True once the queue-wait deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Milliseconds spent queued so far.
+    pub fn waited_ms(&self) -> u64 {
+        self.enqueued.elapsed().as_millis() as u64
+    }
+
+    /// Convert a delivered grant into the permit. `None` while still
+    /// waiting (or after a cancel settled the ticket).
+    pub fn try_claim(&self) -> Option<AdmissionPermit> {
+        let mut ts = self.ticket.state.lock().unwrap();
+        if *ts == TicketState::Granted {
+            *ts = TicketState::Claimed;
+            Some(self.controller.permit())
+        } else {
+            None
+        }
+    }
+
+    /// Abandon the wait. `None` means the ticket was removed cleanly (it
+    /// owned no slot). `Some(permit)` means a grant raced the cancel: the
+    /// caller now owns the slot and must either use it or drop the permit
+    /// (handing the slot to the next waiter) — it is never stranded.
+    pub fn cancel(&self) -> Option<AdmissionPermit> {
+        let mut state = self.controller.state.lock().unwrap();
+        {
+            let mut ts = self.ticket.state.lock().unwrap();
+            match *ts {
+                TicketState::Waiting => *ts = TicketState::Cancelled,
+                TicketState::Granted => {
+                    *ts = TicketState::Claimed;
+                    drop(ts);
+                    drop(state);
+                    return Some(self.controller.permit());
+                }
+                // Already claimed or cancelled: nothing to release.
+                TicketState::Cancelled | TicketState::Claimed => return None,
+            }
+        }
+        if let Some(pos) = state
+            .queue
+            .iter()
+            .position(|t| Arc::ptr_eq(t, &self.ticket))
+        {
+            state.queue.remove(pos);
+        }
+        None
+    }
+}
+
+impl Drop for AdmissionTicket {
+    fn drop(&mut self) {
+        // A ticket dropped while granted-but-unclaimed would strand its
+        // slot forever; cancel releases it onward.
+        drop(self.cancel());
+    }
+}
+
+/// An admitted request's slot; releasing it hands the slot to the queue head
+/// (in arrival order), or frees it if nobody is waiting. Owns an `Arc` of
+/// its controller, so it can outlive the admitting call frame (the evented
+/// front-end carries permits through its reactor).
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    controller: Arc<AdmissionController>,
+}
+
+impl Drop for AdmissionPermit {
     fn drop(&mut self) {
         let mut state = self.controller.state.lock().unwrap();
         if let Some(head) = state.queue.pop_front() {
             // Hand the slot straight to the oldest waiter: in-flight stays
             // unchanged (the slot changes owners, it never frees), and only
             // that waiter is notified. Waiters abandon the queue only under
-            // the controller lock held here, so the head is live — either
-            // blocked on its condvar, or about to re-check its state under
-            // this same lock — and the grant cannot be stranded.
-            *head.state.lock().unwrap() = WaitState::Granted;
+            // the controller lock held here, so the head is live — parked on
+            // its condvar, subscribed through its callback, or about to
+            // settle its state under this same lock — and the grant cannot
+            // be stranded.
+            *head.state.lock().unwrap() = TicketState::Granted;
             self.controller.handoffs.fetch_add(1, Ordering::Relaxed);
-            head.granted.notify_one();
+            match &head.wakeup {
+                Wakeup::Park => {
+                    head.granted.notify_one();
+                }
+                Wakeup::Callback(cb) => {
+                    // Fire outside the controller lock so the callback may
+                    // re-enter the controller (claim, cancel, even admit).
+                    let cb = cb.lock().unwrap().take();
+                    drop(state);
+                    if let Some(cb) = cb {
+                        cb();
+                    }
+                }
+            }
         } else {
             state.in_flight -= 1;
         }
@@ -298,12 +560,24 @@ impl TenantBudgets {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    fn gate(
+        max_in_flight: usize,
+        max_queue_depth: usize,
+        queue_wait: Duration,
+    ) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController::new(
+            max_in_flight,
+            max_queue_depth,
+            queue_wait,
+        ))
+    }
 
     #[test]
     fn admits_up_to_limit_then_queues_then_rejects() {
-        let gate = AdmissionController::new(1, 0, Duration::from_millis(10));
+        let gate = gate(1, 0, Duration::from_millis(10));
         let p1 = gate.admit().expect("first request admitted");
         let err = gate.admit().unwrap_err();
         assert!(matches!(
@@ -319,7 +593,7 @@ mod tests {
 
     #[test]
     fn queued_request_times_out_typed() {
-        let gate = AdmissionController::new(1, 4, Duration::from_millis(20));
+        let gate = gate(1, 4, Duration::from_millis(20));
         let _p = gate.admit().unwrap();
         let err = gate.admit().unwrap_err();
         assert!(
@@ -328,9 +602,45 @@ mod tests {
         );
     }
 
+    /// Regression (issue 4 satellite): a zero/expired queue deadline must
+    /// produce a typed `QueueTimeout`, never a `Duration`-underflow panic —
+    /// the wait loop's remaining-time subtraction saturates.
+    #[test]
+    fn zero_deadline_times_out_typed_without_panicking() {
+        let gate = gate(1, 4, Duration::ZERO);
+        let _p = gate.admit().unwrap();
+        for _ in 0..100 {
+            let err = gate.admit().unwrap_err();
+            assert!(
+                matches!(err, ServerError::QueueTimeout { waited_ms: 0..=50 }),
+                "got {err:?}"
+            );
+        }
+        assert_eq!(gate.load(), (1, 0), "expired waiters left the queue");
+    }
+
+    /// Regression (issue 4 satellite): an effectively unbounded `queue_wait`
+    /// must mean "no deadline", not an `Instant + Duration` overflow panic
+    /// on the admission path.
+    #[test]
+    fn huge_queue_wait_waits_instead_of_panicking() {
+        let gate = gate(1, 4, Duration::MAX);
+        let holder = gate.admit().unwrap();
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || gate.admit().expect("granted once the slot frees"))
+        };
+        while gate.load().1 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(holder);
+        drop(waiter.join().unwrap());
+        assert_eq!(gate.load(), (0, 0));
+    }
+
     #[test]
     fn queued_request_proceeds_when_slot_frees() {
-        let gate = Arc::new(AdmissionController::new(1, 4, Duration::from_secs(5)));
+        let gate = gate(1, 4, Duration::from_secs(5));
         let served = Arc::new(AtomicUsize::new(0));
         let permit = gate.admit().unwrap();
         let mut handles = Vec::new();
@@ -359,7 +669,7 @@ mod tests {
 
     #[test]
     fn new_arrivals_do_not_barge_past_queued_waiters() {
-        let gate = Arc::new(AdmissionController::new(1, 4, Duration::from_secs(5)));
+        let gate = gate(1, 4, Duration::from_secs(5));
         let order = Arc::new(Mutex::new(Vec::new()));
         let p1 = gate.admit().unwrap();
         let waiter = {
@@ -394,11 +704,7 @@ mod tests {
         // happen in exact arrival order — targeted head-of-queue handoff,
         // not condvar scramble.
         const WAITERS: usize = 12;
-        let gate = Arc::new(AdmissionController::new(
-            1,
-            WAITERS,
-            Duration::from_secs(10),
-        ));
+        let gate = gate(1, WAITERS, Duration::from_secs(10));
         let holder = gate.admit().unwrap();
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut handles = Vec::new();
@@ -427,6 +733,168 @@ mod tests {
         assert_eq!(*order, (0..WAITERS).collect::<Vec<_>>());
         assert_eq!(gate.handoffs(), WAITERS as u64, "every admission a handoff");
         assert_eq!(gate.load(), (0, 0));
+    }
+
+    // --- Evented admission -------------------------------------------------
+
+    #[test]
+    fn evented_admission_grants_immediately_when_free() {
+        let gate = gate(2, 4, Duration::from_secs(1));
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        match gate.admit_evented(Box::new(move || f.store(true, Ordering::SeqCst))) {
+            Ok(AsyncAdmission::Ready(permit)) => drop(permit),
+            Ok(AsyncAdmission::Queued(_)) => panic!("free slot must grant immediately"),
+            Err(e) => panic!("unexpected rejection: {e:?}"),
+        }
+        assert!(!fired.load(Ordering::SeqCst), "no callback on a free slot");
+        assert_eq!(gate.load(), (0, 0));
+    }
+
+    #[test]
+    fn evented_grant_callback_fires_and_claim_yields_the_permit() {
+        let gate = gate(1, 4, Duration::from_secs(5));
+        let holder = gate.admit().unwrap();
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        let ticket = match gate
+            .admit_evented(Box::new(move || f.store(true, Ordering::SeqCst)))
+            .unwrap()
+        {
+            AsyncAdmission::Queued(t) => t,
+            AsyncAdmission::Ready(_) => panic!("slot was held"),
+        };
+        assert!(ticket.try_claim().is_none(), "not granted yet");
+        assert_eq!(gate.load(), (1, 1));
+        drop(holder);
+        assert!(fired.load(Ordering::SeqCst), "grant callback fired inline");
+        let permit = ticket.try_claim().expect("grant claimable");
+        assert_eq!(gate.load(), (1, 0), "slot moved, never freed");
+        assert!(ticket.try_claim().is_none(), "claims are exactly-once");
+        drop(permit);
+        assert_eq!(gate.load(), (0, 0));
+        assert_eq!(gate.handoffs(), 1);
+    }
+
+    #[test]
+    fn evented_and_parked_waiters_share_one_fifo() {
+        // Arrival order: parked waiter first, evented ticket second. The
+        // first release must go to the parked thread, the second to the
+        // ticket — strict FIFO regardless of waiter kind.
+        let gate = gate(1, 4, Duration::from_secs(5));
+        let holder = gate.admit().unwrap();
+        let parked_admitted = Arc::new(AtomicBool::new(false));
+        let parked = {
+            let gate = gate.clone();
+            let flag = parked_admitted.clone();
+            std::thread::spawn(move || {
+                let permit = gate.admit().expect("parked waiter admitted");
+                flag.store(true, Ordering::SeqCst);
+                // Hold briefly so the ticket's grant observably comes second.
+                std::thread::sleep(Duration::from_millis(20));
+                drop(permit);
+            })
+        };
+        while gate.load().1 != 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let granted = Arc::new(AtomicBool::new(false));
+        let g = granted.clone();
+        let ticket = match gate
+            .admit_evented(Box::new(move || g.store(true, Ordering::SeqCst)))
+            .unwrap()
+        {
+            AsyncAdmission::Queued(t) => t,
+            AsyncAdmission::Ready(_) => panic!("slot was held"),
+        };
+        drop(holder);
+        parked.join().unwrap();
+        assert!(parked_admitted.load(Ordering::SeqCst));
+        assert!(granted.load(Ordering::SeqCst), "ticket granted second");
+        drop(ticket.try_claim().expect("claimable after grant"));
+        assert_eq!(gate.load(), (0, 0));
+    }
+
+    #[test]
+    fn evented_queue_overflow_rejects_typed() {
+        let gate = gate(1, 1, Duration::from_secs(1));
+        let _holder = gate.admit().unwrap();
+        let _queued = match gate.admit_evented(Box::new(|| {})).unwrap() {
+            AsyncAdmission::Queued(t) => t,
+            AsyncAdmission::Ready(_) => panic!("slot was held"),
+        };
+        let err = gate.admit_evented(Box::new(|| {})).unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::Overloaded {
+                in_flight: 1,
+                queue_depth: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn cancelled_ticket_leaves_the_queue_and_never_blocks_a_grant() {
+        let gate = gate(1, 4, Duration::from_secs(5));
+        let holder = gate.admit().unwrap();
+        let ticket = match gate.admit_evented(Box::new(|| {})).unwrap() {
+            AsyncAdmission::Queued(t) => t,
+            AsyncAdmission::Ready(_) => panic!("slot was held"),
+        };
+        assert_eq!(gate.load(), (1, 1));
+        assert!(ticket.cancel().is_none(), "clean cancel owns no slot");
+        assert_eq!(gate.load(), (1, 0));
+        // The freed slot goes to nobody (queue empty) — plain release.
+        drop(holder);
+        assert_eq!(gate.load(), (0, 0));
+        let _p = gate.admit().expect("gate healthy after cancel");
+    }
+
+    #[test]
+    fn cancel_after_grant_returns_the_permit_instead_of_stranding_it() {
+        let gate = gate(1, 4, Duration::from_secs(5));
+        let holder = gate.admit().unwrap();
+        let ticket = match gate.admit_evented(Box::new(|| {})).unwrap() {
+            AsyncAdmission::Queued(t) => t,
+            AsyncAdmission::Ready(_) => panic!("slot was held"),
+        };
+        drop(holder); // grants the ticket
+        let permit = ticket
+            .cancel()
+            .expect("grant raced the cancel: the slot surfaces, never strands");
+        assert_eq!(gate.load(), (1, 0));
+        drop(permit);
+        assert_eq!(gate.load(), (0, 0));
+        assert!(ticket.cancel().is_none(), "second cancel is a no-op");
+    }
+
+    #[test]
+    fn dropping_a_granted_ticket_releases_the_slot() {
+        let gate = gate(1, 4, Duration::from_secs(5));
+        let holder = gate.admit().unwrap();
+        let ticket = match gate.admit_evented(Box::new(|| {})).unwrap() {
+            AsyncAdmission::Queued(t) => t,
+            AsyncAdmission::Ready(_) => panic!("slot was held"),
+        };
+        drop(holder); // grants the ticket
+        drop(ticket); // never claimed — the Drop safety net must free it
+        assert_eq!(gate.load(), (0, 0));
+        let _p = gate.admit().expect("slot recovered");
+    }
+
+    #[test]
+    fn evented_tickets_carry_the_queue_deadline() {
+        let gate = gate(1, 4, Duration::from_millis(5));
+        let _holder = gate.admit().unwrap();
+        let ticket = match gate.admit_evented(Box::new(|| {})).unwrap() {
+            AsyncAdmission::Queued(t) => t,
+            AsyncAdmission::Ready(_) => panic!("slot was held"),
+        };
+        assert!(ticket.deadline().is_some());
+        assert!(!ticket.expired() || ticket.waited_ms() >= 5);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(ticket.expired(), "deadline passed");
+        assert!(ticket.cancel().is_none());
     }
 
     #[test]

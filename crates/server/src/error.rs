@@ -61,6 +61,10 @@ pub enum ServerError {
         /// How many alternatives the last run produced.
         available: usize,
     },
+    /// The evented front-end is draining and no longer accepts new
+    /// requests; queued work is still completed (see
+    /// [`crate::frontend::Frontend::shutdown`]).
+    ShuttingDown,
     /// The session's text boxes do not form a valid query.
     Session(SessionError),
     /// The shared model's backend (federation/endpoints) failed.
@@ -105,6 +109,7 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownSuggestion { index, available } => {
                 write!(f, "no suggestion at index {index} ({available} available)")
             }
+            ServerError::ShuttingDown => write!(f, "front-end shutting down"),
             ServerError::Session(e) => write!(f, "session error: {e}"),
             ServerError::Backend(m) => write!(f, "backend failure: {m}"),
         }

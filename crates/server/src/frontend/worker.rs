@@ -1,0 +1,394 @@
+//! The worker pool: the only threads that execute requests.
+//!
+//! Each worker loops on [`Reactor::next`], claims one ready session, and
+//! drives its head request to completion against the shared
+//! [`SapphireServer`]. Admission-controlled requests never park the worker:
+//! a full gate yields an [`AdmissionTicket`] and the *session* parks
+//! (`Phase::AwaitingGrant`) while the worker moves on to other sessions.
+//! The grant callback — fired by whichever thread releases a slot — puts the
+//! session back in the ready queue; the deadline sweep does the same for
+//! tickets whose queue wait expired, and the worker settles those to a typed
+//! [`ServerError::QueueTimeout`].
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sapphire_endpoint::ServiceError;
+
+use crate::admission::{AdmissionPermit, AsyncAdmission};
+use crate::error::ServerError;
+use crate::registry::SessionId;
+
+use super::session::{FrontRequest, FrontResponse, PendingAdmission, Phase, ResponseCallback};
+use super::{RawTarget, Shared};
+
+pub(crate) fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        match shared.reactor.next() {
+            super::reactor::Work::Exit => return,
+            super::reactor::Work::Session(id) => {
+                let followup = process(&shared, id);
+                shared.reactor.done(followup);
+            }
+        }
+    }
+}
+
+/// Operate on one scheduled session: resolve a parked admission first,
+/// otherwise execute the next queued request. Returns the session id if it
+/// still has work and must be re-scheduled.
+fn process(shared: &Arc<Shared>, id: u64) -> Option<u64> {
+    let state_arc = shared.session(id)?;
+    let mut st = state_arc.lock().unwrap();
+    match st.phase {
+        // A spurious ready entry (deadline sweep racing a grant, or a
+        // duplicate schedule): whoever owns the session now will
+        // re-schedule it if needed.
+        Phase::Idle | Phase::Running => return None,
+        Phase::Queued | Phase::AwaitingGrant => {}
+    }
+
+    if let Some(p) = st.pending.take() {
+        st.phase = Phase::Running;
+        drop(st);
+        shared.reactor.note_unparked();
+        match resolve_pending(shared, id, p, &state_arc) {
+            Ownership::Parked => return None,
+            Ownership::Held => return finish(shared, &state_arc, id),
+        }
+    }
+
+    let Some((request, respond)) = st.queue.pop_front() else {
+        st.phase = Phase::Idle;
+        let closed = st.closed;
+        drop(st);
+        if closed {
+            shared.forget_session(id);
+        }
+        return None;
+    };
+    st.phase = Phase::Running;
+    drop(st);
+    match dispatch(shared, id, request, respond, &state_arc) {
+        Ownership::Parked => None,
+        Ownership::Held => finish(shared, &state_arc, id),
+    }
+}
+
+/// Whether the worker still owns its session after a dispatch step.
+///
+/// Ownership is explicit, never inferred from the shared phase tag: once a
+/// step parks the session on an admission ticket (`Parked`), a grant can
+/// resume it on *another* worker immediately — by the time this worker gets
+/// back to `finish()`, a `Running` phase might be that other worker's, and
+/// touching it would put two workers on one session (breaking per-session
+/// ordering).
+#[must_use]
+enum Ownership {
+    /// The step completed; this worker still owns the session and must run
+    /// `finish`.
+    Held,
+    /// The step parked the session on an admission ticket; ownership
+    /// transferred to the grant/deadline machinery — hands off.
+    Parked,
+}
+
+/// A session woke from `AwaitingGrant`: claim the grant, or settle the
+/// expired ticket, or re-park on a spurious wake.
+fn resolve_pending(
+    shared: &Arc<Shared>,
+    id: u64,
+    p: PendingAdmission,
+    state_arc: &Arc<std::sync::Mutex<super::session::SessionState>>,
+) -> Ownership {
+    if let Some(permit) = p.ticket.try_claim() {
+        shared
+            .counters
+            .ticket_grants
+            .fetch_add(1, Ordering::Relaxed);
+        execute_admitted(shared, id, p.request, permit, p.respond);
+        return Ownership::Held;
+    }
+    if p.ticket.expired() {
+        match p.ticket.cancel() {
+            // The grant raced the deadline: the slot is ours — use it
+            // rather than bounce a request the gate already admitted.
+            Some(permit) => {
+                shared.counters.late_grants.fetch_add(1, Ordering::Relaxed);
+                execute_admitted(shared, id, p.request, permit, p.respond);
+            }
+            None => {
+                let err = ServerError::QueueTimeout {
+                    waited_ms: p.since.elapsed().as_millis() as u64,
+                };
+                shared.server.note_rejection(&err);
+                shared
+                    .counters
+                    .queue_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.reply(p.respond, Err(err));
+            }
+        }
+        return Ownership::Held;
+    }
+    // Spurious wake (stale deadline entry after an early grant-and-repark,
+    // or a duplicate schedule): re-park via the shared race-safe path.
+    park(shared, id, p, state_arc)
+}
+
+/// Park `p` on the session (`AwaitingGrant`), double-checking the grant
+/// under the session lock first: the grant callback skips sessions it sees
+/// `Running`, so a grant that fired between the admission call (or the
+/// spurious wake) and this lock would otherwise be lost — with the session
+/// left holding a granted slot until its deadline, or forever when the
+/// ticket has none.
+fn park(
+    shared: &Arc<Shared>,
+    id: u64,
+    p: PendingAdmission,
+    state_arc: &Arc<std::sync::Mutex<super::session::SessionState>>,
+) -> Ownership {
+    let deadline = p.ticket.deadline();
+    let mut st = state_arc.lock().unwrap();
+    if let Some(permit) = p.ticket.try_claim() {
+        shared
+            .counters
+            .ticket_grants
+            .fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        execute_admitted(shared, id, p.request, permit, p.respond);
+        return Ownership::Held;
+    }
+    // Any grant from here on finds the phase `AwaitingGrant` once we
+    // release the lock (its callback blocks on this session lock), so the
+    // wake cannot be lost.
+    st.pending = Some(p);
+    st.phase = Phase::AwaitingGrant;
+    // Count the park while still holding the session lock: a resuming
+    // worker needs this lock to take `pending`, so its `note_unparked`
+    // strictly follows this increment — the pair can never invert into a
+    // counter underflow. (Session lock → reactor lock is the crate-wide
+    // order; the reactor never takes a session lock.)
+    shared.reactor.note_parked();
+    drop(st);
+    if let Some(at) = deadline {
+        shared.reactor.schedule_deadline(at, id);
+    }
+    Ownership::Parked
+}
+
+/// After one unit of owned work: hand the session to its next state.
+/// Returns the id when more queued work exists (the caller re-schedules
+/// it). Only called while this worker owns the session, so the phase here
+/// is necessarily our own `Running`.
+fn finish(
+    shared: &Arc<Shared>,
+    state_arc: &Arc<std::sync::Mutex<super::session::SessionState>>,
+    id: u64,
+) -> Option<u64> {
+    let mut st = state_arc.lock().unwrap();
+    debug_assert_eq!(st.phase, Phase::Running, "finish() requires ownership");
+    if st.queue.is_empty() {
+        st.phase = Phase::Idle;
+        let closed = st.closed;
+        drop(st);
+        if closed {
+            shared.forget_session(id);
+        }
+        None
+    } else {
+        st.phase = Phase::Queued;
+        Some(id)
+    }
+}
+
+/// Execute one request from the head of a session's queue.
+fn dispatch(
+    shared: &Arc<Shared>,
+    id: u64,
+    request: FrontRequest,
+    respond: ResponseCallback,
+    state_arc: &Arc<std::sync::Mutex<super::session::SessionState>>,
+) -> Ownership {
+    let sid = SessionId(id);
+    match request {
+        FrontRequest::SetRow { idx, input } => {
+            let r = shared.server.set_row(sid, idx, input);
+            shared.reply(respond, r.map(|()| FrontResponse::Ack));
+            Ownership::Held
+        }
+        FrontRequest::SetModifiers { modifiers } => {
+            let r = shared.server.set_modifiers(sid, modifiers);
+            shared.reply(respond, r.map(|()| FrontResponse::Ack));
+            Ownership::Held
+        }
+        FrontRequest::ApplyAlternative { index } => {
+            let r = shared.server.apply_alternative(sid, index);
+            shared.reply(respond, r.map(FrontResponse::Table));
+            Ownership::Held
+        }
+        FrontRequest::Close => {
+            shared.server.close_session(sid);
+            state_arc.lock().unwrap().closed = true;
+            shared.reply(respond, Ok(FrontResponse::Closed));
+            Ownership::Held
+        }
+        FrontRequest::Query { query } => {
+            if let RawTarget::External(service) = &shared.raw {
+                // The external service runs its own admission tiers (a
+                // ClusterRouter never parks at the edge), so the worker
+                // drives it directly.
+                let tenant = match shared.server.session_tenant(sid) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        shared.reply(respond, Err(e));
+                        return Ownership::Held;
+                    }
+                };
+                let r = service
+                    .execute_query(&tenant, &query)
+                    .map(FrontResponse::Query)
+                    .map_err(service_to_server);
+                shared.reply(respond, r);
+                return Ownership::Held;
+            }
+            shared.server.note_service_request();
+            admit_then(
+                shared,
+                id,
+                FrontRequest::Query { query },
+                respond,
+                state_arc,
+            )
+        }
+        FrontRequest::Complete { typed } => {
+            shared.server.note_completion_request();
+            admit_then(
+                shared,
+                id,
+                FrontRequest::Complete { typed },
+                respond,
+                state_arc,
+            )
+        }
+        FrontRequest::Run => {
+            shared.server.note_run_request();
+            admit_then(shared, id, FrontRequest::Run, respond, state_arc)
+        }
+    }
+}
+
+/// Non-blocking admission for a model-touching request: execute immediately
+/// on a free slot, park the session on a ticket otherwise. This is the
+/// point where the thread-per-request tier would park a whole thread.
+fn admit_then(
+    shared: &Arc<Shared>,
+    id: u64,
+    request: FrontRequest,
+    respond: ResponseCallback,
+    state_arc: &Arc<std::sync::Mutex<super::session::SessionState>>,
+) -> Ownership {
+    let gate = shared.server.admission_gate().clone();
+    let on_grant: crate::admission::GrantCallback = {
+        let weak = Arc::downgrade(shared);
+        Box::new(move || {
+            if let Some(shared) = weak.upgrade() {
+                shared.on_grant(id);
+            }
+        })
+    };
+    match gate.admit_evented(on_grant) {
+        Ok(AsyncAdmission::Ready(permit)) => {
+            shared
+                .counters
+                .immediate_grants
+                .fetch_add(1, Ordering::Relaxed);
+            execute_admitted(shared, id, request, permit, respond);
+            Ownership::Held
+        }
+        Ok(AsyncAdmission::Queued(ticket)) => {
+            shared.counters.ticket_waits.fetch_add(1, Ordering::Relaxed);
+            park(
+                shared,
+                id,
+                PendingAdmission {
+                    ticket,
+                    request,
+                    respond,
+                    since: Instant::now(),
+                },
+                state_arc,
+            )
+        }
+        Err(e) => {
+            shared.server.note_rejection(&e);
+            shared.reply(respond, Err(e));
+            Ownership::Held
+        }
+    }
+}
+
+/// Run an admitted request against the server, permit in hand.
+fn execute_admitted(
+    shared: &Arc<Shared>,
+    id: u64,
+    request: FrontRequest,
+    permit: AdmissionPermit,
+    respond: ResponseCallback,
+) {
+    let sid = SessionId(id);
+    let result = match request {
+        FrontRequest::Complete { typed } => shared
+            .server
+            .complete_admitted(sid, &typed, permit)
+            .map(FrontResponse::Completion),
+        FrontRequest::Run => shared
+            .server
+            .run_admitted(sid, permit)
+            .map(FrontResponse::Run),
+        FrontRequest::Query { query } => {
+            let tenant = match shared.server.session_tenant(sid) {
+                Ok(t) => t,
+                Err(e) => {
+                    drop(permit);
+                    return shared.reply(respond, Err(e));
+                }
+            };
+            shared
+                .server
+                .execute_query_admitted(&tenant, &query, permit)
+                .map(FrontResponse::Query)
+        }
+        // Only admission-controlled requests reach this point.
+        other => unreachable!("non-admitted request {other:?} routed through admission"),
+    };
+    shared.reply(respond, result);
+}
+
+/// Map a raw-target service failure onto the server's typed error space
+/// (the same correspondence `ServerError::into_service_error` defines, run
+/// backwards).
+fn service_to_server(e: ServiceError) -> ServerError {
+    match e {
+        ServiceError::Overloaded {
+            in_flight,
+            queue_depth,
+        } => ServerError::Overloaded {
+            in_flight,
+            queue_depth,
+        },
+        ServiceError::Timeout { work_used } => ServerError::Timeout { work_used },
+        ServiceError::QueueTimeout { waited_ms } => ServerError::QueueTimeout { waited_ms },
+        ServiceError::QuotaExhausted {
+            tenant,
+            used,
+            budget,
+        } => ServerError::QuotaExhausted {
+            tenant,
+            used,
+            budget,
+        },
+        ServiceError::Backend(e) => ServerError::Backend(e.to_string()),
+    }
+}

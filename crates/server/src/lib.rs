@@ -64,12 +64,14 @@
 pub mod admission;
 pub mod coalesce;
 pub mod error;
+pub mod frontend;
 pub mod registry;
 pub mod response_cache;
 mod server;
 
 pub use coalesce::{CoalesceStats, Coalescer};
 pub use error::ServerError;
+pub use frontend::{FrontRequest, FrontResponse, Frontend, FrontendConfig, FrontendMetrics};
 pub use registry::{SessionEntry, SessionId, SessionRegistry};
 pub use server::{QueryRun, RunOutput, RunPayload, SapphireServer, ServerConfig, ServerMetrics};
 
@@ -146,7 +148,7 @@ res:Jack a dbo:Person ; dbo:surname "Kerry"@en ; dbo:name "John Kerry"@en .
         let s1 = srv.open_session("alice").unwrap();
         let s2 = srv.open_session("bob").unwrap();
         let r1 = srv.complete(s1, "Kenn").unwrap();
-        let r2 = srv.complete(s2, " kenn ").unwrap();
+        let r2 = srv.complete(s2, " Kenn ").unwrap();
         assert_eq!(
             r1.suggestions, r2.suggestions,
             "normalized key shares the entry"
@@ -155,6 +157,24 @@ res:Jack a dbo:Person ; dbo:surname "Kerry"@en ; dbo:name "John Kerry"@en .
         assert_eq!(m.completion_requests, 2);
         assert_eq!(m.completion_cache.hits, 1);
         assert_eq!(m.completion_cache.misses, 1);
+    }
+
+    /// Regression: the tree stage of QCM matches case-sensitively, so a
+    /// case-folding cache key let whichever spelling scanned first poison
+    /// the entry for the other (nondeterministic under concurrency — the
+    /// front-end oracle test caught it). Differently-cased terms must each
+    /// answer exactly what a direct model scan answers.
+    #[test]
+    fn differently_cased_completions_never_share_a_cache_entry() {
+        let srv = server();
+        let s = srv.open_session("alice").unwrap();
+        let upper = srv.complete(s, "K").unwrap();
+        let lower = srv.complete(s, "k").unwrap();
+        assert_eq!(upper.suggestions, srv.model().complete("K").suggestions);
+        assert_eq!(lower.suggestions, srv.model().complete("k").suggestions);
+        let m = srv.metrics();
+        assert_eq!(m.completion_cache.hits, 0, "no cross-case cache sharing");
+        assert_eq!(m.completion_cache.misses, 2);
     }
 
     #[test]

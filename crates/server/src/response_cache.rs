@@ -133,7 +133,11 @@ mod tests {
 
     #[test]
     fn completion_keys_normalize() {
-        assert_eq!(completion_key("  Kennedy "), completion_key("kennedy"));
+        assert_eq!(completion_key("  Kennedy "), completion_key("Kennedy"));
         assert_ne!(completion_key("kennedy"), completion_key("kennedys"));
+        // Case is load-bearing: the tree stage matches case-sensitively, so
+        // "Kennedy" and "kennedy" are different requests — a shared key
+        // would let one spelling's scan poison the other's cache entry.
+        assert_ne!(completion_key("Kennedy"), completion_key("kennedy"));
     }
 }

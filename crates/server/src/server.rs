@@ -11,7 +11,7 @@ use sapphire_core::{AnswerTable, CacheStats, PredictiveUserModel};
 use sapphire_endpoint::{QueryService, ServiceError};
 use sapphire_sparql::{Query, QueryResult, SelectQuery, Solutions, WorkBudget};
 
-use crate::admission::{AdmissionController, TenantBudgets};
+use crate::admission::{AdmissionController, AdmissionPermit, TenantBudgets};
 use crate::coalesce::{Coalescer, Join};
 use crate::error::{from_federation, ServerError};
 use crate::registry::{SessionId, SessionRegistry};
@@ -205,6 +205,16 @@ pub struct RunPayload {
     pub suggestions: Arc<QsmOutput>,
 }
 
+/// A session's state captured under its lock for one run request.
+#[derive(Debug)]
+struct RunSnapshot {
+    tenant: String,
+    triples: Vec<TripleInput>,
+    modifiers: Modifiers,
+    attempts: u32,
+    generation: u64,
+}
+
 /// A run served through the sessionless [`SapphireServer::run_select`]
 /// surface — what a cluster edge router scatters over shard replicas.
 #[derive(Debug, Clone)]
@@ -230,7 +240,7 @@ pub struct SapphireServer {
     pum: Arc<PredictiveUserModel>,
     config: ServerConfig,
     registry: SessionRegistry,
-    admission: AdmissionController,
+    admission: Arc<AdmissionController>,
     tenants: TenantBudgets,
     completion_cache: ShardedResponseCache<CompletionResult>,
     run_cache: ShardedResponseCache<RunPayload>,
@@ -245,11 +255,11 @@ impl SapphireServer {
     pub fn new(pum: Arc<PredictiveUserModel>, config: ServerConfig) -> Self {
         SapphireServer {
             registry: SessionRegistry::new(config.registry_shards, config.max_sessions),
-            admission: AdmissionController::new(
+            admission: Arc::new(AdmissionController::new(
                 config.max_in_flight,
                 config.max_queue_depth,
                 config.queue_wait,
-            ),
+            )),
             tenants: TenantBudgets::new(config.tenant_window_budget),
             completion_cache: ShardedResponseCache::new(
                 config.cache_shards,
@@ -375,6 +385,22 @@ impl SapphireServer {
         k: usize,
     ) -> Result<CompletionResult, ServerError> {
         let permit = self.count_rejection(self.admission.admit())?;
+        self.complete_top_admitted(tenant, typed, k, permit)
+    }
+
+    /// The post-admission QCM path: budgets, response cache, single-flight,
+    /// model scan — with an execution slot the caller already owns. This is
+    /// the entry point the evented front-end drives once a grant arrives
+    /// ([`crate::frontend`]); the blocking surfaces go through
+    /// [`complete_top_inner`](Self::complete_top_inner), which acquires the
+    /// permit by parking. Does not bump the request counter — the caller did.
+    pub(crate) fn complete_top_admitted(
+        &self,
+        tenant: &str,
+        typed: &str,
+        k: usize,
+        permit: AdmissionPermit,
+    ) -> Result<CompletionResult, ServerError> {
         self.count_rejection(self.tenants.charge(tenant, self.config.completion_cost))?;
         let key = if k == self.pum.config().k {
             completion_key(typed)
@@ -452,25 +478,74 @@ impl SapphireServer {
     /// (see [`crate::coalesce`]).
     pub fn run(&self, id: SessionId) -> Result<RunOutput, ServerError> {
         self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
-        let entry = self.registry.get(id)?;
-        let (tenant, triples, modifiers, attempts, generation) = {
-            let entry = entry.lock().unwrap();
-            (
-                entry.tenant.clone(),
-                entry.triples.clone(),
-                entry.modifiers.clone(),
-                entry.attempts,
-                entry.generation,
-            )
-        };
+        let (entry, snapshot) = self.run_snapshot(id)?;
         // Admission comes first: a shed request must cost nothing, and even
         // query building resolves keyword predicates against the shared
         // cache. The quota charge needs the built query's shape, so it
         // follows — an over-budget tenant gives its slot straight back.
         let permit = self.count_rejection(self.admission.admit())?;
-        let query = Session::resume(&self.pum, triples, modifiers, attempts).build_query()?;
+        self.run_committed(&entry, snapshot, permit)
+    }
+
+    /// The post-admission session run path — snapshot, execute, commit —
+    /// with an execution slot the caller already owns. Driven by the evented
+    /// front-end once a grant arrives; the snapshot is taken *here* (after
+    /// the grant) rather than before the wait as [`run`](Self::run) does,
+    /// which is indistinguishable to callers: each run builds from its own
+    /// snapshot and the generation check already governs every interleaving
+    /// with concurrent edits. Does not bump the request counter.
+    pub(crate) fn run_admitted(
+        &self,
+        id: SessionId,
+        permit: AdmissionPermit,
+    ) -> Result<RunOutput, ServerError> {
+        let (entry, snapshot) = self.run_snapshot(id)?;
+        self.run_committed(&entry, snapshot, permit)
+    }
+
+    /// Snapshot a session's state under its lock (released before any
+    /// admission wait or model work).
+    fn run_snapshot(
+        &self,
+        id: SessionId,
+    ) -> Result<
+        (
+            Arc<std::sync::Mutex<crate::registry::SessionEntry>>,
+            RunSnapshot,
+        ),
+        ServerError,
+    > {
+        let entry = self.registry.get(id)?;
+        let snapshot = {
+            let entry = entry.lock().unwrap();
+            RunSnapshot {
+                tenant: entry.tenant.clone(),
+                triples: entry.triples.clone(),
+                modifiers: entry.modifiers.clone(),
+                attempts: entry.attempts,
+                generation: entry.generation,
+            }
+        };
+        Ok((entry, snapshot))
+    }
+
+    /// Build, charge, execute, and commit one session run from `snapshot`,
+    /// holding `permit` through the model work.
+    fn run_committed(
+        &self,
+        entry: &std::sync::Mutex<crate::registry::SessionEntry>,
+        snapshot: RunSnapshot,
+        permit: AdmissionPermit,
+    ) -> Result<RunOutput, ServerError> {
+        let query = Session::resume(
+            &self.pum,
+            snapshot.triples,
+            snapshot.modifiers,
+            snapshot.attempts,
+        )
+        .build_query()?;
         let cost = self.run_cost(&query);
-        self.count_rejection(self.tenants.charge(&tenant, cost))?;
+        self.count_rejection(self.tenants.charge(&snapshot.tenant, cost))?;
         let (cached, run) = self.execute_run(&query)?;
         drop(permit);
         let attempts = {
@@ -479,7 +554,7 @@ impl SapphireServer {
             // Commit suggestions only if they still describe the session's
             // current rows; a superseded run must not clobber a newer run's
             // suggestions with ones the user can no longer see.
-            if entry.generation == generation {
+            if entry.generation == snapshot.generation {
                 entry.last_suggestions = Some(run.suggestions.clone());
             }
             entry.attempts
@@ -642,8 +717,58 @@ impl SapphireServer {
     /// request; hold enough permits and the server sheds everything typed,
     /// which is how maintenance drains a replica and how tests saturate one
     /// artificially.
-    pub fn hold_slot(&self) -> Result<crate::admission::AdmissionPermit<'_>, ServerError> {
+    pub fn hold_slot(&self) -> Result<AdmissionPermit, ServerError> {
         self.admission.admit()
+    }
+
+    /// The admission gate itself — for in-crate machinery (the evented
+    /// front-end) that acquires grants without parking.
+    pub(crate) fn admission_gate(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Owning tenant of a session.
+    pub(crate) fn session_tenant(&self, id: SessionId) -> Result<String, ServerError> {
+        Ok(self.registry.get(id)?.lock().unwrap().tenant.clone())
+    }
+
+    /// The post-admission session QCM path (see
+    /// [`complete_top_admitted`](Self::complete_top_admitted)). Does not
+    /// bump the request counter — the caller did.
+    pub(crate) fn complete_admitted(
+        &self,
+        id: SessionId,
+        typed: &str,
+        permit: AdmissionPermit,
+    ) -> Result<CompletionResult, ServerError> {
+        let tenant = self.session_tenant(id)?;
+        self.complete_top_admitted(&tenant, typed, self.pum.config().k, permit)
+    }
+
+    /// Record a typed rejection produced outside the blocking surfaces (the
+    /// evented front-end rejects with `Overloaded`/`QueueTimeout` from its
+    /// own loop) so [`ServerMetrics`] stays one honest ledger.
+    pub(crate) fn note_rejection(&self, e: &ServerError) {
+        let _ = self.count_rejection::<()>(Err(e.clone()));
+    }
+
+    /// Count one QCM request received (evented intake path).
+    pub(crate) fn note_completion_request(&self) {
+        self.counters
+            .completion_requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one run request received (evented intake path).
+    pub(crate) fn note_run_request(&self) {
+        self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one raw-service request received (evented intake path).
+    pub(crate) fn note_service_request(&self) {
+        self.counters
+            .service_requests
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Request keys with a live single-flight execution right now, summed
@@ -717,6 +842,24 @@ impl QueryService for SapphireServer {
         self.counters
             .service_requests
             .fetch_add(1, Ordering::Relaxed);
+        let permit = self
+            .count_rejection(self.admission.admit())
+            .map_err(ServerError::into_service_error)?;
+        self.execute_query_admitted(tenant, query, permit)
+            .map_err(ServerError::into_service_error)
+    }
+}
+
+impl SapphireServer {
+    /// The post-admission raw-query path: budgets, single-flight, federated
+    /// execution — with an execution slot the caller already owns (the
+    /// evented front-end's raw surface). Does not bump the request counter.
+    pub(crate) fn execute_query_admitted(
+        &self,
+        tenant: &str,
+        query: &Query,
+        permit: AdmissionPermit,
+    ) -> Result<QueryResult, ServerError> {
         let cost = match query {
             Query::Select(s) => self.run_cost(s),
             Query::Ask(gp) => {
@@ -724,12 +867,8 @@ impl QueryService for SapphireServer {
                     + self.config.run_per_pattern_cost * gp.triples.len() as u64
             }
         };
-        let admit = || -> Result<_, ServerError> {
-            let permit = self.count_rejection(self.admission.admit())?;
-            self.count_rejection(self.tenants.charge(tenant, cost))?;
-            Ok(permit)
-        };
-        let _permit = admit().map_err(ServerError::into_service_error)?;
+        self.count_rejection(self.tenants.charge(tenant, cost))?;
+        let _permit = permit; // held through execution, released on return
         let execute = || {
             self.pum
                 .federation()
@@ -757,9 +896,7 @@ impl QueryService for SapphireServer {
                 execute().map(Arc::new)
             }
         };
-        result
-            .map(|shared| (*shared).clone())
-            .map_err(ServerError::into_service_error)
+        result.map(|shared| (*shared).clone())
     }
 }
 

@@ -550,3 +550,112 @@ fn edge_budget_meters_cached_requests() {
     router.reset_budget_window();
     router.complete("alice", "Kenn").unwrap();
 }
+
+/// Regression (hedge-thread leak): a saturating hedge storm must never grow
+/// the population of in-flight hedge calls past
+/// `ClusterConfig::max_inflight_hedges`. Pre-fix, every hedged call was a
+/// *detached* `std::thread::spawn`; with both replicas saturated, each storm
+/// wave accumulated losing hedges without bound, each pinning an admission
+/// slot until its scan completed. Post-fix the cap suppresses the excess
+/// (counted in `hedges_suppressed`), the gauge never exceeds the cap, and
+/// losers are joined deterministically (reaper + router drop).
+#[test]
+fn hedge_storm_cannot_exceed_the_inflight_cap() {
+    const STORM: usize = 8;
+    const CAP: usize = 2;
+    let pum = Arc::new(
+        PredictiveUserModel::initialize_local(
+            "solo",
+            generate(DatasetConfig::tiny(7)),
+            EndpointLimits::warehouse(),
+            Lexicon::dbpedia_default(),
+            sapphire_config(),
+            InitMode::Federated,
+        )
+        .unwrap(),
+    );
+    let replica = |name: &str| {
+        Arc::new(SapphireServer::new(
+            pum.clone(),
+            ServerConfig {
+                name: name.to_string(),
+                max_in_flight: 1,
+                max_queue_depth: 64,
+                queue_wait: std::time::Duration::from_secs(10),
+                ..ServerConfig::for_tests()
+            },
+        ))
+    };
+    let (r0, r1) = (replica("r0"), replica("r1"));
+    let router = Arc::new(ClusterRouter::new(
+        Cluster::from_replicas(vec![vec![r0.clone(), r1.clone()]]),
+        ClusterConfig {
+            hedge_after: Some(std::time::Duration::from_millis(1)),
+            max_inflight_hedges: CAP,
+            backoff: Backoff::none(),
+            ..ClusterConfig::for_tests()
+        },
+    ));
+
+    // Saturate both replicas: every primary call *and* every hedge parks in
+    // replica admission until the holds drop, so the storm's hedge attempts
+    // all overlap — the worst case the cap exists for.
+    let hold0 = r0.hold_slot().expect("empty replica grants its slot");
+    let hold1 = r1.hold_slot().expect("empty replica grants its slot");
+
+    let storm: Vec<_> = (0..STORM)
+        .map(|i| {
+            let router = router.clone();
+            std::thread::spawn(move || router.complete(&format!("t{i}"), &format!("Storm{i}")))
+        })
+        .collect();
+
+    // Every storm call must settle its hedge decision (fired or suppressed)
+    // while the replicas stay saturated; the gauge must never top the cap.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let m = router.metrics();
+        assert!(
+            router.hedges_in_flight() <= CAP as u64,
+            "in-flight hedges {} exceed the cap {CAP}",
+            router.hedges_in_flight()
+        );
+        if m.hedges_fired + m.hedges_suppressed >= STORM as u64 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "storm never settled: {m:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let m = router.metrics();
+    assert_eq!(m.hedges_fired, CAP as u64, "exactly the cap's worth fired");
+    assert_eq!(
+        m.hedges_suppressed,
+        (STORM - CAP) as u64,
+        "the excess was suppressed, not spawned"
+    );
+
+    // Free the replicas: every storm call must complete (suppressed hedges
+    // simply waited for their primaries), and the loser scans drain the
+    // in-flight gauge back to zero.
+    drop((hold0, hold1));
+    for handle in storm {
+        handle
+            .join()
+            .unwrap()
+            .expect("storm request served after the choke");
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while router.hedges_in_flight() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "loser hedges never finished their scans"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // Dropping the router joins every parked loser handle — nothing stays
+    // detached past the router's lifetime.
+    drop(router);
+}

@@ -68,7 +68,9 @@ fn cold_completion_burst_costs_one_scan_across_sessions() {
                 barrier.wait();
                 // Mixed spellings of one request: normalization must
                 // coalesce them too, not just byte-identical strings.
-                let typed = if i % 2 == 0 { "Kenn" } else { " kenn " };
+                // (Whitespace only — case is semantic: the tree stage
+                // matches case-sensitively, so "kenn" is another request.)
+                let typed = if i % 2 == 0 { "Kenn" } else { " Kenn " };
                 server.complete(session, typed).unwrap()
             })
         })
