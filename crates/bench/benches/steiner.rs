@@ -1,12 +1,13 @@
 //! Steiner-tree relaxation benchmarks (Algorithm 3): expansion cost on the
-//! Figure 6 workload as the query budget and seed-group size vary.
+//! Figure 6 workload as the query budget and seed-group size vary, plus the
+//! cross-request `NeighborhoodCache` win (cold fill vs. warm reuse).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
 use std::hint::black_box;
 use std::sync::Arc;
 
-use sapphire_core::qsm::StructureRelaxer;
+use sapphire_core::qsm::{NeighborhoodCache, StructureRelaxer};
 use sapphire_core::SteinerConfig;
 use sapphire_datagen::{generate, DatasetConfig};
 use sapphire_endpoint::{Endpoint, EndpointLimits, FederatedProcessor, LocalEndpoint};
@@ -41,6 +42,34 @@ fn bench_relax(c: &mut Criterion) {
             b.iter(|| black_box(relaxer.relax(black_box(&groups))))
         });
     }
+    group.finish();
+
+    // The expansion-cache win: the same relaxation with every neighbor list
+    // already published (warm) vs. paying the SPARQL round trips and
+    // publishing them (cold — a fresh cache every iteration) vs. no cache
+    // at all (the pre-cache baseline the budget sweeps above measure).
+    let mut group = c.benchmark_group("steiner_relax_neighborhood_cache");
+    group.sample_size(10);
+    let config = SteinerConfig::default();
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let cache = Arc::new(NeighborhoodCache::new(4, 4096));
+            let relaxer = StructureRelaxer::new(&fed, config, preferred.clone()).with_cache(cache);
+            black_box(relaxer.relax(black_box(&groups)))
+        })
+    });
+    let warm = Arc::new(NeighborhoodCache::new(4, 4096));
+    StructureRelaxer::new(&fed, config, preferred.clone())
+        .with_cache(warm.clone())
+        .relax(&groups)
+        .expect("warmup relaxation connects");
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let relaxer =
+                StructureRelaxer::new(&fed, config, preferred.clone()).with_cache(warm.clone());
+            black_box(relaxer.relax(black_box(&groups)))
+        })
+    });
     group.finish();
 }
 

@@ -23,6 +23,15 @@
 //! * throughput ≥ 50% of the committed `BENCH_serve.json` baseline — loose
 //!   enough for noisy shared CI runners, tight enough to catch a serializing
 //!   lock or an accidental O(n) on the hot path.
+//! * `qsm.p99_us` ≤ 2× the committed baseline — the QSM tail gate. The tail
+//!   is dominated by Steiner expansion round trips; the shared
+//!   `NeighborhoodCache` is what keeps it down, so a regression there (or a
+//!   new serialization on the relax path) trips this before anyone eyeballs
+//!   a latency chart. Same 2× posture as the throughput floor.
+//! * `qsm_relax.degraded_runs == 0` — this is the default no-shed posture
+//!   (`qsm_shed_budget` off), so *no* run may come back at a reduced budget
+//!   tier; a nonzero count means degraded output leaked into a deployment
+//!   that never opted in.
 //!
 //! Usage: `cargo run --release -p sapphire-bench --bin serve_check
 //!         [--rounds 2] [--baseline BENCH_serve.json]`
@@ -141,6 +150,33 @@ fn main() {
         "total_throughput_rps",
         rps >= floor,
         format!("{rps:.1} vs baseline {baseline_rps:.1} (floor {floor:.1})"),
+    );
+    // QSM tail gate: p99 within 2× of the committed baseline. (The baseline
+    // itself is the post-NeighborhoodCache number; regenerate it with
+    // serve_load after any intentional relax-path change.)
+    let baseline_qsm_p99 = match json_f64(&baseline, Some("qsm"), "p99_us") {
+        Some(v) if v > 0.0 => v,
+        _ => {
+            eprintln!(
+                "FAIL baseline: {baseline_path} has no qsm.p99_us \
+                 (regenerate with serve_load and commit the result)"
+            );
+            std::process::exit(1);
+        }
+    };
+    let qsm_p99 = num(Some("qsm"), "p99_us");
+    let p99_cap = baseline_qsm_p99 * 2.0;
+    gate.check(
+        "qsm.p99_us",
+        qsm_p99 <= p99_cap,
+        format!("{qsm_p99:.0}us vs baseline {baseline_qsm_p99:.0}us (cap {p99_cap:.0}us)"),
+    );
+    // Default posture never sheds: zero degraded-budget runs, full stop.
+    let degraded_runs = num(Some("qsm_relax"), "degraded_runs");
+    gate.check(
+        "qsm_relax.degraded_runs",
+        degraded_runs == 0.0,
+        format!("{degraded_runs} (must be 0 with qsm_shed_budget off)"),
     );
     // Pressure drained: the load/occupancy stats section must end at zero —
     // a nonzero final queue would mean requests outlived the workload.

@@ -461,6 +461,25 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         peaks.2.load(std::sync::atomic::Ordering::Relaxed),
         server.coalesce_occupancy(),
     );
+    // The QSM-tail section: how the Steiner expansion budget was actually
+    // spent. `expansion_queries` are SPARQL round trips executed,
+    // `queries_saved` are round trips skipped because the neighbor list was
+    // already in the shared cross-request NeighborhoodCache (budget still
+    // charged — determinism), `degraded_runs` counts reduced-budget runs
+    // (must be 0 in this default no-shed posture; serve_check gates it).
+    let relax = pum.relax_cache_stats();
+    let qsm_relax = format!(
+        "{{\"expansion_queries\": {}, \"queries_saved\": {}, \"neighborhood_hits\": {}, \
+         \"neighborhood_misses\": {}, \"neighborhood_fills\": {}, \
+         \"neighborhood_evictions\": {}, \"degraded_runs\": {}}}",
+        relax.queries_executed,
+        relax.queries_saved,
+        relax.hits,
+        relax.misses,
+        relax.fills,
+        relax.evictions,
+        metrics.qsm_degraded_runs,
+    );
     let mut report = format!(
         "{{\n  \"benchmark\": \"serve_load\",\n  \"config\": {{\"users\": {users}, \
          \"rounds\": {rounds}, \"scale\": \"{scale_label}\", \"triples\": {triple_count}, \
@@ -473,6 +492,7 @@ pub fn run(opts: &ServeLoadOptions) -> String {
          \"leader_runs\": {}, \"bypass_runs\": {}, \"coalesced_hits\": {}, \"stats\": {}}},\n  \
          \"coalescing\": {{\"coalesced_hits\": {}, \"leader_runs\": {}, \"bypass_runs\": {}, \
          \"fifo_handoffs\": {}}},\n  \
+         \"qsm_relax\": {qsm_relax},\n  \
          \"rejected_total\": {},\n  \
          \"completion_cache\": {},\n  \"run_cache\": {},\n  \
          \"sessions_leaked\": {}\n}}",
@@ -580,6 +600,7 @@ mod tests {
   "qcm": {"completed": 26304, "p50_us": 370},
   "qsm": {"completed": 2592, "p50_us": 521},
   "duplicate_burst": {"requests": 256, "stats": {"completed": 256, "p50_us": 24}, "leader_runs": 16, "bypass_runs": 0, "coalesced_hits": 240},
+  "qsm_relax": {"expansion_queries": 4199, "queries_saved": 10260, "neighborhood_hits": 5130, "neighborhood_misses": 2887, "neighborhood_fills": 2887, "neighborhood_evictions": 0, "degraded_runs": 0},
   "rejected_total": 0,
   "completion_cache": {"hits": 26113, "misses": 191, "hit_ratio": 0.993, "effective_hit_ratio": 0.996},
   "run_cache": {"hits": 2490, "misses": 102, "hit_ratio": 0.961, "effective_hit_ratio": 0.978},
@@ -617,6 +638,18 @@ mod tests {
             Some(0.0)
         );
         assert_eq!(json_f64(REPORT, Some("qcm"), "completed"), Some(26304.0));
+        // The QSM-tail section the serve_check gates read. "qsm_relax" must
+        // not be shadowed by the "qsm" section search (the quoted-key match
+        // is exact) and vice versa.
+        assert_eq!(
+            json_f64(REPORT, Some("qsm_relax"), "degraded_runs"),
+            Some(0.0)
+        );
+        assert_eq!(
+            json_f64(REPORT, Some("qsm_relax"), "queries_saved"),
+            Some(10260.0)
+        );
+        assert_eq!(json_f64(REPORT, Some("qsm"), "p50_us"), Some(521.0));
     }
 
     #[test]

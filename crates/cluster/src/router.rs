@@ -254,6 +254,13 @@ pub struct ClusterRunPayload {
     /// Merged structure relaxations (shard-local Steiner searches; see the
     /// crate docs for the cross-shard caveat), prefetched cluster-wide.
     pub relaxations: Vec<StructureSuggestion>,
+    /// The highest QSM budget tier any consulted shard ran at (0 = every
+    /// shard relaxed at the full budget).
+    pub tier: usize,
+    /// True when any shard produced its suggestions at a reduced budget
+    /// ([`tier`](Self::tier) > 0). The edge never caches such a merge (see
+    /// `cache_run`), so it can never be served to a full-budget request.
+    pub degraded: bool,
 }
 
 fn run_from(payload: Arc<ClusterRunPayload>, cached: bool) -> ClusterRun {
@@ -307,6 +314,10 @@ pub struct ClusterMetrics {
     pub edge_coalesced_hits: u64,
     /// Scatters executed as edge single-flight leaders.
     pub edge_coalesce_leaders: u64,
+    /// Merged run payloads in which at least one shard relaxed at a reduced
+    /// QSM budget tier — always 0 unless the shard servers opted into
+    /// [`ServerConfig::qsm_shed_budget`](sapphire_server::ServerConfig::qsm_shed_budget).
+    pub degraded_runs: u64,
 }
 
 #[derive(Debug)]
@@ -328,6 +339,7 @@ struct Counters {
     merge_depth_max: AtomicU64,
     edge_coalesced_hits: AtomicU64,
     edge_coalesce_leaders: AtomicU64,
+    degraded_runs: AtomicU64,
 }
 
 impl Counters {
@@ -345,6 +357,7 @@ impl Counters {
             merge_depth_max: AtomicU64::new(0),
             edge_coalesced_hits: AtomicU64::new(0),
             edge_coalesce_leaders: AtomicU64::new(0),
+            degraded_runs: AtomicU64::new(0),
         }
     }
 
@@ -603,6 +616,7 @@ impl ClusterRouter {
             run_cache: self.run_cache.stats(),
             edge_coalesced_hits: self.counters.edge_coalesced_hits.load(Ordering::Relaxed),
             edge_coalesce_leaders: self.counters.edge_coalesce_leaders.load(Ordering::Relaxed),
+            degraded_runs: self.counters.degraded_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -702,6 +716,10 @@ impl ClusterRouter {
     /// surviving suggestion's answers cluster-wide.
     pub fn run(&self, tenant: &str, query: &SelectQuery) -> Result<ClusterRun, ClusterError> {
         self.charge(tenant, self.run_cost(query))?;
+        // The lookup uses the full-tier key: the edge never *requests*
+        // degradation, it only observes it in shard replies. A merge that
+        // came back degraded is re-keyed by `cache_run` below, so it can
+        // never satisfy this lookup.
         let key = run_request_key(query);
         if let Some(hit) = self.run_cache.get(&key) {
             return Ok(run_from(hit, true));
@@ -720,7 +738,7 @@ impl ClusterRouter {
                     .fetch_add(1, Ordering::Relaxed);
                 match self.scatter_run(tenant, query) {
                     Ok(payload) => {
-                        let shared = self.run_cache.insert(key, payload);
+                        let shared = self.cache_run(query, payload);
                         token.complete(Ok(shared.clone()));
                         Ok(run_from(shared, false))
                     }
@@ -742,13 +760,31 @@ impl ClusterRouter {
                 // not apply to our tenant.
                 Err(e) if tenant_scoped(&e) => self
                     .scatter_run(tenant, query)
-                    .map(|payload| run_from(self.run_cache.insert(key, payload), false)),
+                    .map(|payload| run_from(self.cache_run(query, payload), false)),
                 Err(e) => Err(e),
             },
             Join::Bypass => self
                 .scatter_run(tenant, query)
-                .map(|payload| run_from(self.run_cache.insert(key, payload), false)),
+                .map(|payload| run_from(self.cache_run(query, payload), false)),
         }
+    }
+
+    /// Cache a merged run payload — *if* it is full-tier. A merge in which
+    /// any shard relaxed at a reduced budget is counted
+    /// ([`ClusterMetrics::degraded_runs`]) and handed to the caller but
+    /// never inserted: the edge only ever looks up the full-tier key (it
+    /// observes degradation, it does not request it), so a stored degraded
+    /// entry could never be served — it would only occupy bounded LRU
+    /// capacity and evict live full-tier entries exactly when the cluster
+    /// is overloaded and the edge cache matters most. Not caching is the
+    /// strongest form of the never-mix guarantee the shard tier's
+    /// tier-suffixed keys ([`sapphire_core::run_request_key_tier`]) provide.
+    fn cache_run(&self, query: &SelectQuery, payload: ClusterRunPayload) -> Arc<ClusterRunPayload> {
+        if payload.degraded {
+            self.counters.degraded_runs.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(payload);
+        }
+        self.run_cache.insert(run_request_key(query), payload)
     }
 
     fn scatter_run(
@@ -783,6 +819,15 @@ impl ClusterRouter {
             })
             .collect();
         let executed = payloads.iter().all(|p| p.executed);
+        // Degradation is per-shard (each shard sheds on its own admission
+        // load); the merge is degraded if any contributor was, keyed by the
+        // deepest tier observed.
+        let tier = payloads
+            .iter()
+            .map(|p| p.suggestions.tier)
+            .max()
+            .unwrap_or(0);
+        let degraded = payloads.iter().any(|p| p.suggestions.degraded);
 
         // Answers: the scattered star bindings merge exactly for subject
         // stars; patterns spanning shards still need the federated bound
@@ -885,6 +930,8 @@ impl ClusterRouter {
             executed,
             alternatives,
             relaxations,
+            tier,
+            degraded,
         })
     }
 

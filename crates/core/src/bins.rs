@@ -86,6 +86,15 @@ impl ResidualBins {
     /// Scan the bins in `range` with `P = processes` workers, collecting
     /// every literal for which `accept` returns a score. Work is divided
     /// with Algorithm 1. Returns `(LitId, score)` pairs in worker order.
+    ///
+    /// Small scans run the *same* task list inline instead of spawning:
+    /// launching `P` scoped threads costs tens of microseconds, which on a
+    /// narrow length band of a modest corpus exceeds the scan itself — and
+    /// on the serving hot path (2–3 scans per QSM request, one per QCM
+    /// residual lookup) that overhead, multiplied by every in-flight
+    /// request spawning its own worker set, was the dominant term of the
+    /// QSM tail. Tasks execute in worker order either way, so the result
+    /// vector is byte-identical to the threaded path's concatenation.
     pub fn scan_parallel<F>(
         &self,
         range: Range<usize>,
@@ -95,29 +104,36 @@ impl ResidualBins {
     where
         F: Fn(&str) -> Option<f64> + Sync,
     {
+        // ~4K short-string comparisons cost roughly what one thread spawn
+        // does; below P times that, parallelism cannot win.
+        const INLINE_SCAN_THRESHOLD: usize = 4096;
         let bins = self.bins_in_range(range);
         if bins.is_empty() {
             return Vec::new();
         }
         let tasks = assign_tasks(&bins, processes.max(1));
+        let run_task = |task: &[Segment]| {
+            let mut found = Vec::new();
+            for seg in task {
+                for &id in &bins[seg.bin][seg.range.clone()] {
+                    if let Some(score) = accept(self.literal(id)) {
+                        found.push((id, score));
+                    }
+                }
+            }
+            found
+        };
+        let total: usize = bins.iter().map(|b| b.len()).sum();
+        if total <= INLINE_SCAN_THRESHOLD {
+            return tasks.iter().flat_map(|t| run_task(t)).collect();
+        }
         let mut results: Vec<Vec<(LitId, f64)>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .iter()
                 .map(|task| {
-                    let accept = &accept;
-                    let bins = &bins;
-                    scope.spawn(move || {
-                        let mut found = Vec::new();
-                        for seg in task {
-                            for &id in &bins[seg.bin][seg.range.clone()] {
-                                if let Some(score) = accept(self.literal(id)) {
-                                    found.push((id, score));
-                                }
-                            }
-                        }
-                        found
-                    })
+                    let run_task = &run_task;
+                    scope.spawn(move || run_task(task))
                 })
                 .collect();
             for h in handles {

@@ -6,7 +6,7 @@
 //! keyed by length).
 
 use std::collections::{HashMap, VecDeque};
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 use sapphire_suffix::SuffixTree;
 use sapphire_text::{jaro_winkler_ci, surface_form};
@@ -42,6 +42,70 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// Hash `key` onto one of `n` shards — shared by this crate's sharded maps
+/// (the QSM's cross-request caches) so shard selection lives in one place.
+pub(crate) fn shard_index<K: Hash + ?Sized>(key: &K, n: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % n
+}
+
+/// A sharded, concurrent [`BoundedCache`]: each shard is an independently
+/// locked LRU, so contention is proportional to key collisions rather than
+/// total traffic. The building block of this crate's cross-request QSM
+/// caches (the Steiner [`NeighborhoodCache`](crate::qsm::NeighborhoodCache)
+/// and the Algorithm-2 alternative memos), mirroring the serving tier's
+/// response cache.
+#[derive(Debug)]
+pub(crate) struct ShardedLru<K, V> {
+    shards: Vec<std::sync::Mutex<BoundedCache<K, V>>>,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> ShardedLru<K, V> {
+    /// `shards` independent LRUs of `capacity_per_shard` entries each.
+    pub(crate) fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        ShardedLru {
+            shards: (0..shards.clamp(1, 1024))
+                .map(|_| std::sync::Mutex::new(BoundedCache::new(capacity_per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Cached value for `key`, if present (counts a hit or miss, refreshes
+    /// recency). Accepts borrowed key forms, like [`BoundedCache::get`].
+    pub(crate) fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
+        let shard = &self.shards[shard_index(key, self.shards.len())];
+        shard.lock().unwrap().get(key).cloned()
+    }
+
+    /// Insert (or replace) an entry.
+    pub(crate) fn insert(&self, key: K, value: V) {
+        let shard = &self.shards[shard_index(&key, self.shards.len())];
+        shard.lock().unwrap().insert(key, value);
+    }
+
+    /// Live entries across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Aggregated counters across all shards.
+    pub(crate) fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
     }
 }
 
@@ -475,6 +539,22 @@ pub fn run_request_key(query: &impl std::fmt::Debug) -> String {
     format!("run\u{1}{query:?}")
 }
 
+/// [`run_request_key`] suffixed with the QSM budget tier the run executes
+/// at. Tier 0 (the full budget — the only tier a non-shedding deployment
+/// ever runs) keeps the plain key, so existing entries and oracles are
+/// untouched; degraded tiers get a distinct key, so a response cache or
+/// single-flight coalescer can never hand full-budget callers a degraded
+/// payload or vice versa — the same never-disagree key discipline the
+/// QCM/QSM split uses.
+pub fn run_request_key_tier(query: &impl std::fmt::Debug, tier: usize) -> String {
+    let base = run_request_key(query);
+    if tier == 0 {
+        base
+    } else {
+        format!("{base}\u{1}tier{tier}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,5 +768,23 @@ mod tests {
         assert_ne!(completion_request_key(&format!("run\u{1}{q:?}")), {
             run_request_key(&q)
         });
+    }
+
+    #[test]
+    fn tier_suffixed_run_keys_never_mix_degraded_and_full_output() {
+        let q = "SELECT-shape";
+        // Tier 0 is the plain run key: the default no-shed posture keys
+        // exactly as before this knob existed.
+        assert_eq!(run_request_key_tier(&q, 0), run_request_key(&q));
+        // Every degraded tier is distinct from the full key and from every
+        // other tier.
+        let keys: Vec<String> = (0..4).map(|t| run_request_key_tier(&q, t)).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "tiers must never share a cache entry");
+            }
+        }
+        // A different query at the same tier still gets its own key.
+        assert_ne!(run_request_key_tier(&q, 1), run_request_key_tier(&"x", 1));
     }
 }

@@ -34,13 +34,31 @@ pub struct SapphireConfig {
     pub init_page_size: usize,
     /// Steiner-tree expansion parameters (§6.2.2).
     pub steiner: SteinerConfig,
+    /// Shards of the QSM's cross-request memo caches: the Steiner
+    /// neighborhood cache ([`crate::qsm::NeighborhoodCache`]) *and* the two
+    /// Algorithm-2 alternative caches (literal and predicate sweeps inside
+    /// `AlternativeFinder`) — all three are sharded identically.
+    pub neighborhood_cache_shards: usize,
+    /// LRU capacity per shard of those same three caches: expanded vertices
+    /// whose neighbor lists stay resident, and query terms whose ranked
+    /// alternative lists stay resident.
+    pub neighborhood_cache_capacity: usize,
 }
 
 /// Parameters of the structure-relaxation (Steiner tree) search.
 #[derive(Debug, Clone, Copy)]
 pub struct SteinerConfig {
-    /// SPARQL-query budget for graph expansion (100, §6.2.2).
+    /// SPARQL-query budget for graph expansion (100, §6.2.2) — the budget of
+    /// tier 0, the only tier a non-shedding deployment ever runs.
     pub query_budget: usize,
+    /// The reduced budgets of the degraded tiers: tier `t > 0` relaxes with
+    /// `shed_budgets[t - 1]` expansion queries. Together with
+    /// [`query_budget`](Self::query_budget) this forms the serving tier's
+    /// budget ladder (see [`budget_for`](Self::budget_for)): under load a
+    /// server may *opt in* to answering at a lower rung, trading relaxation
+    /// depth for tail latency. Output produced at `t > 0` is flagged
+    /// `degraded` and must never share a cache entry with full-tier output.
+    pub shed_budgets: [usize; 2],
     /// Edge weight for predicates matching the query (or their alternatives).
     pub weight_query_predicate: f64,
     /// Edge weight for all other predicates; must exceed
@@ -51,10 +69,34 @@ pub struct SteinerConfig {
     pub seeds_per_group: usize,
 }
 
+impl SteinerConfig {
+    /// The deepest degraded tier; tiers are `0..=MAX_TIER`.
+    pub const MAX_TIER: usize = 2;
+
+    /// The expansion budget of `tier`: `query_budget` at tier 0, the ladder
+    /// entries below it (clamped to the last rung for out-of-range tiers).
+    pub fn budget_for(&self, tier: usize) -> usize {
+        match tier {
+            0 => self.query_budget,
+            t => self.shed_budgets[(t - 1).min(self.shed_budgets.len() - 1)],
+        }
+    }
+
+    /// The whole ladder, full tier first.
+    pub fn budget_ladder(&self) -> [usize; Self::MAX_TIER + 1] {
+        [
+            self.query_budget,
+            self.shed_budgets[0],
+            self.shed_budgets[1],
+        ]
+    }
+}
+
 impl Default for SteinerConfig {
     fn default() -> Self {
         SteinerConfig {
             query_budget: 100,
+            shed_budgets: [25, 5],
             weight_query_predicate: 1.0,
             weight_default: 2.0,
             seeds_per_group: 3,
@@ -77,6 +119,8 @@ impl Default for SapphireConfig {
             init_query_limit: None,
             init_page_size: 1_000,
             steiner: SteinerConfig::default(),
+            neighborhood_cache_shards: 16,
+            neighborhood_cache_capacity: 4096,
         }
     }
 }
@@ -88,6 +132,8 @@ impl SapphireConfig {
             suffix_tree_capacity: 64,
             processes: 2,
             init_page_size: 64,
+            neighborhood_cache_shards: 4,
+            neighborhood_cache_capacity: 256,
             ..Self::default()
         }
     }
@@ -109,5 +155,25 @@ mod tests {
         assert_eq!(c.language, "en");
         assert_eq!(c.steiner.query_budget, 100);
         assert!(c.steiner.weight_query_predicate < c.steiner.weight_default);
+    }
+
+    #[test]
+    fn budget_ladder_descends_from_the_paper_budget() {
+        let s = SteinerConfig::default();
+        assert_eq!(s.budget_for(0), s.query_budget);
+        let ladder = s.budget_ladder();
+        assert_eq!(ladder[0], s.query_budget);
+        assert!(
+            ladder.windows(2).all(|w| w[0] > w[1]),
+            "each rung strictly cheaper: {ladder:?}"
+        );
+        // Out-of-range tiers clamp to the deepest rung rather than panic.
+        assert_eq!(s.budget_for(99), ladder[SteinerConfig::MAX_TIER]);
+        // A custom full budget flows through tier 0 untouched.
+        let custom = SteinerConfig {
+            query_budget: 7,
+            ..SteinerConfig::default()
+        };
+        assert_eq!(custom.budget_for(0), 7);
     }
 }

@@ -63,14 +63,17 @@ pub mod session;
 
 pub use answers::AnswerTable;
 pub use cache::{
-    completion_request_key, run_request_key, BoundedCache, CacheMatch, CacheStats, CachedClass,
-    CachedData, CachedPredicate, MatchSource,
+    completion_request_key, run_request_key, run_request_key_tier, BoundedCache, CacheMatch,
+    CacheStats, CachedClass, CachedData, CachedPredicate, MatchSource,
 };
 pub use config::{SapphireConfig, SteinerConfig};
 pub use init::{InitError, InitMode, InitStats, Initializer};
 pub use pum::{PredictiveUserModel, PumError, RunOutcome};
 pub use qcm::{Completion, CompletionResult, QueryCompletion};
-pub use qsm::{QsmOutput, QuerySuggestion, RelaxedQuery, StructureSuggestion, TermAlternative};
+pub use qsm::{
+    NeighborhoodCache, NeighborhoodStats, QsmOutput, QuerySuggestion, RelaxedQuery,
+    StructureSuggestion, TermAlternative,
+};
 pub use session::{Modifiers, RunResult, Session, SessionError, TripleInput};
 
 // The serving layer shares one `PredictiveUserModel` (and its `CachedData`)
@@ -84,6 +87,7 @@ const _: () = {
     assert_send_sync::<QueryCompletion>();
     assert_send_sync::<QuerySuggestion>();
     assert_send_sync::<BoundedCache<String, String>>();
+    assert_send_sync::<NeighborhoodCache>();
 };
 
 /// Common imports for downstream users.

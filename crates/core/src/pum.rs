@@ -182,6 +182,13 @@ impl PredictiveUserModel {
 
     /// Execute a query and produce suggestions (the "Run" button).
     pub fn run(&self, query: &SelectQuery) -> RunOutcome {
+        self.run_tiered(query, 0)
+    }
+
+    /// [`run`](Self::run) with the Steiner relaxation at budget `tier`
+    /// (0 = full budget; higher tiers produce `degraded`-flagged
+    /// suggestions — the serving layer's opt-in load shedding).
+    pub fn run_tiered(&self, query: &SelectQuery, tier: usize) -> RunOutcome {
         let (answers, executed) = match self
             .fed
             .execute_parsed(&sapphire_sparql::Query::Select(query.clone()))
@@ -189,12 +196,19 @@ impl PredictiveUserModel {
             Ok(sapphire_sparql::QueryResult::Solutions(s)) => (s, true),
             _ => (Solutions::default(), false),
         };
-        let suggestions = self.qsm.suggest(query, &self.fed);
+        let suggestions = self.qsm.suggest_tiered(query, &self.fed, tier);
         RunOutcome {
             answers,
             executed,
             suggestions,
         }
+    }
+
+    /// Counter snapshot of the shared Steiner expansion cache
+    /// ([`crate::qsm::NeighborhoodCache`]) — how many expansion round trips
+    /// the model has executed vs. amortized across requests.
+    pub fn relax_cache_stats(&self) -> crate::qsm::NeighborhoodStats {
+        self.qsm.neighborhood().stats()
     }
 
     /// Parse and run a query string.

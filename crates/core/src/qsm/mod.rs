@@ -8,6 +8,7 @@
 //! suggested queries arrive with their answers prefetched.
 
 pub mod alternatives;
+pub mod neighborhood;
 pub mod relax;
 
 use std::collections::HashSet;
@@ -23,6 +24,7 @@ use crate::cache::CachedData;
 use crate::config::SapphireConfig;
 
 pub use alternatives::{AlteredPosition, AlternativeFinder, TermAlternative};
+pub use neighborhood::{Neighbor, NeighborhoodCache, NeighborhoodStats};
 pub use relax::{RelaxedQuery, StructureRelaxer};
 
 /// A relaxed-structure suggestion with prefetched answers.
@@ -52,6 +54,14 @@ pub struct QsmOutput {
     /// Wall-clock time spent producing the suggestions (§7.3.2 reports ~10 s
     /// on live DBpedia; ours is dominated by the simulated endpoint).
     pub elapsed: Duration,
+    /// The budget-ladder tier the Steiner relaxation ran at
+    /// (0 = the full [`SteinerConfig::query_budget`](crate::SteinerConfig)).
+    pub tier: usize,
+    /// True when [`tier`](Self::tier) > 0: the relaxation ran with a reduced
+    /// budget because the serving layer chose to shed under load. A caching
+    /// layer must key degraded output separately from full output — the two
+    /// may legitimately differ for the same query.
+    pub degraded: bool,
 }
 
 impl QsmOutput {
@@ -70,6 +80,10 @@ impl QsmOutput {
 pub struct QuerySuggestion {
     finder: AlternativeFinder,
     config: SapphireConfig,
+    /// Cross-request Steiner expansion cache, shared by every relaxation
+    /// against this model (the model's data is immutable, so neighbor lists
+    /// are pure functions of it — see [`neighborhood`]).
+    neighborhood: Arc<NeighborhoodCache>,
 }
 
 impl QuerySuggestion {
@@ -77,6 +91,10 @@ impl QuerySuggestion {
     pub fn new(cache: Arc<CachedData>, lexicon: Lexicon, config: SapphireConfig) -> Self {
         QuerySuggestion {
             finder: AlternativeFinder::new(cache, lexicon, config.clone()),
+            neighborhood: Arc::new(NeighborhoodCache::new(
+                config.neighborhood_cache_shards,
+                config.neighborhood_cache_capacity,
+            )),
             config,
         }
     }
@@ -86,8 +104,25 @@ impl QuerySuggestion {
         &self.finder
     }
 
-    /// Produce suggestions for an executed query.
+    /// The shared expansion cache (e.g. for observability snapshots).
+    pub fn neighborhood(&self) -> &Arc<NeighborhoodCache> {
+        &self.neighborhood
+    }
+
+    /// Produce suggestions for an executed query (full budget tier).
     pub fn suggest(&self, query: &SelectQuery, fed: &FederatedProcessor) -> QsmOutput {
+        self.suggest_tiered(query, fed, 0)
+    }
+
+    /// Produce suggestions with the Steiner relaxation running at budget
+    /// `tier` (see [`SteinerConfig::budget_for`](crate::SteinerConfig::budget_for)).
+    /// Tier 0 is the full budget; higher tiers mark the output `degraded`.
+    pub fn suggest_tiered(
+        &self,
+        query: &SelectQuery,
+        fed: &FederatedProcessor,
+        tier: usize,
+    ) -> QsmOutput {
         let start = Instant::now();
         // Build the shared candidate list first (predicates lead, matching
         // the presentation order), then prefetch by borrowing slices of it —
@@ -113,6 +148,12 @@ impl QuerySuggestion {
         // Structure relaxation: seed groups are each query literal plus its
         // top k−1 alternatives (Algorithm 3 line 3).
         let literals = query_literals(query);
+        // The budget tier only touches the relaxation; a query that cannot
+        // relax (fewer than two literal groups) produces the same bytes at
+        // every tier and must not be labeled degraded — a wrong flag would
+        // cost it cacheability (tier-keyed entries, and a cluster edge
+        // declines to cache degraded merges) and over-count degraded runs.
+        let tier = if literals.len() >= 2 { tier } else { 0 };
         let mut relaxations = Vec::new();
         if literals.len() >= 2 {
             let groups: Vec<Vec<Term>> = literals
@@ -122,11 +163,11 @@ impl QuerySuggestion {
                     for (alt, _) in self
                         .finder
                         .literal_alternatives(&lit.value)
-                        .into_iter()
+                        .iter()
                         .take(self.config.steiner.seeds_per_group.saturating_sub(1))
                     {
                         group.push(Term::Literal(Literal::lang_tagged(
-                            alt,
+                            alt.clone(),
                             self.config.language.clone(),
                         )));
                     }
@@ -134,7 +175,9 @@ impl QuerySuggestion {
                 })
                 .collect();
             let preferred = preferred_predicates(query, &alternatives);
-            let relaxer = StructureRelaxer::new(fed, self.config.steiner, preferred);
+            let relaxer = StructureRelaxer::new(fed, self.config.steiner, preferred)
+                .with_cache(self.neighborhood.clone())
+                .at_tier(tier);
             if let Some(relaxed) = relaxer.relax(&groups) {
                 let answers = match fed.execute_parsed(&Query::Select(relaxed.query.clone())) {
                     Ok(QueryResult::Solutions(s)) => s,
@@ -151,6 +194,8 @@ impl QuerySuggestion {
             relaxations,
             candidates,
             elapsed: start.elapsed(),
+            tier,
+            degraded: tier > 0,
         }
     }
 }

@@ -15,14 +15,24 @@
 //! queries against the federated processor, never direct graph access: the
 //! paper's endpoints are remote, and the 100-query budget exists precisely
 //! because each expansion costs a round trip.
+//!
+//! Those round trips amortize across requests: a relaxer built
+//! [`with_cache`](StructureRelaxer::with_cache) consults the shared
+//! [`NeighborhoodCache`] before issuing expansion
+//! queries, charging the budget identically either way so warm results stay
+//! byte-identical to a cold run (see that module's docs), and a relaxer
+//! built [`at_tier`](StructureRelaxer::at_tier) runs with a reduced budget
+//! from the [`SteinerConfig`] ladder — the serving tier's degraded mode.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 use sapphire_endpoint::FederatedProcessor;
 use sapphire_rdf::Term;
 use sapphire_sparql::{GraphPattern, Query, QueryResult, SelectQuery, TermPattern, TriplePattern};
 
+use super::neighborhood::{Neighbor, NeighborhoodCache};
 use crate::config::SteinerConfig;
 
 /// A directed RDF edge discovered during expansion.
@@ -38,7 +48,12 @@ pub struct RelaxedQuery {
     pub tree: Vec<Edge>,
     /// Terminal literals that the tree connects (one per connected group).
     pub terminals: Vec<Term>,
-    /// SPARQL queries spent on graph expansion.
+    /// Expansion budget consumed — the SPARQL queries a *cold* run issues.
+    /// A warm [`NeighborhoodCache`] serves some expansions without their
+    /// round trips but still charges them here, so this number (and the
+    /// whole relaxation) is identical warm or cold; the actual savings are
+    /// visible in
+    /// [`NeighborhoodStats::queries_saved`](super::NeighborhoodStats::queries_saved).
     pub queries_used: usize,
     /// True if every seed group was connected; false if the budget ran out
     /// after connecting only a subset.
@@ -52,14 +67,21 @@ pub struct StructureRelaxer<'a> {
     /// Predicates from the user's query (and their QSM alternatives), whose
     /// edges get the favourable weight `w_q`.
     preferred_predicates: HashSet<String>,
+    /// Shared cross-request expansion cache, if the caller has one.
+    cache: Option<Arc<NeighborhoodCache>>,
+    /// Budget-ladder tier this relaxer runs at (0 = full budget).
+    tier: usize,
 }
 
 struct Explorer<'a> {
     fed: &'a FederatedProcessor,
     budget_left: usize,
     queries_used: usize,
-    memo: HashMap<Term, Vec<(Term, Term, bool)>>,
+    /// Per-request memo: `Arc`'d so a repeat expansion within one relaxation
+    /// is a pointer bump, never a deep clone of the neighbor list.
+    memo: HashMap<Term, Arc<Vec<Neighbor>>>,
     union_edges: HashSet<Edge>,
+    shared: Option<&'a NeighborhoodCache>,
 }
 
 impl<'a> Explorer<'a> {
@@ -75,54 +97,103 @@ impl<'a> Explorer<'a> {
         )
     }
 
-    fn expand(&mut self, v: &Term) -> Option<Vec<(Term, Term, bool)>> {
+    /// Reconstruct the union-graph edges a neighbor list contributes — the
+    /// same inserts the cold path performs as it parses each solution row.
+    fn record_union_edges(&mut self, v: &Term, neighbors: &[Neighbor]) {
+        for (other, pred, outgoing) in neighbors {
+            let edge = if *outgoing {
+                (v.clone(), pred.clone(), other.clone())
+            } else {
+                (other.clone(), pred.clone(), v.clone())
+            };
+            self.union_edges.insert(edge);
+        }
+    }
+
+    fn expand(&mut self, v: &Term) -> Option<Arc<Vec<Neighbor>>> {
         if let Some(n) = self.memo.get(v) {
-            return Some(n.clone());
+            return Some(Arc::clone(n));
         }
         let needed = if v.is_literal() { 1 } else { 2 };
         if self.budget_left < needed {
             return None;
         }
-        let mut neighbors: Vec<(Term, Term, bool)> = Vec::new();
+        // What a cold expansion of `v` actually charges: the incoming-edge
+        // query always runs, the outgoing-edge query only for IRIs.
+        let charge = 1 + usize::from(v.is_iri());
+        if let Some(cache) = self.shared {
+            if let Some(neighbors) = cache.get(v) {
+                // Charge the budget exactly as the cold path below would —
+                // the search frontier must be byte-identical warm or cold —
+                // but skip the SPARQL round trips.
+                self.budget_left -= charge;
+                self.queries_used += charge;
+                cache.note_saved(charge as u64);
+                self.record_union_edges(v, &neighbors);
+                self.memo.insert(v.clone(), Arc::clone(&neighbors));
+                return Some(neighbors);
+            }
+        }
+        let mut neighbors: Vec<Neighbor> = Vec::new();
+        // True only if every expansion query actually answered — a failed
+        // round trip (endpoint timeout, shed federation hop) yields a
+        // *partial* neighbor list that must never be published to the
+        // shared cache, where it would poison every later relaxation; the
+        // per-request memo keeps it, preserving the old intra-request
+        // behavior.
+        let mut complete = true;
         // Incoming edges: ?s ?p v — valid for both literals and IRIs.
         self.budget_left -= 1;
         self.queries_used += 1;
-        if let Some(sols) = self.run_pattern(
+        match self.run_pattern(
             TermPattern::var("s"),
             TermPattern::var("p"),
             TermPattern::Term(v.clone()),
         ) {
-            for r in 0..sols.len() {
-                if let (Some(s), Some(p)) = (sols.get(r, "s"), sols.get(r, "p")) {
-                    if Self::is_schema_edge(p) {
-                        continue;
+            Some(sols) => {
+                for r in 0..sols.len() {
+                    if let (Some(s), Some(p)) = (sols.get(r, "s"), sols.get(r, "p")) {
+                        if Self::is_schema_edge(p) {
+                            continue;
+                        }
+                        neighbors.push((s.clone(), p.clone(), false));
+                        self.union_edges.insert((s.clone(), p.clone(), v.clone()));
                     }
-                    neighbors.push((s.clone(), p.clone(), false));
-                    self.union_edges.insert((s.clone(), p.clone(), v.clone()));
                 }
             }
+            None => complete = false,
         }
         // Outgoing edges: v ?p ?o — IRIs only (literals are never subjects).
         if v.is_iri() {
             self.budget_left -= 1;
             self.queries_used += 1;
-            if let Some(sols) = self.run_pattern(
+            match self.run_pattern(
                 TermPattern::Term(v.clone()),
                 TermPattern::var("p"),
                 TermPattern::var("o"),
             ) {
-                for r in 0..sols.len() {
-                    if let (Some(p), Some(o)) = (sols.get(r, "p"), sols.get(r, "o")) {
-                        if Self::is_schema_edge(p) {
-                            continue;
+                Some(sols) => {
+                    for r in 0..sols.len() {
+                        if let (Some(p), Some(o)) = (sols.get(r, "p"), sols.get(r, "o")) {
+                            if Self::is_schema_edge(p) {
+                                continue;
+                            }
+                            neighbors.push((o.clone(), p.clone(), true));
+                            self.union_edges.insert((v.clone(), p.clone(), o.clone()));
                         }
-                        neighbors.push((o.clone(), p.clone(), true));
-                        self.union_edges.insert((v.clone(), p.clone(), o.clone()));
                     }
                 }
+                None => complete = false,
             }
         }
-        self.memo.insert(v.clone(), neighbors.clone());
+        let neighbors = Arc::new(neighbors);
+        if let Some(cache) = self.shared {
+            cache.note_executed(charge as u64);
+            if complete {
+                cache.fill(v.clone(), Arc::clone(&neighbors));
+            }
+        }
+        self.memo.insert(v.clone(), Arc::clone(&neighbors));
         Some(neighbors)
     }
 
@@ -245,7 +316,24 @@ impl<'a> StructureRelaxer<'a> {
             fed,
             config,
             preferred_predicates,
+            cache: None,
+            tier: 0,
         }
+    }
+
+    /// Consult (and feed) a shared cross-request [`NeighborhoodCache`].
+    /// Results stay byte-identical to an uncached run — see the cache docs.
+    pub fn with_cache(mut self, cache: Arc<NeighborhoodCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Relax at a budget-ladder tier (0 = the full
+    /// [`query_budget`](SteinerConfig::query_budget); higher tiers use the
+    /// reduced [`shed_budgets`](SteinerConfig::shed_budgets)).
+    pub fn at_tier(mut self, tier: usize) -> Self {
+        self.tier = tier;
+        self
     }
 
     fn weight(&self, predicate: &Term) -> u64 {
@@ -269,10 +357,11 @@ impl<'a> StructureRelaxer<'a> {
         }
         let mut explorer = Explorer {
             fed: self.fed,
-            budget_left: self.config.query_budget,
+            budget_left: self.config.budget_for(self.tier),
             queries_used: 0,
             memo: HashMap::new(),
             union_edges: HashSet::new(),
+            shared: self.cache.as_deref(),
         };
         let mut searches: Vec<GroupSearch> = groups.iter().map(|g| GroupSearch::new(g)).collect();
         // settled vertex → owning group.
@@ -312,15 +401,15 @@ impl<'a> StructureRelaxer<'a> {
                     continue;
                 };
                 let fanout = neighbors.len();
-                for (other, pred, outgoing) in neighbors {
-                    let nd = d + self.weight(&pred);
-                    let better = search.dist.get(&other).is_none_or(|&old| nd < old);
+                for (other, pred, outgoing) in neighbors.iter() {
+                    let nd = d + self.weight(pred);
+                    let better = search.dist.get(other).is_none_or(|&old| nd < old);
                     if better {
                         search.dist.insert(other.clone(), nd);
                         search
                             .parent
-                            .insert(other.clone(), (v.clone(), pred, outgoing));
-                        search.heap.push(Reverse((nd, other, fanout)));
+                            .insert(other.clone(), (v.clone(), pred.clone(), *outgoing));
+                        search.heap.push(Reverse((nd, other.clone(), fanout)));
                     }
                 }
             }
@@ -587,6 +676,77 @@ res:BigSur a dbo:Film ; dbo:name "Big Sur"@en ; dbo:writer res:Kerouac .
             matches!(p.as_iri(), Some(iri) if iri.ends_with("author") || iri.ends_with("publisher") || iri.ends_with("writer"))
         });
         assert!(uses_author_or_publisher, "tree: {:?}", relaxed.tree);
+    }
+
+    #[test]
+    fn warm_cache_run_is_byte_identical_to_cold_and_skips_round_trips() {
+        let (fed, _) = setup();
+        let groups = vec![
+            vec![Term::en("Jack Kerouac")],
+            vec![Term::en("Viking Press")],
+        ];
+        let cold = StructureRelaxer::new(&fed, SteinerConfig::default(), preferred())
+            .relax(&groups)
+            .expect("cold run connects");
+
+        let cache = Arc::new(super::super::NeighborhoodCache::new(4, 256));
+        let first = StructureRelaxer::new(&fed, SteinerConfig::default(), preferred())
+            .with_cache(cache.clone())
+            .relax(&groups)
+            .expect("cache-filling run connects");
+        let warm = StructureRelaxer::new(&fed, SteinerConfig::default(), preferred())
+            .with_cache(cache.clone())
+            .relax(&groups)
+            .expect("warm run connects");
+
+        for relaxed in [&first, &warm] {
+            assert_eq!(relaxed.tree, cold.tree);
+            assert_eq!(relaxed.terminals, cold.terminals);
+            assert_eq!(relaxed.complete, cold.complete);
+            assert_eq!(
+                relaxed.queries_used, cold.queries_used,
+                "budget charged identically warm or cold"
+            );
+            assert_eq!(format!("{:?}", relaxed.query), format!("{:?}", cold.query));
+        }
+        let stats = cache.stats();
+        assert!(stats.fills > 0, "first run published neighbor lists");
+        assert!(stats.hits > 0, "warm run was served from the cache");
+        assert_eq!(
+            stats.queries_saved, warm.queries_used as u64,
+            "every budget unit of the warm run was a skipped round trip"
+        );
+    }
+
+    #[test]
+    fn degraded_tiers_use_the_ladder_budget() {
+        let (fed, _) = setup();
+        let config = SteinerConfig {
+            shed_budgets: [3, 1],
+            ..SteinerConfig::default()
+        };
+        let groups = vec![
+            vec![Term::en("Jack Kerouac")],
+            vec![Term::en("Viking Press")],
+        ];
+        // Tier 1 gets exactly the first rung's budget.
+        if let Some(r) = StructureRelaxer::new(&fed, config, preferred())
+            .at_tier(1)
+            .relax(&groups)
+        {
+            assert!(r.queries_used <= 3);
+        }
+        // Tier 2's single query cannot connect anything.
+        assert!(StructureRelaxer::new(&fed, config, preferred())
+            .at_tier(2)
+            .relax(&groups)
+            .is_none());
+        // Tier 0 is the untouched full budget.
+        let full = StructureRelaxer::new(&fed, config, preferred())
+            .at_tier(0)
+            .relax(&groups)
+            .expect("full tier connects");
+        assert!(full.complete);
     }
 
     #[test]

@@ -231,14 +231,18 @@ impl Graph {
         let Some(type_id) = self.interner.get(&type_term) else {
             return Vec::new();
         };
+        // The pos range for `rdf:type` is ordered by object, so each class's
+        // triples are consecutive — count runs, exactly as
+        // `predicate_counts` does. (A per-triple linear search of the output
+        // was O(distinct classes) per triple: quadratic over ontology-heavy
+        // graphs, and this runs during every §5 initialization.)
         let mut out: Vec<(TermId, usize)> = Vec::new();
-        self.for_each_matching(None, Some(type_id), None, |t| {
-            match out.iter_mut().find(|(c, _)| *c == t[2]) {
-                Some((_, n)) => *n += 1,
-                None => out.push((t[2], 1)),
+        for &(_p, o, _s) in range1(&self.pos, type_id.0) {
+            match out.last_mut() {
+                Some((last, n)) if last.0 == o => *n += 1,
+                _ => out.push((TermId(o), 1)),
             }
-            true
-        });
+        }
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -362,5 +366,49 @@ mod tests {
             g.count_matching(None, Some(p1), None),
             g.matching(None, Some(p1), None).len()
         );
+    }
+
+    #[test]
+    fn type_counts_match_a_naive_tally_on_a_many_class_graph() {
+        // Many distinct classes with interleaved insert order: the run-walk
+        // over the pos range must agree with a per-triple tally (the shape
+        // the old O(distinct-classes)-per-triple scan handled correctly but
+        // quadratically).
+        let mut g = Graph::new();
+        let rdf_type = Term::iri(crate::vocab::rdf::TYPE);
+        for i in 0..50 {
+            for c in 0..=(i % 7) {
+                g.insert(
+                    Term::iri(format!("s{i}-{c}")),
+                    rdf_type.clone(),
+                    Term::iri(format!("Class{c}")),
+                );
+            }
+            // Non-type triples must not be counted.
+            g.insert(
+                Term::iri(format!("s{i}-0")),
+                Term::iri("p"),
+                Term::iri(format!("Class{}", i % 7)),
+            );
+        }
+        let counts = g.type_counts();
+        let mut naive: std::collections::HashMap<TermId, usize> = std::collections::HashMap::new();
+        let type_id = g.term_id(&rdf_type).unwrap();
+        for t in g.matching(None, Some(type_id), None) {
+            *naive.entry(t[2]).or_default() += 1;
+        }
+        assert_eq!(counts.len(), naive.len());
+        for (class, n) in &counts {
+            assert_eq!(naive.get(class), Some(n));
+        }
+        // Ranked most-populous first, ties by TermId.
+        assert!(counts
+            .windows(2)
+            .all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)));
+    }
+
+    #[test]
+    fn type_counts_empty_without_rdf_type() {
+        assert!(sample().type_counts().is_empty());
     }
 }

@@ -106,6 +106,14 @@ pub fn run_key(query: &impl std::fmt::Debug) -> String {
     sapphire_core::run_request_key(query)
 }
 
+/// Normalize a built query *and its QSM budget tier* into a cache key
+/// (see [`sapphire_core::run_request_key_tier`]): tier 0 is the plain
+/// [`run_key`], degraded tiers get distinct keys so a reduced-budget payload
+/// can never be served to (or coalesced with) a full-budget request.
+pub fn run_key_tier(query: &impl std::fmt::Debug, tier: usize) -> String {
+    sapphire_core::run_request_key_tier(query, tier)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

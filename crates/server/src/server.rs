@@ -15,7 +15,7 @@ use crate::admission::{AdmissionController, AdmissionPermit, TenantBudgets};
 use crate::coalesce::{Coalescer, Join};
 use crate::error::{from_federation, ServerError};
 use crate::registry::{SessionId, SessionRegistry};
-use crate::response_cache::{completion_key, run_key, ShardedResponseCache};
+use crate::response_cache::{completion_key, run_key_tier, ShardedResponseCache};
 
 /// Tuning knobs of a [`SapphireServer`].
 #[derive(Debug, Clone)]
@@ -54,6 +54,19 @@ pub struct ServerConfig {
     /// coalescing and run their own scan, so one hot key can never grow an
     /// unbounded queue. `0` disables coalescing entirely.
     pub coalesce_waiters_per_key: usize,
+    /// Opt-in deadline-aware QSM budget shedding. When enabled, a run
+    /// admitted while the admission queue is backed up executes its Steiner
+    /// relaxation at a reduced budget tier from the
+    /// [`SteinerConfig`](sapphire_core::SteinerConfig) ladder (queue
+    /// non-empty → tier 1; queue at least half of
+    /// [`max_queue_depth`](Self::max_queue_depth) → tier 2), trading
+    /// relaxation depth for tail latency exactly when waiters are burning
+    /// their deadlines. Degraded output is flagged
+    /// ([`QsmOutput::degraded`]) and cached/coalesced under tier-suffixed
+    /// keys, so it can never be served to a full-budget request. **Default
+    /// off**: every run is full-tier and byte-identical to the single-user
+    /// library, which is what the determinism oracles assert.
+    pub qsm_shed_budget: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +88,7 @@ impl Default for ServerConfig {
             registry_shards: 16,
             max_sessions: 65_536,
             coalesce_waiters_per_key: 1024,
+            qsm_shed_budget: false,
         }
     }
 }
@@ -150,6 +164,13 @@ pub struct ServerMetrics {
     /// Admission slots handed directly from a finishing request to the
     /// oldest queued waiter (fair FIFO wakeup, no thundering herd).
     pub fifo_handoffs: u64,
+    /// Run requests that *selected* a reduced QSM budget tier (cache hits
+    /// on a tier-keyed entry included) — always 0 unless
+    /// [`ServerConfig::qsm_shed_budget`] is on *and* the queue backed up.
+    /// The payload itself reports whether the reduced budget could actually
+    /// affect it ([`QsmOutput::degraded`] stays false for queries with no
+    /// relaxation to shed).
+    pub qsm_degraded_runs: u64,
     /// Completion-cache counters.
     pub completion_cache: CacheStats,
     /// Run-cache counters.
@@ -171,6 +192,7 @@ struct Counters {
     coalesced_run_hits: AtomicU64,
     coalesce_leader_runs: AtomicU64,
     coalesce_bypass_runs: AtomicU64,
+    qsm_degraded_runs: AtomicU64,
 }
 
 /// Result of a server-side "Run" click.
@@ -179,8 +201,11 @@ pub struct RunOutput {
     /// The query's answers, wrapped for table interaction.
     pub answers: AnswerTable,
     /// QSM suggestions (also retained server-side for
-    /// [`SapphireServer::apply_alternative`]).
-    pub suggestions: QsmOutput,
+    /// [`SapphireServer::apply_alternative`]). Shared with the response
+    /// cache and the session's committed copy: handing them to the caller is
+    /// a pointer bump, not a deep copy of per-alternative prefetched answer
+    /// sets — on a hot cached query that copy *was* the per-request cost.
+    pub suggestions: Arc<QsmOutput>,
     /// True if the query executed (even with zero answers).
     pub executed: bool,
     /// The session's attempt count after this run.
@@ -546,7 +571,7 @@ impl SapphireServer {
         .build_query()?;
         let cost = self.run_cost(&query);
         self.count_rejection(self.tenants.charge(&snapshot.tenant, cost))?;
-        let (cached, run) = self.execute_run(&query)?;
+        let (cached, run) = self.execute_run(&query, self.qsm_tier())?;
         drop(permit);
         let attempts = {
             let mut entry = entry.lock().unwrap();
@@ -561,7 +586,7 @@ impl SapphireServer {
         };
         Ok(RunOutput {
             answers: AnswerTable::new(run.answers.clone()),
-            suggestions: (*run.suggestions).clone(),
+            suggestions: run.suggestions.clone(),
             executed: run.executed,
             attempts,
             cached,
@@ -578,9 +603,28 @@ impl SapphireServer {
         self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
         let permit = self.count_rejection(self.admission.admit())?;
         self.count_rejection(self.tenants.charge(tenant, self.run_cost(query)))?;
-        let (cached, payload) = self.execute_run(query)?;
+        let (cached, payload) = self.execute_run(query, self.qsm_tier())?;
         drop(permit);
         Ok(QueryRun { cached, payload })
+    }
+
+    /// The QSM budget tier the *next* run should execute at, from the
+    /// admission queue's current depth — sampled after the permit grant, so
+    /// the decision reflects the backlog the server still faces while this
+    /// run holds a slot. Always 0 (full budget) unless
+    /// [`ServerConfig::qsm_shed_budget`] opted in.
+    fn qsm_tier(&self) -> usize {
+        if !self.config.qsm_shed_budget {
+            return 0;
+        }
+        let (_, queued) = self.admission.load();
+        if queued == 0 {
+            0
+        } else if queued * 2 < self.config.max_queue_depth {
+            1
+        } else {
+            2
+        }
     }
 
     /// The cached + coalesced run path shared by [`run`](Self::run) and
@@ -589,8 +633,22 @@ impl SapphireServer {
     /// Run on the same question at once) costs one model scan; the returned
     /// flag stays an honest "this request ran no scan of its own": true for
     /// cache hits and followers, false for the scanning leader and bypasses.
-    fn execute_run(&self, query: &SelectQuery) -> Result<(bool, Arc<RunPayload>), ServerError> {
-        let key = run_key(query);
+    ///
+    /// The cache/coalescer key carries `tier`, so a degraded-budget run can
+    /// only ever hit, lead, or follow *other degraded runs of the same
+    /// tier* — full-budget requests and degraded requests never exchange
+    /// payloads in either direction.
+    fn execute_run(
+        &self,
+        query: &SelectQuery,
+        tier: usize,
+    ) -> Result<(bool, Arc<RunPayload>), ServerError> {
+        if tier > 0 {
+            self.counters
+                .qsm_degraded_runs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let key = run_key_tier(query, tier);
         if let Some(hit) = self.run_cache.get(&key) {
             return Ok((true, hit));
         }
@@ -607,7 +665,7 @@ impl SapphireServer {
                     self.counters
                         .coalesce_leader_runs
                         .fetch_add(1, Ordering::Relaxed);
-                    let run = self.run_cache.insert(key, self.scan(query));
+                    let run = self.run_cache.insert(key, self.scan(query, tier));
                     token.complete(Ok(run.clone()));
                     Ok((false, run))
                 }
@@ -624,7 +682,7 @@ impl SapphireServer {
                 self.counters
                     .coalesce_bypass_runs
                     .fetch_add(1, Ordering::Relaxed);
-                Ok((false, self.run_cache.insert(key, self.scan(query))))
+                Ok((false, self.run_cache.insert(key, self.scan(query, tier))))
             }
         }
     }
@@ -699,6 +757,7 @@ impl SapphireServer {
             coalesce_leader_runs: self.counters.coalesce_leader_runs.load(Ordering::Relaxed),
             coalesce_bypass_runs: self.counters.coalesce_bypass_runs.load(Ordering::Relaxed),
             fifo_handoffs: self.admission.handoffs(),
+            qsm_degraded_runs: self.counters.qsm_degraded_runs.load(Ordering::Relaxed),
             completion_cache: self.completion_cache.stats(),
             run_cache: self.run_cache.stats(),
             open_sessions: self.registry.len(),
@@ -782,9 +841,10 @@ impl SapphireServer {
     }
 
     /// Execute the model scan for a built query (the expensive part a
-    /// single-flight leader runs on behalf of its followers).
-    fn scan(&self, query: &SelectQuery) -> RunPayload {
-        let outcome = self.pum.run(query);
+    /// single-flight leader runs on behalf of its followers), with the
+    /// Steiner relaxation at `tier`.
+    fn scan(&self, query: &SelectQuery, tier: usize) -> RunPayload {
+        let outcome = self.pum.run_tiered(query, tier);
         RunPayload {
             answers: outcome.answers,
             executed: outcome.executed,
@@ -1068,6 +1128,124 @@ mod tests {
         let m = server.metrics();
         assert_eq!(m.coalesce_leader_runs, 1);
         assert_eq!(m.completion_cache.hits, 1);
+    }
+
+    #[test]
+    fn degraded_and_full_runs_never_share_a_cache_entry() {
+        // One execution slot + a deep queue: with shedding opted in, a run
+        // admitted while others still wait must execute at a reduced tier,
+        // and a run admitted once the queue drained must get the full tier —
+        // from a *separate* cache entry, in both directions.
+        let config = ServerConfig {
+            max_in_flight: 1,
+            max_queue_depth: 8,
+            queue_wait: Duration::from_secs(5),
+            qsm_shed_budget: true,
+            ..ServerConfig::for_tests()
+        };
+        let server = Arc::new(SapphireServer::new(pum(), config));
+        let permit = server.admission.admit().unwrap();
+        let runs: Vec<_> = (0..3)
+            .map(|i| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    // Identical rows across sessions: one normalized query,
+                    // so any key mixing would be visible immediately. Two
+                    // literal rows, so the Steiner relaxation applies and a
+                    // reduced tier genuinely marks the output degraded.
+                    let session = server.open_session(&format!("t{i}")).unwrap();
+                    server
+                        .set_row(session, 0, TripleInput::new("?p", "surname", "Kennedys"))
+                        .unwrap();
+                    server
+                        .set_row(
+                            session,
+                            1,
+                            TripleInput::new("?p", "name", "John F. Kennedy"),
+                        )
+                        .unwrap();
+                    server.run(session).unwrap()
+                })
+            })
+            .collect();
+        while server.admission.load().1 < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(permit);
+        let outputs: Vec<RunOutput> = runs.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // FIFO drain: the first two runs executed with a non-empty queue
+        // behind them (tier 1 — one scan, one degraded-entry cache hit), the
+        // last with the queue empty (tier 0 — its own full scan).
+        let degraded = outputs.iter().filter(|o| o.suggestions.degraded).count();
+        assert_eq!(degraded, 2, "two degraded, one full: {outputs:?}");
+        let m = server.metrics();
+        assert_eq!(m.qsm_degraded_runs, 2);
+        assert_eq!(
+            m.coalesce_leader_runs, 2,
+            "one scan per tier: the tiers never coalesced onto one flight"
+        );
+        for o in &outputs {
+            assert_eq!(o.suggestions.degraded, o.suggestions.tier > 0);
+            // Degraded or not, the request itself was served.
+            assert!(o.executed);
+        }
+
+        // The regression this pins: with the queue drained, an identical
+        // request selects tier 0 and must hit the FULL entry — a shared key
+        // would hand it the cached degraded payload.
+        let session = server.open_session("later").unwrap();
+        server
+            .set_row(session, 0, TripleInput::new("?p", "surname", "Kennedys"))
+            .unwrap();
+        server
+            .set_row(
+                session,
+                1,
+                TripleInput::new("?p", "name", "John F. Kennedy"),
+            )
+            .unwrap();
+        let fresh = server.run(session).unwrap();
+        assert!(fresh.cached, "tier-0 entry already cached by the third run");
+        assert!(
+            !fresh.suggestions.degraded,
+            "a full-budget request must never see a degraded payload"
+        );
+        assert_eq!(server.metrics().coalesce_leader_runs, 2, "no new scan");
+    }
+
+    #[test]
+    fn shedding_disabled_by_default_never_degrades() {
+        let config = ServerConfig {
+            max_in_flight: 1,
+            max_queue_depth: 8,
+            queue_wait: Duration::from_secs(5),
+            ..ServerConfig::for_tests()
+        };
+        assert!(!config.qsm_shed_budget, "shedding is opt-in");
+        let server = Arc::new(SapphireServer::new(pum(), config));
+        let permit = server.admission.admit().unwrap();
+        let runs: Vec<_> = (0..3)
+            .map(|i| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let session = server.open_session(&format!("t{i}")).unwrap();
+                    server
+                        .set_row(session, 0, TripleInput::new("?p", "surname", "Kennedy"))
+                        .unwrap();
+                    server.run(session).unwrap()
+                })
+            })
+            .collect();
+        while server.admission.load().1 < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(permit);
+        for out in runs.into_iter().map(|h| h.join().unwrap()) {
+            assert!(!out.suggestions.degraded);
+            assert_eq!(out.suggestions.tier, 0);
+        }
+        assert_eq!(server.metrics().qsm_degraded_runs, 0);
     }
 
     #[test]
