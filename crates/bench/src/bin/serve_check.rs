@@ -187,6 +187,76 @@ fn main() {
         format!("{final_queued} (must be 0)"),
     );
 
+    // --- Observability gates: the shared `"stages"` section and tracing.
+    //
+    // Coverage: at least 8 named stages recorded observations, spanning the
+    // front-end (frontend_queue), admission (admission_wait), server
+    // (cache_lookup/qcm_scan/qsm_scan/steiner_relax/coalesce_wait), and
+    // cluster (shard_rtt/edge_merge) tiers — a stage that silently stopped
+    // recording is an instrumentation regression, not a tuning knob.
+    const STAGES: [&str; 10] = [
+        "frontend_queue",
+        "admission_wait",
+        "coalesce_wait",
+        "cache_lookup",
+        "qcm_scan",
+        "qsm_scan",
+        "steiner_relax",
+        "shard_rtt",
+        "edge_merge",
+        "end_to_end",
+    ];
+    let recorded: Vec<&str> = STAGES
+        .iter()
+        .copied()
+        .filter(|s| json_f64(&report, Some(s), "count").is_some_and(|c| c >= 1.0))
+        .collect();
+    gate.check(
+        "stages coverage",
+        recorded.len() >= 8,
+        format!("{} stages recorded: {recorded:?} (floor 8)", recorded.len()),
+    );
+    // Self-consistency: every stage nests inside some recorded end-to-end
+    // request and percentiles report bucket ceilings clamped to the exact
+    // max, so no stage's p99 can exceed the end-to-end max. A violation
+    // means a stage timer leaked outside request scope (or a histogram
+    // merged the wrong shard).
+    let e2e_max = num(Some("end_to_end"), "max_us");
+    for &stage in &recorded {
+        if stage == "end_to_end" {
+            continue;
+        }
+        let p99 = num(Some(stage), "p99_us");
+        gate.check(
+            &format!("stages.{stage}.p99_us"),
+            p99 <= e2e_max,
+            format!("{p99:.0}us vs end_to_end max {e2e_max:.0}us"),
+        );
+    }
+    // At the default sampling rate the flight-recorder ring must never
+    // overflow — a dropped trace at rest means the recorder shrank or
+    // something traces when it should not.
+    let dropped = num(Some("trace"), "dropped");
+    gate.check(
+        "trace.dropped",
+        dropped == 0.0,
+        format!("{dropped} (must be 0 at default sampling)"),
+    );
+    // Tracing overhead: the same cache-hit hot loop, untraced vs sampled at
+    // 1/64 in alternating chunks (both sides of the pair come from this
+    // run, so runner speed cancels out). Sampled must keep ≥ 90%.
+    let hot_untraced = num(Some("trace"), "hot_rps_untraced");
+    let hot_sampled = num(Some("trace"), "hot_rps_sampled");
+    gate.check(
+        "trace sampling overhead",
+        hot_sampled >= 0.9 * hot_untraced,
+        format!(
+            "{hot_sampled:.0} rps sampled (1/64) vs {hot_untraced:.0} rps untraced \
+             (floor 90%, ratio {:.3})",
+            hot_sampled / hot_untraced.max(1.0)
+        ),
+    );
+
     // --- Front-end gate: thousands of idle sessions on a small pool.
     //
     // The report's "frontend" section ran 2,000+ open think-time sessions

@@ -55,6 +55,12 @@ fn main() {
     // replicated topology behind a `ClusterRouter` (`--cluster [--shards N]
     // [--replicas N]`). Reports routing metrics and the determinism
     // self-check; never touches the single-server baseline file.
+    // Tracing: `--trace` samples every request into the flight recorder
+    // (slowest traces dump to stderr after the run); `--trace-sample N`
+    // picks a 1-in-N rate instead. Stage histograms are on regardless.
+    let trace_default = usize::from(std::env::args().any(|a| a == "--trace"));
+    let trace_sample = arg_usize("--trace-sample", trace_default) as u32;
+
     if std::env::args().any(|a| a == "--cluster") {
         let defaults = ClusterLoadOptions::default();
         let opts = ClusterLoadOptions {
@@ -64,6 +70,7 @@ fn main() {
             shards: arg_usize("--shards", defaults.shards),
             replicas: arg_usize("--replicas", defaults.replicas),
             determinism_sample: arg_usize("--determinism-sample", defaults.determinism_sample),
+            trace_sample,
         };
         println!("{}", cluster::run(&opts));
         return;
@@ -82,6 +89,8 @@ fn main() {
         queue_wait_ms: 0,
         frontend_sessions: arg_usize("--frontend-sessions", defaults.frontend_sessions),
         frontend_workers: arg_usize("--frontend-workers", defaults.frontend_workers),
+        trace_sample,
+        cluster_shards: arg_usize("--cluster-shards", defaults.cluster_shards),
     };
     let report = serve::run(&opts);
     println!("{report}");

@@ -42,6 +42,9 @@ pub struct ClusterLoadOptions {
     /// Questions (and QCM terms) replayed by the determinism self-check
     /// (`0` skips it).
     pub determinism_sample: usize,
+    /// Trace one request in N through the router's flight recorder (`0` =
+    /// off; slowest traces dump to stderr after the run).
+    pub trace_sample: u32,
 }
 
 impl Default for ClusterLoadOptions {
@@ -53,6 +56,7 @@ impl Default for ClusterLoadOptions {
             shards: 2,
             replicas: 2,
             determinism_sample: 8,
+            trace_sample: 0,
         }
     }
 }
@@ -105,6 +109,7 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
     // caches, for the determinism self-check.
     let replay_cluster = Cluster::from_replicas(cluster.shards().to_vec());
     let router = Arc::new(ClusterRouter::new(cluster, ClusterConfig::default()));
+    router.obs().set_sampling(opts.trace_sample);
     let replay = ClusterRouter::new(replay_cluster, ClusterConfig::default());
 
     // Build each question's query once. Keyword predicates resolve against
@@ -231,7 +236,14 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
         )
     };
     let fanout_total: u64 = metrics.fanout_per_shard.iter().sum();
-    format!(
+    let obs = router.obs();
+    if opts.trace_sample > 0 {
+        eprintln!(
+            "(flight recorder: slowest end-to-end traces)\n{}",
+            obs.recorder().dump_slowest(5)
+        );
+    }
+    let report = format!(
         "{{\n  \"benchmark\": \"serve_cluster\",\n  \"config\": {{\"users\": {}, \
          \"rounds\": {}, \"scale\": \"{}\", \"shards\": {}, \"replicas\": {}, \
          \"triples\": {triple_count}, \"schema_triples\": {schema_triples}, \
@@ -243,6 +255,8 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
          \"merges\": {}, \"merge_depth_max\": {}, \"edge_coalesced_hits\": {}, \
          \"edge_coalesce_leaders\": {}}},\n  \
          \"edge_completion_cache\": {},\n  \"edge_run_cache\": {},\n  \
+         \"stages\": {},\n  \
+         \"trace\": {{\"sampling\": {}, \"recorded\": {}, \"dropped\": {}}},\n  \
          \"merge_mismatches\": {merge_mismatches},\n  \
          \"rejected_total\": {}\n}}",
         opts.users,
@@ -264,6 +278,11 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
         metrics.edge_coalesce_leaders,
         cache_stats(metrics.completion_cache),
         cache_stats(metrics.run_cache),
+        obs.stages_json(),
+        opts.trace_sample,
+        obs.recorder().recorded(),
+        obs.recorder().evicted(),
         qcm.rejected() + qsm.rejected(),
-    )
+    );
+    report
 }

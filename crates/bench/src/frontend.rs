@@ -284,28 +284,35 @@ fn hot_next(state: &Arc<HotState>) {
 // --- The phase itself -------------------------------------------------------
 
 /// Run the front-end phase over an already-initialized shared model and
-/// return its JSON report section (one `{...}` object).
-pub fn phase(pum: Arc<PredictiveUserModel>, opts: &FrontendPhaseOptions) -> String {
+/// return its JSON report section (one `{...}` object). `obs` aggregates
+/// this phase's stage histograms and traces into a caller-shared handle
+/// (`None` gives the phase its own).
+pub fn phase(
+    pum: Arc<PredictiveUserModel>,
+    opts: &FrontendPhaseOptions,
+    obs: Option<Arc<sapphire_obs::Obs>>,
+) -> String {
     let queue_wait_ms = if opts.queue_wait_ms > 0 {
         opts.queue_wait_ms
     } else {
         1_000
     };
     let workers = opts.workers.max(1);
-    let server = Arc::new(SapphireServer::new(
-        pum,
-        ServerConfig {
-            // The pool is the concurrency: at most one admitted call per
-            // worker, so `max_in_flight == workers` means evented admission
-            // grants immediately and the *reactor* queue is where sessions
-            // wait — the architecture under test.
-            max_in_flight: workers,
-            max_queue_depth: workers * 4,
-            queue_wait: Duration::from_millis(queue_wait_ms),
-            max_sessions: opts.sessions + opts.hot_sessions + 16,
-            ..ServerConfig::default()
-        },
-    ));
+    let server_config = ServerConfig {
+        // The pool is the concurrency: at most one admitted call per
+        // worker, so `max_in_flight == workers` means evented admission
+        // grants immediately and the *reactor* queue is where sessions
+        // wait — the architecture under test.
+        max_in_flight: workers,
+        max_queue_depth: workers * 4,
+        queue_wait: Duration::from_millis(queue_wait_ms),
+        max_sessions: opts.sessions + opts.hot_sessions + 16,
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(match obs {
+        Some(obs) => SapphireServer::with_obs(pum, server_config, obs),
+        None => SapphireServer::new(pum, server_config),
+    });
     let fe = Arc::new(Frontend::new(
         server.clone(),
         FrontendConfig {
@@ -562,6 +569,6 @@ pub fn run(opts: &FrontendPhaseOptions, scale: &str) -> String {
     format!(
         "{{\n  \"benchmark\": \"frontend_load\",\n  \"config\": {{\"scale\": \"{scale}\", \
          \"triples\": {triple_count}}},\n  \"frontend\": {}\n}}",
-        phase(pum, opts)
+        phase(pum, opts, None)
     )
 }

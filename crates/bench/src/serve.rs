@@ -25,11 +25,13 @@
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use sapphire_cluster::{Cluster, ClusterConfig, ClusterRouter};
 use sapphire_core::prelude::*;
 use sapphire_core::session::Modifiers;
 use sapphire_core::InitMode;
 use sapphire_datagen::generate;
 use sapphire_datagen::workload::appendix_b;
+use sapphire_obs::Obs;
 use sapphire_server::{SapphireServer, ServerConfig, ServerError};
 
 use crate::dataset_for;
@@ -68,6 +70,13 @@ pub struct ServeLoadOptions {
     pub frontend_sessions: usize,
     /// Worker threads of the front-end phase.
     pub frontend_workers: usize,
+    /// Trace one request in N through the shared flight recorder (`0` = off,
+    /// the default — histograms stay on either way). `--trace` sets 1.
+    pub trace_sample: u32,
+    /// Shards of the embedded cluster scatter phase (1 replica each), which
+    /// populates the cluster-tier stages (`shard_rtt`, `edge_merge`) in the
+    /// same shared `"stages"` section; `0` skips the phase.
+    pub cluster_shards: usize,
 }
 
 impl Default for ServeLoadOptions {
@@ -84,6 +93,8 @@ impl Default for ServeLoadOptions {
             queue_wait_ms: 0,
             frontend_sessions: crate::frontend::FrontendPhaseOptions::default().sessions,
             frontend_workers: crate::frontend::FrontendPhaseOptions::default().workers,
+            trace_sample: 0,
+            cluster_shards: 2,
         }
     }
 }
@@ -195,6 +206,25 @@ pub fn run(opts: &ServeLoadOptions) -> String {
     eprintln!("(generating dataset + initializing shared model…)");
     let graph = generate(dataset);
     let triple_count = graph.len();
+    // The embedded cluster scatter phase needs the graph by reference, so
+    // its shard models initialize here, before the graph moves into the
+    // single-box endpoint; the phase itself runs after the main workload.
+    let mini_cluster = (opts.cluster_shards > 0).then(|| {
+        eprintln!(
+            "(initializing {} shard models for the cluster scatter phase…)",
+            opts.cluster_shards
+        );
+        Cluster::build(
+            "serve-edge",
+            &graph,
+            opts.cluster_shards,
+            1,
+            &Lexicon::dbpedia_default(),
+            &experiment_config(),
+            &ServerConfig::default(),
+        )
+        .expect("shard initialization")
+    });
     let ep: Arc<dyn Endpoint> = Arc::new(LocalEndpoint::new(
         "dbpedia",
         graph,
@@ -240,7 +270,12 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         coalesce_waiters_per_key: opts.coalesce_waiters,
         ..ServerConfig::default()
     };
-    let server = Arc::new(SapphireServer::new(pum.clone(), config));
+    // One shared observability handle across every phase — single-box
+    // server, evented front-end, and the cluster scatter phase — so the
+    // report's `"stages"` section spans all tiers.
+    let obs = Arc::new(Obs::new());
+    obs.set_sampling(opts.trace_sample);
+    let server = Arc::new(SapphireServer::with_obs(pum.clone(), config, obs.clone()));
 
     let questions = appendix_b();
     eprintln!(
@@ -420,6 +455,72 @@ pub fn run(opts: &ServeLoadOptions) -> String {
     sampler.join().expect("sampler never panics");
     let (in_flight_now, queued_now) = server.admission_load();
 
+    // --- Phase 3: cluster scatter (small sharded edge over the same data) --
+    //
+    // A short completion workload through a ClusterRouter sharing this run's
+    // `Obs`, so the cluster-tier stages (`shard_rtt` per replica attempt,
+    // `edge_merge` per top-k merge) land in the same `"stages"` section the
+    // single-box stages do. Each term is issued twice: the repeat probes the
+    // edge response cache.
+    let cluster_section = match mini_cluster {
+        None => "{\"shards\": 0, \"requests\": 0, \"fanout_total\": 0, \"merges\": 0}".to_string(),
+        Some(cluster) => {
+            let shards = cluster.shard_count();
+            eprintln!("(cluster scatter phase: {shards} shards x 1 replica…)");
+            let router = ClusterRouter::with_obs(cluster, ClusterConfig::default(), obs.clone());
+            let (mut issued, mut completed) = (0u64, 0u64);
+            for question in questions.iter().take(8) {
+                let keyword = question.script.rows[0].object.trim_start_matches('?');
+                for _ in 0..2 {
+                    issued += 1;
+                    completed += u64::from(router.complete("edge-user", keyword).is_ok());
+                }
+            }
+            let m = router.metrics();
+            format!(
+                "{{\"shards\": {shards}, \"requests\": {issued}, \"completed\": {completed}, \
+                 \"fanout_total\": {}, \"merges\": {}, \"edge_cache_hits\": {}}}",
+                m.fanout_per_shard.iter().sum::<u64>(),
+                m.merges,
+                m.completion_cache.hits,
+            )
+        }
+    };
+
+    // --- Tracing-overhead pair: the same cache-hit hot loop untraced vs
+    // sampled at 1/64, in alternating chunks so scheduler drift lands on
+    // both sides equally. serve_check gates the sampled/untraced ratio.
+    let hot_session = server
+        .open_session("trace-hot")
+        .expect("session registry has room for the overhead probe");
+    let hot_term: String = {
+        let keyword = questions[0].script.rows[0].object.trim_start_matches('?');
+        keyword.chars().take(4).collect()
+    };
+    let _ = server.complete(hot_session, &hot_term); // warm the response cache
+    const HOT_CHUNKS: usize = 4;
+    const HOT_OPS_PER_CHUNK: usize = 10_000;
+    let (mut untraced, mut sampled) = (Duration::ZERO, Duration::ZERO);
+    for _ in 0..HOT_CHUNKS {
+        obs.set_sampling(0);
+        let t = Instant::now();
+        for _ in 0..HOT_OPS_PER_CHUNK {
+            let _ = server.complete(hot_session, &hot_term);
+        }
+        untraced += t.elapsed();
+        obs.set_sampling(64);
+        let t = Instant::now();
+        for _ in 0..HOT_OPS_PER_CHUNK {
+            let _ = server.complete(hot_session, &hot_term);
+        }
+        sampled += t.elapsed();
+    }
+    obs.set_sampling(opts.trace_sample);
+    server.close_session(hot_session);
+    let hot_ops = (HOT_CHUNKS * HOT_OPS_PER_CHUNK) as u64;
+    let hot_rps_untraced = hot_ops as f64 / untraced.as_secs_f64().max(1e-9);
+    let hot_rps_sampled = hot_ops as f64 / sampled.as_secs_f64().max(1e-9);
+
     let metrics = server.metrics();
     // `effective_hit_ratio` additionally credits single-flight followers:
     // such a request logged a genuine cache miss but was still served from
@@ -468,10 +569,17 @@ pub fn run(opts: &ServeLoadOptions) -> String {
     // charged — determinism), `degraded_runs` counts reduced-budget runs
     // (must be 0 in this default no-shed posture; serve_check gates it).
     let relax = pum.relax_cache_stats();
+    // The memoized alternative-sweep caches ride along: a hit is a whole
+    // Jaro-Winkler corpus sweep skipped, the other lever (besides the
+    // NeighborhoodCache) that keeps the QSM tail down.
+    let alt = pum.alt_cache_stats();
     let qsm_relax = format!(
         "{{\"expansion_queries\": {}, \"queries_saved\": {}, \"neighborhood_hits\": {}, \
          \"neighborhood_misses\": {}, \"neighborhood_fills\": {}, \
-         \"neighborhood_evictions\": {}, \"degraded_runs\": {}}}",
+         \"neighborhood_evictions\": {}, \"degraded_runs\": {}, \
+         \"alt_literal_hits\": {}, \"alt_literal_misses\": {}, \"alt_literal_evictions\": {}, \
+         \"alt_predicate_hits\": {}, \"alt_predicate_misses\": {}, \
+         \"alt_predicate_evictions\": {}}}",
         relax.queries_executed,
         relax.queries_saved,
         relax.hits,
@@ -479,6 +587,12 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         relax.fills,
         relax.evictions,
         metrics.qsm_degraded_runs,
+        alt.literal.hits,
+        alt.literal.misses,
+        alt.literal.evictions,
+        alt.predicate.hits,
+        alt.predicate.misses,
+        alt.predicate.evictions,
     );
     let mut report = format!(
         "{{\n  \"benchmark\": \"serve_load\",\n  \"config\": {{\"users\": {users}, \
@@ -518,14 +632,9 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         metrics.open_sessions,
     );
 
-    // --- Phase 3: evented front-end (own server over the same model) ---
-    //
-    // Appended as the LAST report section: its object nests keys that also
-    // exist at the top level (`rejected_total`, `sessions_leaked`, `qcm`…),
-    // and `json_f64`'s section/key searches resolve to the *first*
-    // occurrence — everything above must win unsectioned reads.
-    if opts.frontend_sessions > 0 {
-        let section = crate::frontend::phase(
+    // --- Phase 4: evented front-end (own server over the same model) ---
+    let frontend_section = (opts.frontend_sessions > 0).then(|| {
+        crate::frontend::phase(
             pum,
             &crate::frontend::FrontendPhaseOptions {
                 sessions: opts.frontend_sessions,
@@ -533,13 +642,43 @@ pub fn run(opts: &ServeLoadOptions) -> String {
                 queue_wait_ms: opts.queue_wait_ms,
                 ..Default::default()
             },
+            Some(obs.clone()),
+        )
+    });
+
+    // The cross-tier sections snapshot only after EVERY phase has run, so
+    // `"stages"` carries the front-end's `frontend_queue`/`end_to_end`
+    // observations alongside the single-box and cluster-tier stages.
+    let trace_section = format!(
+        "{{\"sampling\": {}, \"recorded\": {}, \"dropped\": {}, \"hot_ops\": {hot_ops}, \
+         \"hot_rps_untraced\": {hot_rps_untraced:.1}, \"hot_rps_sampled\": {hot_rps_sampled:.1}}}",
+        opts.trace_sample,
+        obs.recorder().recorded(),
+        obs.recorder().evicted(),
+    );
+    let cut = report.rfind('}').expect("report ends with a brace");
+    report.truncate(cut);
+    while report.ends_with(char::is_whitespace) {
+        report.pop();
+    }
+    report.push_str(&format!(
+        ",\n  \"cluster_scatter\": {cluster_section},\n  \"stages\": {},\n  \
+         \"trace\": {trace_section}",
+        obs.stages_json(),
+    ));
+    // The front-end section stays LAST: its object nests keys that also
+    // exist at the top level (`rejected_total`, `sessions_leaked`, `qcm`…),
+    // and `json_f64`'s section/key searches resolve to the *first*
+    // occurrence — everything above must win unsectioned reads.
+    if let Some(section) = frontend_section {
+        report.push_str(&format!(",\n  \"frontend\": {section}"));
+    }
+    report.push_str("\n}");
+    if opts.trace_sample > 0 {
+        eprintln!(
+            "(flight recorder: slowest end-to-end traces)\n{}",
+            obs.recorder().dump_slowest(5)
         );
-        let cut = report.rfind('}').expect("report ends with a brace");
-        report.truncate(cut);
-        while report.ends_with(char::is_whitespace) {
-            report.pop();
-        }
-        report.push_str(&format!(",\n  \"frontend\": {section}\n}}"));
     }
     report
 }
@@ -600,11 +739,14 @@ mod tests {
   "qcm": {"completed": 26304, "p50_us": 370},
   "qsm": {"completed": 2592, "p50_us": 521},
   "duplicate_burst": {"requests": 256, "stats": {"completed": 256, "p50_us": 24}, "leader_runs": 16, "bypass_runs": 0, "coalesced_hits": 240},
-  "qsm_relax": {"expansion_queries": 4199, "queries_saved": 10260, "neighborhood_hits": 5130, "neighborhood_misses": 2887, "neighborhood_fills": 2887, "neighborhood_evictions": 0, "degraded_runs": 0},
+  "qsm_relax": {"expansion_queries": 4199, "queries_saved": 10260, "neighborhood_hits": 5130, "neighborhood_misses": 2887, "neighborhood_fills": 2887, "neighborhood_evictions": 0, "degraded_runs": 0, "alt_literal_hits": 3120, "alt_literal_misses": 84, "alt_literal_evictions": 0, "alt_predicate_hits": 2960, "alt_predicate_misses": 61, "alt_predicate_evictions": 0},
   "rejected_total": 0,
   "completion_cache": {"hits": 26113, "misses": 191, "hit_ratio": 0.993, "effective_hit_ratio": 0.996},
   "run_cache": {"hits": 2490, "misses": 102, "hit_ratio": 0.961, "effective_hit_ratio": 0.978},
-  "sessions_leaked": 0
+  "sessions_leaked": 0,
+  "cluster_scatter": {"shards": 2, "requests": 16, "completed": 16, "fanout_total": 16, "merges": 8, "edge_cache_hits": 8},
+  "stages": {"admission_wait": {"count": 28896, "p50_us": 1, "p95_us": 3, "p99_us": 7, "max_us": 120}, "qcm_scan": {"count": 207, "p50_us": 255, "p95_us": 511, "p99_us": 1023, "max_us": 980}, "end_to_end": {"count": 28896, "p50_us": 380, "p95_us": 2047, "p99_us": 4095, "max_us": 9100}},
+  "trace": {"sampling": 0, "recorded": 625, "dropped": 0, "hot_ops": 40000, "hot_rps_untraced": 412345.1, "hot_rps_sampled": 401234.9}
 }"#;
 
     #[test]
@@ -650,6 +792,41 @@ mod tests {
             Some(10260.0)
         );
         assert_eq!(json_f64(REPORT, Some("qsm"), "p50_us"), Some(521.0));
+    }
+
+    #[test]
+    fn json_f64_reads_the_observability_sections() {
+        // Satellite counters of the QSM tail: the alternative-sweep caches.
+        assert_eq!(
+            json_f64(REPORT, Some("qsm_relax"), "alt_literal_hits"),
+            Some(3120.0)
+        );
+        assert_eq!(
+            json_f64(REPORT, Some("qsm_relax"), "alt_predicate_misses"),
+            Some(61.0)
+        );
+        // Per-stage sections live inside the nested "stages" object; the
+        // quoted-key search must reach them and must not confuse
+        // "qcm_scan" with the "qcm" class section (or vice versa).
+        assert_eq!(json_f64(REPORT, Some("qcm_scan"), "p99_us"), Some(1023.0));
+        assert_eq!(json_f64(REPORT, Some("end_to_end"), "max_us"), Some(9100.0));
+        assert_eq!(json_f64(REPORT, Some("qcm"), "completed"), Some(26304.0));
+        assert_eq!(
+            json_f64(REPORT, Some("admission_wait"), "count"),
+            Some(28896.0)
+        );
+        // The tracing gates' reads.
+        assert_eq!(json_f64(REPORT, Some("trace"), "dropped"), Some(0.0));
+        assert_eq!(
+            json_f64(REPORT, Some("trace"), "hot_rps_sampled"),
+            Some(401234.9)
+        );
+        assert_eq!(
+            json_f64(REPORT, Some("cluster_scatter"), "fanout_total"),
+            Some(16.0)
+        );
+        // "stats" and "stages" must not shadow each other.
+        assert_eq!(json_f64(REPORT, Some("stats"), "peak_in_flight"), Some(8.0));
     }
 
     #[test]

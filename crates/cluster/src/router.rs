@@ -30,7 +30,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sapphire_core::qcm::{Completion, CompletionResult};
 use sapphire_core::qsm::{AlteredPosition, StructureSuggestion, TermAlternative};
@@ -38,6 +38,7 @@ use sapphire_core::{completion_request_key, run_request_key, CacheStats};
 use sapphire_endpoint::{
     query_fingerprint, Backoff, EndpointError, Jitter, QueryService, ServiceEndpoint, ServiceError,
 };
+use sapphire_obs::{trace, MetricsHub, Obs, RequestMark, Stage, TraceScope};
 use sapphire_server::coalesce::Join;
 use sapphire_server::response_cache::ShardedResponseCache;
 use sapphire_server::{Coalescer, SapphireServer, ServerError};
@@ -522,6 +523,7 @@ pub struct ClusterRouter {
     run_coalescer: Coalescer<ClusterRunPayload, ClusterError>,
     service_coalescer: Coalescer<QueryResult, ClusterError>,
     counters: Counters,
+    obs: Arc<Obs>,
     /// Join handles of hedge-race losers, reaped deterministically: finished
     /// handles are joined at the next hedged call, anything left is joined
     /// on drop. Bounded because `max_inflight_hedges` bounds the number of
@@ -533,6 +535,14 @@ pub struct ClusterRouter {
 impl ClusterRouter {
     /// Stand an edge router in front of a cluster.
     pub fn new(cluster: Cluster, config: ClusterConfig) -> Self {
+        Self::with_obs(cluster, config, Arc::new(Obs::new()))
+    }
+
+    /// Like [`new`](Self::new), but aggregating edge-tier stage histograms
+    /// and traces into a caller-provided [`Obs`] — share one handle with the
+    /// shard servers ([`SapphireServer::with_obs`]) to get a single
+    /// cross-tier view.
+    pub fn with_obs(cluster: Cluster, config: ClusterConfig, obs: Arc<Obs>) -> Self {
         let shards = cluster.shard_count();
         // Every replica of every shard shares one model config; the edge
         // presents the same top-k the shards compute.
@@ -554,11 +564,18 @@ impl ClusterRouter {
             run_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
             service_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
             counters: Counters::new(shards),
+            obs,
             hedge_reaper: Mutex::new(Vec::new()),
             k,
             cluster,
             config,
         }
+    }
+
+    /// The router's observability handle (edge stage histograms, trace
+    /// sampler, flight recorder).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// The underlying cluster.
@@ -620,18 +637,89 @@ impl ClusterRouter {
         }
     }
 
+    /// The cluster tier as [`MetricsHub`] sections: routing counters,
+    /// per-shard fan-out, edge response caches, and this router's stage
+    /// histograms.
+    pub fn export_metrics(&self) -> MetricsHub {
+        let m = self.metrics();
+        let mut hub = MetricsHub::new();
+        {
+            let cluster = hub.section("cluster");
+            cluster
+                .field("shards", m.fanout_per_shard.len())
+                .field("hedges_fired", m.hedges_fired)
+                .field("hedges_won", m.hedges_won)
+                .field("hedges_suppressed", m.hedges_suppressed)
+                .field("replica_retries", m.replica_retries)
+                .field("rejected_after_retry", m.rejected_after_retry)
+                .field("merges", m.merges)
+                .field("merge_depth_max", m.merge_depth_max)
+                .field("edge_coalesced_hits", m.edge_coalesced_hits)
+                .field("edge_coalesce_leaders", m.edge_coalesce_leaders)
+                .field("degraded_runs", m.degraded_runs);
+            for (shard, calls) in m.fanout_per_shard.iter().enumerate() {
+                cluster.field(&format!("fanout_shard{shard}"), *calls);
+            }
+        }
+        for (name, stats) in [
+            ("edge_completion_cache", &m.completion_cache),
+            ("edge_run_cache", &m.run_cache),
+        ] {
+            hub.section(name)
+                .field("hits", stats.hits)
+                .field("misses", stats.misses)
+                .field("evictions", stats.evictions)
+                .field("hit_ratio", stats.hit_ratio());
+        }
+        self.obs.stage_sections(&mut hub);
+        hub
+    }
+
+    /// Record a coalesce-follower wait (satellite of the cross-tier
+    /// single-flight design: followers — and only followers — spend real
+    /// time blocked in `join`, so only they feed the `coalesce_wait` stage).
+    fn note_coalesce_wait(&self, started: Instant, surface: &'static str) {
+        let waited_us = started.elapsed().as_micros() as u64;
+        self.obs.record(Stage::CoalesceWait, waited_us);
+        if let Some((trace, parent)) = trace::current_ctx() {
+            trace.add_span(
+                Stage::CoalesceWait.name(),
+                started,
+                waited_us,
+                parent,
+                format!("{surface} follower wait_us={waited_us}"),
+            );
+        }
+    }
+
     // --- QCM ---------------------------------------------------------------
 
     /// Cluster QCM: scatter the completion to every shard, merge the ranked
     /// lists into the canonical top-k. Edge-cached and edge-coalesced by the
     /// same normalized key the shards use.
     pub fn complete(&self, tenant: &str, term: &str) -> Result<ClusterCompletion, ClusterError> {
+        let _req = self.obs.request_scope("complete", tenant);
         self.charge(tenant, self.config.completion_cost)?;
         let key = completion_request_key(term);
-        if let Some(hit) = self.completion_cache.get(&key) {
+        let lookup = {
+            let mut t = self.obs.time(Stage::CacheLookup);
+            let hit = self.completion_cache.get(&key);
+            t.tag(if hit.is_some() {
+                "edge completion hit"
+            } else {
+                "edge completion miss"
+            });
+            hit
+        };
+        if let Some(hit) = lookup {
             return Ok(hit.to_completion(true));
         }
-        match self.completion_coalescer.join(&key) {
+        let join_started = Instant::now();
+        let joined = self.completion_coalescer.join(&key);
+        if matches!(joined, Join::Follower(_)) {
+            self.note_coalesce_wait(join_started, "edge completion");
+        }
+        match joined {
             Join::Leader(token) => {
                 if let Some(hit) = self.completion_cache.peek(&key) {
                     self.counters
@@ -701,8 +789,13 @@ impl ClusterRouter {
             .collect();
         let merge_depth = lists.len();
         self.counters.record_merge(merge_depth);
+        let suggestions = {
+            let mut t = self.obs.time(Stage::EdgeMerge);
+            t.tag("completions");
+            merge_completions(lists, self.k)
+        };
         Ok(MergedCompletion {
-            suggestions: merge_completions(lists, self.k),
+            suggestions,
             merge_depth,
         })
     }
@@ -715,16 +808,32 @@ impl ClusterRouter {
     /// shards), merge suggestions deterministically, and re-prefetch every
     /// surviving suggestion's answers cluster-wide.
     pub fn run(&self, tenant: &str, query: &SelectQuery) -> Result<ClusterRun, ClusterError> {
+        let _req = self.obs.request_scope("run", tenant);
         self.charge(tenant, self.run_cost(query))?;
         // The lookup uses the full-tier key: the edge never *requests*
         // degradation, it only observes it in shard replies. A merge that
         // came back degraded is re-keyed by `cache_run` below, so it can
         // never satisfy this lookup.
         let key = run_request_key(query);
-        if let Some(hit) = self.run_cache.get(&key) {
+        let lookup = {
+            let mut t = self.obs.time(Stage::CacheLookup);
+            let hit = self.run_cache.get(&key);
+            t.tag(if hit.is_some() {
+                "edge run hit"
+            } else {
+                "edge run miss"
+            });
+            hit
+        };
+        if let Some(hit) = lookup {
             return Ok(run_from(hit, true));
         }
-        match self.run_coalescer.join(&key) {
+        let join_started = Instant::now();
+        let joined = self.run_coalescer.join(&key);
+        if matches!(joined, Join::Follower(_)) {
+            self.note_coalesce_wait(join_started, "edge run");
+        }
+        match joined {
             Join::Leader(token) => {
                 if let Some(hit) = self.run_cache.peek(&key) {
                     self.counters
@@ -835,6 +944,8 @@ impl ClusterRouter {
         let answers = if single_subject(query) {
             let lists: Vec<Solutions> = payloads.iter().map(|p| p.answers.clone()).collect();
             self.counters.record_merge(lists.len());
+            let mut t = self.obs.time(Stage::EdgeMerge);
+            t.tag("run bindings");
             if let Some((var, distinct, alias)) = count_shape(query) {
                 let rows = merge_bindings(&star, lists);
                 count_rows(&rows, &var, distinct, &alias)
@@ -855,7 +966,11 @@ impl ClusterRouter {
             .map(|p| (*p.suggestions.candidates).clone())
             .collect();
         self.counters.record_merge(candidate_lists.len());
-        let mut candidates = dedup_alternatives(candidate_lists);
+        let mut candidates = {
+            let mut t = self.obs.time(Stage::EdgeMerge);
+            t.tag("alternatives");
+            dedup_alternatives(candidate_lists)
+        };
         sort_alternatives(&mut candidates);
         let half = (self.k / 2).max(1);
         let (mut predicates, mut literals) = (0usize, 0usize);
@@ -951,6 +1066,8 @@ impl ClusterRouter {
             let star = star_pattern_query(query);
             let lists = self.binding_lists(tenant, &star)?;
             self.counters.record_merge(lists.len());
+            let mut t = self.obs.time(Stage::EdgeMerge);
+            t.tag("count recount");
             let rows = merge_bindings(&star, lists);
             return Ok(count_rows(&rows, &var, distinct, &alias));
         }
@@ -961,6 +1078,8 @@ impl ClusterRouter {
         }
         let lists = self.binding_lists(tenant, &star_pattern_query(query))?;
         self.counters.record_merge(lists.len());
+        let mut t = self.obs.time(Stage::EdgeMerge);
+        t.tag("bindings");
         Ok(merge_bindings(query, lists))
     }
 
@@ -1031,21 +1150,56 @@ impl ClusterRouter {
         target: Option<usize>,
     ) -> Result<Vec<ShardReply>, ClusterError> {
         if let Some(shard) = target {
-            return Ok(vec![self.call_shard(shard, req)?]);
+            return Ok(vec![self.shard_rtt(shard, req)?]);
         }
         let shards = self.cluster.shard_count();
         if shards == 1 {
-            return Ok(vec![self.call_shard(0, req)?]);
+            return Ok(vec![self.shard_rtt(0, req)?]);
         }
+        // Scatter threads are fresh threads: hand each one the request's
+        // trace context so its shard span parents under this request, and a
+        // request mark so the shard server's own request scope stays inert.
+        let ctx = trace::current_ctx();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
-                .map(|shard| scope.spawn(move || self.call_shard(shard, req)))
+                .map(|shard| {
+                    let ctx = ctx.clone();
+                    scope.spawn(move || {
+                        let _mark = RequestMark::new();
+                        let _scope = ctx.map(|(trace, parent)| match parent {
+                            Some(p) => TraceScope::enter_with_parent(trace, p),
+                            None => TraceScope::enter(Some(trace)),
+                        });
+                        self.shard_rtt(shard, req)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard call never panics"))
                 .collect()
         })
+    }
+
+    /// One whole shard call ([`call_shard`]: load-ordered replica choice,
+    /// hedging, typed retry) timed under a `shard_rtt` span; per-attempt
+    /// observations land inside `call_shard` so the histogram sees every
+    /// round trip, hedges and retries included.
+    fn shard_rtt(&self, shard: usize, req: &ShardRequest) -> Result<ShardReply, ClusterError> {
+        let started = Instant::now();
+        let span = trace::current_ctx().map(|(trace, parent)| {
+            let (idx, _) = trace.open_span(Stage::ShardRtt.name(), parent, format!("shard{shard}"));
+            (trace, idx)
+        });
+        let guard = span
+            .as_ref()
+            .map(|(trace, idx)| TraceScope::enter_with_parent(trace.clone(), *idx));
+        let result = self.call_shard(shard, req);
+        drop(guard);
+        if let Some((trace, idx)) = span {
+            trace.close_span(idx, started.elapsed().as_micros() as u64);
+        }
+        result
     }
 
     /// Replica indices of one shard in ascending admission-load order
@@ -1073,6 +1227,7 @@ impl ClusterRouter {
         loop {
             self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
             let primary = order[attempt as usize % order.len()];
+            let attempt_started = Instant::now();
             let result = match (self.config.hedge_after, order.len() > 1) {
                 (Some(budget), true) => {
                     let secondary = order[(attempt as usize + 1) % order.len()];
@@ -1080,6 +1235,20 @@ impl ClusterRouter {
                 }
                 _ => call_replica(&replicas[primary], req),
             };
+            let attempt_us = attempt_started.elapsed().as_micros() as u64;
+            self.obs.record(Stage::ShardRtt, attempt_us);
+            if let Some((trace, parent)) = trace::current_ctx() {
+                trace.add_span(
+                    "replica_call",
+                    attempt_started,
+                    attempt_us,
+                    parent,
+                    format!(
+                        "shard{shard} replica{primary} attempt{attempt} ok={}",
+                        result.is_ok()
+                    ),
+                );
+            }
             match result {
                 Ok(reply) => return Ok(reply),
                 Err(e) if is_retryable(&e) => {
@@ -1174,8 +1343,18 @@ impl ClusterRouter {
                 // The hedge is a real extra shard call; the fan-out counter
                 // must see it (its doc promises hedges are included).
                 self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
+                let hedge_fired = Instant::now();
                 let secondary_handle = spawn_call(secondary, true);
                 let (first_hedged, first) = rx.recv().expect("a replica call always replies");
+                if let Some((trace, parent)) = trace::current_ctx() {
+                    trace.add_span(
+                        "hedge",
+                        hedge_fired,
+                        hedge_fired.elapsed().as_micros() as u64,
+                        parent,
+                        format!("shard{shard} secondary replica{secondary} won={first_hedged}"),
+                    );
+                }
                 let (winner, loser) = if first_hedged {
                     (secondary_handle, primary_handle)
                 } else {
@@ -1259,6 +1438,7 @@ impl QueryService for ClusterRouter {
     }
 
     fn execute_query(&self, tenant: &str, query: &Query) -> Result<QueryResult, ServiceError> {
+        let _req = self.obs.request_scope("query", tenant);
         let cost = match query {
             Query::Select(select) => self.run_cost(select),
             Query::Ask(pattern) => {
@@ -1302,7 +1482,12 @@ impl QueryService for ClusterRouter {
                 }
             }
         };
-        match self.service_coalescer.join(&key) {
+        let join_started = Instant::now();
+        let joined = self.service_coalescer.join(&key);
+        if matches!(joined, Join::Follower(_)) {
+            self.note_coalesce_wait(join_started, "edge service");
+        }
+        match joined {
             Join::Leader(token) => {
                 self.counters
                     .edge_coalesce_leaders

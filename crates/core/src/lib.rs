@@ -71,7 +71,7 @@ pub use init::{InitError, InitMode, InitStats, Initializer};
 pub use pum::{PredictiveUserModel, PumError, RunOutcome};
 pub use qcm::{Completion, CompletionResult, QueryCompletion};
 pub use qsm::{
-    NeighborhoodCache, NeighborhoodStats, QsmOutput, QuerySuggestion, RelaxedQuery,
+    AltCacheStats, NeighborhoodCache, NeighborhoodStats, QsmOutput, QuerySuggestion, RelaxedQuery,
     StructureSuggestion, TermAlternative,
 };
 pub use session::{Modifiers, RunResult, Session, SessionError, TripleInput};

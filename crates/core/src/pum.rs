@@ -211,6 +211,19 @@ impl PredictiveUserModel {
         self.qsm.neighborhood().stats()
     }
 
+    /// Counter snapshot of the memoized Algorithm-2 alternative-sweep caches
+    /// (see [`crate::qsm::AlternativeFinder::alt_cache_stats`]).
+    pub fn alt_cache_stats(&self) -> crate::qsm::AltCacheStats {
+        self.qsm.finder().alt_cache_stats()
+    }
+
+    /// Install the serving tier's observability handle on the model's inner
+    /// modules (write-once; later installs no-op). Instrumentation only —
+    /// nothing recorded here ever feeds back into what the model computes.
+    pub fn install_obs(&self, obs: Arc<sapphire_obs::Obs>) {
+        self.qsm.install_obs(obs);
+    }
+
     /// Parse and run a query string.
     pub fn run_str(&self, query: &str) -> Result<RunOutcome, PumError> {
         let q = parse_select(query).map_err(|e| PumError::Parse(e.to_string()))?;

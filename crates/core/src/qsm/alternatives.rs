@@ -111,6 +111,21 @@ impl AltCache {
         self.shards.insert(key.to_string(), value.clone());
         value
     }
+
+    fn stats(&self) -> crate::cache::CacheStats {
+        self.shards.stats()
+    }
+}
+
+/// Counter snapshot of the memoized alternative-sweep caches — one
+/// [`CacheStats`](crate::cache::CacheStats) per sweep kind. A hit means a
+/// whole Jaro-Winkler corpus sweep was skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AltCacheStats {
+    /// The literal-alternatives cache (bin-banded JW sweep per literal).
+    pub literal: crate::cache::CacheStats,
+    /// The predicate-alternatives cache (JW sweep per lexicon verbalization).
+    pub predicate: crate::cache::CacheStats,
 }
 
 impl AlternativeFinder {
@@ -126,6 +141,14 @@ impl AlternativeFinder {
             config,
             literal_alts: AltCache::new(shards, capacity),
             predicate_alts: AltCache::new(shards, capacity),
+        }
+    }
+
+    /// Hit/miss/eviction counters of both memoization caches.
+    pub fn alt_cache_stats(&self) -> AltCacheStats {
+        AltCacheStats {
+            literal: self.literal_alts.stats(),
+            predicate: self.predicate_alts.stats(),
         }
     }
 

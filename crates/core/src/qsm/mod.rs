@@ -12,7 +12,7 @@ pub mod neighborhood;
 pub mod relax;
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use sapphire_endpoint::FederatedProcessor;
@@ -23,7 +23,7 @@ use sapphire_text::Lexicon;
 use crate::cache::CachedData;
 use crate::config::SapphireConfig;
 
-pub use alternatives::{AlteredPosition, AlternativeFinder, TermAlternative};
+pub use alternatives::{AltCacheStats, AlteredPosition, AlternativeFinder, TermAlternative};
 pub use neighborhood::{Neighbor, NeighborhoodCache, NeighborhoodStats};
 pub use relax::{RelaxedQuery, StructureRelaxer};
 
@@ -84,6 +84,10 @@ pub struct QuerySuggestion {
     /// against this model (the model's data is immutable, so neighbor lists
     /// are pure functions of it — see [`neighborhood`]).
     neighborhood: Arc<NeighborhoodCache>,
+    /// Observability handle installed by the serving tier (write-once).
+    /// Purely additive: stage timings and trace spans land here, never
+    /// anything that feeds back into what the QSM computes.
+    obs: OnceLock<Arc<sapphire_obs::Obs>>,
 }
 
 impl QuerySuggestion {
@@ -96,7 +100,14 @@ impl QuerySuggestion {
                 config.neighborhood_cache_capacity,
             )),
             config,
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Install the serving tier's observability handle (first caller wins;
+    /// later installs are ignored so shared models behave deterministically).
+    pub fn install_obs(&self, obs: Arc<sapphire_obs::Obs>) {
+        let _ = self.obs.set(obs);
     }
 
     /// Access the underlying alternative finder.
@@ -178,7 +189,16 @@ impl QuerySuggestion {
             let relaxer = StructureRelaxer::new(fed, self.config.steiner, preferred)
                 .with_cache(self.neighborhood.clone())
                 .at_tier(tier);
-            if let Some(relaxed) = relaxer.relax(&groups) {
+            let mut timer = self
+                .obs
+                .get()
+                .map(|obs| obs.time(sapphire_obs::Stage::SteinerRelax));
+            let relaxed = relaxer.relax(&groups);
+            if let Some(t) = timer.as_mut() {
+                t.tag(if tier > 0 { "degraded" } else { "full" });
+            }
+            drop(timer);
+            if let Some(relaxed) = relaxed {
                 let answers = match fed.execute_parsed(&Query::Select(relaxed.query.clone())) {
                     Ok(QueryResult::Solutions(s)) => s,
                     _ => Solutions::default(),

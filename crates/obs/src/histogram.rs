@@ -1,0 +1,263 @@
+//! A lock-free, sharded, log-bucketed latency histogram.
+//!
+//! Recording is one relaxed atomic increment plus one atomic max on a
+//! thread-striped shard — cheap enough to leave on unconditionally in the
+//! serving hot loop. The 64 buckets are "pow-2-ish": exact for values below
+//! 8µs, then two sub-buckets per octave (≤ ~41% relative bucket width) up to
+//! ~27 minutes, with a final catch-all. Percentile readout returns the upper
+//! edge of the containing bucket clamped to the exact observed max, so a
+//! reported p99 never exceeds the true maximum and never undershoots the
+//! true p99 by more than one bucket.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Total bucket count. Chosen so one shard is a handful of cache lines.
+pub const BUCKETS: usize = 64;
+
+/// Shards per histogram: enough to keep concurrent recorders off each
+/// other's cache lines without making snapshots expensive.
+const SHARDS: usize = 8;
+
+/// Map a value (microseconds by convention, but any u64 works) to its
+/// bucket: identity below 8, then two sub-buckets per power of two.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as u64; // >= 3
+    let sub = (v >> (octave - 1)) & 1; // the bit just below the leading one
+    let idx = 8 + (octave - 3) * 2 + sub;
+    idx.min(BUCKETS as u64 - 1) as usize
+}
+
+/// Lowest value that lands in bucket `i` (inverse of [`bucket_index`]).
+pub(crate) fn bucket_floor(i: usize) -> u64 {
+    if i < 8 {
+        return i as u64;
+    }
+    let rel = (i - 8) as u32;
+    let octave = rel / 2 + 3;
+    let sub = (rel % 2) as u64;
+    (1u64 << octave) | (sub << (octave - 1))
+}
+
+/// Highest value that lands in bucket `i` (saturating for the catch-all).
+fn bucket_ceil(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_floor(i + 1) - 1
+    }
+}
+
+struct Shard {
+    counts: [AtomicU64; BUCKETS],
+    max: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            max: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Striped recorder threads onto shards round-robin, once per thread.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+/// The live, concurrently-writable histogram.
+pub struct Histogram {
+    shards: Box<[Shard]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Record one observation. Wait-free: two relaxed atomics on a
+    /// thread-striped shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[STRIPE.with(|s| *s)];
+        shard.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.max.fetch_max(v, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Collapse all shards into one immutable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::empty();
+        for shard in self.shards.iter() {
+            for (i, c) in shard.counts.iter().enumerate() {
+                snap.counts[i] += c.load(Ordering::Relaxed);
+            }
+            snap.max = snap.max.max(shard.max.load(Ordering::Relaxed));
+            snap.sum += shard.sum.load(Ordering::Relaxed);
+        }
+        snap
+    }
+}
+
+/// An immutable point-in-time view of a [`Histogram`]; snapshots from
+/// different histograms (e.g. per-shard replicas) merge losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    counts: [u64; BUCKETS],
+    /// Exact largest recorded value.
+    pub max: u64,
+    /// Exact sum of recorded values (mean = sum / count).
+    pub sum: u64,
+}
+
+impl Snapshot {
+    pub fn empty() -> Snapshot {
+        Snapshot {
+            counts: [0; BUCKETS],
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fold another snapshot in (bucket-wise sum; max of maxes).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// The value at percentile `p` (0–100): the upper edge of the bucket
+    /// holding the p-th observation, clamped to the exact observed max.
+    /// Zero when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_ceil(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_round_trip_and_are_monotone() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            7,
+            8,
+            11,
+            12,
+            15,
+            16,
+            100,
+            1_000,
+            65_536,
+            1_000_000,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i >= prev || v < 8, "bucket order broke at {v}");
+            prev = prev.max(i);
+            assert!(bucket_floor(i) <= v, "floor({i}) > {v}");
+            assert!(bucket_ceil(i) >= v, "ceil({i}) < {v}");
+        }
+        // Every bucket's floor maps back to itself.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i);
+        }
+    }
+
+    #[test]
+    fn percentile_tracks_the_distribution_within_one_bucket() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 500_500);
+        let p50 = s.percentile(50.0);
+        // 500 lives in the [384..511] bucket; its ceiling is 511.
+        assert!((500..=511).contains(&p50), "p50 = {p50}");
+        let p99 = s.percentile(99.0);
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn empty_snapshot_reads_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(99.0), 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v + 10_000);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 200);
+        assert_eq!(m.max, 10_099);
+        assert!(m.percentile(25.0) <= 127);
+        assert!(m.percentile(75.0) >= 10_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + (i % 997));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count(), 80_000);
+    }
+}

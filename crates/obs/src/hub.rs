@@ -1,0 +1,242 @@
+//! `MetricsHub`: one snapshot surface over every tier's metric struct.
+//!
+//! The serving stack grew five shapes of counters (`ServerMetrics`,
+//! `ClusterMetrics`, `FrontendMetrics`, `NeighborhoodStats`, the AltCache
+//! stats) with five ad-hoc readouts. The hub is the neutral meeting point:
+//! each tier converts its own struct into named sections of typed fields,
+//! and the hub renders the lot as JSON (hand-rolled, same discipline as the
+//! bench's `json_f64` parser — the build has no serde) or Prometheus-style
+//! text exposition. The hub holds no references — it is a snapshot, safe to
+//! build under load and ship across threads.
+
+use std::fmt::Write as _;
+
+/// One metric value. Floats render with three decimals so JSON consumers
+/// (and `json_f64`) always see a number, never `NaN`/`inf` (both clamp).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    F64(f64),
+    Text(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+/// A named group of fields (one tier, one cache, one stage, …).
+#[derive(Debug, Clone, Default)]
+pub struct Section {
+    name: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Section {
+    /// Append a field (insertion order is render order).
+    pub fn field(&mut self, name: &str, value: impl Into<Value>) -> &mut Section {
+        self.fields.push((name.to_string(), value.into()));
+        self
+    }
+}
+
+/// An ordered collection of [`Section`]s with JSON and Prometheus readouts.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    sections: Vec<Section>,
+}
+
+impl MetricsHub {
+    pub fn new() -> MetricsHub {
+        MetricsHub::default()
+    }
+
+    /// Start (or extend) the section called `name` and return it for
+    /// field-chaining.
+    pub fn section(&mut self, name: &str) -> &mut Section {
+        if let Some(i) = self.sections.iter().position(|s| s.name == name) {
+            return &mut self.sections[i];
+        }
+        self.sections.push(Section {
+            name: name.to_string(),
+            fields: Vec::new(),
+        });
+        self.sections.last_mut().unwrap()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Render as one JSON object: `{"section": {"field": value, …}, …}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (si, section) in self.sections.iter().enumerate() {
+            if si > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {{", section.name);
+            for (fi, (name, value)) in section.fields.iter().enumerate() {
+                if fi > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{name}\": ");
+                match value {
+                    Value::U64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    Value::F64(v) => {
+                        let clamped = if v.is_finite() { *v } else { 0.0 };
+                        let _ = write!(out, "{clamped:.3}");
+                    }
+                    Value::Text(v) => {
+                        let _ = write!(out, "\"{}\"", escape(v));
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render as Prometheus-style text exposition: one
+    /// `<prefix>_<section>_<field> <value>` gauge line per numeric field;
+    /// text fields become `*_info{value="…"} 1` marker series.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for section in &self.sections {
+            for (name, value) in &section.fields {
+                let metric = format!(
+                    "{}_{}_{}",
+                    sanitize(prefix),
+                    sanitize(&section.name),
+                    sanitize(name)
+                );
+                match value {
+                    Value::U64(v) => {
+                        let _ = writeln!(out, "# TYPE {metric} gauge");
+                        let _ = writeln!(out, "{metric} {v}");
+                    }
+                    Value::F64(v) => {
+                        let clamped = if v.is_finite() { *v } else { 0.0 };
+                        let _ = writeln!(out, "# TYPE {metric} gauge");
+                        let _ = writeln!(out, "{metric} {clamped:.6}");
+                    }
+                    Value::Text(v) => {
+                        let _ = writeln!(out, "# TYPE {metric}_info gauge");
+                        let _ = writeln!(out, "{metric}_info{{value=\"{}\"}} 1", escape(v));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map the rest to `_`.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_sections_in_order() {
+        let mut hub = MetricsHub::new();
+        hub.section("server")
+            .field("completed", 42u64)
+            .field("hit_ratio", 0.9934_f64);
+        hub.section("cluster").field("scale", "tiny");
+        assert_eq!(
+            hub.to_json(),
+            "{\"server\": {\"completed\": 42, \"hit_ratio\": 0.993}, \
+             \"cluster\": {\"scale\": \"tiny\"}}"
+        );
+    }
+
+    #[test]
+    fn section_extends_in_place() {
+        let mut hub = MetricsHub::new();
+        hub.section("a").field("x", 1u64);
+        hub.section("b").field("y", 2u64);
+        hub.section("a").field("z", 3u64);
+        assert_eq!(
+            hub.to_json(),
+            "{\"a\": {\"x\": 1, \"z\": 3}, \"b\": {\"y\": 2}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_clamp_to_zero() {
+        let mut hub = MetricsHub::new();
+        hub.section("s")
+            .field("bad", f64::NAN)
+            .field("inf", f64::INFINITY);
+        assert_eq!(hub.to_json(), "{\"s\": {\"bad\": 0.000, \"inf\": 0.000}}");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut hub = MetricsHub::new();
+        hub.section("qsm scan").field("p99_us", 6977u64);
+        hub.section("meta").field("scale", "tiny");
+        let text = hub.to_prometheus("sapphire");
+        assert!(text.contains("# TYPE sapphire_qsm_scan_p99_us gauge\n"));
+        assert!(text.contains("sapphire_qsm_scan_p99_us 6977\n"));
+        assert!(text.contains("sapphire_meta_scale_info{value=\"tiny\"} 1\n"));
+    }
+
+    #[test]
+    fn text_values_escape_quotes() {
+        let mut hub = MetricsHub::new();
+        hub.section("s").field("q", "a\"b\\c");
+        assert_eq!(hub.to_json(), "{\"s\": {\"q\": \"a\\\"b\\\\c\"}}");
+    }
+}

@@ -470,14 +470,14 @@ impl Drop for AdmissionPermit {
 pub struct TenantBudgets {
     budget: Option<u64>,
     shards: Vec<Mutex<sapphire_core::BoundedCache<String, u64>>>,
-    /// Evictions from windows already reset; live-window evictions are read
-    /// off the shard caches themselves.
-    past_evictions: AtomicU64,
-    /// Serializes whole-meter walks ([`reset_window`](Self::reset_window) vs
-    /// [`evicted_meters`](Self::evicted_meters)): a reset folding live shard
-    /// evictions into `past_evictions` mid-walk would otherwise let one
-    /// metrics read count the same evictions twice. `charge` never takes it.
-    walk: Mutex<()>,
+    /// Meters evicted across all windows. Folded in at charge time, under
+    /// the owning shard's lock, as the delta in that shard's eviction count
+    /// around the insert — so the total is monotonic and exact, a metrics
+    /// read is one atomic load instead of a 16-shard lock walk, and no
+    /// read/reset interleaving can ever observe an eviction twice (the
+    /// double-count hazard the old `past_evictions` + walk-mutex scheme
+    /// existed to paper over).
+    evictions: AtomicU64,
 }
 
 /// Shards of the tenant meter.
@@ -493,8 +493,7 @@ impl TenantBudgets {
             shards: (0..TENANT_SHARDS)
                 .map(|_| Mutex::new(sapphire_core::BoundedCache::new(TRACKED_TENANTS_PER_SHARD)))
                 .collect(),
-            past_evictions: AtomicU64::new(0),
-            walk: Mutex::new(()),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -517,7 +516,15 @@ impl TenantBudgets {
                 });
             }
         }
+        let before = meter.stats().evictions;
         meter.insert(tenant.to_string(), would_use);
+        let after = meter.stats().evictions;
+        if after > before {
+            // Still under the shard lock, so the delta is exactly the
+            // evictions this insert caused — the global count stays an
+            // every-eviction-once ledger.
+            self.evictions.fetch_add(after - before, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -534,25 +541,17 @@ impl TenantBudgets {
     /// Meters evicted to keep the shards bounded, across all windows. Each
     /// eviction forgot some tenant's in-window usage — a nonzero value means
     /// quotas may have been under-enforced, and a growing one means tenant
-    /// cardinality exceeds `TRACKED_TENANTS_PER_SHARD` per shard.
+    /// cardinality exceeds `TRACKED_TENANTS_PER_SHARD` per shard. Monotonic:
+    /// successive reads never go backwards, concurrent resets included.
     pub fn evicted_meters(&self) -> u64 {
-        let _walk = self.walk.lock().unwrap();
-        let live: u64 = self
-            .shards
-            .iter()
-            .map(|s| s.lock().unwrap().stats().evictions)
-            .sum();
-        self.past_evictions.load(Ordering::Relaxed) + live
+        self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Start a fresh accounting window for every tenant.
+    /// Start a fresh accounting window for every tenant. Eviction counts
+    /// survive: they were folded into the global ledger as they happened.
     pub fn reset_window(&self) {
-        let _walk = self.walk.lock().unwrap();
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
-            self.past_evictions
-                .fetch_add(shard.stats().evictions, Ordering::Relaxed);
-            *shard = sapphire_core::BoundedCache::new(TRACKED_TENANTS_PER_SHARD);
+            *shard.lock().unwrap() = sapphire_core::BoundedCache::new(TRACKED_TENANTS_PER_SHARD);
         }
     }
 }
@@ -942,5 +941,129 @@ mod tests {
         for _ in 0..1000 {
             budgets.charge("anyone", u64::MAX / 2).unwrap();
         }
+    }
+
+    #[test]
+    fn eviction_count_is_monotonic_and_exact_under_concurrency() {
+        // Regression for the old read-side scheme (past_evictions + a live
+        // shard walk), where a metrics read racing reset_window could count
+        // the same evictions twice. Readers and window resets now run
+        // concurrently with eviction-heavy charges; every observed value
+        // must be monotonic, and the final count must equal the exact number
+        // of meters the shards actually dropped.
+        const WRITERS: usize = 4;
+        const CHARGES_PER_WRITER: usize = 60_000;
+        let budgets = Arc::new(TenantBudgets::new(None));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let budgets = budgets.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut reads = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let now = budgets.evicted_meters();
+                        assert!(
+                            now >= last,
+                            "eviction count went backwards: {last} -> {now}"
+                        );
+                        last = now;
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+
+        let hammer = |phase: &str| {
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|w| {
+                    let budgets = budgets.clone();
+                    let phase = phase.to_string();
+                    std::thread::spawn(move || {
+                        // Distinct names per writer and phase: every charge
+                        // inserts a fresh meter, overflowing the per-shard
+                        // LRU capacity many times over.
+                        for i in 0..CHARGES_PER_WRITER {
+                            budgets.charge(&format!("{phase}-w{w}-{i}"), 1).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+        };
+
+        // Phase A, no resets: 240k fresh meters into 65,536 capacity must
+        // evict, and concurrent reads stay monotonic while they do.
+        hammer("a");
+        let after_phase_a = budgets.evicted_meters();
+        assert!(after_phase_a > 0, "churn forced evictions");
+
+        // Phase B: same hammer, now racing window resets — the interleaving
+        // the old read-side scheme double-counted under.
+        let resetter = {
+            let budgets = budgets.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    budgets.reset_window();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        };
+        hammer("b");
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "readers observed the live count");
+        }
+        resetter.join().unwrap();
+
+        // Every charge inserted one fresh meter and none was reinserted, so
+        // at most inserted - resident meters can ever have been evicted
+        // (resets drop entries without counting them as evictions). The old
+        // scheme could exceed this bound by counting an eviction twice.
+        let resident: u64 = ["a", "b"]
+            .iter()
+            .flat_map(|phase| (0..WRITERS).map(move |w| (phase, w)))
+            .map(|(phase, w)| {
+                (0..CHARGES_PER_WRITER)
+                    .filter(|i| budgets.used(&format!("{phase}-w{w}-{i}")) > 0)
+                    .count() as u64
+            })
+            .sum();
+        let final_count = budgets.evicted_meters();
+        assert!(final_count >= after_phase_a, "ledger survives resets");
+        assert!(
+            final_count <= (2 * WRITERS * CHARGES_PER_WRITER) as u64 - resident,
+            "counted more evictions ({final_count}) than meters that left the shards"
+        );
+        assert_eq!(
+            budgets.evicted_meters(),
+            final_count,
+            "quiescent reads are stable"
+        );
+    }
+
+    #[test]
+    fn eviction_count_exact_single_threaded() {
+        // Exactness without concurrency noise: fill one logical window past
+        // total capacity and check the ledger equals inserted - resident.
+        let budgets = TenantBudgets::new(None);
+        const INSERTED: usize = 100_000;
+        for i in 0..INSERTED {
+            budgets.charge(&format!("t{i}"), 1).unwrap();
+        }
+        let resident = (0..INSERTED)
+            .filter(|i| budgets.used(&format!("t{i}")) > 0)
+            .count();
+        assert_eq!(
+            budgets.evicted_meters(),
+            (INSERTED - resident) as u64,
+            "every eviction counted exactly once"
+        );
     }
 }

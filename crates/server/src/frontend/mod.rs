@@ -269,6 +269,20 @@ impl Frontend {
         let Some(state_arc) = self.shared.session(id.0) else {
             return reject(ServerError::UnknownSession(id), respond);
         };
+        // Begin the sampled trace before taking the session lock (the tenant
+        // lookup takes the registry lock). One relaxed load when sampling is
+        // off — the default — so untraced submission pays nothing.
+        let obs = self.shared.server.obs();
+        let trace = if obs.sampling() == 0 {
+            None
+        } else {
+            let tenant = self
+                .shared
+                .server
+                .session_tenant(id)
+                .unwrap_or_else(|_| String::new());
+            obs.begin_trace(request.kind(), &tenant)
+        };
         let mut st = state_arc.lock().unwrap();
         if st.closed {
             drop(st);
@@ -285,7 +299,12 @@ impl Frontend {
                 respond,
             );
         }
-        st.queue.push_back((request, respond));
+        st.queue.push_back(session::QueuedRequest {
+            request,
+            respond,
+            enqueued: std::time::Instant::now(),
+            trace,
+        });
         self.shared
             .counters
             .submitted
@@ -359,6 +378,28 @@ impl Frontend {
             parked,
             peak_ready: self.shared.reactor.peak_ready(),
         }
+    }
+
+    /// Everything this front-end and its server export, as one
+    /// [`sapphire_obs::MetricsHub`] — server/cache/model counters, per-stage
+    /// latency sections, and a `frontend` section — renderable as JSON or
+    /// Prometheus text.
+    pub fn export_metrics(&self) -> sapphire_obs::MetricsHub {
+        let mut hub = self.shared.server.export_metrics();
+        let m = self.metrics();
+        hub.section("frontend")
+            .field("submitted", m.submitted)
+            .field("completed", m.completed)
+            .field("immediate_grants", m.immediate_grants)
+            .field("ticket_waits", m.ticket_waits)
+            .field("ticket_grants", m.ticket_grants)
+            .field("late_grants", m.late_grants)
+            .field("queue_timeouts", m.queue_timeouts)
+            .field("open_sessions", m.open_sessions)
+            .field("ready", m.ready)
+            .field("parked", m.parked)
+            .field("peak_ready", m.peak_ready);
+        hub
     }
 
     /// Drain and stop: reject new intake typed ([`ServerError::ShuttingDown`]),

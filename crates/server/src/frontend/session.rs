@@ -60,6 +60,21 @@ pub enum FrontRequest {
     Close,
 }
 
+impl FrontRequest {
+    /// Stable label for traces and stage metrics.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            FrontRequest::Complete { .. } => "complete",
+            FrontRequest::Run => "run",
+            FrontRequest::SetRow { .. } => "set_row",
+            FrontRequest::SetModifiers { .. } => "set_modifiers",
+            FrontRequest::ApplyAlternative { .. } => "apply_alternative",
+            FrontRequest::Query { .. } => "query",
+            FrontRequest::Close => "close",
+        }
+    }
+}
+
 /// The response paired with each [`FrontRequest`] variant.
 #[derive(Debug)]
 pub enum FrontResponse {
@@ -106,11 +121,25 @@ pub(crate) struct PendingAdmission {
     pub(crate) request: FrontRequest,
     pub(crate) respond: ResponseCallback,
     pub(crate) since: Instant,
+    /// The sampled trace following this request across its park (None when
+    /// the request is untraced).
+    pub(crate) trace: Option<sapphire_obs::Trace>,
+}
+
+/// One submission waiting in a session's FIFO queue.
+pub(crate) struct QueuedRequest {
+    pub(crate) request: FrontRequest,
+    pub(crate) respond: ResponseCallback,
+    /// When [`Frontend::submit`](super::Frontend::submit) accepted it — the
+    /// origin of the `frontend_queue` and `end_to_end` stage measurements.
+    pub(crate) enqueued: Instant,
+    /// The sampled trace begun at submission (None when untraced).
+    pub(crate) trace: Option<sapphire_obs::Trace>,
 }
 
 /// The front-end's view of one session.
 pub(crate) struct SessionState {
-    pub(crate) queue: VecDeque<(FrontRequest, ResponseCallback)>,
+    pub(crate) queue: VecDeque<QueuedRequest>,
     pub(crate) phase: Phase,
     pub(crate) pending: Option<PendingAdmission>,
     pub(crate) closed: bool,

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sapphire_endpoint::ServiceError;
+use sapphire_obs::{RequestMark, Stage, Trace, TraceScope};
 
 use crate::admission::{AdmissionPermit, AsyncAdmission};
 use crate::error::ServerError;
@@ -59,7 +60,7 @@ fn process(shared: &Arc<Shared>, id: u64) -> Option<u64> {
         }
     }
 
-    let Some((request, respond)) = st.queue.pop_front() else {
+    let Some(q) = st.queue.pop_front() else {
         st.phase = Phase::Idle;
         let closed = st.closed;
         drop(st);
@@ -70,9 +71,64 @@ fn process(shared: &Arc<Shared>, id: u64) -> Option<u64> {
     };
     st.phase = Phase::Running;
     drop(st);
-    match dispatch(shared, id, request, respond, &state_arc) {
+    // The time between submit() accepting the request and a worker picking
+    // it up: the front-end's own queueing stage.
+    let queued_us = q.enqueued.elapsed().as_micros() as u64;
+    shared.server.obs().record(Stage::FrontendQueue, queued_us);
+    if let Some(t) = &q.trace {
+        t.add_span(
+            Stage::FrontendQueue.name(),
+            q.enqueued,
+            queued_us,
+            None,
+            String::new(),
+        );
+    }
+    let respond = wrap_reply(shared, q.respond, q.enqueued, q.trace.clone());
+    match dispatch(shared, id, q.request, respond, q.trace, &state_arc) {
         Ownership::Parked => None,
         Ownership::Held => finish(shared, &state_arc, id),
+    }
+}
+
+/// Wrap a response callback so delivery seals the request's observability:
+/// the `end_to_end` stage is submit → reply (queue wait, admission wait, and
+/// execution included — the latency the *client* saw), and a sampled trace
+/// is finished into the flight recorder. Fires exactly once because the
+/// callback it wraps does.
+fn wrap_reply(
+    shared: &Arc<Shared>,
+    respond: ResponseCallback,
+    enqueued: Instant,
+    trace: Option<Trace>,
+) -> ResponseCallback {
+    let obs = shared.server.obs().clone();
+    Box::new(move |result| {
+        obs.record(Stage::EndToEnd, enqueued.elapsed().as_micros() as u64);
+        if let Some(t) = trace {
+            obs.finish_trace(t);
+        }
+        respond(result);
+    })
+}
+
+/// Record one admission wait (histogram always; span when traced).
+fn note_admission_wait(
+    shared: &Arc<Shared>,
+    since: Instant,
+    trace: Option<&Trace>,
+    tag: &'static str,
+) {
+    let waited_us = since.elapsed().as_micros() as u64;
+    shared.server.obs().record(Stage::AdmissionWait, waited_us);
+    if let Some(t) = trace {
+        t.add_span(
+            Stage::AdmissionWait.name(),
+            since,
+            waited_us,
+            None,
+            tag.to_string(),
+        );
     }
 }
 
@@ -107,7 +163,8 @@ fn resolve_pending(
             .counters
             .ticket_grants
             .fetch_add(1, Ordering::Relaxed);
-        execute_admitted(shared, id, p.request, permit, p.respond);
+        note_admission_wait(shared, p.since, p.trace.as_ref(), "granted");
+        execute_admitted(shared, id, p.request, permit, p.respond, p.trace);
         return Ownership::Held;
     }
     if p.ticket.expired() {
@@ -116,9 +173,11 @@ fn resolve_pending(
             // rather than bounce a request the gate already admitted.
             Some(permit) => {
                 shared.counters.late_grants.fetch_add(1, Ordering::Relaxed);
-                execute_admitted(shared, id, p.request, permit, p.respond);
+                note_admission_wait(shared, p.since, p.trace.as_ref(), "late");
+                execute_admitted(shared, id, p.request, permit, p.respond, p.trace);
             }
             None => {
+                note_admission_wait(shared, p.since, p.trace.as_ref(), "timeout");
                 let err = ServerError::QueueTimeout {
                     waited_ms: p.since.elapsed().as_millis() as u64,
                 };
@@ -157,7 +216,8 @@ fn park(
             .ticket_grants
             .fetch_add(1, Ordering::Relaxed);
         drop(st);
-        execute_admitted(shared, id, p.request, permit, p.respond);
+        note_admission_wait(shared, p.since, p.trace.as_ref(), "granted");
+        execute_admitted(shared, id, p.request, permit, p.respond, p.trace);
         return Ownership::Held;
     }
     // Any grant from here on finds the phase `AwaitingGrant` once we
@@ -209,6 +269,7 @@ fn dispatch(
     id: u64,
     request: FrontRequest,
     respond: ResponseCallback,
+    trace: Option<Trace>,
     state_arc: &Arc<std::sync::Mutex<super::session::SessionState>>,
 ) -> Ownership {
     let sid = SessionId(id);
@@ -238,7 +299,10 @@ fn dispatch(
             if let RawTarget::External(service) = &shared.raw {
                 // The external service runs its own admission tiers (a
                 // ClusterRouter never parks at the edge), so the worker
-                // drives it directly.
+                // drives it directly — under this request's trace context,
+                // with the front-end owning the end-to-end measurement.
+                let _mark = RequestMark::new();
+                let _scope = TraceScope::enter(trace);
                 let tenant = match shared.server.session_tenant(sid) {
                     Ok(t) => t,
                     Err(e) => {
@@ -259,6 +323,7 @@ fn dispatch(
                 id,
                 FrontRequest::Query { query },
                 respond,
+                trace,
                 state_arc,
             )
         }
@@ -269,12 +334,13 @@ fn dispatch(
                 id,
                 FrontRequest::Complete { typed },
                 respond,
+                trace,
                 state_arc,
             )
         }
         FrontRequest::Run => {
             shared.server.note_run_request();
-            admit_then(shared, id, FrontRequest::Run, respond, state_arc)
+            admit_then(shared, id, FrontRequest::Run, respond, trace, state_arc)
         }
     }
 }
@@ -287,6 +353,7 @@ fn admit_then(
     id: u64,
     request: FrontRequest,
     respond: ResponseCallback,
+    trace: Option<Trace>,
     state_arc: &Arc<std::sync::Mutex<super::session::SessionState>>,
 ) -> Ownership {
     let gate = shared.server.admission_gate().clone();
@@ -298,13 +365,15 @@ fn admit_then(
             }
         })
     };
+    let asked = Instant::now();
     match gate.admit_evented(on_grant) {
         Ok(AsyncAdmission::Ready(permit)) => {
             shared
                 .counters
                 .immediate_grants
                 .fetch_add(1, Ordering::Relaxed);
-            execute_admitted(shared, id, request, permit, respond);
+            note_admission_wait(shared, asked, trace.as_ref(), "immediate");
+            execute_admitted(shared, id, request, permit, respond, trace);
             Ownership::Held
         }
         Ok(AsyncAdmission::Queued(ticket)) => {
@@ -316,7 +385,8 @@ fn admit_then(
                     ticket,
                     request,
                     respond,
-                    since: Instant::now(),
+                    since: asked,
+                    trace,
                 },
                 state_arc,
             )
@@ -329,14 +399,20 @@ fn admit_then(
     }
 }
 
-/// Run an admitted request against the server, permit in hand.
+/// Run an admitted request against the server, permit in hand. The body
+/// executes inside this request's trace context with the request depth
+/// marked, so the server's own entry points know a front-end tier already
+/// owns the end-to-end measurement and the root trace.
 fn execute_admitted(
     shared: &Arc<Shared>,
     id: u64,
     request: FrontRequest,
     permit: AdmissionPermit,
     respond: ResponseCallback,
+    trace: Option<Trace>,
 ) {
+    let _mark = RequestMark::new();
+    let _scope = TraceScope::enter(trace);
     let sid = SessionId(id);
     let result = match request {
         FrontRequest::Complete { typed } => shared

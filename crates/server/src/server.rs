@@ -9,6 +9,7 @@ use sapphire_core::qsm::QsmOutput;
 use sapphire_core::session::{Modifiers, Session, TripleInput};
 use sapphire_core::{AnswerTable, CacheStats, PredictiveUserModel};
 use sapphire_endpoint::{QueryService, ServiceError};
+use sapphire_obs::{MetricsHub, Obs, Stage};
 use sapphire_sparql::{Query, QueryResult, SelectQuery, Solutions, WorkBudget};
 
 use crate::admission::{AdmissionController, AdmissionPermit, TenantBudgets};
@@ -273,11 +274,20 @@ pub struct SapphireServer {
     run_coalescer: Coalescer<RunPayload, ServerError>,
     service_coalescer: Coalescer<QueryResult, ServerError>,
     counters: Counters,
+    obs: Arc<Obs>,
 }
 
 impl SapphireServer {
     /// Stand up a server over a shared model.
     pub fn new(pum: Arc<PredictiveUserModel>, config: ServerConfig) -> Self {
+        Self::with_obs(pum, config, Arc::new(Obs::new()))
+    }
+
+    /// [`new`](Self::new) with a caller-supplied observability hub — how a
+    /// cluster shard, the evented front-end, and a bench harness share one
+    /// set of stage histograms and one flight recorder across tiers.
+    pub fn with_obs(pum: Arc<PredictiveUserModel>, config: ServerConfig, obs: Arc<Obs>) -> Self {
+        pum.install_obs(obs.clone());
         SapphireServer {
             registry: SessionRegistry::new(config.registry_shards, config.max_sessions),
             admission: Arc::new(AdmissionController::new(
@@ -303,12 +313,45 @@ impl SapphireServer {
             counters: Counters::default(),
             pum,
             config,
+            obs,
         }
     }
 
     /// The shared model (e.g. for registering its endpoints elsewhere).
     pub fn model(&self) -> &Arc<PredictiveUserModel> {
         &self.pum
+    }
+
+    /// The observability hub: per-stage latency histograms, the trace
+    /// sampler, and the flight recorder.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Admit through the gate with the wait time recorded into the
+    /// [`Stage::AdmissionWait`] histogram (and the sampled trace, if any) —
+    /// immediate grants record as ~0µs, queued grants as their park time.
+    fn admit_timed(&self) -> Result<AdmissionPermit, ServerError> {
+        let _t = self.obs.time(Stage::AdmissionWait);
+        self.admission.admit()
+    }
+
+    /// Record one single-flight follower's block time behind a leader's scan
+    /// into the [`Stage::CoalesceWait`] histogram, and tag the sampled
+    /// trace's span with the surface and the wait. Leaders and bypasses do
+    /// not report here — their time is the scan itself.
+    fn note_coalesce_wait(&self, started: std::time::Instant, surface: &'static str) {
+        let waited_us = started.elapsed().as_micros() as u64;
+        self.obs.record(Stage::CoalesceWait, waited_us);
+        if let Some((trace, parent)) = sapphire_obs::trace::current_ctx() {
+            trace.add_span(
+                Stage::CoalesceWait.name(),
+                started,
+                waited_us,
+                parent,
+                format!("{surface} follower wait_us={waited_us}"),
+            );
+        }
     }
 
     /// The configuration in effect.
@@ -409,7 +452,8 @@ impl SapphireServer {
         typed: &str,
         k: usize,
     ) -> Result<CompletionResult, ServerError> {
-        let permit = self.count_rejection(self.admission.admit())?;
+        let _req = self.obs.request_scope("complete", tenant);
+        let permit = self.count_rejection(self.admit_timed())?;
         self.complete_top_admitted(tenant, typed, k, permit)
     }
 
@@ -432,11 +476,26 @@ impl SapphireServer {
         } else {
             format!("{}\u{1}top{k}", completion_key(typed))
         };
-        if let Some(hit) = self.completion_cache.get(&key) {
+        let lookup = {
+            let mut t = self.obs.time(Stage::CacheLookup);
+            let hit = self.completion_cache.get(&key);
+            t.tag(if hit.is_some() {
+                "completion hit"
+            } else {
+                "completion miss"
+            });
+            hit
+        };
+        if let Some(hit) = lookup {
             drop(permit);
             return Ok((*hit).clone());
         }
-        let result = match self.completion_coalescer.join(&key) {
+        let join_started = std::time::Instant::now();
+        let joined = self.completion_coalescer.join(&key);
+        if matches!(joined, Join::Follower(_)) {
+            self.note_coalesce_wait(join_started, "completion");
+        }
+        let result = match joined {
             Join::Leader(token) => {
                 // Re-check the cache under leadership (uncounted peek): the
                 // flight that completed between our miss and this join
@@ -456,7 +515,11 @@ impl SapphireServer {
                     self.counters
                         .coalesce_leader_runs
                         .fetch_add(1, Ordering::Relaxed);
-                    let result = self.pum.complete_top(typed, k);
+                    let result = {
+                        let mut t = self.obs.time(Stage::QcmScan);
+                        t.tag("leader");
+                        self.pum.complete_top(typed, k)
+                    };
                     let shared = self.completion_cache.insert(key, result.clone());
                     token.complete(Ok(shared));
                     result
@@ -474,7 +537,11 @@ impl SapphireServer {
                 self.counters
                     .coalesce_bypass_runs
                     .fetch_add(1, Ordering::Relaxed);
-                let result = self.pum.complete_top(typed, k);
+                let result = {
+                    let mut t = self.obs.time(Stage::QcmScan);
+                    t.tag("bypass");
+                    self.pum.complete_top(typed, k)
+                };
                 self.completion_cache.insert(key, result.clone());
                 result
             }
@@ -504,11 +571,12 @@ impl SapphireServer {
     pub fn run(&self, id: SessionId) -> Result<RunOutput, ServerError> {
         self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
         let (entry, snapshot) = self.run_snapshot(id)?;
+        let _req = self.obs.request_scope("run", &snapshot.tenant);
         // Admission comes first: a shed request must cost nothing, and even
         // query building resolves keyword predicates against the shared
         // cache. The quota charge needs the built query's shape, so it
         // follows — an over-budget tenant gives its slot straight back.
-        let permit = self.count_rejection(self.admission.admit())?;
+        let permit = self.count_rejection(self.admit_timed())?;
         self.run_committed(&entry, snapshot, permit)
     }
 
@@ -601,7 +669,8 @@ impl SapphireServer {
     /// there is no attempt counter or suggestion commit here.
     pub fn run_select(&self, tenant: &str, query: &SelectQuery) -> Result<QueryRun, ServerError> {
         self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
-        let permit = self.count_rejection(self.admission.admit())?;
+        let _req = self.obs.request_scope("run", tenant);
+        let permit = self.count_rejection(self.admit_timed())?;
         self.count_rejection(self.tenants.charge(tenant, self.run_cost(query)))?;
         let (cached, payload) = self.execute_run(query, self.qsm_tier())?;
         drop(permit);
@@ -649,10 +718,21 @@ impl SapphireServer {
                 .fetch_add(1, Ordering::Relaxed);
         }
         let key = run_key_tier(query, tier);
-        if let Some(hit) = self.run_cache.get(&key) {
+        let lookup = {
+            let mut t = self.obs.time(Stage::CacheLookup);
+            let hit = self.run_cache.get(&key);
+            t.tag(if hit.is_some() { "run hit" } else { "run miss" });
+            hit
+        };
+        if let Some(hit) = lookup {
             return Ok((true, hit));
         }
-        match self.run_coalescer.join(&key) {
+        let join_started = std::time::Instant::now();
+        let joined = self.run_coalescer.join(&key);
+        if matches!(joined, Join::Follower(_)) {
+            self.note_coalesce_wait(join_started, "run");
+        }
+        match joined {
             Join::Leader(token) => {
                 if let Some(hit) = self.run_cache.peek(&key) {
                     self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
@@ -764,6 +844,60 @@ impl SapphireServer {
         }
     }
 
+    /// Export every counter surface this server owns — request/rejection/
+    /// coalescing counters, both response caches, the model's Steiner
+    /// neighborhood and alternative-sweep caches, and the per-stage latency
+    /// histograms — as one [`MetricsHub`], renderable as JSON or Prometheus
+    /// text exposition.
+    pub fn export_metrics(&self) -> MetricsHub {
+        let m = self.metrics();
+        let mut hub = MetricsHub::new();
+        hub.section("server")
+            .field("completion_requests", m.completion_requests)
+            .field("run_requests", m.run_requests)
+            .field("service_requests", m.service_requests)
+            .field("rejected_overloaded", m.rejected_overloaded)
+            .field("rejected_queue_timeout", m.rejected_queue_timeout)
+            .field("rejected_quota", m.rejected_quota)
+            .field("tenant_meter_evictions", m.tenant_meter_evictions)
+            .field("coalesced_hits", m.coalesced_hits)
+            .field("completion_coalesced_hits", m.completion_coalesced_hits)
+            .field("run_coalesced_hits", m.run_coalesced_hits)
+            .field("coalesce_leader_runs", m.coalesce_leader_runs)
+            .field("coalesce_bypass_runs", m.coalesce_bypass_runs)
+            .field("fifo_handoffs", m.fifo_handoffs)
+            .field("qsm_degraded_runs", m.qsm_degraded_runs)
+            .field("open_sessions", m.open_sessions);
+        hub.section("completion_cache")
+            .field("hits", m.completion_cache.hits)
+            .field("misses", m.completion_cache.misses)
+            .field("evictions", m.completion_cache.evictions)
+            .field("hit_ratio", m.completion_cache.hit_ratio());
+        hub.section("run_cache")
+            .field("hits", m.run_cache.hits)
+            .field("misses", m.run_cache.misses)
+            .field("evictions", m.run_cache.evictions)
+            .field("hit_ratio", m.run_cache.hit_ratio());
+        let relax = self.pum.relax_cache_stats();
+        hub.section("relax_cache")
+            .field("hits", relax.hits)
+            .field("misses", relax.misses)
+            .field("fills", relax.fills)
+            .field("evictions", relax.evictions)
+            .field("queries_executed", relax.queries_executed)
+            .field("queries_saved", relax.queries_saved);
+        let alts = self.pum.alt_cache_stats();
+        hub.section("alt_cache")
+            .field("literal_hits", alts.literal.hits)
+            .field("literal_misses", alts.literal.misses)
+            .field("literal_evictions", alts.literal.evictions)
+            .field("predicate_hits", alts.predicate.hits)
+            .field("predicate_misses", alts.predicate.misses)
+            .field("predicate_evictions", alts.predicate.evictions);
+        self.obs.stage_sections(&mut hub);
+        hub
+    }
+
     /// Current `(in_flight, queued)` admission snapshot — the cheap load
     /// probe a cluster router consults to pick the least-loaded replica.
     pub fn admission_load(&self) -> (usize, usize) {
@@ -844,7 +978,21 @@ impl SapphireServer {
     /// single-flight leader runs on behalf of its followers), with the
     /// Steiner relaxation at `tier`.
     fn scan(&self, query: &SelectQuery, tier: usize) -> RunPayload {
+        let mut timer = self.obs.time(Stage::QsmScan);
+        if tier > 0 {
+            // Allocates only on degraded runs, which are rare by design.
+            timer.tag(format!("tier{tier}"));
+        }
+        if let Some(trace) = sapphire_obs::trace::current() {
+            let label = if tier == 0 {
+                "full".to_string()
+            } else {
+                format!("tier{tier}")
+            };
+            trace.set_tier(&label);
+        }
         let outcome = self.pum.run_tiered(query, tier);
+        drop(timer);
         RunPayload {
             answers: outcome.answers,
             executed: outcome.executed,
@@ -902,8 +1050,9 @@ impl QueryService for SapphireServer {
         self.counters
             .service_requests
             .fetch_add(1, Ordering::Relaxed);
+        let _req = self.obs.request_scope("query", tenant);
         let permit = self
-            .count_rejection(self.admission.admit())
+            .count_rejection(self.admit_timed())
             .map_err(ServerError::into_service_error)?;
         self.execute_query_admitted(tenant, query, permit)
             .map_err(ServerError::into_service_error)
@@ -936,7 +1085,12 @@ impl SapphireServer {
                 .map_err(from_federation)
         };
         let key = sapphire_endpoint::query_fingerprint(query);
-        let result = match self.service_coalescer.join(&key) {
+        let join_started = std::time::Instant::now();
+        let joined = self.service_coalescer.join(&key);
+        if matches!(joined, Join::Follower(_)) {
+            self.note_coalesce_wait(join_started, "service");
+        }
+        let result = match joined {
             Join::Leader(token) => {
                 self.counters
                     .coalesce_leader_runs
