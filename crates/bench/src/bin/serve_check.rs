@@ -32,6 +32,11 @@
 //!   (`qsm_shed_budget` off), so *no* run may come back at a reduced budget
 //!   tier; a nonzero count means degraded output leaked into a deployment
 //!   that never opted in.
+//! * overload smoke (a bounded open-loop sweep past saturation on a 2x2
+//!   cluster; see [`sapphire_bench::overload`]) — graceful degradation
+//!   holds: past-saturation goodput ≥ 50% of the sweep's peak, zero
+//!   untyped failures, zero tier-keyed cache cross-contamination, and the
+//!   offered-load sweep itself is monotone.
 //!
 //! Usage: `cargo run --release -p sapphire-bench --bin serve_check
 //!         [--rounds 2] [--baseline BENCH_serve.json]`
@@ -40,6 +45,7 @@
 //! regenerating it after an intentional perf change is `serve_load`'s job.
 
 use sapphire_bench::cluster::{self, ClusterLoadOptions};
+use sapphire_bench::overload::{self, OverloadOptions};
 use sapphire_bench::serve::{self, arg_string, arg_usize, json_f64, ServeLoadOptions};
 
 struct Gate {
@@ -354,6 +360,57 @@ fn main() {
         format!(
             "{cluster_rps:.1} vs single-server baseline {baseline_rps:.1} (floor {cluster_floor:.1})"
         ),
+    );
+
+    // --- Overload smoke gate: a bounded open-loop sweep past saturation
+    // (2x2 cluster, short steps). Enforces graceful degradation: goodput at
+    // the deepest offered load holds >= 50% of the sweep's peak, every
+    // shed request fails *typed* (zero untyped failures), and tier-keyed
+    // caches never leak a degraded payload into a tier-0 lookup.
+    eprintln!("\n(overload smoke gate: open-loop sweep, 2 shards x 2 replicas…)");
+    let overload_report = overload::run(&OverloadOptions::smoke());
+    println!("{overload_report}");
+    let onum = |key: &str| -> f64 {
+        match json_f64(&overload_report, Some("overload"), key) {
+            Some(v) => v,
+            None => {
+                eprintln!("FAIL overload report: missing field {key:?}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let floor_ratio = onum("goodput_floor_ratio");
+    gate.check(
+        "overload goodput_floor_ratio",
+        floor_ratio >= 0.5,
+        format!(
+            "past-saturation goodput is {:.0}% of peak ({:.1} vs {:.1} rps; floor 50%)",
+            floor_ratio * 100.0,
+            onum("past_saturation_goodput_rps"),
+            onum("peak_goodput_rps"),
+        ),
+    );
+    let untyped = onum("untyped_failures");
+    gate.check(
+        "overload untyped_failures",
+        untyped == 0.0,
+        format!("{untyped} failures without a typed rejection (must be 0)"),
+    );
+    let tier_mix = onum("tier_mix_violations");
+    gate.check(
+        "overload tier_mix_violations",
+        tier_mix == 0.0,
+        format!(
+            "{tier_mix} degraded payloads leaked into tier-0 lookups \
+             (sample {}, must be 0)",
+            onum("tier_mix_sample"),
+        ),
+    );
+    let monotone = onum("monotone_offered");
+    gate.check(
+        "overload monotone_offered",
+        monotone == 1.0,
+        format!("offered-load sweep monotone flag = {monotone} (must be 1)"),
     );
 
     if gate.failures > 0 {

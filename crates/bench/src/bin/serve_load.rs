@@ -19,6 +19,11 @@
 //! (see [`sapphire_bench::cluster`]); it reports routing metrics plus a
 //! determinism self-check and never touches `BENCH_serve.json`.
 //!
+//! Overload mode: `serve_load -- --overload` switches from closed-loop to
+//! an **open-loop** Poisson arrival sweep past saturation (see
+//! [`sapphire_bench::overload`]) and reports the degradation curve; it
+//! never touches `BENCH_serve.json` either.
+//!
 //! The dataset seed and workload are fixed, so request *streams* are
 //! reproducible; only latencies vary run to run. All load-shed requests
 //! surface as typed errors and are counted, never panicked on.
@@ -29,9 +34,40 @@
 
 use sapphire_bench::cluster::{self, ClusterLoadOptions};
 use sapphire_bench::frontend::{self, FrontendPhaseOptions};
+use sapphire_bench::overload::{self, OverloadOptions};
 use sapphire_bench::serve::{self, arg_string, arg_usize, ServeLoadOptions};
 
 fn main() {
+    // Overload mode: an OPEN-loop offered-load sweep past saturation
+    // (`--overload [--shards 2] [--replicas 2] [--launchers 64]
+    // [--step-ms 2000] [--calibration 256] [--seed 42] [--deadline-ms 250]`).
+    // Deterministic Poisson arrivals at multiples of the calibrated
+    // capacity; reports the degradation curve (goodput, typed rejections,
+    // shed tiers, stage p99s per step) in an `overload` section. Never
+    // touches `BENCH_serve.json` — the graceful-degradation gate runs
+    // in-process in `serve_check`.
+    if std::env::args().any(|a| a == "--overload") {
+        let defaults = OverloadOptions::default();
+        let opts = OverloadOptions {
+            scale: arg_string("--scale").unwrap_or(defaults.scale.clone()),
+            shards: arg_usize("--shards", defaults.shards),
+            replicas: arg_usize("--replicas", defaults.replicas),
+            launchers: arg_usize("--launchers", defaults.launchers),
+            step: std::time::Duration::from_millis(arg_usize(
+                "--step-ms",
+                defaults.step.as_millis() as usize,
+            ) as u64),
+            calibration_requests: arg_usize("--calibration", defaults.calibration_requests),
+            seed: arg_usize("--seed", defaults.seed as usize) as u64,
+            deadline: std::time::Duration::from_millis(arg_usize(
+                "--deadline-ms",
+                defaults.deadline.as_millis() as usize,
+            ) as u64),
+            ..defaults
+        };
+        println!("{}", overload::run(&opts));
+        return;
+    }
     // Front-end mode: ONLY the evented-front-end phase, at full scale
     // (`--frontend [--sessions 2000] [--workers 8] [--think 100]
     // [--hold 1500]`). Reports think-time latencies, hot-loop throughput,

@@ -62,8 +62,9 @@ impl Default for ClusterLoadOptions {
 }
 
 /// Fold a router outcome into the per-class stats buckets (the cluster's
-/// typed errors carry the shard's typed rejection).
-fn flatten(result: Result<(), ClusterError>) -> Result<(), ServerError> {
+/// typed errors carry the shard's typed rejection). Shared with the
+/// open-loop overload harness in [`crate::overload`].
+pub(crate) fn flatten(result: Result<(), ClusterError>) -> Result<(), ServerError> {
     match result {
         Ok(()) => Ok(()),
         Err(ClusterError::ShardUnavailable { last, .. }) => Err(last),
@@ -236,6 +237,15 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
         )
     };
     let fanout_total: u64 = metrics.fanout_per_shard.iter().sum();
+    // One ledger with the overload report: the steady-state run surfaces the
+    // same degraded-merge counters (total and per tier) the router counts.
+    let degraded_tiers: String = metrics
+        .degraded_by_tier
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(tier, runs)| format!(", \"degraded_tier{tier}\": {runs}"))
+        .collect();
     let obs = router.obs();
     if opts.trace_sample > 0 {
         eprintln!(
@@ -253,7 +263,7 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
          \"routing\": {{\"fanout_total\": {fanout_total}, \"hedges_fired\": {}, \
          \"hedges_won\": {}, \"replica_retries\": {}, \"rejected_after_retry\": {}, \
          \"merges\": {}, \"merge_depth_max\": {}, \"edge_coalesced_hits\": {}, \
-         \"edge_coalesce_leaders\": {}}},\n  \
+         \"edge_coalesce_leaders\": {}, \"degraded_runs\": {}{degraded_tiers}}},\n  \
          \"edge_completion_cache\": {},\n  \"edge_run_cache\": {},\n  \
          \"stages\": {},\n  \
          \"trace\": {{\"sampling\": {}, \"recorded\": {}, \"dropped\": {}}},\n  \
@@ -276,6 +286,7 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
         metrics.merge_depth_max,
         metrics.edge_coalesced_hits,
         metrics.edge_coalesce_leaders,
+        metrics.degraded_runs,
         cache_stats(metrics.completion_cache),
         cache_stats(metrics.run_cache),
         obs.stages_json(),

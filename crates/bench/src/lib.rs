@@ -7,6 +7,7 @@
 
 pub mod cluster;
 pub mod frontend;
+pub mod overload;
 pub mod serve;
 
 use sapphire_core::SapphireConfig;

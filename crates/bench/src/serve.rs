@@ -159,6 +159,19 @@ impl ClassStats {
         self.overloaded + self.queue_timeout + self.quota
     }
 
+    /// The typed outcome buckets in ledger order — overloaded, queue
+    /// timeout, quota, invalid. The open-loop overload harness reports each
+    /// class separately per sweep step (its gate distinguishes typed
+    /// rejections, which are graceful, from untyped failures, which are not).
+    pub(crate) fn typed_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.overloaded,
+            self.queue_timeout,
+            self.quota,
+            self.invalid,
+        )
+    }
+
     fn percentile(&self, sorted: &[u64], p: f64) -> u64 {
         if sorted.is_empty() {
             return 0;

@@ -58,7 +58,7 @@ pub mod topology;
 
 pub use router::{
     ClusterCompletion, ClusterConfig, ClusterError, ClusterMetrics, ClusterRouter, ClusterRun,
-    ClusterRunPayload,
+    ClusterRunPayload, DegradePolicy,
 };
 pub use topology::Cluster;
 

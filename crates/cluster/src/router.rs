@@ -34,7 +34,9 @@ use std::time::{Duration, Instant};
 
 use sapphire_core::qcm::{Completion, CompletionResult};
 use sapphire_core::qsm::{AlteredPosition, StructureSuggestion, TermAlternative};
-use sapphire_core::{completion_request_key, run_request_key, CacheStats};
+use sapphire_core::{
+    completion_request_key, run_request_key, run_request_key_tier, CacheStats, SteinerConfig,
+};
 use sapphire_endpoint::{
     query_fingerprint, Backoff, EndpointError, Jitter, QueryService, ServiceEndpoint, ServiceError,
 };
@@ -98,6 +100,55 @@ pub struct ClusterConfig {
     pub run_base_cost: u64,
     /// Extra edge work units per triple pattern in a run/raw request.
     pub run_per_pattern_cost: u64,
+    /// Router-driven degradation: when set, the edge *requests* a QSM shed
+    /// tier from shards (chosen from shard queue pressure and the remaining
+    /// deadline budget) and propagates the remaining budget on every run
+    /// scatter hop. `None` (the default) keeps the PR-5 posture: shards may
+    /// still shed locally behind their own
+    /// [`qsm_shed_budget`](sapphire_server::ServerConfig::qsm_shed_budget)
+    /// opt-in, but the edge never asks for degradation and never caches a
+    /// degraded merge.
+    pub degrade: Option<DegradePolicy>,
+}
+
+/// When and how hard the edge requests QSM degradation from shards — the
+/// cluster-wide half of the shed ladder
+/// ([`SteinerConfig::shed_budgets`]).
+///
+/// The edge picks the requested tier *before* any cache or coalescer
+/// lookup, from two signals, and takes the deeper of the two (clamped to
+/// [`SteinerConfig::MAX_TIER`]):
+///
+/// * **Queue pressure** — for each shard, the pressure tier of its
+///   *least-loaded* replica (the one load-aware routing will pick; see
+///   [`SapphireServer::shed_pressure_tier`]), maxed across shards: a
+///   scatter is only as healthy as its most backed-up shard.
+/// * **Remaining deadline** — with more than half of
+///   [`deadline`](Self::deadline) left the deadline argues for tier 0, above a
+///   quarter tier 1, below that tier 2: a request that has already burned
+///   most of its budget should not commission full-depth relaxation work
+///   nobody will wait for.
+///
+/// The requested tier keys the edge cache and coalescer
+/// ([`sapphire_core::run_request_key_tier`]), so tier-0 and tier-N
+/// requests can never exchange payloads, and shards honor the request
+/// through the same tier-keyed discipline
+/// ([`SapphireServer::run_select_tiered`]).
+#[derive(Debug, Clone)]
+pub struct DegradePolicy {
+    /// Per-request deadline budget at the edge. The *remaining* budget is
+    /// recomputed before each run scatter hop and propagated to shards,
+    /// where it caps admission-queue waits and stops the retry loop — a
+    /// hop with no budget left fails fast and typed instead of queueing.
+    pub deadline: Duration,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            deadline: Duration::from_millis(250),
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -115,6 +166,7 @@ impl Default for ClusterConfig {
             completion_cost: 1,
             run_base_cost: 4,
             run_per_pattern_cost: 4,
+            degrade: None,
         }
     }
 }
@@ -259,8 +311,10 @@ pub struct ClusterRunPayload {
     /// shard relaxed at the full budget).
     pub tier: usize,
     /// True when any shard produced its suggestions at a reduced budget
-    /// ([`tier`](Self::tier) > 0). The edge never caches such a merge (see
-    /// `cache_run`), so it can never be served to a full-budget request.
+    /// ([`tier`](Self::tier) > 0). Such a merge is cached only under the
+    /// tier the edge requested, and never when a shard shed *deeper* than
+    /// requested (see `cache_run`) — so it can never be served to a
+    /// full-budget request.
     pub degraded: bool,
 }
 
@@ -316,9 +370,15 @@ pub struct ClusterMetrics {
     /// Scatters executed as edge single-flight leaders.
     pub edge_coalesce_leaders: u64,
     /// Merged run payloads in which at least one shard relaxed at a reduced
-    /// QSM budget tier — always 0 unless the shard servers opted into
-    /// [`ServerConfig::qsm_shed_budget`](sapphire_server::ServerConfig::qsm_shed_budget).
+    /// QSM budget tier — 0 unless the shard servers opted into
+    /// [`ServerConfig::qsm_shed_budget`](sapphire_server::ServerConfig::qsm_shed_budget)
+    /// or the edge runs a [`DegradePolicy`] and requested a tier itself.
     pub degraded_runs: u64,
+    /// Degraded merges by the deepest tier observed in the merge; index 0
+    /// is always 0 (a tier-0 merge is never degraded) and the length is
+    /// `SteinerConfig::MAX_TIER + 1`. Sums to
+    /// [`degraded_runs`](Self::degraded_runs).
+    pub degraded_by_tier: Vec<u64>,
 }
 
 #[derive(Debug)]
@@ -341,6 +401,7 @@ struct Counters {
     edge_coalesced_hits: AtomicU64,
     edge_coalesce_leaders: AtomicU64,
     degraded_runs: AtomicU64,
+    degraded_by_tier: Vec<AtomicU64>,
 }
 
 impl Counters {
@@ -359,6 +420,9 @@ impl Counters {
             edge_coalesced_hits: AtomicU64::new(0),
             edge_coalesce_leaders: AtomicU64::new(0),
             degraded_runs: AtomicU64::new(0),
+            degraded_by_tier: (0..=SteinerConfig::MAX_TIER)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -381,11 +445,26 @@ enum ShardRequest {
     Run {
         tenant: String,
         query: SelectQuery,
+        /// The QSM shed tier the edge requests (0 = full budget). A shard
+        /// may deepen it under its own pressure, never shallow it.
+        tier: usize,
+        /// Remaining per-request deadline budget, when the edge runs a
+        /// [`DegradePolicy`]: caps the shard's admission-queue wait and
+        /// this call's retry loop.
+        budget: Option<Duration>,
     },
     Raw {
         tenant: String,
         query: Query,
     },
+}
+
+/// The deadline budget a request carries, if any — read by the retry loop.
+fn request_budget(req: &ShardRequest) -> Option<Duration> {
+    match req {
+        ShardRequest::Run { budget, .. } => *budget,
+        _ => None,
+    }
 }
 
 enum ShardReply {
@@ -427,8 +506,13 @@ fn call_replica(server: &SapphireServer, req: &ShardRequest) -> Result<ShardRepl
         } => server
             .complete_top(tenant, term, *fetch)
             .map(ShardReply::Completion),
-        ShardRequest::Run { tenant, query } => server
-            .run_select(tenant, query)
+        ShardRequest::Run {
+            tenant,
+            query,
+            tier,
+            budget,
+        } => server
+            .run_select_tiered(tenant, query, *tier, *budget)
             .map(|run| ShardReply::Run(run.payload)),
         ShardRequest::Raw { tenant, query } => server
             .execute_query(tenant, query)
@@ -634,6 +718,12 @@ impl ClusterRouter {
             edge_coalesced_hits: self.counters.edge_coalesced_hits.load(Ordering::Relaxed),
             edge_coalesce_leaders: self.counters.edge_coalesce_leaders.load(Ordering::Relaxed),
             degraded_runs: self.counters.degraded_runs.load(Ordering::Relaxed),
+            degraded_by_tier: self
+                .counters
+                .degraded_by_tier
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -657,6 +747,9 @@ impl ClusterRouter {
                 .field("edge_coalesced_hits", m.edge_coalesced_hits)
                 .field("edge_coalesce_leaders", m.edge_coalesce_leaders)
                 .field("degraded_runs", m.degraded_runs);
+            for (tier, runs) in m.degraded_by_tier.iter().enumerate().skip(1) {
+                cluster.field(&format!("degraded_tier{tier}"), *runs);
+            }
             for (shard, calls) in m.fanout_per_shard.iter().enumerate() {
                 cluster.field(&format!("fanout_shard{shard}"), *calls);
             }
@@ -808,13 +901,33 @@ impl ClusterRouter {
     /// shards), merge suggestions deterministically, and re-prefetch every
     /// surviving suggestion's answers cluster-wide.
     pub fn run(&self, tenant: &str, query: &SelectQuery) -> Result<ClusterRun, ClusterError> {
+        self.run_tiered(tenant, query, 0)
+    }
+
+    /// [`run`](Self::run) with a caller-imposed degradation-tier floor —
+    /// the surface an upstream tier (another edge, a front-end shedding on
+    /// its own queue) uses to propagate its shed decision downstream. The
+    /// tier actually *requested* from shards is the deeper of the floor and
+    /// this router's own [`DegradePolicy`] signals (queue pressure,
+    /// remaining deadline); without a policy the floor alone is honored,
+    /// and `run_tiered(t, q, 0)` is exactly [`run`](Self::run).
+    pub fn run_tiered(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+        floor: usize,
+    ) -> Result<ClusterRun, ClusterError> {
         let _req = self.obs.request_scope("run", tenant);
         self.charge(tenant, self.run_cost(query))?;
-        // The lookup uses the full-tier key: the edge never *requests*
-        // degradation, it only observes it in shard replies. A merge that
-        // came back degraded is re-keyed by `cache_run` below, so it can
-        // never satisfy this lookup.
-        let key = run_request_key(query);
+        let started = Instant::now();
+        // The edge chooses the tier it will request BEFORE any lookup: the
+        // tier keys the edge cache and the coalescer, so tier-0 and tier-N
+        // requests can never exchange payloads at the edge — the same
+        // never-mix discipline the shards' tier-suffixed keys enforce. A
+        // merge that came back degraded *deeper* than requested is
+        // additionally refused by `cache_run` below.
+        let requested = self.requested_tier(floor, started);
+        let key = run_request_key_tier(query, requested);
         let lookup = {
             let mut t = self.obs.time(Stage::CacheLookup);
             let hit = self.run_cache.get(&key);
@@ -845,9 +958,9 @@ impl ClusterRouter {
                 self.counters
                     .edge_coalesce_leaders
                     .fetch_add(1, Ordering::Relaxed);
-                match self.scatter_run(tenant, query) {
+                match self.scatter_run(tenant, query, requested, started) {
                     Ok(payload) => {
-                        let shared = self.cache_run(query, payload);
+                        let shared = self.cache_run(query, requested, payload);
                         token.complete(Ok(shared.clone()));
                         Ok(run_from(shared, false))
                     }
@@ -868,38 +981,97 @@ impl ClusterRouter {
                 // ourselves rather than inheriting a rejection that does
                 // not apply to our tenant.
                 Err(e) if tenant_scoped(&e) => self
-                    .scatter_run(tenant, query)
-                    .map(|payload| run_from(self.cache_run(query, payload), false)),
+                    .scatter_run(tenant, query, requested, started)
+                    .map(|payload| run_from(self.cache_run(query, requested, payload), false)),
                 Err(e) => Err(e),
             },
             Join::Bypass => self
-                .scatter_run(tenant, query)
-                .map(|payload| run_from(self.cache_run(query, payload), false)),
+                .scatter_run(tenant, query, requested, started)
+                .map(|payload| run_from(self.cache_run(query, requested, payload), false)),
         }
     }
 
-    /// Cache a merged run payload — *if* it is full-tier. A merge in which
-    /// any shard relaxed at a reduced budget is counted
-    /// ([`ClusterMetrics::degraded_runs`]) and handed to the caller but
-    /// never inserted: the edge only ever looks up the full-tier key (it
-    /// observes degradation, it does not request it), so a stored degraded
-    /// entry could never be served — it would only occupy bounded LRU
-    /// capacity and evict live full-tier entries exactly when the cluster
-    /// is overloaded and the edge cache matters most. Not caching is the
-    /// strongest form of the never-mix guarantee the shard tier's
-    /// tier-suffixed keys ([`sapphire_core::run_request_key_tier`]) provide.
-    fn cache_run(&self, query: &SelectQuery, payload: ClusterRunPayload) -> Arc<ClusterRunPayload> {
+    /// The QSM shed tier the edge requests for a run it is about to serve:
+    /// the deepest of the caller's floor, per-shard queue pressure, and the
+    /// remaining-deadline signal, clamped to the ladder. Pressure and
+    /// deadline contribute only under a [`DegradePolicy`]; the floor is
+    /// always honored (it is some upstream's already-made decision). The
+    /// pressure probe reads each shard's *least-loaded* replica — the one
+    /// load-aware routing will pick — and takes the worst shard, because a
+    /// scatter must wait for all of them.
+    fn requested_tier(&self, floor: usize, started: Instant) -> usize {
+        let mut tier = floor;
+        if let Some(policy) = &self.config.degrade {
+            let pressure = (0..self.cluster.shard_count())
+                .map(|shard| {
+                    self.cluster
+                        .replicas(shard)
+                        .iter()
+                        .map(|replica| replica.shed_pressure_tier())
+                        .min()
+                        .unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0);
+            let remaining = policy.deadline.saturating_sub(started.elapsed());
+            let deadline_tier = if remaining * 2 >= policy.deadline {
+                0
+            } else if remaining * 4 >= policy.deadline {
+                1
+            } else {
+                2
+            };
+            tier = tier.max(pressure).max(deadline_tier);
+        }
+        tier.min(SteinerConfig::MAX_TIER)
+    }
+
+    /// The deadline budget still unspent `started` ago — what a run scatter
+    /// hop propagates to shards. `None` without a [`DegradePolicy`].
+    fn remaining_budget(&self, started: Instant) -> Option<Duration> {
+        self.config
+            .degrade
+            .as_ref()
+            .map(|policy| policy.deadline.saturating_sub(started.elapsed()))
+    }
+
+    /// Cache a merged run payload under the tier the edge *requested* —
+    /// degraded merges are tier-keyed at the edge exactly as on the shards
+    /// ([`sapphire_core::run_request_key_tier`]), so a tier-0 lookup can
+    /// never see one. Every degraded merge is counted
+    /// ([`ClusterMetrics::degraded_runs`], per-tier in
+    /// [`ClusterMetrics::degraded_by_tier`]). A payload that came back
+    /// *deeper* than requested — a shard shed on its own pressure beyond
+    /// what the edge asked for — is handed to the caller but never
+    /// inserted: its key would promise more fidelity than its contents
+    /// hold, which is precisely the cross-contamination the never-mix
+    /// guarantee forbids. (A payload *shallower* than requested is fine:
+    /// the query had no relaxation to shed, so the "degraded" execution is
+    /// byte-identical to the full one.)
+    fn cache_run(
+        &self,
+        query: &SelectQuery,
+        requested: usize,
+        payload: ClusterRunPayload,
+    ) -> Arc<ClusterRunPayload> {
         if payload.degraded {
             self.counters.degraded_runs.fetch_add(1, Ordering::Relaxed);
+            let tier = payload.tier.min(SteinerConfig::MAX_TIER);
+            self.counters.degraded_by_tier[tier].fetch_add(1, Ordering::Relaxed);
+        }
+        if payload.tier > requested {
             return Arc::new(payload);
         }
-        self.run_cache.insert(run_request_key(query), payload)
+        self.run_cache
+            .insert(run_request_key_tier(query, requested), payload)
     }
 
     fn scatter_run(
         &self,
         tenant: &str,
         query: &SelectQuery,
+        requested: usize,
+        started: Instant,
     ) -> Result<ClusterRunPayload, ClusterError> {
         if count_shape(query).is_none() && (query.has_aggregates() || !query.group_by.is_empty()) {
             return Err(ClusterError::Unsupported(
@@ -917,6 +1089,8 @@ impl ClusterRouter {
             &ShardRequest::Run {
                 tenant: tenant.to_string(),
                 query: star.clone(),
+                tier: requested,
+                budget: self.remaining_budget(started),
             },
             None,
         )?;
@@ -928,9 +1102,9 @@ impl ClusterRouter {
             })
             .collect();
         let executed = payloads.iter().all(|p| p.executed);
-        // Degradation is per-shard (each shard sheds on its own admission
-        // load); the merge is degraded if any contributor was, keyed by the
-        // deepest tier observed.
+        // Each shard executes at the deeper of the requested tier and its
+        // own pressure tier; the merge is degraded if any contributor was,
+        // keyed by the deepest tier observed.
         let tier = payloads
             .iter()
             .map(|p| p.suggestions.tier)
@@ -1220,6 +1394,11 @@ impl ClusterRouter {
         let order = self.replica_order(shard);
         let replicas = self.cluster.replicas(shard);
         let mut attempt: u32 = 0;
+        // When the request carries a deadline budget, the retry loop stops
+        // once the budget is spent — retrying a shard call nobody is still
+        // waiting for only deepens the overload it is reacting to.
+        let call_started = Instant::now();
+        let budget = request_budget(req);
         // Per-call jitter stream: concurrent callers shed by the same
         // saturated replica must not retry in lock-step (the seed sequence
         // gives every call its own decorrelated schedule).
@@ -1252,7 +1431,8 @@ impl ClusterRouter {
             match result {
                 Ok(reply) => return Ok(reply),
                 Err(e) if is_retryable(&e) => {
-                    if attempt >= self.config.backoff.max_retries {
+                    let budget_spent = budget.is_some_and(|b| call_started.elapsed() >= b);
+                    if attempt >= self.config.backoff.max_retries || budget_spent {
                         self.counters
                             .rejected_after_retry
                             .fetch_add(1, Ordering::Relaxed);

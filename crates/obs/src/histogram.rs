@@ -149,6 +149,25 @@ impl Snapshot {
         self.sum += other.sum;
     }
 
+    /// The observations recorded *between* `earlier` and `self`, as a new
+    /// snapshot: bucket-wise saturating difference, `sum` subtracted exactly.
+    /// Both snapshots must come from the same histogram with `earlier` taken
+    /// first; anything else yields a meaningless (but safe) result. `max` is
+    /// carried over from `self` — bucket counts cannot recover the interval's
+    /// true maximum, so the diff's `max` is an upper bound, which keeps
+    /// [`percentile`](Self::percentile) conservative in the same direction as
+    /// the whole-histogram readout. This is how an interval readout (e.g. one
+    /// step of an offered-load sweep) is taken from an always-on histogram.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::empty();
+        for (i, (now, then)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            out.counts[i] = now.saturating_sub(*then);
+        }
+        out.max = self.max;
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
     /// The value at percentile `p` (0–100): the upper edge of the bucket
     /// holding the p-th observation, clamped to the exact observed max.
     /// Zero when empty.
@@ -243,6 +262,29 @@ mod tests {
         assert_eq!(m.max, 10_099);
         assert!(m.percentile(25.0) <= 127);
         assert!(m.percentile(75.0) >= 10_000);
+    }
+
+    #[test]
+    fn diff_isolates_the_interval() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for _ in 0..900 {
+            h.record(50_000);
+        }
+        let interval = h.snapshot().diff(&before);
+        assert_eq!(interval.count(), 900);
+        assert_eq!(interval.sum, 900 * 50_000);
+        // Every interval observation was 50_000, so even p1 sits in its
+        // bucket — the pre-interval 1..=100 values are fully subtracted out.
+        assert!(interval.percentile(1.0) >= 50_000, "old counts leaked in");
+        assert_eq!(interval.percentile(100.0), 50_000);
+        // Diffing a snapshot against itself is empty.
+        let now = h.snapshot();
+        assert_eq!(now.diff(&now).count(), 0);
+        assert_eq!(now.diff(&now).sum, 0);
     }
 
     #[test]

@@ -199,6 +199,20 @@ impl AdmissionController {
     /// [`ServerError::QueueTimeout`] when a queued request's deadline passes
     /// — both without running any query work.
     pub fn admit(self: &Arc<Self>) -> Result<AdmissionPermit, ServerError> {
+        self.admit_within(self.queue_wait)
+    }
+
+    /// [`admit`](Self::admit) with a caller-supplied queue deadline instead
+    /// of the configured `queue_wait`. This is the per-request deadline
+    /// budget a cluster edge propagates per hop: a request with little
+    /// deadline budget left gives up its queue slot sooner than the
+    /// configured wait would, and a zero budget degenerates to "a free slot
+    /// right now or a typed rejection". Callers should pass
+    /// `min(remaining_budget, configured_wait)` — this method does not clamp.
+    pub fn admit_within(
+        self: &Arc<Self>,
+        queue_wait: Duration,
+    ) -> Result<AdmissionPermit, ServerError> {
         let ticket = match self.admit_or_enqueue(Ticket::parked)? {
             Ok(permit) => return Ok(permit),
             Err(ticket) => ticket,
@@ -207,7 +221,7 @@ impl AdmissionController {
         let start = Instant::now();
         // `checked_add`, not `+`: a huge `queue_wait` ("wait as long as it
         // takes") must mean *no deadline*, never an Instant-overflow panic.
-        let deadline = start.checked_add(self.queue_wait);
+        let deadline = start.checked_add(queue_wait);
         let mut ts = ticket.state.lock().unwrap();
         while *ts == TicketState::Waiting {
             match deadline {

@@ -166,11 +166,13 @@ pub struct ServerMetrics {
     /// oldest queued waiter (fair FIFO wakeup, no thundering herd).
     pub fifo_handoffs: u64,
     /// Run requests that *selected* a reduced QSM budget tier (cache hits
-    /// on a tier-keyed entry included) — always 0 unless
-    /// [`ServerConfig::qsm_shed_budget`] is on *and* the queue backed up.
-    /// The payload itself reports whether the reduced budget could actually
-    /// affect it ([`QsmOutput::degraded`] stays false for queries with no
-    /// relaxation to shed).
+    /// on a tier-keyed entry included) — 0 unless
+    /// [`ServerConfig::qsm_shed_budget`] is on *and* the queue backed up,
+    /// or an upstream edge requested a tier through
+    /// [`SapphireServer::run_select_tiered`]. The payload itself reports
+    /// whether the reduced budget could actually affect it
+    /// ([`QsmOutput::degraded`] stays false for queries with no relaxation
+    /// to shed).
     pub qsm_degraded_runs: u64,
     /// Completion-cache counters.
     pub completion_cache: CacheStats,
@@ -334,6 +336,20 @@ impl SapphireServer {
     fn admit_timed(&self) -> Result<AdmissionPermit, ServerError> {
         let _t = self.obs.time(Stage::AdmissionWait);
         self.admission.admit()
+    }
+
+    /// [`admit_timed`](Self::admit_timed) with an optional per-request
+    /// deadline budget: the queue wait is capped at
+    /// `min(budget, queue_wait)` so a request can never park longer than
+    /// the deadline its caller is still willing to wait.
+    fn admit_within_timed(&self, budget: Option<Duration>) -> Result<AdmissionPermit, ServerError> {
+        match budget {
+            None => self.admit_timed(),
+            Some(b) => {
+                let _t = self.obs.time(Stage::AdmissionWait);
+                self.admission.admit_within(b.min(self.config.queue_wait))
+            }
+        }
     }
 
     /// Record one single-flight follower's block time behind a leader's scan
@@ -668,24 +684,54 @@ impl SapphireServer {
     /// any); the shard sees only the stateless (tenant, query) request, so
     /// there is no attempt counter or suggestion commit here.
     pub fn run_select(&self, tenant: &str, query: &SelectQuery) -> Result<QueryRun, ServerError> {
+        self.run_select_tiered(tenant, query, 0, None)
+    }
+
+    /// [`run_select`](Self::run_select) with an upstream-requested
+    /// degradation tier and an optional remaining deadline budget — the
+    /// surface a cluster edge uses to make shedding a *router* decision
+    /// instead of a per-shard discovery.
+    ///
+    /// The run executes at the **deeper** of the requested tier and this
+    /// server's own pressure tier (see [`Self::shed_pressure_tier`]),
+    /// clamped to the ladder: an edge request can lower fidelity but never
+    /// force a full-budget run on a shard that is itself backed up. The
+    /// requested tier is honored even when
+    /// [`ServerConfig::qsm_shed_budget`] is off locally — the opt-in
+    /// governs this server's *own* shed decision, not an upstream's — and
+    /// flows through the same tier-keyed cache/coalescer discipline, so a
+    /// degraded payload can never satisfy a tier-0 request. `budget`, when
+    /// present, caps the admission-queue wait at
+    /// `min(budget, queue_wait)`: a request whose edge deadline is nearly
+    /// burned gives up its queue slot early with a typed rejection instead
+    /// of completing work nobody is waiting for.
+    pub fn run_select_tiered(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+        requested_tier: usize,
+        budget: Option<Duration>,
+    ) -> Result<QueryRun, ServerError> {
         self.counters.run_requests.fetch_add(1, Ordering::Relaxed);
         let _req = self.obs.request_scope("run", tenant);
-        let permit = self.count_rejection(self.admit_timed())?;
+        let permit = self.count_rejection(self.admit_within_timed(budget))?;
         self.count_rejection(self.tenants.charge(tenant, self.run_cost(query)))?;
-        let (cached, payload) = self.execute_run(query, self.qsm_tier())?;
+        let tier = requested_tier
+            .max(self.qsm_tier())
+            .min(sapphire_core::SteinerConfig::MAX_TIER);
+        let (cached, payload) = self.execute_run(query, tier)?;
         drop(permit);
         Ok(QueryRun { cached, payload })
     }
 
-    /// The QSM budget tier the *next* run should execute at, from the
-    /// admission queue's current depth — sampled after the permit grant, so
-    /// the decision reflects the backlog the server still faces while this
-    /// run holds a slot. Always 0 (full budget) unless
-    /// [`ServerConfig::qsm_shed_budget`] opted in.
-    fn qsm_tier(&self) -> usize {
-        if !self.config.qsm_shed_budget {
-            return 0;
-        }
+    /// The shed tier this server's *current* admission backlog argues for,
+    /// independent of the [`ServerConfig::qsm_shed_budget`] opt-in: empty
+    /// queue → 0, backlog below half of
+    /// [`max_queue_depth`](ServerConfig::max_queue_depth) → 1, else 2. This
+    /// is the pressure probe a cluster edge reads when *it* owns the
+    /// shedding decision (router-requested tiers); the local decision
+    /// (`qsm_tier`) applies the same ladder behind the opt-in.
+    pub fn shed_pressure_tier(&self) -> usize {
         let (_, queued) = self.admission.load();
         if queued == 0 {
             0
@@ -694,6 +740,19 @@ impl SapphireServer {
         } else {
             2
         }
+    }
+
+    /// The QSM budget tier the *next* run should execute at, from the
+    /// admission queue's current depth — sampled after the permit grant, so
+    /// the decision reflects the backlog the server still faces while this
+    /// run holds a slot. Always 0 (full budget) unless
+    /// [`ServerConfig::qsm_shed_budget`] opted in; an upstream-requested
+    /// tier ([`Self::run_select_tiered`]) is applied on top by the caller.
+    fn qsm_tier(&self) -> usize {
+        if !self.config.qsm_shed_budget {
+            return 0;
+        }
+        self.shed_pressure_tier()
     }
 
     /// The cached + coalesced run path shared by [`run`](Self::run) and
@@ -1400,6 +1459,108 @@ mod tests {
             assert_eq!(out.suggestions.tier, 0);
         }
         assert_eq!(server.metrics().qsm_degraded_runs, 0);
+    }
+
+    #[test]
+    fn requested_tier_is_honored_without_the_local_opt_in() {
+        // `qsm_shed_budget` stays off: the server's *own* shed decision is
+        // disabled, but an upstream-requested tier must still be honored —
+        // and stay tier-keyed, so the degraded payload can never leak into
+        // a later tier-0 request.
+        let server = SapphireServer::new(pum(), ServerConfig::for_tests());
+        assert!(!server.config().qsm_shed_budget);
+        let query = Session::resume(
+            server.model(),
+            vec![
+                TripleInput::new("?p", "surname", "Kennedys"),
+                TripleInput::new("?p", "name", "John F. Kennedy"),
+            ],
+            Modifiers::default(),
+            0,
+        )
+        .build_query()
+        .unwrap();
+        let degraded = server.run_select_tiered("t", &query, 1, None).unwrap();
+        assert!(degraded.payload.suggestions.degraded);
+        assert_eq!(degraded.payload.suggestions.tier, 1);
+        let full = server.run_select("t", &query).unwrap();
+        assert!(
+            !full.payload.suggestions.degraded,
+            "tier-0 request served from the tier-1 entry"
+        );
+        assert!(!full.cached, "the full run needed its own scan");
+        // Deeper-than-ladder requests clamp instead of inventing tiers.
+        let clamped = server
+            .run_select_tiered("t", &query, usize::MAX, None)
+            .unwrap();
+        assert_eq!(
+            clamped.payload.suggestions.tier,
+            sapphire_core::SteinerConfig::MAX_TIER
+        );
+        assert_eq!(server.metrics().qsm_degraded_runs, 2);
+    }
+
+    #[test]
+    fn exhausted_deadline_budget_rejects_typed_instead_of_parking() {
+        let config = ServerConfig {
+            max_in_flight: 1,
+            queue_wait: Duration::from_secs(5),
+            ..ServerConfig::for_tests()
+        };
+        let server = SapphireServer::new(pum(), config);
+        let query = Session::resume(
+            server.model(),
+            vec![TripleInput::new("?p", "surname", "Kennedy")],
+            Modifiers::default(),
+            0,
+        )
+        .build_query()
+        .unwrap();
+        let slot = server.hold_slot().unwrap();
+        let started = std::time::Instant::now();
+        // No remaining edge budget: the request may not park for the
+        // configured 5s wait — it must come back (nearly) immediately with a
+        // typed saturation rejection.
+        let out = server.run_select_tiered("t", &query, 0, Some(Duration::ZERO));
+        assert!(
+            matches!(out, Err(ServerError::QueueTimeout { .. })),
+            "{out:?}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(2));
+        assert_eq!(server.metrics().rejected_queue_timeout, 1);
+        drop(slot);
+        assert!(server
+            .run_select_tiered("t", &query, 0, Some(Duration::from_secs(1)))
+            .is_ok());
+    }
+
+    #[test]
+    fn shed_pressure_tier_tracks_the_backlog() {
+        let config = ServerConfig {
+            max_in_flight: 1,
+            max_queue_depth: 8,
+            queue_wait: Duration::from_secs(5),
+            ..ServerConfig::for_tests()
+        };
+        let server = Arc::new(SapphireServer::new(pum(), config));
+        assert_eq!(server.shed_pressure_tier(), 0, "idle server sheds nothing");
+        let permit = server.admission.admit().unwrap();
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let server = server.clone();
+                std::thread::spawn(move || drop(server.admission.admit()))
+            })
+            .collect();
+        while server.admission.load().1 < 4 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // 4 queued of max 8: exactly the half-full boundary → tier 2.
+        assert_eq!(server.shed_pressure_tier(), 2);
+        drop(permit);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(server.shed_pressure_tier(), 0, "drained queue recovers");
     }
 
     #[test]

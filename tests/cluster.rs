@@ -659,3 +659,72 @@ fn hedge_storm_cannot_exceed_the_inflight_cap() {
     // detached past the router's lifetime.
     drop(router);
 }
+
+/// Router-requested degradation stays tier-keyed at every layer: a tier-N
+/// merge commissioned through the `run_tiered` floor must never be served
+/// to a tier-0 caller — not from the edge cache and not from any shard's
+/// run cache. The probe is the canonical relaxable non-answer query (two
+/// literal rows, one misspelled), so shards do real Steiner work and a
+/// shed tier genuinely degrades the payload.
+#[test]
+fn router_requested_tiers_never_leak_into_tier0_lookups() {
+    use sapphire_core::session::TripleInput;
+    use sapphire_core::SteinerConfig;
+
+    let router = router(2, 1);
+    let models: Vec<_> = (0..router.cluster().shard_count())
+        .map(|s| router.cluster().replicas(s)[0].model().clone())
+        .collect();
+    let query = models
+        .iter()
+        .find_map(|m| {
+            Session::resume(
+                m,
+                vec![
+                    TripleInput::new("?p", "surname", "Kennedys"),
+                    TripleInput::new("?p", "name", "John F. Kennedy"),
+                ],
+                Modifiers::default(),
+                0,
+            )
+            .build_query()
+            .ok()
+        })
+        .expect("the relaxable probe builds on some shard");
+
+    // Tier-1 floor (an upstream's shed decision): the merge is degraded,
+    // carries the tier, and the edge caches it under the tier-1 key.
+    let degraded = router.run_tiered("tenant", &query, 1).expect("tier-1 run");
+    assert!(degraded.degraded, "a tier-1 relaxable run is degraded");
+    assert_eq!(degraded.tier, 1);
+    assert!(!degraded.cached, "first tier-1 request scatters");
+    let replay = router.run_tiered("tenant", &query, 1).expect("tier-1 hit");
+    assert!(replay.cached, "same tier, same key: edge cache hit");
+    assert!(replay.degraded, "the tier-1 entry stays degraded");
+    let m = router.metrics();
+    assert_eq!(m.degraded_runs, 1, "one degraded merge was created");
+    assert_eq!(m.degraded_by_tier, vec![0, 1, 0]);
+
+    // The tier-0 path must miss every tier-1 entry (edge AND shard caches
+    // key by tier) and come back at full fidelity, with the same answers —
+    // degradation sheds suggestion depth, never executed bindings.
+    let full = router.run("tenant", &query).expect("tier-0 run");
+    assert!(!full.cached, "tier 0 must not hit the tier-1 edge entry");
+    assert!(!full.degraded, "tier 0 is full fidelity");
+    assert_eq!(full.tier, 0);
+    assert_eq!(full.answers, degraded.answers);
+    let full_replay = router.run("tenant", &query).expect("tier-0 hit");
+    assert!(full_replay.cached, "tier 0 now has its own edge entry");
+    assert!(!full_replay.degraded, "and it is still full fidelity");
+
+    // An absurd floor clamps to the ladder's deepest tier instead of
+    // overflowing the budget table.
+    let clamped = router
+        .run_tiered("tenant", &query, usize::MAX)
+        .expect("clamped run");
+    assert_eq!(clamped.tier, SteinerConfig::MAX_TIER);
+    assert!(clamped.degraded);
+    let m = router.metrics();
+    assert_eq!(m.degraded_runs, 2);
+    assert_eq!(m.degraded_by_tier, vec![0, 1, 1]);
+}
