@@ -37,6 +37,12 @@
 //!   holds: past-saturation goodput ≥ 50% of the sweep's peak, zero
 //!   untyped failures, zero tier-keyed cache cross-contamination, and the
 //!   offered-load sweep itself is monotone.
+//! * wire smoke (the cluster workload over real loopback sockets with one
+//!   replica crashed mid-run; see [`sapphire_bench::wire`]) — zero
+//!   surviving rejections after bounded retry under replica loss, zero
+//!   divergences from the in-process oracle, and the transport counters
+//!   prove the crash was real (`wire_io_errors ≥ 1`, the dead replica
+//!   refuses a direct probe).
 //!
 //! Usage: `cargo run --release -p sapphire-bench --bin serve_check
 //!         [--rounds 2] [--baseline BENCH_serve.json]`
@@ -47,6 +53,7 @@
 use sapphire_bench::cluster::{self, ClusterLoadOptions};
 use sapphire_bench::overload::{self, OverloadOptions};
 use sapphire_bench::serve::{self, arg_string, arg_usize, json_f64, ServeLoadOptions};
+use sapphire_bench::wire::{self, WireLoadOptions};
 
 struct Gate {
     failures: u32,
@@ -411,6 +418,62 @@ fn main() {
         "overload monotone_offered",
         monotone == 1.0,
         format!("offered-load sweep monotone flag = {monotone} (must be 1)"),
+    );
+
+    // --- Wire smoke gate: the cluster workload over real loopback sockets
+    // (2 shards x 2 replicas behind WireServer/WireClient), with one replica
+    // crashed mid-run. Enforces the transport's three contracts: the
+    // router's bounded retry + failover absorbs the loss (zero requests
+    // surface an error), the socket path reproduces the in-process oracle's
+    // bytes, and the crash is real and *visible* — the dead replica refuses
+    // a direct probe and the transport counters record the IO errors.
+    eprintln!(
+        "\n(wire smoke gate: 2 shards x 2 replicas over sockets, one replica killed mid-run…)"
+    );
+    let wire_report = wire::run(&WireLoadOptions::smoke());
+    println!("{wire_report}");
+    let wnum = |section: Option<&str>, key: &str| -> f64 {
+        match json_f64(&wire_report, section, key) {
+            Some(v) => v,
+            None => {
+                eprintln!("FAIL wire report: missing field {key:?} (section {section:?})");
+                std::process::exit(1);
+            }
+        }
+    };
+    let wire_rejected = wnum(None, "rejected_total");
+    gate.check(
+        "wire rejected_total",
+        wire_rejected == 0.0,
+        format!("{wire_rejected} errors survived bounded retry under replica loss (must be 0)"),
+    );
+    let wire_mismatches = wnum(None, "merge_mismatches");
+    gate.check(
+        "wire merge_mismatches",
+        wire_mismatches == 0.0,
+        format!("{wire_mismatches} divergences from the in-process oracle (must be 0)"),
+    );
+    let killed = wnum(Some("transport"), "replica_killed");
+    let probe_failed = wnum(Some("transport"), "dead_probe_failed");
+    gate.check(
+        "wire replica kill drill",
+        killed == 1.0 && probe_failed == 1.0,
+        format!(
+            "replica_killed={killed} dead_probe_failed={probe_failed} (both must be 1: \
+             the crash happened and the dead replica refuses direct calls)"
+        ),
+    );
+    let wire_io_errors = wnum(Some("transport"), "wire_io_errors");
+    gate.check(
+        "wire io_errors observed",
+        wire_io_errors >= 1.0,
+        format!("{wire_io_errors} transport errors counted (must be >= 1 after a crash)"),
+    );
+    let wire_lost = wnum(Some("routing"), "rejected_after_retry");
+    gate.check(
+        "wire rejected_after_retry",
+        wire_lost == 0.0,
+        format!("{wire_lost} requests exhausted the retry budget (must be 0)"),
     );
 
     if gate.failures > 0 {

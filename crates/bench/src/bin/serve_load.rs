@@ -19,6 +19,10 @@
 //! (see [`sapphire_bench::cluster`]); it reports routing metrics plus a
 //! determinism self-check and never touches `BENCH_serve.json`.
 //!
+//! Wire mode: `serve_load -- --cluster --wire [--processes]
+//! [--kill-replica]` puts a real socket (and optionally a real OS process)
+//! under every edge↔shard call — see [`sapphire_bench::wire`].
+//!
 //! Overload mode: `serve_load -- --overload` switches from closed-loop to
 //! an **open-loop** Poisson arrival sweep past saturation (see
 //! [`sapphire_bench::overload`]) and reports the degradation curve; it
@@ -36,6 +40,7 @@ use sapphire_bench::cluster::{self, ClusterLoadOptions};
 use sapphire_bench::frontend::{self, FrontendPhaseOptions};
 use sapphire_bench::overload::{self, OverloadOptions};
 use sapphire_bench::serve::{self, arg_string, arg_usize, ServeLoadOptions};
+use sapphire_bench::wire::{self, WireLoadOptions};
 
 fn main() {
     // Overload mode: an OPEN-loop offered-load sweep past saturation
@@ -98,6 +103,28 @@ fn main() {
     let trace_sample = arg_usize("--trace-sample", trace_default) as u32;
 
     if std::env::args().any(|a| a == "--cluster") {
+        // Wire mode: the same workload, but every edge↔shard call crosses
+        // a real socket (`--cluster --wire [--processes] [--kill-replica]`).
+        // `--processes` runs each replica as a separate `wire_shard` OS
+        // process; `--kill-replica` crashes one replica mid-run and demands
+        // the router's failover absorbs it (the CI smoke posture). Reports
+        // transport counters plus the in-process-oracle byte check; never
+        // touches the baseline file.
+        if std::env::args().any(|a| a == "--wire") {
+            let defaults = WireLoadOptions::default();
+            let opts = WireLoadOptions {
+                users: arg_usize("--users", defaults.users),
+                rounds: arg_usize("--rounds", defaults.rounds),
+                scale: arg_string("--scale").unwrap_or(defaults.scale.clone()),
+                shards: arg_usize("--shards", defaults.shards),
+                replicas: arg_usize("--replicas", defaults.replicas),
+                determinism_sample: arg_usize("--determinism-sample", defaults.determinism_sample),
+                processes: std::env::args().any(|a| a == "--processes"),
+                kill_replica: std::env::args().any(|a| a == "--kill-replica"),
+            };
+            println!("{}", wire::run(&opts));
+            return;
+        }
         let defaults = ClusterLoadOptions::default();
         let opts = ClusterLoadOptions {
             users: arg_usize("--users", defaults.users),

@@ -1,0 +1,99 @@
+//! One shard replica as a standalone OS process, serving its slice over a
+//! [`WireServer`] on an ephemeral loopback port.
+//!
+//! This is the worker half of `serve_load --cluster --wire --processes`:
+//! the parent spawns one `wire_shard` per replica, each regenerates the
+//! (deterministic, fixed-seed) dataset, re-partitions it locally with the
+//! same subject-hash partitioner the in-process `Cluster::build` uses,
+//! keeps only its own shard's slice, and stands a [`SapphireServer`]
+//! behind a wire listener.
+//!
+//! Bring-up handshake: one line on stdout —
+//!
+//! ```text
+//! WIRE_READY 127.0.0.1:PORT
+//! ```
+//!
+//! — then the process serves until its **stdin reaches EOF** (the parent
+//! drops its pipe end), which triggers a graceful drain. Everything else
+//! (init progress) goes to stderr so the handshake line stays machine-
+//! parseable.
+//!
+//! Usage: `wire_shard --scale tiny --shards 2 --shard 0 --replica 1`
+//!
+//! [`WireServer`]: sapphire_wire::WireServer
+//! [`SapphireServer`]: sapphire_server::SapphireServer
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use sapphire_bench::serve::{arg_string, arg_usize};
+use sapphire_bench::{dataset_for, experiment_config};
+use sapphire_core::{InitMode, PredictiveUserModel};
+use sapphire_datagen::generate;
+use sapphire_endpoint::EndpointLimits;
+use sapphire_rdf::Partitioner;
+use sapphire_server::{SapphireServer, ServerConfig, ShardService};
+use sapphire_text::Lexicon;
+use sapphire_wire::{WireServer, WireServerConfig};
+
+fn main() {
+    let scale = arg_string("--scale").unwrap_or_else(|| "tiny".to_string());
+    let shards = arg_usize("--shards", 2);
+    let shard = arg_usize("--shard", 0);
+    let replica = arg_usize("--replica", 0);
+    assert!(shards >= 1, "--shards must be at least 1");
+    assert!(
+        shard < shards,
+        "--shard {shard} out of range for {shards} shards"
+    );
+
+    eprintln!("(wire_shard s{shard}r{replica}: generating dataset + initializing model…)");
+    let graph = generate(dataset_for(&scale));
+    // The same slicing, model init, and serving posture as the in-process
+    // `Cluster::build` (and the parent's oracle router), so process-mode
+    // merges stay byte-identical to the in-process ones.
+    let shard_graph = Partitioner::new(shards)
+        .split(&graph)
+        .shards
+        .into_iter()
+        .nth(shard)
+        .expect("partitioner yields every shard");
+    let pum = Arc::new(
+        PredictiveUserModel::initialize_local(
+            format!("edge-s{shard}"),
+            shard_graph,
+            EndpointLimits::warehouse(),
+            Lexicon::dbpedia_default(),
+            experiment_config(),
+            InitMode::Federated,
+        )
+        .expect("shard model initialization"),
+    );
+    let default_in_flight = ServerConfig::default().max_in_flight.max(8);
+    let config = ServerConfig {
+        name: format!("edge-s{shard}r{replica}"),
+        max_in_flight: default_in_flight,
+        max_queue_depth: default_in_flight * 4,
+        queue_wait: std::time::Duration::from_millis(1_000),
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(SapphireServer::new(pum, config));
+    let wire = WireServer::serve(
+        server as Arc<dyn ShardService>,
+        "127.0.0.1:0",
+        WireServerConfig::default(),
+    )
+    .expect("bind loopback wire listener");
+
+    // The handshake line the parent parses; stdout is block-buffered when
+    // piped, so flush explicitly.
+    println!("WIRE_READY {}", wire.local_addr());
+    std::io::stdout().flush().ok();
+
+    // Serve until the parent closes our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    eprintln!("(wire_shard s{shard}r{replica}: stdin closed, draining)");
+    wire.shutdown();
+}

@@ -16,9 +16,9 @@ use std::time::Instant;
 
 use sapphire_cluster::{Cluster, ClusterConfig, ClusterError, ClusterRouter};
 use sapphire_core::session::{Modifiers, Session};
-use sapphire_core::CacheStats;
+use sapphire_core::{CacheStats, PredictiveUserModel};
 use sapphire_datagen::generate;
-use sapphire_datagen::workload::appendix_b;
+use sapphire_datagen::workload::{appendix_b, Question};
 use sapphire_server::{ServerConfig, ServerError};
 use sapphire_sparql::SelectQuery;
 use sapphire_text::Lexicon;
@@ -75,6 +75,38 @@ pub(crate) fn flatten(result: Result<(), ClusterError>) -> Result<(), ServerErro
     }
 }
 
+/// Build each workload question's query once against the shard models.
+/// Keyword predicates resolve against a shard-local cache; a rare predicate
+/// can be missing from one shard's slice (all its subjects hashed
+/// elsewhere), so resolution walks the shards in order and takes the first
+/// that can build the script — deterministic for the fixed seed. Shared
+/// with the wire-mode harness in [`crate::wire`].
+pub(crate) fn workload_queries(
+    models: &[std::sync::Arc<PredictiveUserModel>],
+    questions: &[Question],
+) -> Vec<SelectQuery> {
+    questions
+        .iter()
+        .map(|q| {
+            let modifiers = Modifiers {
+                distinct: false,
+                order_by: q.script.order_by.clone(),
+                limit: q.script.limit,
+                count: q.script.count,
+                filters: q.script.filters.clone(),
+            };
+            models
+                .iter()
+                .find_map(|m| {
+                    Session::resume(m, q.script.rows.clone(), modifiers.clone(), 0)
+                        .build_query()
+                        .ok()
+                })
+                .expect("some shard resolves every workload script")
+        })
+        .collect()
+}
+
 /// Run the cluster workload and return the JSON report.
 pub fn run(opts: &ClusterLoadOptions) -> String {
     let dataset = dataset_for(&opts.scale);
@@ -113,35 +145,12 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
     router.obs().set_sampling(opts.trace_sample);
     let replay = ClusterRouter::new(replay_cluster, ClusterConfig::default());
 
-    // Build each question's query once. Keyword predicates resolve against
-    // a shard-local cache; a rare predicate can be missing from one shard's
-    // slice (all its subjects hashed elsewhere), so resolution walks the
-    // shards in order and takes the first that can build the script —
-    // deterministic for the fixed seed.
+    // Build each question's query once (see [`workload_queries`]).
     let models: Vec<_> = (0..router.cluster().shard_count())
         .map(|s| router.cluster().replicas(s)[0].model().clone())
         .collect();
     let questions = appendix_b();
-    let queries: Vec<SelectQuery> = questions
-        .iter()
-        .map(|q| {
-            let modifiers = Modifiers {
-                distinct: false,
-                order_by: q.script.order_by.clone(),
-                limit: q.script.limit,
-                count: q.script.count,
-                filters: q.script.filters.clone(),
-            };
-            models
-                .iter()
-                .find_map(|m| {
-                    Session::resume(m, q.script.rows.clone(), modifiers.clone(), 0)
-                        .build_query()
-                        .ok()
-                })
-                .expect("some shard resolves every workload script")
-        })
-        .collect();
+    let queries: Vec<SelectQuery> = workload_queries(&models, &questions);
 
     eprintln!(
         "(driving {} users x {} rounds over {} questions against {} shards…)",
@@ -264,6 +273,8 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
          \"hedges_won\": {}, \"replica_retries\": {}, \"rejected_after_retry\": {}, \
          \"merges\": {}, \"merge_depth_max\": {}, \"edge_coalesced_hits\": {}, \
          \"edge_coalesce_leaders\": {}, \"degraded_runs\": {}{degraded_tiers}}},\n  \
+         \"transport\": {{\"wire_connects\": {}, \"wire_reconnects\": {}, \
+         \"wire_io_errors\": {}, \"wire_corrupt_frames\": {}}},\n  \
          \"edge_completion_cache\": {},\n  \"edge_run_cache\": {},\n  \
          \"stages\": {},\n  \
          \"trace\": {{\"sampling\": {}, \"recorded\": {}, \"dropped\": {}}},\n  \
@@ -287,6 +298,10 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
         metrics.edge_coalesced_hits,
         metrics.edge_coalesce_leaders,
         metrics.degraded_runs,
+        metrics.wire_connects,
+        metrics.wire_reconnects,
+        metrics.wire_io_errors,
+        metrics.wire_corrupt_frames,
         cache_stats(metrics.completion_cache),
         cache_stats(metrics.run_cache),
         obs.stages_json(),

@@ -9,6 +9,7 @@ pub mod cluster;
 pub mod frontend;
 pub mod overload;
 pub mod serve;
+pub mod wire;
 
 use sapphire_core::SapphireConfig;
 use sapphire_datagen::DatasetConfig;

@@ -1,0 +1,484 @@
+//! Wire-mode load harness: `serve_load --cluster --wire` and the CI
+//! replica-loss smoke gate.
+//!
+//! Runs the same Appendix-B closed-loop workload as [`crate::cluster`],
+//! but with a **real process boundary** on the edge↔shard hop: every
+//! replica is hosted behind a [`WireServer`] on a loopback socket and the
+//! [`ClusterRouter`] talks to it through a [`WireClient`] — serialization,
+//! framing, connection pooling, and transport failures all on the hot
+//! path. Two extra switches:
+//!
+//! * `--processes` — shards run as separate **OS processes** (the
+//!   `wire_shard` binary, found next to the running executable), brought
+//!   up with a `WIRE_READY {addr}` stdout handshake and torn down by
+//!   closing their stdin. Without it, the wire servers run as threads in
+//!   this process — same sockets, same codec, cheaper bring-up.
+//! * `--kill-replica` (the smoke default) — one replica is crashed
+//!   mid-run: its live connections are shot mid-stream and subsequent
+//!   dials are refused. The gate is that the router's typed-retry/failover
+//!   machinery absorbs the loss: **zero** requests surface an error.
+//!
+//! Correctness is checked against an **in-process oracle**: a plain
+//! `ClusterRouter` over the same partitioning serves a sample of the
+//! workload, and any byte-level divergence (answers, suggestion lists,
+//! completions) counts in `merge_mismatches` (the CI gate requires zero).
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sapphire_cluster::{Cluster, ClusterConfig, ClusterRouter};
+use sapphire_datagen::generate;
+use sapphire_datagen::workload::appendix_b;
+use sapphire_server::{ServerConfig, ShardService};
+use sapphire_sparql::SelectQuery;
+use sapphire_text::Lexicon;
+use sapphire_wire::{WireClient, WireClientConfig, WireServer, WireServerConfig};
+
+use crate::cluster::{flatten, workload_queries};
+use crate::serve::ClassStats;
+use crate::{dataset_for, experiment_config};
+
+/// Everything the wire harness can be asked to do.
+#[derive(Debug, Clone)]
+pub struct WireLoadOptions {
+    /// Closed-loop simulated users.
+    pub users: usize,
+    /// Times each user replays the whole Appendix-B question list.
+    pub rounds: usize,
+    /// Dataset scale (`tiny`/`small`/`medium`).
+    pub scale: String,
+    /// Data shards.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Questions (and QCM terms) replayed against the in-process oracle
+    /// (`0` skips the check).
+    pub determinism_sample: usize,
+    /// Host each replica in a separate OS process (the `wire_shard`
+    /// binary) instead of a thread in this one.
+    pub processes: bool,
+    /// Crash one replica mid-run (kill its connections, refuse redials)
+    /// and demand zero surviving errors.
+    pub kill_replica: bool,
+}
+
+impl Default for WireLoadOptions {
+    fn default() -> Self {
+        WireLoadOptions {
+            users: 8,
+            rounds: 2,
+            scale: "tiny".to_string(),
+            shards: 2,
+            replicas: 2,
+            determinism_sample: 8,
+            processes: false,
+            kill_replica: false,
+        }
+    }
+}
+
+impl WireLoadOptions {
+    /// The CI smoke posture: 2×2 on loopback sockets, one replica killed
+    /// mid-run, oracle check on. Small enough to ride inside `serve_check`.
+    pub fn smoke() -> Self {
+        WireLoadOptions {
+            users: 4,
+            rounds: 2,
+            kill_replica: true,
+            ..WireLoadOptions::default()
+        }
+    }
+}
+
+/// One hosted replica: either a wire server thread in this process or a
+/// `wire_shard` child process.
+enum ReplicaHost {
+    Thread(WireServer),
+    Process(Child),
+}
+
+impl ReplicaHost {
+    /// Simulated crash: live connections die mid-stream, later dials are
+    /// refused — what a killed replica process looks like from the edge.
+    fn kill(self) {
+        match self {
+            ReplicaHost::Thread(server) => {
+                server.kill_connections();
+                server.shutdown();
+            }
+            ReplicaHost::Process(mut child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+
+    /// Graceful teardown at the end of the run.
+    fn stop(self) {
+        match self {
+            ReplicaHost::Thread(server) => server.shutdown(),
+            ReplicaHost::Process(mut child) => {
+                // Closing the child's stdin is the shutdown signal; give it
+                // a moment, then make sure it is gone.
+                drop(child.stdin.take());
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Host every replica of the in-process cluster behind a wire server
+/// thread on an ephemeral loopback port.
+/// Per-shard replica hosts plus the socket addresses they listen on.
+type ShardHosts = (Vec<Vec<ReplicaHost>>, Vec<Vec<SocketAddr>>);
+
+fn host_threads(cluster: &Cluster) -> ShardHosts {
+    cluster
+        .shards()
+        .iter()
+        .map(|replicas| {
+            replicas
+                .iter()
+                .map(|r| {
+                    let server = WireServer::serve(
+                        r.clone() as Arc<dyn ShardService>,
+                        "127.0.0.1:0",
+                        WireServerConfig::default(),
+                    )
+                    .expect("bind loopback wire server");
+                    let addr = server.local_addr();
+                    (ReplicaHost::Thread(server), addr)
+                })
+                .unzip()
+        })
+        .unzip()
+}
+
+/// Spawn one `wire_shard` child per replica and collect the `WIRE_READY`
+/// handshakes. The binary is expected next to the running executable
+/// (both are `sapphire-bench` bins, so a normal build puts them together).
+fn host_processes(opts: &WireLoadOptions) -> std::io::Result<ShardHosts> {
+    let exe = std::env::current_exe()?;
+    let bin = exe
+        .parent()
+        .ok_or_else(|| std::io::Error::other("current_exe has no parent dir"))?
+        .join(format!("wire_shard{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        return Err(std::io::Error::other(format!(
+            "{} not found (build it with `cargo build --release -p sapphire-bench --bin wire_shard`)",
+            bin.display()
+        )));
+    }
+    let mut hosts = Vec::with_capacity(opts.shards);
+    let mut addrs = Vec::with_capacity(opts.shards);
+    for shard in 0..opts.shards {
+        let mut shard_hosts = Vec::with_capacity(opts.replicas);
+        let mut shard_addrs = Vec::with_capacity(opts.replicas);
+        for replica in 0..opts.replicas {
+            let mut child = Command::new(&bin)
+                .args([
+                    "--scale",
+                    &opts.scale,
+                    "--shards",
+                    &opts.shards.to_string(),
+                    "--shard",
+                    &shard.to_string(),
+                    "--replica",
+                    &replica.to_string(),
+                ])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()?;
+            let stdout = child.stdout.take().expect("piped child stdout");
+            let mut line = String::new();
+            BufReader::new(stdout).read_line(&mut line)?;
+            let addr: SocketAddr = line
+                .trim()
+                .strip_prefix("WIRE_READY ")
+                .and_then(|a| a.parse().ok())
+                .ok_or_else(|| {
+                    std::io::Error::other(format!(
+                        "wire_shard s{shard}r{replica} bad handshake: {line:?}"
+                    ))
+                })?;
+            shard_hosts.push(ReplicaHost::Process(child));
+            shard_addrs.push(addr);
+        }
+        hosts.push(shard_hosts);
+        addrs.push(shard_addrs);
+    }
+    Ok((hosts, addrs))
+}
+
+/// Run the wire-mode workload and return the JSON report.
+pub fn run(opts: &WireLoadOptions) -> String {
+    let dataset = dataset_for(&opts.scale);
+    eprintln!(
+        "(generating dataset + initializing {} shard models x {} replicas{}…)",
+        opts.shards,
+        opts.replicas,
+        if opts.processes {
+            " + one wire_shard process each"
+        } else {
+            ""
+        }
+    );
+    let graph = generate(dataset);
+    let triple_count = graph.len();
+    // Same serving posture as the in-process cluster harness — and, in
+    // process mode, the same one `wire_shard` rebuilds, so the oracle and
+    // the children serve identical bytes.
+    let default_in_flight = ServerConfig::default().max_in_flight.max(8);
+    let server_config = ServerConfig {
+        max_in_flight: default_in_flight,
+        max_queue_depth: default_in_flight * 4,
+        queue_wait: std::time::Duration::from_millis(1_000),
+        ..ServerConfig::default()
+    };
+    let cluster = Cluster::build(
+        "edge",
+        &graph,
+        opts.shards,
+        opts.replicas,
+        &Lexicon::dbpedia_default(),
+        &experiment_config(),
+        &server_config,
+    )
+    .expect("shard initialization");
+
+    // Bring up the wire tier and dial every replica.
+    let (mut hosts, addrs) = if opts.processes {
+        host_processes(opts).expect("wire_shard bring-up")
+    } else {
+        host_threads(&cluster)
+    };
+    let clients: Vec<Vec<Arc<WireClient>>> = addrs
+        .iter()
+        .map(|shard| {
+            shard
+                .iter()
+                .map(|&addr| {
+                    Arc::new(
+                        WireClient::connect(addr, WireClientConfig::default())
+                            .expect("handshake with wire replica"),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let shard_services: Vec<Vec<Arc<dyn ShardService>>> = clients
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|c| c.clone() as Arc<dyn ShardService>)
+                .collect()
+        })
+        .collect();
+    let router = Arc::new(ClusterRouter::over(
+        shard_services,
+        ClusterConfig::default(),
+    ));
+    // The in-process oracle: a plain router straight over the replica
+    // servers, no sockets anywhere.
+    let oracle = ClusterRouter::new(
+        Cluster::from_replicas(cluster.shards().to_vec()),
+        ClusterConfig::default(),
+    );
+
+    // Build each question's query once, from the shard-local models.
+    let models: Vec<_> = (0..cluster.shard_count())
+        .map(|s| cluster.replicas(s)[0].model().clone())
+        .collect();
+    let questions = appendix_b();
+    let queries: Vec<SelectQuery> = workload_queries(&models, &questions);
+
+    // The kill drill: when half the QSM runs have completed, crash the
+    // *first* replica of shard 0 — the one load-order ties favor, so it is
+    // carrying primary traffic when it dies (its siblings must absorb the
+    // rest).
+    let victim_replica = 0;
+    let victim: Arc<Mutex<Option<ReplicaHost>>> = Arc::new(Mutex::new(if opts.kill_replica {
+        assert!(
+            opts.replicas >= 2,
+            "--kill-replica needs at least 2 replicas per shard"
+        );
+        Some(hosts[0].remove(victim_replica))
+    } else {
+        None
+    }));
+    let total_runs = opts.users * opts.rounds * questions.len();
+    let kill_at = (total_runs / 2).max(1);
+    let runs_done = Arc::new(AtomicUsize::new(0));
+
+    eprintln!(
+        "(driving {} users x {} rounds over {} questions against {} shards via {}{}…)",
+        opts.users,
+        opts.rounds,
+        questions.len(),
+        opts.shards,
+        if opts.processes {
+            "shard processes"
+        } else {
+            "loopback sockets"
+        },
+        if opts.kill_replica {
+            format!(", killing shard 0 replica {victim_replica} mid-run")
+        } else {
+            String::new()
+        }
+    );
+    let started = Instant::now();
+    let (mut qcm, mut qsm) = (ClassStats::default(), ClassStats::default());
+    let mut surviving_errors = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for user in 0..opts.users {
+            let router = router.clone();
+            let questions = &questions;
+            let queries = &queries;
+            let rounds = opts.rounds;
+            let victim = victim.clone();
+            let runs_done = runs_done.clone();
+            handles.push(scope.spawn(move || {
+                let tenant = format!("user-{user}");
+                let mut qcm = ClassStats::default();
+                let mut qsm = ClassStats::default();
+                let mut errors = 0u64;
+                for round in 0..rounds {
+                    for qi in 0..questions.len() {
+                        let idx = (qi + user + round) % questions.len();
+                        for input in &questions[idx].script.rows {
+                            let keyword = input.object.trim_start_matches('?');
+                            for end in 1..=keyword.chars().count().min(6) {
+                                let prefix: String = keyword.chars().take(end).collect();
+                                let t = Instant::now();
+                                let r = flatten(router.complete(&tenant, &prefix).map(|_| ()));
+                                errors += u64::from(r.is_err());
+                                qcm.record(t, &r);
+                            }
+                        }
+                        let t = Instant::now();
+                        let r = flatten(router.run(&tenant, &queries[idx]).map(|_| ()));
+                        errors += u64::from(r.is_err());
+                        qsm.record(t, &r);
+                        if runs_done.fetch_add(1, Ordering::SeqCst) + 1 == kill_at {
+                            if let Some(v) = victim.lock().unwrap().take() {
+                                eprintln!("(crashing one replica after {kill_at} runs…)");
+                                v.kill();
+                            }
+                        }
+                    }
+                }
+                (qcm, qsm, errors)
+            }));
+        }
+        for h in handles {
+            let (c, s, e) = h.join().expect("no worker panics");
+            qcm.merge(c);
+            qsm.merge(s);
+            surviving_errors += e;
+        }
+    });
+    let wall = started.elapsed();
+
+    // The dead replica must be provably dead: a direct probe on its client
+    // (bypassing the router's failover) has to fail typed — and bump the
+    // transport error counters the report surfaces.
+    let replica_killed = opts.kill_replica && victim.lock().unwrap().is_none();
+    let dead_probe_failed = if replica_killed {
+        clients[0][victim_replica]
+            .complete_top("probe", "a", 1)
+            .is_err()
+    } else {
+        false
+    };
+
+    // Oracle check: the socket path must reproduce the in-process bytes —
+    // answers, alternative lists, and completions.
+    let sample = opts.determinism_sample.min(queries.len());
+    let mut merge_mismatches = 0u64;
+    for query in queries.iter().take(sample) {
+        match (router.run("replay", query), oracle.run("replay", query)) {
+            (Ok(a), Ok(b)) => {
+                let alts_match = a.alternatives.len() == b.alternatives.len()
+                    && a.alternatives.iter().zip(&b.alternatives).all(|(x, y)| {
+                        x.replacement == y.replacement
+                            && x.position == y.position
+                            && x.answers == y.answers
+                    });
+                if a.answers != b.answers || !alts_match {
+                    merge_mismatches += 1;
+                }
+            }
+            _ => merge_mismatches += 1,
+        }
+    }
+    for question in questions.iter().take(sample) {
+        let keyword = question.script.rows[0].object.trim_start_matches('?');
+        match (
+            router.complete("replay", keyword),
+            oracle.complete("replay", keyword),
+        ) {
+            (Ok(a), Ok(b)) => {
+                if a.suggestions != b.suggestions {
+                    merge_mismatches += 1;
+                }
+            }
+            _ => merge_mismatches += 1,
+        }
+    }
+
+    let metrics = router.metrics();
+    let report = format!(
+        "{{\n  \"benchmark\": \"serve_wire\",\n  \"config\": {{\"users\": {}, \
+         \"rounds\": {}, \"scale\": \"{}\", \"shards\": {}, \"replicas\": {}, \
+         \"processes\": {}, \"kill_replica\": {}, \"triples\": {triple_count}}},\n  \
+         \"wall_seconds\": {:.3},\n  \"total_throughput_rps\": {:.1},\n  \
+         \"qcm\": {},\n  \"qsm\": {},\n  \
+         \"routing\": {{\"hedges_fired\": {}, \"hedges_won\": {}, \
+         \"replica_retries\": {}, \"rejected_after_retry\": {}, \
+         \"merges\": {}, \"degraded_runs\": {}}},\n  \
+         \"transport\": {{\"wire_connects\": {}, \"wire_reconnects\": {}, \
+         \"wire_io_errors\": {}, \"wire_corrupt_frames\": {}, \
+         \"replica_killed\": {}, \"dead_probe_failed\": {}}},\n  \
+         \"merge_mismatches\": {merge_mismatches},\n  \
+         \"rejected_total\": {surviving_errors}\n}}",
+        opts.users,
+        opts.rounds,
+        opts.scale,
+        opts.shards,
+        opts.replicas,
+        opts.processes,
+        opts.kill_replica,
+        wall.as_secs_f64(),
+        (qcm.latencies_us.len() + qsm.latencies_us.len()) as f64 / wall.as_secs_f64().max(1e-9),
+        qcm.json(wall),
+        qsm.json(wall),
+        metrics.hedges_fired,
+        metrics.hedges_won,
+        metrics.replica_retries,
+        metrics.rejected_after_retry,
+        metrics.merges,
+        metrics.degraded_runs,
+        metrics.wire_connects,
+        metrics.wire_reconnects,
+        metrics.wire_io_errors,
+        metrics.wire_corrupt_frames,
+        u8::from(replica_killed),
+        u8::from(dead_probe_failed),
+    );
+
+    // Graceful teardown of everything still alive.
+    for shard_hosts in hosts.drain(..) {
+        for host in shard_hosts {
+            host.stop();
+        }
+    }
+    report
+}

@@ -43,7 +43,7 @@ use sapphire_endpoint::{
 use sapphire_obs::{trace, MetricsHub, Obs, RequestMark, Stage, TraceScope};
 use sapphire_server::coalesce::Join;
 use sapphire_server::response_cache::ShardedResponseCache;
-use sapphire_server::{Coalescer, SapphireServer, ServerError};
+use sapphire_server::{Coalescer, ServerError, ShardService, TransportStats};
 use sapphire_sparql::{Projection, Query, QueryResult, SelectQuery, Solutions, TermPattern};
 
 use crate::merge::{
@@ -121,7 +121,7 @@ pub struct ClusterConfig {
 ///
 /// * **Queue pressure** — for each shard, the pressure tier of its
 ///   *least-loaded* replica (the one load-aware routing will pick; see
-///   [`SapphireServer::shed_pressure_tier`]), maxed across shards: a
+///   [`SapphireServer::shed_pressure_tier`](sapphire_server::SapphireServer::shed_pressure_tier)), maxed across shards: a
 ///   scatter is only as healthy as its most backed-up shard.
 /// * **Remaining deadline** — with more than half of
 ///   [`deadline`](Self::deadline) left the deadline argues for tier 0, above a
@@ -133,7 +133,7 @@ pub struct ClusterConfig {
 /// ([`sapphire_core::run_request_key_tier`]), so tier-0 and tier-N
 /// requests can never exchange payloads, and shards honor the request
 /// through the same tier-keyed discipline
-/// ([`SapphireServer::run_select_tiered`]).
+/// ([`SapphireServer::run_select_tiered`](sapphire_server::SapphireServer::run_select_tiered)).
 #[derive(Debug, Clone)]
 pub struct DegradePolicy {
     /// Per-request deadline budget at the edge. The *remaining* budget is
@@ -379,6 +379,18 @@ pub struct ClusterMetrics {
     /// `SteinerConfig::MAX_TIER + 1`. Sums to
     /// [`degraded_runs`](Self::degraded_runs).
     pub degraded_by_tier: Vec<u64>,
+    /// Wire-transport connections established, summed over every replica
+    /// client (0 when the router routes over in-process replicas).
+    pub wire_connects: u64,
+    /// Wire connections re-established after an IO failure broke the
+    /// previous one.
+    pub wire_reconnects: u64,
+    /// Replica calls that failed on the transport and surfaced as the
+    /// retryable [`ServerError::Unreachable`].
+    pub wire_io_errors: u64,
+    /// Frames the codec rejected (bad magic, oversized, bad tag) — protocol
+    /// violations, never retried, never silently skipped.
+    pub wire_corrupt_frames: u64,
 }
 
 #[derive(Debug)]
@@ -473,37 +485,13 @@ enum ShardReply {
     Raw(QueryResult),
 }
 
-fn service_to_server(e: ServiceError) -> ServerError {
-    match e {
-        ServiceError::Overloaded {
-            in_flight,
-            queue_depth,
-        } => ServerError::Overloaded {
-            in_flight,
-            queue_depth,
-        },
-        ServiceError::Timeout { work_used } => ServerError::Timeout { work_used },
-        ServiceError::QueueTimeout { waited_ms } => ServerError::QueueTimeout { waited_ms },
-        ServiceError::QuotaExhausted {
-            tenant,
-            used,
-            budget,
-        } => ServerError::QuotaExhausted {
-            tenant,
-            used,
-            budget,
-        },
-        ServiceError::Backend(e) => ServerError::Backend(e.to_string()),
-    }
-}
-
-fn call_replica(server: &SapphireServer, req: &ShardRequest) -> Result<ShardReply, ServerError> {
+fn call_replica(replica: &dyn ShardService, req: &ShardRequest) -> Result<ShardReply, ServerError> {
     match req {
         ShardRequest::Complete {
             tenant,
             term,
             fetch,
-        } => server
+        } => replica
             .complete_top(tenant, term, *fetch)
             .map(ShardReply::Completion),
         ShardRequest::Run {
@@ -511,13 +499,12 @@ fn call_replica(server: &SapphireServer, req: &ShardRequest) -> Result<ShardRepl
             query,
             tier,
             budget,
-        } => server
+        } => replica
             .run_select_tiered(tenant, query, *tier, *budget)
-            .map(|run| ShardReply::Run(run.payload)),
-        ShardRequest::Raw { tenant, query } => server
-            .execute_query(tenant, query)
-            .map(ShardReply::Raw)
-            .map_err(service_to_server),
+            .map(ShardReply::Run),
+        ShardRequest::Raw { tenant, query } => {
+            replica.execute_raw(tenant, query).map(ShardReply::Raw)
+        }
     }
 }
 
@@ -541,19 +528,68 @@ fn tenant_scoped(e: &ClusterError) -> bool {
 }
 
 /// Typed back-pressure worth failing over: the replica is busy *now*; a
-/// sibling (or a later retry) may not be. Work-budget timeouts and quota
+/// sibling (or a later retry) may not be. Transport failures
+/// ([`ServerError::Unreachable`]) join the list with the wire boundary:
+/// shard requests are stateless and idempotent, so a dead link is exactly
+/// the case replica failover exists for. Work-budget timeouts and quota
 /// rejections are deterministic for the same request and tenant, so
 /// retrying them elsewhere just doubles the damage.
 fn is_retryable(e: &ServerError) -> bool {
     matches!(
         e,
-        ServerError::Overloaded { .. } | ServerError::QueueTimeout { .. }
+        ServerError::Overloaded { .. }
+            | ServerError::QueueTimeout { .. }
+            | ServerError::Unreachable { .. }
     )
 }
 
 /// The retry-after view of a server rejection (via the endpoint-level hint).
 fn as_endpoint_error(e: &ServerError) -> EndpointError {
     EndpointError::from(e.clone().into_service_error())
+}
+
+/// One shard's replica set behind a [`QueryService`] face, for the
+/// federated bound-join path: every raw query it receives is routed to the
+/// least-loaded replica *at that moment*, with the router's typed bounded
+/// retry on back-pressure and transport failures. Without this, the bound
+/// join would pin one replica for the whole plan — and a replica dying
+/// mid-plan (the exact drill `serve_check` gates) would fail the query even
+/// though a healthy sibling holds the same shard.
+struct ShardFanout {
+    name: String,
+    replicas: Vec<Arc<dyn ShardService>>,
+    backoff: Backoff,
+    jitter_seq: AtomicU64,
+}
+
+impl QueryService for ShardFanout {
+    fn service_name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute_query(&self, tenant: &str, query: &Query) -> Result<QueryResult, ServiceError> {
+        let mut order: Vec<usize> = (0..self.replicas.len()).collect();
+        order.sort_by_key(|&i| {
+            let (in_flight, queued) = self.replicas[i].admission_load();
+            (in_flight + queued, i)
+        });
+        let mut jitter = Jitter::new(self.jitter_seq.fetch_add(1, Ordering::Relaxed));
+        let mut attempt: u32 = 0;
+        loop {
+            let replica = &self.replicas[order[attempt as usize % order.len()]];
+            match replica.execute_raw(tenant, query) {
+                Ok(result) => return Ok(result),
+                Err(e) if is_retryable(&e) && attempt < self.backoff.max_retries => {
+                    std::thread::sleep(
+                        self.backoff
+                            .jittered_wait(&as_endpoint_error(&e), &mut jitter),
+                    );
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into_service_error()),
+            }
+        }
+    }
 }
 
 /// True when every triple pattern shares one subject: the whole query is a
@@ -597,7 +633,14 @@ fn ground_subject_shard(query: &SelectQuery, shards: usize) -> Option<usize> {
 
 /// The sharded multi-tier edge router. See the module docs.
 pub struct ClusterRouter {
-    cluster: Cluster,
+    /// What the router actually routes over: one [`ShardService`] per
+    /// replica per shard. In-process replicas and wire clients mix freely
+    /// (though a deployment normally picks one).
+    shards: Vec<Vec<Arc<dyn ShardService>>>,
+    /// The in-process data tier, kept only when the router was built over
+    /// one ([`new`](Self::new)/[`with_obs`](Self::with_obs)); a router over
+    /// explicit shard services ([`over`](Self::over)) has none.
+    cluster: Option<Cluster>,
     config: ClusterConfig,
     k: usize,
     completion_cache: ShardedResponseCache<MergedCompletion>,
@@ -624,13 +667,55 @@ impl ClusterRouter {
 
     /// Like [`new`](Self::new), but aggregating edge-tier stage histograms
     /// and traces into a caller-provided [`Obs`] — share one handle with the
-    /// shard servers ([`SapphireServer::with_obs`]) to get a single
+    /// shard servers ([`SapphireServer::with_obs`](sapphire_server::SapphireServer::with_obs)) to get a single
     /// cross-tier view.
     pub fn with_obs(cluster: Cluster, config: ClusterConfig, obs: Arc<Obs>) -> Self {
-        let shards = cluster.shard_count();
+        let shards = cluster
+            .shards()
+            .iter()
+            .map(|replicas| {
+                replicas
+                    .iter()
+                    .map(|r| r.clone() as Arc<dyn ShardService>)
+                    .collect()
+            })
+            .collect();
+        Self::build(shards, Some(cluster), config, obs)
+    }
+
+    /// Stand an edge router over explicit shard services — one
+    /// [`ShardService`] per replica per shard — instead of an in-process
+    /// [`Cluster`]. This is how wire mode runs: the services are
+    /// `sapphire_wire::WireClient`s dialing replica processes, and the whole
+    /// routing policy (load order, hedging, typed retry, degradation tiers)
+    /// applies unchanged because it only ever spoke [`ShardService`].
+    pub fn over(shards: Vec<Vec<Arc<dyn ShardService>>>, config: ClusterConfig) -> Self {
+        Self::over_with_obs(shards, config, Arc::new(Obs::new()))
+    }
+
+    /// Like [`over`](Self::over), with a caller-provided [`Obs`].
+    pub fn over_with_obs(
+        shards: Vec<Vec<Arc<dyn ShardService>>>,
+        config: ClusterConfig,
+        obs: Arc<Obs>,
+    ) -> Self {
+        Self::build(shards, None, config, obs)
+    }
+
+    fn build(
+        shards: Vec<Vec<Arc<dyn ShardService>>>,
+        cluster: Option<Cluster>,
+        config: ClusterConfig,
+        obs: Arc<Obs>,
+    ) -> Self {
+        assert!(
+            shards.iter().all(|r| !r.is_empty()),
+            "every shard needs at least one replica"
+        );
+        let shard_count = shards.len();
         // Every replica of every shard shares one model config; the edge
         // presents the same top-k the shards compute.
-        let k = cluster.replicas(0)[0].model().config().k;
+        let k = shards[0][0].top_k();
         ClusterRouter {
             tenants: sapphire_server::admission::TenantBudgets::new(config.tenant_window_budget),
             completion_cache: ShardedResponseCache::new(
@@ -647,13 +732,22 @@ impl ClusterRouter {
             ),
             run_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
             service_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
-            counters: Counters::new(shards),
+            counters: Counters::new(shard_count),
             obs,
             hedge_reaper: Mutex::new(Vec::new()),
             k,
+            shards,
             cluster,
             config,
         }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_replicas(&self, shard: usize) -> &[Arc<dyn ShardService>] {
+        &self.shards[shard]
     }
 
     /// The router's observability handle (edge stage histograms, trace
@@ -662,9 +756,17 @@ impl ClusterRouter {
         &self.obs
     }
 
-    /// The underlying cluster.
+    /// The underlying in-process cluster.
+    ///
+    /// # Panics
+    ///
+    /// A router built over explicit shard services ([`over`](Self::over) —
+    /// e.g. wire clients dialing replica processes) has no in-process data
+    /// tier to hand out; calling this on one is a harness bug.
     pub fn cluster(&self) -> &Cluster {
-        &self.cluster
+        self.cluster
+            .as_ref()
+            .expect("router built over explicit shard services has no in-process cluster")
     }
 
     /// The configuration in effect.
@@ -699,6 +801,15 @@ impl ClusterRouter {
 
     /// Observability snapshot.
     pub fn metrics(&self) -> ClusterMetrics {
+        // Transport counters live on the replica clients, not the router:
+        // they keep counting across requests (and across routers, if two
+        // share clients), so the snapshot reads them live and sums.
+        let mut transport = TransportStats::default();
+        for replicas in &self.shards {
+            for replica in replicas {
+                transport.merge(&replica.transport_stats());
+            }
+        }
         ClusterMetrics {
             fanout_per_shard: self
                 .counters
@@ -724,6 +835,10 @@ impl ClusterRouter {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            wire_connects: transport.connects,
+            wire_reconnects: transport.reconnects,
+            wire_io_errors: transport.io_errors,
+            wire_corrupt_frames: transport.corrupt_frames,
         }
     }
 
@@ -746,7 +861,11 @@ impl ClusterRouter {
                 .field("merge_depth_max", m.merge_depth_max)
                 .field("edge_coalesced_hits", m.edge_coalesced_hits)
                 .field("edge_coalesce_leaders", m.edge_coalesce_leaders)
-                .field("degraded_runs", m.degraded_runs);
+                .field("degraded_runs", m.degraded_runs)
+                .field("wire_connects", m.wire_connects)
+                .field("wire_reconnects", m.wire_reconnects)
+                .field("wire_io_errors", m.wire_io_errors)
+                .field("wire_corrupt_frames", m.wire_corrupt_frames);
             for (tier, runs) in m.degraded_by_tier.iter().enumerate().skip(1) {
                 cluster.field(&format!("degraded_tier{tier}"), *runs);
             }
@@ -1002,10 +1121,11 @@ impl ClusterRouter {
     fn requested_tier(&self, floor: usize, started: Instant) -> usize {
         let mut tier = floor;
         if let Some(policy) = &self.config.degrade {
-            let pressure = (0..self.cluster.shard_count())
-                .map(|shard| {
-                    self.cluster
-                        .replicas(shard)
+            let pressure = self
+                .shards
+                .iter()
+                .map(|replicas| {
+                    replicas
                         .iter()
                         .map(|replica| replica.shed_pressure_tier())
                         .min()
@@ -1267,7 +1387,7 @@ impl ClusterRouter {
         star: &SelectQuery,
     ) -> Result<Vec<Solutions>, ClusterError> {
         if single_subject(star) {
-            let target = ground_subject_shard(star, self.cluster.shard_count());
+            let target = ground_subject_shard(star, self.shard_count());
             let replies = self.scatter(
                 &ShardRequest::Raw {
                     tenant: tenant.to_string(),
@@ -1295,11 +1415,22 @@ impl ClusterRouter {
     /// the endpoints are the servers themselves.
     fn federated_rows(&self, tenant: &str, query: &SelectQuery) -> Result<Solutions, ClusterError> {
         let mut fed = sapphire_endpoint::FederatedProcessor::new();
-        for shard in 0..self.cluster.shard_count() {
-            let order = self.replica_order(shard);
+        for shard in 0..self.shard_count() {
             self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
+            // A bound join issues *many* raw queries against each shard
+            // over the plan's lifetime, so the endpoint it binds must keep
+            // making the load/failover decision per query — a `ShardFanout`
+            // over the whole replica set — rather than pinning whichever
+            // replica was least loaded (or even alive) at plan start.
             fed.register(Arc::new(ServiceEndpoint::new(
-                self.cluster.replicas(shard)[order[0]].clone(),
+                Arc::new(ShardFanout {
+                    name: format!("{}-s{shard}", self.config.name),
+                    replicas: self.shards[shard].clone(),
+                    backoff: self.config.backoff,
+                    jitter_seq: AtomicU64::new(
+                        self.counters.jitter_seq.fetch_add(1, Ordering::Relaxed),
+                    ),
+                }),
                 tenant,
             )));
         }
@@ -1326,7 +1457,7 @@ impl ClusterRouter {
         if let Some(shard) = target {
             return Ok(vec![self.shard_rtt(shard, req)?]);
         }
-        let shards = self.cluster.shard_count();
+        let shards = self.shard_count();
         if shards == 1 {
             return Ok(vec![self.shard_rtt(0, req)?]);
         }
@@ -1379,7 +1510,7 @@ impl ClusterRouter {
     /// Replica indices of one shard in ascending admission-load order
     /// (ties by index) — the load-aware routing decision.
     fn replica_order(&self, shard: usize) -> Vec<usize> {
-        let replicas = self.cluster.replicas(shard);
+        let replicas = self.shard_replicas(shard);
         let mut order: Vec<usize> = (0..replicas.len()).collect();
         order.sort_by_key(|&i| {
             let (in_flight, queued) = replicas[i].admission_load();
@@ -1392,7 +1523,7 @@ impl ClusterRouter {
     /// choice, hedging, and typed bounded retry with failover.
     fn call_shard(&self, shard: usize, req: &ShardRequest) -> Result<ShardReply, ClusterError> {
         let order = self.replica_order(shard);
-        let replicas = self.cluster.replicas(shard);
+        let replicas = self.shard_replicas(shard);
         let mut attempt: u32 = 0;
         // When the request carries a deadline budget, the retry loop stops
         // once the budget is spent — retrying a shard call nobody is still
@@ -1406,16 +1537,22 @@ impl ClusterRouter {
         loop {
             self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
             let primary = order[attempt as usize % order.len()];
+            // With wire replicas this is a *real* network round trip;
+            // in-process it is a function call. Tag every observation with
+            // the transport so the histogram never silently mixes the two.
+            let transport = replicas[primary].transport();
             let attempt_started = Instant::now();
+            let mut rtt = self.obs.time(Stage::ShardRtt);
+            rtt.tag(transport);
             let result = match (self.config.hedge_after, order.len() > 1) {
                 (Some(budget), true) => {
                     let secondary = order[(attempt as usize + 1) % order.len()];
                     self.call_hedged(shard, replicas, primary, secondary, budget, req)
                 }
-                _ => call_replica(&replicas[primary], req),
+                _ => call_replica(replicas[primary].as_ref(), req),
             };
             let attempt_us = attempt_started.elapsed().as_micros() as u64;
-            self.obs.record(Stage::ShardRtt, attempt_us);
+            drop(rtt);
             if let Some((trace, parent)) = trace::current_ctx() {
                 trace.add_span(
                     "replica_call",
@@ -1423,7 +1560,7 @@ impl ClusterRouter {
                     attempt_us,
                     parent,
                     format!(
-                        "shard{shard} replica{primary} attempt{attempt} ok={}",
+                        "shard{shard} replica{primary} attempt{attempt} transport={transport} ok={}",
                         result.is_ok()
                     ),
                 );
@@ -1470,7 +1607,7 @@ impl ClusterRouter {
     fn call_hedged(
         &self,
         shard: usize,
-        replicas: &[Arc<SapphireServer>],
+        replicas: &[Arc<dyn ShardService>],
         primary: usize,
         secondary: usize,
         budget: Duration,
@@ -1487,7 +1624,7 @@ impl ClusterRouter {
             // admission slot), not join-handle lifetimes.
             let gauge = hedged.then(|| Arc::clone(&self.counters.hedges_in_flight));
             std::thread::spawn(move || {
-                let result = call_replica(&server, &req);
+                let result = call_replica(server.as_ref(), &req);
                 if let Some(gauge) = gauge {
                     gauge.fetch_sub(1, Ordering::Relaxed);
                 }
@@ -1637,7 +1774,7 @@ impl QueryService for ClusterRouter {
                 Query::Ask(pattern) => {
                     let probe = SelectQuery::star(pattern.clone());
                     if single_subject(&probe) {
-                        let target = ground_subject_shard(&probe, self.cluster.shard_count());
+                        let target = ground_subject_shard(&probe, self.shard_count());
                         let replies = self.scatter(
                             &ShardRequest::Raw {
                                 tenant: tenant.to_string(),

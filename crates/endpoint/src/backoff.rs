@@ -71,6 +71,11 @@ impl EndpointError {
             EndpointError::Overloaded { in_flight } => {
                 Some(Duration::from_millis((*in_flight as u64).clamp(1, 50)))
             }
+            // A transport failure carries no congestion signal: suggest the
+            // minimum wait and let the caller's own backoff schedule grow it.
+            // Retryable because the failure is about the *path*, not the
+            // query — the next replica (or a reconnect) may answer.
+            EndpointError::Unreachable { .. } => Some(Duration::from_millis(1)),
             _ => None,
         }
     }

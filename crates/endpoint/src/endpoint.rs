@@ -38,6 +38,17 @@ pub enum EndpointError {
         /// rejecting service no longer knows, e.g. a queue-deadline miss).
         in_flight: usize,
     },
+    /// The endpoint could not be reached, or the connection died mid-call
+    /// (connect refused, connection reset, read deadline, short read). The
+    /// *transport* failed, not the query: a sibling replica — or the same
+    /// endpoint after a reconnect — may well answer, so this is retryable
+    /// back-pressure for the [`Backoff`](crate::Backoff)/failover machinery,
+    /// unlike the deterministic `Parse`/`Eval`/`Timeout` failures.
+    Unreachable {
+        /// Short machine-stable reason: `"connect"`, `"reset"`, `"timeout"`,
+        /// `"short read"`, `"closed"`.
+        reason: String,
+    },
     /// The query did not parse.
     Parse(String),
     /// The query parsed but could not be evaluated.
@@ -55,6 +66,9 @@ impl std::fmt::Display for EndpointError {
             }
             EndpointError::Overloaded { in_flight } => {
                 write!(f, "service overloaded ({in_flight} requests in flight)")
+            }
+            EndpointError::Unreachable { reason } => {
+                write!(f, "endpoint unreachable ({reason})")
             }
             EndpointError::Parse(m) => write!(f, "parse error: {m}"),
             EndpointError::Eval(m) => write!(f, "evaluation error: {m}"),

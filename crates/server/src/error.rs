@@ -67,6 +67,17 @@ pub enum ServerError {
     ShuttingDown,
     /// The session's text boxes do not form a valid query.
     Session(SessionError),
+    /// A remote replica could not be reached, or the connection died
+    /// mid-call (connect refused, reset, read deadline, short read) — the
+    /// typed surfacing of a wire-transport failure. Retryable: the request
+    /// never completed on the other side's *data* path, so failing over to
+    /// a sibling replica is safe and is exactly what the cluster router's
+    /// bounded retry does with it.
+    Unreachable {
+        /// Short machine-stable reason: `"connect"`, `"reset"`, `"timeout"`,
+        /// `"short read"`, `"closed"`.
+        reason: String,
+    },
     /// The shared model's backend (federation/endpoints) failed.
     Backend(String),
 }
@@ -111,6 +122,9 @@ impl std::fmt::Display for ServerError {
             }
             ServerError::ShuttingDown => write!(f, "front-end shutting down"),
             ServerError::Session(e) => write!(f, "session error: {e}"),
+            ServerError::Unreachable { reason } => {
+                write!(f, "replica unreachable ({reason})")
+            }
             ServerError::Backend(m) => write!(f, "backend failure: {m}"),
         }
     }
@@ -135,6 +149,7 @@ impl ServerError {
                 | ServerError::QueueTimeout { .. }
                 | ServerError::Timeout { .. }
                 | ServerError::QuotaExhausted { .. }
+                | ServerError::Unreachable { .. }
         )
     }
 
@@ -159,7 +174,43 @@ impl ServerError {
                 used,
                 budget,
             },
+            ServerError::Unreachable { reason } => {
+                ServiceError::Backend(EndpointError::Unreachable { reason })
+            }
             other => ServiceError::Backend(EndpointError::Eval(other.to_string())),
+        }
+    }
+
+    /// Flatten a service-surface failure back into a `ServerError`,
+    /// preserving every typed back-pressure variant — the inverse of
+    /// [`into_service_error`](Self::into_service_error) for the variants
+    /// that survive the round trip. Used by tiers that consume a
+    /// [`QueryService`](sapphire_endpoint::QueryService) but account in
+    /// server-error terms (the cluster router's raw scatter path).
+    pub fn from_service(e: ServiceError) -> ServerError {
+        match e {
+            ServiceError::Overloaded {
+                in_flight,
+                queue_depth,
+            } => ServerError::Overloaded {
+                in_flight,
+                queue_depth,
+            },
+            ServiceError::Timeout { work_used } => ServerError::Timeout { work_used },
+            ServiceError::QueueTimeout { waited_ms } => ServerError::QueueTimeout { waited_ms },
+            ServiceError::QuotaExhausted {
+                tenant,
+                used,
+                budget,
+            } => ServerError::QuotaExhausted {
+                tenant,
+                used,
+                budget,
+            },
+            ServiceError::Backend(EndpointError::Unreachable { reason }) => {
+                ServerError::Unreachable { reason }
+            }
+            ServiceError::Backend(e) => ServerError::Backend(e.to_string()),
         }
     }
 }
@@ -177,6 +228,9 @@ pub fn from_federation(e: FederationError) -> ServerError {
                 in_flight,
                 queue_depth: 0,
             }
+        }
+        FederationError::AllSourcesFailed(EndpointError::Unreachable { reason }) => {
+            ServerError::Unreachable { reason }
         }
         other => ServerError::Backend(other.to_string()),
     }

@@ -421,7 +421,7 @@ fn execute_admitted(
             .map(FrontResponse::Completion),
         FrontRequest::Run => shared
             .server
-            .run_admitted(sid, permit)
+            .run_admitted(sid, permit, shed_floor(shared))
             .map(FrontResponse::Run),
         FrontRequest::Query { query } => {
             let tenant = match shared.server.session_tenant(sid) {
@@ -440,6 +440,37 @@ fn execute_admitted(
         other => unreachable!("non-admitted request {other:?} routed through admission"),
     };
     shared.reply(respond, result);
+}
+
+/// Front-end-initiated shedding: pick a degradation-tier floor from the
+/// reactor's OWN ready-queue depth, so fidelity drops while work is still
+/// queued in the front-end — before the server's admission queue (the
+/// signal `SapphireServer::qsm_tier` watches) ever sees the backlog. The
+/// floor rides the same `run_tiered` surface a cluster edge uses, so
+/// tier-keyed caching and the tier-0 isolation guarantee hold unchanged.
+///
+/// Ladder, mirroring [`SapphireServer::shed_pressure_tier`]: a ready queue
+/// deeper than the threshold sheds tier 1; deeper than twice the threshold
+/// sheds tier 2. `None` (the default) disables front-end shedding.
+fn shed_floor(shared: &Shared) -> usize {
+    let Some(threshold) = shared.config.shed_ready_threshold else {
+        return 0;
+    };
+    let (ready, _parked, _busy) = shared.reactor.load();
+    let floor = if ready > threshold.saturating_mul(2) {
+        2
+    } else if ready > threshold {
+        1
+    } else {
+        0
+    };
+    if floor > 0 {
+        shared
+            .counters
+            .shed_dispatches
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    floor
 }
 
 /// Map a raw-target service failure onto the server's typed error space

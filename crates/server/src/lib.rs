@@ -68,12 +68,14 @@ pub mod frontend;
 pub mod registry;
 pub mod response_cache;
 mod server;
+pub mod shard;
 
 pub use coalesce::{CoalesceStats, Coalescer};
 pub use error::ServerError;
 pub use frontend::{FrontRequest, FrontResponse, Frontend, FrontendConfig, FrontendMetrics};
 pub use registry::{SessionEntry, SessionId, SessionRegistry};
 pub use server::{QueryRun, RunOutput, RunPayload, SapphireServer, ServerConfig, ServerMetrics};
+pub use shard::{ShardService, TransportStats};
 
 use sapphire_core::PredictiveUserModel;
 

@@ -223,7 +223,9 @@ pub struct RunOutput {
 /// also land in `SessionEntry::last_suggestions`: committing them must be a
 /// pointer bump, not a deep copy of per-alternative answer sets under the
 /// session lock.
-#[derive(Debug)]
+// `Clone` is a pointer bump on `suggestions` plus the answer table; the wire
+// server clones one payload per remote run reply to serialize it.
+#[derive(Debug, Clone)]
 pub struct RunPayload {
     /// The query's answers (empty if execution failed).
     pub answers: Solutions,
@@ -593,7 +595,7 @@ impl SapphireServer {
         // cache. The quota charge needs the built query's shape, so it
         // follows — an over-budget tenant gives its slot straight back.
         let permit = self.count_rejection(self.admit_timed())?;
-        self.run_committed(&entry, snapshot, permit)
+        self.run_committed(&entry, snapshot, permit, 0)
     }
 
     /// The post-admission session run path — snapshot, execute, commit —
@@ -603,13 +605,21 @@ impl SapphireServer {
     /// which is indistinguishable to callers: each run builds from its own
     /// snapshot and the generation check already governs every interleaving
     /// with concurrent edits. Does not bump the request counter.
+    ///
+    /// `tier_floor` is the caller's degradation-tier floor — the same
+    /// surface [`run_select_tiered`](Self::run_select_tiered) gives a
+    /// cluster edge, here for an upstream front-end shedding on its *own*
+    /// backlog (its reactor ready-queue depth). The run executes at the
+    /// deeper of the floor and this server's own pressure signal, through
+    /// the same tier-keyed cache/coalescer discipline.
     pub(crate) fn run_admitted(
         &self,
         id: SessionId,
         permit: AdmissionPermit,
+        tier_floor: usize,
     ) -> Result<RunOutput, ServerError> {
         let (entry, snapshot) = self.run_snapshot(id)?;
-        self.run_committed(&entry, snapshot, permit)
+        self.run_committed(&entry, snapshot, permit, tier_floor)
     }
 
     /// Snapshot a session's state under its lock (released before any
@@ -639,12 +649,16 @@ impl SapphireServer {
     }
 
     /// Build, charge, execute, and commit one session run from `snapshot`,
-    /// holding `permit` through the model work.
+    /// holding `permit` through the model work. `tier_floor` lower-bounds
+    /// the degradation tier (a front-end shedding on its own backlog);
+    /// the run executes at the deeper of the floor and this server's own
+    /// pressure tier, clamped to the ladder.
     fn run_committed(
         &self,
         entry: &std::sync::Mutex<crate::registry::SessionEntry>,
         snapshot: RunSnapshot,
         permit: AdmissionPermit,
+        tier_floor: usize,
     ) -> Result<RunOutput, ServerError> {
         let query = Session::resume(
             &self.pum,
@@ -655,7 +669,10 @@ impl SapphireServer {
         .build_query()?;
         let cost = self.run_cost(&query);
         self.count_rejection(self.tenants.charge(&snapshot.tenant, cost))?;
-        let (cached, run) = self.execute_run(&query, self.qsm_tier())?;
+        let tier = tier_floor
+            .max(self.qsm_tier())
+            .min(sapphire_core::SteinerConfig::MAX_TIER);
+        let (cached, run) = self.execute_run(&query, tier)?;
         drop(permit);
         let attempts = {
             let mut entry = entry.lock().unwrap();

@@ -1,0 +1,155 @@
+//! The shard-replica surface a cluster edge routes over.
+//!
+//! Before the wire transport existed, the cluster router held
+//! `Arc<SapphireServer>` replicas and every "shard call" was a function
+//! call. [`ShardService`] is that surface as a trait: everything the edge
+//! needs from one replica — the three stateless request shapes (QCM
+//! completion, tiered QSM run, raw query), the cheap load probes behind
+//! load-aware routing and router-requested degradation, and the top-k the
+//! model computes — with two implementations:
+//!
+//! * [`SapphireServer`] itself (the in-process topology, still the oracle
+//!   every wire-mode answer is compared against), and
+//! * `sapphire_wire::WireClient`, which speaks the length-prefixed binary
+//!   protocol to a replica behind a TCP socket and maps every transport
+//!   failure onto the typed [`ServerError::Unreachable`] so the router's
+//!   hedging/backoff/failover machinery fires unchanged.
+//!
+//! The load probes deserve a note: the router reads them on *every* scatter
+//! (replica ordering, shed-tier selection), so an implementation must answer
+//! them without a network round trip. The wire client piggybacks the
+//! replica's `(in_flight, queued, pressure_tier)` on every reply frame and
+//! serves the probes from that cache — slightly stale, exactly like any real
+//! load balancer's view of its backends.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sapphire_core::qcm::CompletionResult;
+use sapphire_sparql::{Query, QueryResult, SelectQuery};
+
+use crate::error::ServerError;
+use crate::server::{RunPayload, SapphireServer};
+
+/// Cumulative transport-level counters of one remote replica connection
+/// (all zero for in-process replicas, which have no transport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Successful connection establishments (dial + handshake).
+    pub connects: u64,
+    /// Connections re-established after an IO failure broke the previous
+    /// one — the subset of [`connects`](Self::connects) that repaired a
+    /// known-bad link rather than grew the pool.
+    pub reconnects: u64,
+    /// Calls that failed on the transport (connect refused, reset, read
+    /// deadline, short read) and surfaced as [`ServerError::Unreachable`].
+    pub io_errors: u64,
+    /// Frames rejected by the codec (bad magic, oversized length, bad tag)
+    /// — protocol bugs, surfaced non-retryable, never silently skipped.
+    pub corrupt_frames: u64,
+}
+
+impl TransportStats {
+    /// Field-wise sum — how a router aggregates its replicas' counters.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.connects += other.connects;
+        self.reconnects += other.reconnects;
+        self.io_errors += other.io_errors;
+        self.corrupt_frames += other.corrupt_frames;
+    }
+}
+
+/// One shard replica, as the cluster edge sees it. See the module docs.
+pub trait ShardService: Send + Sync {
+    /// The replica's service name (e.g. `"cluster-s0r1"`), identifying the
+    /// exact process typed errors came from.
+    fn shard_name(&self) -> String;
+
+    /// The top-k the replica's model computes — every replica of every
+    /// shard shares one model config, and the edge presents the same k.
+    fn top_k(&self) -> usize;
+
+    /// QCM with an explicit result budget (the cluster over-fetch surface).
+    fn complete_top(
+        &self,
+        tenant: &str,
+        typed: &str,
+        k: usize,
+    ) -> Result<CompletionResult, ServerError>;
+
+    /// Stateless QSM + execution with an edge-requested degradation tier
+    /// and an optional remaining deadline budget.
+    fn run_select_tiered(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+        tier: usize,
+        budget: Option<Duration>,
+    ) -> Result<Arc<RunPayload>, ServerError>;
+
+    /// Raw query execution (the federated bound-join building block).
+    fn execute_raw(&self, tenant: &str, query: &Query) -> Result<QueryResult, ServerError>;
+
+    /// Current `(in_flight, queued)` admission snapshot — must be cheap
+    /// (no round trip); see the module docs.
+    fn admission_load(&self) -> (usize, usize);
+
+    /// The shed tier this replica's admission backlog argues for — must be
+    /// cheap (no round trip).
+    fn shed_pressure_tier(&self) -> usize;
+
+    /// `"local"` for in-process replicas, `"wire"` for socket-backed ones —
+    /// tags `shard_rtt` observations so a histogram never silently mixes
+    /// function calls with real round trips.
+    fn transport(&self) -> &'static str {
+        "local"
+    }
+
+    /// Transport counters (all zero for in-process replicas).
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+}
+
+impl ShardService for SapphireServer {
+    fn shard_name(&self) -> String {
+        self.config().name.clone()
+    }
+
+    fn top_k(&self) -> usize {
+        self.model().config().k
+    }
+
+    fn complete_top(
+        &self,
+        tenant: &str,
+        typed: &str,
+        k: usize,
+    ) -> Result<CompletionResult, ServerError> {
+        SapphireServer::complete_top(self, tenant, typed, k)
+    }
+
+    fn run_select_tiered(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+        tier: usize,
+        budget: Option<Duration>,
+    ) -> Result<Arc<RunPayload>, ServerError> {
+        SapphireServer::run_select_tiered(self, tenant, query, tier, budget).map(|run| run.payload)
+    }
+
+    fn execute_raw(&self, tenant: &str, query: &Query) -> Result<QueryResult, ServerError> {
+        use sapphire_endpoint::QueryService;
+        self.execute_query(tenant, query)
+            .map_err(ServerError::from_service)
+    }
+
+    fn admission_load(&self) -> (usize, usize) {
+        SapphireServer::admission_load(self)
+    }
+
+    fn shed_pressure_tier(&self) -> usize {
+        SapphireServer::shed_pressure_tier(self)
+    }
+}

@@ -1,0 +1,308 @@
+//! `WireClient`: a shard replica behind a socket, presented to the cluster
+//! router as just another [`ShardService`].
+//!
+//! Design rules, in order:
+//!
+//! 1. **The router owns failover.** The client never retries a request on
+//!    another *replica* — it maps every transport failure onto the typed
+//!    [`ServerError::Unreachable`] and lets the router's bounded retry /
+//!    hedging machinery (built long before this crate existed) decide. The
+//!    one exception is a *stale pooled connection*: if the first write on a
+//!    connection checked out of the pool fails, the far side most likely
+//!    closed it while idle, so the client redials once and replays — the
+//!    request provably never reached the replica's data path.
+//! 2. **Load probes never block.** [`ShardService::admission_load`] and
+//!    [`ShardService::shed_pressure_tier`] are answered from the load
+//!    header piggybacked on the last reply (see
+//!    [`LoadHeader`](crate::codec::LoadHeader)), not a round trip.
+//! 3. **Every failure is counted.** `connects` / `reconnects` /
+//!    `io_errors` / `corrupt_frames` feed the cluster report's transport
+//!    section, so a flaky link is visible even when retries hide it from
+//!    latency numbers.
+//!
+//! [`ServerError::Unreachable`]: sapphire_server::ServerError::Unreachable
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sapphire_core::qcm::CompletionResult;
+use sapphire_server::{RunPayload, ServerError, ShardService, TransportStats};
+use sapphire_sparql::{Query, QueryResult, SelectQuery};
+
+use crate::codec::{
+    decode_hello_ok, decode_reply, encode_hello, encode_request, WireReply, WireRequest,
+};
+use crate::frame::{self, kind, WireError, MAX_FRAME, WIRE_VERSION};
+
+/// Tuning knobs for a [`WireClient`].
+#[derive(Debug, Clone)]
+pub struct WireClientConfig {
+    /// Deadline for one TCP connect + handshake.
+    pub connect_timeout: Duration,
+    /// Deadline for one request/reply exchange (the read side).
+    pub call_timeout: Duration,
+    /// Idle connections kept for reuse. Each in-flight call holds one
+    /// connection exclusively, so this also bounds this client's
+    /// socket-level concurrency against the replica.
+    pub max_pool: usize,
+    /// Largest frame payload accepted from the server.
+    pub max_frame: u32,
+}
+
+impl Default for WireClientConfig {
+    fn default() -> Self {
+        WireClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            call_timeout: Duration::from_secs(10),
+            max_pool: 4,
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// A reconnecting, pooling client for one replica's [`WireServer`]
+/// (see the module docs).
+///
+/// [`WireServer`]: crate::WireServer
+pub struct WireClient {
+    addr: SocketAddr,
+    config: WireClientConfig,
+    name: String,
+    k: usize,
+    pool: Mutex<Vec<TcpStream>>,
+    /// Set on an IO failure, cleared by the next successful dial — that
+    /// dial is a *re*connect.
+    broken: AtomicBool,
+    connects: AtomicU64,
+    reconnects: AtomicU64,
+    io_errors: AtomicU64,
+    corrupt_frames: AtomicU64,
+    load_in_flight: AtomicUsize,
+    load_queued: AtomicUsize,
+    load_pressure: AtomicUsize,
+}
+
+impl WireClient {
+    /// Dial `addr` and handshake, learning the replica's name and top-k.
+    /// The handshaken connection seeds the pool.
+    pub fn connect(addr: SocketAddr, config: WireClientConfig) -> Result<WireClient, WireError> {
+        let client = WireClient {
+            addr,
+            config,
+            name: String::new(),
+            k: 0,
+            pool: Mutex::new(Vec::new()),
+            broken: AtomicBool::new(false),
+            connects: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(0),
+            load_in_flight: AtomicUsize::new(0),
+            load_queued: AtomicUsize::new(0),
+            load_pressure: AtomicUsize::new(0),
+        };
+        let (stream, name, k) = client.dial()?;
+        client.pool.lock().unwrap().push(stream);
+        Ok(WireClient { name, k, ..client })
+    }
+
+    /// The replica address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// TCP connect + HELLO/HELLO_OK handshake.
+    fn dial(&self) -> Result<(TcpStream, String, usize), WireError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout).map_err(
+            |e| match e.kind() {
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => WireError::Timeout,
+                kind => WireError::Io(kind, e.to_string()),
+            },
+        )?;
+        stream.set_nodelay(true).ok();
+        frame::set_deadline(&stream, Some(self.config.connect_timeout))?;
+        let mut s = &stream;
+        frame::write_frame(&mut s, kind::HELLO, &encode_hello(WIRE_VERSION))?;
+        let (k, payload) = frame::read_frame(&mut s, self.config.max_frame)?;
+        if k != kind::HELLO_OK {
+            return Err(WireError::Corrupt(format!("expected HELLO_OK, got {k}")));
+        }
+        let (name, top_k, _server_max) = decode_hello_ok(&payload)?;
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        if self.broken.swap(false, Ordering::Relaxed) {
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((stream, name, top_k))
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        self.pool.lock().unwrap().pop()
+    }
+
+    fn check_in(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < self.config.max_pool {
+            pool.push(stream);
+        }
+    }
+
+    /// One request/reply exchange on one connection.
+    fn exchange(
+        &self,
+        stream: &TcpStream,
+        payload: &[u8],
+    ) -> Result<Result<WireReply, ServerError>, WireError> {
+        frame::set_deadline(stream, Some(self.config.call_timeout))?;
+        let mut s = stream;
+        frame::write_frame(&mut s, kind::REQUEST, payload)?;
+        let (k, reply) = frame::read_frame(&mut s, self.config.max_frame)?;
+        if k != kind::REPLY {
+            return Err(WireError::Corrupt(format!("expected REPLY, got {k}")));
+        }
+        let (load, result) = decode_reply(&reply)?;
+        self.load_in_flight
+            .store(load.in_flight as usize, Ordering::Relaxed);
+        self.load_queued
+            .store(load.queued as usize, Ordering::Relaxed);
+        self.load_pressure
+            .store(load.pressure as usize, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Issue one request, with the stale-pool redial described in the
+    /// module docs, mapping transport failures onto typed errors.
+    pub fn call(&self, req: &WireRequest) -> Result<WireReply, ServerError> {
+        let payload = encode_request(req);
+        let mut fresh = false;
+        let mut stream = match self.checkout() {
+            Some(s) => s,
+            None => {
+                fresh = true;
+                self.dial().map_err(|e| self.fail(e))?.0
+            }
+        };
+        loop {
+            match self.exchange(&stream, &payload) {
+                Ok(result) => {
+                    self.check_in(stream);
+                    return result;
+                }
+                Err(e) if !e.is_transport() => {
+                    // Protocol violation: the connection may be desynced,
+                    // never reuse it.
+                    self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    return Err(e.to_server_error());
+                }
+                Err(e) if fresh => return Err(self.fail(e)),
+                Err(_) => {
+                    // A pooled connection died while idle (replica
+                    // restarted, proxy killed it). The request never
+                    // reached the data path, so one redial is safe.
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.broken.store(true, Ordering::Relaxed);
+                    fresh = true;
+                    stream = self.dial().map_err(|e| self.fail(e))?.0;
+                }
+            }
+        }
+    }
+
+    fn fail(&self, e: WireError) -> ServerError {
+        if e.is_transport() {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.broken.store(true, Ordering::Relaxed);
+        } else {
+            self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+        }
+        e.to_server_error()
+    }
+}
+
+impl ShardService for WireClient {
+    fn shard_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn top_k(&self) -> usize {
+        self.k
+    }
+
+    fn complete_top(
+        &self,
+        tenant: &str,
+        typed: &str,
+        k: usize,
+    ) -> Result<CompletionResult, ServerError> {
+        match self.call(&WireRequest::Complete {
+            tenant: tenant.to_string(),
+            term: typed.to_string(),
+            fetch: k,
+        })? {
+            WireReply::Completion(c) => Ok(c),
+            other => Err(protocol_mismatch("Completion", &other)),
+        }
+    }
+
+    fn run_select_tiered(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+        tier: usize,
+        budget: Option<Duration>,
+    ) -> Result<std::sync::Arc<RunPayload>, ServerError> {
+        match self.call(&WireRequest::Run {
+            tenant: tenant.to_string(),
+            query: query.clone(),
+            tier,
+            budget,
+        })? {
+            WireReply::Run(p) => Ok(std::sync::Arc::new(p)),
+            other => Err(protocol_mismatch("Run", &other)),
+        }
+    }
+
+    fn execute_raw(&self, tenant: &str, query: &Query) -> Result<QueryResult, ServerError> {
+        match self.call(&WireRequest::Raw {
+            tenant: tenant.to_string(),
+            query: query.clone(),
+        })? {
+            WireReply::Raw(qr) => Ok(qr),
+            other => Err(protocol_mismatch("Raw", &other)),
+        }
+    }
+
+    fn admission_load(&self) -> (usize, usize) {
+        (
+            self.load_in_flight.load(Ordering::Relaxed),
+            self.load_queued.load(Ordering::Relaxed),
+        )
+    }
+
+    fn shed_pressure_tier(&self) -> usize {
+        self.load_pressure.load(Ordering::Relaxed)
+    }
+
+    fn transport(&self) -> &'static str {
+        "wire"
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats {
+            connects: self.connects.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn protocol_mismatch(want: &str, got: &WireReply) -> ServerError {
+    let got = match got {
+        WireReply::Completion(_) => "Completion",
+        WireReply::Run(_) => "Run",
+        WireReply::Raw(_) => "Raw",
+    };
+    ServerError::Backend(format!("protocol: expected {want} reply, got {got}"))
+}

@@ -1,0 +1,244 @@
+//! Frame layer: the only thing that ever touches a socket.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! +-------+-------+-----------------+------------------+
+//! | magic | kind  | len (u32 LE)    | payload (len B)  |
+//! | 0xC5  | 1 B   | 4 B             | codec-encoded    |
+//! +-------+-------+-----------------+------------------+
+//! ```
+//!
+//! The magic byte catches desynchronized streams immediately (a reader that
+//! lost frame alignment sees garbage where 0xC5 should be, not a plausible
+//! length it would block on), and the length prefix is validated against a
+//! hard cap *before* any allocation, so a corrupt or hostile length can
+//! neither hang the reader nor balloon memory.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xC5;
+
+/// Protocol version exchanged in the HELLO handshake. Bump on any codec
+/// change; mismatched peers disconnect instead of misparsing.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Default upper bound on one frame's payload (64 MiB) — generous for a
+/// shard reply full of prefetched suggestion answers, tiny next to what a
+/// corrupt 4-byte length can claim.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Frame kinds.
+pub mod kind {
+    /// Client → server, first frame on a connection: `[version u32]`.
+    pub const HELLO: u8 = 1;
+    /// Server → client handshake ack: `[name][k u32][max_frame u32]`.
+    pub const HELLO_OK: u8 = 2;
+    /// Client → server: one encoded [`WireRequest`](crate::WireRequest).
+    pub const REQUEST: u8 = 3;
+    /// Server → client: load header + one encoded result.
+    pub const REPLY: u8 = 4;
+}
+
+/// Every way the transport can fail, kept distinct so each maps onto the
+/// right typed [`ServerError`](sapphire_server::ServerError) (see
+/// [`WireError::to_server_error`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The OS-level IO failure (connect refused, reset, broken pipe, ...).
+    Io(std::io::ErrorKind, String),
+    /// The peer closed the connection mid-frame.
+    ShortRead,
+    /// A read or connect deadline expired.
+    Timeout,
+    /// The bytes violate the protocol (bad magic, bad tag, length overruns
+    /// the payload, non-UTF-8 string, unknown enum discriminant).
+    Corrupt(String),
+    /// The announced payload length exceeds the frame cap.
+    TooLarge {
+        /// Announced payload length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(kind, m) => write!(f, "io error ({kind:?}): {m}"),
+            WireError::ShortRead => write!(f, "connection closed mid-frame"),
+            WireError::Timeout => write!(f, "deadline expired"),
+            WireError::Corrupt(m) => write!(f, "corrupt frame: {m}"),
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame too large ({len} bytes, cap {max})")
+            }
+            WireError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// True for failures of the *link* (the request may never have reached
+    /// the peer's data path): safe to fail over to a sibling replica.
+    /// False for protocol violations, which retrying cannot fix.
+    pub fn is_transport(&self) -> bool {
+        !matches!(self, WireError::Corrupt(_) | WireError::TooLarge { .. })
+    }
+
+    /// The machine-stable reason string carried inside
+    /// [`ServerError::Unreachable`](sapphire_server::ServerError::Unreachable).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            WireError::Io(std::io::ErrorKind::ConnectionRefused, _) => "connect",
+            WireError::Io(std::io::ErrorKind::ConnectionReset, _)
+            | WireError::Io(std::io::ErrorKind::ConnectionAborted, _)
+            | WireError::Io(std::io::ErrorKind::BrokenPipe, _) => "reset",
+            WireError::Io(_, _) => "reset",
+            WireError::ShortRead => "short read",
+            WireError::Timeout => "timeout",
+            WireError::Closed => "closed",
+            WireError::Corrupt(_) | WireError::TooLarge { .. } => "corrupt",
+        }
+    }
+
+    /// Map onto the serving tier's typed error surface: transport failures
+    /// become the retryable
+    /// [`ServerError::Unreachable`](sapphire_server::ServerError::Unreachable)
+    /// (the cluster router fails them over to a sibling replica); protocol
+    /// violations become a non-retryable
+    /// [`ServerError::Backend`](sapphire_server::ServerError::Backend).
+    pub fn to_server_error(&self) -> sapphire_server::ServerError {
+        if self.is_transport() {
+            sapphire_server::ServerError::Unreachable {
+                reason: self.reason().to_string(),
+            }
+        } else {
+            sapphire_server::ServerError::Backend(self.to_string())
+        }
+    }
+}
+
+fn io_error(e: std::io::Error) -> WireError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::Timeout,
+        kind => WireError::Io(kind, e.to_string()),
+    }
+}
+
+/// `read_exact` that keeps "peer hung up cleanly between frames" distinct
+/// from "peer hung up mid-frame": only the former is a graceful close.
+fn fill(r: &mut impl Read, buf: &mut [u8], clean_eof: bool) -> Result<(), WireError> {
+    let mut done = 0;
+    while done < buf.len() {
+        match r.read(&mut buf[done..]) {
+            Ok(0) => {
+                return Err(if clean_eof && done == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::ShortRead
+                })
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Write one frame. The header and payload go out in a single `write_all`
+/// so a concurrent reader never sees a torn header.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), WireError> {
+    let mut frame = Vec::with_capacity(6 + payload.len());
+    frame.push(MAGIC);
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame).map_err(io_error)?;
+    w.flush().map_err(io_error)
+}
+
+/// Read one frame, validating magic and length cap before allocating.
+/// Returns `(kind, payload)`.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<(u8, Vec<u8>), WireError> {
+    let mut header = [0u8; 6];
+    fill(r, &mut header, true)?;
+    if header[0] != MAGIC {
+        return Err(WireError::Corrupt(format!(
+            "bad magic 0x{:02X} (want 0x{MAGIC:02X})",
+            header[0]
+        )));
+    }
+    let kind = header[1];
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
+    if len > max_frame {
+        return Err(WireError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    fill(r, &mut payload, false)?;
+    Ok((kind, payload))
+}
+
+/// A read deadline for the next frame(s) on a socket. `None` blocks forever.
+pub fn set_deadline(stream: &std::net::TcpStream, d: Option<Duration>) -> Result<(), WireError> {
+    stream.set_read_timeout(d).map_err(io_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind::REQUEST, b"hello").unwrap();
+        let (k, p) = read_frame(&mut &buf[..], MAX_FRAME).unwrap();
+        assert_eq!(k, kind::REQUEST);
+        assert_eq!(p, b"hello");
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let buf = [0xFFu8, 1, 0, 0, 0, 0];
+        assert!(matches!(
+            read_frame(&mut &buf[..], MAX_FRAME),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = vec![MAGIC, kind::REPLY];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..], MAX_FRAME),
+            Err(WireError::TooLarge { len: u32::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_short_read_not_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind::REPLY, &[9; 100]).unwrap();
+        buf.truncate(20);
+        assert_eq!(
+            read_frame(&mut &buf[..], MAX_FRAME),
+            Err(WireError::ShortRead)
+        );
+    }
+
+    #[test]
+    fn eof_between_frames_is_a_clean_close() {
+        assert_eq!(read_frame(&mut &[][..], MAX_FRAME), Err(WireError::Closed));
+    }
+}

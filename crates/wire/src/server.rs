@@ -1,0 +1,319 @@
+//! `WireServer`: hosts a [`ShardService`] behind a TCP listener.
+//!
+//! The threading model is deliberately boring — one accept thread, one
+//! thread per connection, a hard cap on concurrent connections — because
+//! the hard bounds the paper's serving story cares about (in-flight limit,
+//! queue depth, queue deadline) already live in the [`SapphireServer`]'s
+//! admission controller behind the service. The wire layer only has to
+//! avoid *adding* an unbounded queue in front of it, which the connection
+//! cap does: an edge with `max_pool` connections per replica can never
+//! hold more than `max_pool` requests open against one replica socket-side.
+//!
+//! Shutdown comes in two flavors, both needed by the fault drills:
+//!
+//! * [`WireServer::shutdown`] — graceful drain: stop accepting, let every
+//!   connection finish the request it is currently serving, then join all
+//!   threads.
+//! * [`WireServer::kill_connections`] — abrupt replica loss: every live
+//!   socket is shot mid-stream (clients see resets/short reads, exactly
+//!   what a crashed process produces), while the listener keeps running.
+//!   Pair with `shutdown` to simulate a full crash where subsequent dials
+//!   are refused.
+//!
+//! [`SapphireServer`]: sapphire_server::SapphireServer
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sapphire_server::ShardService;
+
+use crate::codec::{
+    decode_hello, decode_request, encode_hello_ok, encode_reply, LoadHeader, WireReply, WireRequest,
+};
+use crate::frame::{self, kind, WireError, MAX_FRAME, WIRE_VERSION};
+
+/// Tuning knobs for a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct WireServerConfig {
+    /// Maximum concurrent connections; accepts beyond this are closed
+    /// immediately (the edge's reconnect pool treats that as "reset" and
+    /// its router retries elsewhere).
+    pub max_connections: usize,
+    /// How often an idle connection thread wakes to check for shutdown.
+    pub idle_poll: Duration,
+    /// Largest frame payload accepted from a client.
+    pub max_frame: u32,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        WireServerConfig {
+            max_connections: 64,
+            idle_poll: Duration::from_millis(50),
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// Counters a hosted replica accumulates (server side of the transport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireServerStats {
+    /// Connections accepted and handshaken.
+    pub accepted: u64,
+    /// Connections refused because the cap was reached.
+    pub refused: u64,
+    /// Requests served (ok or typed error).
+    pub requests: u64,
+    /// Connections dropped for protocol violations.
+    pub corrupt_frames: u64,
+}
+
+struct Shared {
+    service: Arc<dyn ShardService>,
+    config: WireServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    // try_clone handles of every live connection, so kill_connections can
+    // shoot them mid-stream from outside their threads.
+    conns: Mutex<Vec<TcpStream>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    requests: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// A [`ShardService`] hosted behind a TCP listener. See the module docs.
+pub struct WireServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `service`
+    /// until [`shutdown`](Self::shutdown).
+    pub fn serve(
+        service: Arc<dyn ShardService>,
+        addr: &str,
+        config: WireServerConfig,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(WireServer {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-side transport counters.
+    pub fn stats(&self) -> WireServerStats {
+        WireServerStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            refused: self.shared.refused.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            corrupt_frames: self.shared.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shoot every live connection mid-stream (simulated crash); the
+    /// listener keeps accepting. See the module docs.
+    pub fn kill_connections(&self) {
+        let conns = self.shared.conns.lock().unwrap();
+        for c in conns.iter() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, join all
+    /// threads. After this returns, dials to the old address are refused.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; it re-checks the flag per iteration.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let workers = std::mem::take(&mut *self.shared.workers.lock().unwrap());
+        for h in workers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            shared.refused.fetch_add(1, Ordering::Relaxed);
+            drop(stream);
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        if let Ok(handle) = stream.try_clone() {
+            shared.conns.lock().unwrap().push(handle);
+        }
+        let worker = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                serve_connection(stream, &shared);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            })
+        };
+        shared.workers.lock().unwrap().push(worker);
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    if frame::set_deadline(&stream, Some(shared.config.idle_poll)).is_err() {
+        return;
+    }
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let (kind, payload) = match frame::read_frame(&mut stream, shared.config.max_frame) {
+            Ok(f) => f,
+            Err(WireError::Timeout) => continue, // idle poll tick
+            Err(WireError::Corrupt(_)) | Err(WireError::TooLarge { .. }) => {
+                shared.corrupt.fetch_add(1, Ordering::Relaxed);
+                return; // protocol violation: drop the connection
+            }
+            Err(_) => return, // closed / reset / short read
+        };
+        let outcome = match kind {
+            kind::HELLO => handle_hello(&mut stream, shared, &payload),
+            kind::REQUEST => handle_request(&mut stream, shared, &payload),
+            _ => {
+                shared.corrupt.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        if outcome.is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_hello(stream: &mut TcpStream, shared: &Shared, payload: &[u8]) -> Result<(), WireError> {
+    let version = match decode_hello(payload) {
+        Ok(v) => v,
+        Err(_) => {
+            shared.corrupt.fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::Corrupt("hello".into()));
+        }
+    };
+    if version != WIRE_VERSION {
+        // A peer speaking another version would misparse every frame we
+        // send; disconnecting is the only safe answer.
+        return Err(WireError::Corrupt(format!("version {version}")));
+    }
+    let hello_ok = encode_hello_ok(
+        &shared.service.shard_name(),
+        shared.service.top_k(),
+        shared.config.max_frame,
+    );
+    write_reply_frame(stream, kind::HELLO_OK, &hello_ok)
+}
+
+fn handle_request(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    let req = match decode_request(payload) {
+        Ok(r) => r,
+        Err(_) => {
+            shared.corrupt.fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::Corrupt("request".into()));
+        }
+    };
+    let result = dispatch(&*shared.service, req);
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let (in_flight, queued) = shared.service.admission_load();
+    let load = LoadHeader {
+        in_flight: in_flight.min(u32::MAX as usize) as u32,
+        queued: queued.min(u32::MAX as usize) as u32,
+        pressure: shared.service.shed_pressure_tier().min(u8::MAX as usize) as u8,
+    };
+    write_reply_frame(stream, kind::REPLY, &encode_reply(load, &result))
+}
+
+fn dispatch(
+    service: &dyn ShardService,
+    req: WireRequest,
+) -> Result<WireReply, sapphire_server::ServerError> {
+    match req {
+        WireRequest::Complete {
+            tenant,
+            term,
+            fetch,
+        } => service
+            .complete_top(&tenant, &term, fetch)
+            .map(WireReply::Completion),
+        WireRequest::Run {
+            tenant,
+            query,
+            tier,
+            budget,
+        } => service
+            .run_select_tiered(&tenant, &query, tier, budget)
+            .map(|payload| WireReply::Run((*payload).clone())),
+        WireRequest::Raw { tenant, query } => {
+            service.execute_raw(&tenant, &query).map(WireReply::Raw)
+        }
+    }
+}
+
+fn write_reply_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), WireError> {
+    frame::write_frame(stream, kind, payload)
+}
