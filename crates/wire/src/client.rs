@@ -7,10 +7,15 @@
 //!    another *replica* — it maps every transport failure onto the typed
 //!    [`ServerError::Unreachable`] and lets the router's bounded retry /
 //!    hedging machinery (built long before this crate existed) decide. The
-//!    one exception is a *stale pooled connection*: if the first write on a
-//!    connection checked out of the pool fails, the far side most likely
-//!    closed it while idle, so the client redials once and replays — the
-//!    request provably never reached the replica's data path.
+//!    one exception is a *stale pooled connection*: if the request write
+//!    itself fails on a connection checked out of the pool, the far side
+//!    most likely closed it while idle, so the client redials once and
+//!    replays — the request provably never reached the replica. Once the
+//!    write has succeeded the request may be executing, so any later
+//!    failure (a read timeout on a slow replica especially) surfaces
+//!    directly instead of silently doubling the replica's work and the
+//!    caller's latency; the router's bounded retry decides what happens
+//!    next.
 //! 2. **Load probes never block.** [`ShardService::admission_load`] and
 //!    [`ShardService::shed_pressure_tier`] are answered from the load
 //!    header piggybacked on the last reply (see
@@ -148,15 +153,20 @@ impl WireClient {
         }
     }
 
-    /// One request/reply exchange on one connection.
+    /// One request/reply exchange on one connection. `wrote` is set once
+    /// the request write has succeeded — past that point the replica may
+    /// be executing the request, so a failure is no longer provably
+    /// pre-delivery (see [`call`](Self::call)).
     fn exchange(
         &self,
         stream: &TcpStream,
         payload: &[u8],
+        wrote: &mut bool,
     ) -> Result<Result<WireReply, ServerError>, WireError> {
         frame::set_deadline(stream, Some(self.config.call_timeout))?;
         let mut s = stream;
         frame::write_frame(&mut s, kind::REQUEST, payload)?;
+        *wrote = true;
         let (k, reply) = frame::read_frame(&mut s, self.config.max_frame)?;
         if k != kind::REPLY {
             return Err(WireError::Corrupt(format!("expected REPLY, got {k}")));
@@ -184,7 +194,8 @@ impl WireClient {
             }
         };
         loop {
-            match self.exchange(&stream, &payload) {
+            let mut wrote = false;
+            match self.exchange(&stream, &payload, &mut wrote) {
                 Ok(result) => {
                     self.check_in(stream);
                     return result;
@@ -195,11 +206,19 @@ impl WireClient {
                     self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                     return Err(e.to_server_error());
                 }
-                Err(e) if fresh => return Err(self.fail(e)),
+                Err(e) if fresh || wrote => {
+                    // Once the request write succeeded the replica may be
+                    // executing it; replaying here would double its work
+                    // (and stack a second call_timeout on top) exactly
+                    // when it is slow. Surface the typed failure and let
+                    // the router's bounded retry decide.
+                    return Err(self.fail(e));
+                }
                 Err(_) => {
-                    // A pooled connection died while idle (replica
-                    // restarted, proxy killed it). The request never
-                    // reached the data path, so one redial is safe.
+                    // The request write failed on a pooled connection: it
+                    // died while idle (replica restarted, proxy killed
+                    // it) and the request provably never reached the
+                    // replica, so one redial is safe.
                     self.io_errors.fetch_add(1, Ordering::Relaxed);
                     self.broken.store(true, Ordering::Relaxed);
                     fresh = true;

@@ -159,6 +159,30 @@ fn put_len(out: &mut Vec<u8>, n: usize) {
 
 // ---------------------------------------------------------------- reader --
 
+/// Deepest expression nesting the decoder accepts. The decoder recurses
+/// over `Expr`, so without a bound a frame of nested unary tags (one byte
+/// per level — ~40KB of `Not` bytes fits trivially under the frame cap)
+/// would overflow the worker's stack and abort the process, breaking the
+/// "total decoder" contract. Real filters are a handful of levels deep;
+/// anything past this bound is rejected as [`WireError::Corrupt`].
+const MAX_EXPR_DEPTH: usize = 128;
+
+/// Cap on the bytes any single decode-side `Vec` pre-allocation may claim.
+/// [`Reader::len`] bounds the element *count* by the bytes remaining, but
+/// for wide element types (a `TermAlternative` is hundreds of bytes) a
+/// count that passes that check can still multiply into a multi-GB
+/// *capacity* request before the first element fails to decode. Past this
+/// cap the vector grows by `push`; the per-element bounds checks fail long
+/// before memory does.
+const MAX_PREALLOC_BYTES: usize = 1 << 20;
+
+/// `Vec::with_capacity` for decode paths, with the capacity byte-bounded
+/// by [`MAX_PREALLOC_BYTES`] so a hostile count cannot drive a huge
+/// allocation.
+fn bounded_vec<T>(n: usize) -> Vec<T> {
+    Vec::with_capacity(n.min(MAX_PREALLOC_BYTES / std::mem::size_of::<T>().max(1)))
+}
+
 /// Bounds-checked cursor over one frame payload. Every read is validated
 /// against the remaining bytes before it happens.
 struct Reader<'a> {
@@ -481,27 +505,38 @@ fn put_expr(out: &mut Vec<u8>, e: &Expr) {
 }
 
 fn get_expr(r: &mut Reader) -> Result<Expr, WireError> {
-    fn boxed(r: &mut Reader) -> Result<Box<Expr>, WireError> {
-        Ok(Box::new(get_expr(r)?))
+    get_expr_at(r, 0)
+}
+
+fn get_expr_at(r: &mut Reader, depth: usize) -> Result<Expr, WireError> {
+    if depth > MAX_EXPR_DEPTH {
+        return Err(Reader::corrupt("expr nested too deep"));
+    }
+    fn boxed(r: &mut Reader, depth: usize) -> Result<Box<Expr>, WireError> {
+        Ok(Box::new(get_expr_at(r, depth + 1)?))
     }
     Ok(match r.u8("expr tag")? {
         0 => Expr::Var(r.str("expr var")?),
         1 => Expr::Const(get_term(r)?),
-        2 => Expr::And(boxed(r)?, boxed(r)?),
-        3 => Expr::Or(boxed(r)?, boxed(r)?),
-        4 => Expr::Not(boxed(r)?),
-        5 => Expr::Cmp(get_cmp_op(r)?, boxed(r)?, boxed(r)?),
-        6 => Expr::IsLiteral(boxed(r)?),
-        7 => Expr::IsIri(boxed(r)?),
-        8 => Expr::Lang(boxed(r)?),
-        9 => Expr::Str(boxed(r)?),
-        10 => Expr::StrLen(boxed(r)?),
-        11 => Expr::Contains(boxed(r)?, boxed(r)?),
-        12 => Expr::StrStarts(boxed(r)?, boxed(r)?),
-        13 => Expr::Regex(boxed(r)?, r.str("regex pattern")?, r.bool("regex ci")?),
-        14 => Expr::LCase(boxed(r)?),
-        15 => Expr::UCase(boxed(r)?),
-        16 => Expr::Year(boxed(r)?),
+        2 => Expr::And(boxed(r, depth)?, boxed(r, depth)?),
+        3 => Expr::Or(boxed(r, depth)?, boxed(r, depth)?),
+        4 => Expr::Not(boxed(r, depth)?),
+        5 => Expr::Cmp(get_cmp_op(r)?, boxed(r, depth)?, boxed(r, depth)?),
+        6 => Expr::IsLiteral(boxed(r, depth)?),
+        7 => Expr::IsIri(boxed(r, depth)?),
+        8 => Expr::Lang(boxed(r, depth)?),
+        9 => Expr::Str(boxed(r, depth)?),
+        10 => Expr::StrLen(boxed(r, depth)?),
+        11 => Expr::Contains(boxed(r, depth)?, boxed(r, depth)?),
+        12 => Expr::StrStarts(boxed(r, depth)?, boxed(r, depth)?),
+        13 => Expr::Regex(
+            boxed(r, depth)?,
+            r.str("regex pattern")?,
+            r.bool("regex ci")?,
+        ),
+        14 => Expr::LCase(boxed(r, depth)?),
+        15 => Expr::UCase(boxed(r, depth)?),
+        16 => Expr::Year(boxed(r, depth)?),
         17 => Expr::Bound(r.str("bound var")?),
         _ => return Err(Reader::corrupt("expr tag")),
     })
@@ -575,7 +610,7 @@ fn get_projection(r: &mut Reader) -> Result<Projection, WireError> {
         0 => Ok(Projection::Star),
         1 => {
             let n = r.len("projection items")?;
-            let mut items = Vec::with_capacity(n);
+            let mut items = bounded_vec(n);
             for _ in 0..n {
                 items.push(match r.u8("select item tag")? {
                     0 => SelectItem::Var(r.str("select var")?),
@@ -605,12 +640,12 @@ fn put_graph_pattern(out: &mut Vec<u8>, p: &GraphPattern) {
 
 fn get_graph_pattern(r: &mut Reader) -> Result<GraphPattern, WireError> {
     let nt = r.len("triples")?;
-    let mut triples = Vec::with_capacity(nt);
+    let mut triples = bounded_vec(nt);
     for _ in 0..nt {
         triples.push(get_triple_pattern(r)?);
     }
     let nf = r.len("filters")?;
-    let mut filters = Vec::with_capacity(nf);
+    let mut filters = bounded_vec(nf);
     for _ in 0..nf {
         filters.push(get_expr(r)?);
     }
@@ -639,12 +674,12 @@ fn get_select_query(r: &mut Reader) -> Result<SelectQuery, WireError> {
     let projection = get_projection(r)?;
     let pattern = get_graph_pattern(r)?;
     let ng = r.len("group by")?;
-    let mut group_by = Vec::with_capacity(ng);
+    let mut group_by = bounded_vec(ng);
     for _ in 0..ng {
         group_by.push(r.str("group var")?);
     }
     let no = r.len("order by")?;
-    let mut order_by = Vec::with_capacity(no);
+    let mut order_by = bounded_vec(no);
     for _ in 0..no {
         order_by.push(OrderKey {
             expr: get_expr(r)?,
@@ -701,15 +736,15 @@ fn put_solutions(out: &mut Vec<u8>, s: &Solutions) {
 
 fn get_solutions(r: &mut Reader) -> Result<Solutions, WireError> {
     let nv = r.len("vars")?;
-    let mut vars = Vec::with_capacity(nv);
+    let mut vars = bounded_vec(nv);
     for _ in 0..nv {
         vars.push(r.str("var name")?);
     }
     let nr = r.len("rows")?;
-    let mut rows = Vec::with_capacity(nr);
+    let mut rows = bounded_vec(nr);
     for _ in 0..nr {
         let nc = r.len("row cells")?;
-        let mut row = Vec::with_capacity(nc);
+        let mut row = bounded_vec(nc);
         for _ in 0..nc {
             row.push(get_opt_term(r)?);
         }
@@ -762,7 +797,7 @@ fn put_completion_result(out: &mut Vec<u8>, c: &CompletionResult) {
 
 fn get_completion_result(r: &mut Reader) -> Result<CompletionResult, WireError> {
     let n = r.len("suggestions")?;
-    let mut suggestions = Vec::with_capacity(n);
+    let mut suggestions = bounded_vec(n);
     for _ in 0..n {
         suggestions.push(Completion {
             text: r.str("suggestion text")?,
@@ -826,7 +861,7 @@ fn put_alternatives(out: &mut Vec<u8>, alts: &[TermAlternative]) {
 
 fn get_alternatives(r: &mut Reader) -> Result<Vec<TermAlternative>, WireError> {
     let n = r.len("alternatives")?;
-    let mut alts = Vec::with_capacity(n);
+    let mut alts = bounded_vec(n);
     for _ in 0..n {
         alts.push(get_term_alternative(r)?);
     }
@@ -861,16 +896,16 @@ fn put_qsm_output(out: &mut Vec<u8>, q: &QsmOutput) {
 fn get_qsm_output(r: &mut Reader) -> Result<QsmOutput, WireError> {
     let alternatives = get_alternatives(r)?;
     let nr = r.len("relaxations")?;
-    let mut relaxations = Vec::with_capacity(nr);
+    let mut relaxations = bounded_vec(nr);
     for _ in 0..nr {
         let query = get_select_query(r)?;
         let ne = r.len("tree edges")?;
-        let mut tree = Vec::with_capacity(ne);
+        let mut tree = bounded_vec(ne);
         for _ in 0..ne {
             tree.push((get_term(r)?, get_term(r)?, get_term(r)?));
         }
         let nt = r.len("terminals")?;
-        let mut terminals = Vec::with_capacity(nt);
+        let mut terminals = bounded_vec(nt);
         for _ in 0..nt {
             terminals.push(get_term(r)?);
         }

@@ -132,25 +132,103 @@ fn io_error(e: std::io::Error) -> WireError {
     }
 }
 
-/// `read_exact` that keeps "peer hung up cleanly between frames" distinct
-/// from "peer hung up mid-frame": only the former is a graceful close.
-fn fill(r: &mut impl Read, buf: &mut [u8], clean_eof: bool) -> Result<(), WireError> {
-    let mut done = 0;
-    while done < buf.len() {
-        match r.read(&mut buf[done..]) {
-            Ok(0) => {
-                return Err(if clean_eof && done == 0 {
-                    WireError::Closed
-                } else {
-                    WireError::ShortRead
-                })
-            }
-            Ok(n) => done += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(io_error(e)),
-        }
+/// Incremental frame reader whose partial progress survives read
+/// deadlines.
+///
+/// [`read_frame`] forgets any bytes it already consumed when the socket's
+/// read deadline fires mid-frame — fine for a client whose deadline covers
+/// the whole exchange (the connection is discarded on timeout), fatal for
+/// a server using a short poll-style deadline to check a shutdown flag
+/// between frames: a frame arriving in chunks spaced wider than the poll
+/// interval would desync the stream, and the next read would parse payload
+/// bytes as a header. This reader keeps the header/payload cursor across
+/// calls, so after a [`WireError::Timeout`] the caller can simply call
+/// again and resume exactly where the stream left off.
+#[derive(Default)]
+pub struct FrameReader {
+    header: [u8; 6],
+    header_have: usize,
+    /// Allocated once the header is complete and validated.
+    payload: Option<Vec<u8>>,
+    payload_have: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
     }
-    Ok(())
+
+    /// True when part of the next frame has already been consumed (a
+    /// deadline that fires now interrupted a frame mid-arrival, it did not
+    /// find the connection idle).
+    pub fn mid_frame(&self) -> bool {
+        self.header_have > 0 || self.payload.is_some()
+    }
+
+    /// Read (or continue reading) one frame, validating magic and length
+    /// cap before allocating. Returns `(kind, payload)` and resets to the
+    /// next frame boundary on success. On [`WireError::Timeout`] all
+    /// partial progress is kept — call again to resume. Any other error is
+    /// fatal for the connection (the stream position is unspecified).
+    pub fn read_frame(
+        &mut self,
+        r: &mut impl Read,
+        max_frame: u32,
+    ) -> Result<(u8, Vec<u8>), WireError> {
+        while self.header_have < self.header.len() {
+            match r.read(&mut self.header[self.header_have..]) {
+                // EOF exactly on a frame boundary is a graceful close;
+                // mid-header (or mid-payload below) it is a short read.
+                Ok(0) => {
+                    return Err(if self.mid_frame() {
+                        WireError::ShortRead
+                    } else {
+                        WireError::Closed
+                    })
+                }
+                Ok(n) => self.header_have += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_error(e)),
+            }
+        }
+        if self.payload.is_none() {
+            if self.header[0] != MAGIC {
+                return Err(WireError::Corrupt(format!(
+                    "bad magic 0x{:02X} (want 0x{MAGIC:02X})",
+                    self.header[0]
+                )));
+            }
+            let len = u32::from_le_bytes([
+                self.header[2],
+                self.header[3],
+                self.header[4],
+                self.header[5],
+            ]);
+            if len > max_frame {
+                return Err(WireError::TooLarge {
+                    len,
+                    max: max_frame,
+                });
+            }
+            self.payload = Some(vec![0u8; len as usize]);
+            self.payload_have = 0;
+        }
+        let payload = self.payload.as_mut().expect("payload allocated above");
+        while self.payload_have < payload.len() {
+            match r.read(&mut payload[self.payload_have..]) {
+                Ok(0) => return Err(WireError::ShortRead),
+                Ok(n) => self.payload_have += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_error(e)),
+            }
+        }
+        let kind = self.header[1];
+        let payload = self.payload.take().expect("payload allocated above");
+        self.header_have = 0;
+        self.payload_have = 0;
+        Ok((kind, payload))
+    }
 }
 
 /// Write one frame. The header and payload go out in a single `write_all`
@@ -166,27 +244,11 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), W
 }
 
 /// Read one frame, validating magic and length cap before allocating.
-/// Returns `(kind, payload)`.
+/// Returns `(kind, payload)`. One-shot: a deadline that fires mid-frame
+/// loses the bytes already consumed, so only use this where a timeout is
+/// fatal for the connection — pollers must hold a [`FrameReader`].
 pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<(u8, Vec<u8>), WireError> {
-    let mut header = [0u8; 6];
-    fill(r, &mut header, true)?;
-    if header[0] != MAGIC {
-        return Err(WireError::Corrupt(format!(
-            "bad magic 0x{:02X} (want 0x{MAGIC:02X})",
-            header[0]
-        )));
-    }
-    let kind = header[1];
-    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
-    if len > max_frame {
-        return Err(WireError::TooLarge {
-            len,
-            max: max_frame,
-        });
-    }
-    let mut payload = vec![0u8; len as usize];
-    fill(r, &mut payload, false)?;
-    Ok((kind, payload))
+    FrameReader::new().read_frame(r, max_frame)
 }
 
 /// A read deadline for the next frame(s) on a socket. `None` blocks forever.
@@ -240,5 +302,71 @@ mod tests {
     #[test]
     fn eof_between_frames_is_a_clean_close() {
         assert_eq!(read_frame(&mut &[][..], MAX_FRAME), Err(WireError::Closed));
+    }
+
+    /// Yields `data` a few bytes at a time with a `WouldBlock` (= read
+    /// deadline fired) between chunks — a frame arriving slower than a
+    /// poll-style timeout.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        ready: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            let n = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let mut data = Vec::new();
+        write_frame(&mut data, kind::REQUEST, &[7; 100]).unwrap();
+        write_frame(&mut data, kind::REQUEST, b"second").unwrap();
+        // 3-byte chunks split both the header and the payload across many
+        // timeout ticks; every boundary must be survivable.
+        let mut src = Trickle {
+            data,
+            pos: 0,
+            chunk: 3,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0;
+        while frames.len() < 2 {
+            match reader.read_frame(&mut src, MAX_FRAME) {
+                Ok(f) => frames.push(f),
+                Err(WireError::Timeout) => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames[0], (kind::REQUEST, vec![7; 100]));
+        assert_eq!(frames[1], (kind::REQUEST, b"second".to_vec()));
+        assert!(timeouts > 10, "the trickle must actually have timed out");
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_progress() {
+        let mut data = Vec::new();
+        write_frame(&mut data, kind::REPLY, &[1; 10]).unwrap();
+        data.truncate(3); // half a header
+        let mut reader = FrameReader::new();
+        assert!(!reader.mid_frame());
+        assert_eq!(
+            reader.read_frame(&mut &data[..], MAX_FRAME),
+            Err(WireError::ShortRead)
+        );
+        assert!(reader.mid_frame());
     }
 }

@@ -22,6 +22,7 @@
 //!
 //! [`SapphireServer`]: sapphire_server::SapphireServer
 
+use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -76,9 +77,12 @@ struct Shared {
     config: WireServerConfig,
     shutdown: AtomicBool,
     active: AtomicUsize,
-    // try_clone handles of every live connection, so kill_connections can
-    // shoot them mid-stream from outside their threads.
-    conns: Mutex<Vec<TcpStream>>,
+    // try_clone handles of every live connection keyed by a per-connection
+    // token, so kill_connections can shoot them mid-stream from outside
+    // their threads. Workers remove their own entry on exit — a long-lived
+    // replica under reconnect churn must not accumulate dead descriptors.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
     workers: Mutex<Vec<JoinHandle<()>>>,
     accepted: AtomicU64,
     refused: AtomicU64,
@@ -108,7 +112,8 @@ impl WireServer {
             config,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
             accepted: AtomicU64::new(0),
             refused: AtomicU64::new(0),
@@ -145,9 +150,16 @@ impl WireServer {
     /// listener keeps accepting. See the module docs.
     pub fn kill_connections(&self) {
         let conns = self.shared.conns.lock().unwrap();
-        for c in conns.iter() {
+        for c in conns.values() {
             let _ = c.shutdown(Shutdown::Both);
         }
+    }
+
+    /// Connections currently registered (their worker has not exited).
+    /// Closed connections deregister themselves, so under reconnect churn
+    /// this tracks live peers, not accept history.
+    pub fn live_connections(&self) -> usize {
+        self.shared.conns.lock().unwrap().len()
     }
 
     /// Graceful drain: stop accepting, finish in-flight requests, join all
@@ -199,17 +211,33 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
         shared.active.fetch_add(1, Ordering::SeqCst);
         shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         if let Ok(handle) = stream.try_clone() {
-            shared.conns.lock().unwrap().push(handle);
+            shared.conns.lock().unwrap().insert(token, handle);
         }
         let worker = {
             let shared = shared.clone();
             std::thread::spawn(move || {
                 serve_connection(stream, &shared);
+                // Deregister before the active count drops: once a slot
+                // frees up, this connection's clone must already be gone.
+                shared.conns.lock().unwrap().remove(&token);
                 shared.active.fetch_sub(1, Ordering::SeqCst);
             })
         };
-        shared.workers.lock().unwrap().push(worker);
+        let mut workers = shared.workers.lock().unwrap();
+        workers.push(worker);
+        // Reap finished workers so a long-running replica under client
+        // reconnect churn does not accumulate join handles without bound.
+        let mut live = Vec::with_capacity(workers.len());
+        for h in workers.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        *workers = live;
     }
 }
 
@@ -217,13 +245,19 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     if frame::set_deadline(&stream, Some(shared.config.idle_poll)).is_err() {
         return;
     }
+    // The idle_poll deadline doubles as the shutdown-check tick, so it can
+    // fire mid-frame when a client's frame arrives in chunks spaced wider
+    // than the poll interval (large payloads, congestion, injected
+    // latency). The FrameReader keeps partial progress across those ticks;
+    // a one-shot read would desync the stream and drop the client.
+    let mut reader = frame::FrameReader::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let (kind, payload) = match frame::read_frame(&mut stream, shared.config.max_frame) {
+        let (kind, payload) = match reader.read_frame(&mut stream, shared.config.max_frame) {
             Ok(f) => f,
-            Err(WireError::Timeout) => continue, // idle poll tick
+            Err(WireError::Timeout) => continue, // poll tick; progress kept
             Err(WireError::Corrupt(_)) | Err(WireError::TooLarge { .. }) => {
                 shared.corrupt.fetch_add(1, Ordering::Relaxed);
                 return; // protocol violation: drop the connection

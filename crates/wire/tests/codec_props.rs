@@ -561,6 +561,83 @@ fn corrupt_length_cannot_allocate_past_the_cap() {
     );
 }
 
+/// `base` wrapped in `depth` layers of `Not`, built iteratively.
+fn nested_not(depth: usize, base: Expr) -> Expr {
+    let mut e = base;
+    for _ in 0..depth {
+        e = Expr::Not(Box::new(e));
+    }
+    e
+}
+
+fn request_with_filter(filter: Expr) -> WireRequest {
+    WireRequest::Run {
+        tenant: "t".to_string(),
+        query: SelectQuery {
+            distinct: false,
+            projection: Projection::Star,
+            pattern: GraphPattern {
+                triples: Vec::new(),
+                filters: vec![filter],
+            },
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        },
+        tier: 0,
+        budget: None,
+    }
+}
+
+#[test]
+fn plausibly_deep_expressions_round_trip() {
+    let req = request_with_filter(nested_not(100, Expr::Var("x".to_string())));
+    let bytes = encode_request(&req);
+    assert_eq!(decode_request(&bytes).expect("depth 100 decodes"), req);
+}
+
+#[test]
+fn absurdly_deep_expressions_are_corrupt_not_a_stack_overflow() {
+    // One byte of payload per level: a few KB of 0x04 `Not` tags — far
+    // under the frame cap — must come back as a typed `Corrupt`, not
+    // recurse the decoder off the worker's stack and abort the process.
+    // 4096 levels is ~32x past the decoder's depth bound and shallow
+    // enough that the (recursive) encoder used to build the fixture is
+    // itself safe.
+    let req = request_with_filter(nested_not(4096, Expr::Var("x".to_string())));
+    let bytes = encode_request(&req);
+    match decode_request(&bytes) {
+        Err(WireError::Corrupt(msg)) => assert!(
+            msg.contains("deep"),
+            "expected the depth bound to trip, got: {msg}"
+        ),
+        other => panic!("deep nesting must be Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_wide_element_counts_fail_fast_without_huge_preallocation() {
+    // A reply claiming millions of `TermAlternative`s (hundreds of bytes
+    // each once decoded) backed by one byte per claimed element: the count
+    // passes the remaining-bytes bound, so the decoder's preallocation cap
+    // is what stands between this frame and a multi-GB capacity request.
+    // The first element must fail typed, fast, without a panic.
+    let claimed: u32 = 3_000_000;
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u32.to_le_bytes()); // load in_flight
+    payload.extend_from_slice(&0u32.to_le_bytes()); // load queued
+    payload.push(0); // load pressure
+    payload.push(1); // ok
+    payload.push(1); // Run body
+    payload.extend_from_slice(&0u32.to_le_bytes()); // solutions: 0 vars
+    payload.extend_from_slice(&0u32.to_le_bytes()); // solutions: 0 rows
+    payload.push(0); // executed = false
+    payload.extend_from_slice(&claimed.to_le_bytes()); // alternatives count
+    payload.resize(payload.len() + claimed as usize, 0xFF);
+    assert!(matches!(decode_reply(&payload), Err(WireError::Corrupt(_))));
+}
+
 #[test]
 fn desynchronized_streams_fail_on_magic_not_length() {
     let mut g = Gen::new("wire::frame::desync");

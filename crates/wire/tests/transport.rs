@@ -1,0 +1,232 @@
+//! Transport-behavior tests for `WireServer`/`WireClient` — the failure
+//! semantics the review of the serving story pinned down:
+//!
+//! * a frame arriving in chunks spaced wider than the server's idle-poll
+//!   deadline must be served, not desynced (the poll tick may fire
+//!   mid-frame);
+//! * closed connections must be deregistered server-side — a long-running
+//!   replica under client reconnect churn must not leak descriptors;
+//! * the client's stale-pool redial fires only when the request write
+//!   itself failed; once the request is on the wire, a failure surfaces
+//!   typed (the router owns failover) instead of silently replaying the
+//!   request — and doubling the replica's work — behind the caller's back.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sapphire_core::qcm::{Completion, CompletionResult};
+use sapphire_core::MatchSource;
+use sapphire_server::{RunPayload, ServerError, ShardService};
+use sapphire_sparql::{Query, QueryResult, SelectQuery, Solutions};
+use sapphire_wire::codec::{decode_reply, encode_hello, encode_request};
+use sapphire_wire::frame::{self, kind};
+use sapphire_wire::{
+    FaultProxy, WireClient, WireClientConfig, WireReply, WireRequest, WireServer, WireServerConfig,
+    MAX_FRAME, WIRE_VERSION,
+};
+
+/// A trivial shard: answers every completion with one echo suggestion.
+struct StubService;
+
+impl ShardService for StubService {
+    fn shard_name(&self) -> String {
+        "stub".to_string()
+    }
+
+    fn top_k(&self) -> usize {
+        3
+    }
+
+    fn complete_top(
+        &self,
+        _tenant: &str,
+        typed: &str,
+        _k: usize,
+    ) -> Result<CompletionResult, ServerError> {
+        Ok(CompletionResult {
+            suggestions: vec![Completion {
+                text: typed.to_string(),
+                predicate_iri: None,
+                source: MatchSource::SuffixTree,
+            }],
+            tree_hit: true,
+            tree_time: Duration::ZERO,
+            bins_time: Duration::ZERO,
+            residual_candidates: 0,
+        })
+    }
+
+    fn run_select_tiered(
+        &self,
+        _tenant: &str,
+        _query: &SelectQuery,
+        _tier: usize,
+        _budget: Option<Duration>,
+    ) -> Result<Arc<RunPayload>, ServerError> {
+        Err(ServerError::Backend("stub has no model".to_string()))
+    }
+
+    fn execute_raw(&self, _tenant: &str, _query: &Query) -> Result<QueryResult, ServerError> {
+        Ok(QueryResult::Solutions(Solutions {
+            vars: Vec::new(),
+            rows: Vec::new(),
+        }))
+    }
+
+    fn admission_load(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
+    fn shed_pressure_tier(&self) -> usize {
+        0
+    }
+}
+
+fn serve_stub(idle_poll: Duration) -> WireServer {
+    WireServer::serve(
+        Arc::new(StubService),
+        "127.0.0.1:0",
+        WireServerConfig {
+            idle_poll,
+            ..WireServerConfig::default()
+        },
+    )
+    .expect("bind loopback server")
+}
+
+fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    frame::write_frame(&mut out, kind, payload).expect("Vec write cannot fail");
+    out
+}
+
+#[test]
+fn chunked_frames_across_idle_polls_are_served_without_desync() {
+    let server = serve_stub(Duration::from_millis(10));
+    let mut stream = TcpStream::connect(server.local_addr()).expect("dial");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(&frame_bytes(kind::HELLO, &encode_hello(WIRE_VERSION)))
+        .unwrap();
+    let (k, _) = frame::read_frame(&mut stream, MAX_FRAME).expect("handshake reply");
+    assert_eq!(k, kind::HELLO_OK);
+
+    let request = encode_request(&WireRequest::Complete {
+        tenant: "t".to_string(),
+        term: "dresden".to_string(),
+        fetch: 1,
+    });
+    // Trickle the frame out 3 bytes at a time, pausing well past the
+    // server's idle-poll deadline between chunks: the poll tick fires
+    // mid-header and mid-payload, and the server must keep its place.
+    for chunk in frame_bytes(kind::REQUEST, &request).chunks(3) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let (k, reply) = frame::read_frame(&mut stream, MAX_FRAME).expect("reply to chunked frame");
+    assert_eq!(k, kind::REPLY);
+    let (_, result) = decode_reply(&reply).expect("decode reply");
+    match result.expect("stub answers completions") {
+        WireReply::Completion(c) => assert_eq!(c.suggestions[0].text, "dresden"),
+        other => panic!("expected a Completion reply, got {other:?}"),
+    }
+
+    // The stream must still be frame-aligned: a whole request on the same
+    // connection gets a whole reply.
+    stream
+        .write_all(&frame_bytes(kind::REQUEST, &request))
+        .unwrap();
+    let (k, _) = frame::read_frame(&mut stream, MAX_FRAME).expect("second reply");
+    assert_eq!(k, kind::REPLY);
+    assert_eq!(server.stats().corrupt_frames, 0);
+    server.shutdown();
+}
+
+/// Poll `cond` for up to two seconds.
+fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn closed_connections_are_deregistered() {
+    let server = serve_stub(Duration::from_millis(10));
+    let clients: Vec<WireClient> = (0..3)
+        .map(|_| {
+            WireClient::connect(server.local_addr(), WireClientConfig::default())
+                .expect("handshake")
+        })
+        .collect();
+    assert!(
+        eventually(|| server.live_connections() == 3),
+        "3 live peers must be registered, saw {}",
+        server.live_connections()
+    );
+    // Reconnect churn: every client goes away. The workers notice the
+    // closed sockets on their next poll tick and must deregister their
+    // connection clones — this is what keeps a long-running replica from
+    // leaking one descriptor per churned client.
+    drop(clients);
+    assert!(
+        eventually(|| server.live_connections() == 0),
+        "closed connections must deregister, {} still held",
+        server.live_connections()
+    );
+    // The replica still serves new peers afterwards.
+    let late = WireClient::connect(server.local_addr(), WireClientConfig::default())
+        .expect("post-churn handshake");
+    assert!(late.complete_top("t", "a", 1).is_ok());
+    assert_eq!(server.stats().accepted, 4);
+    server.shutdown();
+}
+
+#[test]
+fn post_write_timeouts_surface_typed_instead_of_replaying() {
+    let server = serve_stub(Duration::from_millis(10));
+    let proxy = FaultProxy::start(server.local_addr()).expect("start proxy");
+    let client = WireClient::connect(
+        proxy.addr(),
+        WireClientConfig {
+            call_timeout: Duration::from_millis(300),
+            ..WireClientConfig::default()
+        },
+    )
+    .expect("handshake through proxy");
+
+    // Half-open partition: the request reaches the replica (and is
+    // executed there), the reply vanishes. The client's read deadline
+    // fires *after* a successful write — replaying now would run the
+    // request twice and stack a second call_timeout on top, so the
+    // failure must surface typed for the router to decide.
+    proxy.plan().set_partition_to_client(true);
+    match client.complete_top("t", "a", 1) {
+        Err(ServerError::Unreachable { reason }) => assert_eq!(reason, "timeout"),
+        other => panic!("expected Unreachable(timeout), got {other:?}"),
+    }
+    let stats = client.transport_stats();
+    assert_eq!(
+        stats.connects, 1,
+        "a post-write timeout must not redial-and-replay"
+    );
+    assert_eq!(stats.io_errors, 1);
+
+    // Heal the link: the next call redials (the timed-out connection was
+    // discarded) and succeeds — the failure was typed, not sticky.
+    proxy.plan().set_partition_to_client(false);
+    assert!(client.complete_top("t", "b", 1).is_ok());
+    assert_eq!(client.transport_stats().connects, 2);
+    assert_eq!(client.transport_stats().reconnects, 1);
+    proxy.shutdown();
+    server.shutdown();
+}
