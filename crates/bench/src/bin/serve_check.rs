@@ -43,6 +43,12 @@
 //!   divergences from the in-process oracle, and the transport counters
 //!   prove the crash was real (`wire_io_errors ≥ 1`, the dead replica
 //!   refuses a direct probe).
+//! * snapshot smoke (shard **processes** brought up from freshly written
+//!   columnar snapshots at `tiny`; see [`sapphire_bench::wire`]) — every
+//!   child actually loaded its snapshot (zero generate fallbacks), the
+//!   snapshot-fed fleet is byte-identical to the generate-from-scratch
+//!   oracle (zero mismatches), and the slowest snapshot load beat the
+//!   parent's generate+partition time — the whole point of the format.
 //!
 //! Usage: `cargo run --release -p sapphire-bench --bin serve_check
 //!         [--rounds 2] [--baseline BENCH_serve.json]`
@@ -474,6 +480,63 @@ fn main() {
         "wire rejected_after_retry",
         wire_lost == 0.0,
         format!("{wire_lost} requests exhausted the retry budget (must be 0)"),
+    );
+
+    // --- Snapshot smoke gate: real `wire_shard` OS processes brought up
+    // from per-shard columnar snapshots written moments earlier. Enforces
+    // the snapshot format's contracts: every child loads its snapshot
+    // (zero fallbacks to regenerate — a fallback means the bytes were
+    // rejected), the snapshot-fed fleet answers byte-identically to the
+    // in-process oracle built by generating from scratch, and the slowest
+    // child's snapshot load is strictly faster than the parent's
+    // generate+partition cost (the regenerate path every child would
+    // otherwise pay).
+    eprintln!("\n(snapshot smoke gate: shard processes from columnar snapshots at tiny…)");
+    let snap_opts = WireLoadOptions::snapshot_smoke();
+    let snap_report = wire::run(&snap_opts);
+    println!("{snap_report}");
+    let snum = |section: Option<&str>, key: &str| -> f64 {
+        match json_f64(&snap_report, section, key) {
+            Some(v) => v,
+            None => {
+                eprintln!("FAIL snapshot report: missing field {key:?} (section {section:?})");
+                std::process::exit(1);
+            }
+        }
+    };
+    let snap_children = (snap_opts.shards * snap_opts.replicas) as f64;
+    let snap_loads = snum(Some("bringup"), "snapshot_loads");
+    let snap_fallbacks = snum(Some("bringup"), "generate_fallbacks");
+    gate.check(
+        "snapshot loads",
+        snap_loads == snap_children && snap_fallbacks == 0.0,
+        format!(
+            "{snap_loads} of {snap_children} children loaded snapshots, \
+             {snap_fallbacks} fell back to generate (must be all / 0)"
+        ),
+    );
+    let snap_mismatches = snum(None, "merge_mismatches");
+    gate.check(
+        "snapshot merge_mismatches",
+        snap_mismatches == 0.0,
+        format!("{snap_mismatches} divergences from the generate-path oracle (must be 0)"),
+    );
+    let snap_rejected = snum(None, "rejected_total");
+    gate.check(
+        "snapshot rejected_total",
+        snap_rejected == 0.0,
+        format!("{snap_rejected} errors surfaced to clients (must be 0)"),
+    );
+    let regenerate_us =
+        snum(Some("bringup"), "parent_generate_us") + snum(Some("bringup"), "parent_partition_us");
+    let max_load_us = snum(Some("bringup"), "max_child_data_us");
+    gate.check(
+        "snapshot bringup faster than regenerate",
+        max_load_us < regenerate_us,
+        format!(
+            "slowest child snapshot load {max_load_us:.0}µs vs parent \
+             generate+partition {regenerate_us:.0}µs (must be strictly faster)"
+        ),
     );
 
     if gate.failures > 0 {

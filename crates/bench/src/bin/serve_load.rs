@@ -104,12 +104,15 @@ fn main() {
 
     if std::env::args().any(|a| a == "--cluster") {
         // Wire mode: the same workload, but every edge↔shard call crosses
-        // a real socket (`--cluster --wire [--processes] [--kill-replica]`).
-        // `--processes` runs each replica as a separate `wire_shard` OS
-        // process; `--kill-replica` crashes one replica mid-run and demands
-        // the router's failover absorbs it (the CI smoke posture). Reports
-        // transport counters plus the in-process-oracle byte check; never
-        // touches the baseline file.
+        // a real socket (`--cluster --wire [--processes] [--kill-replica]
+        // [--snapshot]`). `--processes` runs each replica as a separate
+        // `wire_shard` OS process; `--kill-replica` crashes one replica
+        // mid-run and demands the router's failover absorbs it (the CI
+        // smoke posture); `--snapshot` (with `--processes`) writes per-shard
+        // columnar snapshots first and brings the children up from them,
+        // reporting load-vs-generate timings in a `bringup` section.
+        // Reports transport counters plus the in-process-oracle byte check;
+        // never touches the baseline file.
         if std::env::args().any(|a| a == "--wire") {
             let defaults = WireLoadOptions::default();
             let opts = WireLoadOptions {
@@ -121,6 +124,7 @@ fn main() {
                 determinism_sample: arg_usize("--determinism-sample", defaults.determinism_sample),
                 processes: std::env::args().any(|a| a == "--processes"),
                 kill_replica: std::env::args().any(|a| a == "--kill-replica"),
+                snapshot: std::env::args().any(|a| a == "--snapshot"),
             };
             println!("{}", wire::run(&opts));
             return;

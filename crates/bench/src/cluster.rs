@@ -114,8 +114,16 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
         "(generating dataset + initializing {} shard models x {} replicas…)",
         opts.shards, opts.replicas
     );
+    // Timed bring-up phases: generate, partition, model init. These are the
+    // per-shard "regenerate" reference the snapshot path (wire mode's
+    // `bringup` section) is measured against.
+    let bringup_clock = Instant::now();
     let graph = generate(dataset);
+    let generate_us = bringup_clock.elapsed().as_micros() as u64;
     let triple_count = graph.len();
+    let partition_clock = Instant::now();
+    let partition = sapphire_rdf::Partitioner::new(opts.shards).split(&graph);
+    let partition_us = partition_clock.elapsed().as_micros() as u64;
     // The same serving posture as the single-box harness: hardware-sized
     // gates (floored at 8), a finite queue, a CI-safe queue deadline.
     let default_in_flight = ServerConfig::default().max_in_flight.max(8);
@@ -125,16 +133,19 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
         queue_wait: std::time::Duration::from_millis(1_000),
         ..ServerConfig::default()
     };
-    let cluster = Cluster::build(
+    let init_clock = Instant::now();
+    let cluster = Cluster::build_from_shards(
         "edge",
-        &graph,
-        opts.shards,
+        partition.shards,
+        partition.schema_triples,
+        partition.data_triples,
         opts.replicas,
         &Lexicon::dbpedia_default(),
         &experiment_config(),
         &server_config,
     )
     .expect("shard initialization");
+    let model_init_us = init_clock.elapsed().as_micros() as u64;
     let schema_triples = cluster.schema_triples();
     let stored_triples: usize =
         cluster.data_triples().iter().sum::<usize>() + schema_triples * cluster.shard_count();
@@ -278,6 +289,8 @@ pub fn run(opts: &ClusterLoadOptions) -> String {
          \"edge_completion_cache\": {},\n  \"edge_run_cache\": {},\n  \
          \"stages\": {},\n  \
          \"trace\": {{\"sampling\": {}, \"recorded\": {}, \"dropped\": {}}},\n  \
+         \"bringup\": {{\"mode\": \"generate\", \"generate_us\": {generate_us}, \
+         \"partition_us\": {partition_us}, \"model_init_us\": {model_init_us}}},\n  \
          \"merge_mismatches\": {merge_mismatches},\n  \
          \"rejected_total\": {}\n}}",
         opts.users,

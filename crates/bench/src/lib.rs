@@ -15,7 +15,8 @@ use sapphire_core::SapphireConfig;
 use sapphire_datagen::DatasetConfig;
 use sapphire_rdf::{Graph, Term};
 
-/// Parse the experiment scale from argv (`--scale tiny|small|medium`).
+/// Parse the experiment scale from argv (`--scale tiny|small|medium|large`,
+/// default `small`). An unrecognized name aborts the binary.
 pub fn scale_from_args() -> DatasetConfig {
     let args: Vec<String> = std::env::args().collect();
     let scale = args
@@ -28,13 +29,19 @@ pub fn scale_from_args() -> DatasetConfig {
     dataset_for(&scale)
 }
 
-/// Dataset config by scale name.
+/// Dataset config by scale name, at the experiments' fixed seed (42).
+///
+/// # Panics
+/// Panics on an unrecognized scale name. The bins deliberately hard-error
+/// here: the old behaviour (silently degrading to `small`) produced reports
+/// labelled with a scale they never ran.
 pub fn dataset_for(scale: &str) -> DatasetConfig {
-    match scale {
-        "tiny" => DatasetConfig::tiny(42),
-        "medium" => DatasetConfig::medium(42),
-        _ => DatasetConfig::small(42),
-    }
+    DatasetConfig::for_scale(scale, 42).unwrap_or_else(|| {
+        panic!(
+            "unknown --scale {scale:?}; expected one of: {}",
+            DatasetConfig::SCALE_NAMES.join(", ")
+        )
+    })
 }
 
 /// The Sapphire configuration used by the experiments (paper constants, with
@@ -132,6 +139,19 @@ mod tests {
         let preds = harvest_predicates(&g);
         let name = preds.iter().find(|(p, _)| p.ends_with("/name")).unwrap();
         assert!(name.1 > 0);
+    }
+
+    #[test]
+    fn dataset_for_resolves_every_scale() {
+        for &name in DatasetConfig::SCALE_NAMES {
+            let _ = dataset_for(name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown --scale")]
+    fn dataset_for_rejects_unknown_scales() {
+        let _ = dataset_for("smal");
     }
 
     #[test]

@@ -207,13 +207,9 @@ impl ClassStats {
 /// `serve_load` binary's job; the CI gate runs the same workload without
 /// clobbering the committed reference.
 pub fn run(opts: &ServeLoadOptions) -> String {
-    let scale_label = if ["tiny", "small", "medium"].contains(&opts.scale.as_str()) {
-        opts.scale.clone()
-    } else {
-        // `dataset_for` falls back to small; keep the report label honest.
-        eprintln!("warning: unknown scale {:?}, using \"small\"", opts.scale);
-        "small".to_string()
-    };
+    // `dataset_for` hard-errors on unknown names, so the label is always
+    // exactly what ran.
+    let scale_label = opts.scale.clone();
     let dataset = dataset_for(&scale_label);
 
     eprintln!("(generating dataset + initializing shared model…)");

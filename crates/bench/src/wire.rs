@@ -25,6 +25,7 @@
 
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,6 +34,7 @@ use std::time::Instant;
 use sapphire_cluster::{Cluster, ClusterConfig, ClusterRouter};
 use sapphire_datagen::generate;
 use sapphire_datagen::workload::appendix_b;
+use sapphire_rdf::{snapshot, Partitioner};
 use sapphire_server::{ServerConfig, ShardService};
 use sapphire_sparql::SelectQuery;
 use sapphire_text::Lexicon;
@@ -64,6 +66,13 @@ pub struct WireLoadOptions {
     /// Crash one replica mid-run (kill its connections, refuse redials)
     /// and demand zero surviving errors.
     pub kill_replica: bool,
+    /// Process mode only: write per-shard snapshots first and bring the
+    /// children up from them (`wire_shard --snapshot`) instead of letting
+    /// each child regenerate its slice. The parent still generates and
+    /// partitions (it needs the oracle and the snapshot bytes), which is
+    /// exactly the per-child cost the snapshot path avoids — the report's
+    /// `bringup` section holds both sides of that comparison.
+    pub snapshot: bool,
 }
 
 impl Default for WireLoadOptions {
@@ -77,6 +86,7 @@ impl Default for WireLoadOptions {
             determinism_sample: 8,
             processes: false,
             kill_replica: false,
+            snapshot: false,
         }
     }
 }
@@ -92,6 +102,31 @@ impl WireLoadOptions {
             ..WireLoadOptions::default()
         }
     }
+
+    /// The CI snapshot-gate posture: real shard processes brought up from
+    /// freshly written snapshots, oracle check on, no kill drill (the gate
+    /// is bring-up, not failover).
+    pub fn snapshot_smoke() -> Self {
+        WireLoadOptions {
+            users: 4,
+            rounds: 1,
+            processes: true,
+            snapshot: true,
+            ..WireLoadOptions::default()
+        }
+    }
+}
+
+/// How one `wire_shard` child got its data, from its `WIRE_READY` handshake.
+#[derive(Debug, Clone)]
+struct ChildBringup {
+    shard: usize,
+    replica: usize,
+    /// `"snapshot"` or `"generate"`.
+    mode: String,
+    /// Wall time of the child's data phase (snapshot load, or
+    /// generate+partition), microseconds.
+    data_us: u64,
 }
 
 /// One hosted replica: either a wire server thread in this process or a
@@ -160,10 +195,37 @@ fn host_threads(cluster: &Cluster) -> ShardHosts {
         .unzip()
 }
 
+/// Parse a `WIRE_READY addr [bringup=… data_us=…]` handshake line. The
+/// address is positional; the remaining tokens are `key=value` pairs so the
+/// handshake can grow without breaking older parsers (whitespace-split, not
+/// parse-the-whole-remainder).
+fn parse_handshake(line: &str) -> Option<(SocketAddr, String, u64)> {
+    let mut tokens = line.split_whitespace();
+    if tokens.next() != Some("WIRE_READY") {
+        return None;
+    }
+    let addr: SocketAddr = tokens.next()?.parse().ok()?;
+    let mut mode = "generate".to_string();
+    let mut data_us = 0u64;
+    for token in tokens {
+        if let Some(v) = token.strip_prefix("bringup=") {
+            mode = v.to_string();
+        } else if let Some(v) = token.strip_prefix("data_us=") {
+            data_us = v.parse().ok()?;
+        }
+    }
+    Some((addr, mode, data_us))
+}
+
 /// Spawn one `wire_shard` child per replica and collect the `WIRE_READY`
-/// handshakes. The binary is expected next to the running executable
-/// (both are `sapphire-bench` bins, so a normal build puts them together).
-fn host_processes(opts: &WireLoadOptions) -> std::io::Result<ShardHosts> {
+/// handshakes (address + bring-up telemetry). The binary is expected next
+/// to the running executable (both are `sapphire-bench` bins, so a normal
+/// build puts them together). With `snapshot_dir` set, each child is told
+/// to load its shard's snapshot from there instead of regenerating.
+fn host_processes(
+    opts: &WireLoadOptions,
+    snapshot_dir: Option<&Path>,
+) -> std::io::Result<(ShardHosts, Vec<ChildBringup>)> {
     let exe = std::env::current_exe()?;
     let bin = exe
         .parent()
@@ -177,47 +239,60 @@ fn host_processes(opts: &WireLoadOptions) -> std::io::Result<ShardHosts> {
     }
     let mut hosts = Vec::with_capacity(opts.shards);
     let mut addrs = Vec::with_capacity(opts.shards);
+    let mut bringups = Vec::with_capacity(opts.shards * opts.replicas);
     for shard in 0..opts.shards {
         let mut shard_hosts = Vec::with_capacity(opts.replicas);
         let mut shard_addrs = Vec::with_capacity(opts.replicas);
         for replica in 0..opts.replicas {
-            let mut child = Command::new(&bin)
-                .args([
-                    "--scale",
-                    &opts.scale,
-                    "--shards",
-                    &opts.shards.to_string(),
-                    "--shard",
-                    &shard.to_string(),
-                    "--replica",
-                    &replica.to_string(),
-                ])
+            let mut command = Command::new(&bin);
+            command.args([
+                "--scale",
+                &opts.scale,
+                "--shards",
+                &opts.shards.to_string(),
+                "--shard",
+                &shard.to_string(),
+                "--replica",
+                &replica.to_string(),
+            ]);
+            if let Some(dir) = snapshot_dir {
+                let path = dir.join(snapshot::shard_file_name(&opts.scale, shard, opts.shards));
+                command.args(["--snapshot".as_ref(), path.as_os_str()]);
+            }
+            let mut child = command
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .spawn()?;
             let stdout = child.stdout.take().expect("piped child stdout");
             let mut line = String::new();
             BufReader::new(stdout).read_line(&mut line)?;
-            let addr: SocketAddr = line
-                .trim()
-                .strip_prefix("WIRE_READY ")
-                .and_then(|a| a.parse().ok())
-                .ok_or_else(|| {
-                    std::io::Error::other(format!(
-                        "wire_shard s{shard}r{replica} bad handshake: {line:?}"
-                    ))
-                })?;
+            let (addr, mode, data_us) = parse_handshake(&line).ok_or_else(|| {
+                std::io::Error::other(format!(
+                    "wire_shard s{shard}r{replica} bad handshake: {line:?}"
+                ))
+            })?;
+            bringups.push(ChildBringup {
+                shard,
+                replica,
+                mode,
+                data_us,
+            });
             shard_hosts.push(ReplicaHost::Process(child));
             shard_addrs.push(addr);
         }
         hosts.push(shard_hosts);
         addrs.push(shard_addrs);
     }
-    Ok((hosts, addrs))
+    Ok(((hosts, addrs), bringups))
 }
 
 /// Run the wire-mode workload and return the JSON report.
 pub fn run(opts: &WireLoadOptions) -> String {
+    assert!(
+        !opts.snapshot || opts.processes,
+        "--snapshot needs --processes: in thread mode there is no separate \
+         bring-up to snapshot"
+    );
     let dataset = dataset_for(&opts.scale);
     eprintln!(
         "(generating dataset + initializing {} shard models x {} replicas{}…)",
@@ -229,8 +304,39 @@ pub fn run(opts: &WireLoadOptions) -> String {
             ""
         }
     );
+    // Generate and partition with explicit timing: in snapshot mode this
+    // parent-side cost is exactly what every child would have paid to
+    // regenerate its slice, i.e. the reference the snapshot loads are
+    // gated against.
+    let generate_clock = Instant::now();
     let graph = generate(dataset);
+    let parent_generate_us = generate_clock.elapsed().as_micros() as u64;
     let triple_count = graph.len();
+    let partition_clock = Instant::now();
+    let partition = Partitioner::new(opts.shards).split(&graph);
+    let parent_partition_us = partition_clock.elapsed().as_micros() as u64;
+
+    // In snapshot mode, persist the shard slices before standing anything
+    // up — the children's only data source.
+    let snapshot_dir: Option<PathBuf> = opts
+        .snapshot
+        .then(|| std::env::temp_dir().join(format!("sapphire-wire-snap-{}", std::process::id())));
+    let mut snapshot_write_us = 0u64;
+    if let Some(dir) = &snapshot_dir {
+        std::fs::create_dir_all(dir).expect("create snapshot dir");
+        let write_clock = Instant::now();
+        for (i, shard_graph) in partition.shards.iter().enumerate() {
+            let path = dir.join(snapshot::shard_file_name(&opts.scale, i, opts.shards));
+            snapshot::write(shard_graph, &path).expect("write shard snapshot");
+        }
+        snapshot_write_us = write_clock.elapsed().as_micros() as u64;
+        eprintln!(
+            "(wrote {} shard snapshots to {} in {snapshot_write_us}µs)",
+            opts.shards,
+            dir.display()
+        );
+    }
+
     // Same serving posture as the in-process cluster harness — and, in
     // process mode, the same one `wire_shard` rebuilds, so the oracle and
     // the children serve identical bytes.
@@ -241,10 +347,11 @@ pub fn run(opts: &WireLoadOptions) -> String {
         queue_wait: std::time::Duration::from_millis(1_000),
         ..ServerConfig::default()
     };
-    let cluster = Cluster::build(
+    let cluster = Cluster::build_from_shards(
         "edge",
-        &graph,
-        opts.shards,
+        partition.shards,
+        partition.schema_triples,
+        partition.data_triples,
         opts.replicas,
         &Lexicon::dbpedia_default(),
         &experiment_config(),
@@ -253,10 +360,10 @@ pub fn run(opts: &WireLoadOptions) -> String {
     .expect("shard initialization");
 
     // Bring up the wire tier and dial every replica.
-    let (mut hosts, addrs) = if opts.processes {
-        host_processes(opts).expect("wire_shard bring-up")
+    let ((mut hosts, addrs), child_bringups) = if opts.processes {
+        host_processes(opts, snapshot_dir.as_deref()).expect("wire_shard bring-up")
     } else {
-        host_threads(&cluster)
+        (host_threads(&cluster), Vec::new())
     };
     let clients: Vec<Vec<Arc<WireClient>>> = addrs
         .iter()
@@ -438,7 +545,8 @@ pub fn run(opts: &WireLoadOptions) -> String {
     let report = format!(
         "{{\n  \"benchmark\": \"serve_wire\",\n  \"config\": {{\"users\": {}, \
          \"rounds\": {}, \"scale\": \"{}\", \"shards\": {}, \"replicas\": {}, \
-         \"processes\": {}, \"kill_replica\": {}, \"triples\": {triple_count}}},\n  \
+         \"processes\": {}, \"kill_replica\": {}, \"snapshot\": {}, \
+         \"triples\": {triple_count}}},\n  \
          \"wall_seconds\": {:.3},\n  \"total_throughput_rps\": {:.1},\n  \
          \"qcm\": {},\n  \"qsm\": {},\n  \
          \"routing\": {{\"hedges_fired\": {}, \"hedges_won\": {}, \
@@ -447,6 +555,7 @@ pub fn run(opts: &WireLoadOptions) -> String {
          \"transport\": {{\"wire_connects\": {}, \"wire_reconnects\": {}, \
          \"wire_io_errors\": {}, \"wire_corrupt_frames\": {}, \
          \"replica_killed\": {}, \"dead_probe_failed\": {}}},\n  \
+         {},\n  \
          \"merge_mismatches\": {merge_mismatches},\n  \
          \"rejected_total\": {surviving_errors}\n}}",
         opts.users,
@@ -456,6 +565,7 @@ pub fn run(opts: &WireLoadOptions) -> String {
         opts.replicas,
         opts.processes,
         opts.kill_replica,
+        opts.snapshot,
         wall.as_secs_f64(),
         (qcm.latencies_us.len() + qsm.latencies_us.len()) as f64 / wall.as_secs_f64().max(1e-9),
         qcm.json(wall),
@@ -472,6 +582,13 @@ pub fn run(opts: &WireLoadOptions) -> String {
         metrics.wire_corrupt_frames,
         u8::from(replica_killed),
         u8::from(dead_probe_failed),
+        bringup_json(
+            opts,
+            parent_generate_us,
+            parent_partition_us,
+            snapshot_write_us,
+            &child_bringups,
+        ),
     );
 
     // Graceful teardown of everything still alive.
@@ -480,5 +597,51 @@ pub fn run(opts: &WireLoadOptions) -> String {
             host.stop();
         }
     }
+    if let Some(dir) = &snapshot_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
     report
+}
+
+/// The `bringup` report section: how every tier got its data and what it
+/// cost. Scalar gate fields (`max_child_data_us`, `parent_generate_us`, …)
+/// come **before** the per-child array so `json_f64`'s first-occurrence
+/// search finds them and not a per-child field of the same spelling.
+fn bringup_json(
+    opts: &WireLoadOptions,
+    parent_generate_us: u64,
+    parent_partition_us: u64,
+    snapshot_write_us: u64,
+    children: &[ChildBringup],
+) -> String {
+    let mode = if !opts.processes {
+        "threads"
+    } else if opts.snapshot {
+        "snapshot"
+    } else {
+        "generate"
+    };
+    let snapshot_loads = children.iter().filter(|c| c.mode == "snapshot").count();
+    let generate_fallbacks = children.len() - snapshot_loads;
+    let max_child_data_us = children.iter().map(|c| c.data_us).max().unwrap_or(0);
+    let per_child: Vec<String> = children
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"shard\": {}, \"replica\": {}, \"mode\": \"{}\", \"data_us\": {}}}",
+                c.shard, c.replica, c.mode, c.data_us
+            )
+        })
+        .collect();
+    format!(
+        "\"bringup\": {{\"mode\": \"{mode}\", \
+         \"parent_generate_us\": {parent_generate_us}, \
+         \"parent_partition_us\": {parent_partition_us}, \
+         \"snapshot_write_us\": {snapshot_write_us}, \
+         \"snapshot_loads\": {snapshot_loads}, \
+         \"generate_fallbacks\": {generate_fallbacks}, \
+         \"max_child_data_us\": {max_child_data_us}, \
+         \"children\": [{}]}}",
+        per_child.join(", ")
+    )
 }

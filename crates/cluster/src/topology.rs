@@ -42,8 +42,38 @@ impl Cluster {
         server_config: &ServerConfig,
     ) -> Result<Self, PumError> {
         let partition = Partitioner::new(shards).split(graph);
-        let mut tiers = Vec::with_capacity(partition.shards.len());
-        for (i, shard_graph) in partition.shards.into_iter().enumerate() {
+        Self::build_from_shards(
+            name,
+            partition.shards,
+            partition.schema_triples,
+            partition.data_triples,
+            replicas,
+            lexicon,
+            sapphire_config,
+            server_config,
+        )
+    }
+
+    /// Stand up a cluster over **pre-built** shard graphs — the bring-up path
+    /// for snapshot loading, where each shard slice was partitioned earlier
+    /// (possibly by another process) and arrives as a ready [`Graph`] instead
+    /// of being re-split from the full dataset here. `schema_triples` /
+    /// `data_triples` are the partition statistics to report (pass zeros if
+    /// unknown). Naming matches [`Cluster::build`] exactly, so answers are
+    /// byte-identical whichever constructor ran.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_shards(
+        name: &str,
+        shard_graphs: Vec<Graph>,
+        schema_triples: usize,
+        data_triples: Vec<usize>,
+        replicas: usize,
+        lexicon: &Lexicon,
+        sapphire_config: &SapphireConfig,
+        server_config: &ServerConfig,
+    ) -> Result<Self, PumError> {
+        let mut tiers = Vec::with_capacity(shard_graphs.len());
+        for (i, shard_graph) in shard_graphs.into_iter().enumerate() {
             let pum = Arc::new(PredictiveUserModel::initialize_local(
                 format!("{name}-s{i}"),
                 shard_graph,
@@ -65,8 +95,8 @@ impl Cluster {
         }
         Ok(Cluster {
             shards: tiers,
-            schema_triples: partition.schema_triples,
-            data_triples: partition.data_triples,
+            schema_triples,
+            data_triples,
         })
     }
 

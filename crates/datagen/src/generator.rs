@@ -69,6 +69,36 @@ impl DatasetConfig {
             noise_literals: 6_000,
         }
     }
+
+    /// Roughly 4× `medium` — the rung where snapshot bring-up visibly beats
+    /// regeneration and per-shard partitions stop being toy-sized.
+    pub fn large(seed: u64) -> Self {
+        DatasetConfig {
+            seed,
+            persons: 32_000,
+            cities: 4_800,
+            works: 20_000,
+            organisations: 4_800,
+            noise_literals: 24_000,
+        }
+    }
+
+    /// Resolve a scale name (`tiny` | `small` | `medium` | `large`) to its
+    /// config, or `None` for an unrecognized name. Callers must treat `None`
+    /// as a hard error — silently substituting a default would mislabel every
+    /// downstream report.
+    pub fn for_scale(scale: &str, seed: u64) -> Option<Self> {
+        match scale {
+            "tiny" => Some(Self::tiny(seed)),
+            "small" => Some(Self::small(seed)),
+            "medium" => Some(Self::medium(seed)),
+            "large" => Some(Self::large(seed)),
+            _ => None,
+        }
+    }
+
+    /// The scale names [`DatasetConfig::for_scale`] accepts, for error text.
+    pub const SCALE_NAMES: &'static [&'static str] = &["tiny", "small", "medium", "large"];
 }
 
 /// Generate the dataset.
@@ -87,6 +117,9 @@ pub fn generate(config: DatasetConfig) -> Graph {
     emit_noise(&mut g, &mut rng, config.noise_literals);
 
     materialize_types(&mut g);
+    // Hand back a sealed graph: scans run at full columnar speed and the
+    // result is immediately snapshot-writable.
+    g.seal();
     g
 }
 
@@ -585,5 +618,38 @@ mod tests {
         let tiny = generate(DatasetConfig::tiny(2));
         let small = generate(DatasetConfig::small(2));
         assert!(small.len() > tiny.len() * 3);
+    }
+
+    #[test]
+    fn generated_graph_is_sealed() {
+        let g = generate(DatasetConfig::tiny(2));
+        assert!(g.is_sealed(), "generate() must hand back a sealed graph");
+    }
+
+    #[test]
+    fn large_rung_sits_well_above_medium() {
+        let medium = generate(DatasetConfig::medium(42));
+        let large = generate(DatasetConfig::large(42));
+        assert!(
+            large.len() > medium.len() * 3,
+            "large ({}) must dwarf medium ({})",
+            large.len(),
+            medium.len()
+        );
+    }
+
+    #[test]
+    fn for_scale_resolves_every_published_name_and_nothing_else() {
+        for &name in DatasetConfig::SCALE_NAMES {
+            assert!(DatasetConfig::for_scale(name, 1).is_some(), "{name}");
+        }
+        assert!(DatasetConfig::for_scale("gigantic", 1).is_none());
+        assert!(DatasetConfig::for_scale("", 1).is_none());
+        assert!(
+            DatasetConfig::for_scale("Small", 1).is_none(),
+            "case-sensitive"
+        );
+        // The seed threads through.
+        assert_eq!(DatasetConfig::for_scale("tiny", 9).unwrap().seed, 9);
     }
 }

@@ -78,6 +78,24 @@ impl Interner {
         id
     }
 
+    /// Rebuild an interner from a term table whose position *is* the id —
+    /// the snapshot loader's constructor. Ids come out identical to the
+    /// interner that produced the table. Returns `None` if the table
+    /// overflows the `u32` id space or contains a duplicate term (possible
+    /// only for hand-crafted input; tables written in [`iter`](Self::iter)
+    /// order are always valid).
+    pub fn from_terms_checked(terms: Vec<Term>) -> Option<Self> {
+        u32::try_from(terms.len()).ok()?;
+        let mut ids: FnvMap<Term, TermId> = FnvMap::default();
+        ids.reserve(terms.len());
+        for (i, term) in terms.iter().enumerate() {
+            if ids.insert(term.clone(), TermId(i as u32)).is_some() {
+                return None;
+            }
+        }
+        Some(Interner { terms, ids })
+    }
+
     /// Look up the id of an already-interned term without inserting.
     pub fn get(&self, term: &Term) -> Option<TermId> {
         self.ids.get(term).copied()

@@ -13,10 +13,14 @@
 //!   nodes, and N-Triples-style escaping.
 //! * [`interner`] — dense `u32` term ids so triples are 12 bytes and joins are
 //!   integer comparisons.
-//! * [`graph`] — an in-memory graph with SPO/POS/OSP B-tree indexes answering
-//!   every triple-pattern access path with a range scan.
-//! * [`ntriples`] / [`turtle`] — parsers and serializers for the fixture and
-//!   snapshot formats.
+//! * [`graph`] — an in-memory graph with sorted columnar SPO/POS/OSP indexes
+//!   (binary-search range scans, a B-tree delta overlay for incremental
+//!   inserts, and a sealed bulk-build path).
+//! * [`snapshot`] — a versioned, checksummed on-disk format whose layout is
+//!   exactly the in-memory columns + interner table, so shards load a
+//!   partition with one sequential read instead of regenerating it.
+//! * [`ntriples`] / [`turtle`] — parsers and serializers for the text fixture
+//!   formats.
 //! * [`schema`] — `rdfs:subClassOf` hierarchy utilities that drive the
 //!   paper's timeout-aware literal retrieval (§5.1).
 //! * [`vocab`] — well-known IRIs (RDF/RDFS/OWL/XSD and the synthetic
@@ -44,6 +48,7 @@ pub mod interner;
 pub mod ntriples;
 pub mod partition;
 pub mod schema;
+pub mod snapshot;
 pub mod term;
 pub mod turtle;
 pub mod vocab;
@@ -52,4 +57,5 @@ pub use graph::{Graph, IdTriple};
 pub use interner::{FnvMap, Interner, TermId};
 pub use partition::{shard_of, Partition, Partitioner};
 pub use schema::ClassHierarchy;
+pub use snapshot::SnapshotError;
 pub use term::{Literal, Term};

@@ -116,24 +116,30 @@ impl Partitioner {
             });
         }
 
-        let mut shards: Vec<Graph> = (0..self.shards).map(|_| Graph::new()).collect();
+        // Route term triples to per-shard buffers in one pass, then bulk-build
+        // each shard graph: terms intern in the same (s, p, o) visit order the
+        // old per-triple inserts used — so shard-local ids are unchanged —
+        // but every column sorts exactly once and the shards come out
+        // sealed, i.e. immediately snapshot-writable.
+        let mut routed: Vec<Vec<(Term, Term, Term)>> =
+            (0..self.shards).map(|_| Vec::new()).collect();
         let mut data_triples = vec![0usize; self.shards];
         let mut schema_triples = 0usize;
         for (s, p, o) in graph.iter_terms() {
             let subject_id = graph.term_id(s).expect("subject interned");
             if classes.contains(&subject_id) {
                 schema_triples += 1;
-                for shard in &mut shards {
-                    shard.insert(s.clone(), p.clone(), o.clone());
+                for buf in &mut routed {
+                    buf.push((s.clone(), p.clone(), o.clone()));
                 }
             } else {
                 let idx = shard_of(s, self.shards);
                 data_triples[idx] += 1;
-                shards[idx].insert(s.clone(), p.clone(), o.clone());
+                routed[idx].push((s.clone(), p.clone(), o.clone()));
             }
         }
         Partition {
-            shards,
+            shards: routed.into_iter().map(Graph::from_term_triples).collect(),
             schema_triples,
             data_triples,
         }
@@ -210,6 +216,15 @@ res:Alan a dbo:Person ; dbo:surname "Turing"@en .
                 }
             }
         }
+    }
+
+    #[test]
+    fn shards_come_out_sealed() {
+        // The bulk-build path must hand back snapshot-writable graphs.
+        let g = turtle::parse(DATA).unwrap();
+        let p = Partitioner::new(3).split(&g);
+        assert!(p.shards.iter().all(Graph::is_sealed));
+        assert!(p.shards.iter().all(|s| crate::snapshot::encode(s).is_ok()));
     }
 
     #[test]
