@@ -32,6 +32,12 @@
 //!   (`qsm_shed_budget` off), so *no* run may come back at a reduced budget
 //!   tier; a nonzero count means degraded output leaked into a deployment
 //!   that never opted in.
+//! * threading model — the front-end fleet stays within a fixed
+//!   thread/RSS budget, the closed-loop hot phase creates **zero** new
+//!   threads (steady-state serving runs entirely on warm pools: front-end
+//!   workers plus the shared scatter/scan executor), and the executor's
+//!   task accounting balances (`tasks_run + inline_runs ==
+//!   spawns_avoided`, zero panics) after the drain.
 //! * overload smoke (a bounded open-loop sweep past saturation on a 2x2
 //!   cluster; see [`sapphire_bench::overload`]) — graceful degradation
 //!   holds: past-saturation goodput ≥ 50% of the sweep's peak, zero
@@ -213,7 +219,7 @@ fn main() {
     // (cache_lookup/qcm_scan/qsm_scan/steiner_relax/coalesce_wait), and
     // cluster (shard_rtt/edge_merge) tiers — a stage that silently stopped
     // recording is an instrumentation regression, not a tuning knob.
-    const STAGES: [&str; 10] = [
+    const STAGES: [&str; 11] = [
         "frontend_queue",
         "admission_wait",
         "coalesce_wait",
@@ -223,6 +229,7 @@ fn main() {
         "steiner_relax",
         "shard_rtt",
         "edge_merge",
+        "exec_queue",
         "end_to_end",
     ];
     let recorded: Vec<&str> = STAGES
@@ -242,7 +249,10 @@ fn main() {
     // merged the wrong shard).
     let e2e_max = num(Some("end_to_end"), "max_us");
     for &stage in &recorded {
-        if stage == "end_to_end" {
+        // exec_queue also times the warm-up residual-bin scan tasks, which
+        // run during model initialization — outside any request — so it is
+        // exempt from the nests-inside-end_to_end invariant.
+        if stage == "end_to_end" || stage == "exec_queue" {
             continue;
         }
         let p99 = num(Some(stage), "p99_us");
@@ -275,6 +285,70 @@ fn main() {
             hot_sampled / hot_untraced.max(1.0)
         ),
     );
+
+    // --- Executor gate: the shared scatter/scan pool actually absorbed
+    // the work that per-request thread spawns used to carry, and its
+    // accounting is consistent — every task submitted (`spawns_avoided`)
+    // was run exactly once, either by a worker (`tasks_run`) or inline by
+    // a caller helping out (`inline_runs`). An imbalance after the full
+    // drain would mean lost or duplicated tasks; zero panics is the
+    // catch_unwind contract holding.
+    let exec_spawns_avoided = num(Some("exec"), "spawns_avoided");
+    gate.check(
+        "exec.spawns_avoided",
+        exec_spawns_avoided >= 1.0,
+        format!("{exec_spawns_avoided} thread spawns avoided (must be >= 1)"),
+    );
+    let exec_tasks = num(Some("exec"), "tasks_run") + num(Some("exec"), "inline_runs");
+    gate.check(
+        "exec task accounting",
+        exec_tasks == exec_spawns_avoided,
+        format!(
+            "{:.0} worker + {:.0} inline runs vs {exec_spawns_avoided} submitted \
+             (must balance after drain)",
+            num(Some("exec"), "tasks_run"),
+            num(Some("exec"), "inline_runs"),
+        ),
+    );
+    let exec_panicked = num(Some("exec"), "panicked");
+    gate.check(
+        "exec.panicked",
+        exec_panicked == 0.0,
+        format!("{exec_panicked} (must be 0)"),
+    );
+
+    // --- Medium smoke gate: the bigger-rung scatter baseline ran, both
+    // arms (shared executor and the spawn-per-request reference) completed
+    // every cold request, and every request really fanned out to all 4
+    // shards. Latencies are reported, not gated — a shared CI runner's
+    // scheduler is too noisy to enforce a ratio between the arms.
+    let smoke_requests = num(Some("medium_smoke"), "requests_per_arm");
+    gate.check(
+        "medium_smoke ran",
+        smoke_requests >= 1.0,
+        format!("{smoke_requests} requests per arm (must be >= 1)"),
+    );
+    if smoke_requests >= 1.0 {
+        for arm in ["executor", "spawn_reference"] {
+            let completed = num(Some(arm), "completed");
+            gate.check(
+                &format!("medium_smoke.{arm} completed"),
+                completed == smoke_requests && num(Some(arm), "invalid") == 0.0,
+                format!("{completed}/{smoke_requests} cold scatters, 0 invalid"),
+            );
+        }
+        for key in ["executor_fanout_total", "reference_fanout_total"] {
+            let fanout = num(Some("medium_smoke"), key);
+            gate.check(
+                &format!("medium_smoke.{key}"),
+                fanout == smoke_requests * 4.0,
+                format!(
+                    "{fanout} (must be requests x 4 shards = {})",
+                    smoke_requests * 4.0
+                ),
+            );
+        }
+    }
 
     // --- Front-end gate: thousands of idle sessions on a small pool.
     //
@@ -309,8 +383,19 @@ fn main() {
     let threads_peak = f("threads_peak");
     gate.check(
         "frontend.threads_peak",
-        threads_peak <= 64.0,
-        format!("{threads_peak} (budget 64; 0 = /proc unavailable)"),
+        threads_peak <= 48.0,
+        format!("{threads_peak} (budget 48; 0 = /proc unavailable)"),
+    );
+    // Steady-state serving must not create threads: the hot loop runs
+    // after every pool (workers, reactor, shared executor) is warm, so the
+    // process thread count sampled before and after it must match exactly.
+    // This is the gate that keeps spawn-per-request from creeping back in.
+    let hot_before = f("hot_threads_before");
+    let hot_after = f("hot_threads_after");
+    gate.check(
+        "frontend.hot loop creates zero threads",
+        hot_before == hot_after && (hot_before > 0.0 || cfg!(not(target_os = "linux"))),
+        format!("{hot_before} threads before hot loop, {hot_after} after (must be equal)"),
     );
     let rss_peak = f("rss_peak_kb");
     gate.check(

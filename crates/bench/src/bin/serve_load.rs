@@ -13,6 +13,8 @@
 //!         [--inflight N] [--queue N] [--burst-users 16] [--burst-rounds 8]
 //!         [--coalesce N]` (waiter cap per key; `--coalesce 0` disables
 //! single-flight to measure the pre-coalescing baseline)
+//!         `[--smoke N]` sets the cold scatters per arm of the
+//! `medium`-scale smoke phase (`0` skips it)
 //!
 //! Cluster mode: `serve_load -- --cluster [--shards 2] [--replicas 2]` runs
 //! the same workload against a sharded topology behind a `ClusterRouter`
@@ -158,6 +160,7 @@ fn main() {
         frontend_workers: arg_usize("--frontend-workers", defaults.frontend_workers),
         trace_sample,
         cluster_shards: arg_usize("--cluster-shards", defaults.cluster_shards),
+        medium_smoke_requests: arg_usize("--smoke", defaults.medium_smoke_requests),
     };
     let report = serve::run(&opts);
     println!("{report}");

@@ -436,6 +436,12 @@ pub fn phase(
             })
             .collect(),
     );
+    // Steady-state thread accounting: every pool (front-end workers, the
+    // shared executor, reactor) is warm by now — the think phase already
+    // drove requests through the whole stack — so the hot loop must not
+    // create a single thread. serve_check gates on these two samples
+    // being equal.
+    let (hot_threads_before, _) = proc_status();
     let (hot_tx, hot_rx) = mpsc::channel::<usize>();
     let hot_started = Instant::now();
     let hot_states: Vec<Arc<HotState>> = (0..opts.hot_sessions)
@@ -463,6 +469,7 @@ pub fn phase(
             .expect("hot sessions finish");
     }
     let hot_wall = hot_started.elapsed();
+    let (hot_threads_after, _) = proc_status();
     let mut hot_latencies: Vec<u64> = Vec::new();
     let mut hot_errors = 0u64;
     for state in &hot_states {
@@ -521,6 +528,8 @@ pub fn phase(
          \"think_requests\": {think_requests}, \"think_throughput_rps\": {:.1}, \
          \"hot_sessions\": {}, \"hot_requests\": {hot_requests}, \"hot_seconds\": {:.3}, \
          \"hot_throughput_rps\": {:.1}, \"hot_p50_us\": {hot_p50}, \
+         \"hot_threads_before\": {hot_threads_before}, \
+         \"hot_threads_after\": {hot_threads_after}, \
          \"threads_peak\": {}, \"rss_peak_kb\": {}, \"peak_ready\": {}, \
          \"final_backlog\": {final_backlog}, \"sessions_leaked\": {}, \
          \"qcm\": {}, \"qsm\": {}}}",

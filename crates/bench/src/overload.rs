@@ -39,6 +39,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sapphire_cluster::{Cluster, ClusterConfig, ClusterRouter, DegradePolicy};
+use sapphire_core::exec::Executor;
 use sapphire_core::session::{Modifiers, Session, TripleInput};
 use sapphire_core::PredictiveUserModel;
 use sapphire_datagen::generate;
@@ -285,9 +286,13 @@ fn cluster_stage_snapshot(router: &ClusterRouter, stage: Stage) -> Snapshot {
     snap
 }
 
-/// Fire one step's schedule through the launcher pool and measure it.
+/// Fire one step's schedule through the launcher pool and measure it. The
+/// pool is a dedicated [`Executor`] sized to the launcher count and reused
+/// across calibration and every sweep step — the pre-executor code spawned
+/// `launchers` scoped threads per phase.
 #[allow(clippy::too_many_arguments)]
 fn run_step(
+    exec: &Executor,
     router: &Arc<ClusterRouter>,
     factory: &QueryFactory,
     schedule: &[u64],
@@ -312,57 +317,46 @@ fn run_step(
     let degraded = AtomicU64::new(0);
     let started = Instant::now();
     let mut stats = ClassStats::default();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for launcher in 0..launchers {
-            let router = router.clone();
-            let arrivals = &arrivals;
-            let next = &next;
-            let late = &late;
-            let degraded = &degraded;
-            handles.push(scope.spawn(move || {
-                let tenant = format!("open-{launcher}");
-                let mut stats = ClassStats::default();
-                let mut sampled = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= arrivals.len() {
-                        return (stats, sampled);
-                    }
-                    let target = started + Duration::from_nanos(schedule[i]);
-                    let now = Instant::now();
-                    if now < target {
-                        std::thread::sleep(target - now);
-                    } else if now > target + Duration::from_millis(5) {
-                        late.fetch_add(1, Ordering::Relaxed);
-                    }
-                    let outcome = router.run(&tenant, &arrivals[i]);
-                    if let Ok(run) = &outcome {
-                        if run.degraded {
-                            degraded.fetch_add(1, Ordering::Relaxed);
-                            if sampled.len() < 4 {
-                                sampled.push(i);
-                            }
-                        }
-                    }
-                    // Latency from the *scheduled* arrival: a late launch is
-                    // queueing delay the client would have seen, not noise.
-                    stats.record(target, &flatten(outcome.map(|_| ())));
-                }
-            }));
-        }
-        for h in handles {
-            let (s, sampled) = h.join().expect("no launcher panics");
-            stats.merge(s);
-            let mut sample = degraded_sample.lock().expect("sample lock");
-            for i in sampled {
-                if sample.len() >= sample_cap {
-                    break;
-                }
-                sample.push(serial_base + i);
+    let launcher_outs = exec.run(launchers, |launcher| {
+        let tenant = format!("open-{launcher}");
+        let mut stats = ClassStats::default();
+        let mut sampled = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= arrivals.len() {
+                return (stats, sampled);
             }
+            let target = started + Duration::from_nanos(schedule[i]);
+            let now = Instant::now();
+            if now < target {
+                std::thread::sleep(target - now);
+            } else if now > target + Duration::from_millis(5) {
+                late.fetch_add(1, Ordering::Relaxed);
+            }
+            let outcome = router.run(&tenant, &arrivals[i]);
+            if let Ok(run) = &outcome {
+                if run.degraded {
+                    degraded.fetch_add(1, Ordering::Relaxed);
+                    if sampled.len() < 4 {
+                        sampled.push(i);
+                    }
+                }
+            }
+            // Latency from the *scheduled* arrival: a late launch is
+            // queueing delay the client would have seen, not noise.
+            stats.record(target, &flatten(outcome.map(|_| ())));
         }
     });
+    for (s, sampled) in launcher_outs {
+        stats.merge(s);
+        let mut sample = degraded_sample.lock().expect("sample lock");
+        for i in sampled {
+            if sample.len() >= sample_cap {
+                break;
+            }
+            sample.push(serial_base + i);
+        }
+    }
     let wall = started.elapsed();
 
     let metrics_after = router.metrics();
@@ -447,6 +441,9 @@ pub fn run(opts: &OverloadOptions) -> String {
     ));
     let factory = QueryFactory::build(router.cluster());
     let mut serial = 0usize;
+    // One launcher pool for the whole run — calibration and every sweep
+    // step reuse it instead of spawning a fresh scoped pool per phase.
+    let exec = Executor::new(opts.launchers);
 
     // --- Calibration: closed-loop capacity under the same unique-query
     // workload. Sets the sweep's rate scale; the sweep re-measures goodput.
@@ -460,31 +457,22 @@ pub fn run(opts: &OverloadOptions) -> String {
     serial += opts.calibration_requests;
     let next = AtomicUsize::new(0);
     let calibrated = Instant::now();
-    let mut completed = 0u64;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for launcher in 0..opts.launchers.min(opts.calibration_requests) {
-            let router = router.clone();
-            let calibration = &calibration;
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let tenant = format!("calibrate-{launcher}");
-                let mut done = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= calibration.len() {
-                        return done;
-                    }
-                    if router.run(&tenant, &calibration[i]).is_ok() {
-                        done += 1;
-                    }
+    let completed: u64 = exec
+        .run(opts.launchers.min(opts.calibration_requests), |launcher| {
+            let tenant = format!("calibrate-{launcher}");
+            let mut done = 0u64;
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= calibration.len() {
+                    return done;
                 }
-            }));
-        }
-        for h in handles {
-            completed += h.join().expect("no calibration panics");
-        }
-    });
+                if router.run(&tenant, &calibration[i]).is_ok() {
+                    done += 1;
+                }
+            }
+        })
+        .into_iter()
+        .sum();
     let calibrated_rps = (completed as f64 / calibrated.elapsed().as_secs_f64().max(1e-9)).max(1.0);
     eprintln!("(calibrated capacity: {calibrated_rps:.1} rps)");
 
@@ -504,6 +492,7 @@ pub fn run(opts: &OverloadOptions) -> String {
             schedule.len()
         );
         let outcome = run_step(
+            &exec,
             &router,
             &factory,
             &schedule,

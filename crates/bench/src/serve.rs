@@ -77,6 +77,14 @@ pub struct ServeLoadOptions {
     /// populates the cluster-tier stages (`shard_rtt`, `edge_merge`) in the
     /// same shared `"stages"` section; `0` skips the phase.
     pub cluster_shards: usize,
+    /// Cold scatter requests **per arm** of the `medium`-scale smoke phase
+    /// (`0` skips it). The phase builds a 4-shard edge over the `medium`
+    /// dataset and drives the same cold-completion scatter through two
+    /// routers — the shared executor and the spawn-per-request reference —
+    /// so the report carries the bigger-rung baseline the ROADMAP asks for
+    /// *and* the counterfactual, at a fixed CI budget instead of the full
+    /// workload (one `medium` QSM question alone can run for minutes).
+    pub medium_smoke_requests: usize,
 }
 
 impl Default for ServeLoadOptions {
@@ -95,6 +103,7 @@ impl Default for ServeLoadOptions {
             frontend_workers: crate::frontend::FrontendPhaseOptions::default().workers,
             trace_sample: 0,
             cluster_shards: 2,
+            medium_smoke_requests: 256,
         }
     }
 }
@@ -284,6 +293,15 @@ pub fn run(opts: &ServeLoadOptions) -> String {
     // report's `"stages"` section spans all tiers.
     let obs = Arc::new(Obs::new());
     obs.set_sampling(opts.trace_sample);
+    // Feed the shared executor's queue-wait samples into the same stage
+    // histograms (the observer is install-once process-wide; a second
+    // serve run in one process keeps the first hook, which points at a
+    // dead Obs — fine for a bench binary that runs once).
+    {
+        let exec_obs = obs.clone();
+        sapphire_core::exec::global()
+            .set_queue_wait_observer(move |us| exec_obs.record(sapphire_obs::Stage::ExecQueue, us));
+    }
     let server = Arc::new(SapphireServer::with_obs(pum.clone(), config, obs.clone()));
 
     let questions = appendix_b();
@@ -655,6 +673,9 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         )
     });
 
+    // --- Phase 5: medium-scale smoke (bigger-rung scatter baseline) ---
+    let medium_smoke_section = medium_smoke_phase(opts.medium_smoke_requests);
+
     // The cross-tier sections snapshot only after EVERY phase has run, so
     // `"stages"` carries the front-end's `frontend_queue`/`end_to_end`
     // observations alongside the single-box and cluster-tier stages.
@@ -670,9 +691,30 @@ pub fn run(opts: &ServeLoadOptions) -> String {
     while report.ends_with(char::is_whitespace) {
         report.pop();
     }
+    // Executor snapshot after every phase: how much scatter/scan/hedge
+    // work the shared pool absorbed that per-request threads used to
+    // carry. `spawns_avoided` is the headline — each one is a
+    // thread::spawn the steady-state path no longer pays for.
+    let exec_stats = sapphire_core::exec::global().stats();
+    let exec_section = format!(
+        "{{\"workers\": {}, \"tasks_run\": {}, \"inline_runs\": {}, \"steals\": {}, \
+         \"spawns_avoided\": {}, \"panicked\": {}, \"queue_p50_us\": {}, \
+         \"queue_p95_us\": {}, \"queue_p99_us\": {}, \"queue_max_us\": {}}}",
+        exec_stats.workers,
+        exec_stats.tasks_run,
+        exec_stats.inline_runs,
+        exec_stats.steals,
+        exec_stats.spawns_avoided,
+        exec_stats.panicked,
+        exec_stats.queue_p50_us,
+        exec_stats.queue_p95_us,
+        exec_stats.queue_p99_us,
+        exec_stats.queue_max_us,
+    );
     report.push_str(&format!(
-        ",\n  \"cluster_scatter\": {cluster_section},\n  \"stages\": {},\n  \
-         \"trace\": {trace_section}",
+        ",\n  \"cluster_scatter\": {cluster_section},\n  \"exec\": {exec_section},\n  \
+         \"medium_smoke\": {medium_smoke_section},\n  \
+         \"stages\": {},\n  \"trace\": {trace_section}",
         obs.stages_json(),
     ));
     // The front-end section stays LAST: its object nests keys that also
@@ -690,6 +732,174 @@ pub fn run(opts: &ServeLoadOptions) -> String {
         );
     }
     report
+}
+
+/// The `medium`-scale smoke phase: the ROADMAP's bigger-rung baseline at a
+/// fixed CI budget, plus the spawn-per-request counterfactual.
+///
+/// Builds a 4-shard (1 replica) edge over the `medium` dataset and drives
+/// `requests_per_arm` **cold** completion scatters through two routers over
+/// the *same* shard replicas: one on the shared executor (the product
+/// configuration) and one forced onto the old spawn-per-request reference
+/// path. Every term is salted unique per arm, so every request misses every
+/// cache on both sides and the two arms measure the same all-cold scatter
+/// work — the latency delta is the thread-spawn overhead and nothing else.
+/// Arms run in alternating chunks so scheduler drift lands on both equally.
+///
+/// The full `medium` workload is deliberately NOT run here: a single
+/// Appendix-B QSM question at `medium` can relax for minutes, which no CI
+/// budget survives — that is exactly why the committed baseline stayed
+/// `tiny` until now.
+fn medium_smoke_phase(requests_per_arm: usize) -> String {
+    if requests_per_arm == 0 {
+        return "{\"requests_per_arm\": 0}".to_string();
+    }
+    eprintln!("(medium smoke: generating dataset + initializing 4 shard models…)");
+    let bringup_clock = Instant::now();
+    let graph = generate(dataset_for("medium"));
+    let triples = graph.len();
+    let cluster = Cluster::build(
+        "medium-edge",
+        &graph,
+        4,
+        1,
+        &Lexicon::dbpedia_default(),
+        &experiment_config(),
+        &ServerConfig::default(),
+    )
+    .expect("medium shard initialization");
+    drop(graph);
+    let replicas = cluster.shards().to_vec();
+    let bringup_us = bringup_clock.elapsed().as_micros() as u64;
+
+    let executor_router = Arc::new(ClusterRouter::new(cluster, ClusterConfig::default()));
+    let mut reference =
+        ClusterRouter::new(Cluster::from_replicas(replicas), ClusterConfig::default());
+    reference.set_reference_spawns(true);
+    let reference_router = Arc::new(reference);
+
+    // Per-arm term lists: real workload prefixes, salted with the arm tag
+    // and a sequence number so no term repeats and no term is shared across
+    // arms — cold at the edge caches AND the shard caches, symmetrically.
+    let mut base: Vec<String> = Vec::new();
+    for question in appendix_b() {
+        for input in &question.script.rows {
+            let keyword = input.object.trim_start_matches('?');
+            for end in 1..=keyword.chars().count().min(6) {
+                base.push(keyword.chars().take(end).collect());
+            }
+        }
+    }
+    let terms_for = |arm: &str| -> Vec<String> {
+        (0..requests_per_arm)
+            .map(|i| format!("{}~{arm}{i}", base[i % base.len()]))
+            .collect()
+    };
+
+    let run_chunk = |router: &Arc<ClusterRouter>, terms: &[String]| -> (ClassStats, Duration) {
+        let workers = 4.min(terms.len());
+        let started = Instant::now();
+        let mut stats = ClassStats::default();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let router = router.clone();
+                handles.push(scope.spawn(move || {
+                    let mut s = ClassStats::default();
+                    for term in terms.iter().skip(w).step_by(workers) {
+                        let t = Instant::now();
+                        let r = router.complete("smoke", term).map(|_| ());
+                        s.record(t, &crate::cluster::flatten(r));
+                    }
+                    s
+                }));
+            }
+            for h in handles {
+                stats.merge(h.join().expect("no smoke worker panics"));
+            }
+        });
+        (stats, started.elapsed())
+    };
+
+    eprintln!("(medium smoke: {requests_per_arm} cold scatters per arm, 4-way fan-out…)");
+    let executor_terms = terms_for("e");
+    let reference_terms = terms_for("r");
+    const CHUNKS: usize = 4;
+    let chunk_len = requests_per_arm.div_ceil(CHUNKS);
+    let mut executor_stats = ClassStats::default();
+    let mut reference_stats = ClassStats::default();
+    let (mut executor_wall, mut reference_wall) = (Duration::ZERO, Duration::ZERO);
+    for chunk in 0..CHUNKS {
+        let range = |terms: &[String]| -> std::ops::Range<usize> {
+            (chunk * chunk_len).min(terms.len())..((chunk + 1) * chunk_len).min(terms.len())
+        };
+        // Alternate which arm goes first so a drifting scheduler taxes both.
+        let order: [(
+            &Arc<ClusterRouter>,
+            &[String],
+            &mut ClassStats,
+            &mut Duration,
+        ); 2] = if chunk % 2 == 0 {
+            [
+                (
+                    &executor_router,
+                    &executor_terms[range(&executor_terms)],
+                    &mut executor_stats,
+                    &mut executor_wall,
+                ),
+                (
+                    &reference_router,
+                    &reference_terms[range(&reference_terms)],
+                    &mut reference_stats,
+                    &mut reference_wall,
+                ),
+            ]
+        } else {
+            [
+                (
+                    &reference_router,
+                    &reference_terms[range(&reference_terms)],
+                    &mut reference_stats,
+                    &mut reference_wall,
+                ),
+                (
+                    &executor_router,
+                    &executor_terms[range(&executor_terms)],
+                    &mut executor_stats,
+                    &mut executor_wall,
+                ),
+            ]
+        };
+        for (router, terms, stats, wall) in order {
+            let (s, w) = run_chunk(router, terms);
+            stats.merge(s);
+            *wall += w;
+        }
+    }
+
+    let p99 = |stats: &ClassStats| -> u64 {
+        let mut sorted = stats.latencies_us.clone();
+        sorted.sort_unstable();
+        match sorted.len() {
+            0 => 0,
+            n => sorted[(99.0 / 100.0 * (n - 1) as f64).round() as usize],
+        }
+    };
+    let executor_p99 = p99(&executor_stats);
+    let reference_p99 = p99(&reference_stats);
+    let fanout =
+        |router: &Arc<ClusterRouter>| -> u64 { router.metrics().fanout_per_shard.iter().sum() };
+    format!(
+        "{{\"scale\": \"medium\", \"shards\": 4, \"replicas\": 1, \"triples\": {triples}, \
+         \"bringup_us\": {bringup_us}, \"requests_per_arm\": {requests_per_arm}, \
+         \"executor_p99_us\": {executor_p99}, \"reference_p99_us\": {reference_p99}, \
+         \"executor_fanout_total\": {}, \"reference_fanout_total\": {}, \
+         \"executor\": {}, \"spawn_reference\": {}}}",
+        fanout(&executor_router),
+        fanout(&reference_router),
+        executor_stats.json(executor_wall),
+        reference_stats.json(reference_wall),
+    )
 }
 
 /// Pull a numeric field out of a `serve_load` JSON report.

@@ -29,9 +29,10 @@
 //! exactly as the PR-2 design intended.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use sapphire_core::exec;
 use sapphire_core::qcm::{Completion, CompletionResult};
 use sapphire_core::qsm::{AlteredPosition, StructureSuggestion, TermAlternative};
 use sapphire_core::{
@@ -651,12 +652,11 @@ pub struct ClusterRouter {
     service_coalescer: Coalescer<QueryResult, ClusterError>,
     counters: Counters,
     obs: Arc<Obs>,
-    /// Join handles of hedge-race losers, reaped deterministically: finished
-    /// handles are joined at the next hedged call, anything left is joined
-    /// on drop. Bounded because `max_inflight_hedges` bounds the number of
-    /// *running* losers and every finished one is drained before a new
-    /// hedge may fire.
-    hedge_reaper: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Test-only escape hatch: route scatter and hedges through per-request
+    /// thread spawns (the pre-executor implementation) instead of the shared
+    /// executor. The byte-identity oracle (`tests/executor_oracle.rs`)
+    /// compares the two paths on the full Appendix-B workload.
+    reference_spawns: bool,
 }
 
 impl ClusterRouter {
@@ -734,7 +734,7 @@ impl ClusterRouter {
             service_coalescer: Coalescer::new(config.cache_shards, config.coalesce_waiters_per_key),
             counters: Counters::new(shard_count),
             obs,
-            hedge_reaper: Mutex::new(Vec::new()),
+            reference_spawns: false,
             k,
             shards,
             cluster,
@@ -1461,29 +1461,46 @@ impl ClusterRouter {
         if shards == 1 {
             return Ok(vec![self.shard_rtt(0, req)?]);
         }
-        // Scatter threads are fresh threads: hand each one the request's
-        // trace context so its shard span parents under this request, and a
-        // request mark so the shard server's own request scope stays inert.
+        // Scatter tasks run on executor workers (or, for the reference
+        // path, fresh threads): hand each one the request's trace context so
+        // its shard span parents under this request, and a request mark so
+        // the shard server's own request scope stays inert.
         let ctx = trace::current_ctx();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards)
-                .map(|shard| {
-                    let ctx = ctx.clone();
-                    scope.spawn(move || {
-                        let _mark = RequestMark::new();
-                        let _scope = ctx.map(|(trace, parent)| match parent {
-                            Some(p) => TraceScope::enter_with_parent(trace, p),
-                            None => TraceScope::enter(Some(trace)),
-                        });
-                        self.shard_rtt(shard, req)
+        if self.reference_spawns {
+            return std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|shard| {
+                        let ctx = ctx.clone();
+                        scope.spawn(move || {
+                            let _mark = RequestMark::new();
+                            let _scope = ctx.map(|(trace, parent)| match parent {
+                                Some(p) => TraceScope::enter_with_parent(trace, p),
+                                None => TraceScope::enter(Some(trace)),
+                            });
+                            self.shard_rtt(shard, req)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard call never panics"))
-                .collect()
-        })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard call never panics"))
+                    .collect()
+            });
+        }
+        // One task per shard on the shared executor: zero thread spawns, and
+        // `run` collects in task-index (= shard) order, so the gather is
+        // byte-identical to the spawn-per-shard reference.
+        exec::global()
+            .run(shards, |shard| {
+                let _mark = RequestMark::new();
+                let _scope = ctx.clone().map(|(trace, parent)| match parent {
+                    Some(p) => TraceScope::enter_with_parent(trace, p),
+                    None => TraceScope::enter(Some(trace)),
+                });
+                self.shard_rtt(shard, req)
+            })
+            .into_iter()
+            .collect()
     }
 
     /// One whole shard call ([`call_shard`]: load-ordered replica choice,
@@ -1595,15 +1612,16 @@ impl ClusterRouter {
     /// success when both eventually answer).
     ///
     /// The slower call keeps running — it holds its own admission slot,
-    /// exactly the cost hedging is priced at — but never *detached*: the
-    /// number of in-flight losers is capped by
-    /// [`ClusterConfig::max_inflight_hedges`] (a hedge that would exceed it
-    /// is suppressed and the call just waits for its primary), and every
-    /// loser's join handle goes to the reaper, which joins finished losers
-    /// before the next hedge fires and joins everything on router drop.
-    /// Detached spawns here were the PR-4 leak: under a sustained storm of
-    /// slow primaries, losers accumulated without bound, each pinning an
-    /// admission slot until its scan completed.
+    /// exactly the cost hedging is priced at — but bounded: the number of
+    /// in-flight hedges is capped by [`ClusterConfig::max_inflight_hedges`]
+    /// (a hedge that would exceed it is suppressed and the call just waits
+    /// for its primary; the token is taken at submission and released by the
+    /// hedge task itself when its scan completes). Calls are executor tasks,
+    /// not threads — the old reaper that joined loser threads is gone
+    /// because there is nothing to join: each task owns (`Arc`s) everything
+    /// it touches. Progress is guaranteed even with a saturated pool: any
+    /// call this thread ends up blocked on gets claimed back and run inline
+    /// ([`exec::TaskHandle::run_now`]).
     fn call_hedged(
         &self,
         shard: usize,
@@ -1613,32 +1631,34 @@ impl ClusterRouter {
         budget: Duration,
         req: &ShardRequest,
     ) -> Result<ShardReply, ServerError> {
-        self.reap_finished_hedges();
         let (tx, rx) = mpsc::channel();
-        let spawn_call = |replica: usize, hedged: bool| {
+        let submit_call = |replica: usize, hedged: bool| -> HedgeCall {
             let server = replicas[replica].clone();
             let req = req.clone();
             let tx = tx.clone();
-            // The hedge thread itself releases its in-flight token when the
+            // The hedge task itself releases its in-flight token when the
             // scan completes — the gauge tracks scans (each pinning an
-            // admission slot), not join-handle lifetimes.
+            // admission slot), not task lifetimes.
             let gauge = hedged.then(|| Arc::clone(&self.counters.hedges_in_flight));
-            std::thread::spawn(move || {
+            let job = move || {
                 let result = call_replica(server.as_ref(), &req);
                 if let Some(gauge) = gauge {
                     gauge.fetch_sub(1, Ordering::Relaxed);
                 }
                 let _ = tx.send((hedged, result));
-            })
-        };
-        let primary_handle = spawn_call(primary, false);
-        match rx.recv_timeout(budget) {
-            Ok((_, reply)) => {
-                // The primary answered within budget: its thread is done
-                // (the send happens last) — join it right here.
-                let _ = primary_handle.join();
-                reply
+            };
+            if self.reference_spawns {
+                // Reference path: a detached thread, as before the executor.
+                // Nothing joins it; the task owns everything it touches.
+                std::thread::spawn(job);
+                HedgeCall::Thread
+            } else {
+                HedgeCall::Exec(exec::global().spawn(job))
             }
+        };
+        let primary_call = submit_call(primary, false);
+        match rx.recv_timeout(budget) {
+            Ok((_, reply)) => reply,
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 let cap = self.config.max_inflight_hedges as u64;
                 let token = self.counters.hedges_in_flight.fetch_update(
@@ -1648,12 +1668,13 @@ impl ClusterRouter {
                 );
                 if token.is_err() {
                     // At the cap: no hedge — wait out the primary instead of
-                    // growing the loser population.
+                    // growing the loser population. If the primary is still
+                    // queued behind a saturated pool, run it right here.
                     self.counters
                         .hedges_suppressed
                         .fetch_add(1, Ordering::Relaxed);
+                    primary_call.run_now();
                     let (_, reply) = rx.recv().expect("a replica call always replies");
-                    let _ = primary_handle.join();
                     return reply;
                 }
                 self.counters.hedges_fired.fetch_add(1, Ordering::Relaxed);
@@ -1661,8 +1682,22 @@ impl ClusterRouter {
                 // must see it (its doc promises hedges are included).
                 self.counters.fanout[shard].fetch_add(1, Ordering::Relaxed);
                 let hedge_fired = Instant::now();
-                let secondary_handle = spawn_call(secondary, true);
-                let (first_hedged, first) = rx.recv().expect("a replica call always replies");
+                let secondary_call = submit_call(secondary, true);
+                let (first_hedged, first) = match rx.recv_timeout(budget) {
+                    Ok(reply) => reply,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Another budget has passed with no reply — the pool
+                        // may be saturated with both calls still queued.
+                        // Claim whatever has not started and run it inline;
+                        // after that at least one send is guaranteed.
+                        primary_call.run_now();
+                        secondary_call.run_now();
+                        rx.recv().expect("a replica call always replies")
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("senders live in the submitted calls")
+                    }
+                };
                 if let Some((trace, parent)) = trace::current_ctx() {
                     trace.add_span(
                         "hedge",
@@ -1672,26 +1707,22 @@ impl ClusterRouter {
                         format!("shard{shard} secondary replica{secondary} won={first_hedged}"),
                     );
                 }
-                let (winner, loser) = if first_hedged {
-                    (secondary_handle, primary_handle)
-                } else {
-                    (primary_handle, secondary_handle)
-                };
-                let _ = winner.join();
                 match first {
                     Ok(reply) => {
                         if first_hedged {
                             self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
                         }
-                        // The loser is still scanning; park its handle for a
-                        // deterministic reap instead of detaching it.
-                        self.hedge_reaper.lock().unwrap().push(loser);
+                        // The loser keeps running detached on the pool; its
+                        // gauge token is released when its scan completes.
                         Ok(reply)
                     }
-                    // The first reply failed; the other call is still due —
-                    // and once it answers, both threads are done.
+                    // The first reply failed; the other call is still due.
+                    // Force it to start if it is stuck in the queue, then
+                    // wait it out.
                     Err(first_err) => {
-                        let outcome = match rx.recv() {
+                        primary_call.run_now();
+                        secondary_call.run_now();
+                        match rx.recv() {
                             Ok((second_hedged, Ok(reply))) => {
                                 if second_hedged {
                                     self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
@@ -1699,29 +1730,12 @@ impl ClusterRouter {
                                 Ok(reply)
                             }
                             _ => Err(first_err),
-                        };
-                        let _ = loser.join();
-                        outcome
+                        }
                     }
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                unreachable!("sender lives in the spawned call")
-            }
-        }
-    }
-
-    /// Join hedge-race losers whose scans have since completed. Called
-    /// before each hedged call (and from `Drop`, unconditionally), so
-    /// finished handles never accumulate.
-    fn reap_finished_hedges(&self) {
-        let mut reaper = self.hedge_reaper.lock().unwrap();
-        let mut i = 0;
-        while i < reaper.len() {
-            if reaper[i].is_finished() {
-                let _ = reaper.swap_remove(i).join();
-            } else {
-                i += 1;
+                unreachable!("sender lives in the submitted call")
             }
         }
     }
@@ -1732,14 +1746,30 @@ impl ClusterRouter {
     pub fn hedges_in_flight(&self) -> u64 {
         self.counters.hedges_in_flight.load(Ordering::Relaxed)
     }
+
+    /// Test-only: route scatter and hedges through per-request thread spawns
+    /// (the pre-executor reference implementation). See
+    /// `tests/executor_oracle.rs`.
+    #[doc(hidden)]
+    pub fn set_reference_spawns(&mut self, on: bool) {
+        self.reference_spawns = on;
+    }
 }
 
-impl Drop for ClusterRouter {
-    fn drop(&mut self) {
-        // Deterministic final reap: no hedge thread outlives the router.
-        let handles = std::mem::take(&mut *self.hedge_reaper.lock().unwrap());
-        for handle in handles {
-            let _ = handle.join();
+/// A submitted hedge-race call: an executor task on the production path, a
+/// real thread on the test-only reference path.
+enum HedgeCall {
+    Exec(exec::TaskHandle),
+    Thread,
+}
+
+impl HedgeCall {
+    /// Progress guarantee: claim the call and run it on this thread if it is
+    /// still queued behind a saturated pool. Reference threads always make
+    /// progress on their own, so this is a no-op for them.
+    fn run_now(&self) {
+        if let HedgeCall::Exec(handle) = self {
+            handle.run_now();
         }
     }
 }

@@ -55,6 +55,7 @@ pub mod answers;
 pub mod bins;
 pub mod cache;
 pub mod config;
+pub mod exec;
 pub mod init;
 pub mod pum;
 pub mod qcm;
@@ -67,6 +68,7 @@ pub use cache::{
     CacheStats, CachedClass, CachedData, CachedPredicate, MatchSource,
 };
 pub use config::{SapphireConfig, SteinerConfig};
+pub use exec::{ExecStats, Executor, TaskHandle};
 pub use init::{InitError, InitMode, InitStats, Initializer};
 pub use pum::{PredictiveUserModel, PumError, RunOutcome};
 pub use qcm::{Completion, CompletionResult, QueryCompletion};

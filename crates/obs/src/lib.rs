@@ -60,13 +60,16 @@ pub enum Stage {
     ShardRtt,
     /// Cluster tier: merging shard partials into the final top-k.
     EdgeMerge,
+    /// Shared executor: a task sitting in a worker queue before it starts
+    /// (scatter shard calls, hedges, residual-bin scan tasks).
+    ExecQueue,
     /// Whole request, entry tier → reply.
     EndToEnd,
 }
 
 impl Stage {
     /// Number of stages (array sizes; recorder adds one slot for totals).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::FrontendQueue,
@@ -78,6 +81,7 @@ impl Stage {
         Stage::SteinerRelax,
         Stage::ShardRtt,
         Stage::EdgeMerge,
+        Stage::ExecQueue,
         Stage::EndToEnd,
     ];
 
@@ -93,6 +97,7 @@ impl Stage {
             Stage::SteinerRelax => "steiner_relax",
             Stage::ShardRtt => "shard_rtt",
             Stage::EdgeMerge => "edge_merge",
+            Stage::ExecQueue => "exec_queue",
             Stage::EndToEnd => "end_to_end",
         }
     }

@@ -27,9 +27,10 @@
 //!
 //! [`ServerError::Unreachable`]: sapphire_server::ServerError::Unreachable
 
-use std::net::{SocketAddr, TcpStream};
+use std::collections::{HashMap, HashSet};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use sapphire_core::qcm::CompletionResult;
@@ -39,7 +40,7 @@ use sapphire_sparql::{Query, QueryResult, SelectQuery};
 use crate::codec::{
     decode_hello_ok, decode_reply, encode_hello, encode_request, WireReply, WireRequest,
 };
-use crate::frame::{self, kind, WireError, MAX_FRAME, WIRE_VERSION};
+use crate::frame::{self, kind, WireError, MAX_FRAME, WIRE_VERSION, WIRE_VERSION_PIPELINED};
 
 /// Tuning knobs for a [`WireClient`].
 #[derive(Debug, Clone)]
@@ -48,12 +49,22 @@ pub struct WireClientConfig {
     pub connect_timeout: Duration,
     /// Deadline for one request/reply exchange (the read side).
     pub call_timeout: Duration,
-    /// Idle connections kept for reuse. Each in-flight call holds one
-    /// connection exclusively, so this also bounds this client's
-    /// socket-level concurrency against the replica.
+    /// Idle connections kept for reuse **on the legacy v1 path**, where
+    /// each in-flight call holds one connection exclusively; this then
+    /// also bounds the client's socket-level concurrency against the
+    /// replica. A pipelined (v2) replica is reached over one shared
+    /// connection instead, bounded by `pipeline_depth`.
     pub max_pool: usize,
     /// Largest frame payload accepted from the server.
     pub max_frame: u32,
+    /// Newest protocol version offered in the HELLO. Defaults to
+    /// [`frame::WIRE_VERSION_MAX`]; pin to 1 to force the legacy pooled
+    /// protocol even against a pipelining-capable server.
+    pub max_version: u32,
+    /// Cap on in-flight requests sharing the pipelined connection; callers
+    /// past it wait for a reply slot (the socket-level analogue of
+    /// `max_pool`).
+    pub pipeline_depth: usize,
 }
 
 impl Default for WireClientConfig {
@@ -63,9 +74,22 @@ impl Default for WireClientConfig {
             call_timeout: Duration::from_secs(10),
             max_pool: 4,
             max_frame: MAX_FRAME,
+            max_version: frame::WIRE_VERSION_MAX,
+            pipeline_depth: 128,
         }
     }
 }
+
+/// How often the demux reader re-checks the failure flag while its socket
+/// is idle. Failure paths also shoot the socket, so this is a backstop,
+/// not the primary wake-up.
+const READER_POLL: Duration = Duration::from_millis(100);
+
+/// Cap on remembered timed-out correlation ids. Late replies to remembered
+/// ids are dropped silently; once the set is full the link is considered
+/// sick and the connection is failed rather than risking an unrecognized
+/// id being misread as a protocol violation.
+const TOMBSTONE_CAP: usize = 1024;
 
 /// A reconnecting, pooling client for one replica's [`WireServer`]
 /// (see the module docs).
@@ -77,40 +101,56 @@ pub struct WireClient {
     name: String,
     k: usize,
     pool: Mutex<Vec<TcpStream>>,
+    /// The pipelined (v2) connection, when the replica negotiated one.
+    /// Replaced wholesale on failure; in-flight callers keep their `Arc`
+    /// to the dead one and surface its error.
+    pipe: Mutex<Option<Arc<PipeConn>>>,
+    /// Set once a handshake lands on protocol v1 — the replica will never
+    /// speak v2, so later dials offer v1 directly instead of burning a
+    /// doomed offer + retry on every reconnect.
+    negotiated_v1: AtomicBool,
     /// Set on an IO failure, cleared by the next successful dial — that
     /// dial is a *re*connect.
     broken: AtomicBool,
     connects: AtomicU64,
     reconnects: AtomicU64,
     io_errors: AtomicU64,
-    corrupt_frames: AtomicU64,
+    /// Shared with the demux reader thread, which counts protocol
+    /// violations (orphan correlation ids, unexpected frame kinds) that no
+    /// single caller can be blamed for.
+    corrupt_frames: Arc<AtomicU64>,
     load_in_flight: AtomicUsize,
     load_queued: AtomicUsize,
     load_pressure: AtomicUsize,
 }
 
 impl WireClient {
-    /// Dial `addr` and handshake, learning the replica's name and top-k.
-    /// The handshaken connection seeds the pool.
+    /// Dial `addr` and handshake, learning the replica's name, top-k, and
+    /// protocol version. On v2 the handshaken connection becomes the
+    /// pipelined connection; on v1 it seeds the pool.
     pub fn connect(addr: SocketAddr, config: WireClientConfig) -> Result<WireClient, WireError> {
-        let client = WireClient {
+        let mut client = WireClient {
             addr,
             config,
             name: String::new(),
             k: 0,
             pool: Mutex::new(Vec::new()),
+            pipe: Mutex::new(None),
+            negotiated_v1: AtomicBool::new(false),
             broken: AtomicBool::new(false),
             connects: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
-            corrupt_frames: AtomicU64::new(0),
+            corrupt_frames: Arc::new(AtomicU64::new(0)),
             load_in_flight: AtomicUsize::new(0),
             load_queued: AtomicUsize::new(0),
             load_pressure: AtomicUsize::new(0),
         };
-        let (stream, name, k) = client.dial()?;
-        client.pool.lock().unwrap().push(stream);
-        Ok(WireClient { name, k, ..client })
+        let (stream, name, k, version) = client.dial()?;
+        client.name = name;
+        client.k = k;
+        client.adopt(stream, version);
+        Ok(client)
     }
 
     /// The replica address this client dials.
@@ -118,8 +158,61 @@ impl WireClient {
         self.addr
     }
 
-    /// TCP connect + HELLO/HELLO_OK handshake.
-    fn dial(&self) -> Result<(TcpStream, String, usize), WireError> {
+    /// The protocol version in use: 2 when a pipelined connection is live,
+    /// 1 on the legacy pooled path (or before any v2 dial).
+    pub fn protocol_version(&self) -> u32 {
+        if self.pipe.lock().unwrap().is_some() {
+            WIRE_VERSION_PIPELINED
+        } else {
+            WIRE_VERSION
+        }
+    }
+
+    /// File a freshly handshaken connection where its protocol version
+    /// says it belongs.
+    fn adopt(&self, stream: TcpStream, version: u32) {
+        if version >= WIRE_VERSION_PIPELINED {
+            // A try_clone failure just drops the stream; the next call
+            // redials.
+            if let Ok(p) = PipeConn::spawn(stream, self.config.max_frame, &self.corrupt_frames) {
+                *self.pipe.lock().unwrap() = Some(p);
+            }
+        } else {
+            self.negotiated_v1.store(true, Ordering::Relaxed);
+            self.check_in(stream);
+        }
+    }
+
+    /// TCP connect + HELLO/HELLO_OK handshake, negotiating the protocol
+    /// version. Offers the configured max; an old server that predates
+    /// negotiation answers an unknown version by disconnecting, so a
+    /// failed v2+ offer is retried once at v1 (and the downgrade is
+    /// remembered).
+    fn dial(&self) -> Result<(TcpStream, String, usize, u32), WireError> {
+        let offer = if self.negotiated_v1.load(Ordering::Relaxed) {
+            WIRE_VERSION
+        } else {
+            self.config
+                .max_version
+                .clamp(WIRE_VERSION, frame::WIRE_VERSION_MAX)
+        };
+        match self.dial_version(offer) {
+            Ok(out) => {
+                if out.3 < WIRE_VERSION_PIPELINED {
+                    self.negotiated_v1.store(true, Ordering::Relaxed);
+                }
+                Ok(out)
+            }
+            Err(e) if offer > WIRE_VERSION && e.is_transport() => {
+                let out = self.dial_version(WIRE_VERSION)?;
+                self.negotiated_v1.store(true, Ordering::Relaxed);
+                Ok(out)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn dial_version(&self, offer: u32) -> Result<(TcpStream, String, usize, u32), WireError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout).map_err(
             |e| match e.kind() {
                 std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => WireError::Timeout,
@@ -129,17 +222,20 @@ impl WireClient {
         stream.set_nodelay(true).ok();
         frame::set_deadline(&stream, Some(self.config.connect_timeout))?;
         let mut s = &stream;
-        frame::write_frame(&mut s, kind::HELLO, &encode_hello(WIRE_VERSION))?;
+        frame::write_frame(&mut s, kind::HELLO, &encode_hello(offer))?;
         let (k, payload) = frame::read_frame(&mut s, self.config.max_frame)?;
         if k != kind::HELLO_OK {
             return Err(WireError::Corrupt(format!("expected HELLO_OK, got {k}")));
         }
-        let (name, top_k, _server_max) = decode_hello_ok(&payload)?;
+        let (name, top_k, _server_max, chosen) = decode_hello_ok(&payload)?;
+        if !(WIRE_VERSION..=offer).contains(&chosen) {
+            return Err(WireError::Corrupt(format!("negotiated version {chosen}")));
+        }
         self.connects.fetch_add(1, Ordering::Relaxed);
         if self.broken.swap(false, Ordering::Relaxed) {
             self.reconnects.fetch_add(1, Ordering::Relaxed);
         }
-        Ok((stream, name, top_k))
+        Ok((stream, name, top_k, chosen))
     }
 
     fn checkout(&self) -> Option<TcpStream> {
@@ -182,9 +278,21 @@ impl WireClient {
     }
 
     /// Issue one request, with the stale-pool redial described in the
-    /// module docs, mapping transport failures onto typed errors.
+    /// module docs, mapping transport failures onto typed errors. On a
+    /// pipelined replica the request shares the live v2 connection with
+    /// every other in-flight call; otherwise it checks a connection out of
+    /// the legacy pool.
     pub fn call(&self, req: &WireRequest) -> Result<WireReply, ServerError> {
         let payload = encode_request(req);
+        if self.config.max_version >= WIRE_VERSION_PIPELINED
+            && !self.negotiated_v1.load(Ordering::Relaxed)
+        {
+            if let Some(result) = self.call_pipelined(&payload) {
+                return result;
+            }
+            // The dial negotiated down to v1 mid-call; the fresh stream is
+            // already pooled. Fall through to the legacy path.
+        }
         let mut fresh = false;
         let mut stream = match self.checkout() {
             Some(s) => s,
@@ -228,6 +336,94 @@ impl WireClient {
         }
     }
 
+    /// The pipelined analogue of the `call` loop. `None` means the dial
+    /// discovered a v1-only replica (the stream went into the pool);
+    /// the caller falls back to the legacy path.
+    fn call_pipelined(&self, payload: &[u8]) -> Option<Result<WireReply, ServerError>> {
+        let mut retried = false;
+        loop {
+            let (pipe, fresh) = match self.get_pipe() {
+                Ok(Some(p)) => p,
+                Ok(None) => return None,
+                Err(e) => return Some(Err(e)),
+            };
+            let mut wrote = false;
+            let reply = pipe.call(
+                payload,
+                self.config.pipeline_depth,
+                self.config.call_timeout,
+                &mut wrote,
+            );
+            match reply {
+                Ok(bytes) => return Some(self.finish_reply(&bytes)),
+                Err(e) if !e.is_transport() => {
+                    self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    return Some(Err(e.to_server_error()));
+                }
+                Err(e) if fresh || wrote || retried => return Some(Err(self.fail(e))),
+                Err(_) => {
+                    // Same rule as the pooled path: the enqueue/write
+                    // failed on a connection that predates this call, so
+                    // the request provably never reached the replica and
+                    // one redial is safe.
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.broken.store(true, Ordering::Relaxed);
+                    retried = true;
+                }
+            }
+        }
+    }
+
+    /// The live pipelined connection, dialing a replacement if the current
+    /// one is dead or absent. `Ok(Some((conn, fresh)))` on success
+    /// (`fresh` = this call dialed it); `Ok(None)` when the replica turned
+    /// out to be v1-only.
+    fn get_pipe(&self) -> Result<Option<(Arc<PipeConn>, bool)>, ServerError> {
+        let mut guard = self.pipe.lock().unwrap();
+        if let Some(p) = guard.as_ref() {
+            if !p.failed.load(Ordering::SeqCst) {
+                return Ok(Some((p.clone(), false)));
+            }
+        }
+        // Dead or absent: replace it. The dial happens under the lock so
+        // concurrent callers hitting the same dead connection produce one
+        // reconnect, not a stampede.
+        let (stream, _, _, version) = self.dial().map_err(|e| self.fail(e))?;
+        if version < WIRE_VERSION_PIPELINED {
+            *guard = None;
+            self.check_in(stream);
+            return Ok(None);
+        }
+        if let Some(old) = guard.take() {
+            // Its reader saw the failure (the socket is shot) and is
+            // exiting; reclaim the thread.
+            old.join_reader();
+        }
+        let p = PipeConn::spawn(stream, self.config.max_frame, &self.corrupt_frames)
+            .map_err(|e| self.fail(e))?;
+        *guard = Some(p.clone());
+        Ok(Some((p, true)))
+    }
+
+    /// Decode a reply's load header + result and fold the header into the
+    /// lock-free load probes.
+    fn finish_reply(&self, reply: &[u8]) -> Result<WireReply, ServerError> {
+        let (load, result) = match decode_reply(reply) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                return Err(e.to_server_error());
+            }
+        };
+        self.load_in_flight
+            .store(load.in_flight as usize, Ordering::Relaxed);
+        self.load_queued
+            .store(load.queued as usize, Ordering::Relaxed);
+        self.load_pressure
+            .store(load.pressure as usize, Ordering::Relaxed);
+        result
+    }
+
     fn fail(&self, e: WireError) -> ServerError {
         if e.is_transport() {
             self.io_errors.fetch_add(1, Ordering::Relaxed);
@@ -236,6 +432,199 @@ impl WireClient {
             self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
         }
         e.to_server_error()
+    }
+}
+
+impl Drop for WireClient {
+    fn drop(&mut self) {
+        if let Some(p) = self.pipe.lock().unwrap().take() {
+            // Shooting the socket wakes the demux reader out of its read;
+            // join it so no thread outlives the client.
+            p.fail();
+            p.join_reader();
+        }
+    }
+}
+
+/// One pipelined (protocol v2) connection: many in-flight requests share
+/// one socket, each tagged with a correlation id; a demux reader thread
+/// routes replies — in whatever order the replica finishes them — to the
+/// callers parked on per-request channels.
+struct PipeConn {
+    writer: Mutex<TcpStream>,
+    state: Mutex<PipeState>,
+    /// Signalled when a reply (or failure) frees an in-flight slot.
+    room: Condvar,
+    next_corr: AtomicU64,
+    failed: AtomicBool,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+    corrupt: Arc<AtomicU64>,
+}
+
+struct PipeState {
+    /// Reply routes for in-flight correlation ids.
+    waiters: HashMap<u64, mpsc::Sender<Vec<u8>>>,
+    /// Ids whose caller hit its deadline and left. A late reply to one is
+    /// dropped silently; an id in neither map is a protocol violation.
+    tombstones: HashSet<u64>,
+}
+
+impl PipeConn {
+    fn spawn(
+        stream: TcpStream,
+        max_frame: u32,
+        corrupt: &Arc<AtomicU64>,
+    ) -> Result<Arc<PipeConn>, WireError> {
+        frame::set_deadline(&stream, Some(READER_POLL))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| WireError::Io(e.kind(), e.to_string()))?;
+        let conn = Arc::new(PipeConn {
+            writer: Mutex::new(writer),
+            state: Mutex::new(PipeState {
+                waiters: HashMap::new(),
+                tombstones: HashSet::new(),
+            }),
+            room: Condvar::new(),
+            next_corr: AtomicU64::new(1),
+            failed: AtomicBool::new(false),
+            reader: Mutex::new(None),
+            corrupt: corrupt.clone(),
+        });
+        let handle = {
+            let conn = conn.clone();
+            std::thread::Builder::new()
+                .name("sapphire-wire-demux".into())
+                .spawn(move || reader_loop(&conn, stream, max_frame))
+                .map_err(|e| WireError::Io(e.kind(), e.to_string()))?
+        };
+        *conn.reader.lock().unwrap() = Some(handle);
+        Ok(conn)
+    }
+
+    /// One pipelined exchange. `wrote` is set once the request frame hit
+    /// the socket — past that point the replica may be executing it, so
+    /// the caller must not replay (same contract as `exchange`).
+    fn call(
+        &self,
+        payload: &[u8],
+        depth: usize,
+        timeout: Duration,
+        wrote: &mut bool,
+    ) -> Result<Vec<u8>, WireError> {
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.state.lock().unwrap();
+            while st.waiters.len() >= depth.max(1) {
+                if self.failed.load(Ordering::SeqCst) {
+                    return Err(pipe_down());
+                }
+                st = self.room.wait(st).unwrap();
+            }
+            if self.failed.load(Ordering::SeqCst) {
+                return Err(pipe_down());
+            }
+            st.waiters.insert(corr, tx);
+        }
+        {
+            let mut w = self.writer.lock().unwrap();
+            if let Err(e) = frame::write_frame_corr(&mut *w, kind::REQUEST, corr, payload) {
+                drop(w);
+                self.state.lock().unwrap().waiters.remove(&corr);
+                // A failed write leaves the stream state unknown; the whole
+                // connection is done.
+                self.fail();
+                return Err(e);
+            }
+        }
+        *wrote = true;
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => Ok(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let mut st = self.state.lock().unwrap();
+                if st.waiters.remove(&corr).is_some() {
+                    // Leave a tombstone so the late reply is recognized
+                    // and dropped instead of read as an orphan.
+                    st.tombstones.insert(corr);
+                    let overflow = st.tombstones.len() > TOMBSTONE_CAP;
+                    drop(st);
+                    self.room.notify_one();
+                    if overflow {
+                        self.fail();
+                    }
+                }
+                Err(WireError::Timeout)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(pipe_down()),
+        }
+    }
+
+    /// Tear the connection down: every parked caller's channel drops (they
+    /// see a transport error), future callers get refused, and the shot
+    /// socket wakes the demux reader so it exits.
+    fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+        let _ = self.writer.lock().unwrap().shutdown(Shutdown::Both);
+        let mut st = self.state.lock().unwrap();
+        st.waiters.clear();
+        st.tombstones.clear();
+        drop(st);
+        self.room.notify_all();
+    }
+
+    fn join_reader(&self) {
+        if let Some(h) = self.reader.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn pipe_down() -> WireError {
+    WireError::Io(
+        std::io::ErrorKind::BrokenPipe,
+        "pipelined connection failed".into(),
+    )
+}
+
+fn reader_loop(conn: &PipeConn, mut stream: TcpStream, max_frame: u32) {
+    let mut reader = frame::FrameReader::new();
+    reader.set_version(WIRE_VERSION_PIPELINED);
+    loop {
+        if conn.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        let (k, corr, payload) = match reader.read_frame_corr(&mut stream, max_frame) {
+            Ok(f) => f,
+            Err(WireError::Timeout) => continue, // idle poll tick
+            Err(_) => {
+                conn.fail();
+                return;
+            }
+        };
+        if k != kind::REPLY {
+            conn.corrupt.fetch_add(1, Ordering::Relaxed);
+            conn.fail();
+            return;
+        }
+        let mut st = conn.state.lock().unwrap();
+        if let Some(tx) = st.waiters.remove(&corr) {
+            drop(st);
+            // The caller may have just timed out and dropped its receiver;
+            // that narrow race reads as a timeout there, drop here.
+            let _ = tx.send(payload);
+            conn.room.notify_one();
+        } else if st.tombstones.remove(&corr) {
+            // Late reply to a timed-out call: swallowed by design.
+        } else {
+            drop(st);
+            // A correlation id this client never issued (or already
+            // settled): the demux map is authoritative, so the stream can
+            // no longer be trusted.
+            conn.corrupt.fetch_add(1, Ordering::Relaxed);
+            conn.fail();
+            return;
+        }
     }
 }
 

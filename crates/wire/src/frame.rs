@@ -1,12 +1,25 @@
 //! Frame layer: the only thing that ever touches a socket.
 //!
-//! Every message is one frame:
+//! Every message is one frame. Version 1 frames (and every handshake frame,
+//! regardless of what gets negotiated):
 //!
 //! ```text
 //! +-------+-------+-----------------+------------------+
 //! | magic | kind  | len (u32 LE)    | payload (len B)  |
 //! | 0xC5  | 1 B   | 4 B             | codec-encoded    |
 //! +-------+-------+-----------------+------------------+
+//! ```
+//!
+//! Version 2 — negotiated in HELLO/HELLO_OK — adds a `u64` correlation id
+//! so one connection can carry many in-flight requests (pipelining): the
+//! client stamps each REQUEST, the server echoes the stamp on the matching
+//! REPLY, and replies may arrive in any order:
+//!
+//! ```text
+//! +-------+-------+--------------+-------------------+------------------+
+//! | magic | kind  | len (u32 LE) | corr id (u64 LE)  | payload (len B)  |
+//! | 0xC5  | 1 B   | 4 B          | 8 B               | codec-encoded    |
+//! +-------+-------+--------------+-------------------+------------------+
 //! ```
 //!
 //! The magic byte catches desynchronized streams immediately (a reader that
@@ -21,9 +34,19 @@ use std::time::Duration;
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xC5;
 
-/// Protocol version exchanged in the HELLO handshake. Bump on any codec
-/// change; mismatched peers disconnect instead of misparsing.
+/// The baseline protocol version: 6-byte headers, one request in flight
+/// per connection. Every HELLO/HELLO_OK is framed at this version — the
+/// handshake must be readable before any negotiation has happened.
 pub const WIRE_VERSION: u32 = 1;
+
+/// The pipelined protocol version: 14-byte headers carrying a `u64`
+/// correlation id, many requests in flight per connection, replies in any
+/// order.
+pub const WIRE_VERSION_PIPELINED: u32 = 2;
+
+/// The newest version this build speaks. Peers negotiate down to the
+/// smaller of their maxima in the HELLO handshake.
+pub const WIRE_VERSION_MAX: u32 = WIRE_VERSION_PIPELINED;
 
 /// Default upper bound on one frame's payload (64 MiB) — generous for a
 /// shard reply full of prefetched suggestion answers, tiny next to what a
@@ -144,19 +167,49 @@ fn io_error(e: std::io::Error) -> WireError {
 /// bytes as a header. This reader keeps the header/payload cursor across
 /// calls, so after a [`WireError::Timeout`] the caller can simply call
 /// again and resume exactly where the stream left off.
-#[derive(Default)]
 pub struct FrameReader {
-    header: [u8; 6],
+    /// Big enough for a v2 header; only the first `header_len()` bytes are
+    /// ever used.
+    header: [u8; 14],
     header_have: usize,
     /// Allocated once the header is complete and validated.
     payload: Option<Vec<u8>>,
     payload_have: usize,
+    version: u32,
+}
+
+impl Default for FrameReader {
+    fn default() -> FrameReader {
+        FrameReader {
+            header: [0; 14],
+            header_have: 0,
+            payload: None,
+            payload_have: 0,
+            version: WIRE_VERSION,
+        }
+    }
 }
 
 impl FrameReader {
-    /// A reader positioned at a frame boundary.
+    /// A reader positioned at a frame boundary, expecting v1 frames.
     pub fn new() -> FrameReader {
         FrameReader::default()
+    }
+
+    /// Switch the expected header layout after version negotiation. Only
+    /// legal at a frame boundary — the handshake frames preceding the
+    /// switch are always v1-framed, so this is called right after HELLO_OK.
+    pub fn set_version(&mut self, version: u32) {
+        assert!(!self.mid_frame(), "version switch mid-frame would desync");
+        self.version = version;
+    }
+
+    fn header_len(&self) -> usize {
+        if self.version >= WIRE_VERSION_PIPELINED {
+            14
+        } else {
+            6
+        }
     }
 
     /// True when part of the next frame has already been consumed (a
@@ -167,17 +220,19 @@ impl FrameReader {
     }
 
     /// Read (or continue reading) one frame, validating magic and length
-    /// cap before allocating. Returns `(kind, payload)` and resets to the
-    /// next frame boundary on success. On [`WireError::Timeout`] all
-    /// partial progress is kept — call again to resume. Any other error is
-    /// fatal for the connection (the stream position is unspecified).
-    pub fn read_frame(
+    /// cap before allocating. Returns `(kind, corr, payload)` — `corr` is 0
+    /// on a v1 stream — and resets to the next frame boundary on success.
+    /// On [`WireError::Timeout`] all partial progress is kept — call again
+    /// to resume. Any other error is fatal for the connection (the stream
+    /// position is unspecified).
+    pub fn read_frame_corr(
         &mut self,
         r: &mut impl Read,
         max_frame: u32,
-    ) -> Result<(u8, Vec<u8>), WireError> {
-        while self.header_have < self.header.len() {
-            match r.read(&mut self.header[self.header_have..]) {
+    ) -> Result<(u8, u64, Vec<u8>), WireError> {
+        let header_len = self.header_len();
+        while self.header_have < header_len {
+            match r.read(&mut self.header[self.header_have..header_len]) {
                 // EOF exactly on a frame boundary is a graceful close;
                 // mid-header (or mid-payload below) it is a short read.
                 Ok(0) => {
@@ -224,20 +279,60 @@ impl FrameReader {
             }
         }
         let kind = self.header[1];
+        let corr = if header_len == 14 {
+            u64::from_le_bytes(
+                self.header[6..14]
+                    .try_into()
+                    .expect("slice is exactly 8 bytes"),
+            )
+        } else {
+            0
+        };
         let payload = self.payload.take().expect("payload allocated above");
         self.header_have = 0;
         self.payload_have = 0;
-        Ok((kind, payload))
+        Ok((kind, corr, payload))
+    }
+
+    /// [`Self::read_frame_corr`] for v1 streams, dropping the (always-zero)
+    /// correlation id.
+    pub fn read_frame(
+        &mut self,
+        r: &mut impl Read,
+        max_frame: u32,
+    ) -> Result<(u8, Vec<u8>), WireError> {
+        self.read_frame_corr(r, max_frame)
+            .map(|(kind, _corr, payload)| (kind, payload))
     }
 }
 
-/// Write one frame. The header and payload go out in a single `write_all`
-/// so a concurrent reader never sees a torn header.
+/// Write one v1 frame. The header and payload go out in a single
+/// `write_all` so a concurrent reader never sees a torn header.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), WireError> {
     let mut frame = Vec::with_capacity(6 + payload.len());
     frame.push(MAGIC);
     frame.push(kind);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame).map_err(io_error)?;
+    w.flush().map_err(io_error)
+}
+
+/// Write one v2 (pipelined) frame carrying a correlation id. Single
+/// `write_all`, same torn-header guarantee as [`write_frame`] — which is
+/// what lets many threads interleave whole frames on one connection under
+/// a write lock.
+pub fn write_frame_corr(
+    w: &mut impl Write,
+    kind: u8,
+    corr: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    let mut frame = Vec::with_capacity(14 + payload.len());
+    frame.push(MAGIC);
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&corr.to_le_bytes());
     frame.extend_from_slice(payload);
     w.write_all(&frame).map_err(io_error)?;
     w.flush().map_err(io_error)
@@ -267,6 +362,43 @@ mod tests {
         let (k, p) = read_frame(&mut &buf[..], MAX_FRAME).unwrap();
         assert_eq!(k, kind::REQUEST);
         assert_eq!(p, b"hello");
+    }
+
+    #[test]
+    fn v2_round_trip_carries_the_correlation_id() {
+        let mut buf = Vec::new();
+        write_frame_corr(&mut buf, kind::REQUEST, 0xDEAD_BEEF_0042, b"pipelined").unwrap();
+        let mut reader = FrameReader::new();
+        reader.set_version(WIRE_VERSION_PIPELINED);
+        let (k, corr, p) = reader.read_frame_corr(&mut &buf[..], MAX_FRAME).unwrap();
+        assert_eq!(k, kind::REQUEST);
+        assert_eq!(corr, 0xDEAD_BEEF_0042);
+        assert_eq!(p, b"pipelined");
+    }
+
+    #[test]
+    fn version_switch_after_a_v1_handshake_frame() {
+        // A v1 HELLO_OK followed by v2 traffic on the same stream — exactly
+        // the negotiation sequence.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind::HELLO_OK, b"ok").unwrap();
+        write_frame_corr(&mut buf, kind::REPLY, 7, b"first").unwrap();
+        write_frame_corr(&mut buf, kind::REPLY, 3, b"second").unwrap();
+        let mut src = &buf[..];
+        let mut reader = FrameReader::new();
+        assert_eq!(
+            reader.read_frame(&mut src, MAX_FRAME).unwrap(),
+            (kind::HELLO_OK, b"ok".to_vec())
+        );
+        reader.set_version(WIRE_VERSION_PIPELINED);
+        assert_eq!(
+            reader.read_frame_corr(&mut src, MAX_FRAME).unwrap(),
+            (kind::REPLY, 7, b"first".to_vec())
+        );
+        assert_eq!(
+            reader.read_frame_corr(&mut src, MAX_FRAME).unwrap(),
+            (kind::REPLY, 3, b"second".to_vec())
+        );
     }
 
     #[test]

@@ -9,6 +9,19 @@
 //! cap does: an edge with `max_pool` connections per replica can never
 //! hold more than `max_pool` requests open against one replica socket-side.
 //!
+//! Protocol v2 (pipelined connections) keeps that shape but decouples
+//! reading from serving: the connection thread stays in its frame loop,
+//! while each correlated request runs as a task on the shared
+//! [`exec`] pool and writes its reply — tagged with the request's
+//! correlation id, in whatever order it finishes — under the connection's
+//! write lock. Backlog per connection is bounded by
+//! [`WireServerConfig::pipeline_depth`]: past the cap the connection
+//! thread serves the oldest unstarted request inline, so a saturated
+//! executor degrades to the v1 serial behavior instead of queueing
+//! without bound. If the executor has no idle worker the request also
+//! runs inline — the connection thread is itself a worker of last resort,
+//! so replies never depend on executor capacity.
+//!
 //! Shutdown comes in two flavors, both needed by the fault drills:
 //!
 //! * [`WireServer::shutdown`] — graceful drain: stop accepting, let every
@@ -29,12 +42,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use sapphire_core::exec;
 use sapphire_server::ShardService;
 
 use crate::codec::{
     decode_hello, decode_request, encode_hello_ok, encode_reply, LoadHeader, WireReply, WireRequest,
 };
-use crate::frame::{self, kind, WireError, MAX_FRAME, WIRE_VERSION};
+use crate::frame::{self, kind, WireError, MAX_FRAME, WIRE_VERSION, WIRE_VERSION_PIPELINED};
 
 /// Tuning knobs for a [`WireServer`].
 #[derive(Debug, Clone)]
@@ -47,6 +61,15 @@ pub struct WireServerConfig {
     pub idle_poll: Duration,
     /// Largest frame payload accepted from a client.
     pub max_frame: u32,
+    /// Newest protocol version this server will negotiate. Defaults to
+    /// [`frame::WIRE_VERSION_MAX`]; pin to 1 to force every connection onto
+    /// the legacy serial request/reply protocol.
+    pub max_version: u32,
+    /// Per-connection cap on pipelined (v2) requests admitted before their
+    /// reply is written. When a connection exceeds it, the connection
+    /// thread executes the oldest unstarted request inline instead of
+    /// queueing more work onto the executor.
+    pub pipeline_depth: usize,
 }
 
 impl Default for WireServerConfig {
@@ -55,6 +78,8 @@ impl Default for WireServerConfig {
             max_connections: 64,
             idle_poll: Duration::from_millis(50),
             max_frame: MAX_FRAME,
+            max_version: frame::WIRE_VERSION_MAX,
+            pipeline_depth: 32,
         }
     }
 }
@@ -241,10 +266,24 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     if frame::set_deadline(&stream, Some(shared.config.idle_poll)).is_err() {
         return;
     }
+    // The write half is shared with pipelined request tasks, which reply
+    // out of order under this lock once the connection negotiates v2. On
+    // a v1 connection only this thread ever touches it.
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    // Set when a pipelined task hits an unrecoverable error (corrupt
+    // request, reply write failure) from outside this thread; the frame
+    // loop checks it every poll tick and drops the connection.
+    let failed = Arc::new(AtomicBool::new(false));
+    let mut version = WIRE_VERSION;
+    // Pipelined requests admitted but not yet known-started, oldest first.
+    let mut inflight: Vec<exec::TaskHandle> = Vec::new();
     // The idle_poll deadline doubles as the shutdown-check tick, so it can
     // fire mid-frame when a client's frame arrives in chunks spaced wider
     // than the poll interval (large payloads, congestion, injected
@@ -252,56 +291,123 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     // a one-shot read would desync the stream and drop the client.
     let mut reader = frame::FrameReader::new();
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.load(Ordering::SeqCst) || failed.load(Ordering::SeqCst) {
+            drain_inflight(&mut inflight);
             return;
         }
-        let (kind, payload) = match reader.read_frame(&mut stream, shared.config.max_frame) {
-            Ok(f) => f,
-            Err(WireError::Timeout) => continue, // poll tick; progress kept
-            Err(WireError::Corrupt(_)) | Err(WireError::TooLarge { .. }) => {
-                shared.corrupt.fetch_add(1, Ordering::Relaxed);
-                return; // protocol violation: drop the connection
-            }
-            Err(_) => return, // closed / reset / short read
-        };
+        let (kind, corr, payload) =
+            match reader.read_frame_corr(&mut stream, shared.config.max_frame) {
+                Ok(f) => f,
+                Err(WireError::Timeout) => {
+                    // Poll tick: the connection is idle on the read side, so
+                    // help the executor along — run the oldest unstarted
+                    // pipelined request inline and forget handles whose job
+                    // a worker has already claimed.
+                    if let Some(h) = inflight.first() {
+                        h.run_now();
+                    }
+                    inflight.retain(|h| !h.started());
+                    continue; // progress kept
+                }
+                Err(WireError::Corrupt(_)) | Err(WireError::TooLarge { .. }) => {
+                    shared.corrupt.fetch_add(1, Ordering::Relaxed);
+                    drain_inflight(&mut inflight);
+                    return; // protocol violation: drop the connection
+                }
+                Err(_) => {
+                    drain_inflight(&mut inflight);
+                    return; // closed / reset / short read
+                }
+            };
         let outcome = match kind {
-            kind::HELLO => handle_hello(&mut stream, shared, &payload),
-            kind::REQUEST => handle_request(&mut stream, shared, &payload),
+            kind::HELLO => match handle_hello(&writer, shared, &payload) {
+                Ok(chosen) => {
+                    version = chosen;
+                    if version >= WIRE_VERSION_PIPELINED {
+                        // Safe: read_frame_corr returned a whole frame, so
+                        // the reader sits at a frame boundary.
+                        reader.set_version(version);
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+            kind::REQUEST if version >= WIRE_VERSION_PIPELINED => {
+                submit_request(&writer, shared, &failed, &mut inflight, corr, payload);
+                Ok(())
+            }
+            kind::REQUEST => handle_request(&writer, shared, &payload),
             _ => {
                 shared.corrupt.fetch_add(1, Ordering::Relaxed);
+                drain_inflight(&mut inflight);
                 return;
             }
         };
         if outcome.is_err() {
+            drain_inflight(&mut inflight);
             return;
         }
     }
 }
 
-fn handle_hello(stream: &mut TcpStream, shared: &Shared, payload: &[u8]) -> Result<(), WireError> {
-    let version = match decode_hello(payload) {
-        Ok(v) => v,
-        Err(_) => {
-            shared.corrupt.fetch_add(1, Ordering::Relaxed);
-            return Err(WireError::Corrupt("hello".into()));
-        }
-    };
-    if version != WIRE_VERSION {
-        // A peer speaking another version would misparse every frame we
-        // send; disconnecting is the only safe answer.
-        return Err(WireError::Corrupt(format!("version {version}")));
+/// Finish every admitted pipelined request this connection still owes a
+/// reply for. Unclaimed jobs run inline here; claimed ones are already on
+/// an executor worker and own everything they touch (`Arc`s of the shared
+/// state and the write half), so they complete safely even after the
+/// connection thread exits.
+fn drain_inflight(inflight: &mut Vec<exec::TaskHandle>) {
+    for h in inflight.drain(..) {
+        h.run_now();
     }
-    let hello_ok = encode_hello_ok(
-        &shared.service.shard_name(),
-        shared.service.top_k(),
-        shared.config.max_frame,
-    );
-    write_reply_frame(stream, kind::HELLO_OK, &hello_ok)
 }
 
-fn handle_request(
-    stream: &mut TcpStream,
+/// Run one pipelined request as an executor task (inline when the pool has
+/// no idle worker), bounding this connection's unstarted backlog by
+/// `pipeline_depth`.
+fn submit_request(
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Arc<Shared>,
+    failed: &Arc<AtomicBool>,
+    inflight: &mut Vec<exec::TaskHandle>,
+    corr: u64,
+    payload: Vec<u8>,
+) {
+    inflight.retain(|h| !h.started());
+    while inflight.len() >= shared.config.pipeline_depth.max(1) {
+        // Over the depth cap: serve the oldest unstarted request on this
+        // thread instead of queueing deeper.
+        let h = inflight.remove(0);
+        h.run_now();
+        inflight.retain(|h| !h.started());
+    }
+    let job = {
+        let writer = writer.clone();
+        let shared = shared.clone();
+        let failed = failed.clone();
+        move || {
+            if serve_one(&writer, &shared, Some(corr), &payload).is_err() {
+                failed.store(true, Ordering::SeqCst);
+                // Wake the connection thread out of its poll wait so the
+                // failure is noticed within one tick even on an idle link.
+                let _ = writer.lock().unwrap().shutdown(Shutdown::Both);
+            }
+        }
+    };
+    match exec::global().try_spawn(job) {
+        Ok(handle) => inflight.push(handle),
+        // No idle worker: the connection thread is the worker of last
+        // resort, same guarantee the depth cap relies on.
+        Err(job) => job(),
+    }
+}
+
+/// Decode, dispatch, and answer one request. `corr` is `Some` on a v2
+/// connection — the reply carries it in a v2 header — and `None` on v1,
+/// where the reply keeps the legacy 6-byte header.
+fn serve_one(
+    writer: &Arc<Mutex<TcpStream>>,
     shared: &Shared,
+    corr: Option<u64>,
     payload: &[u8],
 ) -> Result<(), WireError> {
     let req = match decode_request(payload) {
@@ -319,7 +425,53 @@ fn handle_request(
         queued: queued.min(u32::MAX as usize) as u32,
         pressure: shared.service.shed_pressure_tier().min(u8::MAX as usize) as u8,
     };
-    write_reply_frame(stream, kind::REPLY, &encode_reply(load, &result))
+    let reply = encode_reply(load, &result);
+    let mut w = writer.lock().unwrap();
+    match corr {
+        Some(corr) => frame::write_frame_corr(&mut *w, kind::REPLY, corr, &reply),
+        None => frame::write_frame(&mut *w, kind::REPLY, &reply),
+    }
+}
+
+fn handle_hello(
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Shared,
+    payload: &[u8],
+) -> Result<u32, WireError> {
+    let client_max = match decode_hello(payload) {
+        Ok(v) => v,
+        Err(_) => {
+            shared.corrupt.fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::Corrupt("hello".into()));
+        }
+    };
+    if client_max < WIRE_VERSION {
+        // A peer below our floor would misparse every frame we send;
+        // disconnecting is the only safe answer.
+        return Err(WireError::Corrupt(format!("version {client_max}")));
+    }
+    // Negotiate down to the newer peer's floor. The HELLO_OK echoes the
+    // choice only when the client offered v2+ (a v1 client rejects
+    // trailing bytes — see `encode_hello_ok`), and is always v1-framed:
+    // the version switch takes effect on the *next* frame.
+    let chosen = client_max.min(shared.config.max_version).max(WIRE_VERSION);
+    let hello_ok = encode_hello_ok(
+        &shared.service.shard_name(),
+        shared.service.top_k(),
+        shared.config.max_frame,
+        chosen,
+    );
+    let mut w = writer.lock().unwrap();
+    frame::write_frame(&mut *w, kind::HELLO_OK, &hello_ok)?;
+    Ok(chosen)
+}
+
+fn handle_request(
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Shared,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    serve_one(writer, shared, None, payload)
 }
 
 fn dispatch(
@@ -346,8 +498,4 @@ fn dispatch(
             service.execute_raw(&tenant, &query).map(WireReply::Raw)
         }
     }
-}
-
-fn write_reply_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), WireError> {
-    frame::write_frame(stream, kind, payload)
 }

@@ -195,10 +195,14 @@ fn closed_connections_are_deregistered() {
 fn post_write_timeouts_surface_typed_instead_of_replaying() {
     let server = serve_stub(Duration::from_millis(10));
     let proxy = FaultProxy::start(server.local_addr()).expect("start proxy");
+    // Pin the legacy pooled protocol: the discard-and-redial behavior
+    // under test is specific to v1's connection-per-call model. The
+    // pipelined path's timeout semantics are pinned separately below.
     let client = WireClient::connect(
         proxy.addr(),
         WireClientConfig {
             call_timeout: Duration::from_millis(300),
+            max_version: WIRE_VERSION,
             ..WireClientConfig::default()
         },
     )
@@ -227,6 +231,44 @@ fn post_write_timeouts_surface_typed_instead_of_replaying() {
     assert!(client.complete_top("t", "b", 1).is_ok());
     assert_eq!(client.transport_stats().connects, 2);
     assert_eq!(client.transport_stats().reconnects, 1);
+    proxy.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_timeouts_keep_the_connection() {
+    let server = serve_stub(Duration::from_millis(10));
+    let proxy = FaultProxy::start(server.local_addr()).expect("start proxy");
+    let client = WireClient::connect(
+        proxy.addr(),
+        WireClientConfig {
+            call_timeout: Duration::from_millis(300),
+            ..WireClientConfig::default()
+        },
+    )
+    .expect("handshake through proxy");
+    assert_eq!(client.protocol_version(), 2, "loopback peers negotiate v2");
+
+    // Same half-open partition as the v1 test: the request executes, the
+    // reply vanishes, the per-call deadline fires after a successful
+    // write. The failure surfaces typed — but on a pipelined connection
+    // one call's deadline must NOT shoot the socket every other in-flight
+    // call shares; the timed-out id is tombstoned instead.
+    proxy.plan().set_partition_to_client(true);
+    match client.complete_top("t", "a", 1) {
+        Err(ServerError::Unreachable { reason }) => assert_eq!(reason, "timeout"),
+        other => panic!("expected Unreachable(timeout), got {other:?}"),
+    }
+    assert_eq!(client.transport_stats().io_errors, 1);
+
+    // Heal the link: the same connection serves the next call — no redial,
+    // no reconnect, and the orphaned reply never desyncs the stream.
+    proxy.plan().set_partition_to_client(false);
+    assert!(client.complete_top("t", "b", 1).is_ok());
+    let stats = client.transport_stats();
+    assert_eq!(stats.connects, 1, "a pipelined timeout must not redial");
+    assert_eq!(stats.reconnects, 0);
+    assert_eq!(stats.corrupt_frames, 0);
     proxy.shutdown();
     server.shutdown();
 }

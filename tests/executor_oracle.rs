@@ -1,0 +1,189 @@
+//! Byte-identity oracle for the shared scatter/scan executor.
+//!
+//! The executor moved the cluster scatter, hedging, and the residual-bin
+//! parallel scans off per-request `thread::spawn`/`thread::scope` and onto
+//! a fixed work-stealing pool. None of that is allowed to be observable:
+//! this suite drives the Appendix-B workload through two routers over the
+//! same dataset — one on the executor (the default), one forced back onto
+//! the spawn-per-request reference path — and requires every reply to be
+//! byte-identical, including runs traced at sampling 1 (the `TraceScope`
+//! parenting that used to ride on spawned threads now crosses the
+//! executor's queue and must still attach per-shard spans to their
+//! request's trace).
+
+use std::sync::Arc;
+
+use sapphire_cluster::{Cluster, ClusterConfig, ClusterRouter};
+use sapphire_core::qsm::TermAlternative;
+use sapphire_core::session::{Modifiers, Session};
+use sapphire_core::{InitMode, PredictiveUserModel, SapphireConfig};
+use sapphire_datagen::workload::appendix_b;
+use sapphire_datagen::{generate, DatasetConfig};
+use sapphire_endpoint::EndpointLimits;
+use sapphire_obs::Stage;
+use sapphire_server::ServerConfig;
+use sapphire_sparql::SelectQuery;
+use sapphire_text::Lexicon;
+
+fn sapphire_config() -> SapphireConfig {
+    SapphireConfig {
+        processes: 2,
+        ..SapphireConfig::default()
+    }
+}
+
+/// A 4-shard router over the fixed tiny dataset. `reference_spawns`
+/// selects the comparison arm: the old spawn-per-request scatter instead
+/// of the shared executor.
+fn router(reference_spawns: bool) -> ClusterRouter {
+    let graph = generate(DatasetConfig::tiny(42));
+    let cluster = Cluster::build(
+        "edge",
+        &graph,
+        4,
+        1,
+        &Lexicon::dbpedia_default(),
+        &sapphire_config(),
+        &ServerConfig::for_tests(),
+    )
+    .unwrap();
+    let mut router = ClusterRouter::new(
+        cluster,
+        ClusterConfig {
+            // Hedging off: identical replies must come from identical
+            // primary calls, not a hedge racing ahead on one arm.
+            hedge_after: None,
+            ..ClusterConfig::for_tests()
+        },
+    );
+    router.set_reference_spawns(reference_spawns);
+    router
+}
+
+/// The scripted QSM queries, built once against a local model (the
+/// predicate vocabulary is dataset-wide, so the built queries are valid on
+/// both routers).
+fn workload_queries() -> Vec<SelectQuery> {
+    let pum = Arc::new(
+        PredictiveUserModel::initialize_local(
+            "oracle",
+            generate(DatasetConfig::tiny(42)),
+            EndpointLimits::warehouse(),
+            Lexicon::dbpedia_default(),
+            sapphire_config(),
+            InitMode::Federated,
+        )
+        .unwrap(),
+    );
+    appendix_b()
+        .iter()
+        .map(|q| {
+            let modifiers = Modifiers {
+                distinct: false,
+                order_by: q.script.order_by.clone(),
+                limit: q.script.limit,
+                count: q.script.count,
+                filters: q.script.filters.clone(),
+            };
+            Session::resume(&pum, q.script.rows.clone(), modifiers, 0)
+                .build_query()
+                .expect("workload scripts build")
+        })
+        .collect()
+}
+
+/// Field-by-field equality for "did you mean" lists (`TermAlternative`
+/// carries no `PartialEq`; prefetched answers included).
+fn assert_alternatives_equal(a: &[TermAlternative], b: &[TermAlternative], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: alternative count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.position, y.position, "{ctx}");
+        assert_eq!(x.replacement, y.replacement, "{ctx}");
+        assert_eq!(x.original, y.original, "{ctx}");
+        assert_eq!(x.triple_index, y.triple_index, "{ctx}");
+        assert!((x.similarity - y.similarity).abs() < f64::EPSILON, "{ctx}");
+        assert_eq!(x.query, y.query, "{ctx}");
+        assert_eq!(x.answers, y.answers, "{ctx}: prefetched answers");
+    }
+}
+
+/// The whole Appendix-B workload — per-keystroke QCM completions and every
+/// scripted QSM run — answered byte-identically by the executor-driven
+/// scatter and the spawn-per-request reference.
+#[test]
+fn executor_scatter_matches_spawn_per_request_reference() {
+    let exec_router = router(false);
+    let ref_router = router(true);
+
+    let mut prefixes = 0;
+    for q in appendix_b() {
+        for input in &q.script.rows {
+            let keyword = input.object.trim_start_matches('?');
+            for end in 1..=keyword.chars().count().min(3) {
+                let prefix: String = keyword.chars().take(end).collect();
+                let on_exec = exec_router.complete("alice", &prefix).unwrap();
+                let on_ref = ref_router.complete("alice", &prefix).unwrap();
+                assert_eq!(
+                    on_exec.suggestions, on_ref.suggestions,
+                    "prefix {prefix:?}: completions diverged"
+                );
+                prefixes += 1;
+            }
+        }
+    }
+    assert!(prefixes > 30, "the QCM comparison covered the workload");
+
+    for (i, query) in workload_queries().iter().enumerate() {
+        let on_exec = exec_router.run("alice", query).unwrap();
+        let on_ref = ref_router.run("alice", query).unwrap();
+        assert_eq!(on_exec.answers, on_ref.answers, "question {i}: answers");
+        assert_alternatives_equal(
+            &on_exec.alternatives,
+            &on_ref.alternatives,
+            &format!("question {i}"),
+        );
+        assert_eq!(on_exec.executed, on_ref.executed, "question {i}");
+    }
+
+    // Both arms really scattered to all 4 shards.
+    for (label, r) in [("exec", &exec_router), ("reference", &ref_router)] {
+        let m = r.metrics();
+        assert_eq!(m.fanout_per_shard.len(), 4, "{label}: shard fanout");
+        assert_eq!(m.rejected_after_retry, 0, "{label}: no rejections");
+    }
+}
+
+/// Traced runs (sampling 1) stay byte-identical, and the per-shard
+/// `shard_rtt` spans still land inside their request's trace after the
+/// scatter crossed the executor queue instead of a spawned thread.
+#[test]
+fn traced_runs_match_and_keep_shard_spans_through_the_executor() {
+    let exec_router = router(false);
+    let ref_router = router(true);
+    exec_router.obs().set_sampling(1);
+    ref_router.obs().set_sampling(1);
+
+    for (i, query) in workload_queries().iter().take(5).enumerate() {
+        let on_exec = exec_router.run("alice", query).unwrap();
+        let on_ref = ref_router.run("alice", query).unwrap();
+        assert_eq!(on_exec.answers, on_ref.answers, "traced question {i}");
+        assert_alternatives_equal(
+            &on_exec.alternatives,
+            &on_ref.alternatives,
+            &format!("traced question {i}"),
+        );
+    }
+
+    let recorder = exec_router.obs().recorder();
+    assert!(recorder.recorded() > 0, "sampling 1 records every request");
+    let shard_span_name = Stage::ShardRtt.name();
+    let traced_scatters = recorder
+        .recent()
+        .iter()
+        .filter(|t| t.spans.iter().any(|s| s.name == shard_span_name))
+        .count();
+    assert!(
+        traced_scatters > 0,
+        "executor-run shard calls must attach their spans to the request trace"
+    );
+}
